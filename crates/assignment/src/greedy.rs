@@ -1,0 +1,127 @@
+//! SortGreedy one-to-one matching.
+//!
+//! The SG heuristic of the paper (§6.2; Doka et al., reference 12): sort all
+//! `(row, col)` pairs by decreasing similarity and accept a pair whenever
+//! both endpoints are still unmatched. `O(nm log nm)` but trivially robust —
+//! the paper recommends it over JV on large graphs where the LAP solve
+//! dominates runtime.
+
+use graphalign_linalg::DenseMatrix;
+
+/// Greedy one-to-one matching maximizing similarity pair-by-pair.
+/// Ties are broken by `(row, col)` order, making the result deterministic.
+///
+/// # Panics
+/// Panics if `rows > cols` (a full one-to-one matching is impossible).
+pub fn sort_greedy(sim: &DenseMatrix) -> Vec<usize> {
+    let (n, m) = sim.shape();
+    assert!(n <= m, "sort_greedy: need rows ≤ cols (got {n} × {m})");
+    let mut pairs: Vec<(usize, usize)> = (0..n)
+        .flat_map(|i| (0..m).map(move |j| (i, j)))
+        .collect();
+    // Stable sort by descending similarity; the pair order is the tiebreak.
+    pairs.sort_by(|&(i1, j1), &(i2, j2)| {
+        sim.get(i2, j2).partial_cmp(&sim.get(i1, j1)).expect("finite similarities")
+    });
+    let mut row_taken = vec![false; n];
+    let mut col_taken = vec![false; m];
+    let mut out = vec![usize::MAX; n];
+    let mut matched = 0usize;
+    for (i, j) in pairs {
+        if matched == n {
+            break;
+        }
+        if row_taken[i] || col_taken[j] {
+            continue;
+        }
+        row_taken[i] = true;
+        col_taken[j] = true;
+        out[i] = j;
+        matched += 1;
+    }
+    out
+}
+
+/// SortGreedy over an explicit sparse candidate list `(row, col, similarity)`.
+/// Rows that exhaust their candidates are matched to the lexicographically
+/// smallest free columns afterwards (similarity 0), so the result is always
+/// a complete one-to-one matching. This is the form LREA and the sparse NSD
+/// variant use.
+///
+/// # Panics
+/// Panics if `rows > cols`.
+pub fn sort_greedy_sparse(
+    n_rows: usize,
+    n_cols: usize,
+    candidates: &[(usize, usize, f64)],
+) -> Vec<usize> {
+    assert!(n_rows <= n_cols, "sort_greedy_sparse: need rows ≤ cols");
+    let mut pairs: Vec<&(usize, usize, f64)> = candidates.iter().collect();
+    pairs.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite similarities"));
+    let mut row_taken = vec![false; n_rows];
+    let mut col_taken = vec![false; n_cols];
+    let mut out = vec![usize::MAX; n_rows];
+    for &&(i, j, _) in pairs.iter() {
+        if row_taken[i] || col_taken[j] {
+            continue;
+        }
+        row_taken[i] = true;
+        col_taken[j] = true;
+        out[i] = j;
+    }
+    // Complete the matching with free columns.
+    let mut free_cols = (0..n_cols).filter(|&j| !col_taken[j]);
+    for (i, slot) in out.iter_mut().enumerate() {
+        if *slot == usize::MAX {
+            *slot = free_cols.next().expect("cols ≥ rows guarantees a free column");
+            let _ = i;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_global_maximum_first() {
+        let sim = DenseMatrix::from_rows(&[&[0.1, 0.9], &[0.8, 0.2]]);
+        assert_eq!(sort_greedy(&sim), vec![1, 0]);
+    }
+
+    #[test]
+    fn rectangular_input_leaves_extra_columns_unused() {
+        let sim = DenseMatrix::from_rows(&[&[0.1, 0.9, 0.5]]);
+        assert_eq!(sort_greedy(&sim), vec![1]);
+    }
+
+    #[test]
+    fn deterministic_tie_breaking() {
+        let sim = DenseMatrix::filled(3, 3, 1.0);
+        assert_eq!(sort_greedy(&sim), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn sparse_variant_completes_partial_matchings() {
+        // Only one candidate given; the other rows fall back to free columns.
+        let out = sort_greedy_sparse(3, 3, &[(1, 2, 0.9)]);
+        assert_eq!(out[1], 2);
+        let mut sorted = out.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2], "must be a permutation");
+    }
+
+    #[test]
+    fn sparse_variant_prefers_high_similarity() {
+        let out = sort_greedy_sparse(2, 2, &[(0, 0, 0.5), (0, 1, 0.9), (1, 1, 0.8)]);
+        assert_eq!(out, vec![1, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows ≤ cols")]
+    fn too_many_rows_panics() {
+        let sim = DenseMatrix::zeros(3, 2);
+        sort_greedy(&sim);
+    }
+}

@@ -1,0 +1,246 @@
+//! Jonker–Volgenant algorithm for dense linear assignment.
+//!
+//! JV (Jonker & Volgenant 1987) is the paper's common assignment method: a
+//! shortest-augmenting-path LAP solver accelerated by two initialization
+//! passes — *column reduction* and *augmenting row reduction* — that match
+//! most rows before any Dijkstra search runs. On the similarity matrices the
+//! alignment algorithms produce, the initialization typically resolves the
+//! bulk of the rows, which is exactly why the paper picks JV over plain
+//! Hungarian.
+
+use graphalign_linalg::DenseMatrix;
+
+/// Solves the LAP *minimizing* total cost with the JV algorithm; returns
+/// `out[row] = col`. Requires a square matrix (pad rectangular problems or
+/// use [`crate::hungarian`], which handles `rows < cols` directly).
+///
+/// # Panics
+/// Panics if the matrix is not square or contains NaN.
+// The passes below transcribe the 1987 paper's index-coupled loops; explicit
+// indices preserve the correspondence with the reference formulation.
+#[allow(clippy::needless_range_loop)]
+pub fn jv_min(cost: &DenseMatrix) -> Vec<usize> {
+    let (n, m) = cost.shape();
+    assert_eq!(n, m, "jv: need a square matrix (got {n} × {m}); pad rectangular inputs");
+    assert!(cost.all_finite(), "jv: cost matrix must be finite");
+    if n == 0 {
+        return Vec::new();
+    }
+    let inf = f64::INFINITY;
+    let mut x: Vec<Option<usize>> = vec![None; n]; // row -> col
+    let mut y: Vec<Option<usize>> = vec![None; n]; // col -> row
+    let mut v = vec![0.0; n]; // column potentials
+
+    // --- Column reduction (scan columns right-to-left). ---
+    for j in (0..n).rev() {
+        // Row with minimal cost in column j.
+        let mut imin = 0;
+        let mut min = cost.get(0, j);
+        for i in 1..n {
+            let c = cost.get(i, j);
+            if c < min {
+                min = c;
+                imin = i;
+            }
+        }
+        v[j] = min;
+        if x[imin].is_none() {
+            x[imin] = Some(j);
+            y[j] = Some(imin);
+        }
+    }
+
+    // --- Augmenting row reduction (two sweeps). ---
+    for _ in 0..2 {
+        let free: Vec<usize> = (0..n).filter(|&i| x[i].is_none()).collect();
+        for &i in &free {
+            if x[i].is_some() {
+                continue;
+            }
+            // Find the two smallest reduced costs in row i.
+            let mut u1 = inf;
+            let mut u2 = inf;
+            let mut j1 = 0usize;
+            for j in 0..n {
+                let r = cost.get(i, j) - v[j];
+                if r < u1 {
+                    u2 = u1;
+                    u1 = r;
+                    j1 = j;
+                } else if r < u2 {
+                    u2 = r;
+                }
+            }
+            if u2.is_finite() && u1 < u2 {
+                v[j1] -= u2 - u1;
+            }
+            match y[j1] {
+                None => {
+                    x[i] = Some(j1);
+                    y[j1] = Some(i);
+                }
+                Some(prev) if u1 < u2 => {
+                    // Steal j1; prev becomes free and is retried later.
+                    x[prev] = None;
+                    x[i] = Some(j1);
+                    y[j1] = Some(i);
+                }
+                Some(_) => {}
+            }
+        }
+    }
+
+    // --- Augmentation (Dijkstra shortest augmenting paths) for the rest. ---
+    let free: Vec<usize> = (0..n).filter(|&i| x[i].is_none()).collect();
+    for &f in &free {
+        let mut d: Vec<f64> = (0..n).map(|j| cost.get(f, j) - v[j]).collect();
+        let mut pred = vec![f; n];
+        let mut scanned = vec![false; n];
+        let mut ready: Vec<usize> = Vec::new();
+        let endpoint;
+        loop {
+            // Pick the unscanned column with minimal d.
+            let mut jmin = usize::MAX;
+            let mut dmin = inf;
+            for j in 0..n {
+                if !scanned[j] && d[j] < dmin {
+                    dmin = d[j];
+                    jmin = j;
+                }
+            }
+            assert!(jmin != usize::MAX, "jv: augmentation failed (disconnected problem)");
+            scanned[jmin] = true;
+            ready.push(jmin);
+            match y[jmin] {
+                None => {
+                    endpoint = jmin;
+                    break;
+                }
+                Some(i) => {
+                    // Relax columns through row i.
+                    for j in 0..n {
+                        if scanned[j] {
+                            continue;
+                        }
+                        let nd = dmin + (cost.get(i, j) - v[j]) - (cost.get(i, jmin) - v[jmin]);
+                        if nd < d[j] {
+                            d[j] = nd;
+                            pred[j] = i;
+                        }
+                    }
+                }
+            }
+        }
+        // Update potentials for scanned columns.
+        let dend = d[endpoint];
+        for &j in &ready {
+            if j != endpoint {
+                v[j] += d[j] - dend;
+            }
+        }
+        // Augment along the alternating path back to the free row.
+        let mut j = endpoint;
+        loop {
+            let i = pred[j];
+            y[j] = Some(i);
+            let prev = x[i];
+            x[i] = Some(j);
+            if i == f {
+                break;
+            }
+            j = prev.expect("alternating path alternates matched edges until the free row");
+        }
+    }
+
+    x.into_iter().map(|c| c.expect("JV matches every row")).collect()
+}
+
+/// Solves the LAP *maximizing* total similarity. Rectangular inputs with
+/// `rows < cols` are padded with zero-similarity dummy rows (the dummies
+/// absorb the surplus columns), so the returned assignment is optimal for
+/// the original problem.
+///
+/// # Panics
+/// Panics if `rows > cols` or the matrix contains NaN.
+pub fn jv_max(sim: &DenseMatrix) -> Vec<usize> {
+    let (n, m) = sim.shape();
+    assert!(n <= m, "jv_max: need rows ≤ cols (got {n} × {m})");
+    let cost = if n == m {
+        sim.scaled(-1.0)
+    } else {
+        let mut padded = DenseMatrix::zeros(m, m);
+        for i in 0..n {
+            for j in 0..m {
+                padded.set(i, j, -sim.get(i, j));
+            }
+        }
+        padded
+    };
+    let full = jv_min(&cost);
+    full.into_iter().take(n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hungarian::hungarian_max;
+
+    fn value(sim: &DenseMatrix, a: &[usize]) -> f64 {
+        a.iter().enumerate().map(|(i, &j)| sim.get(i, j)).sum()
+    }
+
+    #[test]
+    fn agrees_with_hungarian_on_random_instances() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(99);
+        for trial in 0..40 {
+            let n = rng.random_range(1..=12);
+            let sim = DenseMatrix::from_fn(n, n, |_, _| rng.random_range(-3.0..3.0));
+            let jv_val = value(&sim, &jv_max(&sim));
+            let hun_val = value(&sim, &hungarian_max(&sim));
+            assert!(
+                (jv_val - hun_val).abs() < 1e-9,
+                "trial {trial} (n={n}): JV {jv_val} vs Hungarian {hun_val}"
+            );
+        }
+    }
+
+    #[test]
+    fn produces_a_permutation() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let sim = DenseMatrix::from_fn(20, 20, |_, _| rng.random_range(0.0..1.0));
+        let a = jv_max(&sim);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn rectangular_padding_is_optimal() {
+        let sim = DenseMatrix::from_rows(&[&[0.1, 0.9, 0.3], &[0.8, 0.85, 0.2]]);
+        let a = jv_max(&sim);
+        // Optimal: row 0 → col 1 (0.9), row 1 → col 0 (0.8) = 1.7.
+        assert_eq!(a, vec![1, 0]);
+    }
+
+    #[test]
+    fn identity_similarity_prefers_diagonal() {
+        let sim = DenseMatrix::identity(6);
+        assert_eq!(jv_max(&sim), vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn degenerate_equal_costs() {
+        let sim = DenseMatrix::filled(4, 4, 1.0);
+        let a = jv_max(&sim);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_problem() {
+        assert!(jv_min(&DenseMatrix::zeros(0, 0)).is_empty());
+    }
+}

@@ -1,0 +1,256 @@
+//! k-d tree for nearest-neighbor queries over embedding rows.
+//!
+//! REGAL and CONE extract alignments by querying, for every source-node
+//! embedding, the nearest target-node embedding (paper §3.5, §3.7). A k-d
+//! tree makes that `O(log n)` per query in low dimension and degrades
+//! gracefully to a pruned linear scan in high dimension.
+
+/// A static k-d tree over points of fixed dimensionality.
+#[derive(Debug, Clone)]
+pub struct KdTree {
+    dim: usize,
+    /// Points in tree order (contiguous, `dim` values each).
+    points: Vec<f64>,
+    /// Original index of each tree-ordered point.
+    index: Vec<usize>,
+    /// Node layout: recursive median split over `points[lo..hi]`; implicit
+    /// balanced structure, no explicit node records needed.
+    len: usize,
+}
+
+impl KdTree {
+    /// Builds a tree over `n` points stored row-major in `data`
+    /// (`data.len() == n * dim`).
+    ///
+    /// # Panics
+    /// Panics if `dim == 0` or `data.len()` is not a multiple of `dim`.
+    pub fn build(data: &[f64], dim: usize) -> Self {
+        assert!(dim > 0, "kdtree: dimension must be positive");
+        assert!(
+            data.len().is_multiple_of(dim),
+            "kdtree: data length {} not a multiple of dim {dim}",
+            data.len()
+        );
+        let n = data.len() / dim;
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut tree = Self { dim, points: vec![0.0; data.len()], index: vec![0; n], len: n };
+        if n > 0 {
+            build_recursive(data, dim, &mut order, 0);
+        }
+        for (pos, &orig) in order.iter().enumerate() {
+            tree.points[pos * dim..(pos + 1) * dim]
+                .copy_from_slice(&data[orig * dim..(orig + 1) * dim]);
+            tree.index[pos] = orig;
+        }
+        tree
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the tree is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Index (into the original data) of the nearest point to `query`, with
+    /// its squared Euclidean distance. Returns `None` on an empty tree.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dim`.
+    pub fn nearest(&self, query: &[f64]) -> Option<(usize, f64)> {
+        assert_eq!(query.len(), self.dim, "kdtree: query dimension mismatch");
+        if self.is_empty() {
+            return None;
+        }
+        let mut best = (usize::MAX, f64::INFINITY);
+        self.search(0, self.len, 0, query, &mut best);
+        Some((self.index[best.0], best.1))
+    }
+
+    /// The `k` nearest original indices to `query`, closest first.
+    ///
+    /// # Panics
+    /// Panics if `query.len() != dim`.
+    pub fn k_nearest(&self, query: &[f64], k: usize) -> Vec<(usize, f64)> {
+        assert_eq!(query.len(), self.dim, "kdtree: query dimension mismatch");
+        let mut heap: Vec<(usize, f64)> = Vec::new(); // max at position 0 kept by scan
+        self.search_k(0, self.len, 0, query, k, &mut heap);
+        heap.sort_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"));
+        heap.into_iter().map(|(pos, d)| (self.index[pos], d)).collect()
+    }
+
+    fn point(&self, pos: usize) -> &[f64] {
+        &self.points[pos * self.dim..(pos + 1) * self.dim]
+    }
+
+    fn search(&self, lo: usize, hi: usize, depth: usize, query: &[f64], best: &mut (usize, f64)) {
+        if lo >= hi {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let p = self.point(mid);
+        let d = sq_dist(p, query);
+        if d < best.1 {
+            *best = (mid, d);
+        }
+        let axis = depth % self.dim;
+        let diff = query[axis] - p[axis];
+        let (near_lo, near_hi, far_lo, far_hi) =
+            if diff < 0.0 { (lo, mid, mid + 1, hi) } else { (mid + 1, hi, lo, mid) };
+        self.search(near_lo, near_hi, depth + 1, query, best);
+        if diff * diff < best.1 {
+            self.search(far_lo, far_hi, depth + 1, query, best);
+        }
+    }
+
+    fn search_k(
+        &self,
+        lo: usize,
+        hi: usize,
+        depth: usize,
+        query: &[f64],
+        k: usize,
+        heap: &mut Vec<(usize, f64)>,
+    ) {
+        if lo >= hi || k == 0 {
+            return;
+        }
+        let mid = (lo + hi) / 2;
+        let p = self.point(mid);
+        let d = sq_dist(p, query);
+        let worst = heap
+            .iter()
+            .map(|&(_, hd)| hd)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if heap.len() < k {
+            heap.push((mid, d));
+        } else if d < worst {
+            let worst_pos = heap
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1 .1.partial_cmp(&b.1 .1).expect("finite"))
+                .map(|(i, _)| i)
+                .expect("heap non-empty");
+            heap[worst_pos] = (mid, d);
+        }
+        let axis = depth % self.dim;
+        let diff = query[axis] - p[axis];
+        let (near_lo, near_hi, far_lo, far_hi) =
+            if diff < 0.0 { (lo, mid, mid + 1, hi) } else { (mid + 1, hi, lo, mid) };
+        self.search_k(near_lo, near_hi, depth + 1, query, k, heap);
+        let worst = heap.iter().map(|&(_, hd)| hd).fold(f64::NEG_INFINITY, f64::max);
+        if heap.len() < k || diff * diff < worst {
+            self.search_k(far_lo, far_hi, depth + 1, query, k, heap);
+        }
+    }
+}
+
+/// Recursively arranges `order[lo..hi]`'s median (by the split axis) at the
+/// middle position, classic in-place k-d construction.
+fn build_recursive(data: &[f64], dim: usize, order: &mut [usize], depth: usize) {
+    let n = order.len();
+    if n <= 1 {
+        return;
+    }
+    let axis = depth % dim;
+    let mid = n / 2;
+    order.select_nth_unstable_by(mid, |&a, &b| {
+        data[a * dim + axis]
+            .partial_cmp(&data[b * dim + axis])
+            .expect("finite coordinates")
+    });
+    let (left, rest) = order.split_at_mut(mid);
+    build_recursive(data, dim, left, depth + 1);
+    build_recursive(data, dim, &mut rest[1..], depth + 1);
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_nearest(data: &[f64], dim: usize, query: &[f64]) -> (usize, f64) {
+        let n = data.len() / dim;
+        (0..n)
+            .map(|i| (i, sq_dist(&data[i * dim..(i + 1) * dim], query)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap()
+    }
+
+    #[test]
+    fn nearest_on_a_line() {
+        let data = [0.0, 1.0, 2.0, 3.0, 10.0];
+        let tree = KdTree::build(&data, 1);
+        assert_eq!(tree.nearest(&[2.2]).unwrap().0, 2);
+        assert_eq!(tree.nearest(&[8.0]).unwrap().0, 4);
+    }
+
+    #[test]
+    fn matches_linear_scan_on_random_points() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(55);
+        for &dim in &[1usize, 2, 3, 8] {
+            let n = 200;
+            let data: Vec<f64> = (0..n * dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let tree = KdTree::build(&data, dim);
+            for _ in 0..50 {
+                let q: Vec<f64> = (0..dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+                let (ti, td) = tree.nearest(&q).unwrap();
+                let (li, ld) = linear_nearest(&data, dim, &q);
+                assert!(
+                    (td - ld).abs() < 1e-12,
+                    "dim {dim}: tree found {ti} at {td}, linear {li} at {ld}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn k_nearest_matches_sorted_linear_scan() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(66);
+        let dim = 3;
+        let n = 100;
+        let data: Vec<f64> = (0..n * dim).map(|_| rng.random_range(-1.0..1.0)).collect();
+        let tree = KdTree::build(&data, dim);
+        let q: Vec<f64> = vec![0.1, -0.2, 0.3];
+        let got = tree.k_nearest(&q, 5);
+        let mut all: Vec<(usize, f64)> =
+            (0..n).map(|i| (i, sq_dist(&data[i * dim..(i + 1) * dim], &q))).collect();
+        all.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+        let expect: Vec<usize> = all[..5].iter().map(|&(i, _)| i).collect();
+        let got_idx: Vec<usize> = got.iter().map(|&(i, _)| i).collect();
+        assert_eq!(got_idx, expect);
+    }
+
+    #[test]
+    fn duplicate_points_are_handled() {
+        let data = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let tree = KdTree::build(&data, 2);
+        let (i, d) = tree.nearest(&[1.0, 1.0]).unwrap();
+        assert!(i < 3);
+        assert_eq!(d, 0.0);
+        assert_eq!(tree.k_nearest(&[1.0, 1.0], 3).len(), 3);
+    }
+
+    #[test]
+    fn empty_tree_returns_none() {
+        let tree = KdTree::build(&[], 4);
+        assert!(tree.is_empty());
+        assert!(tree.nearest(&[0.0; 4]).is_none());
+        assert!(tree.k_nearest(&[0.0; 4], 3).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "dimension mismatch")]
+    fn wrong_query_dimension_panics() {
+        let tree = KdTree::build(&[0.0, 0.0], 2);
+        let _ = tree.nearest(&[0.0]);
+    }
+}

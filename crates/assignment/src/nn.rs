@@ -1,0 +1,112 @@
+//! Nearest-neighbor extraction (many-to-one).
+//!
+//! The assignment REGAL, CONE, GWL and S-GWL propose natively: each source
+//! node independently takes its most similar target node. The paper restricts
+//! these methods to one-to-one outputs for comparability (§6.2) — that
+//! restriction is [`crate::greedy`] or [`crate::jv`] applied to the same
+//! similarity matrix; this module provides the raw NN form plus the
+//! embedding-space variant backed by the k-d tree.
+
+use crate::kdtree::KdTree;
+use graphalign_linalg::DenseMatrix;
+
+/// Row-wise argmax: `out[i] = argmax_j sim[i][j]`. Many-to-one. Ties break
+/// to the lowest column index.
+///
+/// # Panics
+/// Panics if the matrix has zero columns (no candidate to take).
+pub fn nearest_neighbor(sim: &DenseMatrix) -> Vec<usize> {
+    assert!(sim.cols() > 0, "nearest_neighbor: no columns to assign to");
+    (0..sim.rows())
+        .map(|i| {
+            graphalign_linalg::vec_ops::argmax(sim.row(i))
+                .expect("non-empty finite row has an argmax")
+        })
+        .collect()
+}
+
+/// Embedding-space nearest neighbor: aligns each row of `source_emb` to the
+/// closest row of `target_emb` by Euclidean distance, via a k-d tree over the
+/// target embeddings — exactly how REGAL and CONE query their embeddings
+/// without materializing an `n × n` similarity matrix.
+///
+/// # Panics
+/// Panics if the embedding dimensionalities differ or the target set is
+/// empty.
+pub fn nearest_neighbor_embeddings(
+    source_emb: &DenseMatrix,
+    target_emb: &DenseMatrix,
+) -> Vec<usize> {
+    assert_eq!(
+        source_emb.cols(),
+        target_emb.cols(),
+        "embedding dimensionality mismatch ({} vs {})",
+        source_emb.cols(),
+        target_emb.cols()
+    );
+    assert!(target_emb.rows() > 0, "no target embeddings to match against");
+    let tree = KdTree::build(target_emb.as_slice(), target_emb.cols());
+    (0..source_emb.rows())
+        .map(|i| tree.nearest(source_emb.row(i)).expect("tree is non-empty").0)
+        .collect()
+}
+
+/// Converts embeddings into the similarity matrix the one-to-one solvers
+/// need, using REGAL's kernel `sim(u, v) = exp(−‖Y_A[u] − Y_B[v]‖²)`
+/// (paper Equation 10).
+///
+/// # Panics
+/// Panics if the embedding dimensionalities differ.
+pub fn embedding_similarity(source_emb: &DenseMatrix, target_emb: &DenseMatrix) -> DenseMatrix {
+    assert_eq!(
+        source_emb.cols(),
+        target_emb.cols(),
+        "embedding dimensionality mismatch"
+    );
+    let (n, m) = (source_emb.rows(), target_emb.rows());
+    DenseMatrix::from_fn(n, m, |i, j| {
+        (-graphalign_linalg::vec_ops::dist2_sq(source_emb.row(i), target_emb.row(j))).exp()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn argmax_per_row() {
+        let sim = DenseMatrix::from_rows(&[&[0.2, 0.9, 0.1], &[0.5, 0.4, 0.5]]);
+        assert_eq!(nearest_neighbor(&sim), vec![1, 0]);
+    }
+
+    #[test]
+    fn embeddings_route_to_closest_target() {
+        let src = DenseMatrix::from_rows(&[&[0.0, 0.0], &[5.0, 5.0]]);
+        let tgt = DenseMatrix::from_rows(&[&[4.9, 5.1], &[0.1, -0.1], &[10.0, 10.0]]);
+        assert_eq!(nearest_neighbor_embeddings(&src, &tgt), vec![1, 0]);
+    }
+
+    #[test]
+    fn embedding_similarity_is_one_at_zero_distance() {
+        let e = DenseMatrix::from_rows(&[&[1.0, 2.0]]);
+        let s = embedding_similarity(&e, &e);
+        assert!((s.get(0, 0) - 1.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn embedding_similarity_argmax_agrees_with_kdtree_nn() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(44);
+        let src = DenseMatrix::from_fn(20, 4, |_, _| rng.random_range(-1.0..1.0));
+        let tgt = DenseMatrix::from_fn(25, 4, |_, _| rng.random_range(-1.0..1.0));
+        let via_matrix = nearest_neighbor(&embedding_similarity(&src, &tgt));
+        let via_tree = nearest_neighbor_embeddings(&src, &tgt);
+        assert_eq!(via_matrix, via_tree);
+    }
+
+    #[test]
+    fn many_to_one_is_allowed() {
+        let sim = DenseMatrix::from_rows(&[&[1.0, 0.0], &[1.0, 0.0]]);
+        assert_eq!(nearest_neighbor(&sim), vec![0, 0]);
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests of the assignment solvers: optimality against brute
+//! force, validity of matchings, k-d tree vs linear scan.
+
+use graphalign_assignment::kdtree::KdTree;
+use graphalign_assignment::{assign, assignment_value, AssignmentMethod};
+use graphalign_linalg::DenseMatrix;
+use proptest::prelude::*;
+
+fn similarity(n: usize, m: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-2.0f64..2.0, n * m)
+        .prop_map(move |data| DenseMatrix::from_vec(n, m, data))
+}
+
+/// Exhaustive optimal value by permutation enumeration (tiny n only).
+fn brute_force(sim: &DenseMatrix) -> f64 {
+    fn rec(sim: &DenseMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == sim.rows() {
+            return 0.0;
+        }
+        let mut best = f64::NEG_INFINITY;
+        for j in 0..sim.cols() {
+            if used[j] {
+                continue;
+            }
+            used[j] = true;
+            best = best.max(sim.get(row, j) + rec(sim, row + 1, used));
+            used[j] = false;
+        }
+        best
+    }
+    rec(sim, 0, &mut vec![false; sim.cols()])
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// JV and Hungarian are exactly optimal on square problems.
+    #[test]
+    fn optimal_solvers_match_brute_force(sim in (2usize..6).prop_flat_map(|n| similarity(n, n))) {
+        let best = brute_force(&sim);
+        for method in [AssignmentMethod::JonkerVolgenant, AssignmentMethod::Hungarian] {
+            let got = assignment_value(&sim, &assign(&sim, method));
+            prop_assert!((got - best).abs() < 1e-9, "{method:?}: {got} vs {best}");
+        }
+    }
+
+    /// Hungarian is optimal on rectangular problems too.
+    #[test]
+    fn hungarian_optimal_rectangular(
+        sim in (2usize..5, 0usize..3).prop_flat_map(|(n, extra)| similarity(n, n + extra)),
+    ) {
+        let best = brute_force(&sim);
+        let got = assignment_value(&sim, &assign(&sim, AssignmentMethod::Hungarian));
+        prop_assert!((got - best).abs() < 1e-9);
+    }
+
+    /// Every one-to-one method returns distinct columns; NN returns valid
+    /// columns.
+    #[test]
+    fn matchings_are_valid(sim in (1usize..8).prop_flat_map(|n| similarity(n, n))) {
+        for method in AssignmentMethod::ALL {
+            let a = assign(&sim, method);
+            prop_assert_eq!(a.len(), sim.rows());
+            for &j in &a {
+                prop_assert!(j < sim.cols());
+            }
+            if method != AssignmentMethod::NearestNeighbor {
+                let mut seen = vec![false; sim.cols()];
+                for &j in &a {
+                    prop_assert!(!seen[j], "{method:?} duplicated a column");
+                    seen[j] = true;
+                }
+            }
+        }
+    }
+
+    /// Heuristics never beat the optimum, and the auction stays within its
+    /// ε-scaling guarantee of it.
+    #[test]
+    fn heuristics_bounded_by_optimum(sim in (2usize..6).prop_flat_map(|n| similarity(n, n))) {
+        let best = brute_force(&sim);
+        let greedy = assignment_value(&sim, &assign(&sim, AssignmentMethod::SortGreedy));
+        prop_assert!(greedy <= best + 1e-9);
+        let auction = assignment_value(&sim, &assign(&sim, AssignmentMethod::Auction));
+        prop_assert!(auction <= best + 1e-9);
+        prop_assert!(auction >= best - 0.05 * sim.rows() as f64, "auction too far from optimum");
+    }
+
+    /// Shifting every similarity by a constant changes no optimal matching
+    /// (LAP is translation-invariant); values shift by n·c.
+    #[test]
+    fn lap_translation_invariance(
+        sim in (2usize..6).prop_flat_map(|n| similarity(n, n)),
+        c in -3.0f64..3.0,
+    ) {
+        let base = assign(&sim, AssignmentMethod::JonkerVolgenant);
+        let mut shifted = sim.clone();
+        shifted.map_inplace(|v| v + c);
+        let shifted_assignment = assign(&shifted, AssignmentMethod::JonkerVolgenant);
+        let v1 = assignment_value(&sim, &base);
+        let v2 = assignment_value(&sim, &shifted_assignment);
+        prop_assert!((v1 - v2).abs() < 1e-9, "shift changed the optimum: {v1} vs {v2}");
+    }
+
+    /// The k-d tree finds the same nearest neighbor as a linear scan.
+    #[test]
+    fn kdtree_matches_linear_scan(
+        dim in 1usize..5,
+        points in proptest::collection::vec(-1.0f64..1.0, 8..120),
+        query in proptest::collection::vec(-1.0f64..1.0, 5),
+    ) {
+        let n = points.len() / dim;
+        prop_assume!(n >= 2);
+        let data = &points[..n * dim];
+        let q = &query[..dim];
+        let tree = KdTree::build(data, dim);
+        let (ti, td) = tree.nearest(q).unwrap();
+        let (li, ld) = (0..n)
+            .map(|i| {
+                let p = &data[i * dim..(i + 1) * dim];
+                let d: f64 = p.iter().zip(q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (i, d)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+            .unwrap();
+        prop_assert!((td - ld).abs() < 1e-12, "tree {ti}@{td} vs linear {li}@{ld}");
+    }
+
+    /// k-NN returns k results in non-decreasing distance order, matching the
+    /// sorted linear scan's distances.
+    #[test]
+    fn kdtree_knn_sorted_and_exact(
+        points in proptest::collection::vec(-1.0f64..1.0, 30..90),
+        k in 1usize..6,
+    ) {
+        let dim = 3;
+        let n = points.len() / dim;
+        let data = &points[..n * dim];
+        let tree = KdTree::build(data, dim);
+        let q = [0.0, 0.0, 0.0];
+        let got = tree.k_nearest(&q, k.min(n));
+        prop_assert_eq!(got.len(), k.min(n));
+        for w in got.windows(2) {
+            prop_assert!(w[0].1 <= w[1].1 + 1e-15);
+        }
+        let mut all: Vec<f64> = (0..n)
+            .map(|i| data[i * dim..(i + 1) * dim].iter().map(|v| v * v).sum())
+            .collect();
+        all.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (j, (_, d)) in got.iter().enumerate() {
+            prop_assert!((d - all[j]).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! Criterion ablations of the design choices DESIGN.md §5 calls out:
+//!
+//! * IsoRank's §6.1 degree prior vs a uniform prior (quality claim is in
+//!   the fig binaries; here we show the prior costs nothing);
+//! * GRASP's eigenpair count k;
+//! * CONE's embedding dimension;
+//! * LREA's retained rank.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphalign::cone::Cone;
+use graphalign::graal::Graal;
+use graphalign::grasp::Grasp;
+use graphalign::isorank::IsoRank;
+use graphalign::lrea::Lrea;
+use graphalign::Aligner;
+use graphalign_gen as gen;
+use graphalign_graph::permutation::AlignmentInstance;
+use std::hint::black_box;
+
+fn instance() -> AlignmentInstance {
+    AlignmentInstance::permuted(gen::powerlaw_cluster(200, 5, 0.5, 5), 7)
+}
+
+fn bench_graal_dictionary(c: &mut Criterion) {
+    // 15-orbit (≤4-node) vs 73-orbit (≤5-node) graphlet preprocessing —
+    // the cost that earns GRAAL its O(n^5) reputation.
+    let mut group = c.benchmark_group("ablation_graal_dictionary");
+    group.sample_size(10);
+    let inst = AlignmentInstance::permuted(gen::powerlaw_cluster(120, 4, 0.5, 5), 7);
+    for (label, graal) in
+        [("orbits15", Graal::default()), ("orbits73", Graal::with_full_dictionary())]
+    {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(graal.costs(&inst.source, &inst.target)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_isorank_prior(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_isorank_prior");
+    group.sample_size(10);
+    let inst = instance();
+    for (label, aligner) in [
+        ("degree_prior", IsoRank::default()),
+        ("uniform_prior", IsoRank::without_degree_prior()),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(aligner.similarity(&inst.source, &inst.target).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grasp_base_alignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grasp_base_alignment");
+    group.sample_size(10);
+    let inst = instance();
+    for (label, grasp) in [
+        ("with_base_align", Grasp { q: 50, ..Grasp::default() }),
+        (
+            "raw_eigenvectors",
+            Grasp { q: 50, skip_base_alignment: true, ..Grasp::default() },
+        ),
+    ] {
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(grasp.similarity(&inst.source, &inst.target).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_grasp_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_grasp_k");
+    group.sample_size(10);
+    let inst = instance();
+    for &k in &[10usize, 20, 40] {
+        let grasp = Grasp { k, q: 50, ..Grasp::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
+            b.iter(|| black_box(grasp.similarity(&inst.source, &inst.target).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_cone_dim(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_cone_dim");
+    group.sample_size(10);
+    let inst = instance();
+    for &dim in &[16usize, 64] {
+        let cone = Cone { dim, outer_iters: 10, ..Cone::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, _| {
+            b.iter(|| black_box(cone.similarity(&inst.source, &inst.target).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lrea_rank(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation_lrea_rank");
+    group.sample_size(10);
+    let inst = instance();
+    for &rank in &[4usize, 16, 32] {
+        let lrea = Lrea { max_rank: rank, ..Lrea::default() };
+        group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
+            b.iter(|| {
+                black_box(lrea.factors(&inst.source, &inst.target).unwrap())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    ablations,
+    bench_graal_dictionary,
+    bench_isorank_prior,
+    bench_grasp_base_alignment,
+    bench_grasp_k,
+    bench_cone_dim,
+    bench_lrea_rank
+);
+criterion_main!(ablations);

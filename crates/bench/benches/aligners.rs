@@ -1,0 +1,26 @@
+//! Criterion benchmarks of the nine alignment algorithms on a common small
+//! instance — the kernel behind Figures 11–12's runtime ordering (NSD,
+//! LREA, REGAL fastest; GWL, IsoRank slowest).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use graphalign_bench::suite::Algo;
+use graphalign_gen as gen;
+use graphalign_graph::permutation::AlignmentInstance;
+use std::hint::black_box;
+
+fn bench_similarity_phase(c: &mut Criterion) {
+    let mut group = c.benchmark_group("aligner_similarity_n200");
+    group.sample_size(10);
+    let base = gen::configuration_model(&gen::degrees::normal(200, 10.0, 2.5, 1), 2);
+    let inst = AlignmentInstance::permuted(base, 3);
+    for algo in Algo::ALL {
+        let aligner = algo.make(true);
+        group.bench_function(algo.name(), |b| {
+            b.iter(|| black_box(aligner.similarity(&inst.source, &inst.target).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(aligners, bench_similarity_phase);
+criterion_main!(aligners);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the assignment solvers — the §6.2 runtime story:
+//! NN and SortGreedy are near-free, JV/Hungarian pay O(n³) for optimality,
+//! and the auction MWM sits between, with sparse inputs widening its lead.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphalign_assignment::{assign, AssignmentMethod};
+use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+use std::hint::black_box;
+
+fn random_similarity(n: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1.0))
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("assignment_methods");
+    group.sample_size(10);
+    for &n in &[128usize, 384] {
+        let sim = random_similarity(n, 7);
+        for method in [
+            AssignmentMethod::NearestNeighbor,
+            AssignmentMethod::SortGreedy,
+            AssignmentMethod::Hungarian,
+            AssignmentMethod::JonkerVolgenant,
+            AssignmentMethod::Auction,
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(method.label(), n),
+                &n,
+                |b, _| b.iter(|| black_box(assign(black_box(&sim), method))),
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_sparse_auction(c: &mut Criterion) {
+    // The paper recommends lightweight extraction on large graphs because
+    // "the density of the similarity matrix affects JV's runtime": sparse
+    // MWM over a thin candidate list vs dense JV.
+    let mut group = c.benchmark_group("sparse_vs_dense_extraction");
+    group.sample_size(10);
+    let n = 384;
+    let mut rng = StdRng::seed_from_u64(11);
+    let dense = random_similarity(n, 13);
+    let mut triplets = Vec::new();
+    for i in 0..n {
+        for _ in 0..8 {
+            triplets.push((i, rng.random_range(0..n), rng.random_range(0.0..1.0)));
+        }
+    }
+    let sparse = CsrMatrix::from_triplets(n, n, &triplets);
+    group.bench_function("jv_dense", |b| {
+        b.iter(|| black_box(assign(&dense, AssignmentMethod::JonkerVolgenant)));
+    });
+    group.bench_function("auction_sparse_8_per_row", |b| {
+        b.iter(|| black_box(graphalign_assignment::auction::auction_max(&sparse)));
+    });
+    group.finish();
+}
+
+criterion_group!(assignment, bench_methods, bench_sparse_auction);
+criterion_main!(assignment);

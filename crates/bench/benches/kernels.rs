@@ -1,0 +1,106 @@
+//! Criterion micro-benchmarks of the numerical kernels every aligner rests
+//! on: SpMV, dense matmul, symmetric eigendecomposition, Lanczos, thin SVD
+//! and Sinkhorn. These bound the per-iteration cost terms behind the
+//! paper's Table 1 complexity column.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use graphalign_gen as gen;
+use graphalign_graph::spectral;
+use graphalign_linalg::eigen::symmetric_eigen;
+use graphalign_linalg::lanczos::{lanczos, Which};
+use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
+use graphalign_linalg::svd::thin_svd;
+use graphalign_linalg::DenseMatrix;
+use std::hint::black_box;
+
+fn bench_spmv(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spmv");
+    for &n in &[512usize, 2048] {
+        let g = gen::configuration_model(&gen::degrees::uniform(n, 10), 1);
+        let a = g.adjacency();
+        let x = vec![1.0; n];
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(a.mul_vec(black_box(&x))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_dense_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dense_matmul");
+    group.sample_size(10);
+    for &n in &[128usize, 256] {
+        let a = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j) as f64).sin());
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(a.matmul(black_box(&a))));
+        });
+    }
+    group.finish();
+}
+
+fn bench_symmetric_eigen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("symmetric_eigen");
+    group.sample_size(10);
+    for &n in &[32usize, 96] {
+        let m = DenseMatrix::from_fn(n, n, |i, j| {
+            let v = ((i * 7 + j * 3) as f64).cos();
+            if i <= j { v } else { ((j * 7 + i * 3) as f64).cos() }
+        });
+        // Symmetrize exactly.
+        let m = m.add(&m.transpose()).scaled(0.5);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(symmetric_eigen(black_box(&m)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_lanczos_bottom_k(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lanczos_bottom20");
+    group.sample_size(10);
+    for &n in &[512usize, 2048] {
+        let g = gen::configuration_model(&gen::degrees::uniform(n, 10), 3);
+        let l = spectral::normalized_laplacian(&g);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(lanczos(&l, 20, Which::Smallest, 100, 5).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_thin_svd(c: &mut Criterion) {
+    let mut group = c.benchmark_group("thin_svd");
+    group.sample_size(10);
+    for &(m, n) in &[(256usize, 32usize), (1024, 64)] {
+        let a = DenseMatrix::from_fn(m, n, |i, j| ((i * 13 + j * 5) as f64).sin());
+        group.bench_with_input(BenchmarkId::new("shape", format!("{m}x{n}")), &m, |b, _| {
+            b.iter(|| black_box(thin_svd(black_box(&a)).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+fn bench_sinkhorn(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sinkhorn");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        let cost = DenseMatrix::from_fn(n, n, |i, j| ((i + j) % 17) as f64 / 17.0);
+        let mu = uniform_marginal(n);
+        let params = SinkhornParams { epsilon: 0.05, max_iter: 100, tol: 1e-6 };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(sinkhorn(&cost, &mu, &mu, &params).unwrap()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    kernels,
+    bench_spmv,
+    bench_dense_matmul,
+    bench_symmetric_eigen,
+    bench_lanczos_bottom_k,
+    bench_thin_svd,
+    bench_sinkhorn
+);
+criterion_main!(kernels);

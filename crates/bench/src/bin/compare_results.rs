@@ -1,0 +1,90 @@
+//! Compares two JSON result files produced by the figure binaries
+//! (`--out`), reporting per-cell accuracy deltas — the regression check a
+//! CI pipeline runs against a stored baseline.
+//!
+//! ```sh
+//! compare_results baseline/fig2_er.json results/fig2_er.json [--tol 0.05]
+//! ```
+//!
+//! Exit code 0 when every shared cell moved less than the tolerance,
+//! 1 otherwise.
+
+use std::collections::BTreeMap;
+
+fn cell_key(v: &serde_json::Value) -> Option<String> {
+    // Works for the sweep-row and scalability-row schemas alike: join all
+    // identifying string/low-cardinality fields.
+    let mut parts = Vec::new();
+    for field in ["workload", "dataset", "variant", "noise", "algorithm", "assignment", "sweep"] {
+        if let Some(s) = v.get(field).and_then(|x| x.as_str()) {
+            parts.push(format!("{field}={s}"));
+        }
+    }
+    for field in ["level", "n", "k", "p", "avg_degree"] {
+        if let Some(x) = v.get(field) {
+            if x.is_number() {
+                parts.push(format!("{field}={x}"));
+            }
+        }
+    }
+    if parts.is_empty() {
+        None
+    } else {
+        Some(parts.join(","))
+    }
+}
+
+fn load(path: &str) -> BTreeMap<String, f64> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    let rows: Vec<serde_json::Value> =
+        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: bad JSON: {e}"));
+    let mut out = BTreeMap::new();
+    for row in rows {
+        if let (Some(key), Some(acc)) =
+            (cell_key(&row), row.get("accuracy").and_then(|x| x.as_f64()))
+        {
+            out.insert(key, acc);
+        }
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 2 {
+        eprintln!("usage: compare_results <baseline.json> <candidate.json> [--tol <f64>]");
+        std::process::exit(2);
+    }
+    let mut tol = 0.05;
+    if let Some(pos) = args.iter().position(|a| a == "--tol") {
+        tol = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--tol needs a number");
+                std::process::exit(2);
+            });
+    }
+    let baseline = load(&args[0]);
+    let candidate = load(&args[1]);
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for (key, base_acc) in &baseline {
+        let Some(cand_acc) = candidate.get(key) else {
+            println!("MISSING  {key} (baseline {base_acc:.3})");
+            continue;
+        };
+        compared += 1;
+        let delta = cand_acc - base_acc;
+        if delta.abs() > tol {
+            regressions += 1;
+            println!(
+                "{}  {key}: {base_acc:.3} -> {cand_acc:.3} ({delta:+.3})",
+                if delta < 0.0 { "WORSE " } else { "BETTER" }
+            );
+        }
+    }
+    println!("compared {compared} cells, {regressions} moved more than {tol}");
+    std::process::exit(if regressions > 0 { 1 } else { 0 });
+}

@@ -1,0 +1,71 @@
+//! Regenerates **Figure 11**: similarity-phase runtime vs node count on
+//! configuration-model graphs with normal degree distribution and average
+//! degree 10 (paper §6.6; n = 2¹⁰ … 2¹⁶, assignment time excluded, 5 runs,
+//! GRAAL excluded for its quintic preprocessing).
+
+use graphalign_bench::figures::banner;
+use graphalign_bench::harness::run_instance_split;
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::{secs, Table};
+use graphalign_bench::Config;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_graph::permutation::AlignmentInstance;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: String,
+    n: usize,
+    seconds: f64,
+    skipped: bool,
+}
+
+pub(crate) fn node_grid(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 8, 1 << 9, 1 << 10]
+    } else {
+        (10..=16).map(|e| 1 << e).collect()
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    banner("Figure 11 (runtime vs node count)", &cfg, "configuration model, avg degree 10");
+    let reps = cfg.reps(5);
+    let mut t = Table::new(&["algorithm", "n", "time(similarity)"]);
+    let mut rows = Vec::new();
+    for n in node_grid(cfg.quick) {
+        let seq = graphalign_gen::degrees::normal(n, 10.0, 2.5, cfg.seed);
+        let base = graphalign_gen::configuration_model(&seq, cfg.seed ^ n as u64);
+        for algo in Algo::ALL {
+            if algo == Algo::Graal {
+                continue; // excluded by the paper (O(n^5) preprocessing)
+            }
+            if !algo.feasible(n, base.avg_degree(), cfg.quick) {
+                t.row(&[algo.name().into(), n.to_string(), "skip (>budget)".into()]);
+                rows.push(Row { algorithm: algo.name().into(), n, seconds: 0.0, skipped: true });
+                continue;
+            }
+            let mut total = 0.0;
+            let mut ok = true;
+            for r in 0..reps {
+                let inst = AlignmentInstance::permuted(base.clone(), cfg.seed + r as u64);
+                match run_instance_split(algo, true, &inst, AssignmentMethod::NearestNeighbor) {
+                    Ok((_, s)) => total += s,
+                    Err(e) => {
+                        eprintln!("warning: {} at n={n}: {e}", algo.name());
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let avg = total / reps as f64;
+                t.row(&[algo.name().into(), n.to_string(), secs(avg)]);
+                rows.push(Row { algorithm: algo.name().into(), n, seconds: avg, skipped: false });
+            }
+        }
+    }
+    t.print();
+    cfg.write_json(&rows);
+}

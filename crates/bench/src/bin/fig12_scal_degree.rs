@@ -1,0 +1,88 @@
+//! Regenerates **Figure 12**: similarity-phase runtime vs average degree on
+//! configuration-model graphs with 2¹⁴ nodes and uniform degree
+//! distribution, Δ ∈ {10, 10², 10³, 10⁴} (paper §6.6).
+
+use graphalign_bench::figures::banner;
+use graphalign_bench::harness::run_instance_split;
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::{secs, Table};
+use graphalign_bench::Config;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_graph::permutation::AlignmentInstance;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: String,
+    n: usize,
+    avg_degree: usize,
+    seconds: f64,
+    skipped: bool,
+}
+
+fn grids(quick: bool) -> (usize, Vec<usize>) {
+    if quick {
+        (1 << 9, vec![10, 50, 100])
+    } else {
+        (1 << 14, vec![10, 100, 1000, 10_000])
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let (n, degrees) = grids(cfg.quick);
+    banner(
+        "Figure 12 (runtime vs average degree)",
+        &cfg,
+        &format!("configuration model, n = {n}"),
+    );
+    let reps = cfg.reps(5);
+    let mut t = Table::new(&["algorithm", "avg_degree", "time(similarity)"]);
+    let mut rows = Vec::new();
+    for &deg in &degrees {
+        let seq = graphalign_gen::degrees::uniform(n, deg);
+        let base = graphalign_gen::configuration_model(&seq, cfg.seed ^ deg as u64);
+        for algo in Algo::ALL {
+            if algo == Algo::Graal {
+                continue;
+            }
+            if !algo.feasible(n, base.avg_degree(), cfg.quick) {
+                t.row(&[algo.name().into(), deg.to_string(), "skip (>budget)".into()]);
+                rows.push(Row {
+                    algorithm: algo.name().into(),
+                    n,
+                    avg_degree: deg,
+                    seconds: 0.0,
+                    skipped: true,
+                });
+                continue;
+            }
+            let mut total = 0.0;
+            let mut ok = true;
+            for r in 0..reps {
+                let inst = AlignmentInstance::permuted(base.clone(), cfg.seed + r as u64);
+                match run_instance_split(algo, true, &inst, AssignmentMethod::NearestNeighbor) {
+                    Ok((_, s)) => total += s,
+                    Err(e) => {
+                        eprintln!("warning: {} at deg={deg}: {e}", algo.name());
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if ok {
+                let avg = total / reps as f64;
+                t.row(&[algo.name().into(), deg.to_string(), secs(avg)]);
+                rows.push(Row {
+                    algorithm: algo.name().into(),
+                    n,
+                    avg_degree: deg,
+                    seconds: avg,
+                    skipped: false,
+                });
+            }
+        }
+    }
+    t.print();
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,59 @@
+//! Regenerates **Figure 13**: memory vs node count on configuration-model
+//! graphs with average degree 10 (paper §6.6). Reports the analytic
+//! model-level byte footprint per algorithm (dominant matrices/embeddings)
+//! plus the process peak RSS; DESIGN.md §3.8 documents the substitution for
+//! whole-process RSS measurement.
+
+use graphalign_bench::figures::banner;
+use graphalign_bench::memprobe::{fmt_bytes, model_bytes, peak_rss_bytes};
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::Table;
+use graphalign_bench::Config;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: String,
+    n: usize,
+    m: usize,
+    model_bytes: usize,
+    fits_256gb: bool,
+}
+
+fn node_grid(quick: bool) -> Vec<usize> {
+    if quick {
+        vec![1 << 8, 1 << 10, 1 << 12]
+    } else {
+        (10..=16).map(|e| 1 << e).collect()
+    }
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    banner("Figure 13 (memory vs node count)", &cfg, "configuration model, avg degree 10");
+    let budget: usize = 256 * 1024 * 1024 * 1024;
+    let mut t = Table::new(&["algorithm", "n", "model bytes", "fits 256GB"]);
+    let mut rows = Vec::new();
+    for n in node_grid(cfg.quick) {
+        let m = 5 * n; // avg degree 10
+        for algo in Algo::ALL {
+            if algo == Algo::Graal {
+                continue;
+            }
+            let bytes = model_bytes(algo, n, m);
+            let fits = bytes <= budget;
+            t.row(&[
+                algo.name().into(),
+                n.to_string(),
+                fmt_bytes(bytes),
+                if fits { "yes".into() } else { "NO".into() },
+            ]);
+            rows.push(Row { algorithm: algo.name().into(), n, m, model_bytes: bytes, fits_256gb: fits });
+        }
+    }
+    t.print();
+    if let Some(rss) = peak_rss_bytes() {
+        println!("process peak RSS while tabulating: {}", fmt_bytes(rss));
+    }
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,116 @@
+//! Regenerates **Figure 15**: accuracy under 1 % one-way noise on
+//! Newman–Watts graphs with 2000 nodes, sweeping (a) the rewiring
+//! probability `p` at fixed `k` and (b) the neighbor count `k` at fixed
+//! `p = 0.5` — the paper's density study (§6.7).
+
+use graphalign_bench::figures::banner;
+use graphalign_bench::harness::run_cell;
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::{pct, Table};
+use graphalign_bench::Config;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_noise::{NoiseConfig, NoiseModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    sweep: String,
+    p: f64,
+    k: usize,
+    algorithm: String,
+    accuracy: f64,
+    skipped: bool,
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    let n = if cfg.quick { 300 } else { 2000 };
+    banner("Figure 15 (density)", &cfg, &format!("Newman-Watts, n = {n}, 1% one-way noise"));
+    let noise = NoiseConfig::new(NoiseModel::OneWay, 0.01);
+    let reps = cfg.reps(5);
+    let mut t = Table::new(&["sweep", "p", "k", "algorithm", "accuracy"]);
+    let mut rows = Vec::new();
+    // (a) Sweep the rewiring probability at fixed k.
+    let ps: Vec<f64> = if cfg.quick { vec![0.2, 0.5, 0.8] } else { vec![0.2, 0.35, 0.5, 0.65, 0.8] };
+    let k_fixed = 14;
+    for &p in &ps {
+        let base = graphalign_gen::newman_watts(n, k_fixed, p, cfg.seed ^ (p * 100.0) as u64);
+        for algo in Algo::ALL {
+            let cell = run_cell(
+                algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, reps, cfg.seed,
+                cfg.quick,
+            );
+            t.row(&[
+                "vary p".into(),
+                format!("{p:.2}"),
+                k_fixed.to_string(),
+                cell.algorithm.clone(),
+                if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+            ]);
+            rows.push(Row {
+                sweep: "vary_p".into(),
+                p,
+                k: k_fixed,
+                algorithm: cell.algorithm,
+                accuracy: cell.accuracy,
+                skipped: cell.skipped,
+            });
+        }
+    }
+    // (b) Sweep the neighbor count at fixed p = 0.5.
+    let ks: Vec<usize> =
+        if cfg.quick { vec![10, 50, 100] } else { vec![10, 50, 100, 200, 400, 600] };
+    for &k in &ks {
+        if k >= n {
+            continue;
+        }
+        let base = graphalign_gen::newman_watts(n, k, 0.5, cfg.seed ^ k as u64);
+        for algo in Algo::ALL {
+            let cell = run_cell(
+                algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, reps, cfg.seed,
+                cfg.quick,
+            );
+            t.row(&[
+                "vary k".into(),
+                "0.50".into(),
+                k.to_string(),
+                cell.algorithm.clone(),
+                if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+            ]);
+            rows.push(Row {
+                sweep: "vary_k".into(),
+                p: 0.5,
+                k,
+                algorithm: cell.algorithm,
+                accuracy: cell.accuracy,
+                skipped: cell.skipped,
+            });
+        }
+    }
+    t.print();
+    for (sweep, x_of) in [
+        ("vary_p", Box::new(|r: &Row| r.p) as Box<dyn Fn(&Row) -> f64>),
+        ("vary_k", Box::new(|r: &Row| r.k as f64)),
+    ] {
+        let chart_rows: Vec<(String, f64, f64)> = rows
+            .iter()
+            .filter(|r| r.sweep == sweep && !r.skipped)
+            .map(|r| (r.algorithm.clone(), x_of(r), r.accuracy))
+            .collect();
+        if chart_rows.is_empty() {
+            continue;
+        }
+        let series = graphalign_bench::plot::series_from_rows(&chart_rows);
+        println!();
+        print!(
+            "{}",
+            graphalign_bench::plot::line_chart(
+                &format!("accuracy — {sweep} (1% one-way noise)"),
+                &series,
+                60,
+                12,
+            )
+        );
+    }
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,88 @@
+//! Regenerates **Figure 16**: accuracy under 1 % one-way noise on
+//! Newman–Watts graphs of increasing size — (a) constant average degree
+//! `k = 10` (density decreases with n) and (b) constant density
+//! `k = n/10` (paper §6.7: "as the graph becomes progressively sparser,
+//! alignment quality drops, except with IsoRank").
+
+use graphalign_bench::figures::banner;
+use graphalign_bench::harness::run_cell;
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::{pct, Table};
+use graphalign_bench::Config;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_noise::{NoiseConfig, NoiseModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    sweep: String,
+    n: usize,
+    k: usize,
+    algorithm: String,
+    accuracy: f64,
+    skipped: bool,
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    banner("Figure 16 (size)", &cfg, "Newman-Watts, p = 0.5, 1% one-way noise");
+    let noise = NoiseConfig::new(NoiseModel::OneWay, 0.01);
+    let reps = cfg.reps(5);
+    let sizes: Vec<usize> =
+        if cfg.quick { vec![100, 200, 400] } else { vec![500, 1000, 2000, 4000] };
+    let mut t = Table::new(&["sweep", "n", "k", "algorithm", "accuracy"]);
+    let mut rows = Vec::new();
+    for (sweep, k_of_n) in [
+        ("fixed degree (k=10)", Box::new(|_n: usize| 10usize) as Box<dyn Fn(usize) -> usize>),
+        ("fixed density (k=n/10)", Box::new(|n: usize| (n / 10).max(2))),
+    ] {
+        for &n in &sizes {
+            let k = k_of_n(n).min(n - 1);
+            let base = graphalign_gen::newman_watts(n, k, 0.5, cfg.seed ^ (n * 31 + k) as u64);
+            for algo in Algo::ALL {
+                let cell = run_cell(
+                    algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, reps,
+                    cfg.seed, cfg.quick,
+                );
+                t.row(&[
+                    sweep.into(),
+                    n.to_string(),
+                    k.to_string(),
+                    cell.algorithm.clone(),
+                    if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+                ]);
+                rows.push(Row {
+                    sweep: sweep.into(),
+                    n,
+                    k,
+                    algorithm: cell.algorithm,
+                    accuracy: cell.accuracy,
+                    skipped: cell.skipped,
+                });
+            }
+        }
+    }
+    t.print();
+    for sweep in ["fixed degree (k=10)", "fixed density (k=n/10)"] {
+        let chart_rows: Vec<(String, f64, f64)> = rows
+            .iter()
+            .filter(|r| r.sweep == sweep && !r.skipped)
+            .map(|r| (r.algorithm.clone(), r.n as f64, r.accuracy))
+            .collect();
+        if chart_rows.is_empty() {
+            continue;
+        }
+        let series = graphalign_bench::plot::series_from_rows(&chart_rows);
+        println!();
+        print!(
+            "{}",
+            graphalign_bench::plot::line_chart(
+                &format!("accuracy vs n — {sweep}"),
+                &series,
+                60,
+                12,
+            )
+        );
+    }
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,84 @@
+//! Regenerates **Figure 1**: accuracy of every algorithm under the four
+//! assignment methods (NN, SG, JV, MWM) on the Arenas dataset and a
+//! power-law synthetic graph, with one-way noise in {0, 0.01, …, 0.05}
+//! applied while keeping the graph connected (paper §6.2).
+
+use graphalign_bench::figures::{banner, low_noise_levels};
+use graphalign_bench::harness::run_cell;
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::{pct, secs, Table};
+use graphalign_bench::Config;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_noise::{NoiseConfig, NoiseModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    workload: String,
+    algorithm: String,
+    assignment: String,
+    level: f64,
+    accuracy: f64,
+    seconds: f64,
+    skipped: bool,
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    banner("Figure 1 (assignment methods)", &cfg, "Arenas + power-law graph");
+    let workloads: Vec<(String, graphalign_graph::Graph)> = if cfg.quick {
+        vec![
+            ("Arenas~(n=300)".into(), graphalign_gen::powerlaw_cluster(300, 5, 0.5, cfg.seed)),
+            ("PL(n=300)".into(), graphalign_gen::figure1_powerlaw(300, cfg.seed ^ 1)),
+        ]
+    } else {
+        vec![
+            ("Arenas".into(), graphalign_datasets::load(graphalign_datasets::DatasetId::Arenas)),
+            ("PL(n=1133)".into(), graphalign_gen::figure1_powerlaw(1133, cfg.seed ^ 1)),
+        ]
+    };
+    let methods = [
+        AssignmentMethod::NearestNeighbor,
+        AssignmentMethod::SortGreedy,
+        AssignmentMethod::JonkerVolgenant,
+        AssignmentMethod::Auction,
+    ];
+    let levels = low_noise_levels(cfg.quick);
+    let reps = cfg.reps(10);
+    let mut t = Table::new(&["workload", "algorithm", "assign", "level", "accuracy", "time"]);
+    let mut rows = Vec::new();
+    for (label, graph) in &workloads {
+        for algo in Algo::ALL {
+            for method in methods {
+                for &level in &levels {
+                    let noise = NoiseConfig {
+                        model: NoiseModel::OneWay,
+                        level,
+                        keep_connected: true,
+                    };
+                    let cell =
+                        run_cell(algo, graph, true, &noise, method, reps, cfg.seed, cfg.quick);
+                    t.row(&[
+                        label.clone(),
+                        cell.algorithm.clone(),
+                        cell.assignment.clone(),
+                        format!("{level:.2}"),
+                        if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+                        if cell.skipped { "skip".into() } else { secs(cell.seconds) },
+                    ]);
+                    rows.push(Row {
+                        workload: label.clone(),
+                        algorithm: cell.algorithm,
+                        assignment: cell.assignment,
+                        level,
+                        accuracy: cell.accuracy,
+                        seconds: cell.seconds,
+                        skipped: cell.skipped,
+                    });
+                }
+            }
+        }
+    }
+    t.print();
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,24 @@
+//! Regenerates **Figure 4**: Accuracy, S³ and MNC on WS random
+//! graphs under One-Way, Multi-Modal and Two-Way noise up to 5 %
+//! (paper §6.3; n = 1133, 10 repetitions at full scale).
+
+use graphalign_bench::figures::{banner, low_noise_levels, model_graph, print_sweep, quality_sweep};
+use graphalign_bench::Config;
+use graphalign_noise::NoiseModel;
+
+fn main() {
+    let cfg = Config::from_args();
+    let (label, graph, dense) = model_graph("WS", &cfg);
+    banner("Figure 4 (WS synthetic graphs)", &cfg, &label);
+    let rows = quality_sweep(
+        &cfg,
+        &label,
+        &graph,
+        dense,
+        &NoiseModel::ALL,
+        &low_noise_levels(cfg.quick),
+        10,
+    );
+    print_sweep("Accuracy / S3 / MNC vs noise", &rows);
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,75 @@
+//! Regenerates **Figure 9**: the time-vs-accuracy scatter on the NetScience
+//! dataset, with one-way noise in {0, 0.05, …, 0.25} (paper §6.4.2,
+//! "CONE and S-GWL stand out on resolving the time-accuracy tradeoff").
+
+use graphalign_bench::figures::{banner, high_noise_levels};
+use graphalign_bench::harness::run_cell;
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::{pct, secs, Table};
+use graphalign_bench::Config;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_datasets::{load, DatasetId};
+use graphalign_noise::{NoiseConfig, NoiseModel};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    algorithm: String,
+    level: f64,
+    accuracy: f64,
+    seconds: f64,
+    skipped: bool,
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    banner("Figure 9 (time vs accuracy, NetScience)", &cfg, "");
+    let graph = load(DatasetId::CaNetscience);
+    let levels = high_noise_levels(cfg.quick);
+    let reps = cfg.reps(5);
+    let mut t = Table::new(&["algorithm", "level", "accuracy", "time"]);
+    let mut rows = Vec::new();
+    for algo in Algo::ALL {
+        for &level in &levels {
+            let noise = NoiseConfig::new(NoiseModel::OneWay, level);
+            let cell = run_cell(
+                algo,
+                &graph,
+                false, // NetScience is sparse: S-GWL beta = 0.025
+                &noise,
+                AssignmentMethod::JonkerVolgenant,
+                reps,
+                cfg.seed,
+                cfg.quick,
+            );
+            t.row(&[
+                cell.algorithm.clone(),
+                format!("{level:.2}"),
+                if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+                if cell.skipped { "skip".into() } else { secs(cell.seconds) },
+            ]);
+            rows.push(Row {
+                algorithm: cell.algorithm,
+                level,
+                accuracy: cell.accuracy,
+                seconds: cell.seconds,
+                skipped: cell.skipped,
+            });
+        }
+    }
+    t.print();
+    // The figure's scatter: time (x) vs accuracy (y), one series per
+    // algorithm; noise level decreases along each series as in the paper.
+    let chart_rows: Vec<(String, f64, f64)> = rows
+        .iter()
+        .filter(|r| !r.skipped)
+        .map(|r| (r.algorithm.clone(), r.seconds, r.accuracy))
+        .collect();
+    let series = graphalign_bench::plot::series_from_rows(&chart_rows);
+    println!();
+    print!(
+        "{}",
+        graphalign_bench::plot::line_chart("accuracy vs time (seconds)", &series, 60, 14)
+    );
+    cfg.write_json(&rows);
+}

@@ -1,0 +1,36 @@
+//! Regenerates **Table 1**: the algorithm inventory with publication year,
+//! native assignment method, time complexity and tuned hyperparameters.
+
+use graphalign_bench::suite::Algo;
+use graphalign_bench::table::Table;
+use graphalign_bench::Config;
+
+fn main() {
+    let cfg = Config::from_args();
+    println!("== Table 1: algorithms considered in the experiments");
+    let mut t = Table::new(&["Algorithm", "Year", "Assign", "Time", "Parameters"]);
+    for algo in Algo::ALL {
+        let native = algo.make(true).native_assignment().label().to_string();
+        t.row(&[
+            algo.name().into(),
+            algo.year().to_string(),
+            native,
+            algo.complexity().into(),
+            algo.hyperparameters(),
+        ]);
+    }
+    t.print();
+    let rows: Vec<serde_json::Value> = Algo::ALL
+        .iter()
+        .map(|a| {
+            serde_json::json!({
+                "algorithm": a.name(),
+                "year": a.year(),
+                "assignment": a.make(true).native_assignment().label(),
+                "complexity": a.complexity(),
+                "parameters": a.hyperparameters(),
+            })
+        })
+        .collect();
+    cfg.write_json(&rows);
+}

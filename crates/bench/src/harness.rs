@@ -1,0 +1,229 @@
+//! The measurement loop: one experiment *cell* = one algorithm on one noisy
+//! instance with one assignment method, timed and scored on all five
+//! quality measures.
+
+use crate::suite::Algo;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_graph::permutation::AlignmentInstance;
+use graphalign_graph::Graph;
+use graphalign_metrics::{evaluate, QualityReport};
+use graphalign_noise::{make_instance, NoiseConfig};
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured experiment cell.
+#[derive(Debug, Clone, Serialize)]
+pub struct CellResult {
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Assignment method label.
+    pub assignment: String,
+    /// Wall-clock seconds of the alignment (per the paper, *excluding* the
+    /// LAP step when `split_assignment` timing is used — see
+    /// [`run_instance_split`]).
+    pub seconds: f64,
+    /// Quality measures averaged over repetitions.
+    pub accuracy: f64,
+    /// Matched neighborhood consistency.
+    pub mnc: f64,
+    /// Symmetric substructure score.
+    pub s3: f64,
+    /// Edge correctness.
+    pub ec: f64,
+    /// Induced conserved structure.
+    pub ics: f64,
+    /// Repetitions actually run.
+    pub reps: usize,
+    /// `true` when the cell was skipped for feasibility (all measures 0).
+    pub skipped: bool,
+    /// Populated when the algorithm returned an error instead of an
+    /// alignment (the cell is then also marked skipped).
+    pub error: Option<String>,
+}
+
+impl CellResult {
+    /// A skipped-cell marker.
+    pub fn skipped(algorithm: &str, assignment: &str) -> Self {
+        Self {
+            algorithm: algorithm.into(),
+            assignment: assignment.into(),
+            seconds: 0.0,
+            accuracy: 0.0,
+            mnc: 0.0,
+            s3: 0.0,
+            ec: 0.0,
+            ics: 0.0,
+            reps: 0,
+            skipped: true,
+            error: None,
+        }
+    }
+
+    /// A failed-cell marker carrying the error message.
+    pub fn failed(algorithm: &str, assignment: &str, error: String) -> Self {
+        Self { error: Some(error), ..Self::skipped(algorithm, assignment) }
+    }
+}
+
+/// Runs one algorithm on one prepared instance, timing similarity +
+/// assignment together.
+pub fn run_instance(
+    algo: Algo,
+    dense_dataset: bool,
+    instance: &AlignmentInstance,
+    method: AssignmentMethod,
+) -> Result<(QualityReport, f64), String> {
+    let aligner = algo.make(dense_dataset);
+    let start = Instant::now();
+    let alignment = aligner
+        .align_with(&instance.source, &instance.target, method)
+        .map_err(|e| format!("{}: {e}", algo.name()))?;
+    let seconds = start.elapsed().as_secs_f64();
+    let report = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+    Ok((report, seconds))
+}
+
+/// Runs one algorithm on one prepared instance, timing only the similarity
+/// phase — the paper's scalability protocol ("we exclude the runtime for
+/// linear assignment", §6.6).
+pub fn run_instance_split(
+    algo: Algo,
+    dense_dataset: bool,
+    instance: &AlignmentInstance,
+    method: AssignmentMethod,
+) -> Result<(QualityReport, f64), String> {
+    let aligner = algo.make(dense_dataset);
+    let start = Instant::now();
+    let sim = aligner
+        .similarity(&instance.source, &instance.target)
+        .map_err(|e| format!("{} similarity: {e}", algo.name()))?;
+    let seconds = start.elapsed().as_secs_f64();
+    let alignment = graphalign_assignment::assign(&sim, method);
+    let report = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+    Ok((report, seconds))
+}
+
+/// Runs a full cell: `reps` noisy instances of `base` under `noise`,
+/// aligned by `algo` with `method`, measures averaged. Returns a skipped
+/// marker when the cell exceeds the algorithm's feasibility caps.
+#[allow(clippy::too_many_arguments)]
+pub fn run_cell(
+    algo: Algo,
+    base: &Graph,
+    dense_dataset: bool,
+    noise: &NoiseConfig,
+    method: AssignmentMethod,
+    reps: usize,
+    seed: u64,
+    quick: bool,
+) -> CellResult {
+    if !algo.feasible(base.node_count(), base.avg_degree(), quick) {
+        return CellResult::skipped(algo.name(), method.label());
+    }
+    let mut acc = 0.0;
+    let mut mnc = 0.0;
+    let mut s3 = 0.0;
+    let mut ec = 0.0;
+    let mut ics = 0.0;
+    let mut secs = 0.0;
+    for r in 0..reps {
+        let instance = make_instance(base, noise, seed.wrapping_add(r as u64));
+        let (report, s) = match run_instance(algo, dense_dataset, &instance, method) {
+            Ok(v) => v,
+            Err(e) => return CellResult::failed(algo.name(), method.label(), e),
+        };
+        acc += report.accuracy;
+        mnc += report.mnc;
+        s3 += report.s3;
+        ec += report.ec;
+        ics += report.ics;
+        secs += s;
+    }
+    let k = reps.max(1) as f64;
+    CellResult {
+        algorithm: algo.name().into(),
+        assignment: method.label().into(),
+        seconds: secs / k,
+        accuracy: acc / k,
+        mnc: mnc / k,
+        s3: s3 / k,
+        ec: ec / k,
+        ics: ics / k,
+        reps,
+        skipped: false,
+        error: None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_noise::NoiseModel;
+
+    fn tiny_graph() -> Graph {
+        // Ring of triangles with a pendant (distinctive, 21 nodes).
+        let rings = 6;
+        let mut edges = Vec::new();
+        for i in 0..rings {
+            let a = 3 * i;
+            edges.push((a, a + 1));
+            edges.push((a + 1, a + 2));
+            edges.push((a, a + 2));
+            edges.push((a + 2, (a + 3) % (3 * rings)));
+        }
+        edges.push((0, 3 * rings));
+        Graph::from_edges(3 * rings + 1, &edges)
+    }
+
+    #[test]
+    fn run_cell_produces_bounded_measures() {
+        let g = tiny_graph();
+        let noise = NoiseConfig::new(NoiseModel::OneWay, 0.0);
+        let cell = run_cell(
+            Algo::IsoRank,
+            &g,
+            true,
+            &noise,
+            AssignmentMethod::JonkerVolgenant,
+            2,
+            1,
+            true,
+        );
+        assert!(!cell.skipped);
+        assert_eq!(cell.reps, 2);
+        for v in [cell.accuracy, cell.mnc, cell.s3, cell.ec, cell.ics] {
+            assert!((0.0..=1.0).contains(&v), "measure {v} out of range");
+        }
+        assert!(cell.seconds > 0.0);
+    }
+
+    #[test]
+    fn infeasible_cells_are_skipped() {
+        // GWL's quick cap is 400 nodes; a fake 10k-node graph must skip.
+        let g = Graph::from_edges(10_000, &[(0, 1)]);
+        let noise = NoiseConfig::new(NoiseModel::OneWay, 0.0);
+        let cell = run_cell(
+            Algo::Gwl,
+            &g,
+            true,
+            &noise,
+            AssignmentMethod::NearestNeighbor,
+            1,
+            1,
+            true,
+        );
+        assert!(cell.skipped);
+        assert_eq!(cell.reps, 0);
+    }
+
+    #[test]
+    fn split_timing_excludes_assignment() {
+        let g = tiny_graph();
+        let inst = graphalign_graph::permutation::AlignmentInstance::permuted(g, 3);
+        let (report, secs) =
+            run_instance_split(Algo::Grasp, true, &inst, AssignmentMethod::JonkerVolgenant)
+                .expect("GRASP runs on a tiny graph");
+        assert!(secs >= 0.0);
+        assert!(report.accuracy >= 0.0);
+    }
+}

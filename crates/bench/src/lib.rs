@@ -1,0 +1,117 @@
+//! Experiment harness reproducing every table and figure of the EDBT 2023
+//! study *"Comprehensive Evaluation of Algorithms for Unrestricted Graph
+//! Alignment"*.
+//!
+//! Each table/figure has a dedicated binary in `src/bin/` (see DESIGN.md §4
+//! for the full index). All binaries accept:
+//!
+//! * `--quick` (default) / `--full` — scaled-down grid sized for a laptop
+//!   container vs the paper-scale grid (28-core/256 GB testbed numbers);
+//! * `--seed <u64>` — base RNG seed;
+//! * `--out <path>` — additionally write the result rows as JSON.
+//!
+//! The library half provides the pieces the binaries share: the algorithm
+//! roster with per-algorithm feasibility caps ([`suite`]), the measurement
+//! loop ([`harness`]), memory accounting ([`memprobe`]), and plain-text
+//! table rendering ([`table`]).
+
+pub mod figures;
+pub mod harness;
+pub mod memprobe;
+pub mod plot;
+pub mod suite;
+pub mod table;
+
+use std::path::PathBuf;
+
+/// Shared command-line configuration of the experiment binaries.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// `false` = paper-scale grid (`--full`), `true` = scaled-down grid.
+    pub quick: bool,
+    /// Base seed; repetition `r` uses `seed + r`.
+    pub seed: u64,
+    /// Optional JSON output path.
+    pub out: Option<PathBuf>,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Self { quick: true, seed: 2023, out: None }
+    }
+}
+
+impl Config {
+    /// Parses the common flags from `std::env::args`. Unknown flags abort
+    /// with a usage message.
+    pub fn from_args() -> Self {
+        let mut cfg = Self::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                "--full" => cfg.quick = false,
+                "--seed" => {
+                    let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
+                    cfg.seed = v.parse().unwrap_or_else(|_| usage("--seed needs a u64"));
+                }
+                "--out" => {
+                    let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
+                    cfg.out = Some(PathBuf::from(v));
+                }
+                "--help" | "-h" => usage(""),
+                other => usage(&format!("unknown flag {other}")),
+            }
+        }
+        cfg
+    }
+
+    /// Number of noisy repetitions per cell (paper: 10 for the synthetic
+    /// figures, 5 for the high-noise/scalability ones; quick mode caps at 3).
+    pub fn reps(&self, paper_reps: usize) -> usize {
+        if self.quick {
+            paper_reps.clamp(1, 3)
+        } else {
+            paper_reps
+        }
+    }
+
+    /// Writes rows as JSON if `--out` was given.
+    pub fn write_json<T: serde::Serialize>(&self, rows: &[T]) {
+        if let Some(path) = &self.out {
+            let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+            std::fs::write(path, json).unwrap_or_else(|e| {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            });
+        }
+    }
+}
+
+fn usage(msg: &str) -> ! {
+    if !msg.is_empty() {
+        eprintln!("error: {msg}");
+    }
+    eprintln!("usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>]");
+    std::process::exit(if msg.is_empty() { 0 } else { 2 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_quick() {
+        let c = Config::default();
+        assert!(c.quick);
+        assert_eq!(c.seed, 2023);
+    }
+
+    #[test]
+    fn reps_scale_down_in_quick_mode() {
+        let quick = Config::default();
+        assert_eq!(quick.reps(10), 3);
+        assert_eq!(quick.reps(1), 1);
+        let full = Config { quick: false, ..Config::default() };
+        assert_eq!(full.reps(10), 10);
+    }
+}

@@ -1,0 +1,169 @@
+//! Plain-text line charts for the figure binaries.
+//!
+//! The paper's figures are accuracy-vs-noise line plots with one series per
+//! algorithm. The harness renders the same shape as an ASCII chart under
+//! each table so the crossovers are visible directly in the terminal and in
+//! the archived `results/*.txt` files.
+
+/// One plotted series.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points; need not be sorted.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// Marker characters assigned to series in order.
+const MARKERS: &[u8] = b"ox+*#@%&sdgq";
+
+/// Renders a line chart of the series into a `width × height` character
+/// grid with axes and a legend. `y` is clamped to `[0, 1]` (all the paper's
+/// quality measures live there); `x` spans the data range.
+///
+/// Returns an empty string if no series has at least one point.
+pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -> String {
+    let width = width.max(16);
+    let height = height.max(4);
+    let xs: Vec<f64> = series.iter().flat_map(|s| s.points.iter().map(|p| p.0)).collect();
+    if xs.is_empty() {
+        return String::new();
+    }
+    let xmin = xs.iter().copied().fold(f64::INFINITY, f64::min);
+    let xmax = xs.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let xspan = (xmax - xmin).max(1e-12);
+
+    let mut grid = vec![vec![b' '; width]; height];
+    let to_col = |x: f64| -> usize {
+        (((x - xmin) / xspan) * (width - 1) as f64).round() as usize
+    };
+    let to_row = |y: f64| -> usize {
+        let clamped = y.clamp(0.0, 1.0);
+        ((1.0 - clamped) * (height - 1) as f64).round() as usize
+    };
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()];
+        let mut pts: Vec<(f64, f64)> = s.points.clone();
+        pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite x"));
+        // Draw connecting segments by linear interpolation per column.
+        for w in pts.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            let (c0, c1) = (to_col(x0), to_col(x1));
+            #[allow(clippy::needless_range_loop)] // c indexes two coupled grids
+            for c in c0..=c1 {
+                let frac = if c1 == c0 { 0.0 } else { (c - c0) as f64 / (c1 - c0) as f64 };
+                let y = y0 + frac * (y1 - y0);
+                let r = to_row(y);
+                // Markers at data points win over interpolated dots.
+                if grid[r][c] == b' ' {
+                    grid[r][c] = b'.';
+                }
+            }
+        }
+        for &(x, y) in &pts {
+            grid[to_row(y)][to_col(x)] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str(title);
+    out.push('\n');
+    for (r, row) in grid.iter().enumerate() {
+        let y_label = if r == 0 {
+            "1.0 |"
+        } else if r == height - 1 {
+            "0.0 |"
+        } else {
+            "    |"
+        };
+        out.push_str(y_label);
+        out.push_str(std::str::from_utf8(row).expect("ASCII grid"));
+        out.push('\n');
+    }
+    out.push_str("    +");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    out.push_str(&format!("     x: {xmin:.2} .. {xmax:.2}\n"));
+    // Legend.
+    for (si, s) in series.iter().enumerate() {
+        let marker = MARKERS[si % MARKERS.len()] as char;
+        out.push_str(&format!("     {marker} {}\n", s.label));
+    }
+    out
+}
+
+/// Builds a per-algorithm series set from `(label, x, y)` rows.
+pub fn series_from_rows(rows: &[(String, f64, f64)]) -> Vec<Series> {
+    let mut out: Vec<Series> = Vec::new();
+    for (label, x, y) in rows {
+        match out.iter_mut().find(|s| &s.label == label) {
+            Some(s) => s.points.push((*x, *y)),
+            None => out.push(Series { label: label.clone(), points: vec![(*x, *y)] }),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_input_renders_nothing() {
+        assert_eq!(line_chart("t", &[], 40, 10), "");
+    }
+
+    #[test]
+    fn single_series_marks_its_points() {
+        let s = Series { label: "IsoRank".into(), points: vec![(0.0, 1.0), (0.05, 0.5)] };
+        let chart = line_chart("acc", &[s], 40, 8);
+        assert!(chart.contains("acc"));
+        assert!(chart.contains('o'), "marker missing:\n{chart}");
+        assert!(chart.contains("IsoRank"));
+        assert!(chart.contains("x: 0.00 .. 0.05"));
+        // Top row holds the y=1.0 point.
+        let top = chart.lines().nth(1).unwrap();
+        assert!(top.contains('o'), "top row should carry the y=1 point: {top}");
+    }
+
+    #[test]
+    fn two_series_use_distinct_markers() {
+        let a = Series { label: "A".into(), points: vec![(0.0, 1.0), (1.0, 0.0)] };
+        let b = Series { label: "B".into(), points: vec![(0.0, 0.0), (1.0, 1.0)] };
+        let chart = line_chart("x", &[a, b], 30, 6);
+        assert!(chart.contains('o') && chart.contains('x'));
+    }
+
+    #[test]
+    fn y_is_clamped() {
+        let s = Series { label: "wild".into(), points: vec![(0.0, 7.0), (1.0, -3.0)] };
+        let chart = line_chart("clamp", &[s], 20, 5);
+        // Must not panic, and markers land on the border rows.
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[1].contains('o'));
+        assert!(lines[5].contains('o'));
+    }
+
+    #[test]
+    fn series_grouping_from_rows() {
+        let rows = vec![
+            ("A".to_string(), 0.0, 0.9),
+            ("B".to_string(), 0.0, 0.8),
+            ("A".to_string(), 0.1, 0.7),
+        ];
+        let series = series_from_rows(&rows);
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].points.len(), 2);
+        assert_eq!(series[1].points.len(), 1);
+    }
+
+    #[test]
+    fn deterministic_output() {
+        let s = Series { label: "A".into(), points: vec![(0.0, 0.5), (1.0, 0.5)] };
+        assert_eq!(
+            line_chart("t", std::slice::from_ref(&s), 30, 6),
+            line_chart("t", std::slice::from_ref(&s), 30, 6)
+        );
+    }
+}

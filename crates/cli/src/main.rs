@@ -1,0 +1,13 @@
+//! The `graphalign` command-line entry point; see the library crate for the
+//! subcommand implementations.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match graphalign_cli::run(&argv) {
+        Ok(msg) => print!("{msg}{}", if msg.ends_with('\n') { "" } else { "\n" }),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,238 @@
+//! # graphalign
+//!
+//! Unrestricted graph alignment: a Rust implementation of the nine
+//! algorithms evaluated in *"Comprehensive Evaluation of Algorithms for
+//! Unrestricted Graph Alignment"* (Skitsas, Orłowski, Hermanns, Mottin,
+//! Karras — EDBT 2023), behind one uniform [`Aligner`] interface so any
+//! similarity notion can be paired with any assignment method — the paper's
+//! "level playing field" (§6.2).
+//!
+//! | module | algorithm | year | similarity notion |
+//! |---|---|---|---|
+//! | [`isorank`] | IsoRank | 2008 | PageRank-style neighborhood similarity |
+//! | [`graal`] | GRAAL | 2010 | graphlet-degree signatures + seed-and-extend |
+//! | [`nsd`] | NSD | 2011 | decomposed IsoRank power series |
+//! | [`lrea`] | LREA | 2018 | low-rank EigenAlign |
+//! | [`regal`] | REGAL | 2018 | xNetMF structural embeddings (Nyström) |
+//! | [`gwl`] | GWL | 2019 | Gromov–Wasserstein learning |
+//! | [`sgwl`] | S-GWL | 2019 | recursive Gromov–Wasserstein partitioning |
+//! | [`cone`] | CONE | 2020 | proximity embeddings + Wasserstein–Procrustes |
+//! | [`grasp`] | GRASP | 2021 | Laplacian spectra + heat-kernel functional maps |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use graphalign::{registry, Aligner};
+//! use graphalign_graph::Graph;
+//! use graphalign_graph::permutation::AlignmentInstance;
+//! use graphalign_metrics::accuracy;
+//!
+//! // A ring of triangles with a pendant path (the path breaks the ring's
+//! // rotational symmetry so the alignment is unique), aligned against a
+//! // shuffled copy of itself.
+//! let mut edges: Vec<(usize, usize)> = (0..10)
+//!     .flat_map(|i| {
+//!         let a = 3 * i;
+//!         [(a, a + 1), (a + 1, a + 2), (a, a + 2), (a + 2, (a + 3) % 30)]
+//!     })
+//!     .collect();
+//! edges.extend([(0, 30), (30, 31), (31, 32)]);
+//! let g = Graph::from_edges(33, &edges);
+//! let instance = AlignmentInstance::permuted(g, 7);
+//!
+//! let grasp = graphalign::grasp::Grasp::default();
+//! let alignment = grasp.align(&instance.source, &instance.target).unwrap();
+//! assert!(accuracy(&alignment, &instance.ground_truth) > 0.8);
+//! # let _ = registry();
+//! ```
+
+// The algorithm implementations transcribe index-coupled formulas from the
+// respective papers (heat-kernel sums, factored operators, sphere matching);
+// explicit indices keep the code aligned with the published notation.
+#![allow(clippy::needless_range_loop)]
+
+pub mod baseline;
+pub mod cone;
+pub mod features;
+pub mod graal;
+pub mod grasp;
+pub mod gwl;
+pub mod isorank;
+pub mod lrea;
+pub mod multi;
+pub mod netalign;
+pub mod nsd;
+pub mod prior;
+pub mod regal;
+pub mod sgwl;
+
+use graphalign_assignment::AssignmentMethod;
+use graphalign_graph::Graph;
+use graphalign_linalg::{DenseMatrix, LinalgError};
+
+/// Errors produced by alignment algorithms.
+#[derive(Debug)]
+pub enum AlignError {
+    /// The instance shape is unsupported (e.g. more source than target
+    /// nodes for a one-to-one method, or an empty graph).
+    BadInstance(String),
+    /// A numerical subroutine failed.
+    Numerical(LinalgError),
+}
+
+impl std::fmt::Display for AlignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AlignError::BadInstance(msg) => write!(f, "bad alignment instance: {msg}"),
+            AlignError::Numerical(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for AlignError {}
+
+impl From<LinalgError> for AlignError {
+    fn from(e: LinalgError) -> Self {
+        AlignError::Numerical(e)
+    }
+}
+
+/// A graph-alignment algorithm.
+///
+/// Implementors provide a node-similarity matrix; the final matching is
+/// extracted by a [`AssignmentMethod`] — by default the one the original
+/// paper proposed ([`Aligner::native_assignment`]), but any method can be
+/// substituted via [`Aligner::align_with`], which is how the study levels
+/// the playing field. GRAAL, whose seed-and-extend matching is integral to
+/// the algorithm, overrides [`Aligner::align`] (paper §6.2: "GRAAL performs
+/// SG integrally, rendering the adaptation to other methods hard").
+pub trait Aligner {
+    /// Canonical algorithm name as used in the paper.
+    fn name(&self) -> &'static str;
+
+    /// The assignment method the algorithm's authors proposed (Table 1).
+    fn native_assignment(&self) -> AssignmentMethod;
+
+    /// Computes the dense node-similarity matrix (`source.node_count()` ×
+    /// `target.node_count()`), higher = more similar.
+    ///
+    /// # Errors
+    /// Implementation-specific; see each algorithm module.
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError>;
+
+    /// Aligns with an explicit assignment method.
+    ///
+    /// # Errors
+    /// Propagates [`Aligner::similarity`] failures.
+    fn align_with(
+        &self,
+        source: &Graph,
+        target: &Graph,
+        method: AssignmentMethod,
+    ) -> Result<Vec<usize>, AlignError> {
+        check_sizes(source, target)?;
+        let sim = self.similarity(source, target)?;
+        Ok(graphalign_assignment::assign(&sim, method))
+    }
+
+    /// Aligns with the algorithm's native assignment method.
+    ///
+    /// # Errors
+    /// Propagates [`Aligner::similarity`] failures.
+    fn align(&self, source: &Graph, target: &Graph) -> Result<Vec<usize>, AlignError> {
+        self.align_with(source, target, self.native_assignment())
+    }
+}
+
+/// Validates that a one-to-one alignment is possible.
+pub(crate) fn check_sizes(source: &Graph, target: &Graph) -> Result<(), AlignError> {
+    if source.node_count() == 0 {
+        return Err(AlignError::BadInstance("source graph is empty".into()));
+    }
+    if source.node_count() > target.node_count() {
+        return Err(AlignError::BadInstance(format!(
+            "one-to-one alignment impossible: source has {} nodes, target {}",
+            source.node_count(),
+            target.node_count()
+        )));
+    }
+    Ok(())
+}
+
+/// All nine algorithms with their Table 1 default hyperparameters, in the
+/// paper's ordering. The study's harness iterates this registry.
+pub fn registry() -> Vec<Box<dyn Aligner + Send + Sync>> {
+    vec![
+        Box::new(isorank::IsoRank::default()),
+        Box::new(graal::Graal::default()),
+        Box::new(nsd::Nsd::default()),
+        Box::new(lrea::Lrea::default()),
+        Box::new(regal::Regal::default()),
+        Box::new(gwl::Gwl::default()),
+        Box::new(sgwl::Sgwl::default()),
+        Box::new(cone::Cone::default()),
+        Box::new(grasp::Grasp::default()),
+    ]
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use graphalign_graph::permutation::AlignmentInstance;
+    use graphalign_graph::Graph;
+
+    /// A structurally distinctive small graph: a ring of triangles with a
+    /// pendant path, so degrees and spectra discriminate nodes well.
+    pub fn distinctive_graph(rings: usize) -> Graph {
+        let n = 3 * rings + 3;
+        let mut edges = Vec::new();
+        for i in 0..rings {
+            let a = 3 * i;
+            edges.push((a, a + 1));
+            edges.push((a + 1, a + 2));
+            edges.push((a, a + 2));
+            edges.push((a + 2, (a + 3) % (3 * rings)));
+        }
+        // Pendant path to break symmetry.
+        let base = 3 * rings;
+        edges.push((0, base));
+        edges.push((base, base + 1));
+        edges.push((base + 1, base + 2));
+        Graph::from_edges(n, &edges)
+    }
+
+    /// A permuted self-alignment instance over the distinctive graph.
+    pub fn permuted_instance(rings: usize, seed: u64) -> AlignmentInstance {
+        AlignmentInstance::permuted(distinctive_graph(rings), seed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_contains_all_nine_in_paper_order() {
+        let names: Vec<&str> = registry().iter().map(|a| a.name()).collect();
+        assert_eq!(
+            names,
+            vec!["IsoRank", "GRAAL", "NSD", "LREA", "REGAL", "GWL", "S-GWL", "CONE", "GRASP"]
+        );
+    }
+
+    #[test]
+    fn size_check_rejects_bad_instances() {
+        let small = Graph::from_edges(2, &[(0, 1)]);
+        let big = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(check_sizes(&big, &small).is_err());
+        assert!(check_sizes(&small, &big).is_ok());
+        assert!(check_sizes(&Graph::from_edges(0, &[]), &small).is_err());
+    }
+
+    #[test]
+    fn error_display() {
+        let e = AlignError::BadInstance("nope".into());
+        assert!(e.to_string().contains("nope"));
+        let e: AlignError = LinalgError::Singular { routine: "pinv" }.into();
+        assert!(e.to_string().contains("pinv"));
+    }
+}

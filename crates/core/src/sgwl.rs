@@ -1,0 +1,380 @@
+//! S-GWL — Scalable Gromov–Wasserstein Learning (Xu, Luo, Carin 2019),
+//! paper §3.6.
+//!
+//! S-GWL keeps GWL's objective but attacks it divide-and-conquer: it
+//! recursively decomposes both graphs into matched partitions and only runs
+//! the expensive GW solver on small aligned sub-problems, obtaining a
+//! logarithmic speedup plus the proximal-gradient decomposition of the
+//! non-convex objective into smaller convex ones.
+//!
+//! Our decomposition step replaces the reference implementation's GW
+//! *barycenter* co-clustering with spectral co-bisection (Fiedler-vector
+//! sign split on each graph, cluster pairing by size/degree profile): both
+//! produce matched partitions that the leaf-level GW solves consume, and
+//! the spectral split keeps the recursion `O(n log n · leaf²)` without a
+//! barycenter inner loop — DESIGN.md §3 records the substitution. The leaf
+//! solver is [`crate::gwl::Gwl`] with Sinkhorn regularization `β`, the
+//! hyperparameter the paper tunes per dataset family (`β = 0.025` sparse,
+//! `β = 0.1` dense).
+
+use crate::gwl::Gwl;
+use crate::{check_sizes, Aligner, AlignError};
+use graphalign_assignment::AssignmentMethod;
+use graphalign_graph::{spectral, Graph};
+use graphalign_linalg::lanczos::{lanczos, Which};
+use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
+use graphalign_linalg::{DenseMatrix, ShiftedOp};
+
+/// S-GWL with the study's tuned hyperparameters (Table 1: `β ∈ {0.025, 0.1}`,
+/// NN native assignment).
+#[derive(Debug, Clone)]
+pub struct Sgwl {
+    /// Sinkhorn regularization at the leaves (paper: 0.025 on sparse
+    /// datasets, 0.1 on dense ones).
+    pub beta: f64,
+    /// Sub-problems at or below this size are solved directly with GWL.
+    pub leaf_size: usize,
+    /// Transport iterations of the leaf GWL solver.
+    pub leaf_iters: usize,
+    /// Seed for the spectral bisection and leaf solver.
+    pub seed: u64,
+}
+
+impl Default for Sgwl {
+    fn default() -> Self {
+        Self { beta: 0.1, leaf_size: 96, leaf_iters: 20, seed: 0x56a1 }
+    }
+}
+
+impl Sgwl {
+    /// The paper's sparse-dataset configuration (`β = 0.025`).
+    pub fn sparse() -> Self {
+        Self { beta: 0.025, ..Self::default() }
+    }
+
+    /// Induced subgraph over `nodes` (in the given order).
+    fn induced(g: &Graph, nodes: &[usize]) -> Graph {
+        let mut local = vec![usize::MAX; g.node_count()];
+        for (li, &v) in nodes.iter().enumerate() {
+            local[v] = li;
+        }
+        let mut edges = Vec::new();
+        for (li, &v) in nodes.iter().enumerate() {
+            for &w in g.neighbors(v) {
+                let lw = local[w];
+                if lw != usize::MAX && lw > li {
+                    edges.push((li, lw));
+                }
+            }
+        }
+        Graph::from_edges(nodes.len(), &edges)
+    }
+
+    /// Fiedler vector (second eigenvector of the normalized Laplacian) of
+    /// the induced subgraph over `nodes`, or `None` when the spectrum is
+    /// too degenerate to extract one.
+    fn fiedler(&self, g: &Graph, nodes: &[usize]) -> Option<Vec<f64>> {
+        let sub = Self::induced(g, nodes);
+        let l = spectral::normalized_laplacian(&sub);
+        let flipped = ShiftedOp::new(&l, -1.0, 2.0);
+        let krylov = 80.min(sub.node_count());
+        lanczos(&flipped, 2.min(sub.node_count()), Which::Largest, krylov, self.seed)
+            .ok()
+            .and_then(|r| if r.vectors.cols() >= 2 { Some(r.vectors.col(1)) } else { None })
+    }
+
+    /// Splits `nodes` at the median of `values` (a Fiedler vector indexed
+    /// like `nodes`), keeping the split balanced on ties.
+    fn split_at_median(nodes: &[usize], values: &[f64]) -> (Vec<usize>, Vec<usize>) {
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite fiedler"));
+        let median = sorted[sorted.len() / 2];
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        for (li, &v) in nodes.iter().enumerate() {
+            if values[li] < median || (values[li] == median && left.len() <= right.len()) {
+                left.push(v);
+            } else {
+                right.push(v);
+            }
+        }
+        (left, right)
+    }
+
+    /// Quantile profile of a value vector (its sorted values sampled at `q`
+    /// evenly spaced ranks) — the permutation-invariant signature used to
+    /// resolve the Fiedler sign between the two graphs.
+    fn quantiles(values: &[f64], q: usize) -> Vec<f64> {
+        let mut sorted: Vec<f64> = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        (0..q)
+            .map(|i| {
+                let pos = i * (sorted.len() - 1) / (q - 1).max(1);
+                sorted[pos]
+            })
+            .collect()
+    }
+
+    /// Co-bisects the two node sets so the halves *correspond*: both graphs
+    /// are split at their Fiedler medians, with the target's Fiedler sign
+    /// chosen to match the source's quantile profile (Fiedler vectors of
+    /// isomorphic graphs agree up to permutation and sign, so this pins the
+    /// partition correspondence — the role the reference implementation's
+    /// shared barycenter plays). Degenerate spectra fall back to a balanced
+    /// degree-rank split on both sides.
+    #[allow(clippy::type_complexity)]
+    fn co_bisect(
+        &self,
+        source: &Graph,
+        target: &Graph,
+        src_nodes: &[usize],
+        tgt_nodes: &[usize],
+    ) -> ((Vec<usize>, Vec<usize>), (Vec<usize>, Vec<usize>)) {
+        let degree_split = |g: &Graph, nodes: &[usize]| {
+            let mut by_degree: Vec<usize> = nodes.to_vec();
+            by_degree.sort_by_key(|&v| std::cmp::Reverse(g.degree(v)));
+            let left: Vec<usize> = by_degree.iter().step_by(2).copied().collect();
+            let right: Vec<usize> = by_degree.iter().skip(1).step_by(2).copied().collect();
+            (left, right)
+        };
+        match (self.fiedler(source, src_nodes), self.fiedler(target, tgt_nodes)) {
+            (Some(f_a), Some(f_b)) => {
+                // Resolve the target's sign against the source's profile.
+                let q = 16.min(f_a.len()).min(f_b.len()).max(2);
+                let qa = Self::quantiles(&f_a, q);
+                let qb_pos = Self::quantiles(&f_b, q);
+                let f_b_neg: Vec<f64> = f_b.iter().map(|v| -v).collect();
+                let qb_neg = Self::quantiles(&f_b_neg, q);
+                let dist = |x: &[f64], y: &[f64]| {
+                    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+                };
+                let f_b = if dist(&qa, &qb_pos) <= dist(&qa, &qb_neg) { f_b } else { f_b_neg };
+                let a = Self::split_at_median(src_nodes, &f_a);
+                let b = Self::split_at_median(tgt_nodes, &f_b);
+                if a.0.is_empty() || a.1.is_empty() || b.0.is_empty() || b.1.is_empty() {
+                    (degree_split(source, src_nodes), degree_split(target, tgt_nodes))
+                } else {
+                    (a, b)
+                }
+            }
+            _ => (degree_split(source, src_nodes), degree_split(target, tgt_nodes)),
+        }
+    }
+
+    /// Mean structural-feature vector of a node set (the cluster profile
+    /// used to pair partitions across the two graphs).
+    fn centroid(features: &DenseMatrix, nodes: &[usize]) -> Vec<f64> {
+        let d = features.cols();
+        let mut c = vec![0.0; d];
+        if nodes.is_empty() {
+            return c;
+        }
+        for &v in nodes {
+            for (slot, &x) in c.iter_mut().zip(features.row(v)) {
+                *slot += x;
+            }
+        }
+        for slot in &mut c {
+            *slot /= nodes.len() as f64;
+        }
+        c
+    }
+
+    /// Recursive co-partition alignment, writing transport mass into `sim`.
+    /// `fa`/`fb` are global structural features (computed once per graph);
+    /// they steer cluster pairing and warm-start the leaf transports, the
+    /// role the reference implementation's barycenter hierarchy plays.
+    #[allow(clippy::too_many_arguments)]
+    fn recurse(
+        &self,
+        source: &Graph,
+        target: &Graph,
+        fa: &DenseMatrix,
+        fb: &DenseMatrix,
+        src_nodes: Vec<usize>,
+        tgt_nodes: Vec<usize>,
+        sim: &mut DenseMatrix,
+    ) -> Result<(), AlignError> {
+        if src_nodes.is_empty() || tgt_nodes.is_empty() {
+            return Ok(());
+        }
+        let small = src_nodes.len().max(tgt_nodes.len()) <= self.leaf_size;
+        if small {
+            let sub_a = Self::induced(source, &src_nodes);
+            let sub_b = Self::induced(target, &tgt_nodes);
+            if sub_a.node_count() <= sub_b.node_count() {
+                let gwl = Gwl {
+                    beta: self.beta,
+                    outer_iters: self.leaf_iters,
+                    seed: self.seed,
+                    ..Gwl::default()
+                };
+                // Warm-start the leaf transport from the global features:
+                // entropic OT over cross-leaf feature distances.
+                let cost = DenseMatrix::from_fn(src_nodes.len(), tgt_nodes.len(), |li, lj| {
+                    graphalign_linalg::vec_ops::dist2_sq(
+                        fa.row(src_nodes[li]),
+                        fb.row(tgt_nodes[lj]),
+                    )
+                });
+                let scale = cost.max_abs().max(1e-12);
+                let cost = cost.scaled(1.0 / scale);
+                let mu = uniform_marginal(src_nodes.len());
+                let nu = uniform_marginal(tgt_nodes.len());
+                let params = SinkhornParams { epsilon: self.beta, max_iter: 100, tol: 1e-7 };
+                let t0 = sinkhorn(&cost, &mu, &nu, &params)?;
+                let t = gwl.transport_with_init(&sub_a, &sub_b, Some(&t0))?;
+                for (li, &v) in src_nodes.iter().enumerate() {
+                    for (lj, &w) in tgt_nodes.iter().enumerate() {
+                        // Scale to a per-leaf mass of 1 so leaves of different
+                        // sizes contribute comparably.
+                        sim.add_to(v, w, t.get(li, lj) * src_nodes.len() as f64);
+                    }
+                }
+            } else {
+                // More source than target nodes in this leaf: fall back to
+                // degree-profile similarity so the global assignment can
+                // still place everyone.
+                for &v in &src_nodes {
+                    for &w in &tgt_nodes {
+                        sim.add_to(
+                            v,
+                            w,
+                            crate::prior::degree_similarity(source.degree(v), target.degree(w)),
+                        );
+                    }
+                }
+            }
+            return Ok(());
+        }
+        let ((a1, a2), (b1, b2)) = self.co_bisect(source, target, &src_nodes, &tgt_nodes);
+        // The co-bisection already establishes correspondence; as a guard,
+        // swap if the feature centroids say the crossed pairing is clearly
+        // better (asymmetric noise can flip a near-balanced split).
+        let mismatch = |na: &[usize], nb: &[usize]| {
+            let size = (na.len() as f64 - nb.len() as f64).abs()
+                / (na.len() + nb.len()).max(1) as f64;
+            let ca = Self::centroid(fa, na);
+            let cb = Self::centroid(fb, nb);
+            size + graphalign_linalg::vec_ops::dist2_sq(&ca, &cb).sqrt()
+        };
+        let straight = mismatch(&a1, &b1) + mismatch(&a2, &b2);
+        let crossed = mismatch(&a1, &b2) + mismatch(&a2, &b1);
+        if straight <= crossed * 1.2 {
+            self.recurse(source, target, fa, fb, a1, b1, sim)?;
+            self.recurse(source, target, fa, fb, a2, b2, sim)?;
+        } else {
+            self.recurse(source, target, fa, fb, a1, b2, sim)?;
+            self.recurse(source, target, fa, fb, a2, b1, sim)?;
+        }
+        Ok(())
+    }
+}
+
+impl Aligner for Sgwl {
+    fn name(&self) -> &'static str {
+        "S-GWL"
+    }
+
+    fn native_assignment(&self) -> AssignmentMethod {
+        AssignmentMethod::NearestNeighbor
+    }
+
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+        check_sizes(source, target)?;
+        // Global structural features (xNetMF-style histograms) shared across
+        // the recursion; bucket count spans both graphs.
+        let (fa, fb) =
+            crate::features::feature_pair(source, target, &crate::features::FeatureParams::default());
+        let mut sim = DenseMatrix::zeros(source.node_count(), target.node_count());
+        self.recurse(
+            source,
+            target,
+            &fa,
+            &fb,
+            (0..source.node_count()).collect(),
+            (0..target.node_count()).collect(),
+            &mut sim,
+        )?;
+        Ok(sim)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::permuted_instance;
+    use graphalign_metrics::{accuracy, s3};
+
+    #[test]
+    fn defaults_match_table1_betas() {
+        assert_eq!(Sgwl::default().beta, 0.1);
+        assert_eq!(Sgwl::sparse().beta, 0.025);
+        assert_eq!(Sgwl::default().native_assignment(), AssignmentMethod::NearestNeighbor);
+    }
+
+    #[test]
+    fn induced_subgraph_extraction() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let sub = Sgwl::induced(&g, &[1, 2, 3]);
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2));
+    }
+
+    #[test]
+    fn co_bisection_covers_all_nodes_on_both_sides() {
+        let inst = permuted_instance(8, 2);
+        let s = Sgwl::default();
+        let src: Vec<usize> = (0..inst.source.node_count()).collect();
+        let tgt: Vec<usize> = (0..inst.target.node_count()).collect();
+        let ((a1, a2), (b1, b2)) = s.co_bisect(&inst.source, &inst.target, &src, &tgt);
+        for (halves, nodes) in [((&a1, &a2), &src), ((&b1, &b2), &tgt)] {
+            let (l, r) = halves;
+            assert_eq!(l.len() + r.len(), nodes.len());
+            assert!(!l.is_empty() && !r.is_empty());
+            let mut all: Vec<usize> = l.iter().chain(r.iter()).copied().collect();
+            all.sort_unstable();
+            assert_eq!(&all, nodes);
+        }
+    }
+
+    #[test]
+    fn small_instance_matches_leaf_gwl_quality() {
+        // Below leaf_size the whole problem is one GWL solve.
+        let inst = permuted_instance(4, 3);
+        let aligned = Sgwl::default()
+            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap();
+        let structural = s3(&inst.source, &inst.target, &aligned);
+        assert!(structural > 0.2, "S-GWL leaf S3: {structural}");
+    }
+
+    #[test]
+    fn recursion_triggers_on_larger_graphs() {
+        // 2 triangle-rings of 30+ nodes force at least one bisection with
+        // leaf_size 16.
+        let inst = permuted_instance(10, 5);
+        let s = Sgwl { leaf_size: 16, ..Sgwl::default() };
+        let aligned = s
+            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap();
+        assert_eq!(aligned.len(), inst.source.node_count());
+        // Sanity: the alignment is a permutation.
+        let mut sorted = aligned.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..aligned.len()).collect::<Vec<_>>());
+        let acc = accuracy(&aligned, &inst.ground_truth);
+        assert!(acc >= 0.0); // smoke: recursion completes and is well-formed
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let inst = permuted_instance(5, 6);
+        let s = Sgwl::default();
+        assert_eq!(
+            s.align(&inst.source, &inst.target).unwrap(),
+            s.align(&inst.source, &inst.target).unwrap()
+        );
+    }
+}

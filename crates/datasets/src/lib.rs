@@ -1,0 +1,335 @@
+//! Dataset registry for the benchmark study.
+//!
+//! The paper evaluates on 16 real networks (Table 2). This build environment
+//! has no network access, so [`load`] produces a **seeded synthetic replica**
+//! of each dataset: a graph drawn from the random-graph family matching the
+//! dataset's structural type, with the same node count and (exactly) the same
+//! edge count — see DESIGN.md §3 for why the replicas preserve the phenomena
+//! the study measures. When the genuine edge-list file is available, drop it
+//! into the directory named by the `GRAPHALIGN_DATA_DIR` environment variable
+//! as `<name>.txt` and [`load`] will parse it instead.
+//!
+//! [`evolving`] provides the three datasets with *real-noise* ground truth
+//! (HighSchool, Voles, MultiMagna) under the paper's §6.5 protocol.
+
+pub mod evolving;
+
+use graphalign_gen as gen;
+use graphalign_graph::{io, Graph, GraphBuilder};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Structural family of a network (Table 2's "Type" column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NetworkKind {
+    /// Email/communication networks (power-law).
+    Communication,
+    /// Online social networks (power-law, dense, clustered).
+    Social,
+    /// Co-authorship networks (many triangles).
+    Collaboration,
+    /// Road and power grids (near-planar, very sparse).
+    Infrastructure,
+    /// Protein-interaction style networks.
+    Biological,
+    /// Physical-proximity contact networks (dense, small).
+    Proximity,
+}
+
+impl NetworkKind {
+    /// Lowercase label matching the paper's Table 2.
+    pub fn label(&self) -> &'static str {
+        match self {
+            NetworkKind::Communication => "communication",
+            NetworkKind::Social => "social",
+            NetworkKind::Collaboration => "collaboration",
+            NetworkKind::Infrastructure => "infrastructure",
+            NetworkKind::Biological => "biological",
+            NetworkKind::Proximity => "proximity",
+        }
+    }
+}
+
+/// Identifiers for the paper's 16 datasets.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum DatasetId {
+    Arenas,
+    Facebook,
+    CaAstroPh,
+    InfEuroroad,
+    InfPower,
+    FbHaverford76,
+    FbHamilton46,
+    FbBowdoin47,
+    FbSwarthmore42,
+    SocHamsterster,
+    BioCelegans,
+    CaGrQc,
+    CaNetscience,
+    MultiMagna,
+    HighSchool,
+    Voles,
+}
+
+/// Static description of a dataset (the row of Table 2).
+#[derive(Debug, Clone, Copy)]
+pub struct DatasetSpec {
+    /// Identifier.
+    pub id: DatasetId,
+    /// Canonical name as used in the paper.
+    pub name: &'static str,
+    /// Node count `n`.
+    pub n: usize,
+    /// Edge count `m`.
+    pub m: usize,
+    /// Nodes outside the largest connected component (Table 2 column ℓ) in
+    /// the genuine dataset.
+    pub left_out: usize,
+    /// Structural family.
+    pub kind: NetworkKind,
+}
+
+/// The 16 rows of Table 2.
+pub const ALL: [DatasetSpec; 16] = [
+    DatasetSpec { id: DatasetId::Arenas, name: "Arenas", n: 1133, m: 5451, left_out: 0, kind: NetworkKind::Communication },
+    DatasetSpec { id: DatasetId::Facebook, name: "Facebook", n: 4039, m: 88234, left_out: 0, kind: NetworkKind::Social },
+    DatasetSpec { id: DatasetId::CaAstroPh, name: "CA-AstroPh", n: 17903, m: 197031, left_out: 0, kind: NetworkKind::Collaboration },
+    DatasetSpec { id: DatasetId::InfEuroroad, name: "inf-euroroad", n: 1174, m: 1417, left_out: 200, kind: NetworkKind::Infrastructure },
+    DatasetSpec { id: DatasetId::InfPower, name: "inf-power", n: 4941, m: 6594, left_out: 0, kind: NetworkKind::Infrastructure },
+    DatasetSpec { id: DatasetId::FbHaverford76, name: "fb-Haverford76", n: 1446, m: 59589, left_out: 0, kind: NetworkKind::Social },
+    DatasetSpec { id: DatasetId::FbHamilton46, name: "fb-Hamilton46", n: 2314, m: 96394, left_out: 2, kind: NetworkKind::Social },
+    DatasetSpec { id: DatasetId::FbBowdoin47, name: "fb-Bowdoin47", n: 2252, m: 84387, left_out: 2, kind: NetworkKind::Social },
+    DatasetSpec { id: DatasetId::FbSwarthmore42, name: "fb-Swarthmore42", n: 1659, m: 61050, left_out: 2, kind: NetworkKind::Social },
+    DatasetSpec { id: DatasetId::SocHamsterster, name: "soc-hamsterster", n: 2426, m: 16630, left_out: 400, kind: NetworkKind::Social },
+    DatasetSpec { id: DatasetId::BioCelegans, name: "bio-celegans", n: 453, m: 2025, left_out: 0, kind: NetworkKind::Biological },
+    DatasetSpec { id: DatasetId::CaGrQc, name: "ca-GrQc", n: 4158, m: 14422, left_out: 0, kind: NetworkKind::Collaboration },
+    DatasetSpec { id: DatasetId::CaNetscience, name: "ca-netscience", n: 379, m: 914, left_out: 0, kind: NetworkKind::Collaboration },
+    DatasetSpec { id: DatasetId::MultiMagna, name: "MultiMagna", n: 1004, m: 8323, left_out: 0, kind: NetworkKind::Biological },
+    DatasetSpec { id: DatasetId::HighSchool, name: "HighSchool", n: 327, m: 5818, left_out: 0, kind: NetworkKind::Proximity },
+    DatasetSpec { id: DatasetId::Voles, name: "Voles", n: 712, m: 2391, left_out: 0, kind: NetworkKind::Proximity },
+];
+
+/// Looks up the spec of a dataset.
+pub fn spec(id: DatasetId) -> &'static DatasetSpec {
+    ALL.iter().find(|s| s.id == id).expect("every DatasetId has a spec row")
+}
+
+/// The datasets used by Figure 7 (low-noise real graphs).
+pub const FIGURE7: [DatasetId; 3] = [DatasetId::Arenas, DatasetId::Facebook, DatasetId::CaAstroPh];
+
+/// The datasets used by Figure 8 (high-noise real graphs).
+pub const FIGURE8: [DatasetId; 10] = [
+    DatasetId::InfEuroroad,
+    DatasetId::InfPower,
+    DatasetId::FbHaverford76,
+    DatasetId::FbHamilton46,
+    DatasetId::FbBowdoin47,
+    DatasetId::FbSwarthmore42,
+    DatasetId::SocHamsterster,
+    DatasetId::BioCelegans,
+    DatasetId::CaGrQc,
+    DatasetId::CaNetscience,
+];
+
+/// Loads a dataset: the genuine edge list if present under
+/// `$GRAPHALIGN_DATA_DIR/<name>.txt`, otherwise the seeded synthetic replica.
+pub fn load(id: DatasetId) -> Graph {
+    if let Ok(dir) = std::env::var("GRAPHALIGN_DATA_DIR") {
+        let path = std::path::Path::new(&dir).join(format!("{}.txt", spec(id).name));
+        if let Ok(file) = std::fs::File::open(&path) {
+            let reader = std::io::BufReader::new(file);
+            if let Ok(parsed) = io::read_edge_list(reader) {
+                return parsed.graph;
+            }
+        }
+    }
+    replica(id)
+}
+
+/// Builds the synthetic replica of a dataset (always; ignores
+/// `GRAPHALIGN_DATA_DIR`). Deterministic: the seed is derived from the
+/// dataset id.
+pub fn replica(id: DatasetId) -> Graph {
+    let s = spec(id);
+    let seed = replica_seed(id);
+    let g = match s.kind {
+        NetworkKind::Communication | NetworkKind::Biological => {
+            // Power-law with moderate clustering.
+            let m_attach = (s.m as f64 / s.n as f64).round().max(1.0) as usize;
+            gen::powerlaw_cluster(s.n, m_attach, 0.5, seed)
+        }
+        NetworkKind::Social | NetworkKind::Collaboration => {
+            // Denser power-law with strong clustering (collaboration networks
+            // "have many triangles", §5.1.3).
+            let m_attach = (s.m as f64 / s.n as f64).round().max(1.0) as usize;
+            gen::powerlaw_cluster(s.n, m_attach, 0.8, seed)
+        }
+        NetworkKind::Infrastructure => {
+            // Very sparse, near-planar: configuration model over a narrow
+            // normal degree distribution reproduces grids-with-powerlaw-tail.
+            let mean = 2.0 * s.m as f64 / s.n as f64;
+            let seq = gen::degrees::normal(s.n, mean, mean / 3.0, seed);
+            gen::configuration_model(&seq, seed)
+        }
+        NetworkKind::Proximity => {
+            // Dense small-world contact structure with Gaussian degrees.
+            let mut k = (2.0 * s.m as f64 / s.n as f64).round() as usize;
+            if !k.is_multiple_of(2) {
+                k += 1;
+            }
+            gen::watts_strogatz(s.n, k.clamp(2, s.n - 1), 0.5, seed)
+        }
+    };
+    adjust_edge_count(&g, s.m, seed ^ 0x5eed)
+}
+
+fn replica_seed(id: DatasetId) -> u64 {
+    // Stable per-dataset seed (position in ALL).
+    0xEDB7_2023_u64 ^ ((ALL.iter().position(|s| s.id == id).unwrap() as u64) << 8)
+}
+
+/// Adds random non-edges or removes random edges until the graph has exactly
+/// `target_m` edges (used to pin replicas to Table 2's edge counts).
+fn adjust_edge_count(g: &Graph, target_m: usize, seed: u64) -> Graph {
+    let n = g.node_count();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::from_graph(g);
+    let max_edges = n * (n - 1) / 2;
+    let target = target_m.min(max_edges);
+    let mut guard = 0usize;
+    while builder.edge_count() < target && guard < 100 * target + 1000 {
+        guard += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    while builder.edge_count() > target {
+        let edges = builder.edge_vec();
+        let (u, v) = edges[rng.random_range(0..edges.len())];
+        builder.remove_edge(u, v);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_graph::traversal::connected_components;
+
+    #[test]
+    fn every_id_has_a_spec() {
+        assert_eq!(ALL.len(), 16);
+        for s in &ALL {
+            assert_eq!(spec(s.id).name, s.name);
+        }
+    }
+
+    #[test]
+    fn small_replicas_match_table2_exactly() {
+        for id in [
+            DatasetId::Arenas,
+            DatasetId::CaNetscience,
+            DatasetId::HighSchool,
+            DatasetId::Voles,
+            DatasetId::BioCelegans,
+            DatasetId::InfEuroroad,
+        ] {
+            let s = spec(id);
+            let g = replica(id);
+            assert_eq!(g.node_count(), s.n, "{}: node count", s.name);
+            assert_eq!(g.edge_count(), s.m, "{}: edge count", s.name);
+        }
+    }
+
+    #[test]
+    fn replicas_are_deterministic() {
+        assert_eq!(replica(DatasetId::Arenas), replica(DatasetId::Arenas));
+        assert_ne!(replica(DatasetId::HighSchool), replica(DatasetId::Voles));
+    }
+
+    #[test]
+    fn social_replicas_have_skewed_degrees() {
+        let g = replica(DatasetId::Arenas);
+        let degrees = g.degrees();
+        let max = *degrees.iter().max().unwrap();
+        let mean = g.avg_degree();
+        assert!(max as f64 > 4.0 * mean, "power-law tail expected: max={max}, mean={mean}");
+    }
+
+    #[test]
+    fn proximity_replicas_have_flat_degrees() {
+        let g = replica(DatasetId::HighSchool);
+        let degrees = g.degrees();
+        let max = *degrees.iter().max().unwrap();
+        let mean = g.avg_degree();
+        assert!((max as f64) < 2.5 * mean, "Gaussian degrees expected: max={max}, mean={mean}");
+    }
+
+    #[test]
+    fn infrastructure_replica_is_sparse_and_fragmented() {
+        let g = replica(DatasetId::InfEuroroad);
+        assert!(g.avg_degree() < 3.0);
+        // Sparse configuration-model graphs are not fully connected, like
+        // the genuine euroroad network (ℓ = 200).
+        let comps = connected_components(&g);
+        assert!(comps.count > 1);
+    }
+
+    #[test]
+    fn load_falls_back_to_replica_without_data_dir() {
+        // The test environment does not define GRAPHALIGN_DATA_DIR.
+        if std::env::var("GRAPHALIGN_DATA_DIR").is_err() {
+            assert_eq!(load(DatasetId::Voles), replica(DatasetId::Voles));
+        }
+    }
+
+    #[test]
+    fn figure_subsets_reference_valid_specs() {
+        for id in FIGURE7.iter().chain(FIGURE8.iter()) {
+            let s = spec(*id);
+            assert!(s.n > 0 && s.m > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod data_dir_tests {
+    use super::*;
+    use std::io::Write as _;
+    use std::sync::Mutex;
+
+    /// Serializes the tests that touch GRAPHALIGN_DATA_DIR (env vars are
+    /// process-global and the default test harness is multi-threaded).
+    static ENV_LOCK: Mutex<()> = Mutex::new(());
+
+    #[test]
+    fn load_prefers_real_edge_list_when_data_dir_is_set() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("graphalign-data-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        // A tiny stand-in "real" Voles file: a triangle.
+        let mut f = std::fs::File::create(dir.join("Voles.txt")).unwrap();
+        writeln!(f, "0 1\n1 2\n2 0").unwrap();
+        std::env::set_var("GRAPHALIGN_DATA_DIR", &dir);
+        let g = load(DatasetId::Voles);
+        std::env::remove_var("GRAPHALIGN_DATA_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(g.node_count(), 3, "the real file must win over the replica");
+        assert_eq!(g.edge_count(), 3);
+    }
+
+    #[test]
+    fn load_ignores_missing_files_in_data_dir() {
+        let _guard = ENV_LOCK.lock().unwrap();
+        let dir = std::env::temp_dir().join(format!("graphalign-empty-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::env::set_var("GRAPHALIGN_DATA_DIR", &dir);
+        let g = load(DatasetId::HighSchool);
+        std::env::remove_var("GRAPHALIGN_DATA_DIR");
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(g, replica(DatasetId::HighSchool), "must fall back to the replica");
+    }
+}

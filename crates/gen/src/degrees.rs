@@ -1,0 +1,111 @@
+//! Degree-sequence generators for the configuration model.
+//!
+//! The scalability study (paper §6.6) uses configuration-model graphs "with
+//! normal degree distribution" when sweeping node counts (Figures 11, 13)
+//! and a uniform distribution when sweeping average degree (Figures 12, 14);
+//! the density study additionally motivates power-law sequences. All
+//! sequences are clamped to the simple-graph range `[1, n−1]`.
+
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Samples a standard normal via Box–Muller.
+fn standard_normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Normal degree sequence with the given mean and standard deviation,
+/// clamped to `[1, n−1]` and rounded.
+pub fn normal(n: usize, mean: f64, std_dev: f64, seed: u64) -> Vec<usize> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(mean >= 1.0, "mean degree must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let d = mean + std_dev * standard_normal(&mut rng);
+            (d.round().max(1.0) as usize).min(n - 1)
+        })
+        .collect()
+}
+
+/// Constant (uniform) degree sequence: every node gets `degree`, clamped to
+/// `n − 1`.
+pub fn uniform(n: usize, degree: usize) -> Vec<usize> {
+    assert!(n >= 2, "need at least two nodes");
+    vec![degree.min(n - 1); n]
+}
+
+/// Power-law degree sequence with exponent `gamma > 1` and minimum degree
+/// `d_min`, sampled by inverse-transform from the continuous Pareto tail and
+/// clamped to `[d_min, n−1]`.
+pub fn power_law(n: usize, gamma: f64, d_min: usize, seed: u64) -> Vec<usize> {
+    assert!(n >= 2, "need at least two nodes");
+    assert!(gamma > 1.0, "power-law exponent must exceed 1 (got {gamma})");
+    assert!(d_min >= 1, "minimum degree must be at least 1");
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| {
+            let u: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+            let d = d_min as f64 * u.powf(-1.0 / (gamma - 1.0));
+            (d.round() as usize).clamp(d_min, n - 1)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normal_sequence_centers_on_mean() {
+        let seq = normal(5000, 20.0, 4.0, 1);
+        let mean = seq.iter().sum::<usize>() as f64 / seq.len() as f64;
+        assert!((mean - 20.0).abs() < 0.5, "observed mean {mean}");
+        assert!(seq.iter().all(|&d| (1..5000).contains(&d)));
+    }
+
+    #[test]
+    fn normal_sequence_has_spread() {
+        let seq = normal(5000, 50.0, 10.0, 2);
+        let min = *seq.iter().min().unwrap();
+        let max = *seq.iter().max().unwrap();
+        assert!(max > 60 && min < 40, "min={min}, max={max}");
+    }
+
+    #[test]
+    fn uniform_sequence_is_constant_and_clamped() {
+        assert_eq!(uniform(5, 3), vec![3; 5]);
+        assert_eq!(uniform(5, 100), vec![4; 5]);
+    }
+
+    #[test]
+    fn power_law_sequence_is_heavy_tailed() {
+        let seq = power_law(20000, 2.5, 5, 3);
+        let min = *seq.iter().min().unwrap();
+        let max = *seq.iter().max().unwrap();
+        assert_eq!(min, 5);
+        assert!(max > 50, "expected a heavy tail, max={max}");
+        // The bulk should sit near d_min.
+        let median = {
+            let mut s = seq.clone();
+            s.sort_unstable();
+            s[s.len() / 2]
+        };
+        assert!(median <= 10, "median {median}");
+    }
+
+    #[test]
+    fn sequences_are_deterministic_per_seed() {
+        assert_eq!(normal(100, 10.0, 2.0, 9), normal(100, 10.0, 2.0, 9));
+        assert_eq!(power_law(100, 2.2, 3, 9), power_law(100, 2.2, 3, 9));
+        assert_ne!(normal(100, 10.0, 2.0, 9), normal(100, 10.0, 2.0, 10));
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent must exceed 1")]
+    fn power_law_rejects_bad_gamma() {
+        power_law(10, 1.0, 2, 0);
+    }
+}

@@ -1,0 +1,434 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates alignment algorithms on five random-graph families
+//! (§5.1.2) plus configuration-model graphs for the scalability study
+//! (§6.6). All generators here are seeded and deterministic.
+//!
+//! * [`erdos_renyi`] — G(n, p) random graphs (paper: `p = 0.009`);
+//! * [`barabasi_albert`] — preferential attachment (paper: `m = 5`);
+//! * [`watts_strogatz`] — small-world rewiring (paper: `k = 10, p = 0.5`);
+//! * [`newman_watts`] — small-world with shortcut addition only (paper:
+//!   `k = 7, p = 0.5`);
+//! * [`powerlaw_cluster`] — Holme–Kim scale-free graphs with tunable
+//!   clustering (paper: `m = 5, p = 0.5`);
+//! * [`configuration_model`] — graphs with a prescribed degree sequence,
+//!   with [`degrees`] providing the normal/uniform/power-law sequences the
+//!   scalability and density sweeps use.
+
+pub mod degrees;
+
+use graphalign_graph::{Graph, GraphBuilder};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// Erdős–Rényi `G(n, p)`: every pair is an edge independently with
+/// probability `p` (paper default `p = 0.009`).
+///
+/// # Panics
+/// Panics if `p` is outside `[0, 1]`.
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "edge probability {p} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    // Geometric skipping: sample the gap to the next edge instead of a coin
+    // per pair; O(m) instead of O(n²) for sparse p.
+    if p > 0.0 {
+        let log_q = (1.0 - p).ln();
+        let total_pairs = n * n.saturating_sub(1) / 2;
+        let mut idx: usize = 0;
+        let pair = |k: usize| -> (usize, usize) {
+            // Map linear index k to pair (u, v), u < v, row-major over u.
+            let mut u = 0usize;
+            let mut k = k;
+            let mut row = n - 1;
+            while k >= row {
+                k -= row;
+                u += 1;
+                row -= 1;
+            }
+            (u, u + 1 + k)
+        };
+        if p >= 1.0 {
+            for k in 0..total_pairs {
+                edges.push(pair(k));
+            }
+        } else {
+            loop {
+                let r: f64 = rng.random_range(0.0_f64..1.0).max(f64::MIN_POSITIVE);
+                let gap = (r.ln() / log_q).floor() as usize;
+                idx = match idx.checked_add(gap) {
+                    Some(i) => i,
+                    None => break,
+                };
+                if idx >= total_pairs {
+                    break;
+                }
+                edges.push(pair(idx));
+                idx += 1;
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Barabási–Albert preferential attachment: start from a star on `m + 1`
+/// nodes, then attach each new node to `m` existing nodes chosen with
+/// probability proportional to their degree (paper default `m = 5`).
+///
+/// # Panics
+/// Panics if `m == 0` or `n <= m`.
+pub fn barabasi_albert(n: usize, m: usize, seed: u64) -> Graph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n > m, "need n > m (got n={n}, m={m})");
+    let mut rng = StdRng::seed_from_u64(seed);
+    // `targets` holds one entry per edge endpoint: sampling uniformly from it
+    // is exactly degree-proportional sampling.
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(2 * m * n);
+    let mut edges: Vec<(usize, usize)> = Vec::with_capacity(m * n);
+    // Seed star.
+    for v in 0..m {
+        edges.push((v, m));
+        endpoint_pool.push(v);
+        endpoint_pool.push(m);
+    }
+    for v in (m + 1)..n {
+        let mut chosen: Vec<usize> = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while chosen.len() < m && guard < 100 * m {
+            guard += 1;
+            let t = endpoint_pool[rng.random_range(0..endpoint_pool.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        for &t in &chosen {
+            edges.push((v, t));
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small-world graph: ring lattice where each node connects
+/// to its `k` nearest neighbors (`k/2` on each side), then each edge is
+/// rewired with probability `p` (paper default `k = 10, p = 0.5`).
+///
+/// # Panics
+/// Panics if `k` is odd, `k == 0`, `k >= n`, or `p` outside `[0, 1]`.
+pub fn watts_strogatz(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k > 0 && k.is_multiple_of(2), "k must be positive and even (got {k})");
+    assert!(k < n, "need k < n (got k={k}, n={n})");
+    assert!((0.0..=1.0).contains(&p), "rewiring probability {p} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            builder.add_edge(u, (u + d) % n);
+        }
+    }
+    // Rewire: for each lattice edge (u, u+d), with probability p replace it
+    // by (u, w) with w uniform (avoiding self-loops and duplicates).
+    for u in 0..n {
+        for d in 1..=(k / 2) {
+            let v = (u + d) % n;
+            if rng.random_range(0.0_f64..1.0) >= p {
+                continue;
+            }
+            if !builder.has_edge(u, v) {
+                continue; // already rewired away by an earlier step
+            }
+            let mut guard = 0;
+            loop {
+                guard += 1;
+                if guard > 100 {
+                    break; // node saturated; keep the lattice edge
+                }
+                let w = rng.random_range(0..n);
+                if w != u && !builder.has_edge(u, w) {
+                    builder.remove_edge(u, v);
+                    builder.add_edge(u, w);
+                    break;
+                }
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Newman–Watts small-world graph: like [`watts_strogatz`] but shortcuts are
+/// *added* (per lattice edge, with probability `p`) instead of rewired, so
+/// no edge is ever removed (paper default `k = 7, p = 0.5`).
+///
+/// `k` may be odd (the lattice connects to `⌈k/2⌉` clockwise neighbors and
+/// `⌊k/2⌋` counter-clockwise, matching networkx's
+/// `newman_watts_strogatz_graph` rounding).
+///
+/// # Panics
+/// Panics if `k == 0`, `k >= n`, or `p` outside `[0, 1]`.
+pub fn newman_watts(n: usize, k: usize, p: f64, seed: u64) -> Graph {
+    assert!(k > 0, "k must be positive");
+    assert!(k < n, "need k < n (got k={k}, n={n})");
+    assert!((0.0..=1.0).contains(&p), "shortcut probability {p} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new(n);
+    let half = k.div_ceil(2);
+    for u in 0..n {
+        for d in 1..=half {
+            builder.add_edge(u, (u + d) % n);
+        }
+    }
+    let lattice: Vec<(usize, usize)> = builder.edge_vec();
+    for &(u, _) in &lattice {
+        if rng.random_range(0.0_f64..1.0) >= p {
+            continue;
+        }
+        let mut guard = 0;
+        loop {
+            guard += 1;
+            if guard > 100 {
+                break;
+            }
+            let w = rng.random_range(0..n);
+            if w != u && !builder.has_edge(u, w) {
+                builder.add_edge(u, w);
+                break;
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Holme–Kim power-law cluster graph: preferential attachment with `m` edges
+/// per new node, where after each preferential step a *triad formation* step
+/// follows with probability `p` — connect to a random neighbor of the node
+/// just linked, closing a triangle (paper default `m = 5, p = 0.5`).
+///
+/// # Panics
+/// Panics if `m == 0`, `n <= m`, or `p` outside `[0, 1]`.
+pub fn powerlaw_cluster(n: usize, m: usize, p: f64, seed: u64) -> Graph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n > m, "need n > m (got n={n}, m={m})");
+    assert!((0.0..=1.0).contains(&p), "triangle probability {p} outside [0, 1]");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut endpoint_pool: Vec<usize> = Vec::with_capacity(2 * m * n);
+    let mut builder = GraphBuilder::new(n);
+    for v in 0..m {
+        builder.add_edge(v, m);
+        endpoint_pool.push(v);
+        endpoint_pool.push(m);
+    }
+    for v in (m + 1)..n {
+        let mut added = 0usize;
+        let mut last_target: Option<usize> = None;
+        let mut guard = 0usize;
+        while added < m && guard < 200 * m {
+            guard += 1;
+            // Triad formation with probability p, when possible.
+            let candidate = if let Some(prev) = last_target {
+                if rng.random_range(0.0_f64..1.0) < p {
+                    let neigh: Vec<usize> = builder
+                        .edges()
+                        .filter_map(|(a, b)| {
+                            if a == prev {
+                                Some(b)
+                            } else if b == prev {
+                                Some(a)
+                            } else {
+                                None
+                            }
+                        })
+                        .collect();
+                    if neigh.is_empty() {
+                        None
+                    } else {
+                        Some(neigh[rng.random_range(0..neigh.len())])
+                    }
+                } else {
+                    None
+                }
+            } else {
+                None
+            };
+            let t = candidate
+                .unwrap_or_else(|| endpoint_pool[rng.random_range(0..endpoint_pool.len())]);
+            if t == v || builder.has_edge(v, t) {
+                continue;
+            }
+            builder.add_edge(v, t);
+            endpoint_pool.push(v);
+            endpoint_pool.push(t);
+            last_target = Some(t);
+            added += 1;
+        }
+    }
+    builder.build()
+}
+
+/// Erased configuration model: wires a graph whose degree sequence
+/// approximates `degrees` by random stub matching, then drops self-loops and
+/// duplicate edges (so realized degrees can fall slightly short — the
+/// standard "erased" variant, which is what the paper's scalability
+/// workloads need).
+///
+/// The sum of `degrees` may be odd; one stub is dropped in that case.
+pub fn configuration_model(degree_seq: &[usize], seed: u64) -> Graph {
+    let n = degree_seq.len();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<usize> = Vec::with_capacity(degree_seq.iter().sum());
+    for (v, &d) in degree_seq.iter().enumerate() {
+        assert!(d < n, "degree {d} of node {v} impossible in a simple graph on {n} nodes");
+        stubs.extend(std::iter::repeat_n(v, d));
+    }
+    if !stubs.len().is_multiple_of(2) {
+        stubs.pop();
+    }
+    stubs.shuffle(&mut rng);
+    let edges: Vec<(usize, usize)> =
+        stubs.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
+    // Graph::from_edges drops self-loops and duplicates (erasure).
+    Graph::from_edges(n, &edges)
+}
+
+/// The powerlaw-family benchmark graph of §6.2 / Figure 1 ("a random graph
+/// with power-law degree distribution"): a Holme–Kim graph with the paper's
+/// PL parameters at the requested size.
+pub fn figure1_powerlaw(n: usize, seed: u64) -> Graph {
+    powerlaw_cluster(n, 5, 0.5, seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_graph::traversal::connected_components;
+
+    #[test]
+    fn er_edge_count_near_expectation() {
+        let n = 500;
+        let p = 0.02;
+        let g = erdos_renyi(n, p, 7);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let m = g.edge_count() as f64;
+        assert!((m - expected).abs() < 4.0 * expected.sqrt(), "m={m}, expected≈{expected}");
+    }
+
+    #[test]
+    fn er_determinism_and_seed_sensitivity() {
+        assert_eq!(erdos_renyi(100, 0.05, 1), erdos_renyi(100, 0.05, 1));
+        assert_ne!(erdos_renyi(100, 0.05, 1), erdos_renyi(100, 0.05, 2));
+    }
+
+    #[test]
+    fn er_extreme_probabilities() {
+        let g = erdos_renyi(10, 0.0, 3);
+        assert_eq!(g.edge_count(), 0);
+        let g = erdos_renyi(10, 1.0, 3);
+        assert_eq!(g.edge_count(), 45);
+    }
+
+    #[test]
+    fn ba_edge_count_and_connectivity() {
+        let g = barabasi_albert(300, 5, 11);
+        // m seed-star edges + m per additional node.
+        assert_eq!(g.edge_count(), 5 + 5 * (300 - 6));
+        assert_eq!(connected_components(&g).count, 1);
+    }
+
+    #[test]
+    fn ba_degree_distribution_is_skewed() {
+        let g = barabasi_albert(2000, 5, 13);
+        let mut degrees = g.degrees();
+        degrees.sort_unstable();
+        let max = *degrees.last().unwrap();
+        let median = degrees[degrees.len() / 2];
+        assert!(max > 6 * median, "expected a heavy tail: max={max}, median={median}");
+    }
+
+    #[test]
+    fn ws_degree_is_conserved_in_total() {
+        let n = 200;
+        let k = 10;
+        let g = watts_strogatz(n, k, 0.5, 17);
+        // Rewiring preserves the edge count exactly (up to saturation guards).
+        assert_eq!(g.edge_count(), n * k / 2);
+    }
+
+    #[test]
+    fn ws_zero_p_is_the_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 19);
+        for v in 0..20 {
+            assert_eq!(g.degree(v), 4);
+            assert!(g.has_edge(v, (v + 1) % 20));
+            assert!(g.has_edge(v, (v + 2) % 20));
+        }
+    }
+
+    #[test]
+    fn nw_only_adds_edges() {
+        let base = newman_watts(100, 6, 0.0, 23);
+        let noisy = newman_watts(100, 6, 0.5, 23);
+        assert!(noisy.edge_count() > base.edge_count());
+        for (u, v) in base.edges() {
+            assert!(noisy.has_edge(u, v), "NW must never remove lattice edges");
+        }
+    }
+
+    #[test]
+    fn nw_handles_odd_k() {
+        let g = newman_watts(50, 7, 0.0, 29);
+        // ⌈7/2⌉ = 4 clockwise neighbors per node → degree 8 lattice.
+        for v in 0..50 {
+            assert_eq!(g.degree(v), 8);
+        }
+    }
+
+    #[test]
+    fn pl_has_more_triangles_than_ba() {
+        let ba = barabasi_albert(800, 5, 31);
+        let pl = powerlaw_cluster(800, 5, 0.9, 31);
+        let tri = |g: &Graph| g.triangles_per_node().iter().sum::<usize>() / 3;
+        let t_ba = tri(&ba);
+        let t_pl = tri(&pl);
+        assert!(
+            t_pl as f64 > 1.5 * t_ba as f64,
+            "triad formation should boost triangles: PL={t_pl}, BA={t_ba}"
+        );
+    }
+
+    #[test]
+    fn pl_edge_budget_matches_ba() {
+        let g = powerlaw_cluster(300, 5, 0.5, 37);
+        assert_eq!(g.edge_count(), 5 + 5 * (300 - 6));
+    }
+
+    #[test]
+    fn configuration_model_approximates_degree_sequence() {
+        let seq = vec![10usize; 400];
+        let g = configuration_model(&seq, 41);
+        assert_eq!(g.node_count(), 400);
+        let realized = g.avg_degree();
+        assert!(
+            (realized - 10.0).abs() < 0.5,
+            "erased configuration model should land near the target degree, got {realized}"
+        );
+    }
+
+    #[test]
+    fn configuration_model_odd_stub_sum() {
+        let g = configuration_model(&[3, 2, 2, 2], 43);
+        assert!(g.edge_count() <= 4, "odd stub sum drops one stub");
+        assert_eq!(g.node_count(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "impossible in a simple graph")]
+    fn configuration_model_rejects_impossible_degree() {
+        configuration_model(&[5, 1, 1], 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive and even")]
+    fn ws_rejects_odd_k() {
+        watts_strogatz(10, 3, 0.5, 0);
+    }
+}

@@ -1,0 +1,134 @@
+//! Incremental graph construction.
+
+use crate::graph::Graph;
+use std::collections::BTreeSet;
+
+/// An incremental builder for [`Graph`], used by the generators and the noise
+/// models, which add and remove edges one at a time while maintaining a
+/// queryable edge set.
+///
+/// Self-loops are silently ignored; duplicate insertions are idempotent.
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(usize, usize)>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `n` nodes and no edges.
+    pub fn new(n: usize) -> Self {
+        Self { n, edges: BTreeSet::new() }
+    }
+
+    /// Creates a builder pre-populated with the edges of `g`.
+    pub fn from_graph(g: &Graph) -> Self {
+        let mut b = Self::new(g.node_count());
+        for e in g.edges() {
+            b.add_edge(e.0, e.1);
+        }
+        b
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of edges currently present.
+    pub fn edge_count(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Normalizes an endpoint pair to the canonical `(min, max)` key.
+    fn key(u: usize, v: usize) -> (usize, usize) {
+        if u < v {
+            (u, v)
+        } else {
+            (v, u)
+        }
+    }
+
+    /// Adds the undirected edge `{u, v}`; returns whether it was new.
+    /// Self-loops are ignored (returns `false`).
+    ///
+    /// # Panics
+    /// Panics if an endpoint is out of bounds.
+    pub fn add_edge(&mut self, u: usize, v: usize) -> bool {
+        assert!(u < self.n && v < self.n, "edge ({u},{v}) out of bounds for n={}", self.n);
+        if u == v {
+            return false;
+        }
+        self.edges.insert(Self::key(u, v))
+    }
+
+    /// Removes the undirected edge `{u, v}`; returns whether it existed.
+    pub fn remove_edge(&mut self, u: usize, v: usize) -> bool {
+        self.edges.remove(&Self::key(u, v))
+    }
+
+    /// Whether the edge `{u, v}` is present.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        u != v && self.edges.contains(&Self::key(u, v))
+    }
+
+    /// The current edges in canonical `(u < v)` lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        self.edges.iter().copied()
+    }
+
+    /// Collects the edges into a vector (canonical order).
+    pub fn edge_vec(&self) -> Vec<(usize, usize)> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// Finalizes into an immutable [`Graph`].
+    pub fn build(&self) -> Graph {
+        Graph::from_edges(self.n, &self.edge_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_remove_round_trip() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1));
+        assert!(!b.add_edge(1, 0), "reversed duplicate must be idempotent");
+        assert!(b.has_edge(1, 0));
+        assert_eq!(b.edge_count(), 1);
+        assert!(b.remove_edge(0, 1));
+        assert!(!b.remove_edge(0, 1));
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn self_loops_rejected() {
+        let mut b = GraphBuilder::new(2);
+        assert!(!b.add_edge(1, 1));
+        assert!(!b.has_edge(1, 1));
+        assert_eq!(b.edge_count(), 0);
+    }
+
+    #[test]
+    fn build_round_trips_through_graph() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = GraphBuilder::from_graph(&g);
+        assert_eq!(b.build(), g);
+    }
+
+    #[test]
+    fn edges_in_canonical_order() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(3, 2);
+        b.add_edge(1, 0);
+        assert_eq!(b.edge_vec(), vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_panics() {
+        GraphBuilder::new(1).add_edge(0, 1);
+    }
+}

@@ -1,0 +1,220 @@
+//! The core undirected graph type.
+
+use graphalign_linalg::CsrMatrix;
+
+/// An immutable, undirected, unattributed graph in CSR form.
+///
+/// Nodes are `0..n`. Neighbor lists are sorted and deduplicated; self-loops
+/// are not representable (the [`crate::GraphBuilder`] drops them). Isolated
+/// nodes are allowed — several of the paper's real datasets keep nodes
+/// outside the largest connected component (Table 2, column ℓ), and the
+/// noise models can disconnect nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbors` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbor lists.
+    neighbors: Vec<usize>,
+}
+
+impl Graph {
+    /// Builds a graph from a node count and an (unordered, possibly
+    /// duplicated) undirected edge list. Self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for &(u, v) in edges {
+            assert!(u < n && v < n, "edge ({u},{v}) out of bounds for n={n}");
+            if u == v {
+                continue;
+            }
+            adj[u].push(v);
+            adj[v].push(u);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn edge_count(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: usize) -> usize {
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbor list of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: usize) -> &[usize] {
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists. `O(log deg(u))`.
+    pub fn has_edge(&self, u: usize, v: usize) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates each undirected edge once, as `(u, v)` with `u < v`, in
+    /// lexicographic order.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize)> + '_ {
+        (0..self.node_count()).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// All degrees.
+    pub fn degrees(&self) -> Vec<usize> {
+        (0..self.node_count()).map(|v| self.degree(v)).collect()
+    }
+
+    /// Maximum degree (`0` for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.node_count()).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2m / n` (`0.0` for the empty graph).
+    pub fn avg_degree(&self) -> f64 {
+        if self.node_count() == 0 {
+            0.0
+        } else {
+            self.neighbors.len() as f64 / self.node_count() as f64
+        }
+    }
+
+    /// Binary adjacency matrix as CSR.
+    pub fn adjacency(&self) -> CsrMatrix {
+        let n = self.node_count();
+        let triplets: Vec<(usize, usize, f64)> = (0..n)
+            .flat_map(|u| self.neighbors(u).iter().map(move |&v| (u, v, 1.0)))
+            .collect();
+        CsrMatrix::from_triplets(n, n, &triplets)
+    }
+
+    /// Number of triangles through each node (each triangle counted once per
+    /// corner). Used by the graphlet counter and by dataset statistics.
+    pub fn triangles_per_node(&self) -> Vec<usize> {
+        let n = self.node_count();
+        let mut count = vec![0usize; n];
+        for u in 0..n {
+            let nu = self.neighbors(u);
+            for (i, &v) in nu.iter().enumerate() {
+                if v <= u {
+                    continue;
+                }
+                for &w in &nu[i + 1..] {
+                    // u < v < w guaranteed by sortedness and the v <= u skip.
+                    if self.has_edge(v, w) {
+                        count[u] += 1;
+                        count[v] += 1;
+                        count[w] += 1;
+                    }
+                }
+            }
+        }
+        count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle();
+        assert_eq!(g.node_count(), 3);
+        assert_eq!(g.edge_count(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 2);
+        assert!((g.avg_degree() - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn duplicate_edges_and_self_loops_are_dropped() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.edge_count(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn neighbors_are_sorted() {
+        let g = Graph::from_edges(4, &[(0, 3), (0, 1), (0, 2)]);
+        assert_eq!(g.neighbors(0), &[1, 2, 3]);
+    }
+
+    #[test]
+    fn has_edge_is_symmetric() {
+        let g = triangle();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = Graph::from_edges(4, &[(2, 1), (0, 3), (1, 0)]);
+        let edges: Vec<(usize, usize)> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn adjacency_matrix_is_symmetric_binary() {
+        let g = triangle();
+        let a = g.adjacency();
+        assert_eq!(a.nnz(), 6);
+        for (u, v) in g.edges() {
+            assert_eq!(a.get(u, v), 1.0);
+            assert_eq!(a.get(v, u), 1.0);
+        }
+        assert_eq!(a.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn triangle_counting() {
+        // Triangle plus a pendant.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        assert_eq!(g.triangles_per_node(), vec![1, 1, 1, 0]);
+        // Two triangles sharing the edge (0,1).
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3), (1, 3)]);
+        assert_eq!(g.triangles_per_node(), vec![2, 2, 1, 1]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]);
+        assert_eq!(g.node_count(), 0);
+        assert_eq!(g.edge_count(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert_eq!(g.edges().count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_edge_panics() {
+        let _ = Graph::from_edges(2, &[(0, 2)]);
+    }
+}

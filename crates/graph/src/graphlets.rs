@@ -1,0 +1,409 @@
+//! Exact graphlet-degree signatures for GRAAL.
+//!
+//! GRAAL (paper §3.2) matches nodes by a *vector signature* counting, for
+//! each automorphism orbit of small connected graphs ("graphlets"), how often
+//! the node touches that orbit. We count the 15 orbits of the 9 connected
+//! graphlets on 2–4 nodes **exactly**, by enumerating every connected induced
+//! subgraph on ≤ 4 nodes once with the ESU algorithm (Wernicke, FANMOD) and
+//! classifying it by degree sequence. (Production GRAAL extends the
+//! dictionary to 5-node graphlets — 73 orbits — at `O(n⁵)` preprocessing
+//! cost; DESIGN.md §3 documents why the 4-node dictionary preserves GRAAL's
+//! behaviour in this study.)
+//!
+//! Orbit numbering follows Pržulj's standard scheme:
+//!
+//! | graphlet | orbits |
+//! |---|---|
+//! | edge | 0 (both ends) |
+//! | path P₃ | 1 (ends), 2 (middle) |
+//! | triangle | 3 |
+//! | path P₄ | 4 (ends), 5 (middles) |
+//! | star S₃ (claw) | 6 (leaves), 7 (center) |
+//! | cycle C₄ | 8 |
+//! | paw (tailed triangle) | 9 (tail), 10 (far triangle nodes), 11 (attachment) |
+//! | diamond | 12 (degree-2), 13 (degree-3) |
+//! | clique K₄ | 14 |
+
+use crate::graph::Graph;
+
+/// Number of node orbits over graphlets with 2–4 nodes.
+pub const ORBIT_COUNT: usize = 15;
+
+/// Orbit dependency counts `o_i` (how many orbits orbit `i` "affects"),
+/// from Milenković & Pržulj's GDV-similarity weighting, restricted to
+/// orbits 0–14. Weight of orbit `i` is `1 − log(o_i)/log(ORBIT_COUNT)`.
+pub const ORBIT_DEPENDENCIES: [u32; ORBIT_COUNT] =
+    [1, 2, 2, 2, 3, 4, 3, 3, 4, 3, 4, 4, 4, 4, 3];
+
+/// Per-node graphlet-degree vectors: `counts[v][o]` is the number of times
+/// node `v` touches orbit `o`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphletDegrees {
+    /// `counts[v]` is the 15-orbit signature of node `v`.
+    pub counts: Vec<[u64; ORBIT_COUNT]>,
+}
+
+impl GraphletDegrees {
+    /// GDV signature similarity `S(u, v) ∈ [0, 1]` between a node of this
+    /// graph and a node of `other`, per the GRAAL / Milenković–Pržulj
+    /// formula: a weighted mean of per-orbit log-scaled distances.
+    pub fn similarity(&self, u: usize, other: &GraphletDegrees, v: usize) -> f64 {
+        let cu = &self.counts[u];
+        let cv = &other.counts[v];
+        let mut total_weight = 0.0;
+        let mut total_dist = 0.0;
+        let log_orbits = (ORBIT_COUNT as f64).ln();
+        for i in 0..ORBIT_COUNT {
+            let w = 1.0 - (ORBIT_DEPENDENCIES[i] as f64).ln() / log_orbits;
+            let a = cu[i] as f64;
+            let b = cv[i] as f64;
+            let d = w * ((a + 1.0).ln() - (b + 1.0).ln()).abs() / (a.max(b) + 2.0).ln();
+            total_dist += d;
+            total_weight += w;
+        }
+        1.0 - total_dist / total_weight
+    }
+}
+
+/// Counts all 15 graphlet orbits for every node, exactly.
+///
+/// Runs ESU over subgraph sizes 2–4; the cost is proportional to the number
+/// of connected induced subgraphs on ≤ 4 nodes (roughly `O(n · Δ³)` on
+/// graphs of maximum degree Δ), which is what makes GRAAL the preprocessing-
+/// heavy method of the study.
+pub fn graphlet_degrees(g: &Graph) -> GraphletDegrees {
+    let n = g.node_count();
+    let mut counts = vec![[0u64; ORBIT_COUNT]; n];
+
+    // Orbit 0 is the degree; handle it directly.
+    for (v, row) in counts.iter_mut().enumerate() {
+        row[0] = g.degree(v) as u64;
+    }
+
+    // ESU: enumerate each connected induced subgraph on 3..=4 nodes exactly
+    // once, rooted at its minimum-index node.
+    let mut sub = Vec::with_capacity(4);
+    for v in 0..n {
+        let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        sub.push(v);
+        extend(g, &mut sub, &ext, v, &mut counts);
+        sub.pop();
+    }
+    GraphletDegrees { counts }
+}
+
+/// ESU recursion: `sub` is the current connected subgraph, `ext` the
+/// exclusive extension set, `root` the minimum-index node.
+fn extend(
+    g: &Graph,
+    sub: &mut Vec<usize>,
+    ext: &[usize],
+    root: usize,
+    counts: &mut [[u64; ORBIT_COUNT]],
+) {
+    if sub.len() >= 3 {
+        classify(g, sub, counts);
+    }
+    if sub.len() == 4 {
+        return;
+    }
+    for (i, &w) in ext.iter().enumerate() {
+        // Extension set for the recursive call: remaining candidates plus the
+        // *exclusive* neighborhood of w (neighbors of w, greater than root,
+        // not adjacent to or contained in the current subgraph).
+        let mut next_ext: Vec<usize> = ext[i + 1..].to_vec();
+        for &u in g.neighbors(w) {
+            if u <= root || sub.contains(&u) {
+                continue;
+            }
+            // Exclusive: u must not be a neighbor of any node already in sub
+            // (otherwise it is reachable from an earlier branch).
+            if sub.iter().any(|&s| g.has_edge(s, u)) {
+                continue;
+            }
+            if !next_ext.contains(&u) {
+                next_ext.push(u);
+            }
+        }
+        sub.push(w);
+        extend(g, sub, &next_ext, root, counts);
+        sub.pop();
+    }
+}
+
+/// Classifies the induced subgraph on `sub` (3 or 4 nodes) and increments
+/// the orbit counters of its nodes.
+fn classify(g: &Graph, sub: &[usize], counts: &mut [[u64; ORBIT_COUNT]]) {
+    let k = sub.len();
+    let mut deg = [0usize; 4];
+    let mut edges = 0usize;
+    for i in 0..k {
+        for j in (i + 1)..k {
+            if g.has_edge(sub[i], sub[j]) {
+                deg[i] += 1;
+                deg[j] += 1;
+                edges += 1;
+            }
+        }
+    }
+    if k == 3 {
+        match edges {
+            2 => {
+                // Path P₃: middle has degree 2.
+                for i in 0..3 {
+                    counts[sub[i]][if deg[i] == 2 { 2 } else { 1 }] += 1;
+                }
+            }
+            3 => {
+                for &v in sub {
+                    counts[v][3] += 1;
+                }
+            }
+            _ => unreachable!("ESU yields connected subgraphs only"),
+        }
+        return;
+    }
+    debug_assert_eq!(k, 4);
+    match edges {
+        3 => {
+            if deg.contains(&3) {
+                // Star: center degree 3, leaves orbit 6.
+                for i in 0..4 {
+                    counts[sub[i]][if deg[i] == 3 { 7 } else { 6 }] += 1;
+                }
+            } else {
+                // Path P₄: ends degree 1 → orbit 4, middles → orbit 5.
+                for i in 0..4 {
+                    counts[sub[i]][if deg[i] == 1 { 4 } else { 5 }] += 1;
+                }
+            }
+        }
+        4 => {
+            if deg.iter().all(|&d| d == 2) {
+                for &v in sub {
+                    counts[v][8] += 1;
+                }
+            } else {
+                // Paw: degree sequence (1, 2, 2, 3).
+                for i in 0..4 {
+                    let orbit = match deg[i] {
+                        1 => 9,
+                        2 => 10,
+                        3 => 11,
+                        _ => unreachable!("paw degrees are 1, 2, 3"),
+                    };
+                    counts[sub[i]][orbit] += 1;
+                }
+            }
+        }
+        5 => {
+            // Diamond: degree sequence (2, 2, 3, 3).
+            for i in 0..4 {
+                counts[sub[i]][if deg[i] == 2 { 12 } else { 13 }] += 1;
+            }
+        }
+        6 => {
+            for &v in sub {
+                counts[v][14] += 1;
+            }
+        }
+        _ => unreachable!("connected 4-node subgraphs have 3..=6 edges"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force orbit counting over all 3- and 4-subsets, used as the
+    /// reference implementation in tests.
+    fn brute_force(g: &Graph) -> GraphletDegrees {
+        let n = g.node_count();
+        let mut counts = vec![[0u64; ORBIT_COUNT]; n];
+        for (v, row) in counts.iter_mut().enumerate() {
+            row[0] = g.degree(v) as u64;
+        }
+        let connected = |nodes: &[usize]| {
+            // BFS within the induced subgraph.
+            let mut seen = vec![nodes[0]];
+            let mut stack = vec![nodes[0]];
+            while let Some(u) = stack.pop() {
+                for &w in nodes {
+                    if !seen.contains(&w) && g.has_edge(u, w) {
+                        seen.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            seen.len() == nodes.len()
+        };
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    let sub = [a, b, c];
+                    if connected(&sub) {
+                        classify(g, &sub, &mut counts);
+                    }
+                    for d in (c + 1)..n {
+                        let sub = [a, b, c, d];
+                        if connected(&sub) {
+                            classify(g, &sub, &mut counts);
+                        }
+                    }
+                }
+            }
+        }
+        GraphletDegrees { counts }
+    }
+
+    #[test]
+    fn triangle_orbits() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let gd = graphlet_degrees(&g);
+        for v in 0..3 {
+            assert_eq!(gd.counts[v][0], 2, "degree");
+            assert_eq!(gd.counts[v][3], 1, "triangle orbit");
+            assert_eq!(gd.counts[v][1], 0);
+            assert_eq!(gd.counts[v][2], 0);
+        }
+    }
+
+    #[test]
+    fn path4_orbits() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let gd = graphlet_degrees(&g);
+        // Ends of the P4.
+        assert_eq!(gd.counts[0][4], 1);
+        assert_eq!(gd.counts[3][4], 1);
+        // Middles.
+        assert_eq!(gd.counts[1][5], 1);
+        assert_eq!(gd.counts[2][5], 1);
+        // P3 sub-paths: (0,1,2) and (1,2,3).
+        assert_eq!(gd.counts[0][1], 1);
+        assert_eq!(gd.counts[1][2], 1);
+        assert_eq!(gd.counts[1][1], 1);
+    }
+
+    #[test]
+    fn star_orbits() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        let gd = graphlet_degrees(&g);
+        assert_eq!(gd.counts[0][7], 1, "center");
+        for v in 1..4 {
+            assert_eq!(gd.counts[v][6], 1, "leaf {v}");
+        }
+    }
+
+    #[test]
+    fn cycle4_orbits() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let gd = graphlet_degrees(&g);
+        for v in 0..4 {
+            assert_eq!(gd.counts[v][8], 1, "C4 orbit of node {v}");
+            assert_eq!(gd.counts[v][4], 0, "no induced P4 in C4");
+        }
+    }
+
+    #[test]
+    fn paw_orbits() {
+        // Triangle 0-1-2 with tail 2-3.
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+        let gd = graphlet_degrees(&g);
+        assert_eq!(gd.counts[3][9], 1, "tail");
+        assert_eq!(gd.counts[0][10], 1);
+        assert_eq!(gd.counts[1][10], 1);
+        assert_eq!(gd.counts[2][11], 1, "attachment");
+    }
+
+    #[test]
+    fn diamond_orbits() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let gd = graphlet_degrees(&g);
+        assert_eq!(gd.counts[1][12], 1);
+        assert_eq!(gd.counts[3][12], 1);
+        assert_eq!(gd.counts[0][13], 1);
+        assert_eq!(gd.counts[2][13], 1);
+    }
+
+    #[test]
+    fn clique4_orbits() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let gd = graphlet_degrees(&g);
+        for v in 0..4 {
+            assert_eq!(gd.counts[v][14], 1);
+            assert_eq!(gd.counts[v][3], 3, "each K4 node is in 3 triangles");
+            assert_eq!(gd.counts[v][12], 0, "diamonds are not induced in K4");
+            assert_eq!(gd.counts[v][13], 0, "diamonds are not induced in K4");
+        }
+    }
+
+    #[test]
+    fn clique4_diamond_is_not_induced() {
+        // In K4 no induced diamond exists: check orbit 12/13 come only from
+        // the 4 actual diamonds... wait, K4 contains no induced diamond at
+        // all. Orbits 12/13 inside K4 must come from 4-node subsets only,
+        // of which there is one (the clique itself) — so they must be 0.
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let bf = brute_force(&g);
+        let fast = graphlet_degrees(&g);
+        assert_eq!(bf, fast);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2023);
+        for trial in 0..8 {
+            let n = rng.random_range(5..12);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_range(0.0..1.0) < 0.35 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            assert_eq!(
+                graphlet_degrees(&g),
+                brute_force(&g),
+                "mismatch on trial {trial} (n={n}, m={})",
+                edges.len()
+            );
+        }
+    }
+
+    #[test]
+    fn similarity_is_reflexive_and_bounded() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)]);
+        let gd = graphlet_degrees(&g);
+        for u in 0..5 {
+            assert!((gd.similarity(u, &gd, u) - 1.0).abs() < 1e-12);
+            for v in 0..5 {
+                let s = gd.similarity(u, &gd, v);
+                assert!((0.0..=1.0).contains(&s), "similarity {s} out of range");
+                let s_rev = gd.similarity(v, &gd, u);
+                assert!((s - s_rev).abs() < 1e-12, "similarity must be symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_distinguishes_hub_from_leaf() {
+        // Star: center signature is very different from leaf signatures.
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (0, 3), (0, 4)]);
+        let gd = graphlet_degrees(&g);
+        let leaf_leaf = gd.similarity(1, &gd, 2);
+        let center_leaf = gd.similarity(0, &gd, 1);
+        assert!(leaf_leaf > center_leaf, "{leaf_leaf} vs {center_leaf}");
+    }
+
+    #[test]
+    fn empty_and_tiny_graphs() {
+        let gd = graphlet_degrees(&Graph::from_edges(0, &[]));
+        assert!(gd.counts.is_empty());
+        let gd = graphlet_degrees(&Graph::from_edges(2, &[(0, 1)]));
+        assert_eq!(gd.counts[0][0], 1);
+        assert_eq!(gd.counts[0][1..].iter().sum::<u64>(), 0);
+    }
+}

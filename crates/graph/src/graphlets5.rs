@@ -1,0 +1,453 @@
+//! Five-node graphlet orbits — the full 73-orbit GRAAL dictionary.
+//!
+//! Production GRAAL counts orbits over graphlets of 2–5 nodes: the 15
+//! orbits of [`crate::graphlets`] plus 58 orbits across the 21 connected
+//! graphs on five nodes. This module derives the 5-node orbit tables *from
+//! first principles* at first use:
+//!
+//! 1. enumerate all 2¹⁰ labeled graphs on five nodes and keep the connected
+//!    ones;
+//! 2. canonicalize each by minimizing its adjacency bitcode over all 120
+//!    vertex permutations (5! is small enough for brute force);
+//! 3. partition each canonical graphlet's vertices into automorphism orbits
+//!    (two positions share an orbit iff some automorphism maps one to the
+//!    other);
+//! 4. assign global orbit ids in the deterministic order of ascending
+//!    canonical code, then ascending orbit-representative position.
+//!
+//! The derivation is self-checked by the literature's constants: exactly
+//! **21** graphlet classes and **58** orbits must come out (tests below).
+//! Orbit *numbering* therefore differs from Pržulj's published order, which
+//! is immaterial for GDV similarity (both graphs use the same tables); the
+//! per-orbit weights use the graphlet's edge count as the complexity proxy
+//! in `w_i = 1 − ln(dep_i)/ln(73)`, mirroring the spirit of Milenković &
+//! Pržulj's dependency counts.
+
+use crate::graph::Graph;
+use crate::graphlets::{GraphletDegrees, ORBIT_COUNT};
+use std::collections::HashMap;
+use std::sync::OnceLock;
+
+/// Total orbit count with the 5-node dictionary enabled (15 + 58).
+pub const ORBIT_COUNT_5: usize = 73;
+
+/// Pair index into the 10-bit adjacency code of a 5-vertex graph:
+/// bit `PAIR_BIT[i][j]` encodes edge `{i, j}` (i < j).
+fn pair_bit(i: usize, j: usize) -> u16 {
+    let (a, b) = if i < j { (i, j) } else { (j, i) };
+    // Pairs in lexicographic order: (0,1)(0,2)(0,3)(0,4)(1,2)(1,3)(1,4)(2,3)(2,4)(3,4)
+    const INDEX: [[usize; 5]; 5] = [
+        [0, 0, 1, 2, 3],
+        [0, 0, 4, 5, 6],
+        [1, 4, 0, 7, 8],
+        [2, 5, 7, 0, 9],
+        [3, 6, 8, 9, 0],
+    ];
+    1u16 << INDEX[a][b]
+}
+
+/// All 120 permutations of `[0, 1, 2, 3, 4]`.
+fn permutations5() -> Vec<[usize; 5]> {
+    let mut out = Vec::with_capacity(120);
+    let mut items = [0usize, 1, 2, 3, 4];
+    heap_permute(&mut items, 5, &mut out);
+    out
+}
+
+fn heap_permute(items: &mut [usize; 5], k: usize, out: &mut Vec<[usize; 5]>) {
+    if k == 1 {
+        out.push(*items);
+        return;
+    }
+    for i in 0..k {
+        heap_permute(items, k - 1, out);
+        if k.is_multiple_of(2) {
+            items.swap(i, k - 1);
+        } else {
+            items.swap(0, k - 1);
+        }
+    }
+}
+
+/// Applies a vertex permutation to an adjacency bitcode.
+fn permute_code(code: u16, perm: &[usize; 5]) -> u16 {
+    let mut out = 0u16;
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            if code & pair_bit(i, j) != 0 {
+                out |= pair_bit(perm[i], perm[j]);
+            }
+        }
+    }
+    out
+}
+
+/// Whether the 5-vertex graph encoded by `code` is connected.
+fn is_connected_code(code: u16) -> bool {
+    let mut seen = [false; 5];
+    let mut stack = vec![0usize];
+    seen[0] = true;
+    let mut count = 1;
+    while let Some(u) = stack.pop() {
+        for (v, visited) in seen.iter_mut().enumerate() {
+            if v != u && !*visited && code & pair_bit(u, v) != 0 {
+                *visited = true;
+                count += 1;
+                stack.push(v);
+            }
+        }
+    }
+    count == 5
+}
+
+/// Derived orbit tables for all connected 5-vertex graphs.
+struct OrbitTables {
+    /// canonical code → per-position global orbit id (15-based).
+    orbits: HashMap<u16, [usize; 5]>,
+    /// canonical code → canonicalizing permutation per raw code is found on
+    /// the fly; this maps *raw* code → (canonical code, permutation raw→canon).
+    canon: HashMap<u16, (u16, [usize; 5])>,
+    /// Per global orbit id: the edge count of its graphlet (the weight
+    /// proxy).
+    orbit_edges: Vec<usize>,
+    /// Number of distinct graphlet classes (must be 21).
+    graphlet_classes: usize,
+}
+
+fn tables() -> &'static OrbitTables {
+    static TABLES: OnceLock<OrbitTables> = OnceLock::new();
+    TABLES.get_or_init(build_tables)
+}
+
+fn build_tables() -> OrbitTables {
+    let perms = permutations5();
+    let mut canon: HashMap<u16, (u16, [usize; 5])> = HashMap::new();
+    let mut classes: Vec<u16> = Vec::new();
+    for code in 0u16..1024 {
+        if !is_connected_code(code) {
+            continue;
+        }
+        let mut best = u16::MAX;
+        let mut best_perm = perms[0];
+        for p in &perms {
+            let pc = permute_code(code, p);
+            if pc < best {
+                best = pc;
+                best_perm = *p;
+            }
+        }
+        canon.insert(code, (best, best_perm));
+        if !classes.contains(&best) {
+            classes.push(best);
+        }
+    }
+    classes.sort_unstable();
+
+    // Automorphism orbits per canonical class, global ids assigned in
+    // deterministic order.
+    let mut orbits: HashMap<u16, [usize; 5]> = HashMap::new();
+    let mut orbit_edges: Vec<usize> = Vec::new();
+    let mut next_orbit = ORBIT_COUNT; // 5-node orbits start at 15
+    for &class in &classes {
+        // Positions p, q are in the same orbit iff an automorphism maps
+        // p to q.
+        let mut orbit_of = [usize::MAX; 5];
+        for p in 0..5 {
+            if orbit_of[p] != usize::MAX {
+                continue;
+            }
+            let id = next_orbit;
+            next_orbit += 1;
+            orbit_edges.push(class.count_ones() as usize);
+            orbit_of[p] = id;
+            for perm in &perms {
+                if permute_code(class, perm) == class {
+                    // perm is an automorphism; position p maps to perm[p].
+                    let q = perm[p];
+                    if orbit_of[q] == usize::MAX {
+                        orbit_of[q] = id;
+                    }
+                }
+            }
+        }
+        orbits.insert(class, orbit_of);
+    }
+    OrbitTables { orbits, canon, orbit_edges, graphlet_classes: classes.len() }
+}
+
+/// Per-node graphlet degrees over the full 2–5-node dictionary:
+/// `counts[v][o]` for orbits `o ∈ 0..73`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GraphletDegrees5 {
+    /// `counts[v]` is the 73-orbit signature of node `v`.
+    pub counts: Vec<Vec<u64>>,
+}
+
+impl GraphletDegrees5 {
+    /// GDV similarity over the 73 orbits, with edge-count-based weights
+    /// `w_i = 1 − ln(dep_i)/ln(73)` (`dep_i` = 1 for orbit 0, the graphlet
+    /// edge count otherwise).
+    pub fn similarity(&self, u: usize, other: &GraphletDegrees5, v: usize) -> f64 {
+        let cu = &self.counts[u];
+        let cv = &other.counts[v];
+        let t = tables();
+        let log_total = (ORBIT_COUNT_5 as f64).ln();
+        let mut total_weight = 0.0;
+        let mut total_dist = 0.0;
+        for i in 0..ORBIT_COUNT_5 {
+            let dep = if i == 0 {
+                1.0
+            } else if i < ORBIT_COUNT {
+                crate::graphlets::ORBIT_DEPENDENCIES[i] as f64
+            } else {
+                t.orbit_edges[i - ORBIT_COUNT] as f64
+            };
+            let w = 1.0 - dep.max(1.0).ln() / log_total;
+            let a = cu[i] as f64;
+            let b = cv[i] as f64;
+            total_dist += w * ((a + 1.0).ln() - (b + 1.0).ln()).abs() / (a.max(b) + 2.0).ln();
+            total_weight += w;
+        }
+        1.0 - total_dist / total_weight
+    }
+}
+
+/// Counts all 73 graphlet orbits for every node, exactly: the ≤4-node
+/// orbits via [`crate::graphlets::graphlet_degrees`] and the 5-node orbits
+/// via ESU at size 5 with canonical-form classification.
+///
+/// Cost is `O(#connected 5-subgraphs)` ≈ `O(n · Δ⁴)` — the preprocessing
+/// that gives GRAAL its `O(n⁵)` reputation; use the 15-orbit counter for
+/// anything beyond a few thousand nodes.
+pub fn graphlet_degrees_5(g: &Graph) -> GraphletDegrees5 {
+    let n = g.node_count();
+    let base: GraphletDegrees = crate::graphlets::graphlet_degrees(g);
+    let mut counts: Vec<Vec<u64>> = base
+        .counts
+        .iter()
+        .map(|small| {
+            let mut row = vec![0u64; ORBIT_COUNT_5];
+            row[..ORBIT_COUNT].copy_from_slice(&small[..]);
+            row
+        })
+        .collect();
+
+    // ESU for size exactly 5.
+    let mut sub: Vec<usize> = Vec::with_capacity(5);
+    for v in 0..n {
+        let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+        sub.push(v);
+        extend5(g, &mut sub, &ext, v, &mut counts);
+        sub.pop();
+    }
+    GraphletDegrees5 { counts }
+}
+
+fn extend5(
+    g: &Graph,
+    sub: &mut Vec<usize>,
+    ext: &[usize],
+    root: usize,
+    counts: &mut [Vec<u64>],
+) {
+    if sub.len() == 5 {
+        classify5(g, sub, counts);
+        return;
+    }
+    for (i, &w) in ext.iter().enumerate() {
+        let mut next_ext: Vec<usize> = ext[i + 1..].to_vec();
+        for &u in g.neighbors(w) {
+            if u <= root || sub.contains(&u) {
+                continue;
+            }
+            if sub.iter().any(|&s| g.has_edge(s, u)) {
+                continue;
+            }
+            if !next_ext.contains(&u) {
+                next_ext.push(u);
+            }
+        }
+        sub.push(w);
+        extend5(g, sub, &next_ext, root, counts);
+        sub.pop();
+    }
+}
+
+fn classify5(g: &Graph, sub: &[usize], counts: &mut [Vec<u64>]) {
+    debug_assert_eq!(sub.len(), 5);
+    let mut code = 0u16;
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            if g.has_edge(sub[i], sub[j]) {
+                code |= pair_bit(i, j);
+            }
+        }
+    }
+    let t = tables();
+    let (canonical, perm) = t.canon[&code];
+    let orbit_of = &t.orbits[&canonical];
+    for (pos, &node) in sub.iter().enumerate() {
+        // Position `pos` in the raw code maps to `perm[pos]` in the
+        // canonical graphlet.
+        counts[node][orbit_of[perm[pos]]] += 1;
+    }
+}
+
+/// Number of distinct connected 5-vertex graphlet classes (literature: 21).
+pub fn graphlet5_class_count() -> usize {
+    tables().graphlet_classes
+}
+
+/// Number of 5-node orbits (literature: 58).
+pub fn orbit5_count() -> usize {
+    tables().orbit_edges.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literature_constants_hold() {
+        // The canonical derivation must reproduce the published counts:
+        // 21 connected graphs on 5 vertices, 58 automorphism orbits.
+        assert_eq!(graphlet5_class_count(), 21);
+        assert_eq!(orbit5_count(), 58);
+        assert_eq!(ORBIT_COUNT + orbit5_count(), ORBIT_COUNT_5);
+    }
+
+    #[test]
+    fn five_cycle_is_a_single_orbit() {
+        // C5 is vertex-transitive: every node gets the same orbit exactly
+        // once, and no other 5-node orbit fires.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let gd = graphlet_degrees_5(&g);
+        let five_node_totals: Vec<u64> = (ORBIT_COUNT..ORBIT_COUNT_5)
+            .map(|o| gd.counts.iter().map(|c| c[o]).sum())
+            .collect();
+        let firing: Vec<usize> =
+            five_node_totals.iter().enumerate().filter(|(_, &v)| v > 0).map(|(i, _)| i).collect();
+        assert_eq!(firing.len(), 1, "exactly one 5-node orbit fires for C5");
+        assert_eq!(five_node_totals[firing[0]], 5, "each C5 node counted once");
+        for v in 0..5 {
+            assert_eq!(gd.counts[v][ORBIT_COUNT + firing[0]], 1);
+        }
+    }
+
+    #[test]
+    fn five_path_has_three_orbits() {
+        // P5's automorphism group is the reflection: orbits are
+        // {ends}, {second/fourth}, {middle}.
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let gd = graphlet_degrees_5(&g);
+        let mut firing = std::collections::HashMap::new();
+        for v in 0..5 {
+            for o in ORBIT_COUNT..ORBIT_COUNT_5 {
+                if gd.counts[v][o] > 0 {
+                    *firing.entry(o).or_insert(0u64) += gd.counts[v][o];
+                }
+            }
+        }
+        assert_eq!(firing.len(), 3, "P5 has three node orbits: {firing:?}");
+        let mut totals: Vec<u64> = firing.values().copied().collect();
+        totals.sort_unstable();
+        assert_eq!(totals, vec![1, 2, 2], "middle ×1, inner pair ×2, ends ×2");
+    }
+
+    #[test]
+    fn five_clique_is_a_single_orbit() {
+        let mut edges = Vec::new();
+        for i in 0..5 {
+            for j in (i + 1)..5 {
+                edges.push((i, j));
+            }
+        }
+        let g = Graph::from_edges(5, &edges);
+        let gd = graphlet_degrees_5(&g);
+        for v in 0..5 {
+            let five_total: u64 = (ORBIT_COUNT..ORBIT_COUNT_5).map(|o| gd.counts[v][o]).sum();
+            assert_eq!(five_total, 1, "K5 node {v}");
+        }
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(555);
+        for trial in 0..4 {
+            let n = rng.random_range(6..10);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_range(0.0..1.0) < 0.4 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let fast = graphlet_degrees_5(&g);
+            let brute = brute_force_5(&g);
+            assert_eq!(fast, brute, "trial {trial} (n={n}, m={})", edges.len());
+        }
+    }
+
+    /// Brute force: classify every connected 5-subset directly.
+    fn brute_force_5(g: &Graph) -> GraphletDegrees5 {
+        let n = g.node_count();
+        let base = crate::graphlets::graphlet_degrees(g);
+        let mut counts: Vec<Vec<u64>> = base
+            .counts
+            .iter()
+            .map(|small| {
+                let mut row = vec![0u64; ORBIT_COUNT_5];
+                row[..ORBIT_COUNT].copy_from_slice(&small[..]);
+                row
+            })
+            .collect();
+        let connected = |nodes: &[usize]| {
+            let mut seen = vec![nodes[0]];
+            let mut stack = vec![nodes[0]];
+            while let Some(u) = stack.pop() {
+                for &w in nodes {
+                    if !seen.contains(&w) && g.has_edge(u, w) {
+                        seen.push(w);
+                        stack.push(w);
+                    }
+                }
+            }
+            seen.len() == nodes.len()
+        };
+        for a in 0..n {
+            for b in (a + 1)..n {
+                for c in (b + 1)..n {
+                    for d in (c + 1)..n {
+                        for e in (d + 1)..n {
+                            let sub = [a, b, c, d, e];
+                            if connected(&sub) {
+                                classify5(g, &sub, &mut counts);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        GraphletDegrees5 { counts }
+    }
+
+    #[test]
+    fn similarity_is_reflexive_symmetric_bounded() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 6), (6, 0), (0, 3), (1, 4)],
+        );
+        let gd = graphlet_degrees_5(&g);
+        for u in 0..7 {
+            assert!((gd.similarity(u, &gd, u) - 1.0).abs() < 1e-12);
+            for v in 0..7 {
+                let s = gd.similarity(u, &gd, v);
+                assert!((0.0..=1.0).contains(&s));
+                assert!((s - gd.similarity(v, &gd, u)).abs() < 1e-12);
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! Undirected, unattributed graphs for the `graphalign` workspace.
+//!
+//! The EDBT 2023 study restricts itself to *unrestricted* graph alignment:
+//! the only input is the pair of undirected, unattributed graphs themselves.
+//! This crate provides that input type and the graph-level machinery the
+//! alignment algorithms consume:
+//!
+//! * [`Graph`] — immutable CSR-backed undirected graph ([`graph`]);
+//! * [`builder::GraphBuilder`] — edge ingestion with dedup/self-loop policy;
+//! * [`traversal`] — BFS, connected components, largest-component extraction;
+//! * [`spectral`] — adjacency/Laplacian operators bridging to
+//!   `graphalign-linalg`;
+//! * [`graphlets`] — exact graphlet-degree signatures (15 orbits, graphlets
+//!   on ≤ 4 nodes) for GRAAL;
+//! * [`graphlets5`] — the full 73-orbit dictionary (graphlets on ≤ 5
+//!   nodes), with orbit tables derived from first principles;
+//! * [`permutation`] — node permutations and the ground-truth bookkeeping the
+//!   evaluation protocol needs;
+//! * [`io`] — whitespace-separated edge-list parsing/serialization.
+
+pub mod builder;
+pub mod graph;
+pub mod graphlets;
+pub mod graphlets5;
+pub mod io;
+pub mod permutation;
+pub mod spectral;
+pub mod traversal;
+
+pub use builder::GraphBuilder;
+pub use graph::Graph;
+pub use permutation::Permutation;

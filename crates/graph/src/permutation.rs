@@ -1,0 +1,190 @@
+//! Node permutations and ground-truth bookkeeping.
+//!
+//! The evaluation protocol of the paper permutes the target graph's node ids
+//! before aligning (so algorithms cannot exploit id correlations) and keeps
+//! the permutation as the ground-truth alignment against which Accuracy is
+//! scored.
+
+use crate::graph::Graph;
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// A bijection on `0..n`, stored as `forward[i] = σ(i)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    forward: Vec<usize>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` elements.
+    pub fn identity(n: usize) -> Self {
+        Self { forward: (0..n).collect() }
+    }
+
+    /// A uniformly random permutation from the given seed (Fisher–Yates).
+    pub fn random(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut forward: Vec<usize> = (0..n).collect();
+        forward.shuffle(&mut rng);
+        Self { forward }
+    }
+
+    /// Wraps an explicit mapping.
+    ///
+    /// # Panics
+    /// Panics if `forward` is not a bijection on `0..n`.
+    pub fn from_vec(forward: Vec<usize>) -> Self {
+        let n = forward.len();
+        let mut seen = vec![false; n];
+        for &v in &forward {
+            assert!(v < n, "permutation image {v} out of range 0..{n}");
+            assert!(!seen[v], "permutation repeats image {v}");
+            seen[v] = true;
+        }
+        Self { forward }
+    }
+
+    /// Domain size.
+    pub fn len(&self) -> usize {
+        self.forward.len()
+    }
+
+    /// Whether the permutation is on the empty set.
+    pub fn is_empty(&self) -> bool {
+        self.forward.is_empty()
+    }
+
+    /// `σ(i)`.
+    #[inline]
+    pub fn apply(&self, i: usize) -> usize {
+        self.forward[i]
+    }
+
+    /// The underlying `forward` vector.
+    pub fn as_slice(&self) -> &[usize] {
+        &self.forward
+    }
+
+    /// The inverse permutation.
+    pub fn inverse(&self) -> Permutation {
+        let mut inv = vec![0; self.forward.len()];
+        for (i, &v) in self.forward.iter().enumerate() {
+            inv[v] = i;
+        }
+        Permutation { forward: inv }
+    }
+
+    /// Relabels the nodes of `g`: node `v` becomes `σ(v)`.
+    ///
+    /// # Panics
+    /// Panics if the sizes do not match.
+    pub fn apply_to_graph(&self, g: &Graph) -> Graph {
+        assert_eq!(g.node_count(), self.len(), "permutation size mismatch");
+        let edges: Vec<(usize, usize)> =
+            g.edges().map(|(u, v)| (self.apply(u), self.apply(v))).collect();
+        Graph::from_edges(g.node_count(), &edges)
+    }
+}
+
+/// A source graph, its permuted-and-perturbed target, and the ground-truth
+/// mapping from source node ids to target node ids.
+///
+/// This is the unit the evaluation pipeline passes around: algorithms see
+/// `(source, target)` and must recover `ground_truth`.
+#[derive(Debug, Clone)]
+pub struct AlignmentInstance {
+    /// Source graph `G_A`.
+    pub source: Graph,
+    /// Target graph `G_B` (typically a perturbed, permuted copy of `G_A`).
+    pub target: Graph,
+    /// `ground_truth[u]` is the target node corresponding to source node `u`.
+    pub ground_truth: Vec<usize>,
+}
+
+impl AlignmentInstance {
+    /// Builds the canonical benchmark instance: `target` is `source` with
+    /// node ids shuffled by a random permutation, and the ground truth is
+    /// that permutation. (Noise models further perturb `target` *after*
+    /// this step; see `graphalign-noise`.)
+    pub fn permuted(source: Graph, seed: u64) -> Self {
+        let perm = Permutation::random(source.node_count(), seed);
+        let target = perm.apply_to_graph(&source);
+        let ground_truth = perm.as_slice().to_vec();
+        Self { source, target, ground_truth }
+    }
+
+    /// Builds a self-alignment instance (target = source, identity truth).
+    pub fn identity(source: Graph) -> Self {
+        let target = source.clone();
+        let ground_truth = (0..source.node_count()).collect();
+        Self { source, target, ground_truth }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_round_trip() {
+        let p = Permutation::identity(4);
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert_eq!(p.apply_to_graph(&g), g);
+        assert_eq!(p.inverse(), p);
+    }
+
+    #[test]
+    fn inverse_composes_to_identity() {
+        let p = Permutation::random(20, 99);
+        let inv = p.inverse();
+        for i in 0..20 {
+            assert_eq!(inv.apply(p.apply(i)), i);
+            assert_eq!(p.apply(inv.apply(i)), i);
+        }
+    }
+
+    #[test]
+    fn random_permutation_is_deterministic_per_seed() {
+        assert_eq!(Permutation::random(10, 7), Permutation::random(10, 7));
+        assert_ne!(Permutation::random(100, 7), Permutation::random(100, 8));
+    }
+
+    #[test]
+    fn permuted_graph_is_isomorphic() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let p = Permutation::random(5, 3);
+        let h = p.apply_to_graph(&g);
+        assert_eq!(h.edge_count(), g.edge_count());
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(p.apply(u), p.apply(v)));
+        }
+        // Degrees are carried along.
+        for v in 0..5 {
+            assert_eq!(g.degree(v), h.degree(p.apply(v)));
+        }
+    }
+
+    #[test]
+    fn alignment_instance_ground_truth_is_consistent() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+        let inst = AlignmentInstance::permuted(g, 42);
+        for (u, v) in inst.source.edges() {
+            assert!(
+                inst.target.has_edge(inst.ground_truth[u], inst.ground_truth[v]),
+                "ground truth must map edges to edges (no noise applied)"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "repeats image")]
+    fn non_bijection_rejected() {
+        Permutation::from_vec(vec![0, 0, 1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_rejected() {
+        Permutation::from_vec(vec![0, 3]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Spectral operators: normalized adjacency and Laplacian matrices.
+//!
+//! GRASP builds on the eigenvectors of the normalized Laplacian
+//! `L = I − D^{−1/2} A D^{−1/2}` (paper §3.8); IsoRank and NSD iterate the
+//! degree-normalized adjacency `D^{−1} A`; CONE factorizes a proximity
+//! polynomial in the normalized adjacency. All of those operators are
+//! assembled here as CSR matrices over `graphalign-linalg`.
+
+use crate::graph::Graph;
+use graphalign_linalg::CsrMatrix;
+
+/// Degrees as `f64` (convenience for the normalizations below).
+pub fn degree_vector(g: &Graph) -> Vec<f64> {
+    (0..g.node_count()).map(|v| g.degree(v) as f64).collect()
+}
+
+/// Row-stochastic adjacency `D⁻¹ A` (rows of isolated nodes stay zero).
+pub fn row_normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let mut a = g.adjacency();
+    a.row_normalize();
+    a
+}
+
+/// Symmetrically normalized adjacency `D^{−1/2} A D^{−1/2}`.
+pub fn sym_normalized_adjacency(g: &Graph) -> CsrMatrix {
+    let mut a = g.adjacency();
+    let inv_sqrt: Vec<f64> = degree_vector(g)
+        .into_iter()
+        .map(|d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+        .collect();
+    a.scale_rows(&inv_sqrt);
+    a.scale_cols(&inv_sqrt);
+    a
+}
+
+/// Normalized Laplacian `L = I − D^{−1/2} A D^{−1/2}` as CSR.
+///
+/// Isolated nodes contribute a diagonal `1` (their row of the normalized
+/// adjacency is zero), keeping the spectrum inside `[0, 2]`.
+pub fn normalized_laplacian(g: &Graph) -> CsrMatrix {
+    let n = g.node_count();
+    let a = sym_normalized_adjacency(g);
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::with_capacity(a.nnz() + n);
+    for i in 0..n {
+        triplets.push((i, i, 1.0));
+        for (j, v) in a.row_iter(i) {
+            triplets.push((i, j, -v));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+/// Unnormalized (combinatorial) Laplacian `L = D − A` as CSR.
+pub fn combinatorial_laplacian(g: &Graph) -> CsrMatrix {
+    let n = g.node_count();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    for u in 0..n {
+        triplets.push((u, u, g.degree(u) as f64));
+        for &v in g.neighbors(u) {
+            triplets.push((u, v, -1.0));
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_linalg::eigen::symmetric_eigen;
+
+    fn path3() -> Graph {
+        Graph::from_edges(3, &[(0, 1), (1, 2)])
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one() {
+        let g = path3();
+        let a = row_normalized_adjacency(&g);
+        for s in a.row_sums() {
+            assert!((s - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn sym_normalized_is_symmetric() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0), (0, 2)]);
+        let a = sym_normalized_adjacency(&g);
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((a.get(i, j) - a.get(j, i)).abs() < 1e-15);
+            }
+        }
+    }
+
+    #[test]
+    fn normalized_laplacian_spectrum_in_0_2_with_zero_mode() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let l = normalized_laplacian(&g).to_dense();
+        let e = symmetric_eigen(&l).unwrap();
+        assert!(e.values[0].abs() < 1e-10, "connected graph must have λ₀ = 0");
+        for &v in &e.values {
+            assert!((-1e-10..=2.0 + 1e-10).contains(&v), "eigenvalue {v} outside [0,2]");
+        }
+    }
+
+    #[test]
+    fn laplacian_zero_multiplicity_counts_components() {
+        // Two disjoint edges: multiplicity of eigenvalue 0 must be 2.
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        let l = normalized_laplacian(&g).to_dense();
+        let e = symmetric_eigen(&l).unwrap();
+        let zeros = e.values.iter().filter(|v| v.abs() < 1e-10).count();
+        assert_eq!(zeros, 2);
+    }
+
+    #[test]
+    fn isolated_node_gets_unit_diagonal() {
+        let g = Graph::from_edges(2, &[]);
+        let l = normalized_laplacian(&g);
+        assert_eq!(l.get(0, 0), 1.0);
+        assert_eq!(l.get(1, 1), 1.0);
+    }
+
+    #[test]
+    fn combinatorial_laplacian_rows_sum_to_zero() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]);
+        let l = combinatorial_laplacian(&g);
+        for s in l.row_sums() {
+            assert!(s.abs() < 1e-15);
+        }
+        assert_eq!(l.get(0, 0), 2.0);
+        assert_eq!(l.get(0, 1), -1.0);
+    }
+
+    #[test]
+    fn degree_vector_matches_graph() {
+        let g = path3();
+        assert_eq!(degree_vector(&g), vec![1.0, 2.0, 1.0]);
+    }
+}

@@ -1,0 +1,196 @@
+//! Breadth-first search and connected components.
+//!
+//! GRASP's behaviour on graphs that noise has disconnected is a recurring
+//! theme of the paper (§6.4), so component analysis is part of the public
+//! API, together with the BFS-ring machinery GRAAL's seed-and-extend
+//! alignment uses.
+
+use crate::graph::Graph;
+use std::collections::VecDeque;
+
+/// BFS distances from `source`; unreachable nodes get `usize::MAX`.
+pub fn bfs_distances(g: &Graph, source: usize) -> Vec<usize> {
+    let n = g.node_count();
+    assert!(source < n, "bfs source {source} out of bounds");
+    let mut dist = vec![usize::MAX; n];
+    let mut queue = VecDeque::new();
+    dist[source] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for &v in g.neighbors(u) {
+            if dist[v] == usize::MAX {
+                dist[v] = dist[u] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Nodes at exactly distance `radius` from `source` (a BFS "sphere"), in
+/// ascending node order. GRAAL aligns spheres of equal radius around seeds.
+pub fn bfs_ring(g: &Graph, source: usize, radius: usize) -> Vec<usize> {
+    bfs_distances(g, source)
+        .into_iter()
+        .enumerate()
+        .filter(|&(_, d)| d == radius)
+        .map(|(v, _)| v)
+        .collect()
+}
+
+/// A partition of nodes into connected components.
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `labels[v]` is the component id of node `v` (ids are `0..count`,
+    /// assigned in order of discovery by increasing node id).
+    pub labels: Vec<usize>,
+    /// Number of components.
+    pub count: usize,
+    /// Component sizes, indexed by component id.
+    pub sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Id of the largest component (ties broken by lower id).
+    pub fn largest(&self) -> usize {
+        let mut best = 0;
+        for (i, &s) in self.sizes.iter().enumerate() {
+            if s > self.sizes[best] {
+                best = i;
+            }
+        }
+        best
+    }
+
+    /// Number of nodes outside the largest connected component — the ℓ column
+    /// of the paper's Table 2.
+    pub fn nodes_outside_largest(&self) -> usize {
+        let total: usize = self.sizes.iter().sum();
+        total - self.sizes[self.largest()]
+    }
+}
+
+/// Computes connected components by repeated BFS.
+pub fn connected_components(g: &Graph) -> Components {
+    let n = g.node_count();
+    let mut labels = vec![usize::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = VecDeque::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        let id = sizes.len();
+        let mut size = 0usize;
+        labels[start] = id;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            size += 1;
+            for &v in g.neighbors(u) {
+                if labels[v] == usize::MAX {
+                    labels[v] = id;
+                    queue.push_back(v);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    Components { labels, count: sizes.len(), sizes }
+}
+
+/// Whether the graph is connected (the empty graph counts as connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() == 0 || connected_components(g).count == 1
+}
+
+/// Extracts the largest connected component as a new graph, returning the
+/// mapping `old node id → new node id` for the retained nodes.
+pub fn largest_component(g: &Graph) -> (Graph, Vec<Option<usize>>) {
+    let comps = connected_components(g);
+    if comps.count == 0 {
+        return (Graph::from_edges(0, &[]), Vec::new());
+    }
+    let keep = comps.largest();
+    let mut mapping = vec![None; g.node_count()];
+    let mut next = 0usize;
+    for (v, slot) in mapping.iter_mut().enumerate() {
+        if comps.labels[v] == keep {
+            *slot = Some(next);
+            next += 1;
+        }
+    }
+    let edges: Vec<(usize, usize)> = g
+        .edges()
+        .filter_map(|(u, v)| Some((mapping[u]?, mapping[v]?)))
+        .collect();
+    (Graph::from_edges(next, &edges), mapping)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles() -> Graph {
+        Graph::from_edges(7, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)])
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        assert_eq!(bfs_distances(&g, 0), vec![0, 1, 2, 3]);
+        assert_eq!(bfs_distances(&g, 2), vec![2, 1, 0, 1]);
+    }
+
+    #[test]
+    fn bfs_unreachable_is_max() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        assert_eq!(bfs_distances(&g, 0)[2], usize::MAX);
+    }
+
+    #[test]
+    fn bfs_ring_extracts_spheres() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 2), (1, 3), (2, 4)]);
+        assert_eq!(bfs_ring(&g, 0, 0), vec![0]);
+        assert_eq!(bfs_ring(&g, 0, 1), vec![1, 2]);
+        assert_eq!(bfs_ring(&g, 0, 2), vec![3, 4]);
+    }
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let g = two_triangles(); // node 6 is isolated
+        let c = connected_components(&g);
+        assert_eq!(c.count, 3);
+        assert_eq!(c.sizes, vec![3, 3, 1]);
+        assert_eq!(c.largest(), 0);
+        assert_eq!(c.nodes_outside_largest(), 4);
+        assert!(!is_connected(&g));
+    }
+
+    #[test]
+    fn connected_graph_detected() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        assert!(is_connected(&g));
+        assert!(is_connected(&Graph::from_edges(0, &[])));
+        assert!(is_connected(&Graph::from_edges(1, &[])));
+    }
+
+    #[test]
+    fn largest_component_extraction_renumbers() {
+        let g = Graph::from_edges(6, &[(3, 4), (4, 5), (5, 3), (0, 1)]);
+        let (lcc, mapping) = largest_component(&g);
+        assert_eq!(lcc.node_count(), 3);
+        assert_eq!(lcc.edge_count(), 3);
+        assert_eq!(mapping[0], None);
+        assert_eq!(mapping[3], Some(0));
+        assert_eq!(mapping[5], Some(2));
+        // The extracted component is a triangle.
+        assert!(lcc.has_edge(0, 1) && lcc.has_edge(1, 2) && lcc.has_edge(0, 2));
+    }
+
+    #[test]
+    fn largest_component_of_empty_graph() {
+        let (lcc, mapping) = largest_component(&Graph::from_edges(0, &[]));
+        assert_eq!(lcc.node_count(), 0);
+        assert!(mapping.is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Property-based tests of graph invariants.
+
+use graphalign_graph::graphlets::{graphlet_degrees, ORBIT_COUNT};
+use graphalign_graph::io::{parse_edge_list, write_edge_list};
+use graphalign_graph::spectral;
+use graphalign_graph::traversal::{bfs_distances, connected_components, largest_component};
+use graphalign_graph::{Graph, GraphBuilder, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a random simple graph on up to `max_n` nodes.
+fn graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (2usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..3 * n)
+            .prop_map(move |edges| Graph::from_edges(n, &edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Handshake lemma: degree sum equals twice the edge count.
+    #[test]
+    fn handshake_lemma(g in graph(30)) {
+        let degree_sum: usize = g.degrees().iter().sum();
+        prop_assert_eq!(degree_sum, 2 * g.edge_count());
+    }
+
+    /// Adjacency is symmetric and the edges iterator is consistent with
+    /// `has_edge`.
+    #[test]
+    fn adjacency_consistency(g in graph(25)) {
+        for (u, v) in g.edges() {
+            prop_assert!(u < v);
+            prop_assert!(g.has_edge(u, v));
+            prop_assert!(g.has_edge(v, u));
+        }
+        let m = g.adjacency();
+        prop_assert_eq!(m.nnz(), 2 * g.edge_count());
+    }
+
+    /// Component sizes partition the node set; the largest-component
+    /// extraction keeps exactly its size.
+    #[test]
+    fn components_partition(g in graph(25)) {
+        let c = connected_components(&g);
+        prop_assert_eq!(c.sizes.iter().sum::<usize>(), g.node_count());
+        let (lcc, mapping) = largest_component(&g);
+        prop_assert_eq!(lcc.node_count(), c.sizes[c.largest()]);
+        let kept = mapping.iter().filter(|m| m.is_some()).count();
+        prop_assert_eq!(kept, lcc.node_count());
+    }
+
+    /// BFS distances satisfy the triangle property along edges: adjacent
+    /// nodes differ by at most 1 in distance from any source.
+    #[test]
+    fn bfs_lipschitz(g in graph(25), src_frac in 0.0f64..1.0) {
+        let n = g.node_count();
+        let src = ((src_frac * n as f64) as usize).min(n - 1);
+        let d = bfs_distances(&g, src);
+        for (u, v) in g.edges() {
+            match (d[u], d[v]) {
+                (usize::MAX, usize::MAX) => {}
+                (a, b) => {
+                    prop_assert!(a != usize::MAX && b != usize::MAX,
+                        "edge between reached and unreached node");
+                    prop_assert!(a.abs_diff(b) <= 1);
+                }
+            }
+        }
+    }
+
+    /// Permuting a graph preserves all graph invariants and graphlet orbit
+    /// totals (GDVs are permutation-covariant).
+    #[test]
+    fn permutation_preserves_structure(g in graph(18), seed in any::<u64>()) {
+        let p = Permutation::random(g.node_count(), seed);
+        let h = p.apply_to_graph(&g);
+        prop_assert_eq!(h.edge_count(), g.edge_count());
+        // Degree multiset preserved.
+        let mut dg = g.degrees();
+        let mut dh = h.degrees();
+        dg.sort_unstable();
+        dh.sort_unstable();
+        prop_assert_eq!(dg, dh);
+        // Per-node graphlet signatures carried along exactly.
+        let gd_g = graphlet_degrees(&g);
+        let gd_h = graphlet_degrees(&h);
+        for v in 0..g.node_count() {
+            prop_assert_eq!(gd_g.counts[v], gd_h.counts[p.apply(v)]);
+        }
+    }
+
+    /// Graphlet orbit totals are internally consistent: orbit 3 counts each
+    /// triangle at 3 nodes, so the total is divisible by 3; similarly orbit
+    /// 14 (K4) at 4 nodes and orbit 8 (C4) at 4 nodes.
+    #[test]
+    fn orbit_count_divisibility(g in graph(16)) {
+        let gd = graphlet_degrees(&g);
+        let total = |o: usize| gd.counts.iter().map(|c| c[o]).sum::<u64>();
+        prop_assert_eq!(total(3) % 3, 0, "triangle orbit");
+        prop_assert_eq!(total(8) % 4, 0, "C4 orbit");
+        prop_assert_eq!(total(14) % 4, 0, "K4 orbit");
+        // Paw: 1 tail + 2 far + 1 attachment per paw.
+        prop_assert_eq!(total(10) % 2, 0, "paw far orbit");
+        prop_assert_eq!(total(9), total(11), "paw tail == paw attachment");
+        // P4: 2 ends and 2 middles per path.
+        prop_assert_eq!(total(4), total(5), "P4 ends == middles");
+        // Star: 3 leaves per center.
+        prop_assert_eq!(total(6), 3 * total(7), "star leaves == 3x centers");
+        // Diamond: 2 degree-2 and 2 degree-3 nodes per diamond.
+        prop_assert_eq!(total(12), total(13), "diamond orbits");
+        let _ = ORBIT_COUNT;
+    }
+
+    /// Laplacian row sums: the normalized Laplacian applied to the all-ones
+    /// vector restricted to a regular graph's component is ~0 on non-isolated
+    /// regular nodes; more robustly, the combinatorial Laplacian annihilates
+    /// the all-ones vector on every graph.
+    #[test]
+    fn combinatorial_laplacian_annihilates_ones(g in graph(20)) {
+        let l = spectral::combinatorial_laplacian(&g);
+        let ones = vec![1.0; g.node_count()];
+        for v in l.mul_vec(&ones) {
+            prop_assert!(v.abs() < 1e-12);
+        }
+    }
+
+    /// Edge-list IO round-trips the structure.
+    #[test]
+    fn io_round_trip(g in graph(20)) {
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let parsed = parse_edge_list(std::str::from_utf8(&buf).unwrap()).unwrap();
+        prop_assert_eq!(parsed.graph.edge_count(), g.edge_count());
+        // Isolated nodes are not representable in an edge list; only the
+        // incident structure must survive.
+        for (u, v) in g.edges() {
+            let pu = parsed.original_ids.iter().position(|&x| x == u as u64).unwrap();
+            let pv = parsed.original_ids.iter().position(|&x| x == v as u64).unwrap();
+            prop_assert!(parsed.graph.has_edge(pu, pv));
+        }
+    }
+
+    /// GraphBuilder round-trips arbitrary edit sequences into consistent
+    /// graphs.
+    #[test]
+    fn builder_edit_sequences(
+        n in 3usize..15,
+        ops in proptest::collection::vec((any::<bool>(), 0usize..15, 0usize..15), 0..60),
+    ) {
+        let mut b = GraphBuilder::new(n);
+        for (add, u, v) in ops {
+            let (u, v) = (u % n, v % n);
+            if add {
+                b.add_edge(u, v);
+            } else {
+                b.remove_edge(u, v);
+            }
+        }
+        let g = b.build();
+        prop_assert_eq!(g.edge_count(), b.edge_count());
+        for (u, v) in g.edges() {
+            prop_assert!(b.has_edge(u, v));
+        }
+    }
+}

@@ -1,0 +1,457 @@
+//! Row-major dense `f64` matrices.
+//!
+//! [`DenseMatrix`] is the workhorse representation for the similarity matrices
+//! the alignment algorithms exchange with the assignment solvers, for
+//! embedding matrices (rows = nodes), and for the small square systems inside
+//! the eigen/SVD/QR routines. Hot products are parallelized with rayon over
+//! rows, which matches the paper's use of a many-core testbed.
+
+use crate::vec_ops;
+use rayon::prelude::*;
+
+/// A dense row-major matrix of `f64`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero `rows × cols` matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Creates a matrix filled with `value`.
+    pub fn filled(rows: usize, cols: usize, value: f64) -> Self {
+        Self { rows, cols, data: vec![value; rows * cols] }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f64) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for i in 0..rows {
+            for j in 0..cols {
+                data.push(f(i, j));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix from row slices. All rows must have equal length.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut data = Vec::with_capacity(r * c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "from_rows: row {i} has length {} != {c}", row.len());
+            data.extend_from_slice(row);
+        }
+        Self { rows: r, cols: c, data }
+    }
+
+    /// Wraps an existing row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f64>) -> Self {
+        assert_eq!(data.len(), rows * cols, "from_vec: buffer length mismatch");
+        Self { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `(rows, cols)`.
+    #[inline]
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    /// Element access.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j]
+    }
+
+    /// Element assignment.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        debug_assert!(i < self.rows && j < self.cols, "index ({i},{j}) out of bounds");
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// Adds `v` to entry `(i, j)`.
+    #[inline]
+    pub fn add_to(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.cols + j] += v;
+    }
+
+    /// Borrow of row `i`.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable borrow of row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f64] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Copy of column `j`.
+    pub fn col(&self, j: usize) -> Vec<f64> {
+        (0..self.rows).map(|i| self.get(i, j)).collect()
+    }
+
+    /// The underlying row-major buffer.
+    #[inline]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// Mutable underlying row-major buffer.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        &mut self.data
+    }
+
+    /// Consumes the matrix and returns its buffer.
+    pub fn into_vec(self) -> Vec<f64> {
+        self.data
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut t = DenseMatrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                t.set(j, i, self.get(i, j));
+            }
+        }
+        t
+    }
+
+    /// Matrix product `self * rhs`, parallelized over rows of `self`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul: inner dimensions differ ({}x{} * {}x{})",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let (m, k, n) = (self.rows, self.cols, rhs.cols);
+        let mut out = vec![0.0; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            let a_row = self.row(i);
+            // ikj loop order: stream through rhs rows, accumulate into out_row.
+            for (l, &a_il) in a_row.iter().enumerate().take(k) {
+                if a_il == 0.0 {
+                    continue;
+                }
+                let b_row = rhs.row(l);
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_il * b_lj;
+                }
+            }
+        });
+        DenseMatrix { rows: m, cols: n, data: out }
+    }
+
+    /// `selfᵀ * rhs` without materializing the transpose.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn tr_matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, rhs.rows, "tr_matmul: row counts differ");
+        let (m, n) = (self.cols, rhs.cols);
+        let mut out = DenseMatrix::zeros(m, n);
+        for l in 0..self.rows {
+            let a_row = self.row(l);
+            let b_row = rhs.row(l);
+            for (i, &a_li) in a_row.iter().enumerate() {
+                if a_li == 0.0 {
+                    continue;
+                }
+                let out_row = out.row_mut(i);
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_li * b_lj;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self * rhsᵀ`.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_tr(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.cols, "matmul_tr: column counts differ");
+        let (m, n) = (self.rows, rhs.rows);
+        let mut out = vec![0.0; m * n];
+        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            let a_row = self.row(i);
+            for (j, o) in out_row.iter_mut().enumerate() {
+                *o = vec_ops::dot(a_row, rhs.row(j));
+            }
+        });
+        DenseMatrix { rows: m, cols: n, data: out }
+    }
+
+    /// Matrix–vector product `self * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// Matrix–vector product into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
+        assert_eq!(out.len(), self.rows, "mul_vec: out length mismatch");
+        for (i, o) in out.iter_mut().enumerate() {
+            *o = vec_ops::dot(self.row(i), x);
+        }
+    }
+
+    /// Vector–matrix product `xᵀ * self` (i.e. `selfᵀ x`).
+    pub fn tr_mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tr_mul_vec: x length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for (i, &xi) in x.iter().enumerate() {
+            if xi == 0.0 {
+                continue;
+            }
+            vec_ops::axpy(xi, self.row(i), &mut out);
+        }
+        out
+    }
+
+    /// Entry-wise sum `self + rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "add: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a + b).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// Entry-wise difference `self − rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn sub(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.shape(), rhs.shape(), "sub: shape mismatch");
+        let data = self.data.iter().zip(&rhs.data).map(|(a, b)| a - b).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place `self ← self + alpha * rhs`.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled(&mut self, alpha: f64, rhs: &DenseMatrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled: shape mismatch");
+        vec_ops::axpy(alpha, &rhs.data, &mut self.data);
+    }
+
+    /// Scaled copy `alpha * self`.
+    pub fn scaled(&self, alpha: f64) -> DenseMatrix {
+        let data = self.data.iter().map(|v| alpha * v).collect();
+        DenseMatrix { rows: self.rows, cols: self.cols, data }
+    }
+
+    /// In-place scaling `self ← alpha * self`.
+    pub fn scale_inplace(&mut self, alpha: f64) {
+        vec_ops::scale(alpha, &mut self.data);
+    }
+
+    /// Applies `f` to every entry in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
+        self.data.par_iter_mut().for_each(|v| *v = f(*v));
+    }
+
+    /// Frobenius norm `‖self‖_F`.
+    pub fn frobenius_norm(&self) -> f64 {
+        vec_ops::norm2(&self.data)
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f64 {
+        vec_ops::sum(&self.data)
+    }
+
+    /// Maximum absolute entry; `0.0` for an empty matrix.
+    pub fn max_abs(&self) -> f64 {
+        self.data.iter().fold(0.0_f64, |acc, v| acc.max(v.abs()))
+    }
+
+    /// True when every entry is finite.
+    pub fn all_finite(&self) -> bool {
+        vec_ops::all_finite(&self.data)
+    }
+
+    /// Normalizes every row to unit Euclidean norm; zero rows are left as-is.
+    pub fn normalize_rows(&mut self) {
+        let cols = self.cols;
+        self.data.par_chunks_mut(cols).for_each(|row| {
+            vec_ops::normalize(row);
+        });
+    }
+
+    /// Extracts the sub-matrix with the given rows (in order).
+    pub fn select_rows(&self, idx: &[usize]) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(idx.len(), self.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            out.row_mut(r).copy_from_slice(self.row(i));
+        }
+        out
+    }
+
+    /// Horizontal stack `[self | rhs]`.
+    ///
+    /// # Panics
+    /// Panics if the row counts differ.
+    pub fn hstack(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, rhs.rows, "hstack: row counts differ");
+        let mut out = DenseMatrix::zeros(self.rows, self.cols + rhs.cols);
+        for i in 0..self.rows {
+            out.row_mut(i)[..self.cols].copy_from_slice(self.row(i));
+            out.row_mut(i)[self.cols..].copy_from_slice(rhs.row(i));
+        }
+        out
+    }
+
+    /// Vertical stack `[self; rhs]`.
+    ///
+    /// # Panics
+    /// Panics if the column counts differ.
+    pub fn vstack(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.cols, "vstack: column counts differ");
+        let mut data = self.data.clone();
+        data.extend_from_slice(&rhs.data);
+        DenseMatrix { rows: self.rows + rhs.rows, cols: self.cols, data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx(a: &DenseMatrix, b: &DenseMatrix, tol: f64) -> bool {
+        a.shape() == b.shape() && a.sub(b).max_abs() < tol
+    }
+
+    #[test]
+    fn identity_is_multiplicative_identity() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let i = DenseMatrix::identity(2);
+        assert!(approx(&a.matmul(&i), &a, 1e-15));
+        assert!(approx(&i.matmul(&a), &a, 1e-15));
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = a.matmul(&b);
+        assert_eq!(c, DenseMatrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn tr_matmul_equals_explicit_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]]);
+        let b = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0]]);
+        assert!(approx(&a.tr_matmul(&b), &a.transpose().matmul(&b), 1e-14));
+    }
+
+    #[test]
+    fn matmul_tr_equals_explicit_transpose() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = DenseMatrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0], &[9.0, 1.0]]);
+        assert!(approx(&a.matmul_tr(&b), &a.matmul(&b.transpose()), 1e-14));
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = DenseMatrix::from_fn(3, 5, |i, j| (i * 5 + j) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn mul_vec_and_tr_mul_vec() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        assert_eq!(a.mul_vec(&[1.0, 1.0]), vec![3.0, 7.0, 11.0]);
+        assert_eq!(a.tr_mul_vec(&[1.0, 1.0, 1.0]), vec![9.0, 12.0]);
+    }
+
+    #[test]
+    fn row_normalization_makes_unit_rows_and_keeps_zero_rows() {
+        let mut a = DenseMatrix::from_rows(&[&[3.0, 4.0], &[0.0, 0.0]]);
+        a.normalize_rows();
+        assert!((crate::vec_ops::norm2(a.row(0)) - 1.0).abs() < 1e-15);
+        assert_eq!(a.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn stacking() {
+        let a = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
+        let b = DenseMatrix::from_rows(&[&[3.0], &[4.0]]);
+        assert_eq!(a.hstack(&b), DenseMatrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
+        assert_eq!(
+            a.vstack(&b),
+            DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
+        );
+    }
+
+    #[test]
+    fn select_rows_reorders() {
+        let a = DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0]]);
+        assert_eq!(a.select_rows(&[2, 0]), DenseMatrix::from_rows(&[&[3.0], &[1.0]]));
+    }
+
+    #[test]
+    fn frobenius_and_sum() {
+        let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
+        assert_eq!(a.sum(), 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "matmul: inner dimensions differ")]
+    fn matmul_dimension_mismatch_panics() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 3);
+        let _ = a.matmul(&b);
+    }
+}

@@ -1,0 +1,374 @@
+//! Exact dense symmetric eigendecomposition.
+//!
+//! The implementation is the classical two-stage EISPACK pipeline used by
+//! every serious numerical library:
+//!
+//! 1. `tred2` — Householder reduction of a real symmetric matrix to
+//!    tridiagonal form, accumulating the orthogonal transformation;
+//! 2. `tql2` — implicit-shift QL iteration on the tridiagonal matrix.
+//!
+//! The result is the full spectrum with orthonormal eigenvectors, suitable for
+//! the modest dense systems this workspace needs (GRASP's base-alignment
+//! blocks, Gram matrices inside [`crate::svd`], landmark matrices in REGAL,
+//! Procrustes steps in CONE). For the *bottom-k* of large sparse Laplacians,
+//! use [`crate::lanczos`] instead.
+
+use crate::dense::DenseMatrix;
+use crate::LinalgError;
+
+/// A full symmetric eigendecomposition `M = V diag(λ) Vᵀ`.
+#[derive(Debug, Clone)]
+pub struct SymmetricEigen {
+    /// Eigenvalues in ascending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as *columns*, in the order of [`Self::values`].
+    pub vectors: DenseMatrix,
+}
+
+impl SymmetricEigen {
+    /// Eigenvector for `values[k]`, as an owned column.
+    pub fn vector(&self, k: usize) -> Vec<f64> {
+        self.vectors.col(k)
+    }
+}
+
+/// Computes the full eigendecomposition of a symmetric matrix.
+///
+/// Only the lower triangle of `m` is read; the strictly upper triangle is
+/// assumed to mirror it.
+///
+/// # Errors
+/// Returns [`LinalgError::NotFinite`] for NaN/inf input and
+/// [`LinalgError::NoConvergence`] if the QL iteration stalls (essentially
+/// impossible for finite input).
+///
+/// # Panics
+/// Panics if `m` is not square.
+pub fn symmetric_eigen(m: &DenseMatrix) -> Result<SymmetricEigen, LinalgError> {
+    assert_eq!(m.rows(), m.cols(), "symmetric_eigen: matrix must be square");
+    if !m.all_finite() {
+        return Err(LinalgError::NotFinite { routine: "symmetric_eigen" });
+    }
+    let n = m.rows();
+    if n == 0 {
+        return Ok(SymmetricEigen { values: Vec::new(), vectors: DenseMatrix::zeros(0, 0) });
+    }
+    let mut v = m.clone();
+    let mut d = vec![0.0; n]; // diagonal
+    let mut e = vec![0.0; n]; // off-diagonal
+    tred2(&mut v, &mut d, &mut e);
+    tql2(&mut v, &mut d, &mut e)?;
+    // tql2 leaves eigenvalues sorted ascending with matching vector columns.
+    Ok(SymmetricEigen { values: d, vectors: v })
+}
+
+/// Householder reduction to tridiagonal form (EISPACK `tred2`).
+///
+/// On exit `v` holds the accumulated orthogonal transform Q (so that
+/// `Qᵀ M Q` is tridiagonal), `d` the diagonal and `e` the sub-diagonal
+/// (with `e[0] = 0`).
+fn tred2(v: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) {
+    let n = d.len();
+    for j in 0..n {
+        d[j] = v.get(n - 1, j);
+    }
+    for i in (1..n).rev() {
+        let l = i - 1;
+        let mut h = 0.0;
+        let mut scale = 0.0;
+        for item in d.iter().take(l + 1) {
+            scale += item.abs();
+        }
+        if scale == 0.0 {
+            e[i] = d[l];
+            for j in 0..=l {
+                d[j] = v.get(l, j);
+                v.set(i, j, 0.0);
+                v.set(j, i, 0.0);
+            }
+        } else {
+            for item in d.iter_mut().take(l + 1) {
+                *item /= scale;
+                h += *item * *item;
+            }
+            let mut f = d[l];
+            let mut g = if f > 0.0 { -h.sqrt() } else { h.sqrt() };
+            e[i] = scale * g;
+            h -= f * g;
+            d[l] = f - g;
+            for item in e.iter_mut().take(l + 1) {
+                *item = 0.0;
+            }
+            for j in 0..=l {
+                f = d[j];
+                v.set(j, i, f);
+                g = e[j] + v.get(j, j) * f;
+                for k in (j + 1)..=l {
+                    g += v.get(k, j) * d[k];
+                    e[k] += v.get(k, j) * f;
+                }
+                e[j] = g;
+            }
+            f = 0.0;
+            for j in 0..=l {
+                e[j] /= h;
+                f += e[j] * d[j];
+            }
+            let hh = f / (h + h);
+            for j in 0..=l {
+                e[j] -= hh * d[j];
+            }
+            for j in 0..=l {
+                f = d[j];
+                g = e[j];
+                for k in j..=l {
+                    let upd = v.get(k, j) - (f * e[k] + g * d[k]);
+                    v.set(k, j, upd);
+                }
+                d[j] = v.get(l, j);
+                v.set(i, j, 0.0);
+            }
+        }
+        d[i] = h;
+    }
+    for i in 0..n - 1 {
+        v.set(n - 1, i, v.get(i, i));
+        v.set(i, i, 1.0);
+        let h = d[i + 1];
+        if h != 0.0 {
+            for k in 0..=i {
+                d[k] = v.get(k, i + 1) / h;
+            }
+            for j in 0..=i {
+                let mut g = 0.0;
+                for k in 0..=i {
+                    g += v.get(k, i + 1) * v.get(k, j);
+                }
+                for k in 0..=i {
+                    let upd = v.get(k, j) - g * d[k];
+                    v.set(k, j, upd);
+                }
+            }
+        }
+        for k in 0..=i {
+            v.set(k, i + 1, 0.0);
+        }
+    }
+    for j in 0..n {
+        d[j] = v.get(n - 1, j);
+        v.set(n - 1, j, 0.0);
+    }
+    v.set(n - 1, n - 1, 1.0);
+    e[0] = 0.0;
+}
+
+/// Implicit-shift QL iteration on a symmetric tridiagonal matrix
+/// (EISPACK `tql2`), accumulating eigenvectors into `v`.
+fn tql2(v: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgError> {
+    let n = d.len();
+    if n == 1 {
+        return Ok(());
+    }
+    for i in 1..n {
+        e[i - 1] = e[i];
+    }
+    e[n - 1] = 0.0;
+
+    let mut f = 0.0_f64;
+    let mut tst1 = 0.0_f64;
+    let eps = f64::EPSILON;
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m >= n {
+            m = n - 1;
+        }
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                if iter > 50 {
+                    return Err(LinalgError::NoConvergence { routine: "tql2", iterations: iter });
+                }
+                // Compute implicit shift.
+                let mut g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let mut h = g - d[l];
+                for item in d.iter_mut().take(n).skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+                // Implicit QL transformation.
+                p = d[m];
+                let mut c = 1.0;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0;
+                let mut s2 = 0.0;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    g = c * e[i];
+                    h = c * p;
+                    r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    // Accumulate transformation.
+                    for k in 0..n {
+                        h = v.get(k, i + 1);
+                        v.set(k, i + 1, s * v.get(k, i) + c * h);
+                        v.set(k, i, c * v.get(k, i) - s * h);
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+
+    // Sort eigenvalues ascending, permuting vector columns to match.
+    for i in 0..n - 1 {
+        let mut k = i;
+        let mut p = d[i];
+        for (j, &dj) in d.iter().enumerate().take(n).skip(i + 1) {
+            if dj < p {
+                k = j;
+                p = dj;
+            }
+        }
+        if k != i {
+            d.swap(i, k);
+            for row in 0..n {
+                let tmp = v.get(row, i);
+                v.set(row, i, v.get(row, k));
+                v.set(row, k, tmp);
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reconstruct(e: &SymmetricEigen) -> DenseMatrix {
+        let n = e.values.len();
+        let lambda = DenseMatrix::from_fn(n, n, |i, j| if i == j { e.values[i] } else { 0.0 });
+        e.vectors.matmul(&lambda).matmul_tr(&e.vectors)
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_diagonal() {
+        let m = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, -1.0]]);
+        let e = symmetric_eigen(&m).unwrap();
+        assert!((e.values[0] + 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 1 and 3.
+        let m = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = symmetric_eigen(&m).unwrap();
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstruction_and_orthonormality_random_symmetric() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 25;
+        let mut m = DenseMatrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let v: f64 = rng.random_range(-1.0..1.0);
+                m.set(i, j, v);
+                m.set(j, i, v);
+            }
+        }
+        let e = symmetric_eigen(&m).unwrap();
+        // Reconstruction.
+        let err = reconstruct(&e).sub(&m).max_abs();
+        assert!(err < 1e-9, "reconstruction error {err}");
+        // VᵀV = I.
+        let gram = e.vectors.tr_matmul(&e.vectors);
+        let id = DenseMatrix::identity(n);
+        assert!(gram.sub(&id).max_abs() < 1e-10);
+        // Ascending order.
+        for w in e.values.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn path_graph_laplacian_spectrum() {
+        // Unnormalized Laplacian of the path on 3 nodes: eigenvalues 0, 1, 3.
+        let m = DenseMatrix::from_rows(&[
+            &[1.0, -1.0, 0.0],
+            &[-1.0, 2.0, -1.0],
+            &[0.0, -1.0, 1.0],
+        ]);
+        let e = symmetric_eigen(&m).unwrap();
+        assert!((e.values[0]).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        assert!((e.values[2] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let e = symmetric_eigen(&DenseMatrix::zeros(0, 0)).unwrap();
+        assert!(e.values.is_empty());
+        let e = symmetric_eigen(&DenseMatrix::from_rows(&[&[5.0]])).unwrap();
+        assert_eq!(e.values, vec![5.0]);
+        assert_eq!(e.vectors.get(0, 0).abs(), 1.0);
+    }
+
+    #[test]
+    fn rejects_nan() {
+        let m = DenseMatrix::from_rows(&[&[f64::NAN]]);
+        assert!(matches!(symmetric_eigen(&m), Err(LinalgError::NotFinite { .. })));
+    }
+
+    #[test]
+    fn eigenvectors_satisfy_definition() {
+        let m = DenseMatrix::from_rows(&[
+            &[4.0, 1.0, 0.0],
+            &[1.0, 3.0, 1.0],
+            &[0.0, 1.0, 2.0],
+        ]);
+        let e = symmetric_eigen(&m).unwrap();
+        for k in 0..3 {
+            let v = e.vector(k);
+            let mv = m.mul_vec(&v);
+            for i in 0..3 {
+                assert!((mv[i] - e.values[k] * v[i]).abs() < 1e-10);
+            }
+        }
+    }
+}

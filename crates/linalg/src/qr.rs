@@ -1,0 +1,170 @@
+//! Householder QR factorization.
+//!
+//! Used for (a) re-orthonormalizing the low-rank factors LREA accumulates,
+//! (b) the Lanczos restart path, and (c) as the preconditioning step of the
+//! thin SVD in [`crate::svd`].
+
+use crate::dense::DenseMatrix;
+
+/// A thin QR factorization `A = Q R` with `Q` of shape `m × k`,
+/// `R` of shape `k × k`, `k = min(m, n)`.
+#[derive(Debug, Clone)]
+pub struct ThinQr {
+    /// Orthonormal columns spanning the column space of `A`.
+    pub q: DenseMatrix,
+    /// Upper-triangular factor.
+    pub r: DenseMatrix,
+}
+
+/// Computes a thin Householder QR factorization of `a` (`m × n`).
+///
+/// Works for any shape; for `m < n` the factorization is `A = Q R` with `Q`
+/// `m × m` orthogonal and `R` `m × n` upper-trapezoidal.
+pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
+    let m = a.rows();
+    let n = a.cols();
+    let k = m.min(n);
+    let mut r = a.clone();
+    // Householder vectors stored column-by-column.
+    let mut vs: Vec<Vec<f64>> = Vec::with_capacity(k);
+    for j in 0..k {
+        // Build the Householder reflector for column j, rows j..m.
+        let mut v: Vec<f64> = (j..m).map(|i| r.get(i, j)).collect();
+        let alpha = {
+            let norm = crate::vec_ops::norm2(&v);
+            if v[0] >= 0.0 {
+                -norm
+            } else {
+                norm
+            }
+        };
+        if alpha == 0.0 {
+            // Column already zero below the diagonal; identity reflector.
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        v[0] -= alpha;
+        let vnorm = crate::vec_ops::norm2(&v);
+        if vnorm <= f64::MIN_POSITIVE {
+            vs.push(vec![0.0; m - j]);
+            continue;
+        }
+        for vi in v.iter_mut() {
+            *vi /= vnorm;
+        }
+        // Apply reflector H = I - 2 v vᵀ to R[j.., j..].
+        for col in j..n {
+            let mut dot = 0.0;
+            for (t, &vi) in v.iter().enumerate() {
+                dot += vi * r.get(j + t, col);
+            }
+            let twice = 2.0 * dot;
+            for (t, &vi) in v.iter().enumerate() {
+                let upd = r.get(j + t, col) - twice * vi;
+                r.set(j + t, col, upd);
+            }
+        }
+        vs.push(v);
+    }
+    // Accumulate Q by applying the reflectors (in reverse) to the first k
+    // columns of the identity.
+    let mut q = DenseMatrix::zeros(m, k);
+    for j in 0..k {
+        q.set(j, j, 1.0);
+    }
+    for j in (0..k).rev() {
+        let v = &vs[j];
+        if v.iter().all(|&x| x == 0.0) {
+            continue;
+        }
+        for col in 0..k {
+            let mut dot = 0.0;
+            for (t, &vi) in v.iter().enumerate() {
+                dot += vi * q.get(j + t, col);
+            }
+            let twice = 2.0 * dot;
+            for (t, &vi) in v.iter().enumerate() {
+                let upd = q.get(j + t, col) - twice * vi;
+                q.set(j + t, col, upd);
+            }
+        }
+    }
+    // Truncate R to k × n (thin form).
+    let mut r_thin = DenseMatrix::zeros(k, n);
+    for i in 0..k {
+        for j in 0..n {
+            r_thin.set(i, j, r.get(i, j));
+        }
+    }
+    ThinQr { q, r: r_thin }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_orthonormal_cols(q: &DenseMatrix, tol: f64) {
+        let gram = q.tr_matmul(q);
+        let id = DenseMatrix::identity(q.cols());
+        assert!(gram.sub(&id).max_abs() < tol, "QᵀQ != I: {}", gram.sub(&id).max_abs());
+    }
+
+    #[test]
+    fn qr_reconstructs_tall_matrix() {
+        let a = DenseMatrix::from_rows(&[
+            &[1.0, 2.0],
+            &[3.0, 4.0],
+            &[5.0, 6.0],
+            &[7.0, 9.0],
+        ]);
+        let f = thin_qr(&a);
+        assert_eq!(f.q.shape(), (4, 2));
+        assert_eq!(f.r.shape(), (2, 2));
+        assert_orthonormal_cols(&f.q, 1e-12);
+        assert!(f.q.matmul(&f.r).sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn qr_reconstructs_wide_matrix() {
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0], &[4.0, 5.0, 7.0]]);
+        let f = thin_qr(&a);
+        assert_eq!(f.q.shape(), (2, 2));
+        assert_eq!(f.r.shape(), (2, 3));
+        assert_orthonormal_cols(&f.q, 1e-12);
+        assert!(f.q.matmul(&f.r).sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = DenseMatrix::from_fn(5, 3, |i, j| ((i * 3 + j) as f64).sin());
+        let f = thin_qr(&a);
+        for i in 0..f.r.rows() {
+            for j in 0..i.min(f.r.cols()) {
+                assert!(f.r.get(i, j).abs() < 1e-12, "R[{i}][{j}] not zero");
+            }
+        }
+    }
+
+    #[test]
+    fn rank_deficient_input_still_reconstructs() {
+        // Second column is a multiple of the first.
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let f = thin_qr(&a);
+        assert!(f.q.matmul(&f.r).sub(&a).max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn random_matrices_reconstruct() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for &(m, n) in &[(6, 6), (10, 4), (4, 10), (1, 5), (5, 1)] {
+            let a = DenseMatrix::from_fn(m, n, |_, _| rng.random_range(-1.0..1.0));
+            let f = thin_qr(&a);
+            assert!(
+                f.q.matmul(&f.r).sub(&a).max_abs() < 1e-11,
+                "reconstruction failed for {m}x{n}"
+            );
+            assert_orthonormal_cols(&f.q, 1e-10);
+        }
+    }
+}

@@ -1,0 +1,406 @@
+//! Compressed sparse row (CSR) matrices.
+//!
+//! Adjacency matrices of the benchmark graphs are sparse (average degree 10 to
+//! a few hundred on up to 2¹⁶ nodes in the scalability sweeps), so the
+//! algorithms that iterate `A · X`-style products (IsoRank, NSD, CONE's
+//! proximity matrix, GRASP's Laplacian) run on this CSR type rather than on
+//! dense matrices.
+
+use crate::dense::DenseMatrix;
+use rayon::prelude::*;
+
+/// A sparse matrix in compressed sparse row format.
+///
+/// Invariants (maintained by all constructors):
+/// * `row_ptr.len() == rows + 1`, `row_ptr[0] == 0`,
+///   `row_ptr[rows] == col_idx.len() == values.len()`;
+/// * column indices within each row are strictly increasing;
+/// * no explicitly stored zeros are required (duplicates are merged by
+///   [`CsrMatrix::from_triplets`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_ptr: Vec<usize>,
+    col_idx: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Creates an empty (all-zero) matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, row_ptr: vec![0; rows + 1], col_idx: Vec::new(), values: Vec::new() }
+    }
+
+    /// Builds a CSR matrix from `(row, col, value)` triplets. Duplicate
+    /// coordinates are summed; resulting explicit zeros are kept (callers that
+    /// care can [`CsrMatrix::prune`] them).
+    ///
+    /// # Panics
+    /// Panics if any coordinate is out of bounds.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, c, _) in triplets {
+            assert!(r < rows && c < cols, "triplet ({r},{c}) out of bounds for {rows}x{cols}");
+            counts[r + 1] += 1;
+        }
+        for i in 0..rows {
+            counts[i + 1] += counts[i];
+        }
+        let mut col_idx = vec![0usize; triplets.len()];
+        let mut values = vec![0.0; triplets.len()];
+        let mut next = counts.clone();
+        for &(r, c, v) in triplets {
+            let p = next[r];
+            col_idx[p] = c;
+            values[p] = v;
+            next[r] += 1;
+        }
+        // Sort within each row and merge duplicates.
+        let mut out_col = Vec::with_capacity(col_idx.len());
+        let mut out_val = Vec::with_capacity(values.len());
+        let mut row_ptr = vec![0usize; rows + 1];
+        let mut scratch: Vec<(usize, f64)> = Vec::new();
+        for r in 0..rows {
+            scratch.clear();
+            scratch.extend(
+                col_idx[counts[r]..counts[r + 1]]
+                    .iter()
+                    .copied()
+                    .zip(values[counts[r]..counts[r + 1]].iter().copied()),
+            );
+            scratch.sort_unstable_by_key(|&(c, _)| c);
+            for &(c, v) in scratch.iter() {
+                if let Some(last) = out_col.last() {
+                    if *last == c && out_col.len() > row_ptr[r] {
+                        let lv: &mut f64 = out_val.last_mut().expect("values track col indices");
+                        *lv += v;
+                        continue;
+                    }
+                }
+                out_col.push(c);
+                out_val.push(v);
+            }
+            row_ptr[r + 1] = out_col.len();
+        }
+        Self { rows, cols, row_ptr, col_idx: out_col, values: out_val }
+    }
+
+    /// Builds a CSR matrix from a dense matrix, dropping exact zeros.
+    pub fn from_dense(m: &DenseMatrix) -> Self {
+        let mut triplets = Vec::new();
+        for i in 0..m.rows() {
+            for j in 0..m.cols() {
+                let v = m.get(i, j);
+                if v != 0.0 {
+                    triplets.push((i, j, v));
+                }
+            }
+        }
+        Self::from_triplets(m.rows(), m.cols(), &triplets)
+    }
+
+    /// Densifies the matrix.
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                out.set(i, j, v);
+            }
+        }
+        out
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of explicitly stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Iterates `(col, value)` pairs of row `i` in increasing column order.
+    pub fn row_iter(&self, i: usize) -> impl Iterator<Item = (usize, f64)> + '_ {
+        let span = self.row_ptr[i]..self.row_ptr[i + 1];
+        self.col_idx[span.clone()].iter().copied().zip(self.values[span].iter().copied())
+    }
+
+    /// Column indices of row `i`.
+    pub fn row_cols(&self, i: usize) -> &[usize] {
+        &self.col_idx[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Values of row `i`.
+    pub fn row_values(&self, i: usize) -> &[f64] {
+        &self.values[self.row_ptr[i]..self.row_ptr[i + 1]]
+    }
+
+    /// Value at `(i, j)`, `0.0` when not stored. `O(log nnz(row i))`.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        let cols = self.row_cols(i);
+        match cols.binary_search(&j) {
+            Ok(p) => self.row_values(i)[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Sparse matrix–vector product `self * x`.
+    pub fn mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.rows];
+        self.mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// Sparse matrix–vector product into a caller-provided buffer.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
+        assert_eq!(out.len(), self.rows, "mul_vec: out length mismatch");
+        out.par_iter_mut().enumerate().for_each(|(i, o)| {
+            let mut acc = 0.0;
+            for (j, v) in self.row_iter(i) {
+                acc += v * x[j];
+            }
+            *o = acc;
+        });
+    }
+
+    /// Transposed sparse matrix–vector product `selfᵀ * x`.
+    pub fn tr_mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.rows, "tr_mul_vec: x length mismatch");
+        let mut out = vec![0.0; self.cols];
+        for i in 0..self.rows {
+            let xi = x[i];
+            if xi == 0.0 {
+                continue;
+            }
+            for (j, v) in self.row_iter(i) {
+                out[j] += v * xi;
+            }
+        }
+        out
+    }
+
+    /// Sparse × dense product `self * rhs`, parallelized over output rows.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_dense(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.rows(), "mul_dense: inner dimensions differ");
+        let n = rhs.cols();
+        let mut data = vec![0.0; self.rows * n];
+        data.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
+            for (j, v) in self.row_iter(i) {
+                let rhs_row = rhs.row(j);
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * r;
+                }
+            }
+        });
+        DenseMatrix::from_vec(self.rows, n, data)
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> CsrMatrix {
+        let mut triplets = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                triplets.push((j, i, v));
+            }
+        }
+        CsrMatrix::from_triplets(self.cols, self.rows, &triplets)
+    }
+
+    /// Scales row `i` by `factors[i]` (i.e. computes `diag(factors) * self`).
+    ///
+    /// # Panics
+    /// Panics if `factors.len() != rows`.
+    pub fn scale_rows(&mut self, factors: &[f64]) {
+        assert_eq!(factors.len(), self.rows, "scale_rows: length mismatch");
+        for i in 0..self.rows {
+            let f = factors[i];
+            for v in &mut self.values[self.row_ptr[i]..self.row_ptr[i + 1]] {
+                *v *= f;
+            }
+        }
+    }
+
+    /// Scales column `j` by `factors[j]` (i.e. computes `self * diag(factors)`).
+    ///
+    /// # Panics
+    /// Panics if `factors.len() != cols`.
+    pub fn scale_cols(&mut self, factors: &[f64]) {
+        assert_eq!(factors.len(), self.cols, "scale_cols: length mismatch");
+        for (c, v) in self.col_idx.iter().zip(self.values.iter_mut()) {
+            *v *= factors[*c];
+        }
+    }
+
+    /// Row sums (for an adjacency matrix: weighted degrees).
+    pub fn row_sums(&self) -> Vec<f64> {
+        (0..self.rows).map(|i| self.row_values(i).iter().sum()).collect()
+    }
+
+    /// Normalizes each row to sum 1 (rows summing to 0 are left untouched),
+    /// producing a row-stochastic matrix `D⁻¹ · self`.
+    pub fn row_normalize(&mut self) {
+        let sums = self.row_sums();
+        let inv: Vec<f64> = sums.iter().map(|&s| if s != 0.0 { 1.0 / s } else { 0.0 }).collect();
+        self.scale_rows(&inv);
+    }
+
+    /// Removes stored entries with `|value| <= tol`.
+    pub fn prune(&mut self, tol: f64) {
+        let mut row_ptr = vec![0usize; self.rows + 1];
+        let mut col_idx = Vec::with_capacity(self.nnz());
+        let mut values = Vec::with_capacity(self.nnz());
+        for i in 0..self.rows {
+            for (j, v) in self.row_iter(i) {
+                if v.abs() > tol {
+                    col_idx.push(j);
+                    values.push(v);
+                }
+            }
+            row_ptr[i + 1] = col_idx.len();
+        }
+        self.row_ptr = row_ptr;
+        self.col_idx = col_idx;
+        self.values = values;
+    }
+
+    /// Frobenius norm of the stored entries.
+    pub fn frobenius_norm(&self) -> f64 {
+        crate::vec_ops::norm2(&self.values)
+    }
+
+    /// Approximate heap footprint in bytes (indices + values + row pointers);
+    /// used by the memory-scalability harness (paper Figures 13–14).
+    pub fn nbytes(&self) -> usize {
+        self.row_ptr.len() * size_of::<usize>()
+            + self.col_idx.len() * size_of::<usize>()
+            + self.values.len() * size_of::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CsrMatrix {
+        // [1 0 2]
+        // [0 0 3]
+        CsrMatrix::from_triplets(2, 3, &[(0, 2, 2.0), (0, 0, 1.0), (1, 2, 3.0)])
+    }
+
+    #[test]
+    fn triplets_are_sorted_within_rows() {
+        let m = sample();
+        assert_eq!(m.row_cols(0), &[0, 2]);
+        assert_eq!(m.row_values(0), &[1.0, 2.0]);
+        assert_eq!(m.nnz(), 3);
+    }
+
+    #[test]
+    fn duplicate_triplets_are_summed() {
+        let m = CsrMatrix::from_triplets(1, 2, &[(0, 1, 1.0), (0, 1, 2.5)]);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 3.5);
+    }
+
+    #[test]
+    fn get_returns_zero_for_missing() {
+        let m = sample();
+        assert_eq!(m.get(0, 1), 0.0);
+        assert_eq!(m.get(1, 2), 3.0);
+    }
+
+    #[test]
+    fn spmv_matches_dense() {
+        let m = sample();
+        let x = [1.0, 2.0, 3.0];
+        assert_eq!(m.mul_vec(&x), m.to_dense().mul_vec(&x));
+    }
+
+    #[test]
+    fn tr_spmv_matches_dense_transpose() {
+        let m = sample();
+        let x = [1.0, 2.0];
+        assert_eq!(m.tr_mul_vec(&x), m.to_dense().transpose().mul_vec(&x));
+    }
+
+    #[test]
+    fn spmm_matches_dense() {
+        let m = sample();
+        let d = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        assert_eq!(m.mul_dense(&d), m.to_dense().matmul(&d));
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let m = sample();
+        assert_eq!(m.transpose().transpose(), m);
+        assert_eq!(m.transpose().to_dense(), m.to_dense().transpose());
+    }
+
+    #[test]
+    fn dense_round_trip_drops_zeros() {
+        let d = DenseMatrix::from_rows(&[&[0.0, 5.0], &[0.0, 0.0]]);
+        let m = CsrMatrix::from_dense(&d);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.to_dense(), d);
+    }
+
+    #[test]
+    fn row_normalize_makes_rows_stochastic() {
+        let mut m = sample();
+        m.row_normalize();
+        let sums = m.row_sums();
+        for s in sums {
+            assert!((s - 1.0).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn row_normalize_leaves_empty_rows() {
+        let mut m = CsrMatrix::zeros(2, 2);
+        m.row_normalize();
+        assert_eq!(m.row_sums(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn scale_cols_matches_dense() {
+        let mut m = sample();
+        m.scale_cols(&[2.0, 3.0, 4.0]);
+        assert_eq!(m.get(0, 0), 2.0);
+        assert_eq!(m.get(0, 2), 8.0);
+        assert_eq!(m.get(1, 2), 12.0);
+    }
+
+    #[test]
+    fn prune_removes_small_entries() {
+        let mut m = CsrMatrix::from_triplets(1, 3, &[(0, 0, 1e-12), (0, 1, 1.0), (0, 2, -1e-12)]);
+        m.prune(1e-9);
+        assert_eq!(m.nnz(), 1);
+        assert_eq!(m.get(0, 1), 1.0);
+    }
+
+    #[test]
+    fn nbytes_is_positive_and_grows_with_nnz() {
+        let small = CsrMatrix::zeros(10, 10);
+        let big = sample();
+        assert!(big.nbytes() > 0);
+        assert!(big.nbytes() > small.nnz() * 16);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property-based tests of the numerical invariants the solvers guarantee.
+
+use graphalign_linalg::eigen::symmetric_eigen;
+use graphalign_linalg::lanczos::{lanczos, Which};
+use graphalign_linalg::power::power_iteration;
+use graphalign_linalg::qr::thin_qr;
+use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
+use graphalign_linalg::svd::{pinv, thin_svd};
+use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use proptest::prelude::*;
+
+/// Random dense matrix with entries in [-1, 1].
+fn dense(rows: usize, cols: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-1.0f64..1.0, rows * cols)
+        .prop_map(move |data| DenseMatrix::from_vec(rows, cols, data))
+}
+
+/// Random symmetric matrix of size n.
+fn symmetric(n: usize) -> impl Strategy<Value = DenseMatrix> {
+    dense(n, n).prop_map(|m| m.add(&m.transpose()).scaled(0.5))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Eigendecomposition reconstructs the input and yields an orthonormal
+    /// basis with ascending eigenvalues.
+    #[test]
+    fn eigen_reconstructs(m in symmetric(10)) {
+        let e = symmetric_eigen(&m).unwrap();
+        // Ascending order.
+        for w in e.values.windows(2) {
+            prop_assert!(w[0] <= w[1] + 1e-12);
+        }
+        // Orthonormal.
+        let gram = e.vectors.tr_matmul(&e.vectors);
+        prop_assert!(gram.sub(&DenseMatrix::identity(10)).max_abs() < 1e-9);
+        // Reconstruction.
+        let lambda = DenseMatrix::from_fn(10, 10, |i, j| if i == j { e.values[i] } else { 0.0 });
+        let rec = e.vectors.matmul(&lambda).matmul_tr(&e.vectors);
+        prop_assert!(rec.sub(&m).max_abs() < 1e-8);
+    }
+
+    /// Trace and eigenvalue-sum agree (a classical invariant).
+    #[test]
+    fn eigen_trace_identity(m in symmetric(8)) {
+        let e = symmetric_eigen(&m).unwrap();
+        let trace: f64 = (0..8).map(|i| m.get(i, i)).sum();
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-9);
+    }
+
+    /// QR: Q orthonormal, R upper-triangular, QR = A.
+    #[test]
+    fn qr_invariants(a in dense(9, 5)) {
+        let f = thin_qr(&a);
+        prop_assert!(f.q.tr_matmul(&f.q).sub(&DenseMatrix::identity(5)).max_abs() < 1e-9);
+        for i in 0..f.r.rows() {
+            for j in 0..i {
+                prop_assert!(f.r.get(i, j).abs() < 1e-10);
+            }
+        }
+        prop_assert!(f.q.matmul(&f.r).sub(&a).max_abs() < 1e-10);
+    }
+
+    /// SVD reconstructs, with descending nonnegative singular values.
+    #[test]
+    fn svd_invariants(a in dense(7, 4)) {
+        let s = thin_svd(&a).unwrap();
+        for w in s.sigma.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-12);
+        }
+        prop_assert!(s.sigma.iter().all(|&x| x >= 0.0));
+        prop_assert!(s.reconstruct().sub(&a).max_abs() < 1e-7);
+    }
+
+    /// Pseudo-inverse satisfies the Moore–Penrose identities.
+    #[test]
+    fn pinv_identities(a in dense(6, 4)) {
+        let p = pinv(&a, 1e-6).unwrap();
+        let apa = a.matmul(&p).matmul(&a);
+        prop_assert!(apa.sub(&a).max_abs() < 1e-6);
+        let pap = p.matmul(&a).matmul(&p);
+        prop_assert!(pap.sub(&p).max_abs() < 1e-6);
+    }
+
+    /// Sinkhorn plans satisfy both marginals and are non-negative.
+    #[test]
+    fn sinkhorn_marginals(c in dense(5, 7)) {
+        // Shift costs to [0, 2] so ε = 0.1 is adequate.
+        let mut cost = c;
+        cost.map_inplace(|v| v + 1.0);
+        let mu = uniform_marginal(5);
+        let nu = uniform_marginal(7);
+        let t = sinkhorn(&cost, &mu, &nu, &SinkhornParams::default()).unwrap();
+        for i in 0..5 {
+            let row: f64 = t.row(i).iter().sum();
+            prop_assert!((row - 0.2).abs() < 1e-4);
+            prop_assert!(t.row(i).iter().all(|&v| v >= 0.0));
+        }
+        for j in 0..7 {
+            let col: f64 = (0..5).map(|i| t.get(i, j)).sum();
+            prop_assert!((col - 1.0 / 7.0).abs() < 1e-4);
+        }
+    }
+
+    /// Power iteration converges to the dominant eigenpair found by the
+    /// exact solver (in absolute value).
+    #[test]
+    fn power_iteration_matches_eigen(m in symmetric(6)) {
+        let e = symmetric_eigen(&m).unwrap();
+        let dominant = e
+            .values
+            .iter()
+            .fold(0.0f64, |acc, &v| if v.abs() > acc.abs() { v } else { acc });
+        // Skip near-degenerate dominant pairs, where convergence stalls.
+        let sorted: Vec<f64> = {
+            let mut s: Vec<f64> = e.values.iter().map(|v| v.abs()).collect();
+            s.sort_by(|a, b| b.partial_cmp(a).unwrap());
+            s
+        };
+        prop_assume!(sorted[0] > 1e-3 && sorted[0] - sorted[1] > 1e-2);
+        let r = power_iteration(&m, &[1.0, 0.5, 0.25, -0.3, 0.7, -0.1], 5000, 1e-13).unwrap();
+        prop_assert!(
+            (r.value.abs() - dominant.abs()).abs() < 1e-6,
+            "power {} vs eigen {dominant}", r.value
+        );
+    }
+
+    /// Lanczos on a CSR matrix agrees with the dense solver at both ends of
+    /// the spectrum.
+    #[test]
+    fn lanczos_matches_dense(m in symmetric(12), seed in any::<u64>()) {
+        let sparse = CsrMatrix::from_dense(&m);
+        let e = symmetric_eigen(&m).unwrap();
+        let top = lanczos(&sparse, 2, Which::Largest, 12, seed).unwrap();
+        prop_assert!((top.values[0] - e.values[11]).abs() < 1e-7);
+        let bottom = lanczos(&sparse, 2, Which::Smallest, 12, seed).unwrap();
+        prop_assert!((bottom.values[0] - e.values[0]).abs() < 1e-7);
+    }
+
+    /// CSR round-trips through dense and transposition.
+    #[test]
+    fn csr_round_trips(a in dense(6, 9)) {
+        // Sparsify: zero small entries so the CSR has structure.
+        let mut m = a;
+        m.map_inplace(|v| if v.abs() < 0.5 { 0.0 } else { v });
+        let csr = CsrMatrix::from_dense(&m);
+        prop_assert_eq!(csr.to_dense(), m.clone());
+        prop_assert_eq!(csr.transpose().transpose(), csr.clone());
+        // SpMV consistency.
+        let x: Vec<f64> = (0..9).map(|i| i as f64 * 0.1).collect();
+        let dense_y = m.mul_vec(&x);
+        let sparse_y = csr.mul_vec(&x);
+        for (d, s) in dense_y.iter().zip(&sparse_y) {
+            prop_assert!((d - s).abs() < 1e-12);
+        }
+    }
+
+    /// Matmul distributes over addition (ring axioms hold numerically).
+    #[test]
+    fn matmul_distributes(a in dense(4, 5), b in dense(5, 3), c in dense(5, 3)) {
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.sub(&right).max_abs() < 1e-12);
+    }
+}

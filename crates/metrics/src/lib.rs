@@ -1,0 +1,385 @@
+//! Alignment quality measures (paper §5.2).
+//!
+//! An alignment is a function `f : V_A → V_B`, represented as a slice
+//! `alignment[u] = f(u)`. The five measures of the study:
+//!
+//! * [`accuracy`] — node correctness against a ground truth;
+//! * [`mnc`] — matched neighborhood consistency (Jaccard of mapped vs actual
+//!   neighborhoods), the measure CONE optimizes;
+//! * [`edge_correctness`] — fraction of source edges mapped onto target
+//!   edges;
+//! * [`induced_conserved_structure`] — EC normalized by the target subgraph
+//!   induced by the mapped nodes;
+//! * [`s3`] — symmetric substructure score, penalizing density mismatch in
+//!   both directions.
+
+use graphalign_graph::Graph;
+use std::collections::HashSet;
+
+/// Node correctness: fraction of nodes whose alignment matches the ground
+/// truth (paper §5.2.2).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn accuracy(alignment: &[usize], ground_truth: &[usize]) -> f64 {
+    assert_eq!(alignment.len(), ground_truth.len(), "accuracy: length mismatch");
+    if alignment.is_empty() {
+        return 0.0;
+    }
+    let correct = alignment.iter().zip(ground_truth).filter(|(a, t)| a == t).count();
+    correct as f64 / alignment.len() as f64
+}
+
+/// Matched Neighborhood Consistency (paper §5.2.1, Equation 15): for each
+/// source node `i`, the Jaccard similarity between the *mapped* neighborhood
+/// `{f(k) : k ∈ N_A(i)}` and the actual neighborhood `N_B(f(i))`; the score
+/// is the average over all source nodes.
+///
+/// Nodes for which both sets are empty contribute 1 (they are perfectly
+/// consistent, vacuously), matching the reference implementation's
+/// convention of not penalizing isolated nodes.
+///
+/// # Panics
+/// Panics if `alignment.len() != source.node_count()` or any image is out of
+/// bounds in `target`.
+pub fn mnc(source: &Graph, target: &Graph, alignment: &[usize]) -> f64 {
+    assert_eq!(alignment.len(), source.node_count(), "mnc: alignment length mismatch");
+    let n = source.node_count();
+    if n == 0 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for i in 0..n {
+        let mapped: HashSet<usize> = source.neighbors(i).iter().map(|&k| alignment[k]).collect();
+        let actual: HashSet<usize> = target.neighbors(alignment[i]).iter().copied().collect();
+        let inter = mapped.intersection(&actual).count();
+        let union = mapped.union(&actual).count();
+        total += if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+    }
+    total / n as f64
+}
+
+/// Size of the image edge set `f(E_A) = {(f(i), f(j)) ∈ E_B : (i, j) ∈ E_A}`.
+///
+/// Per the paper's definition this is a *set*: for many-to-one alignments,
+/// several source edges mapping onto the same target edge count once (for
+/// one-to-one alignments the distinction is immaterial).
+fn conserved_edges(source: &Graph, target: &Graph, alignment: &[usize]) -> usize {
+    let image: HashSet<(usize, usize)> = source
+        .edges()
+        .filter_map(|(u, v)| {
+            let (fu, fv) = (alignment[u], alignment[v]);
+            if fu != fv && target.has_edge(fu, fv) {
+                Some((fu.min(fv), fu.max(fv)))
+            } else {
+                None
+            }
+        })
+        .collect();
+    image.len()
+}
+
+/// Number of target edges within the subgraph induced by the image
+/// `f(V_A)`, `|E(G_B[f(V_A)])|`.
+fn induced_target_edges(target: &Graph, alignment: &[usize]) -> usize {
+    let image: HashSet<usize> = alignment.iter().copied().collect();
+    target.edges().filter(|&(x, y)| image.contains(&x) && image.contains(&y)).count()
+}
+
+/// Edge correctness `EC(f) = |f(E_A)| / |E_A|` (paper §5.2.3).
+///
+/// Returns 0 for an edgeless source graph.
+pub fn edge_correctness(source: &Graph, target: &Graph, alignment: &[usize]) -> f64 {
+    assert_eq!(alignment.len(), source.node_count(), "EC: alignment length mismatch");
+    let m = source.edge_count();
+    if m == 0 {
+        return 0.0;
+    }
+    conserved_edges(source, target, alignment) as f64 / m as f64
+}
+
+/// Induced Conserved Structure `ICS(f) = |f(E_A)| / |E(G_B[f(V_A)])|`
+/// (paper §5.2.3).
+///
+/// Returns 0 when the induced subgraph has no edges.
+pub fn induced_conserved_structure(source: &Graph, target: &Graph, alignment: &[usize]) -> f64 {
+    assert_eq!(alignment.len(), source.node_count(), "ICS: alignment length mismatch");
+    let induced = induced_target_edges(target, alignment);
+    if induced == 0 {
+        return 0.0;
+    }
+    conserved_edges(source, target, alignment) as f64 / induced as f64
+}
+
+/// Symmetric substructure score (paper Equation 16):
+/// `S³(f) = |f(E_A)| / (|E_A| + |E(G_B[f(V_A)])| − |f(E_A)|)`.
+///
+/// Returns 0 when the denominator is 0 (both graphs edgeless).
+pub fn s3(source: &Graph, target: &Graph, alignment: &[usize]) -> f64 {
+    assert_eq!(alignment.len(), source.node_count(), "S3: alignment length mismatch");
+    let f_ea = conserved_edges(source, target, alignment);
+    let denom = source.edge_count() + induced_target_edges(target, alignment) - f_ea;
+    if denom == 0 {
+        return 0.0;
+    }
+    f_ea as f64 / denom as f64
+}
+
+/// Bundle of all five quality measures for one alignment, as the experiment
+/// harness reports them.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QualityReport {
+    /// Node correctness.
+    pub accuracy: f64,
+    /// Matched neighborhood consistency.
+    pub mnc: f64,
+    /// Edge correctness.
+    pub ec: f64,
+    /// Induced conserved structure.
+    pub ics: f64,
+    /// Symmetric substructure score.
+    pub s3: f64,
+}
+
+/// Computes every measure at once.
+pub fn evaluate(
+    source: &Graph,
+    target: &Graph,
+    alignment: &[usize],
+    ground_truth: &[usize],
+) -> QualityReport {
+    QualityReport {
+        accuracy: accuracy(alignment, ground_truth),
+        mnc: mnc(source, target, alignment),
+        ec: edge_correctness(source, target, alignment),
+        ics: induced_conserved_structure(source, target, alignment),
+        s3: s3(source, target, alignment),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        Graph::from_edges(n, &(0..n).map(|i| (i, (i + 1) % n)).collect::<Vec<_>>())
+    }
+
+    fn identity(n: usize) -> Vec<usize> {
+        (0..n).collect()
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        assert_eq!(accuracy(&[0, 1, 2, 3], &[0, 1, 2, 3]), 1.0);
+        assert_eq!(accuracy(&[0, 1, 3, 2], &[0, 1, 2, 3]), 0.5);
+        assert_eq!(accuracy(&[1, 0], &[0, 1]), 0.0);
+        assert_eq!(accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn perfect_self_alignment_scores_one_everywhere() {
+        let g = cycle(8);
+        let id = identity(8);
+        let r = evaluate(&g, &g, &id, &id);
+        assert_eq!(r.accuracy, 1.0);
+        assert!((r.mnc - 1.0).abs() < 1e-12);
+        assert!((r.ec - 1.0).abs() < 1e-12);
+        assert!((r.ics - 1.0).abs() < 1e-12);
+        assert!((r.s3 - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn correct_isomorphism_scores_one_even_with_relabeled_truth() {
+        use graphalign_graph::Permutation;
+        let g = cycle(10);
+        let p = Permutation::random(10, 5);
+        let h = p.apply_to_graph(&g);
+        let alignment: Vec<usize> = p.as_slice().to_vec();
+        let r = evaluate(&g, &h, &alignment, p.as_slice());
+        assert_eq!(r.accuracy, 1.0);
+        assert!((r.ec - 1.0).abs() < 1e-12);
+        assert!((r.s3 - 1.0).abs() < 1e-12);
+        assert!((r.mnc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ec_detects_broken_edges() {
+        // Map the 4-cycle to a path: one edge breaks.
+        let c4 = cycle(4);
+        let p4 = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let ec = edge_correctness(&c4, &p4, &identity(4));
+        assert!((ec - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ics_normalizes_by_induced_subgraph() {
+        // Source: path on 3 nodes (2 edges); target: triangle (3 edges).
+        // Identity alignment conserves both path edges, but the induced
+        // subgraph has 3 edges → ICS = 2/3, EC = 1.
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tri = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let id = identity(3);
+        assert!((edge_correctness(&path, &tri, &id) - 1.0).abs() < 1e-12);
+        assert!((induced_conserved_structure(&path, &tri, &id) - 2.0 / 3.0).abs() < 1e-12);
+        // S3 = 2 / (2 + 3 − 2) = 2/3.
+        assert!((s3(&path, &tri, &id) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn s3_penalizes_sparse_to_dense_both_ways() {
+        // Dense source to sparse target: EC low, ICS high, S3 low.
+        let tri = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let id = identity(3);
+        assert!((edge_correctness(&tri, &path, &id) - 2.0 / 3.0).abs() < 1e-12);
+        assert!((induced_conserved_structure(&tri, &path, &id) - 1.0).abs() < 1e-12);
+        assert!((s3(&tri, &path, &id) - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mnc_of_shifted_cycle_alignment() {
+        // Aligning C6 to itself by rotation: structurally perfect (MNC 1)
+        // but 0 accuracy.
+        let g = cycle(6);
+        let shift: Vec<usize> = (0..6).map(|i| (i + 1) % 6).collect();
+        let truth = identity(6);
+        assert_eq!(accuracy(&shift, &truth), 0.0);
+        assert!((mnc(&g, &g, &shift) - 1.0).abs() < 1e-12);
+        assert!((s3(&g, &g, &shift) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mnc_detects_structural_garbage() {
+        // Map everything to node 0: neighborhoods collapse.
+        let g = cycle(6);
+        let collapse = vec![0usize; 6];
+        let v = mnc(&g, &g, &collapse);
+        assert!(v < 0.5, "collapsed alignment should have low MNC, got {v}");
+    }
+
+    #[test]
+    fn isolated_nodes_do_not_tank_mnc() {
+        // Two isolated nodes aligned to each other: vacuously consistent.
+        let g = Graph::from_edges(2, &[]);
+        assert!((mnc(&g, &g, &identity(2)) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn collapsed_alignment_does_not_fake_edge_conservation() {
+        // Mapping both endpoints of an edge to the same node must not count
+        // as a conserved edge.
+        let e = Graph::from_edges(2, &[(0, 1)]);
+        let ec = edge_correctness(&e, &e, &[0, 0]);
+        assert_eq!(ec, 0.0);
+    }
+
+    #[test]
+    fn empty_graphs_are_handled() {
+        let g = Graph::from_edges(0, &[]);
+        let r = evaluate(&g, &g, &[], &[]);
+        assert_eq!(r.accuracy, 0.0);
+        assert_eq!(r.mnc, 0.0);
+        assert_eq!(r.ec, 0.0);
+        assert_eq!(r.ics, 0.0);
+        assert_eq!(r.s3, 0.0);
+    }
+
+    #[test]
+    fn measures_are_bounded() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..10 {
+            let n = 12;
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_range(0.0..1.0) < 0.3 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let alignment: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+            let truth: Vec<usize> = (0..n).collect();
+            let r = evaluate(&g, &g, &alignment, &truth);
+            for (name, v) in [
+                ("accuracy", r.accuracy),
+                ("mnc", r.mnc),
+                ("ec", r.ec),
+                ("ics", r.ics),
+                ("s3", r.s3),
+            ] {
+                assert!((0.0..=1.0).contains(&v), "{name} = {v} out of [0,1]");
+            }
+        }
+    }
+}
+
+/// Top-`k` accuracy over a raw similarity matrix (row-major, `n × m`): the
+/// fraction of source nodes whose ground-truth target ranks among the `k`
+/// highest-scoring columns of their row. The embedding-based aligners
+/// (REGAL, CONE) report this relaxation of node correctness in their own
+/// papers; `k = 1` reduces to argmax accuracy.
+///
+/// Ties are counted generously: a truth column tied with the k-th score
+/// counts as within the top `k`.
+///
+/// # Panics
+/// Panics if `k == 0`, `similarity.len() != ground_truth.len() * m`, or a
+/// ground-truth index is out of range.
+pub fn accuracy_at_k(similarity: &[f64], m: usize, ground_truth: &[usize], k: usize) -> f64 {
+    assert!(k > 0, "accuracy_at_k: k must be positive");
+    let n = ground_truth.len();
+    assert_eq!(similarity.len(), n * m, "accuracy_at_k: similarity shape mismatch");
+    if n == 0 {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (i, &truth) in ground_truth.iter().enumerate() {
+        assert!(truth < m, "accuracy_at_k: ground truth {truth} out of range");
+        let row = &similarity[i * m..(i + 1) * m];
+        let truth_score = row[truth];
+        // Rank of the truth = number of strictly better columns.
+        let better = row.iter().filter(|&&v| v > truth_score).count();
+        if better < k {
+            hits += 1;
+        }
+    }
+    hits as f64 / n as f64
+}
+
+#[cfg(test)]
+mod accuracy_at_k_tests {
+    use super::accuracy_at_k;
+
+    #[test]
+    fn k1_is_argmax_accuracy() {
+        // Row 0: truth col 1 is the max (hit); row 1: truth col 0 is not.
+        let sim = [0.1, 0.9, 0.2, 0.3, 0.8, 0.1];
+        assert_eq!(accuracy_at_k(&sim, 3, &[1, 0], 1), 0.5);
+    }
+
+    #[test]
+    fn larger_k_is_monotone() {
+        let sim = [0.1, 0.9, 0.5, 0.3, 0.8, 0.4];
+        let truth = [2usize, 0];
+        let a1 = accuracy_at_k(&sim, 3, &truth, 1);
+        let a2 = accuracy_at_k(&sim, 3, &truth, 2);
+        let a3 = accuracy_at_k(&sim, 3, &truth, 3);
+        assert!(a1 <= a2 && a2 <= a3);
+        assert_eq!(a3, 1.0, "k = m always hits");
+    }
+
+    #[test]
+    fn ties_count_generously() {
+        let sim = [0.5, 0.5];
+        assert_eq!(accuracy_at_k(&sim, 2, &[1], 1), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn zero_k_panics() {
+        accuracy_at_k(&[1.0], 1, &[0], 0);
+    }
+}

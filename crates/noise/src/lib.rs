@@ -1,0 +1,402 @@
+//! Edge-perturbation noise models for graph-alignment benchmarks.
+//!
+//! The paper (§5.1.1) evaluates every algorithm under three noise regimes
+//! applied to a permuted copy of the source graph:
+//!
+//! * [`NoiseModel::OneWay`] — remove a fraction of edges from the target;
+//! * [`NoiseModel::MultiModal`] — remove a fraction of edges from the target
+//!   and add the *same number* of random non-edges;
+//! * [`NoiseModel::TwoWay`] — remove a fraction of edges from both source
+//!   and target (independently).
+//!
+//! [`make_instance`] packages the full §5.1 protocol: permute the node ids of
+//! the copy, perturb per the chosen model, keep the ground-truth permutation.
+//! Optionally ([`NoiseConfig::keep_connected`]) edge removals that would
+//! disconnect the graph are rejected and retried, as in the paper's
+//! assignment-method experiment (§6.2: "removing edges with uniform
+//! probability ... while keeping the graph connected").
+
+use graphalign_graph::permutation::AlignmentInstance;
+use graphalign_graph::traversal::is_connected;
+use graphalign_graph::{Graph, GraphBuilder, Permutation};
+use rand::prelude::*;
+use rand::rngs::StdRng;
+
+/// The three noise regimes of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum NoiseModel {
+    /// Remove edges from the target graph only.
+    OneWay,
+    /// Remove edges from the target and add the same number of new edges.
+    MultiModal,
+    /// Remove edges from both source and target, independently.
+    TwoWay,
+}
+
+impl NoiseModel {
+    /// All three models, in the order the paper's figures present them.
+    pub const ALL: [NoiseModel; 3] =
+        [NoiseModel::OneWay, NoiseModel::MultiModal, NoiseModel::TwoWay];
+
+    /// Short label used in harness output ("One-Way", "Multi-Modal",
+    /// "Two-Way").
+    pub fn label(&self) -> &'static str {
+        match self {
+            NoiseModel::OneWay => "One-Way",
+            NoiseModel::MultiModal => "Multi-Modal",
+            NoiseModel::TwoWay => "Two-Way",
+        }
+    }
+}
+
+/// Configuration of a noisy benchmark instance.
+#[derive(Debug, Clone, Copy)]
+pub struct NoiseConfig {
+    /// Which perturbation regime to apply.
+    pub model: NoiseModel,
+    /// Fraction of edges to perturb, in `[0, 1]`.
+    pub level: f64,
+    /// Reject removals that would disconnect the graph (best effort: if a
+    /// removal budget cannot be met after `10 × m` attempts, fewer edges are
+    /// removed).
+    pub keep_connected: bool,
+}
+
+impl NoiseConfig {
+    /// Convenience constructor with `keep_connected = false` (the default
+    /// protocol of §5.1).
+    pub fn new(model: NoiseModel, level: f64) -> Self {
+        Self { model, level, keep_connected: false }
+    }
+}
+
+/// Removes `⌊level · m⌋` uniformly random edges from `g`.
+///
+/// With `keep_connected`, candidate removals that disconnect the graph are
+/// skipped; if the budget cannot be met the function removes as many edges
+/// as it can (the paper's protocol for its §6.2 experiment).
+pub fn remove_edges(g: &Graph, level: f64, keep_connected: bool, rng: &mut StdRng) -> Graph {
+    assert!((0.0..=1.0).contains(&level), "noise level {level} outside [0, 1]");
+    let m = g.edge_count();
+    let budget = (level * m as f64).floor() as usize;
+    if budget == 0 {
+        return g.clone();
+    }
+    let mut builder = GraphBuilder::from_graph(g);
+    let mut edges: Vec<(usize, usize)> = builder.edge_vec();
+    edges.shuffle(rng);
+    let mut removed = 0usize;
+    let mut attempts = 0usize;
+    let max_attempts = 10 * m;
+    let mut idx = 0usize;
+    while removed < budget && attempts < max_attempts && !edges.is_empty() {
+        if idx >= edges.len() {
+            // Re-shuffle the survivors and sweep again (only reachable in
+            // keep_connected mode, where some removals were rejected).
+            edges = builder.edge_vec();
+            edges.shuffle(rng);
+            idx = 0;
+            if edges.is_empty() {
+                break;
+            }
+        }
+        let (u, v) = edges[idx];
+        idx += 1;
+        attempts += 1;
+        if !builder.has_edge(u, v) {
+            continue;
+        }
+        builder.remove_edge(u, v);
+        if keep_connected {
+            let candidate = builder.build();
+            if !is_connected(&candidate) {
+                builder.add_edge(u, v);
+                continue;
+            }
+        }
+        removed += 1;
+    }
+    builder.build()
+}
+
+/// Adds `count` uniformly random non-edges to `g` (no self-loops, no
+/// duplicates). If the graph is too dense to accommodate `count` new edges,
+/// as many as possible are added.
+pub fn add_edges(g: &Graph, count: usize, rng: &mut StdRng) -> Graph {
+    let n = g.node_count();
+    let max_edges = n.saturating_mul(n.saturating_sub(1)) / 2;
+    let mut builder = GraphBuilder::from_graph(g);
+    let target = (builder.edge_count() + count).min(max_edges);
+    let mut attempts = 0usize;
+    let max_attempts = 100 * count.max(1) + 1000;
+    while builder.edge_count() < target && attempts < max_attempts {
+        attempts += 1;
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            builder.add_edge(u, v);
+        }
+    }
+    builder.build()
+}
+
+/// Applies the configured noise to a `(source, target)` pair, returning the
+/// perturbed pair. The ground truth mapping is unaffected: noise changes
+/// edges, never node identities.
+pub fn perturb_pair(
+    source: &Graph,
+    target: &Graph,
+    config: &NoiseConfig,
+    rng: &mut StdRng,
+) -> (Graph, Graph) {
+    match config.model {
+        NoiseModel::OneWay => {
+            let t = remove_edges(target, config.level, config.keep_connected, rng);
+            (source.clone(), t)
+        }
+        NoiseModel::MultiModal => {
+            let t = remove_edges(target, config.level, config.keep_connected, rng);
+            let removed = target.edge_count() - t.edge_count();
+            let t = add_edges(&t, removed, rng);
+            (source.clone(), t)
+        }
+        NoiseModel::TwoWay => {
+            let s = remove_edges(source, config.level, config.keep_connected, rng);
+            let t = remove_edges(target, config.level, config.keep_connected, rng);
+            (s, t)
+        }
+    }
+}
+
+/// The full §5.1 benchmark protocol: permute the node ids of a copy of
+/// `source` (ground truth = the permutation), then perturb with `config`.
+///
+/// `seed` drives both the permutation and the noise, so instances are fully
+/// reproducible.
+pub fn make_instance(source: &Graph, config: &NoiseConfig, seed: u64) -> AlignmentInstance {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perm = Permutation::random(source.node_count(), rng.random());
+    let permuted = perm.apply_to_graph(source);
+    let (src, tgt) = perturb_pair(source, &permuted, config, &mut rng);
+    AlignmentInstance { source: src, target: tgt, ground_truth: perm.as_slice().to_vec() }
+}
+
+/// Builds a *subgraph alignment* instance: the source is the induced
+/// subgraph on a random `keep_fraction` of the nodes, the target is a
+/// permuted copy of the full graph. This is the "align a partial crawl
+/// against the full network" scenario (source strictly smaller than target
+/// — the one-to-one solvers embed the source into the target).
+///
+/// `ground_truth[u]` gives, for each retained source node `u`, its node id
+/// in the permuted target.
+///
+/// # Panics
+/// Panics if `keep_fraction` is outside `(0, 1]` or keeps fewer than one
+/// node.
+pub fn make_subgraph_instance(
+    graph: &Graph,
+    keep_fraction: f64,
+    seed: u64,
+) -> AlignmentInstance {
+    assert!(
+        keep_fraction > 0.0 && keep_fraction <= 1.0,
+        "keep_fraction {keep_fraction} outside (0, 1]"
+    );
+    let n = graph.node_count();
+    let keep = ((keep_fraction * n as f64).round() as usize).clamp(1, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut nodes: Vec<usize> = (0..n).collect();
+    nodes.shuffle(&mut rng);
+    let mut kept: Vec<usize> = nodes.into_iter().take(keep).collect();
+    kept.sort_unstable();
+    // Induced subgraph with local renumbering.
+    let mut local = vec![usize::MAX; n];
+    for (li, &v) in kept.iter().enumerate() {
+        local[v] = li;
+    }
+    let sub_edges: Vec<(usize, usize)> = graph
+        .edges()
+        .filter_map(|(u, v)| {
+            let (lu, lv) = (local[u], local[v]);
+            if lu != usize::MAX && lv != usize::MAX {
+                Some((lu, lv))
+            } else {
+                None
+            }
+        })
+        .collect();
+    let source = Graph::from_edges(keep, &sub_edges);
+    let perm = Permutation::random(n, rng.random());
+    let target = perm.apply_to_graph(graph);
+    let ground_truth: Vec<usize> = kept.iter().map(|&v| perm.apply(v)).collect();
+    AlignmentInstance { source, target, ground_truth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cycle(n: usize) -> Graph {
+        let edges: Vec<(usize, usize)> = (0..n).map(|i| (i, (i + 1) % n)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn remove_edges_removes_exact_budget() {
+        let g = cycle(100);
+        let h = remove_edges(&g, 0.1, false, &mut rng(1));
+        assert_eq!(h.edge_count(), 90);
+        assert_eq!(h.node_count(), 100);
+    }
+
+    #[test]
+    fn remove_zero_level_is_identity() {
+        let g = cycle(10);
+        assert_eq!(remove_edges(&g, 0.0, false, &mut rng(2)), g);
+    }
+
+    #[test]
+    fn removed_edges_are_a_subset() {
+        let g = cycle(50);
+        let h = remove_edges(&g, 0.2, false, &mut rng(3));
+        for (u, v) in h.edges() {
+            assert!(g.has_edge(u, v), "noise must not invent edges on removal");
+        }
+    }
+
+    #[test]
+    fn keep_connected_preserves_connectivity() {
+        // A path is maximally fragile: any removal disconnects it, so the
+        // keep_connected removal must remove nothing.
+        let path = Graph::from_edges(20, &(0..19).map(|i| (i, i + 1)).collect::<Vec<_>>());
+        let h = remove_edges(&path, 0.3, true, &mut rng(4));
+        assert!(is_connected(&h));
+        assert_eq!(h.edge_count(), path.edge_count());
+        // A denser graph can lose edges while staying connected.
+        let g = cycle(30);
+        let h = remove_edges(&g, 0.1, true, &mut rng(5));
+        assert!(is_connected(&h));
+        assert!(h.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn add_edges_adds_exact_count() {
+        let g = cycle(30);
+        let h = add_edges(&g, 5, &mut rng(6));
+        assert_eq!(h.edge_count(), 35);
+        for (u, v) in g.edges() {
+            assert!(h.has_edge(u, v), "additions must not remove edges");
+        }
+    }
+
+    #[test]
+    fn add_edges_respects_density_cap() {
+        // K4 is complete: nothing can be added.
+        let k4 = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)]);
+        let h = add_edges(&k4, 10, &mut rng(7));
+        assert_eq!(h.edge_count(), 6);
+    }
+
+    #[test]
+    fn multimodal_preserves_edge_count() {
+        let g = cycle(100);
+        let cfg = NoiseConfig::new(NoiseModel::MultiModal, 0.05);
+        let (_, t) = perturb_pair(&g, &g, &cfg, &mut rng(8));
+        assert_eq!(t.edge_count(), g.edge_count());
+        // But the edge set differs.
+        let same = t.edges().filter(|&(u, v)| g.has_edge(u, v)).count();
+        assert!(same < g.edge_count());
+    }
+
+    #[test]
+    fn one_way_leaves_source_untouched() {
+        let g = cycle(40);
+        let cfg = NoiseConfig::new(NoiseModel::OneWay, 0.1);
+        let (s, t) = perturb_pair(&g, &g, &cfg, &mut rng(9));
+        assert_eq!(s, g);
+        assert!(t.edge_count() < g.edge_count());
+    }
+
+    #[test]
+    fn two_way_perturbs_both_sides() {
+        let g = cycle(100);
+        let cfg = NoiseConfig::new(NoiseModel::TwoWay, 0.1);
+        let (s, t) = perturb_pair(&g, &g, &cfg, &mut rng(10));
+        assert_eq!(s.edge_count(), 90);
+        assert_eq!(t.edge_count(), 90);
+        assert_ne!(s, t, "independent removals should differ");
+    }
+
+    #[test]
+    fn make_instance_is_reproducible() {
+        let g = cycle(60);
+        let cfg = NoiseConfig::new(NoiseModel::OneWay, 0.05);
+        let a = make_instance(&g, &cfg, 123);
+        let b = make_instance(&g, &cfg, 123);
+        assert_eq!(a.target, b.target);
+        assert_eq!(a.ground_truth, b.ground_truth);
+        let c = make_instance(&g, &cfg, 124);
+        assert_ne!(a.ground_truth, c.ground_truth);
+    }
+
+    #[test]
+    fn make_instance_ground_truth_maps_surviving_edges() {
+        let g = cycle(50);
+        let cfg = NoiseConfig::new(NoiseModel::OneWay, 0.1);
+        let inst = make_instance(&g, &cfg, 7);
+        // Every target edge corresponds, through the inverse ground truth,
+        // to a source edge (one-way noise only deletes).
+        let inv = {
+            let mut inv = vec![0usize; inst.ground_truth.len()];
+            for (u, &v) in inst.ground_truth.iter().enumerate() {
+                inv[v] = u;
+            }
+            inv
+        };
+        for (x, y) in inst.target.edges() {
+            assert!(inst.source.has_edge(inv[x], inv[y]));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_level_panics() {
+        remove_edges(&cycle(5), 1.5, false, &mut rng(0));
+    }
+
+    #[test]
+    fn subgraph_instance_has_consistent_truth() {
+        let g = cycle(60);
+        let inst = make_subgraph_instance(&g, 0.6, 3);
+        assert_eq!(inst.source.node_count(), 36);
+        assert_eq!(inst.target.node_count(), 60);
+        assert_eq!(inst.ground_truth.len(), 36);
+        // Every source edge maps, through the truth, to a target edge
+        // (the subgraph is induced, so no edges are invented).
+        for (u, v) in inst.source.edges() {
+            assert!(inst.target.has_edge(inst.ground_truth[u], inst.ground_truth[v]));
+        }
+        // The truth is injective.
+        let mut seen = std::collections::HashSet::new();
+        for &t in &inst.ground_truth {
+            assert!(seen.insert(t));
+        }
+    }
+
+    #[test]
+    fn subgraph_instance_full_fraction_is_a_permuted_copy() {
+        let g = cycle(12);
+        let inst = make_subgraph_instance(&g, 1.0, 9);
+        assert_eq!(inst.source.edge_count(), g.edge_count());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside (0, 1]")]
+    fn subgraph_rejects_zero_fraction() {
+        make_subgraph_instance(&cycle(5), 0.0, 0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Protein-interaction network alignment: the paper's biology scenario —
+//! "which proteins perform *similar roles* in diverse species".
+//!
+//! A base yeast-like PPI network is aligned against variants that add
+//! candidate interactions (the MultiMagna protocol of §6.5). Because the
+//! goal is *functional* correspondence, the structural measures (EC, S³,
+//! MNC) matter as much as node accuracy; we report all of them for
+//! IsoRank — the method born in this domain — and GRASP.
+//!
+//! ```sh
+//! cargo run --release --example ppi_alignment
+//! ```
+
+use graphalign::grasp::Grasp;
+use graphalign::isorank::IsoRank;
+use graphalign::Aligner;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_datasets::evolving::multi_magna_protocol;
+use graphalign_gen::powerlaw_cluster;
+use graphalign_graph::permutation::AlignmentInstance;
+use graphalign_graph::Permutation;
+use graphalign_metrics::evaluate;
+
+fn main() {
+    // A yeast-like PPI base network (power-law, moderately dense) plus five
+    // variants that add 5%..25% low-confidence candidate interactions.
+    let base = powerlaw_cluster(350, 8, 0.5, 7);
+    let dataset = multi_magna_protocol(base, 11);
+    println!(
+        "base PPI network: {} proteins, {} interactions",
+        dataset.base.node_count(),
+        dataset.base.edge_count()
+    );
+    println!(
+        "\n{:<12} {:<8} {:>8} {:>8} {:>8} {:>8}",
+        "variant", "method", "acc", "EC", "S3", "MNC"
+    );
+    println!("{}", "-".repeat(58));
+
+    for variant in &dataset.variants {
+        // Scramble the variant's protein ids: correspondence must come from
+        // structure alone (unrestricted alignment — no BLAST scores).
+        let perm = Permutation::random(variant.graph.node_count(), 5);
+        let instance = AlignmentInstance {
+            source: dataset.base.clone(),
+            target: perm.apply_to_graph(&variant.graph),
+            ground_truth: perm.as_slice().to_vec(),
+        };
+        for (name, alignment) in [
+            (
+                "IsoRank",
+                IsoRank::default()
+                    .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
+                    .expect("IsoRank aligns"),
+            ),
+            (
+                "GRASP",
+                Grasp { q: 50, ..Grasp::default() }
+                    .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
+                    .expect("GRASP aligns"),
+            ),
+        ] {
+            let r = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+            println!(
+                "{:<12} {:<8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
+                variant.label,
+                name,
+                100.0 * r.accuracy,
+                100.0 * r.ec,
+                100.0 * r.s3,
+                100.0 * r.mnc,
+            );
+        }
+    }
+    println!(
+        "\nAs in the paper's Figure 10, quality decays as variants drift from\n\
+         the base network; IsoRank's degree prior keeps it competitive on\n\
+         PPI-style graphs, its home turf."
+    );
+}

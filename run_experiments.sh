@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every table/figure regenerator in quick mode, teeing plain-text and
+# JSON outputs into results/. Pass --full to run the paper-scale grid.
+set -u
+MODE="${1:---quick}"
+BINS="table1 table2 fig1_assignment fig2_er fig3_ba fig4_ws fig5_nw fig6_pl \
+fig7_real_low_noise fig8_real_high_noise fig9_time_accuracy fig10_real_noise \
+fig11_scal_nodes fig12_scal_degree fig13_mem_nodes fig14_mem_degree \
+fig15_density fig16_size table3"
+for bin in $BINS; do
+  echo "=== running $bin $MODE ==="
+  cargo run -q --release -p graphalign-bench --bin "$bin" -- "$MODE" \
+    --out "results/$bin.json" > "results/$bin.txt" 2>&1
+  echo "    exit=$? ($(wc -l < results/$bin.txt) lines)"
+done
+echo "all experiments done"

@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Summarizes results/*.json into the compact per-experiment digests that
+EXPERIMENTS.md quotes (best/worst algorithms per cell, noise slopes,
+scalability orderings). Pure stdlib; reads whatever the figure binaries
+wrote with --out."""
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+RESULTS = Path(sys.argv[1] if len(sys.argv) > 1 else "results")
+
+
+def load(name):
+    p = RESULTS / f"{name}.json"
+    if not p.exists():
+        return None
+    return json.loads(p.read_text())
+
+
+def fmt(v):
+    return f"{100 * v:.0f}%"
+
+
+def sweep_digest(name, measure="accuracy"):
+    rows = load(name)
+    if rows is None:
+        print(f"[{name}] missing")
+        return
+    # Group by (workload, noise, level).
+    cells = defaultdict(list)
+    for r in rows:
+        if r.get("skipped"):
+            continue
+        key = (r.get("workload", r.get("dataset", "?")), r.get("noise", "-"), r.get("level", r.get("variant", 0)))
+        cells[key].append((r["algorithm"], r.get(measure, 0.0)))
+    print(f"[{name}] {measure} leaders per cell:")
+    for key in sorted(cells, key=str):
+        ranked = sorted(cells[key], key=lambda x: -x[1])
+        top = ", ".join(f"{a} {fmt(v)}" for a, v in ranked[:3])
+        bottom = ranked[-1]
+        print(f"  {key}: top3 [{top}]  worst {bottom[0]} {fmt(bottom[1])}")
+
+
+def scalability_digest(name):
+    rows = load(name)
+    if rows is None:
+        print(f"[{name}] missing")
+        return
+    by_algo = defaultdict(list)
+    for r in rows:
+        if r.get("skipped"):
+            continue
+        x = r.get("n", r.get("avg_degree", 0))
+        by_algo[r["algorithm"]].append((x, r.get("seconds", r.get("model_bytes", 0))))
+    print(f"[{name}] per-algorithm growth:")
+    for algo, pts in sorted(by_algo.items()):
+        pts.sort()
+        series = "  ".join(f"{x}:{y:.3g}" for x, y in pts)
+        print(f"  {algo}: {series}")
+
+
+if __name__ == "__main__":
+    for fig in ["fig2_er", "fig3_ba", "fig4_ws", "fig5_nw", "fig6_pl",
+                "fig7_real_low_noise", "fig8_real_high_noise", "fig10_real_noise",
+                "fig15_density", "fig16_size"]:
+        sweep_digest(fig)
+        print()
+    sweep_digest("fig1_assignment")
+    print()
+    sweep_digest("fig9_time_accuracy")
+    print()
+    for fig in ["fig11_scal_nodes", "fig12_scal_degree", "fig13_mem_nodes", "fig14_mem_degree"]:
+        scalability_digest(fig)
+        print()

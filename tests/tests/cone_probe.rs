@@ -1,0 +1,35 @@
+//! Temporary probe (kept as a regression test): CONE must align a noiseless
+//! Watts-Strogatz instance well — the paper's headline claim ("CONE performs
+//! well on all graph models").
+
+use graphalign::cone::Cone;
+use graphalign::Aligner;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_metrics::accuracy;
+use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
+
+#[test]
+fn cone_aligns_watts_strogatz() {
+    let g = graphalign_gen::watts_strogatz(300, 10, 0.5, 2023);
+    for (level, floor) in [(0.0, 0.8), (0.02, 0.5)] {
+        let inst = make_instance(&g, &NoiseConfig::new(NoiseModel::OneWay, level), 1);
+        let aligned = Cone::default()
+            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap();
+        let acc = accuracy(&aligned, &inst.ground_truth);
+        println!("CONE WS accuracy at {level}: {acc}");
+        assert!(acc > floor, "CONE on WS at {level}: {acc}");
+    }
+}
+
+#[test]
+fn cone_aligns_erdos_renyi() {
+    let g = graphalign_gen::erdos_renyi(300, 0.03, 5);
+    let inst = make_instance(&g, &NoiseConfig::new(NoiseModel::OneWay, 0.0), 2);
+    let aligned = Cone::default()
+        .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+        .unwrap();
+    let acc = accuracy(&aligned, &inst.ground_truth);
+    println!("CONE ER accuracy: {acc}");
+    assert!(acc > 0.8, "CONE on noiseless ER: {acc}");
+}

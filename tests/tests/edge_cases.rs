@@ -1,0 +1,158 @@
+//! Failure-injection and degenerate-input tests: every algorithm must either
+//! produce a valid alignment or report a clean error — never panic, never
+//! return NaN-scored garbage — on the pathological graphs the noise models
+//! can produce (disconnected graphs, stars, empty edge sets, complete
+//! graphs, size-mismatched pairs).
+
+use graphalign::{registry, Aligner};
+use graphalign_assignment::AssignmentMethod;
+use graphalign_graph::Graph;
+use graphalign_metrics::evaluate;
+
+fn check_valid(aligner: &dyn Aligner, source: &Graph, target: &Graph, context: &str) {
+    match aligner.align_with(source, target, AssignmentMethod::JonkerVolgenant) {
+        Ok(alignment) => {
+            assert_eq!(
+                alignment.len(),
+                source.node_count(),
+                "{} on {context}: wrong alignment length",
+                aligner.name()
+            );
+            let mut seen = vec![false; target.node_count()];
+            for &v in &alignment {
+                assert!(v < target.node_count(), "{} on {context}: image out of range", aligner.name());
+                assert!(!seen[v], "{} on {context}: duplicate image", aligner.name());
+                seen[v] = true;
+            }
+            let truth: Vec<usize> = (0..source.node_count()).collect();
+            let r = evaluate(source, target, &alignment, &truth);
+            for (name, v) in
+                [("acc", r.accuracy), ("mnc", r.mnc), ("ec", r.ec), ("ics", r.ics), ("s3", r.s3)]
+            {
+                assert!(
+                    v.is_finite() && (0.0..=1.0).contains(&v),
+                    "{} on {context}: {name} = {v}",
+                    aligner.name()
+                );
+            }
+        }
+        Err(e) => {
+            // A clean error is acceptable for degenerate inputs; it must
+            // carry a message.
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}
+
+#[test]
+fn disconnected_graphs() {
+    // Two components plus isolated nodes — the regime where the paper says
+    // GRASP falters; it must fail gracefully or return a valid matching.
+    let g = Graph::from_edges(
+        14,
+        &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3), (7, 8)],
+    );
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "disconnected graph");
+    }
+}
+
+#[test]
+fn star_graph() {
+    // Extreme degree skew: hub of degree n−1, leaves of degree 1.
+    let edges: Vec<(usize, usize)> = (1..12).map(|i| (0, i)).collect();
+    let g = Graph::from_edges(12, &edges);
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "star graph");
+    }
+}
+
+#[test]
+fn complete_graph() {
+    // Every node automorphic to every other: algorithms must still return
+    // *some* valid permutation.
+    let mut edges = Vec::new();
+    for i in 0..10 {
+        for j in (i + 1)..10 {
+            edges.push((i, j));
+        }
+    }
+    let g = Graph::from_edges(10, &edges);
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "complete graph");
+    }
+}
+
+#[test]
+fn edgeless_graph() {
+    let g = Graph::from_edges(8, &[]);
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "edgeless graph");
+    }
+}
+
+#[test]
+fn path_graph() {
+    // Minimal connectivity; bisection and spectral methods see extreme
+    // diameter.
+    let edges: Vec<(usize, usize)> = (0..15).map(|i| (i, i + 1)).collect();
+    let g = Graph::from_edges(16, &edges);
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "path graph");
+    }
+}
+
+#[test]
+fn size_mismatch_smaller_source_is_supported() {
+    // Source strictly smaller than target: one-to-one into a superset.
+    let small = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
+    let big = Graph::from_edges(
+        9,
+        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (6, 7), (7, 8)],
+    );
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &small, &big, "smaller source");
+    }
+}
+
+#[test]
+fn size_mismatch_larger_source_is_rejected() {
+    let small = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+    let big = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+    for aligner in registry() {
+        let err = aligner
+            .align_with(&big, &small, AssignmentMethod::JonkerVolgenant)
+            .err()
+            .unwrap_or_else(|| panic!("{} accepted an impossible instance", aligner.name()));
+        assert!(err.to_string().contains("impossible"), "{}: {err}", aligner.name());
+    }
+}
+
+#[test]
+fn empty_source_is_rejected() {
+    let empty = Graph::from_edges(0, &[]);
+    let g = Graph::from_edges(2, &[(0, 1)]);
+    for aligner in registry() {
+        assert!(
+            aligner.align_with(&empty, &g, AssignmentMethod::JonkerVolgenant).is_err(),
+            "{} accepted an empty source",
+            aligner.name()
+        );
+    }
+}
+
+#[test]
+fn single_node_graphs() {
+    let g = Graph::from_edges(1, &[]);
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "single node");
+    }
+}
+
+#[test]
+fn two_node_graphs() {
+    let g = Graph::from_edges(2, &[(0, 1)]);
+    for aligner in registry() {
+        check_valid(aligner.as_ref(), &g, &g, "two nodes");
+    }
+}

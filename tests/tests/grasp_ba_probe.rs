@@ -1,0 +1,42 @@
+//! Probe (kept as regression test): GRASP must be strong on noiseless
+//! power-law graphs — "GRASP almost consistently returns the best alignment
+//! on graphs with no noise" (§6.3).
+
+use graphalign::grasp::Grasp;
+use graphalign::Aligner;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_metrics::accuracy;
+use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
+
+#[test]
+fn grasp_ba_probe() {
+    let g = graphalign_gen::barabasi_albert(300, 5, 2023 ^ 0x9e3779b97f4a7c15);
+    let inst = make_instance(&g, &NoiseConfig::new(NoiseModel::OneWay, 0.0), 2023);
+    let aligned = Grasp::default()
+        .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+        .unwrap();
+    let acc = accuracy(&aligned, &inst.ground_truth);
+    println!("GRASP BA accuracy: {acc}");
+    assert!(acc > 0.5, "GRASP on noiseless BA: {acc}");
+}
+
+#[test]
+fn grasp_shape_across_models() {
+    // GRASP should be decent across all models at zero noise (paper §6.3:
+    // "almost consistently returns the best alignment on graphs with no
+    // noise", modulo local automorphisms at this scale).
+    let cases: Vec<(&str, graphalign_graph::Graph, f64)> = vec![
+        ("WS", graphalign_gen::watts_strogatz(300, 10, 0.5, 3), 0.5),
+        ("NW", graphalign_gen::newman_watts(300, 7, 0.5, 4), 0.6),
+        ("PL", graphalign_gen::powerlaw_cluster(300, 5, 0.5, 5), 0.5),
+    ];
+    for (name, g, floor) in cases {
+        let inst = make_instance(&g, &NoiseConfig::new(NoiseModel::OneWay, 0.0), 9);
+        let aligned = Grasp::default()
+            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap();
+        let acc = accuracy(&aligned, &inst.ground_truth);
+        println!("GRASP {name} accuracy: {acc}");
+        assert!(acc > floor, "GRASP on noiseless {name}: {acc}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Paper-shape regression tests: qualitative findings of the study's §6
+//! that this reproduction must preserve. Each test encodes one claim from
+//! the paper's text, averaged over seeds so the assertions are stable.
+
+use graphalign::{Aligner, AlignError};
+use graphalign_assignment::AssignmentMethod;
+use graphalign_gen as gen;
+use graphalign_graph::Graph;
+use graphalign_metrics::accuracy;
+use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
+
+fn mean_accuracy(
+    aligner: &dyn Aligner,
+    graph: &Graph,
+    model: NoiseModel,
+    level: f64,
+    seeds: std::ops::Range<u64>,
+) -> Result<f64, AlignError> {
+    let mut total = 0.0;
+    let count = seeds.end - seeds.start;
+    for seed in seeds {
+        let inst = make_instance(graph, &NoiseConfig::new(model, level), seed);
+        let a = aligner.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)?;
+        total += accuracy(&a, &inst.ground_truth);
+    }
+    Ok(total / count as f64)
+}
+
+/// §6.3, LREA: "consistently finds the correct alignment on graphs with no
+/// noise ... Yet, the performance drops close to 0 on graphs with only 1%
+/// noise."
+#[test]
+fn lrea_cliff_at_one_percent_noise() {
+    let g = gen::erdos_renyi(250, 0.04, 3);
+    let lrea = graphalign::lrea::Lrea::default();
+    let clean = mean_accuracy(&lrea, &g, NoiseModel::OneWay, 0.0, 0..2).unwrap();
+    let noisy = mean_accuracy(&lrea, &g, NoiseModel::OneWay, 0.02, 0..2).unwrap();
+    assert!(clean > 0.75, "LREA clean accuracy {clean}");
+    assert!(noisy < 0.35, "LREA at 2% noise should collapse, got {noisy}");
+    assert!(clean - noisy > 0.5, "the LREA cliff must be steep: {clean} -> {noisy}");
+}
+
+/// §6.3, GWL: "exhibits good performance only on powerlaw graphs ... On
+/// other graph types GWL fails to find the correct alignment, scoring close
+/// to 0 in all measures even with low noise levels."
+#[test]
+fn gwl_only_works_on_powerlaw() {
+    let gwl = graphalign::gwl::Gwl::default();
+    let ba = gen::barabasi_albert(200, 5, 7);
+    let ws = gen::watts_strogatz(200, 10, 0.5, 7);
+    let on_ba = mean_accuracy(&gwl, &ba, NoiseModel::OneWay, 0.0, 0..2).unwrap();
+    let on_ws = mean_accuracy(&gwl, &ws, NoiseModel::OneWay, 0.0, 0..2).unwrap();
+    assert!(on_ba > 0.4, "GWL on BA: {on_ba}");
+    assert!(on_ws < 0.1, "GWL should fail on WS: {on_ws}");
+}
+
+/// §6.3, S-GWL: "Although approximating GWL, S-GWL is competitive in most
+/// datasets" — in particular it beats GWL off the power-law regime.
+#[test]
+fn sgwl_beats_gwl_off_powerlaw() {
+    let ws = gen::watts_strogatz(200, 10, 0.5, 11);
+    let gwl = mean_accuracy(
+        &graphalign::gwl::Gwl::default(),
+        &ws,
+        NoiseModel::OneWay,
+        0.0,
+        0..2,
+    )
+    .unwrap();
+    let sgwl = mean_accuracy(
+        &graphalign::sgwl::Sgwl::default(),
+        &ws,
+        NoiseModel::OneWay,
+        0.0,
+        0..2,
+    )
+    .unwrap();
+    assert!(sgwl > gwl + 0.2, "S-GWL ({sgwl}) must clearly beat GWL ({gwl}) on WS");
+}
+
+/// §6.3, CONE: "performs well on all graph models, returning nearly perfect
+/// alignments in nearly all models" (zero-noise check on three families).
+#[test]
+fn cone_near_perfect_across_models() {
+    let cone = graphalign::cone::Cone { outer_iters: 15, ..Default::default() };
+    for (name, g) in [
+        ("ER", gen::erdos_renyi(250, 0.04, 13)),
+        ("WS", gen::watts_strogatz(250, 10, 0.5, 13)),
+        ("BA", gen::barabasi_albert(250, 5, 13)),
+    ] {
+        let acc = mean_accuracy(&cone, &g, NoiseModel::OneWay, 0.0, 0..2).unwrap();
+        assert!(acc > 0.85, "CONE on {name}: {acc}");
+    }
+}
+
+/// §6.3, IsoRank noise sensitivity: "for multi-modal and two-way noise
+/// accuracy drops by 10-30%" relative to one-way — the harsher noise types
+/// must not score *better*.
+#[test]
+fn isorank_noise_type_ordering() {
+    let g = gen::powerlaw_cluster(250, 5, 0.5, 17);
+    let iso = graphalign::isorank::IsoRank::default();
+    let one_way = mean_accuracy(&iso, &g, NoiseModel::OneWay, 0.04, 0..3).unwrap();
+    let multi = mean_accuracy(&iso, &g, NoiseModel::MultiModal, 0.04, 0..3).unwrap();
+    assert!(
+        one_way >= multi - 0.05,
+        "multi-modal noise should hurt IsoRank at least as much: {one_way} vs {multi}"
+    );
+}
+
+/// §6.1: the degree-prior weighting is what makes IsoRank "a formidable
+/// competitor" — the uniform-prior variant must not beat it under noise.
+#[test]
+fn isorank_prior_ablation_shape() {
+    let g = gen::powerlaw_cluster(200, 5, 0.5, 19);
+    let with_prior = mean_accuracy(
+        &graphalign::isorank::IsoRank::default(),
+        &g,
+        NoiseModel::OneWay,
+        0.03,
+        0..3,
+    )
+    .unwrap();
+    let without = mean_accuracy(
+        &graphalign::isorank::IsoRank::without_degree_prior(),
+        &g,
+        NoiseModel::OneWay,
+        0.03,
+        0..3,
+    )
+    .unwrap();
+    assert!(
+        with_prior >= without - 0.05,
+        "degree prior should not hurt: {with_prior} vs {without}"
+    );
+}
+
+/// §6.4.1, GRASP and disconnection: GRASP's failure mode is noise that
+/// fragments the *target* differently from the source — "GRASP falters on
+/// graphs with several connected components, which may arise if the random
+/// edge removals disconnect the graph". On a fragile sparse graph, noise
+/// that disconnects must hurt GRASP much more than the same noise on a
+/// robust dense graph.
+#[test]
+fn grasp_suffers_when_noise_disconnects() {
+    let grasp = graphalign::grasp::Grasp { q: 50, ..Default::default() };
+    // Robust: WS with degree 10 survives 5% removals connected.
+    let robust = gen::watts_strogatz(240, 10, 0.3, 23);
+    // Fragile: a ring of degree 2 fragments under any removal.
+    let fragile = Graph::from_edges(240, &(0..240).map(|i| (i, (i + 1) % 240)).collect::<Vec<_>>());
+    let on_robust = mean_accuracy(&grasp, &robust, NoiseModel::OneWay, 0.05, 0..2).unwrap();
+    let on_fragile = mean_accuracy(&grasp, &fragile, NoiseModel::OneWay, 0.05, 0..2).unwrap();
+    assert!(
+        on_robust > on_fragile + 0.2,
+        "disconnecting noise must hurt GRASP disproportionately: robust {on_robust} vs fragile {on_fragile}"
+    );
+}

@@ -1,0 +1,225 @@
+//! Cross-crate integration tests: the full generate → permute → perturb →
+//! align → score pipeline, spanning every workspace crate.
+
+use graphalign::{registry, Aligner};
+use graphalign_assignment::AssignmentMethod;
+use graphalign_gen as gen;
+use graphalign_graph::permutation::AlignmentInstance;
+use graphalign_metrics::{evaluate, s3};
+use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
+
+/// Every algorithm completes the full pipeline on a small power-law graph
+/// and returns a valid one-to-one alignment under JV.
+#[test]
+fn every_algorithm_completes_the_pipeline() {
+    let graph = gen::powerlaw_cluster(80, 4, 0.5, 11);
+    let noise = NoiseConfig::new(NoiseModel::OneWay, 0.02);
+    let instance = make_instance(&graph, &noise, 5);
+    for aligner in registry() {
+        let alignment = aligner
+            .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", aligner.name()));
+        assert_eq!(alignment.len(), instance.source.node_count());
+        let mut sorted = alignment.clone();
+        sorted.sort_unstable();
+        assert_eq!(
+            sorted,
+            (0..alignment.len()).collect::<Vec<_>>(),
+            "{} must return a permutation under JV",
+            aligner.name()
+        );
+        let report =
+            evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+        for (name, v) in [
+            ("accuracy", report.accuracy),
+            ("mnc", report.mnc),
+            ("ec", report.ec),
+            ("ics", report.ics),
+            ("s3", report.s3),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&v),
+                "{}: measure {name} = {v} out of range",
+                aligner.name()
+            );
+        }
+    }
+}
+
+/// On a noiseless isomorphic instance, the structure-exact methods recover
+/// strong structural scores (the paper: "LREA and GRASP almost consistently
+/// return the best alignment on graphs with no noise").
+#[test]
+fn structure_exact_methods_ace_isomorphic_instances() {
+    let graph = gen::powerlaw_cluster(70, 4, 0.6, 3);
+    let instance = AlignmentInstance::permuted(graph, 9);
+    for aligner in registry() {
+        let name = aligner.name();
+        if !matches!(name, "GRASP" | "LREA" | "IsoRank") {
+            continue;
+        }
+        let alignment = aligner
+            .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap();
+        let structural = s3(&instance.source, &instance.target, &alignment);
+        assert!(
+            structural > 0.6,
+            "{name} S3 on an isomorphic instance: {structural}"
+        );
+    }
+}
+
+/// Determinism: the whole pipeline is seeded, so two runs agree bit-for-bit.
+#[test]
+fn pipeline_is_deterministic_end_to_end() {
+    let graph = gen::watts_strogatz(60, 6, 0.5, 21);
+    let noise = NoiseConfig::new(NoiseModel::MultiModal, 0.05);
+    let a = make_instance(&graph, &noise, 77);
+    let b = make_instance(&graph, &noise, 77);
+    assert_eq!(a.target, b.target);
+    let grasp = graphalign::grasp::Grasp { q: 30, ..Default::default() };
+    let x = grasp.align(&a.source, &a.target).unwrap();
+    let y = grasp.align(&b.source, &b.target).unwrap();
+    assert_eq!(x, y);
+}
+
+/// Noise monotonicity at the aggregate level: heavy noise does not *improve*
+/// structural quality for a spectral method (averaged over seeds to absorb
+/// run-to-run variance).
+#[test]
+fn more_noise_does_not_help() {
+    let graph = gen::powerlaw_cluster(80, 5, 0.5, 31);
+    let grasp = graphalign::grasp::Grasp { q: 30, ..Default::default() };
+    let mean_s3 = |level: f64| -> f64 {
+        (0..3)
+            .map(|seed| {
+                let noise = NoiseConfig::new(NoiseModel::OneWay, level);
+                let inst = make_instance(&graph, &noise, seed);
+                let alignment = grasp
+                    .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+                    .unwrap();
+                s3(&inst.source, &inst.target, &alignment)
+            })
+            .sum::<f64>()
+            / 3.0
+    };
+    let clean = mean_s3(0.0);
+    let noisy = mean_s3(0.20);
+    assert!(
+        clean >= noisy,
+        "20% noise should not beat 0% noise: clean {clean} vs noisy {noisy}"
+    );
+}
+
+/// The dataset registry, noise models and aligners compose: align a
+/// benchmark dataset replica against its noisy self.
+#[test]
+fn dataset_replica_aligns_end_to_end() {
+    use graphalign_datasets::{replica, DatasetId};
+    let graph = replica(DatasetId::CaNetscience); // 379 nodes
+    let noise = NoiseConfig::new(NoiseModel::OneWay, 0.01);
+    let instance = make_instance(&graph, &noise, 13);
+    let nsd = graphalign::nsd::Nsd::default();
+    let alignment = nsd
+        .align_with(&instance.source, &instance.target, AssignmentMethod::SortGreedy)
+        .unwrap();
+    let report = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+    // NSD on a real-ish sparse graph: far above the 1/379 random baseline.
+    assert!(report.accuracy > 0.05, "NSD accuracy {}", report.accuracy);
+}
+
+/// Evolving (real-noise) datasets flow through the alignment stack.
+#[test]
+fn evolving_dataset_protocol_end_to_end() {
+    use graphalign_datasets::evolving::temporal;
+    use graphalign_graph::Permutation;
+    let base = gen::watts_strogatz(90, 8, 0.4, 17);
+    let ds = temporal("mini", base, 23);
+    let variant = &ds.variants[3]; // 99% retention
+    let perm = Permutation::random(variant.graph.node_count(), 29);
+    let instance = AlignmentInstance {
+        source: ds.base.clone(),
+        target: perm.apply_to_graph(&variant.graph),
+        ground_truth: perm.as_slice().to_vec(),
+    };
+    let grasp = graphalign::grasp::Grasp { q: 30, ..Default::default() };
+    let alignment = grasp.align(&instance.source, &instance.target).unwrap();
+    let report = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+    assert!(
+        report.accuracy > 0.5,
+        "GRASP at 99% retention should recover most nodes, got {}",
+        report.accuracy
+    );
+}
+
+/// The §6.2 finding in miniature: for IsoRank, optimal assignment (JV) is at
+/// least as good as the greedy heuristic, and both beat many-to-one NN on
+/// accuracy, averaged over instances.
+#[test]
+fn assignment_method_ordering_matches_the_paper() {
+    let graph = gen::powerlaw_cluster(80, 4, 0.5, 41);
+    let iso = graphalign::isorank::IsoRank::default();
+    let mut jv_total = 0.0;
+    let mut sg_total = 0.0;
+    for seed in 0..3 {
+        let noise = NoiseConfig::new(NoiseModel::OneWay, 0.02);
+        let inst = make_instance(&graph, &noise, seed);
+        let jv = iso
+            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+            .unwrap();
+        let sg = iso
+            .align_with(&inst.source, &inst.target, AssignmentMethod::SortGreedy)
+            .unwrap();
+        jv_total += graphalign_metrics::accuracy(&jv, &inst.ground_truth);
+        sg_total += graphalign_metrics::accuracy(&sg, &inst.ground_truth);
+    }
+    assert!(
+        jv_total >= sg_total - 0.05,
+        "JV should not lose to SortGreedy: {jv_total} vs {sg_total}"
+    );
+}
+
+/// The subgraph-alignment extension: embed a partial crawl (90% of nodes)
+/// into the full network. One-to-one solvers handle the rectangular case by
+/// construction. (Node removal is the harshest perturbation in the study's
+/// taxonomy — removing 10% of nodes strips every surviving neighborhood —
+/// so the quality bar is "clearly better than chance", not "high".)
+#[test]
+fn subgraph_alignment_end_to_end() {
+    use graphalign_noise::make_subgraph_instance;
+    let g = gen::powerlaw_cluster(120, 5, 0.6, 51);
+    let inst = make_subgraph_instance(&g, 0.9, 52);
+    assert!(inst.source.node_count() < inst.target.node_count());
+    let iso = graphalign::isorank::IsoRank::default();
+    let alignment = iso
+        .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
+        .unwrap();
+    assert_eq!(alignment.len(), inst.source.node_count());
+    // Injective into the larger target.
+    let mut seen = std::collections::HashSet::new();
+    for &v in &alignment {
+        assert!(v < inst.target.node_count());
+        assert!(seen.insert(v));
+    }
+    // Clearly better than chance (chance ≈ 1/120 ≈ 0.8%).
+    let acc = graphalign_metrics::accuracy(&alignment, &inst.ground_truth);
+    assert!(acc > 0.1, "subgraph alignment accuracy {acc}");
+}
+
+/// accuracy@k on a real similarity matrix is monotone in k and consistent
+/// with argmax accuracy at k = 1 under NN extraction.
+#[test]
+fn accuracy_at_k_integrates_with_similarities() {
+    use graphalign_metrics::accuracy_at_k;
+    let g = gen::powerlaw_cluster(60, 4, 0.5, 61);
+    let inst = AlignmentInstance::permuted(g, 62);
+    let grasp = graphalign::grasp::Grasp { q: 30, ..Default::default() };
+    let sim = grasp.similarity(&inst.source, &inst.target).unwrap();
+    let m = sim.cols();
+    let a1 = accuracy_at_k(sim.as_slice(), m, &inst.ground_truth, 1);
+    let a5 = accuracy_at_k(sim.as_slice(), m, &inst.ground_truth, 5);
+    let a_all = accuracy_at_k(sim.as_slice(), m, &inst.ground_truth, m);
+    assert!(a1 <= a5 && a5 <= a_all);
+    assert_eq!(a_all, 1.0);
+    assert!(a5 > 0.5, "top-5 accuracy {a5}");
+}

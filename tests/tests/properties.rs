@@ -1,0 +1,104 @@
+//! Cross-crate property-based tests (proptest) on the pipeline invariants.
+
+use graphalign_assignment::{assign, assignment_value, AssignmentMethod};
+use graphalign_gen as gen;
+use graphalign_graph::Graph;
+use graphalign_linalg::DenseMatrix;
+use graphalign_metrics::{accuracy, evaluate, mnc, s3};
+use graphalign_noise::{make_instance, remove_edges, NoiseConfig, NoiseModel};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{RngExt as _, SeedableRng};
+
+fn arbitrary_graph() -> impl Strategy<Value = Graph> {
+    (5usize..40, any::<u64>(), 0.05f64..0.5).prop_map(|(n, seed, p)| {
+        // Seeded ER graph: arbitrary but reproducible per case.
+        gen::erdos_renyi(n, p, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Removing edges never increases the edge count and never invents
+    /// edges; the level is respected exactly.
+    #[test]
+    fn noise_removal_accounting(g in arbitrary_graph(), seed in any::<u64>(), level in 0.0f64..0.5) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let h = remove_edges(&g, level, false, &mut rng);
+        let budget = (level * g.edge_count() as f64).floor() as usize;
+        prop_assert_eq!(h.edge_count(), g.edge_count() - budget);
+        for (u, v) in h.edges() {
+            prop_assert!(g.has_edge(u, v));
+        }
+    }
+
+    /// Multi-modal noise preserves the edge count (it swaps edges).
+    #[test]
+    fn multimodal_preserves_edge_count(g in arbitrary_graph(), seed in any::<u64>()) {
+        let cfg = NoiseConfig::new(NoiseModel::MultiModal, 0.2);
+        let inst = make_instance(&g, &cfg, seed);
+        prop_assert_eq!(inst.target.edge_count(), g.edge_count());
+    }
+
+    /// The ground truth of a noiseless instance scores 1.0 on every measure
+    /// (for non-trivial graphs with at least one edge).
+    #[test]
+    fn ground_truth_is_perfect_without_noise(g in arbitrary_graph(), seed in any::<u64>()) {
+        prop_assume!(g.edge_count() > 0);
+        let cfg = NoiseConfig::new(NoiseModel::OneWay, 0.0);
+        let inst = make_instance(&g, &cfg, seed);
+        let r = evaluate(&inst.source, &inst.target, &inst.ground_truth, &inst.ground_truth);
+        prop_assert_eq!(r.accuracy, 1.0);
+        prop_assert!((r.ec - 1.0).abs() < 1e-12);
+        prop_assert!((r.s3 - 1.0).abs() < 1e-12);
+        prop_assert!((r.mnc - 1.0).abs() < 1e-12);
+    }
+
+    /// JV is optimal: no other tested assignment achieves a higher LAP
+    /// objective on the same similarity matrix.
+    #[test]
+    fn jv_dominates_heuristics_on_objective(
+        n in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sim = DenseMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1.0));
+        let jv = assignment_value(&sim, &assign(&sim, AssignmentMethod::JonkerVolgenant));
+        for method in [AssignmentMethod::SortGreedy, AssignmentMethod::Hungarian, AssignmentMethod::Auction] {
+            let other = assignment_value(&sim, &assign(&sim, method));
+            prop_assert!(jv >= other - 1e-6, "{method:?} beat JV: {other} > {jv}");
+        }
+    }
+
+    /// Quality measures stay in [0, 1] for arbitrary (even many-to-one)
+    /// alignments.
+    #[test]
+    fn measures_are_always_bounded(
+        g in arbitrary_graph(),
+        mapping_seed in any::<u64>(),
+    ) {
+        let n = g.node_count();
+        let mut rng = StdRng::seed_from_u64(mapping_seed);
+        let alignment: Vec<usize> = (0..n).map(|_| rng.random_range(0..n)).collect();
+        let truth: Vec<usize> = (0..n).collect();
+        let r = evaluate(&g, &g, &alignment, &truth);
+        for v in [r.accuracy, r.mnc, r.ec, r.ics, r.s3] {
+            prop_assert!((0.0..=1.0).contains(&v));
+        }
+        // Spot identities.
+        prop_assert!((accuracy(&alignment, &truth) - r.accuracy).abs() < 1e-15);
+        prop_assert!((mnc(&g, &g, &alignment) - r.mnc).abs() < 1e-15);
+        prop_assert!((s3(&g, &g, &alignment) - r.s3).abs() < 1e-15);
+    }
+
+    /// Generators honor their size contracts.
+    #[test]
+    fn generators_honor_node_counts(n in 12usize..60, seed in any::<u64>()) {
+        prop_assert_eq!(gen::erdos_renyi(n, 0.1, seed).node_count(), n);
+        prop_assert_eq!(gen::barabasi_albert(n, 3, seed).node_count(), n);
+        prop_assert_eq!(gen::watts_strogatz(n, 4, 0.3, seed).node_count(), n);
+        prop_assert_eq!(gen::newman_watts(n, 3, 0.3, seed).node_count(), n);
+        prop_assert_eq!(gen::powerlaw_cluster(n, 3, 0.5, seed).node_count(), n);
+    }
+}
