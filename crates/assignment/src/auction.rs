@@ -167,10 +167,7 @@ mod tests {
             let a = auction_max(&sparse);
             let opt = value(&sim_dense, &crate::hungarian::hungarian_max(&sim_dense));
             let got = value(&sim_dense, &a);
-            assert!(
-                got >= opt - 0.01 * n as f64,
-                "trial {trial}: auction {got} vs optimal {opt}"
-            );
+            assert!(got >= opt - 0.01 * n as f64, "trial {trial}: auction {got} vs optimal {opt}");
             // One-to-one.
             let mut seen = vec![false; n];
             for &j in &a {
@@ -183,11 +180,7 @@ mod tests {
     #[test]
     fn sparse_candidates_complete_to_full_matching() {
         // Only a diagonal of candidates on a 5×5 problem.
-        let sparse = CsrMatrix::from_triplets(
-            5,
-            5,
-            &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)],
-        );
+        let sparse = CsrMatrix::from_triplets(5, 5, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
         let a = auction_max(&sparse);
         assert_eq!(a[0], 0);
         assert_eq!(a[1], 1);
@@ -199,11 +192,8 @@ mod tests {
 
     #[test]
     fn prefers_heavy_edges() {
-        let sparse = CsrMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 10.0), (0, 1, 9.0), (1, 0, 9.0), (1, 1, 0.0)],
-        );
+        let sparse =
+            CsrMatrix::from_triplets(2, 2, &[(0, 0, 10.0), (0, 1, 9.0), (1, 0, 9.0), (1, 1, 0.0)]);
         // Optimal is the anti-diagonal: 9 + 9 > 10 + 0.
         let a = auction_max(&sparse);
         assert_eq!(a, vec![1, 0]);
@@ -233,9 +223,8 @@ mod param_tests {
         let n = 12;
         let dense = DenseMatrix::from_fn(n, n, |_, _| rng.next());
         let sparse = CsrMatrix::from_dense(&dense);
-        let value = |a: &[usize]| -> f64 {
-            a.iter().enumerate().map(|(i, &j)| dense.get(i, j)).sum()
-        };
+        let value =
+            |a: &[usize]| -> f64 { a.iter().enumerate().map(|(i, &j)| dense.get(i, j)).sum() };
         let fine = AuctionParams { epsilon_end: 1e-6, ..AuctionParams::default() };
         let coarse = AuctionParams {
             epsilon_start: 0.5,

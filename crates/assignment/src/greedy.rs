@@ -16,9 +16,7 @@ use graphalign_linalg::DenseMatrix;
 pub fn sort_greedy(sim: &DenseMatrix) -> Vec<usize> {
     let (n, m) = sim.shape();
     assert!(n <= m, "sort_greedy: need rows ≤ cols (got {n} × {m})");
-    let mut pairs: Vec<(usize, usize)> = (0..n)
-        .flat_map(|i| (0..m).map(move |j| (i, j)))
-        .collect();
+    let mut pairs: Vec<(usize, usize)> = (0..n).flat_map(|i| (0..m).map(move |j| (i, j))).collect();
     // Stable sort by descending similarity; the pair order is the tiebreak.
     pairs.sort_by(|&(i1, j1), &(i2, j2)| {
         sim.get(i2, j2).partial_cmp(&sim.get(i1, j1)).expect("finite similarities")

@@ -120,11 +120,7 @@ mod tests {
     fn known_3x3() {
         // Optimal: (0,1), (1,0), (2,2) with cost 1 + 2 + 3 = 6... verify by
         // brute force instead of hand arithmetic.
-        let cost = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, 3.0],
-            &[2.0, 0.0, 5.0],
-            &[3.0, 2.0, 2.0],
-        ]);
+        let cost = DenseMatrix::from_rows(&[&[4.0, 1.0, 3.0], &[2.0, 0.0, 5.0], &[3.0, 2.0, 2.0]]);
         let a = hungarian_min(&cost);
         let total: f64 = a.iter().enumerate().map(|(i, &j)| cost.get(i, j)).sum();
         let best = -brute_force_max(&cost.scaled(-1.0));

@@ -121,10 +121,7 @@ impl KdTree {
         let mid = (lo + hi) / 2;
         let p = self.point(mid);
         let d = sq_dist(p, query);
-        let worst = heap
-            .iter()
-            .map(|&(_, hd)| hd)
-            .fold(f64::NEG_INFINITY, f64::max);
+        let worst = heap.iter().map(|&(_, hd)| hd).fold(f64::NEG_INFINITY, f64::max);
         if heap.len() < k {
             heap.push((mid, d));
         } else if d < worst {
@@ -158,9 +155,7 @@ fn build_recursive(data: &[f64], dim: usize, order: &mut [usize], depth: usize) 
     let axis = depth % dim;
     let mid = n / 2;
     order.select_nth_unstable_by(mid, |&a, &b| {
-        data[a * dim + axis]
-            .partial_cmp(&data[b * dim + axis])
-            .expect("finite coordinates")
+        data[a * dim + axis].partial_cmp(&data[b * dim + axis]).expect("finite coordinates")
     });
     let (left, rest) = order.split_at_mut(mid);
     build_recursive(data, dim, left, depth + 1);

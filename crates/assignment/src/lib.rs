@@ -100,11 +100,7 @@ mod tests {
     use super::*;
 
     fn sample() -> DenseMatrix {
-        DenseMatrix::from_rows(&[
-            &[0.9, 0.1, 0.2],
-            &[0.8, 0.7, 0.1],
-            &[0.1, 0.3, 0.2],
-        ])
+        DenseMatrix::from_rows(&[&[0.9, 0.1, 0.2], &[0.8, 0.7, 0.1], &[0.1, 0.3, 0.2]])
     }
 
     #[test]

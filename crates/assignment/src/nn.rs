@@ -53,18 +53,15 @@ pub fn nearest_neighbor_embeddings(
 
 /// Converts embeddings into the similarity matrix the one-to-one solvers
 /// need, using REGAL's kernel `sim(u, v) = exp(−‖Y_A[u] − Y_B[v]‖²)`
-/// (paper Equation 10).
+/// (paper Equation 10). Computed in parallel over row blocks for large
+/// embedding sets (REGAL/CONE's n × n materialization step).
 ///
 /// # Panics
 /// Panics if the embedding dimensionalities differ.
 pub fn embedding_similarity(source_emb: &DenseMatrix, target_emb: &DenseMatrix) -> DenseMatrix {
-    assert_eq!(
-        source_emb.cols(),
-        target_emb.cols(),
-        "embedding dimensionality mismatch"
-    );
+    assert_eq!(source_emb.cols(), target_emb.cols(), "embedding dimensionality mismatch");
     let (n, m) = (source_emb.rows(), target_emb.rows());
-    DenseMatrix::from_fn(n, m, |i, j| {
+    DenseMatrix::par_from_fn(n, m, |i, j| {
         (-graphalign_linalg::vec_ops::dist2_sq(source_emb.row(i), target_emb.row(j))).exp()
     })
 }

@@ -1,0 +1,121 @@
+//! Deterministic regression tests for the assignment solvers.
+//!
+//! The first test pins the proptest-shrunk counterexample recorded in
+//! `proptests.proptest-regressions` as a named test, so the case is exercised
+//! on every run (proptest only replays regressions on the machine holding the
+//! file). The rest cover rectangular and degenerate shapes the random
+//! strategies hit rarely: single-row problems, duplicate-best columns, and
+//! all-equal costs.
+
+use graphalign_assignment::hungarian::{hungarian_max, hungarian_min};
+use graphalign_assignment::jv::{jv_max, jv_min};
+use graphalign_assignment::{assign, assignment_value, AssignmentMethod};
+use graphalign_linalg::DenseMatrix;
+
+/// Exhaustive optimal value by permutation enumeration (tiny n only).
+fn brute_force_max(sim: &DenseMatrix) -> f64 {
+    fn rec(sim: &DenseMatrix, row: usize, used: &mut Vec<bool>) -> f64 {
+        if row == sim.rows() {
+            return 0.0;
+        }
+        let mut best = f64::NEG_INFINITY;
+        for j in 0..sim.cols() {
+            if used[j] {
+                continue;
+            }
+            used[j] = true;
+            best = best.max(sim.get(row, j) + rec(sim, row + 1, used));
+            used[j] = false;
+        }
+        best
+    }
+    rec(sim, 0, &mut vec![false; sim.cols()])
+}
+
+fn assert_one_to_one(assignment: &[usize], cols: usize) {
+    let mut seen = vec![false; cols];
+    for &j in assignment {
+        assert!(j < cols, "column {j} out of range");
+        assert!(!seen[j], "column {j} assigned twice");
+        seen[j] = true;
+    }
+}
+
+/// The shrunk counterexample from `proptests.proptest-regressions`
+/// (`optimal_solvers_match_brute_force`): a 2×2 matrix whose optimal
+/// matching is the diagonal, but where the anti-diagonal contains the
+/// largest single entry — a greedy-looking initialization that commits to
+/// `(1, 0) = 1.925` can only recover through an augmenting path.
+#[test]
+fn proptest_regression_2x2_antidiagonal_trap() {
+    let sim = DenseMatrix::from_vec(
+        2,
+        2,
+        vec![1.5480272261091679, -1.7181816553859925, 1.925055930351128, 0.0],
+    );
+    let best = brute_force_max(&sim);
+    for method in [AssignmentMethod::JonkerVolgenant, AssignmentMethod::Hungarian] {
+        let a = assign(&sim, method);
+        assert_eq!(a, vec![0, 1], "{method:?} must take the diagonal");
+        let got = assignment_value(&sim, &a);
+        assert!((got - best).abs() < 1e-12, "{method:?}: {got} vs {best}");
+    }
+}
+
+#[test]
+fn hungarian_single_row_takes_argmax() {
+    // 1×k: the optimal matching is the row argmax, for any k.
+    for k in 1..=6 {
+        let sim = DenseMatrix::from_fn(1, k, |_, j| if j == k / 2 { 2.0 } else { -(j as f64) });
+        assert_eq!(hungarian_max(&sim), vec![k / 2], "1×{k}");
+        // min form: the cheapest column.
+        let cost = DenseMatrix::from_fn(1, k, |_, j| if j == k - 1 { -3.0 } else { j as f64 });
+        assert_eq!(hungarian_min(&cost), vec![k - 1], "1×{k} min");
+    }
+}
+
+#[test]
+fn duplicate_best_columns_still_yield_optimal_one_to_one() {
+    // Every row's best value (5.0) appears in two columns; a solver that
+    // breaks ties carelessly double-assigns or settles for a suboptimal
+    // total. Optimal total is 5 + 5 + 1 = 11.
+    let sim = DenseMatrix::from_rows(&[&[5.0, 5.0, 1.0], &[5.0, 5.0, 0.0], &[1.0, 0.0, 1.0]]);
+    let best = brute_force_max(&sim);
+    assert!((best - 11.0).abs() < 1e-12);
+    for a in [hungarian_max(&sim), jv_max(&sim)] {
+        assert_one_to_one(&a, 3);
+        let got = assignment_value(&sim, &a);
+        assert!((got - best).abs() < 1e-12, "{got} vs {best}");
+    }
+}
+
+#[test]
+fn duplicate_best_rectangular_hungarian() {
+    // 2×4 with the shared maximum in the same column for both rows: one row
+    // must fall back to its second-best, and the solver picks the split that
+    // maximizes the total (0 → col 2, 1 → col 0).
+    let sim = DenseMatrix::from_rows(&[&[9.0, 1.0, 8.0, 0.0], &[9.0, 2.0, 1.0, 0.0]]);
+    let a = hungarian_max(&sim);
+    assert_one_to_one(&a, 4);
+    let got = assignment_value(&sim, &a);
+    assert!((got - 17.0).abs() < 1e-12, "expected 8 + 9 = 17, got {got}");
+}
+
+#[test]
+fn all_equal_costs_yield_valid_matchings() {
+    // With every entry equal, any permutation is optimal; the solvers must
+    // still terminate and return a one-to-one matching of value n·c.
+    for n in [1, 2, 5] {
+        let sim = DenseMatrix::from_fn(n, n, |_, _| 0.75);
+        for a in [hungarian_max(&sim), jv_max(&sim), jv_min(&sim), hungarian_min(&sim)] {
+            assert_one_to_one(&a, n);
+        }
+        let v = assignment_value(&sim, &hungarian_max(&sim));
+        assert!((v - 0.75 * n as f64).abs() < 1e-12);
+    }
+    // Rectangular all-equal (Hungarian only; JV requires square).
+    let sim = DenseMatrix::from_fn(3, 6, |_, _| -1.25);
+    let a = hungarian_max(&sim);
+    assert_one_to_one(&a, 6);
+    assert!((assignment_value(&sim, &a) + 3.75).abs() < 1e-12);
+}

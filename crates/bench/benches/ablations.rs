@@ -41,10 +41,9 @@ fn bench_isorank_prior(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_isorank_prior");
     group.sample_size(10);
     let inst = instance();
-    for (label, aligner) in [
-        ("degree_prior", IsoRank::default()),
-        ("uniform_prior", IsoRank::without_degree_prior()),
-    ] {
+    for (label, aligner) in
+        [("degree_prior", IsoRank::default()), ("uniform_prior", IsoRank::without_degree_prior())]
+    {
         group.bench_function(label, |b| {
             b.iter(|| black_box(aligner.similarity(&inst.source, &inst.target).unwrap()));
         });
@@ -58,10 +57,7 @@ fn bench_grasp_base_alignment(c: &mut Criterion) {
     let inst = instance();
     for (label, grasp) in [
         ("with_base_align", Grasp { q: 50, ..Grasp::default() }),
-        (
-            "raw_eigenvectors",
-            Grasp { q: 50, skip_base_alignment: true, ..Grasp::default() },
-        ),
+        ("raw_eigenvectors", Grasp { q: 50, skip_base_alignment: true, ..Grasp::default() }),
     ] {
         group.bench_function(label, |b| {
             b.iter(|| black_box(grasp.similarity(&inst.source, &inst.target).unwrap()));
@@ -103,9 +99,7 @@ fn bench_lrea_rank(c: &mut Criterion) {
     for &rank in &[4usize, 16, 32] {
         let lrea = Lrea { max_rank: rank, ..Lrea::default() };
         group.bench_with_input(BenchmarkId::from_parameter(rank), &rank, |b, _| {
-            b.iter(|| {
-                black_box(lrea.factors(&inst.source, &inst.target).unwrap())
-            });
+            b.iter(|| black_box(lrea.factors(&inst.source, &inst.target).unwrap()));
         });
     }
     group.finish();

@@ -26,11 +26,9 @@ fn bench_methods(c: &mut Criterion) {
             AssignmentMethod::JonkerVolgenant,
             AssignmentMethod::Auction,
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(method.label(), n),
-                &n,
-                |b, _| b.iter(|| black_box(assign(black_box(&sim), method))),
-            );
+            group.bench_with_input(BenchmarkId::new(method.label(), n), &n, |b, _| {
+                b.iter(|| black_box(assign(black_box(&sim), method)))
+            });
         }
     }
     group.finish();

@@ -44,7 +44,11 @@ fn bench_symmetric_eigen(c: &mut Criterion) {
     for &n in &[32usize, 96] {
         let m = DenseMatrix::from_fn(n, n, |i, j| {
             let v = ((i * 7 + j * 3) as f64).cos();
-            if i <= j { v } else { ((j * 7 + i * 3) as f64).cos() }
+            if i <= j {
+                v
+            } else {
+                ((j * 7 + i * 3) as f64).cos()
+            }
         });
         // Symmetrize exactly.
         let m = m.add(&m.transpose()).scaled(0.5);

@@ -1,17 +1,39 @@
 //! Compares two JSON result files produced by the figure binaries
 //! (`--out`), reporting per-cell accuracy deltas — the regression check a
-//! CI pipeline runs against a stored baseline.
+//! CI pipeline runs against a stored baseline — and, when both files carry
+//! the `wall_clock`/`threads` fields, the aggregate wall-clock speedup of
+//! the candidate over the baseline (e.g. a `--threads 8` run vs a
+//! `--threads 1` baseline).
 //!
 //! ```sh
 //! compare_results baseline/fig2_er.json results/fig2_er.json [--tol 0.05]
 //! ```
 //!
 //! Exit code 0 when every shared cell moved less than the tolerance,
-//! 1 otherwise.
+//! 1 otherwise. Timing differences never fail the check — only quality
+//! regressions do.
 
+use graphalign_json::Json;
 use std::collections::BTreeMap;
 
-fn cell_key(v: &serde_json::Value) -> Option<String> {
+/// One comparable cell: the quality measure plus optional timing metadata.
+struct Cell {
+    accuracy: f64,
+    wall_clock: Option<f64>,
+    threads: Option<usize>,
+}
+
+/// Renders a JSON number the way the identifying keys expect (integers
+/// without a trailing `.0`).
+fn num_key(x: f64) -> String {
+    if x == x.trunc() && x.abs() < 1e15 {
+        format!("{}", x as i64)
+    } else {
+        format!("{x}")
+    }
+}
+
+fn cell_key(v: &Json) -> Option<String> {
     // Works for the sweep-row and scalability-row schemas alike: join all
     // identifying string/low-cardinality fields.
     let mut parts = Vec::new();
@@ -21,10 +43,8 @@ fn cell_key(v: &serde_json::Value) -> Option<String> {
         }
     }
     for field in ["level", "n", "k", "p", "avg_degree"] {
-        if let Some(x) = v.get(field) {
-            if x.is_number() {
-                parts.push(format!("{field}={x}"));
-            }
+        if let Some(x) = v.get(field).and_then(|x| x.as_f64()) {
+            parts.push(format!("{field}={}", num_key(x)));
         }
     }
     if parts.is_empty() {
@@ -34,17 +54,29 @@ fn cell_key(v: &serde_json::Value) -> Option<String> {
     }
 }
 
-fn load(path: &str) -> BTreeMap<String, f64> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    let rows: Vec<serde_json::Value> =
-        serde_json::from_str(&text).unwrap_or_else(|e| panic!("{path}: bad JSON: {e}"));
+fn fail(msg: String) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}
+
+fn load(path: &str) -> BTreeMap<String, Cell> {
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| fail(format!("cannot read {path}: {e}")));
+    let doc =
+        graphalign_json::from_str(&text).unwrap_or_else(|e| fail(format!("{path}: bad JSON: {e}")));
+    let rows =
+        doc.as_array().unwrap_or_else(|| fail(format!("{path}: expected a JSON array of rows")));
     let mut out = BTreeMap::new();
     for row in rows {
-        if let (Some(key), Some(acc)) =
-            (cell_key(&row), row.get("accuracy").and_then(|x| x.as_f64()))
+        if let (Some(key), Some(accuracy)) =
+            (cell_key(row), row.get("accuracy").and_then(|x| x.as_f64()))
         {
-            out.insert(key, acc);
+            let cell = Cell {
+                accuracy,
+                wall_clock: row.get("wall_clock").and_then(|x| x.as_f64()),
+                threads: row.get("threads").and_then(|x| x.as_f64()).map(|t| t as usize),
+            };
+            out.insert(key, cell);
         }
     }
     out
@@ -58,33 +90,60 @@ fn main() {
     }
     let mut tol = 0.05;
     if let Some(pos) = args.iter().position(|a| a == "--tol") {
-        tol = args
-            .get(pos + 1)
-            .and_then(|v| v.parse().ok())
-            .unwrap_or_else(|| {
-                eprintln!("--tol needs a number");
-                std::process::exit(2);
-            });
+        tol = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+            eprintln!("--tol needs a number");
+            std::process::exit(2);
+        });
     }
     let baseline = load(&args[0]);
     let candidate = load(&args[1]);
     let mut regressions = 0usize;
     let mut compared = 0usize;
-    for (key, base_acc) in &baseline {
-        let Some(cand_acc) = candidate.get(key) else {
-            println!("MISSING  {key} (baseline {base_acc:.3})");
+    let mut base_clock = 0.0;
+    let mut cand_clock = 0.0;
+    let mut timed = 0usize;
+    let mut base_threads: Option<usize> = None;
+    let mut cand_threads: Option<usize> = None;
+    for (key, base) in &baseline {
+        let Some(cand) = candidate.get(key) else {
+            println!("MISSING  {key} (baseline {:.3})", base.accuracy);
             continue;
         };
         compared += 1;
-        let delta = cand_acc - base_acc;
+        let delta = cand.accuracy - base.accuracy;
         if delta.abs() > tol {
             regressions += 1;
             println!(
-                "{}  {key}: {base_acc:.3} -> {cand_acc:.3} ({delta:+.3})",
-                if delta < 0.0 { "WORSE " } else { "BETTER" }
+                "{}  {key}: {:.3} -> {:.3} ({delta:+.3})",
+                if delta < 0.0 { "WORSE " } else { "BETTER" },
+                base.accuracy,
+                cand.accuracy,
             );
         }
+        if let (Some(b), Some(c)) = (base.wall_clock, cand.wall_clock) {
+            if b > 0.0 && c > 0.0 {
+                base_clock += b;
+                cand_clock += c;
+                timed += 1;
+            }
+        }
+        base_threads = base_threads.or(base.threads);
+        cand_threads = cand_threads.or(cand.threads);
     }
     println!("compared {compared} cells, {regressions} moved more than {tol}");
+    if compared == 0 {
+        eprintln!("error: no comparable cells between the two files (wrong baseline?)");
+        std::process::exit(1);
+    }
+    if timed > 0 && cand_clock > 0.0 {
+        let label = |t: Option<usize>| t.map_or_else(|| "?".to_string(), |n| n.to_string());
+        println!(
+            "wall-clock over {timed} timed cells: {base_clock:.2}s ({} threads) -> \
+             {cand_clock:.2}s ({} threads), speedup x{:.2}",
+            label(base_threads),
+            label(cand_threads),
+            base_clock / cand_clock,
+        );
+    }
     std::process::exit(if regressions > 0 { 1 } else { 0 });
 }

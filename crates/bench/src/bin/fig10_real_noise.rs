@@ -3,19 +3,17 @@
 //! 80/85/90/99 % edge retention, and the five MultiMagna variants
 //! (paper §6.5).
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_instance;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{pct, secs, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_datasets::evolving::{self, EvolvingDataset};
 use graphalign_graph::permutation::AlignmentInstance;
 use graphalign_graph::Permutation;
-use serde::Serialize;
 use std::time::Instant;
 
-#[derive(Serialize)]
 struct Row {
     dataset: String,
     variant: String,
@@ -26,6 +24,17 @@ struct Row {
     seconds: f64,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row {
+    dataset,
+    variant,
+    algorithm,
+    accuracy,
+    mnc,
+    s3,
+    seconds,
+    skipped,
+});
 
 fn datasets(cfg: &Config) -> Vec<EvolvingDataset> {
     if cfg.quick {
@@ -92,8 +101,7 @@ fn main() {
                     continue;
                 }
                 let start = Instant::now();
-                let result =
-                    run_instance(algo, true, &instance, AssignmentMethod::JonkerVolgenant);
+                let result = run_instance(algo, true, &instance, AssignmentMethod::JonkerVolgenant);
                 let elapsed = start.elapsed().as_secs_f64();
                 match result {
                     Ok((report, _)) => {

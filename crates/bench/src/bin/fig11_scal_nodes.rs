@@ -3,22 +3,22 @@
 //! degree 10 (paper §6.6; n = 2¹⁰ … 2¹⁶, assignment time excluded, 5 runs,
 //! GRAAL excluded for its quintic preprocessing).
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_instance_split;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{secs, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::permutation::AlignmentInstance;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     n: usize,
     seconds: f64,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row { algorithm, n, seconds, skipped });
 
 pub(crate) fn node_grid(quick: bool) -> Vec<usize> {
     if quick {

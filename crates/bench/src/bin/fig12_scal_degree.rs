@@ -2,16 +2,14 @@
 //! configuration-model graphs with 2¹⁴ nodes and uniform degree
 //! distribution, Δ ∈ {10, 10², 10³, 10⁴} (paper §6.6).
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_instance_split;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{secs, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::permutation::AlignmentInstance;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     n: usize,
@@ -19,6 +17,8 @@ struct Row {
     seconds: f64,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row { algorithm, n, avg_degree, seconds, skipped });
 
 fn grids(quick: bool) -> (usize, Vec<usize>) {
     if quick {
@@ -31,11 +31,7 @@ fn grids(quick: bool) -> (usize, Vec<usize>) {
 fn main() {
     let cfg = Config::from_args();
     let (n, degrees) = grids(cfg.quick);
-    banner(
-        "Figure 12 (runtime vs average degree)",
-        &cfg,
-        &format!("configuration model, n = {n}"),
-    );
+    banner("Figure 12 (runtime vs average degree)", &cfg, &format!("configuration model, n = {n}"));
     let reps = cfg.reps(5);
     let mut t = Table::new(&["algorithm", "avg_degree", "time(similarity)"]);
     let mut rows = Vec::new();

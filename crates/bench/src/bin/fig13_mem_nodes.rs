@@ -9,9 +9,7 @@ use graphalign_bench::memprobe::{fmt_bytes, model_bytes, peak_rss_bytes};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::Table;
 use graphalign_bench::Config;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     n: usize,
@@ -19,6 +17,8 @@ struct Row {
     model_bytes: usize,
     fits_256gb: bool,
 }
+
+graphalign_json::impl_to_json!(Row { algorithm, n, m, model_bytes, fits_256gb });
 
 fn node_grid(quick: bool) -> Vec<usize> {
     if quick {
@@ -48,7 +48,13 @@ fn main() {
                 fmt_bytes(bytes),
                 if fits { "yes".into() } else { "NO".into() },
             ]);
-            rows.push(Row { algorithm: algo.name().into(), n, m, model_bytes: bytes, fits_256gb: fits });
+            rows.push(Row {
+                algorithm: algo.name().into(),
+                n,
+                m,
+                model_bytes: bytes,
+                fits_256gb: fits,
+            });
         }
     }
     t.print();

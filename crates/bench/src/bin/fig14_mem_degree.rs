@@ -9,9 +9,7 @@ use graphalign_bench::memprobe::{fmt_bytes, model_bytes, peak_rss_bytes};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::Table;
 use graphalign_bench::Config;
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     n: usize,
@@ -20,13 +18,14 @@ struct Row {
     fits_256gb: bool,
 }
 
+graphalign_json::impl_to_json!(Row { algorithm, n, avg_degree, model_bytes, fits_256gb });
+
 fn main() {
     let cfg = Config::from_args();
     let n = if cfg.quick { 1 << 10 } else { 1 << 14 };
     banner("Figure 14 (memory vs average degree)", &cfg, &format!("n = {n}"));
     let budget: usize = 256 * 1024 * 1024 * 1024;
-    let degrees: Vec<usize> =
-        if cfg.quick { vec![10, 100] } else { vec![10, 100, 1000, 10_000] };
+    let degrees: Vec<usize> = if cfg.quick { vec![10, 100] } else { vec![10, 100, 1000, 10_000] };
     let mut t = Table::new(&["algorithm", "avg_degree", "model bytes", "fits 256GB"]);
     let mut rows = Vec::new();
     for &deg in &degrees {

@@ -3,24 +3,35 @@
 //! probability `p` at fixed `k` and (b) the neighbor count `k` at fixed
 //! `p = 0.5` — the paper's density study (§6.7).
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_cell;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{pct, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_noise::{NoiseConfig, NoiseModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     sweep: String,
     p: f64,
     k: usize,
     algorithm: String,
     accuracy: f64,
+    wall_clock: f64,
+    threads: usize,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row {
+    sweep,
+    p,
+    k,
+    algorithm,
+    accuracy,
+    wall_clock,
+    threads,
+    skipped
+});
 
 fn main() {
     let cfg = Config::from_args();
@@ -31,13 +42,20 @@ fn main() {
     let mut t = Table::new(&["sweep", "p", "k", "algorithm", "accuracy"]);
     let mut rows = Vec::new();
     // (a) Sweep the rewiring probability at fixed k.
-    let ps: Vec<f64> = if cfg.quick { vec![0.2, 0.5, 0.8] } else { vec![0.2, 0.35, 0.5, 0.65, 0.8] };
+    let ps: Vec<f64> =
+        if cfg.quick { vec![0.2, 0.5, 0.8] } else { vec![0.2, 0.35, 0.5, 0.65, 0.8] };
     let k_fixed = 14;
     for &p in &ps {
         let base = graphalign_gen::newman_watts(n, k_fixed, p, cfg.seed ^ (p * 100.0) as u64);
         for algo in Algo::ALL {
             let cell = run_cell(
-                algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, reps, cfg.seed,
+                algo,
+                &base,
+                true,
+                &noise,
+                AssignmentMethod::JonkerVolgenant,
+                reps,
+                cfg.seed,
                 cfg.quick,
             );
             t.row(&[
@@ -53,6 +71,8 @@ fn main() {
                 k: k_fixed,
                 algorithm: cell.algorithm,
                 accuracy: cell.accuracy,
+                wall_clock: cell.wall_clock,
+                threads: cell.threads,
                 skipped: cell.skipped,
             });
         }
@@ -67,7 +87,13 @@ fn main() {
         let base = graphalign_gen::newman_watts(n, k, 0.5, cfg.seed ^ k as u64);
         for algo in Algo::ALL {
             let cell = run_cell(
-                algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, reps, cfg.seed,
+                algo,
+                &base,
+                true,
+                &noise,
+                AssignmentMethod::JonkerVolgenant,
+                reps,
+                cfg.seed,
                 cfg.quick,
             );
             t.row(&[
@@ -83,6 +109,8 @@ fn main() {
                 k,
                 algorithm: cell.algorithm,
                 accuracy: cell.accuracy,
+                wall_clock: cell.wall_clock,
+                threads: cell.threads,
                 skipped: cell.skipped,
             });
         }

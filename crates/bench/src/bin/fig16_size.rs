@@ -4,24 +4,35 @@
 //! `k = n/10` (paper §6.7: "as the graph becomes progressively sparser,
 //! alignment quality drops, except with IsoRank").
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_cell;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{pct, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_noise::{NoiseConfig, NoiseModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     sweep: String,
     n: usize,
     k: usize,
     algorithm: String,
     accuracy: f64,
+    wall_clock: f64,
+    threads: usize,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row {
+    sweep,
+    n,
+    k,
+    algorithm,
+    accuracy,
+    wall_clock,
+    threads,
+    skipped
+});
 
 fn main() {
     let cfg = Config::from_args();
@@ -41,8 +52,14 @@ fn main() {
             let base = graphalign_gen::newman_watts(n, k, 0.5, cfg.seed ^ (n * 31 + k) as u64);
             for algo in Algo::ALL {
                 let cell = run_cell(
-                    algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, reps,
-                    cfg.seed, cfg.quick,
+                    algo,
+                    &base,
+                    true,
+                    &noise,
+                    AssignmentMethod::JonkerVolgenant,
+                    reps,
+                    cfg.seed,
+                    cfg.quick,
                 );
                 t.row(&[
                     sweep.into(),
@@ -57,6 +74,8 @@ fn main() {
                     k,
                     algorithm: cell.algorithm,
                     accuracy: cell.accuracy,
+                    wall_clock: cell.wall_clock,
+                    threads: cell.threads,
                     skipped: cell.skipped,
                 });
             }

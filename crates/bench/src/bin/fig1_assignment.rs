@@ -3,16 +3,14 @@
 //! power-law synthetic graph, with one-way noise in {0, 0.01, …, 0.05}
 //! applied while keeping the graph connected (paper §6.2).
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::{banner, low_noise_levels};
 use graphalign_bench::harness::run_cell;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{pct, secs, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_noise::{NoiseConfig, NoiseModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     workload: String,
     algorithm: String,
@@ -20,8 +18,22 @@ struct Row {
     level: f64,
     accuracy: f64,
     seconds: f64,
+    wall_clock: f64,
+    threads: usize,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row {
+    workload,
+    algorithm,
+    assignment,
+    level,
+    accuracy,
+    seconds,
+    wall_clock,
+    threads,
+    skipped,
+});
 
 fn main() {
     let cfg = Config::from_args();
@@ -51,11 +63,8 @@ fn main() {
         for algo in Algo::ALL {
             for method in methods {
                 for &level in &levels {
-                    let noise = NoiseConfig {
-                        model: NoiseModel::OneWay,
-                        level,
-                        keep_connected: true,
-                    };
+                    let noise =
+                        NoiseConfig { model: NoiseModel::OneWay, level, keep_connected: true };
                     let cell =
                         run_cell(algo, graph, true, &noise, method, reps, cfg.seed, cfg.quick);
                     t.row(&[
@@ -73,6 +82,8 @@ fn main() {
                         level,
                         accuracy: cell.accuracy,
                         seconds: cell.seconds,
+                        wall_clock: cell.wall_clock,
+                        threads: cell.threads,
                         skipped: cell.skipped,
                     });
                 }

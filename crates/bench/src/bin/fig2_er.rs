@@ -2,7 +2,9 @@
 //! graphs under One-Way, Multi-Modal and Two-Way noise up to 5 %
 //! (paper §6.3; n = 1133, 10 repetitions at full scale).
 
-use graphalign_bench::figures::{banner, low_noise_levels, model_graph, print_sweep, quality_sweep};
+use graphalign_bench::figures::{
+    banner, low_noise_levels, model_graph, print_sweep, quality_sweep,
+};
 use graphalign_bench::Config;
 use graphalign_noise::NoiseModel;
 

@@ -14,9 +14,21 @@ fn main() {
     // every algorithm (incl. GWL) produces data within the CI budget.
     let workloads: Vec<(String, graphalign_graph::Graph, bool)> = if cfg.quick {
         vec![
-            ("Arenas~(n=300)".into(), graphalign_gen::powerlaw_cluster(300, 5, 0.5, cfg.seed), true),
-            ("Facebook~(n=350)".into(), graphalign_gen::powerlaw_cluster(350, 11, 0.8, cfg.seed ^ 2), true),
-            ("CA-AstroPh~(n=400)".into(), graphalign_gen::powerlaw_cluster(400, 6, 0.8, cfg.seed ^ 3), true),
+            (
+                "Arenas~(n=300)".into(),
+                graphalign_gen::powerlaw_cluster(300, 5, 0.5, cfg.seed),
+                true,
+            ),
+            (
+                "Facebook~(n=350)".into(),
+                graphalign_gen::powerlaw_cluster(350, 11, 0.8, cfg.seed ^ 2),
+                true,
+            ),
+            (
+                "CA-AstroPh~(n=400)".into(),
+                graphalign_gen::powerlaw_cluster(400, 6, 0.8, cfg.seed ^ 3),
+                true,
+            ),
         ]
     } else {
         vec![

@@ -3,7 +3,7 @@
 
 use graphalign_bench::figures::{banner, high_noise_levels, print_sweep, quality_sweep};
 use graphalign_bench::Config;
-use graphalign_datasets::{load, spec, NetworkKind, DatasetId, FIGURE8};
+use graphalign_datasets::{load, spec, DatasetId, NetworkKind, FIGURE8};
 use graphalign_noise::NoiseModel;
 
 fn main() {

@@ -2,24 +2,34 @@
 //! dataset, with one-way noise in {0, 0.05, …, 0.25} (paper §6.4.2,
 //! "CONE and S-GWL stand out on resolving the time-accuracy tradeoff").
 
+use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::{banner, high_noise_levels};
 use graphalign_bench::harness::run_cell;
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{pct, secs, Table};
 use graphalign_bench::Config;
-use graphalign_assignment::AssignmentMethod;
 use graphalign_datasets::{load, DatasetId};
 use graphalign_noise::{NoiseConfig, NoiseModel};
-use serde::Serialize;
 
-#[derive(Serialize)]
 struct Row {
     algorithm: String,
     level: f64,
     accuracy: f64,
     seconds: f64,
+    wall_clock: f64,
+    threads: usize,
     skipped: bool,
 }
+
+graphalign_json::impl_to_json!(Row {
+    algorithm,
+    level,
+    accuracy,
+    seconds,
+    wall_clock,
+    threads,
+    skipped
+});
 
 fn main() {
     let cfg = Config::from_args();
@@ -53,6 +63,8 @@ fn main() {
                 level,
                 accuracy: cell.accuracy,
                 seconds: cell.seconds,
+                wall_clock: cell.wall_clock,
+                threads: cell.threads,
                 skipped: cell.skipped,
             });
         }
@@ -67,9 +79,6 @@ fn main() {
         .collect();
     let series = graphalign_bench::plot::series_from_rows(&chart_rows);
     println!();
-    print!(
-        "{}",
-        graphalign_bench::plot::line_chart("accuracy vs time (seconds)", &series, 60, 14)
-    );
+    print!("{}", graphalign_bench::plot::line_chart("accuracy vs time (seconds)", &series, 60, 14));
     cfg.write_json(&rows);
 }

@@ -20,10 +20,10 @@ fn main() {
         ]);
     }
     t.print();
-    let rows: Vec<serde_json::Value> = Algo::ALL
+    let rows: Vec<graphalign_json::Json> = Algo::ALL
         .iter()
         .map(|a| {
-            serde_json::json!({
+            graphalign_json::json!({
                 "algorithm": a.name(),
                 "year": a.year(),
                 "assignment": a.make(true).native_assignment().label(),

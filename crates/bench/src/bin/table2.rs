@@ -39,7 +39,7 @@ fn main() {
             l.to_string(),
             spec.kind.label().into(),
         ]);
-        rows.push(serde_json::json!({
+        rows.push(graphalign_json::json!({
             "dataset": spec.name,
             "n": g.node_count(),
             "m": g.edge_count(),

@@ -22,8 +22,7 @@ fn main() {
     let mut winners: HashMap<&str, Vec<(String, f64)>> = HashMap::new();
     for model in models {
         let (label, graph, dense) = model_graph(model, &cfg);
-        let rows =
-            quality_sweep(&cfg, &label, &graph, dense, &[NoiseModel::OneWay], &levels, 3);
+        let rows = quality_sweep(&cfg, &label, &graph, dense, &[NoiseModel::OneWay], &levels, 3);
         let mut means: HashMap<String, (f64, usize)> = HashMap::new();
         for r in rows.iter().filter(|r| !r.cell.skipped) {
             let e = means.entry(r.cell.algorithm.clone()).or_insert((0.0, 0));
@@ -36,7 +35,13 @@ fn main() {
         winners.insert(model, ranked);
     }
     let mut t = Table::new(&[
-        "Algorithm", "ER", "BA/PL", "WS/NW", "Time n>2^14", "Time D>10^3", "Mem n>2^14",
+        "Algorithm",
+        "ER",
+        "BA/PL",
+        "WS/NW",
+        "Time n>2^14",
+        "Time D>10^3",
+        "Mem n>2^14",
         "Mem D>10^3",
     ]);
     let medal = |ranked: &[(String, f64)], name: &str| -> String {

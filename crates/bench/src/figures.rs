@@ -12,11 +12,11 @@ use crate::table::{pct, secs, Table};
 use crate::Config;
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
+use graphalign_json::{Json, ToJson};
 use graphalign_noise::{NoiseConfig, NoiseModel};
-use serde::Serialize;
 
 /// One row of a quality-vs-noise sweep.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SweepRow {
     /// Workload label (graph model or dataset name).
     pub workload: String,
@@ -25,8 +25,24 @@ pub struct SweepRow {
     /// Noise level.
     pub level: f64,
     /// Measured cell.
-    #[serde(flatten)]
     pub cell: CellResult,
+}
+
+impl ToJson for SweepRow {
+    /// Serializes with the cell's fields inlined into the row object (the
+    /// flat schema `compare_results` keys on).
+    fn to_json(&self) -> Json {
+        let mut fields = vec![
+            ("workload".to_string(), self.workload.to_json()),
+            ("noise".to_string(), self.noise.to_json()),
+            ("level".to_string(), self.level.to_json()),
+        ];
+        match self.cell.to_json() {
+            Json::Obj(cell_fields) => fields.extend(cell_fields),
+            other => fields.push(("cell".to_string(), other)),
+        }
+        Json::Obj(fields)
+    }
 }
 
 /// The noise levels of the low-noise figures (`{0, 0.01, …, 0.05}`;
@@ -92,9 +108,8 @@ pub fn quality_sweep(
 /// ASCII chart per noise model (the figure's visual shape).
 pub fn print_sweep(title: &str, rows: &[SweepRow]) {
     println!("{title}");
-    let mut t = Table::new(&[
-        "workload", "algorithm", "noise", "level", "accuracy", "S3", "MNC", "time",
-    ]);
+    let mut t =
+        Table::new(&["workload", "algorithm", "noise", "level", "accuracy", "S3", "MNC", "time"]);
     for r in rows {
         if r.cell.skipped {
             t.row(&[
@@ -159,9 +174,7 @@ pub fn banner(figure: &str, cfg: &Config, note: &str) {
         cfg.seed
     );
     if cfg.quick {
-        println!(
-            "   (quick mode runs a scaled-down grid; pass --full for the paper-scale grid)"
-        );
+        println!("   (quick mode runs a scaled-down grid; pass --full for the paper-scale grid)");
     }
 }
 

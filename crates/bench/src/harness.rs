@@ -8,11 +8,10 @@ use graphalign_graph::permutation::AlignmentInstance;
 use graphalign_graph::Graph;
 use graphalign_metrics::{evaluate, QualityReport};
 use graphalign_noise::{make_instance, NoiseConfig};
-use serde::Serialize;
 use std::time::Instant;
 
 /// One measured experiment cell.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct CellResult {
     /// Algorithm name.
     pub algorithm: String,
@@ -39,7 +38,31 @@ pub struct CellResult {
     /// Populated when the algorithm returned an error instead of an
     /// alignment (the cell is then also marked skipped).
     pub error: Option<String>,
+    /// End-to-end wall-clock seconds for the whole cell (all repetitions,
+    /// including instance generation) — the number that shrinks when the
+    /// repetition fan-out runs on more threads, unlike `seconds`, which is
+    /// the summed per-repetition alignment time averaged over `reps`.
+    pub wall_clock: f64,
+    /// Worker-thread cap the cell ran under (`--threads` /
+    /// `GRAPHALIGN_THREADS` / core count; 1 in sequential builds).
+    pub threads: usize,
 }
+
+graphalign_json::impl_to_json!(CellResult {
+    algorithm,
+    assignment,
+    seconds,
+    accuracy,
+    mnc,
+    s3,
+    ec,
+    ics,
+    reps,
+    skipped,
+    error,
+    wall_clock,
+    threads,
+});
 
 impl CellResult {
     /// A skipped-cell marker.
@@ -56,6 +79,8 @@ impl CellResult {
             reps: 0,
             skipped: true,
             error: None,
+            wall_clock: 0.0,
+            threads: graphalign_par::max_threads(),
         }
     }
 
@@ -106,6 +131,11 @@ pub fn run_instance_split(
 /// Runs a full cell: `reps` noisy instances of `base` under `noise`,
 /// aligned by `algo` with `method`, measures averaged. Returns a skipped
 /// marker when the cell exceeds the algorithm's feasibility caps.
+///
+/// The repetitions are independent (instance `r` is seeded with
+/// `seed + r`), so they fan out across the worker pool; the reports are
+/// then averaged sequentially in repetition order, which keeps the cell
+/// measures bit-identical for every thread count.
 #[allow(clippy::too_many_arguments)]
 pub fn run_cell(
     algo: Algo,
@@ -120,15 +150,21 @@ pub fn run_cell(
     if !algo.feasible(base.node_count(), base.avg_degree(), quick) {
         return CellResult::skipped(algo.name(), method.label());
     }
+    let start = Instant::now();
+    // One chunk per repetition: an alignment run dwarfs any per-item
+    // forking threshold, so bill each item at `usize::MAX >> 16`.
+    let results = graphalign_par::map_collect(reps, usize::MAX >> 16, |r| {
+        let instance = make_instance(base, noise, seed.wrapping_add(r as u64));
+        run_instance(algo, dense_dataset, &instance, method)
+    });
     let mut acc = 0.0;
     let mut mnc = 0.0;
     let mut s3 = 0.0;
     let mut ec = 0.0;
     let mut ics = 0.0;
     let mut secs = 0.0;
-    for r in 0..reps {
-        let instance = make_instance(base, noise, seed.wrapping_add(r as u64));
-        let (report, s) = match run_instance(algo, dense_dataset, &instance, method) {
+    for result in results {
+        let (report, s) = match result {
             Ok(v) => v,
             Err(e) => return CellResult::failed(algo.name(), method.label(), e),
         };
@@ -152,6 +188,8 @@ pub fn run_cell(
         reps,
         skipped: false,
         error: None,
+        wall_clock: start.elapsed().as_secs_f64(),
+        threads: graphalign_par::max_threads(),
     }
 }
 
@@ -202,16 +240,8 @@ mod tests {
         // GWL's quick cap is 400 nodes; a fake 10k-node graph must skip.
         let g = Graph::from_edges(10_000, &[(0, 1)]);
         let noise = NoiseConfig::new(NoiseModel::OneWay, 0.0);
-        let cell = run_cell(
-            Algo::Gwl,
-            &g,
-            true,
-            &noise,
-            AssignmentMethod::NearestNeighbor,
-            1,
-            1,
-            true,
-        );
+        let cell =
+            run_cell(Algo::Gwl, &g, true, &noise, AssignmentMethod::NearestNeighbor, 1, 1, true);
         assert!(cell.skipped);
         assert_eq!(cell.reps, 0);
     }

@@ -8,7 +8,11 @@
 //! * `--quick` (default) / `--full` — scaled-down grid sized for a laptop
 //!   container vs the paper-scale grid (28-core/256 GB testbed numbers);
 //! * `--seed <u64>` — base RNG seed;
-//! * `--out <path>` — additionally write the result rows as JSON.
+//! * `--out <path>` — additionally write the result rows as JSON;
+//! * `--threads <n>` — worker-thread cap for the parallel kernels (default:
+//!   `GRAPHALIGN_THREADS`/`RAYON_NUM_THREADS`, then the machine's core
+//!   count). Results are bit-identical for every thread count; only the
+//!   wall-clock columns change.
 //!
 //! The library half provides the pieces the binaries share: the algorithm
 //! roster with per-algorithm feasibility caps ([`suite`]), the measurement
@@ -33,17 +37,20 @@ pub struct Config {
     pub seed: u64,
     /// Optional JSON output path.
     pub out: Option<PathBuf>,
+    /// `--threads` override; `None` defers to the environment/core count.
+    pub threads: Option<usize>,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Self { quick: true, seed: 2023, out: None }
+        Self { quick: true, seed: 2023, out: None, threads: None }
     }
 }
 
 impl Config {
     /// Parses the common flags from `std::env::args`. Unknown flags abort
-    /// with a usage message.
+    /// with a usage message. A `--threads` flag takes effect immediately
+    /// (process-wide) via [`graphalign_par::set_max_threads`].
     pub fn from_args() -> Self {
         let mut cfg = Self::default();
         let mut args = std::env::args().skip(1);
@@ -59,9 +66,21 @@ impl Config {
                     let v = args.next().unwrap_or_else(|| usage("--out needs a path"));
                     cfg.out = Some(PathBuf::from(v));
                 }
+                "--threads" => {
+                    let v = args.next().unwrap_or_else(|| usage("--threads needs a value"));
+                    let n: usize =
+                        v.parse().unwrap_or_else(|_| usage("--threads needs a positive integer"));
+                    if n == 0 {
+                        usage("--threads needs a positive integer");
+                    }
+                    cfg.threads = Some(n);
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
+        }
+        if let Some(n) = cfg.threads {
+            graphalign_par::set_max_threads(n);
         }
         cfg
     }
@@ -77,9 +96,9 @@ impl Config {
     }
 
     /// Writes rows as JSON if `--out` was given.
-    pub fn write_json<T: serde::Serialize>(&self, rows: &[T]) {
+    pub fn write_json<T: graphalign_json::ToJson>(&self, rows: &[T]) {
         if let Some(path) = &self.out {
-            let json = serde_json::to_string_pretty(rows).expect("rows serialize");
+            let json = graphalign_json::to_string_pretty(rows);
             std::fs::write(path, json).unwrap_or_else(|e| {
                 eprintln!("warning: could not write {}: {e}", path.display());
             });
@@ -91,7 +110,7 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>]");
+    eprintln!("usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>] [--threads <n>]");
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 

@@ -98,11 +98,7 @@ mod tests {
             let small = model_bytes(algo, 1 << 10, 10 << 10);
             let big = model_bytes(algo, 1 << 14, 10 << 14);
             // 16× nodes → well under 256× bytes.
-            assert!(
-                big < 64 * small,
-                "{}: {small} -> {big} grew too fast",
-                algo.name()
-            );
+            assert!(big < 64 * small, "{}: {small} -> {big} grew too fast", algo.name());
         }
     }
 

@@ -34,9 +34,7 @@ pub fn line_chart(title: &str, series: &[Series], width: usize, height: usize) -
     let xspan = (xmax - xmin).max(1e-12);
 
     let mut grid = vec![vec![b' '; width]; height];
-    let to_col = |x: f64| -> usize {
-        (((x - xmin) / xspan) * (width - 1) as f64).round() as usize
-    };
+    let to_col = |x: f64| -> usize { (((x - xmin) / xspan) * (width - 1) as f64).round() as usize };
     let to_row = |y: f64| -> usize {
         let clamped = y.clamp(0.0, 1.0);
         ((1.0 - clamped) * (height - 1) as f64).round() as usize

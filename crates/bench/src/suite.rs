@@ -6,8 +6,10 @@
 //! instead of hanging — exactly what the paper does ("we report runtime
 //! results within 3 hours").
 
-use graphalign::{cone::Cone, graal::Graal, grasp::Grasp, gwl::Gwl, isorank::IsoRank, lrea::Lrea,
-    nsd::Nsd, regal::Regal, sgwl::Sgwl, Aligner};
+use graphalign::{
+    cone::Cone, graal::Graal, grasp::Grasp, gwl::Gwl, isorank::IsoRank, lrea::Lrea, nsd::Nsd,
+    regal::Regal, sgwl::Sgwl, Aligner,
+};
 
 /// Identifier for each algorithm in the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -69,9 +71,7 @@ impl Algo {
             Algo::Lrea => Box::new(Lrea::default()),
             Algo::Regal => Box::new(Regal::default()),
             Algo::Gwl => Box::new(Gwl::default()),
-            Algo::Sgwl => {
-                Box::new(if dense_dataset { Sgwl::default() } else { Sgwl::sparse() })
-            }
+            Algo::Sgwl => Box::new(if dense_dataset { Sgwl::default() } else { Sgwl::sparse() }),
             Algo::Cone => Box::new(Cone::default()),
             Algo::Grasp => Box::new(Grasp::default()),
         }

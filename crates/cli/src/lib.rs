@@ -31,11 +31,9 @@ impl Args {
         let mut flags = HashMap::new();
         let mut it = raw.iter();
         while let Some(tok) = it.next() {
-            let key = tok
-                .strip_prefix("--")
-                .ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
-            let value =
-                it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.to_string();
+            let key =
+                tok.strip_prefix("--").ok_or_else(|| format!("expected --flag, got {tok:?}"))?;
+            let value = it.next().ok_or_else(|| format!("flag --{key} needs a value"))?.to_string();
             flags.insert(key.to_string(), value);
         }
         Ok(Self { flags })
@@ -62,13 +60,10 @@ impl Args {
 
 /// Looks up an aligner by case-insensitive name.
 pub fn find_aligner(name: &str) -> Result<Box<dyn Aligner + Send + Sync>, String> {
-    registry()
-        .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(name))
-        .ok_or_else(|| {
-            let names: Vec<&str> = registry_names();
-            format!("unknown algorithm {name:?}; available: {}", names.join(", "))
-        })
+    registry().into_iter().find(|a| a.name().eq_ignore_ascii_case(name)).ok_or_else(|| {
+        let names: Vec<&str> = registry_names();
+        format!("unknown algorithm {name:?}; available: {}", names.join(", "))
+    })
 }
 
 /// The canonical algorithm names.
@@ -91,9 +86,7 @@ pub fn parse_assignment(label: &str) -> Result<AssignmentMethod, String> {
 /// Reads an edge-list graph from a path.
 pub fn read_graph(path: &str) -> Result<Graph, String> {
     let file = File::open(path).map_err(|e| format!("{path}: {e}"))?;
-    io::read_edge_list(BufReader::new(file))
-        .map(|p| p.graph)
-        .map_err(|e| format!("{path}: {e}"))
+    io::read_edge_list(BufReader::new(file)).map(|p| p.graph).map_err(|e| format!("{path}: {e}"))
 }
 
 /// `align` subcommand.
@@ -221,10 +214,7 @@ pub fn cmd_score(args: &Args) -> Result<String, String> {
     let mut out = String::new();
     if let Some(truth_path) = args.flags.get("truth") {
         let truth = read_mapping(truth_path, source.node_count())?;
-        out.push_str(&format!(
-            "accuracy: {:.4}\n",
-            graphalign_metrics::accuracy(&mapping, &truth)
-        ));
+        out.push_str(&format!("accuracy: {:.4}\n", graphalign_metrics::accuracy(&mapping, &truth)));
     }
     out.push_str(&format!("MNC: {:.4}\n", graphalign_metrics::mnc(&source, &target, &mapping)));
     out.push_str(&format!(
@@ -314,27 +304,58 @@ mod tests {
 
         // generate
         let msg = run(&sv(&[
-            "generate", "--model", "pl", "--n", "120", "--out", &p("g.txt"), "--seed", "5",
+            "generate",
+            "--model",
+            "pl",
+            "--n",
+            "120",
+            "--out",
+            &p("g.txt"),
+            "--seed",
+            "5",
         ]))
         .unwrap();
         assert!(msg.contains("120 nodes"));
         // perturb
         run(&sv(&[
-            "perturb", "--input", &p("g.txt"), "--out-target", &p("t.txt"), "--out-truth",
-            &p("truth.txt"), "--level", "0.02", "--seed", "6",
+            "perturb",
+            "--input",
+            &p("g.txt"),
+            "--out-target",
+            &p("t.txt"),
+            "--out-truth",
+            &p("truth.txt"),
+            "--level",
+            "0.02",
+            "--seed",
+            "6",
         ]))
         .unwrap();
         // align
         let msg = run(&sv(&[
-            "align", "--algorithm", "GRASP", "--source", &p("g.txt"), "--target", &p("t.txt"),
-            "--out", &p("map.txt"),
+            "align",
+            "--algorithm",
+            "GRASP",
+            "--source",
+            &p("g.txt"),
+            "--target",
+            &p("t.txt"),
+            "--out",
+            &p("map.txt"),
         ]))
         .unwrap();
         assert!(msg.contains("GRASP"));
         // score
         let report = run(&sv(&[
-            "score", "--source", &p("g.txt"), "--target", &p("t.txt"), "--mapping",
-            &p("map.txt"), "--truth", &p("truth.txt"),
+            "score",
+            "--source",
+            &p("g.txt"),
+            "--target",
+            &p("t.txt"),
+            "--mapping",
+            &p("map.txt"),
+            "--truth",
+            &p("truth.txt"),
         ]))
         .unwrap();
         assert!(report.contains("accuracy:"));
@@ -365,22 +386,37 @@ mod algorithm_smoke {
     /// generated instance (REGAL/CONE exercise their embedding branches).
     #[test]
     fn cli_align_smoke_for_fast_algorithms() {
-        let dir =
-            std::env::temp_dir().join(format!("graphalign-cli-smoke-{}", std::process::id()));
+        let dir = std::env::temp_dir().join(format!("graphalign-cli-smoke-{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let p = |name: &str| dir.join(name).to_string_lossy().to_string();
         let sv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
         run(&sv(&["generate", "--model", "ws", "--n", "60", "--k", "6", "--out", &p("g.txt")]))
             .unwrap();
         run(&sv(&[
-            "perturb", "--input", &p("g.txt"), "--out-target", &p("t.txt"), "--out-truth",
-            &p("truth.txt"), "--level", "0.0",
+            "perturb",
+            "--input",
+            &p("g.txt"),
+            "--out-target",
+            &p("t.txt"),
+            "--out-truth",
+            &p("truth.txt"),
+            "--level",
+            "0.0",
         ]))
         .unwrap();
         for algo in ["NSD", "REGAL", "LREA", "IsoRank"] {
             let msg = run(&sv(&[
-                "align", "--algorithm", algo, "--source", &p("g.txt"), "--target", &p("t.txt"),
-                "--out", &p("map.txt"), "--assignment", "sg",
+                "align",
+                "--algorithm",
+                algo,
+                "--source",
+                &p("g.txt"),
+                "--target",
+                &p("t.txt"),
+                "--out",
+                &p("map.txt"),
+                "--assignment",
+                "sg",
             ]))
             .unwrap_or_else(|e| panic!("{algo}: {e}"));
             assert!(msg.contains(algo), "{msg}");

@@ -9,7 +9,7 @@
 //! topology.
 
 use crate::prior::degree_similarity;
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::DenseMatrix;

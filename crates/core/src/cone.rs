@@ -20,7 +20,7 @@
 //! proximity embedding. Table 1's `dim = 512` is clamped to `⌊n/2⌋` on
 //! small graphs (DESIGN.md §3).
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::{nn, AssignmentMethod};
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
@@ -128,9 +128,12 @@ impl Cone {
         let nu = uniform_marginal(n_b);
 
         // Warm start: transport over structural-feature distances.
-        let (fa, fb) =
-            crate::features::feature_pair(source, target, &crate::features::FeatureParams::default());
-        let feat_cost = DenseMatrix::from_fn(n_a, n_b, |i, j| {
+        let (fa, fb) = crate::features::feature_pair(
+            source,
+            target,
+            &crate::features::FeatureParams::default(),
+        );
+        let feat_cost = DenseMatrix::par_from_fn(n_a, n_b, |i, j| {
             graphalign_linalg::vec_ops::dist2_sq(fa.row(i), fb.row(j))
         });
         // Normalize the cost scale so the default ε applies.
@@ -145,7 +148,7 @@ impl Cone {
             let ya_q = ya.matmul(&q);
             // Wasserstein step with annealed ε: transport over the
             // embedding-distance cost.
-            let cost = DenseMatrix::from_fn(n_a, n_b, |i, j| {
+            let cost = DenseMatrix::par_from_fn(n_a, n_b, |i, j| {
                 graphalign_linalg::vec_ops::dist2_sq(ya_q.row(i), yb.row(j))
             });
             let annealed = SinkhornParams {

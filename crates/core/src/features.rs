@@ -72,10 +72,7 @@ pub fn feature_pair(
     params: &FeatureParams,
 ) -> (DenseMatrix, DenseMatrix) {
     let buckets = bucket_count(source, target);
-    (
-        structural_features(source, params, buckets),
-        structural_features(target, params, buckets),
-    )
+    (structural_features(source, params, buckets), structural_features(target, params, buckets))
 }
 
 #[cfg(test)]

@@ -18,7 +18,7 @@
 //!    [`Aligner::similarity`] still exposes `2 − C` for the level-playing-
 //!    field experiments.
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::graphlets::graphlet_degrees;
 use graphalign_graph::graphlets5::graphlet_degrees_5;
@@ -81,12 +81,7 @@ impl Graal {
     }
 
     /// The integral seed-and-extend matching over a cost matrix.
-    fn seed_and_extend(
-        &self,
-        source: &Graph,
-        target: &Graph,
-        costs: &DenseMatrix,
-    ) -> Vec<usize> {
+    fn seed_and_extend(&self, source: &Graph, target: &Graph, costs: &DenseMatrix) -> Vec<usize> {
         let n_a = source.node_count();
         let n_b = target.node_count();
         let mut matched_a = vec![false; n_a];
@@ -96,21 +91,18 @@ impl Graal {
 
         // Greedy matcher within two candidate sets.
         let match_sets = |set_a: &[usize],
-                              set_b: &[usize],
-                              matched_a: &mut Vec<bool>,
-                              matched_b: &mut Vec<bool>,
-                              out: &mut Vec<usize>,
-                              remaining: &mut usize| {
+                          set_b: &[usize],
+                          matched_a: &mut Vec<bool>,
+                          matched_b: &mut Vec<bool>,
+                          out: &mut Vec<usize>,
+                          remaining: &mut usize| {
             let mut pairs: Vec<(usize, usize)> = set_a
                 .iter()
                 .flat_map(|&u| set_b.iter().map(move |&v| (u, v)))
                 .filter(|&(u, v)| !matched_a[u] && !matched_b[v])
                 .collect();
             pairs.sort_by(|&(u1, v1), &(u2, v2)| {
-                costs
-                    .get(u1, v1)
-                    .partial_cmp(&costs.get(u2, v2))
-                    .expect("finite costs")
+                costs.get(u1, v1).partial_cmp(&costs.get(u2, v2)).expect("finite costs")
             });
             for (u, v) in pairs {
                 if matched_a[u] || matched_b[v] {
@@ -152,7 +144,14 @@ impl Graal {
                 if ring_a.is_empty() || ring_b.is_empty() {
                     break;
                 }
-                match_sets(&ring_a, &ring_b, &mut matched_a, &mut matched_b, &mut out, &mut remaining);
+                match_sets(
+                    &ring_a,
+                    &ring_b,
+                    &mut matched_a,
+                    &mut matched_b,
+                    &mut out,
+                    &mut remaining,
+                );
             }
         }
         out
@@ -226,10 +225,7 @@ mod tests {
         for u in 0..4 {
             for v in 0..4 {
                 if g.degree(u) != g.degree(v) {
-                    assert!(
-                        c.get(u, u) <= c.get(u, v) + 1e-12,
-                        "self-cost of {u} beaten by {v}"
-                    );
+                    assert!(c.get(u, u) <= c.get(u, v) + 1e-12, "self-cost of {u} beaten by {v}");
                 }
             }
         }

@@ -17,7 +17,7 @@
 //! 4. estimate a diagonal mapping `C` of Fourier coefficients and match the
 //!    spectral node descriptors by a LAP — JV, as the GRASP authors chose.
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
@@ -93,19 +93,19 @@ impl Grasp {
     fn heat_diagonals(&self, values: &[f64], vectors: &DenseMatrix, times: &[f64]) -> DenseMatrix {
         let n = vectors.rows();
         let k = values.len();
-        let mut f = DenseMatrix::zeros(n, times.len());
-        for (s, &t) in times.iter().enumerate() {
-            let weights: Vec<f64> = values.iter().map(|&l| (-t * l).exp()).collect();
-            for i in 0..n {
-                let mut acc = 0.0;
-                for j in 0..k {
-                    let phi = vectors.get(i, j);
-                    acc += weights[j] * phi * phi;
-                }
-                f.set(i, s, acc);
+        let weights: Vec<Vec<f64>> =
+            times.iter().map(|&t| values.iter().map(|&l| (-t * l).exp()).collect()).collect();
+        // Parallel over node rows; the j-accumulation order is unchanged, so
+        // the entries are bit-identical to the sequential double loop.
+        DenseMatrix::par_from_fn(n, times.len(), |i, s| {
+            let w = &weights[s];
+            let mut acc = 0.0;
+            for (j, wj) in w.iter().enumerate().take(k) {
+                let phi = vectors.get(i, j);
+                acc += wj * phi * phi;
             }
-        }
-        f
+            acc
+        })
     }
 
     fn time_grid(&self) -> Vec<f64> {
@@ -263,14 +263,9 @@ impl Aligner for Grasp {
             }
         }
         let (n, mm) = (phi_c.rows(), psi_aligned.rows());
-        let mut sim = DenseMatrix::zeros(n, mm);
-        for i in 0..n {
-            for j in 0..mm {
-                let d2 =
-                    graphalign_linalg::vec_ops::dist2_sq(phi_c.row(i), psi_aligned.row(j));
-                sim.set(i, j, -d2);
-            }
-        }
+        let sim = DenseMatrix::par_from_fn(n, mm, |i, j| {
+            -graphalign_linalg::vec_ops::dist2_sq(phi_c.row(i), psi_aligned.row(j))
+        });
         Ok(sim)
     }
 }
@@ -342,12 +337,15 @@ mod tests {
         // go negative), so on easy instances M = I can tie; averaged over
         // noisy instances — where rotations inside near-degenerate
         // eigenspaces matter — the learned M must not lose.
+        // Per-instance the comparison is noisy (either side can win on a
+        // single noise draw), so the claim is averaged over 12 instances —
+        // enough that the 0.2 slack reflects the method, not the draw.
         use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
         let g = crate::test_support::distinctive_graph(8);
         let cfg = NoiseConfig::new(NoiseModel::OneWay, 0.03);
         let mut with_m = 0.0;
         let mut without_m = 0.0;
-        for seed in 0..4 {
+        for seed in 0..12 {
             let inst = make_instance(&g, &cfg, seed);
             let a = fast_grasp().align(&inst.source, &inst.target).unwrap();
             with_m += accuracy(&a, &inst.ground_truth);
@@ -358,7 +356,7 @@ mod tests {
         }
         assert!(
             with_m >= without_m - 0.2,
-            "base alignment lost badly: {with_m} vs {without_m} (sum over 4 seeds)"
+            "base alignment lost badly: {with_m} vs {without_m} (sum over 12 seeds)"
         );
     }
 

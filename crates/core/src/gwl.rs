@@ -19,7 +19,7 @@
 //! Cost matrices `C` are the adjacency relations themselves, as in the
 //! reference implementation for unweighted graphs.
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::sinkhorn::{proximal_step, uniform_marginal, SinkhornParams};

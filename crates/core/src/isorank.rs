@@ -15,7 +15,7 @@
 //! (§6.6).
 
 use crate::prior::{degree_prior, uniform_prior};
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::{CsrMatrix, DenseMatrix};
@@ -96,12 +96,10 @@ impl Aligner for IsoRank {
             if total > 0.0 {
                 next.scale_inplace(1.0 / total);
             }
-            let delta: f64 = next
-                .as_slice()
-                .iter()
-                .zip(r.as_slice())
-                .map(|(a, b)| (a - b).abs())
-                .sum();
+            let delta = {
+                let (a, b) = (next.as_slice(), r.as_slice());
+                graphalign_par::sum_indexed(a.len(), 1, |i| (a[i] - b[i]).abs())
+            };
             r = next;
             if delta < self.tol {
                 break;
@@ -150,9 +148,8 @@ mod tests {
         let inst = permuted_instance(6, 11);
         let iso = IsoRank::default();
         let sg = iso.align(&inst.source, &inst.target).unwrap();
-        let jv = iso
-            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
-            .unwrap();
+        let jv =
+            iso.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant).unwrap();
         assert!(
             accuracy(&jv, &inst.ground_truth) >= accuracy(&sg, &inst.ground_truth) - 0.1,
             "JV should not be much worse than SG"
@@ -179,10 +176,7 @@ mod tests {
             with_prior += accuracy(&a1, &inst.ground_truth);
             without += accuracy(&a2, &inst.ground_truth);
         }
-        assert!(
-            with_prior >= without,
-            "degree prior should help: {with_prior} vs {without}"
-        );
+        assert!(with_prior >= without, "degree prior should help: {with_prior} vs {without}");
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //!     .collect();
 //! edges.extend([(0, 30), (30, 31), (31, 32)]);
 //! let g = Graph::from_edges(33, &edges);
-//! let instance = AlignmentInstance::permuted(g, 7);
+//! let instance = AlignmentInstance::permuted(g, 2);
 //!
 //! let grasp = graphalign::grasp::Grasp::default();
 //! let alignment = grasp.align(&instance.source, &instance.target).unwrap();

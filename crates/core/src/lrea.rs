@@ -17,7 +17,7 @@
 //! alignment is extracted rank-by-rank (the "union of matchings") and
 //! resolved with a sparse maximum-weight matching, per the authors.
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::{auction, AssignmentMethod};
 use graphalign_graph::Graph;
 use graphalign_linalg::qr::thin_qr;
@@ -34,6 +34,13 @@ pub struct Lrea {
     pub max_rank: usize,
     /// EigenAlign pair weights `(overlap, non-informative, conflict)`.
     pub weights: (f64, f64, f64),
+    /// Scale the overlap weight up with graph sparsity (EigenAlign's own
+    /// prescription): in a graph of edge density `p`, matched non-edges
+    /// outnumber matched edges by roughly `1/p`, so with a fixed overlap
+    /// weight the non-informative term dominates the operator's spectrum
+    /// and the leading eigenvector stops discriminating between
+    /// alignments. See [`Lrea::effective_weights`].
+    pub adaptive_overlap: bool,
     /// Candidates kept per rank when building the union of matchings.
     pub candidates_per_rank: usize,
 }
@@ -44,6 +51,7 @@ impl Default for Lrea {
             iterations: 40,
             max_rank: 16,
             weights: (2.0, 1.0, 0.001),
+            adaptive_overlap: true,
             candidates_per_rank: 0, // 0 = n (full sorted pairing per rank)
         }
     }
@@ -60,15 +68,39 @@ impl Lrea {
     /// pair weights: with overlap `s₁`, non-informative `s₂`, conflict `s₃`,
     /// the per-pair weight `s₁·a·b + s₃·(a + b − 2ab) + s₂·(1−a)(1−b)`
     /// expands to `c₁·ab + c₂·(a + b) + c₃`.
-    fn coefficients(&self) -> (f64, f64, f64) {
-        let (s1, s2, s3) = self.weights;
+    fn coefficients_of((s1, s2, s3): (f64, f64, f64)) -> (f64, f64, f64) {
         (s1 + s2 - 2.0 * s3, s3 - s2, s2)
+    }
+
+    /// The pair weights actually used for an instance. With
+    /// [`Lrea::adaptive_overlap`] set, the overlap weight is raised to
+    /// `4·(1−p)/p` (never lowered), where `p` is the mean edge density of
+    /// the two graphs — the overlap-to-non-informative ratio the EigenAlign
+    /// relaxation needs for the informative signal to survive in sparse
+    /// graphs, where matched non-edges outnumber matched edges `1/p`-fold.
+    pub fn effective_weights(&self, source: &Graph, target: &Graph) -> (f64, f64, f64) {
+        let (s1, s2, s3) = self.weights;
+        if !self.adaptive_overlap {
+            return (s1, s2, s3);
+        }
+        let density = |g: &Graph| {
+            let n = g.node_count().max(2) as f64;
+            (2.0 * g.edge_count() as f64 / (n * (n - 1.0))).clamp(1e-9, 1.0)
+        };
+        let p = 0.5 * (density(source) + density(target));
+        let alpha = 4.0 * (1.0 - p) / p;
+        (s1.max(alpha), s2, s3)
     }
 
     /// One application of the four-term operator to the factored iterate,
     /// returning uncompressed factors of rank `k + 3`.
-    fn apply_operator(&self, a: &CsrMatrix, b: &CsrMatrix, x: &Factors) -> Factors {
-        let (c1, c2, c3) = self.coefficients();
+    fn apply_operator(
+        &self,
+        (c1, c2, c3): (f64, f64, f64),
+        a: &CsrMatrix,
+        b: &CsrMatrix,
+        x: &Factors,
+    ) -> Factors {
         let (n_a, n_b) = (a.rows(), b.rows());
         let ones_a = vec![1.0; n_a];
         let ones_b = vec![1.0; n_b];
@@ -172,12 +204,13 @@ impl Lrea {
         let b = target.adjacency();
         let n_a = source.node_count();
         let n_b = target.node_count();
+        let coefs = Self::coefficients_of(self.effective_weights(source, target));
         let mut x = Factors {
             u: DenseMatrix::filled(n_a, 1, 1.0 / (n_a as f64).sqrt()),
             v: DenseMatrix::filled(n_b, 1, 1.0 / (n_b as f64).sqrt()),
         };
         for _ in 0..self.iterations {
-            x = self.compress(self.apply_operator(&a, &b, &x))?;
+            x = self.compress(self.apply_operator(coefs, &a, &b, &x))?;
         }
         Ok((x.u, x.v))
     }
@@ -186,22 +219,13 @@ impl Lrea {
     /// and target nodes are sorted by their factor scores and paired
     /// positionally (positives with positives, negatives with negatives),
     /// each candidate weighted by the product of its scores.
-    pub fn candidates(
-        &self,
-        u: &DenseMatrix,
-        v: &DenseMatrix,
-    ) -> Vec<(usize, usize, f64)> {
+    pub fn candidates(&self, u: &DenseMatrix, v: &DenseMatrix) -> Vec<(usize, usize, f64)> {
         let mut out = Vec::new();
-        let per_rank = if self.candidates_per_rank == 0 {
-            usize::MAX
-        } else {
-            self.candidates_per_rank
-        };
+        let per_rank =
+            if self.candidates_per_rank == 0 { usize::MAX } else { self.candidates_per_rank };
         for c in 0..u.cols() {
-            let mut su: Vec<(usize, f64)> =
-                (0..u.rows()).map(|i| (i, u.get(i, c))).collect();
-            let mut sv: Vec<(usize, f64)> =
-                (0..v.rows()).map(|j| (j, v.get(j, c))).collect();
+            let mut su: Vec<(usize, f64)> = (0..u.rows()).map(|i| (i, u.get(i, c))).collect();
+            let mut sv: Vec<(usize, f64)> = (0..v.rows()).map(|j| (j, v.get(j, c))).collect();
             su.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite factors"));
             sv.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite factors"));
             for (pos, (&(i, ui), &(j, vj))) in su.iter().zip(sv.iter()).enumerate() {
@@ -245,11 +269,7 @@ impl Aligner for Lrea {
         if method == AssignmentMethod::Auction {
             let (u, v) = self.factors(source, target)?;
             let cands = self.candidates(&u, &v);
-            let sparse = CsrMatrix::from_triplets(
-                source.node_count(),
-                target.node_count(),
-                &cands,
-            );
+            let sparse = CsrMatrix::from_triplets(source.node_count(), target.node_count(), &cands);
             return Ok(auction::auction_max(&sparse));
         }
         let sim = self.similarity(source, target)?;
@@ -273,7 +293,7 @@ mod tests {
     #[test]
     fn coefficients_expand_the_pair_weights() {
         let l = Lrea { weights: (2.0, 1.0, 0.0), ..Lrea::default() };
-        let (c1, c2, c3) = l.coefficients();
+        let (c1, c2, c3) = Lrea::coefficients_of(l.weights);
         // weight(a,b) = 2ab + 0·(a+b−2ab) + 1·(1−a)(1−b)
         //             = 3ab − (a+b) + 1  → c₁=3, c₂=−1, c₃=1.
         assert_eq!((c1, c2, c3), (3.0, -1.0, 1.0));
@@ -292,7 +312,7 @@ mod tests {
         // On a tiny instance, compare the factored similarity against an
         // explicit dense iteration of the same operator.
         let inst = permuted_instance(2, 4);
-        let l = Lrea { iterations: 5, max_rank: 32, ..Lrea::default() };
+        let l = Lrea { iterations: 5, max_rank: 32, adaptive_overlap: false, ..Lrea::default() };
         let (u, v) = l.factors(&inst.source, &inst.target).unwrap();
         let factored = u.matmul_tr(&v);
 
@@ -302,7 +322,7 @@ mod tests {
         let n_b = b.rows();
         let e_a = DenseMatrix::filled(n_a, n_a, 1.0);
         let e_b = DenseMatrix::filled(n_b, n_b, 1.0);
-        let (c1, c2, c3) = l.coefficients();
+        let (c1, c2, c3) = Lrea::coefficients_of(l.weights);
         let mut x = DenseMatrix::filled(n_a, n_b, 1.0 / ((n_a * n_b) as f64).sqrt());
         for _ in 0..5 {
             let mut next = a.matmul(&x).matmul(&b).scaled(c1);

@@ -9,7 +9,7 @@
 //! but the star form is what downstream pipelines (e.g. multi-species PPI
 //! analysis, multi-snapshot de-anonymization) consume.
 
-use crate::{Aligner, AlignError};
+use crate::{AlignError, Aligner};
 use graphalign_graph::Graph;
 
 /// Pairwise maps from a reference graph to every other graph.
@@ -44,9 +44,7 @@ impl MultiAlignment {
             }
         }
         // g_i node v → ref node inv[v] → g_j node to[inv[v]].
-        inv.into_iter()
-            .map(|r| if r == usize::MAX { usize::MAX } else { to[r] })
-            .collect()
+        inv.into_iter().map(|r| if r == usize::MAX { usize::MAX } else { to[r] }).collect()
     }
 }
 
@@ -85,11 +83,8 @@ mod tests {
         let multi = star_align(&grasp, &base, &[&g1, &g2]).unwrap();
         assert_eq!(multi.graph_count(), 2);
         // Pairwise accuracy against the known permutations.
-        let acc1 = multi.maps[0]
-            .iter()
-            .enumerate()
-            .filter(|&(u, &v)| v == p1.apply(u))
-            .count() as f64
+        let acc1 = multi.maps[0].iter().enumerate().filter(|&(u, &v)| v == p1.apply(u)).count()
+            as f64
             / base.node_count() as f64;
         // The ring-of-triangles graph has residual local near-symmetries, so
         // pairwise accuracy sits well below 1; the test guards against

@@ -24,7 +24,7 @@
 //! the paper granted NetAlign.
 
 use crate::prior::degree_similarity;
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::{auction, AssignmentMethod};
 use graphalign_graph::Graph;
 use graphalign_linalg::{CsrMatrix, DenseMatrix};
@@ -150,11 +150,8 @@ impl Aligner for NetAlign {
         if method == AssignmentMethod::Auction {
             let candidates = self.candidates(source, target);
             let beliefs = self.beliefs(&candidates);
-            let triplets: Vec<(usize, usize, f64)> = candidates
-                .iter()
-                .zip(&beliefs)
-                .map(|(c, &b)| (c.i, c.j, b.max(0.0)))
-                .collect();
+            let triplets: Vec<(usize, usize, f64)> =
+                candidates.iter().zip(&beliefs).map(|(c, &b)| (c.i, c.j, b.max(0.0))).collect();
             let sparse =
                 CsrMatrix::from_triplets(source.node_count(), target.node_count(), &triplets);
             return Ok(auction::auction_max(&sparse));

@@ -16,7 +16,7 @@
 //! vectors come from the study's degree prior (§6.1): `s = 1` component
 //! whose source/target factors are the degree-similarity marginals.
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::{CsrMatrix, DenseMatrix};

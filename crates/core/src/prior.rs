@@ -10,7 +10,6 @@
 
 use graphalign_graph::Graph;
 use graphalign_linalg::DenseMatrix;
-use rayon::prelude::*;
 
 /// Degree similarity of two degrees: `1 − |d_u − d_v| / max(d_u, d_v)`,
 /// with the convention that two isolated nodes are perfectly similar.
@@ -31,15 +30,7 @@ pub fn degree_prior(source: &Graph, target: &Graph) -> DenseMatrix {
     let m = target.node_count();
     let deg_a: Vec<usize> = source.degrees();
     let deg_b: Vec<usize> = target.degrees();
-    let mut e = DenseMatrix::zeros(n, m);
-    {
-        let data = e.as_mut_slice();
-        data.par_chunks_mut(m).enumerate().for_each(|(u, row)| {
-            for (v, slot) in row.iter_mut().enumerate() {
-                *slot = degree_similarity(deg_a[u], deg_b[v]);
-            }
-        });
-    }
+    let mut e = DenseMatrix::par_from_fn(n, m, |u, v| degree_similarity(deg_a[u], deg_b[v]));
     let total = e.sum();
     if total > 0.0 {
         e.scale_inplace(1.0 / total);

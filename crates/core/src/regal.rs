@@ -15,7 +15,7 @@
 //!    a k-d tree (Equation 10) — the study then restricts REGAL to
 //!    one-to-one outputs with SG/JV on the same embedding similarity.
 
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::{nn, AssignmentMethod};
 use graphalign_graph::Graph;
 use graphalign_linalg::svd::thin_svd;
@@ -50,10 +50,8 @@ impl Regal {
     /// for every node of `g`, with `buckets` histogram cells — the shared
     /// [`crate::features`] descriptor parameterized by this REGAL instance.
     pub fn features(&self, g: &Graph, buckets: usize) -> DenseMatrix {
-        let params = crate::features::FeatureParams {
-            k_hops: self.k_hops,
-            discount: self.discount,
-        };
+        let params =
+            crate::features::FeatureParams { k_hops: self.k_hops, discount: self.discount };
         crate::features::structural_features(g, &params, buckets)
     }
 
@@ -85,8 +83,9 @@ impl Regal {
         ids.shuffle(&mut rng);
         let landmarks: Vec<usize> = ids.into_iter().take(p).collect();
 
-        // C: node-to-landmark similarity (Equation 9, attributes off).
-        let c = DenseMatrix::from_fn(total, p, |i, l| {
+        // C: node-to-landmark similarity (Equation 9, attributes off),
+        // computed in parallel over node rows.
+        let c = DenseMatrix::par_from_fn(total, p, |i, l| {
             let d2 = graphalign_linalg::vec_ops::dist2_sq(all.row(i), all.row(landmarks[l]));
             (-self.gamma_struct * d2).exp()
         });

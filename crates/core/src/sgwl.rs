@@ -18,7 +18,7 @@
 //! `β = 0.1` dense).
 
 use crate::gwl::Gwl;
-use crate::{check_sizes, Aligner, AlignError};
+use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
@@ -252,8 +252,8 @@ impl Sgwl {
         // swap if the feature centroids say the crossed pairing is clearly
         // better (asymmetric noise can flip a near-balanced split).
         let mismatch = |na: &[usize], nb: &[usize]| {
-            let size = (na.len() as f64 - nb.len() as f64).abs()
-                / (na.len() + nb.len()).max(1) as f64;
+            let size =
+                (na.len() as f64 - nb.len() as f64).abs() / (na.len() + nb.len()).max(1) as f64;
             let ca = Self::centroid(fa, na);
             let cb = Self::centroid(fb, nb);
             size + graphalign_linalg::vec_ops::dist2_sq(&ca, &cb).sqrt()
@@ -284,8 +284,11 @@ impl Aligner for Sgwl {
         check_sizes(source, target)?;
         // Global structural features (xNetMF-style histograms) shared across
         // the recursion; bucket count spans both graphs.
-        let (fa, fb) =
-            crate::features::feature_pair(source, target, &crate::features::FeatureParams::default());
+        let (fa, fb) = crate::features::feature_pair(
+            source,
+            target,
+            &crate::features::FeatureParams::default(),
+        );
         let mut sim = DenseMatrix::zeros(source.node_count(), target.node_count());
         self.recurse(
             source,
@@ -356,9 +359,8 @@ mod tests {
         // leaf_size 16.
         let inst = permuted_instance(10, 5);
         let s = Sgwl { leaf_size: 16, ..Sgwl::default() };
-        let aligned = s
-            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
-            .unwrap();
+        let aligned =
+            s.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant).unwrap();
         assert_eq!(aligned.len(), inst.source.node_count());
         // Sanity: the alignment is a permutation.
         let mut sorted = aligned.clone();

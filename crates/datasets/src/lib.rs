@@ -92,22 +92,134 @@ pub struct DatasetSpec {
 
 /// The 16 rows of Table 2.
 pub const ALL: [DatasetSpec; 16] = [
-    DatasetSpec { id: DatasetId::Arenas, name: "Arenas", n: 1133, m: 5451, left_out: 0, kind: NetworkKind::Communication },
-    DatasetSpec { id: DatasetId::Facebook, name: "Facebook", n: 4039, m: 88234, left_out: 0, kind: NetworkKind::Social },
-    DatasetSpec { id: DatasetId::CaAstroPh, name: "CA-AstroPh", n: 17903, m: 197031, left_out: 0, kind: NetworkKind::Collaboration },
-    DatasetSpec { id: DatasetId::InfEuroroad, name: "inf-euroroad", n: 1174, m: 1417, left_out: 200, kind: NetworkKind::Infrastructure },
-    DatasetSpec { id: DatasetId::InfPower, name: "inf-power", n: 4941, m: 6594, left_out: 0, kind: NetworkKind::Infrastructure },
-    DatasetSpec { id: DatasetId::FbHaverford76, name: "fb-Haverford76", n: 1446, m: 59589, left_out: 0, kind: NetworkKind::Social },
-    DatasetSpec { id: DatasetId::FbHamilton46, name: "fb-Hamilton46", n: 2314, m: 96394, left_out: 2, kind: NetworkKind::Social },
-    DatasetSpec { id: DatasetId::FbBowdoin47, name: "fb-Bowdoin47", n: 2252, m: 84387, left_out: 2, kind: NetworkKind::Social },
-    DatasetSpec { id: DatasetId::FbSwarthmore42, name: "fb-Swarthmore42", n: 1659, m: 61050, left_out: 2, kind: NetworkKind::Social },
-    DatasetSpec { id: DatasetId::SocHamsterster, name: "soc-hamsterster", n: 2426, m: 16630, left_out: 400, kind: NetworkKind::Social },
-    DatasetSpec { id: DatasetId::BioCelegans, name: "bio-celegans", n: 453, m: 2025, left_out: 0, kind: NetworkKind::Biological },
-    DatasetSpec { id: DatasetId::CaGrQc, name: "ca-GrQc", n: 4158, m: 14422, left_out: 0, kind: NetworkKind::Collaboration },
-    DatasetSpec { id: DatasetId::CaNetscience, name: "ca-netscience", n: 379, m: 914, left_out: 0, kind: NetworkKind::Collaboration },
-    DatasetSpec { id: DatasetId::MultiMagna, name: "MultiMagna", n: 1004, m: 8323, left_out: 0, kind: NetworkKind::Biological },
-    DatasetSpec { id: DatasetId::HighSchool, name: "HighSchool", n: 327, m: 5818, left_out: 0, kind: NetworkKind::Proximity },
-    DatasetSpec { id: DatasetId::Voles, name: "Voles", n: 712, m: 2391, left_out: 0, kind: NetworkKind::Proximity },
+    DatasetSpec {
+        id: DatasetId::Arenas,
+        name: "Arenas",
+        n: 1133,
+        m: 5451,
+        left_out: 0,
+        kind: NetworkKind::Communication,
+    },
+    DatasetSpec {
+        id: DatasetId::Facebook,
+        name: "Facebook",
+        n: 4039,
+        m: 88234,
+        left_out: 0,
+        kind: NetworkKind::Social,
+    },
+    DatasetSpec {
+        id: DatasetId::CaAstroPh,
+        name: "CA-AstroPh",
+        n: 17903,
+        m: 197031,
+        left_out: 0,
+        kind: NetworkKind::Collaboration,
+    },
+    DatasetSpec {
+        id: DatasetId::InfEuroroad,
+        name: "inf-euroroad",
+        n: 1174,
+        m: 1417,
+        left_out: 200,
+        kind: NetworkKind::Infrastructure,
+    },
+    DatasetSpec {
+        id: DatasetId::InfPower,
+        name: "inf-power",
+        n: 4941,
+        m: 6594,
+        left_out: 0,
+        kind: NetworkKind::Infrastructure,
+    },
+    DatasetSpec {
+        id: DatasetId::FbHaverford76,
+        name: "fb-Haverford76",
+        n: 1446,
+        m: 59589,
+        left_out: 0,
+        kind: NetworkKind::Social,
+    },
+    DatasetSpec {
+        id: DatasetId::FbHamilton46,
+        name: "fb-Hamilton46",
+        n: 2314,
+        m: 96394,
+        left_out: 2,
+        kind: NetworkKind::Social,
+    },
+    DatasetSpec {
+        id: DatasetId::FbBowdoin47,
+        name: "fb-Bowdoin47",
+        n: 2252,
+        m: 84387,
+        left_out: 2,
+        kind: NetworkKind::Social,
+    },
+    DatasetSpec {
+        id: DatasetId::FbSwarthmore42,
+        name: "fb-Swarthmore42",
+        n: 1659,
+        m: 61050,
+        left_out: 2,
+        kind: NetworkKind::Social,
+    },
+    DatasetSpec {
+        id: DatasetId::SocHamsterster,
+        name: "soc-hamsterster",
+        n: 2426,
+        m: 16630,
+        left_out: 400,
+        kind: NetworkKind::Social,
+    },
+    DatasetSpec {
+        id: DatasetId::BioCelegans,
+        name: "bio-celegans",
+        n: 453,
+        m: 2025,
+        left_out: 0,
+        kind: NetworkKind::Biological,
+    },
+    DatasetSpec {
+        id: DatasetId::CaGrQc,
+        name: "ca-GrQc",
+        n: 4158,
+        m: 14422,
+        left_out: 0,
+        kind: NetworkKind::Collaboration,
+    },
+    DatasetSpec {
+        id: DatasetId::CaNetscience,
+        name: "ca-netscience",
+        n: 379,
+        m: 914,
+        left_out: 0,
+        kind: NetworkKind::Collaboration,
+    },
+    DatasetSpec {
+        id: DatasetId::MultiMagna,
+        name: "MultiMagna",
+        n: 1004,
+        m: 8323,
+        left_out: 0,
+        kind: NetworkKind::Biological,
+    },
+    DatasetSpec {
+        id: DatasetId::HighSchool,
+        name: "HighSchool",
+        n: 327,
+        m: 5818,
+        left_out: 0,
+        kind: NetworkKind::Proximity,
+    },
+    DatasetSpec {
+        id: DatasetId::Voles,
+        name: "Voles",
+        n: 712,
+        m: 2391,
+        left_out: 0,
+        kind: NetworkKind::Proximity,
+    },
 ];
 
 /// Looks up the spec of a dataset.

@@ -284,8 +284,7 @@ pub fn configuration_model(degree_seq: &[usize], seed: u64) -> Graph {
         stubs.pop();
     }
     stubs.shuffle(&mut rng);
-    let edges: Vec<(usize, usize)> =
-        stubs.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
+    let edges: Vec<(usize, usize)> = stubs.chunks_exact(2).map(|pair| (pair[0], pair[1])).collect();
     // Graph::from_edges drops self-loops and duplicates (erasure).
     Graph::from_edges(n, &edges)
 }

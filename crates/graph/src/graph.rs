@@ -104,9 +104,8 @@ impl Graph {
     /// Binary adjacency matrix as CSR.
     pub fn adjacency(&self) -> CsrMatrix {
         let n = self.node_count();
-        let triplets: Vec<(usize, usize, f64)> = (0..n)
-            .flat_map(|u| self.neighbors(u).iter().map(move |&v| (u, v, 1.0)))
-            .collect();
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..n).flat_map(|u| self.neighbors(u).iter().map(move |&v| (u, v, 1.0))).collect();
         CsrMatrix::from_triplets(n, n, &triplets)
     }
 

@@ -32,8 +32,7 @@ pub const ORBIT_COUNT: usize = 15;
 /// Orbit dependency counts `o_i` (how many orbits orbit `i` "affects"),
 /// from Milenković & Pržulj's GDV-similarity weighting, restricted to
 /// orbits 0–14. Weight of orbit `i` is `1 − log(o_i)/log(ORBIT_COUNT)`.
-pub const ORBIT_DEPENDENCIES: [u32; ORBIT_COUNT] =
-    [1, 2, 2, 2, 3, 4, 3, 3, 4, 3, 4, 4, 4, 4, 3];
+pub const ORBIT_DEPENDENCIES: [u32; ORBIT_COUNT] = [1, 2, 2, 2, 3, 4, 3, 3, 4, 3, 4, 4, 4, 4, 3];
 
 /// Per-node graphlet-degree vectors: `counts[v][o]` is the number of times
 /// node `v` touches orbit `o`.
@@ -73,21 +72,37 @@ impl GraphletDegrees {
 /// heavy method of the study.
 pub fn graphlet_degrees(g: &Graph) -> GraphletDegrees {
     let n = g.node_count();
-    let mut counts = vec![[0u64; ORBIT_COUNT]; n];
-
-    // Orbit 0 is the degree; handle it directly.
-    for (v, row) in counts.iter_mut().enumerate() {
-        row[0] = g.degree(v) as u64;
-    }
-
-    // ESU: enumerate each connected induced subgraph on 3..=4 nodes exactly
-    // once, rooted at its minimum-index node.
-    let mut sub = Vec::with_capacity(4);
-    for v in 0..n {
-        let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
-        sub.push(v);
-        extend(g, &mut sub, &ext, v, &mut counts);
-        sub.pop();
+    // ESU over roots in round-robin strides: orbit counters are u64, so
+    // summing per-worker count tables is exact and thread-count independent.
+    // The per-root cost estimate (average degree cubed) steers the
+    // parallel/inline decision.
+    let avg_deg = if n > 0 { (2 * g.edge_count()).div_ceil(n) } else { 0 };
+    let cost = avg_deg.max(1).saturating_pow(3);
+    let partials = graphalign_par::fold_strided(n, cost, |start, step| {
+        let mut counts = vec![[0u64; ORBIT_COUNT]; n];
+        let mut sub = Vec::with_capacity(4);
+        let mut v = start;
+        while v < n {
+            // Orbit 0 is the degree; handle it directly.
+            counts[v][0] = g.degree(v) as u64;
+            // ESU: enumerate each connected induced subgraph on 3..=4 nodes
+            // exactly once, rooted at its minimum-index node.
+            let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+            sub.push(v);
+            extend(g, &mut sub, &ext, v, &mut counts);
+            sub.pop();
+            v += step;
+        }
+        counts
+    });
+    let mut parts = partials.into_iter();
+    let mut counts = parts.next().unwrap_or_else(|| vec![[0u64; ORBIT_COUNT]; n]);
+    for part in parts {
+        for (row, prow) in counts.iter_mut().zip(part) {
+            for (c, p) in row.iter_mut().zip(prow) {
+                *c += p;
+            }
+        }
     }
     GraphletDegrees { counts }
 }

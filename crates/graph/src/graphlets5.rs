@@ -36,13 +36,8 @@ pub const ORBIT_COUNT_5: usize = 73;
 fn pair_bit(i: usize, j: usize) -> u16 {
     let (a, b) = if i < j { (i, j) } else { (j, i) };
     // Pairs in lexicographic order: (0,1)(0,2)(0,3)(0,4)(1,2)(1,3)(1,4)(2,3)(2,4)(3,4)
-    const INDEX: [[usize; 5]; 5] = [
-        [0, 0, 1, 2, 3],
-        [0, 0, 4, 5, 6],
-        [1, 4, 0, 7, 8],
-        [2, 5, 7, 0, 9],
-        [3, 6, 8, 9, 0],
-    ];
+    const INDEX: [[usize; 5]; 5] =
+        [[0, 0, 1, 2, 3], [0, 0, 4, 5, 6], [1, 4, 0, 7, 8], [2, 5, 7, 0, 9], [3, 6, 8, 9, 0]];
     1u16 << INDEX[a][b]
 }
 
@@ -232,24 +227,38 @@ pub fn graphlet_degrees_5(g: &Graph) -> GraphletDegrees5 {
         })
         .collect();
 
-    // ESU for size exactly 5.
-    let mut sub: Vec<usize> = Vec::with_capacity(5);
-    for v in 0..n {
-        let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
-        sub.push(v);
-        extend5(g, &mut sub, &ext, v, &mut counts);
-        sub.pop();
+    // ESU for size exactly 5, over roots in round-robin strides: u64
+    // counter addition is exact, so merging per-worker tables is
+    // thread-count independent. Force the canonical-form tables before
+    // forking so workers share the memoized `OnceLock` instead of racing to
+    // build it.
+    let _ = tables();
+    let avg_deg = if n > 0 { (2 * g.edge_count()).div_ceil(n) } else { 0 };
+    let cost = avg_deg.max(1).saturating_pow(4);
+    let partials = graphalign_par::fold_strided(n, cost, |start, step| {
+        let mut local: Vec<Vec<u64>> = vec![vec![0u64; ORBIT_COUNT_5]; n];
+        let mut sub: Vec<usize> = Vec::with_capacity(5);
+        let mut v = start;
+        while v < n {
+            let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
+            sub.push(v);
+            extend5(g, &mut sub, &ext, v, &mut local);
+            sub.pop();
+            v += step;
+        }
+        local
+    });
+    for part in partials {
+        for (row, prow) in counts.iter_mut().zip(part) {
+            for (c, p) in row.iter_mut().zip(prow) {
+                *c += p;
+            }
+        }
     }
     GraphletDegrees5 { counts }
 }
 
-fn extend5(
-    g: &Graph,
-    sub: &mut Vec<usize>,
-    ext: &[usize],
-    root: usize,
-    counts: &mut [Vec<u64>],
-) {
+fn extend5(g: &Graph, sub: &mut Vec<usize>, ext: &[usize], root: usize, counts: &mut [Vec<u64>]) {
     if sub.len() == 5 {
         classify5(g, sub, counts);
         return;
@@ -322,9 +331,8 @@ mod tests {
         // once, and no other 5-node orbit fires.
         let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
         let gd = graphlet_degrees_5(&g);
-        let five_node_totals: Vec<u64> = (ORBIT_COUNT..ORBIT_COUNT_5)
-            .map(|o| gd.counts.iter().map(|c| c[o]).sum())
-            .collect();
+        let five_node_totals: Vec<u64> =
+            (ORBIT_COUNT..ORBIT_COUNT_5).map(|o| gd.counts.iter().map(|c| c[o]).sum()).collect();
         let firing: Vec<usize> =
             five_node_totals.iter().enumerate().filter(|(_, &v)| v > 0).map(|(i, _)| i).collect();
         assert_eq!(firing.len(), 1, "exactly one 5-node orbit fires for C5");

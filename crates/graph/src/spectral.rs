@@ -24,10 +24,8 @@ pub fn row_normalized_adjacency(g: &Graph) -> CsrMatrix {
 /// Symmetrically normalized adjacency `D^{−1/2} A D^{−1/2}`.
 pub fn sym_normalized_adjacency(g: &Graph) -> CsrMatrix {
     let mut a = g.adjacency();
-    let inv_sqrt: Vec<f64> = degree_vector(g)
-        .into_iter()
-        .map(|d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
-        .collect();
+    let inv_sqrt: Vec<f64> =
+        degree_vector(g).into_iter().map(|d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 }).collect();
     a.scale_rows(&inv_sqrt);
     a.scale_cols(&inv_sqrt);
     a

@@ -119,10 +119,8 @@ pub fn largest_component(g: &Graph) -> (Graph, Vec<Option<usize>>) {
             next += 1;
         }
     }
-    let edges: Vec<(usize, usize)> = g
-        .edges()
-        .filter_map(|(u, v)| Some((mapping[u]?, mapping[v]?)))
-        .collect();
+    let edges: Vec<(usize, usize)> =
+        g.edges().filter_map(|(u, v)| Some((mapping[u]?, mapping[v]?))).collect();
     (Graph::from_edges(next, &edges), mapping)
 }
 

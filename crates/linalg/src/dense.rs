@@ -3,11 +3,13 @@
 //! [`DenseMatrix`] is the workhorse representation for the similarity matrices
 //! the alignment algorithms exchange with the assignment solvers, for
 //! embedding matrices (rows = nodes), and for the small square systems inside
-//! the eigen/SVD/QR routines. Hot products are parallelized with rayon over
-//! rows, which matches the paper's use of a many-core testbed.
+//! the eigen/SVD/QR routines. Hot products are parallelized over row blocks
+//! through [`graphalign_par`] (matching the paper's many-core testbed); the
+//! chunking is deterministic, so results are identical for any thread count
+//! and for the sequential `--no-default-features` build.
 
 use crate::vec_ops;
-use rayon::prelude::*;
+use graphalign_par as par;
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -45,6 +47,25 @@ impl DenseMatrix {
                 data.push(f(i, j));
             }
         }
+        Self { rows, cols, data }
+    }
+
+    /// Builds a matrix by evaluating `f(row, col)` at every position, in
+    /// parallel over row blocks for large matrices.
+    ///
+    /// Unlike [`DenseMatrix::from_fn`] the closure must be pure (`Fn + Sync`);
+    /// use this for hot constructors such as similarity matrices where `f`
+    /// only reads shared data.
+    pub fn par_from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f64 + Sync) -> Self {
+        let mut data = vec![0.0; rows * cols];
+        par::for_each_row_block_mut(&mut data, cols.max(1), cols, |row_range, block| {
+            for (off, row) in block.chunks_mut(cols.max(1)).enumerate() {
+                let i = row_range.start + off;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = f(i, j);
+                }
+            }
+        });
         Self { rows, cols, data }
     }
 
@@ -144,15 +165,19 @@ impl DenseMatrix {
         self.data
     }
 
-    /// Transposed copy.
+    /// Transposed copy, parallelized over output rows.
     pub fn transpose(&self) -> DenseMatrix {
-        let mut t = DenseMatrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                t.set(j, i, self.get(i, j));
+        let (r, c) = (self.rows, self.cols);
+        let mut data = vec![0.0; r * c];
+        par::for_each_row_block_mut(&mut data, r.max(1), r, |out_rows, block| {
+            for (off, out_row) in block.chunks_mut(r.max(1)).enumerate() {
+                let j = out_rows.start + off;
+                for (i, o) in out_row.iter_mut().enumerate() {
+                    *o = self.get(i, j);
+                }
             }
-        }
-        t
+        });
+        DenseMatrix { rows: c, cols: r, data }
     }
 
     /// Matrix product `self * rhs`, parallelized over rows of `self`.
@@ -167,16 +192,18 @@ impl DenseMatrix {
         );
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0; m * n];
-        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
-            let a_row = self.row(i);
-            // ikj loop order: stream through rhs rows, accumulate into out_row.
-            for (l, &a_il) in a_row.iter().enumerate().take(k) {
-                if a_il == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(l);
-                for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_il * b_lj;
+        par::for_each_row_block_mut(&mut out, n.max(1), k.saturating_mul(n), |rows, block| {
+            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let a_row = self.row(rows.start + off);
+                // ikj loop order: stream through rhs rows, accumulate into out_row.
+                for (l, &a_il) in a_row.iter().enumerate().take(k) {
+                    if a_il == 0.0 {
+                        continue;
+                    }
+                    let b_row = rhs.row(l);
+                    for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
+                        *o += a_il * b_lj;
+                    }
                 }
             }
         });
@@ -214,11 +241,14 @@ impl DenseMatrix {
     pub fn matmul_tr(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, rhs.cols, "matmul_tr: column counts differ");
         let (m, n) = (self.rows, rhs.rows);
+        let k = self.cols;
         let mut out = vec![0.0; m * n];
-        out.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
-            let a_row = self.row(i);
-            for (j, o) in out_row.iter_mut().enumerate() {
-                *o = vec_ops::dot(a_row, rhs.row(j));
+        par::for_each_row_block_mut(&mut out, n.max(1), k.saturating_mul(n), |rows, block| {
+            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let a_row = self.row(rows.start + off);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    *o = vec_ops::dot(a_row, rhs.row(j));
+                }
             }
         });
         DenseMatrix { rows: m, cols: n, data: out }
@@ -238,20 +268,37 @@ impl DenseMatrix {
     pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
         assert_eq!(out.len(), self.rows, "mul_vec: out length mismatch");
-        for (i, o) in out.iter_mut().enumerate() {
-            *o = vec_ops::dot(self.row(i), x);
-        }
+        par::for_each_chunk_mut(out, self.cols, |_, range, chunk| {
+            for (off, o) in chunk.iter_mut().enumerate() {
+                *o = vec_ops::dot(self.row(range.start + off), x);
+            }
+        });
     }
 
     /// Vector–matrix product `xᵀ * self` (i.e. `selfᵀ x`).
+    ///
+    /// Parallelized as a chunked reduction over rows: per-chunk partial
+    /// vectors are combined in chunk order, so the result is thread-count
+    /// independent (fixed chunk boundaries, see [`graphalign_par`]).
     pub fn tr_mul_vec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(x.len(), self.rows, "tr_mul_vec: x length mismatch");
-        let mut out = vec![0.0; self.cols];
-        for (i, &xi) in x.iter().enumerate() {
-            if xi == 0.0 {
-                continue;
+        let cols = self.cols;
+        let partials = par::fold_chunks(self.rows, cols, |rows| {
+            let mut acc = vec![0.0; cols];
+            for i in rows {
+                let xi = x[i];
+                if xi == 0.0 {
+                    continue;
+                }
+                vec_ops::axpy(xi, self.row(i), &mut acc);
             }
-            vec_ops::axpy(xi, self.row(i), &mut out);
+            acc
+        });
+        let mut out = vec![0.0; cols];
+        for part in partials {
+            for (o, p) in out.iter_mut().zip(&part) {
+                *o += p;
+            }
         }
         out
     }
@@ -298,7 +345,11 @@ impl DenseMatrix {
 
     /// Applies `f` to every entry in place.
     pub fn map_inplace(&mut self, f: impl Fn(f64) -> f64 + Sync) {
-        self.data.par_iter_mut().for_each(|v| *v = f(*v));
+        par::for_each_chunk_mut(&mut self.data, 1, |_, _, chunk| {
+            for v in chunk {
+                *v = f(*v);
+            }
+        });
     }
 
     /// Frobenius norm `‖self‖_F`.
@@ -324,8 +375,10 @@ impl DenseMatrix {
     /// Normalizes every row to unit Euclidean norm; zero rows are left as-is.
     pub fn normalize_rows(&mut self) {
         let cols = self.cols;
-        self.data.par_chunks_mut(cols).for_each(|row| {
-            vec_ops::normalize(row);
+        par::for_each_row_block_mut(&mut self.data, cols.max(1), cols, |_, block| {
+            for row in block.chunks_mut(cols.max(1)) {
+                vec_ops::normalize(row);
+            }
         });
     }
 
@@ -428,10 +481,7 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[1.0], &[2.0]]);
         let b = DenseMatrix::from_rows(&[&[3.0], &[4.0]]);
         assert_eq!(a.hstack(&b), DenseMatrix::from_rows(&[&[1.0, 3.0], &[2.0, 4.0]]));
-        assert_eq!(
-            a.vstack(&b),
-            DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]])
-        );
+        assert_eq!(a.vstack(&b), DenseMatrix::from_rows(&[&[1.0], &[2.0], &[3.0], &[4.0]]));
     }
 
     #[test]

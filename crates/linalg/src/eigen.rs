@@ -329,11 +329,7 @@ mod tests {
     #[test]
     fn path_graph_laplacian_spectrum() {
         // Unnormalized Laplacian of the path on 3 nodes: eigenvalues 0, 1, 3.
-        let m = DenseMatrix::from_rows(&[
-            &[1.0, -1.0, 0.0],
-            &[-1.0, 2.0, -1.0],
-            &[0.0, -1.0, 1.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[&[1.0, -1.0, 0.0], &[-1.0, 2.0, -1.0], &[0.0, -1.0, 1.0]]);
         let e = symmetric_eigen(&m).unwrap();
         assert!((e.values[0]).abs() < 1e-12);
         assert!((e.values[1] - 1.0).abs() < 1e-12);
@@ -357,11 +353,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_satisfy_definition() {
-        let m = DenseMatrix::from_rows(&[
-            &[4.0, 1.0, 0.0],
-            &[1.0, 3.0, 1.0],
-            &[0.0, 1.0, 2.0],
-        ]);
+        let m = DenseMatrix::from_rows(&[&[4.0, 1.0, 0.0], &[1.0, 3.0, 1.0], &[0.0, 1.0, 2.0]]);
         let e = symmetric_eigen(&m).unwrap();
         for k in 0..3 {
             let v = e.vector(k);

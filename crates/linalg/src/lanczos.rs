@@ -12,7 +12,30 @@ use crate::dense::DenseMatrix;
 use crate::eigen::symmetric_eigen;
 use crate::vec_ops;
 use crate::{LinalgError, LinearOp};
+use graphalign_par as par;
 use rand::prelude::*;
+
+/// Subtracts from `w` its projections onto every basis vector.
+///
+/// Classical Gram–Schmidt: all inner products are taken against the *same*
+/// incoming `w`, so they are independent and run in parallel. Callers apply
+/// this twice (CGS2), which matches the numerical robustness of the modified
+/// variant while exposing `basis.len()` parallel dot products per sweep.
+fn orthogonalize_against(basis: &[Vec<f64>], w: &mut [f64]) {
+    if basis.is_empty() {
+        return;
+    }
+    let n = w.len();
+    let projs = {
+        let w_ro: &[f64] = w;
+        par::map_collect(basis.len(), n, |i| vec_ops::dot(w_ro, &basis[i]))
+    };
+    par::for_each_chunk_mut(w, basis.len(), |_, range, chunk| {
+        for (b, &proj) in basis.iter().zip(&projs) {
+            vec_ops::axpy(-proj, &b[range.clone()], chunk);
+        }
+    });
+}
 
 /// Which end of the spectrum to extract.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,12 +107,8 @@ pub fn lanczos(
             vec_ops::axpy(-b_prev, &basis[j - 1], &mut w);
         }
         // Full reorthogonalization (twice for stability).
-        for _ in 0..2 {
-            for b in &basis {
-                let proj = vec_ops::dot(&w, b);
-                vec_ops::axpy(-proj, b, &mut w);
-            }
-        }
+        orthogonalize_against(&basis, &mut w);
+        orthogonalize_against(&basis, &mut w);
         let b_j = vec_ops::norm2(&w);
         if j + 1 == m {
             break;
@@ -99,12 +118,8 @@ pub fn lanczos(
             // orthogonal to the current basis (handles disconnected graphs,
             // whose Laplacians have multiplicities).
             let mut fresh: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
-            for _ in 0..2 {
-                for b in &basis {
-                    let proj = vec_ops::dot(&fresh, b);
-                    vec_ops::axpy(-proj, b, &mut fresh);
-                }
-            }
+            orthogonalize_against(&basis, &mut fresh);
+            orthogonalize_against(&basis, &mut fresh);
             if vec_ops::normalize(&mut fresh) == 0.0 {
                 // Space exhausted (m ≥ effective dimension); stop early.
                 beta.push(0.0);
@@ -137,21 +152,18 @@ pub fn lanczos(
         Which::Smallest => (0..k.min(dim)).collect(),
         Which::Largest => (0..k.min(dim)).map(|i| dim - 1 - i).collect(),
     };
-    let mut values = Vec::with_capacity(indices.len());
-    let mut vectors = DenseMatrix::zeros(n, indices.len());
-    for (out_j, &src) in indices.iter().enumerate() {
-        values.push(eig.values[src]);
-        // Ritz vector = Σ_i basis[i] * y[i]
+    let values: Vec<f64> = indices.iter().map(|&src| eig.values[src]).collect();
+    // Ritz vector j = Σ_i basis[i] * y[i][j], assembled in parallel over
+    // output rows.
+    let coefs: Vec<Vec<f64>> =
+        indices.iter().map(|&src| (0..dim).map(|i| eig.vectors.get(i, src)).collect()).collect();
+    let mut vectors = DenseMatrix::par_from_fn(n, indices.len(), |row, out_j| {
+        let mut acc = 0.0;
         for (i, b) in basis.iter().enumerate() {
-            let coef = eig.vectors.get(i, src);
-            if coef == 0.0 {
-                continue;
-            }
-            for (row, &bv) in b.iter().enumerate() {
-                vectors.add_to(row, out_j, coef * bv);
-            }
+            acc += coefs[out_j][i] * b[row];
         }
-    }
+        acc
+    });
     // Normalize Ritz vectors (they are orthonormal up to rounding).
     for j in 0..vectors.cols() {
         let mut col = vectors.col(j);

@@ -5,6 +5,7 @@
 //! thin SVD in [`crate::svd`].
 
 use crate::dense::DenseMatrix;
+use graphalign_par as par;
 
 /// A thin QR factorization `A = Q R` with `Q` of shape `m × k`,
 /// `R` of shape `k × k`, `k = min(m, n)`.
@@ -52,18 +53,28 @@ pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
         for vi in v.iter_mut() {
             *vi /= vnorm;
         }
-        // Apply reflector H = I - 2 v vᵀ to R[j.., j..].
-        for col in j..n {
-            let mut dot = 0.0;
-            for (t, &vi) in v.iter().enumerate() {
-                dot += vi * r.get(j + t, col);
+        // Apply reflector H = I - 2 v vᵀ to R[j.., j..]. The per-column dot
+        // products `vᵀ R[j.., col]` are independent and run in parallel, as
+        // do the row-block updates; arithmetic order per entry is unchanged.
+        let dots = {
+            let r_ro = &r;
+            par::map_collect(n - j, m - j, |c| {
+                let mut dot = 0.0;
+                for (t, &vi) in v.iter().enumerate() {
+                    dot += vi * r_ro.get(j + t, j + c);
+                }
+                dot
+            })
+        };
+        let sub = &mut r.as_mut_slice()[j * n..];
+        par::for_each_row_block_mut(sub, n, n - j, |rows, block| {
+            for (off, row) in block.chunks_mut(n).enumerate() {
+                let vi = v[rows.start + off];
+                for (c, &d) in dots.iter().enumerate() {
+                    row[j + c] -= 2.0 * d * vi;
+                }
             }
-            let twice = 2.0 * dot;
-            for (t, &vi) in v.iter().enumerate() {
-                let upd = r.get(j + t, col) - twice * vi;
-                r.set(j + t, col, upd);
-            }
-        }
+        });
         vs.push(v);
     }
     // Accumulate Q by applying the reflectors (in reverse) to the first k
@@ -77,17 +88,25 @@ pub fn thin_qr(a: &DenseMatrix) -> ThinQr {
         if v.iter().all(|&x| x == 0.0) {
             continue;
         }
-        for col in 0..k {
-            let mut dot = 0.0;
-            for (t, &vi) in v.iter().enumerate() {
-                dot += vi * q.get(j + t, col);
+        let dots = {
+            let q_ro = &q;
+            par::map_collect(k, m - j, |col| {
+                let mut dot = 0.0;
+                for (t, &vi) in v.iter().enumerate() {
+                    dot += vi * q_ro.get(j + t, col);
+                }
+                dot
+            })
+        };
+        let sub = &mut q.as_mut_slice()[j * k..];
+        par::for_each_row_block_mut(sub, k, k, |rows, block| {
+            for (off, row) in block.chunks_mut(k).enumerate() {
+                let vi = v[rows.start + off];
+                for (col, &d) in dots.iter().enumerate() {
+                    row[col] -= 2.0 * d * vi;
+                }
             }
-            let twice = 2.0 * dot;
-            for (t, &vi) in v.iter().enumerate() {
-                let upd = q.get(j + t, col) - twice * vi;
-                q.set(j + t, col, upd);
-            }
-        }
+        });
     }
     // Truncate R to k × n (thin form).
     let mut r_thin = DenseMatrix::zeros(k, n);
@@ -111,12 +130,7 @@ mod tests {
 
     #[test]
     fn qr_reconstructs_tall_matrix() {
-        let a = DenseMatrix::from_rows(&[
-            &[1.0, 2.0],
-            &[3.0, 4.0],
-            &[5.0, 6.0],
-            &[7.0, 9.0],
-        ]);
+        let a = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0], &[7.0, 9.0]]);
         let f = thin_qr(&a);
         assert_eq!(f.q.shape(), (4, 2));
         assert_eq!(f.r.shape(), (2, 2));

@@ -10,6 +10,81 @@
 
 use crate::dense::DenseMatrix;
 use crate::LinalgError;
+use graphalign_par as par;
+
+/// Kernel clamp floor: `exp(-C/ε)` values are clamped up to this to keep the
+/// scalings finite. A kernel row/column entirely at the floor has underflowed
+/// — ε is too small for the cost scale — and Sinkhorn would stall on it.
+const KERNEL_FLOOR: f64 = 1e-300;
+
+/// Returns an error when some kernel row (or column) with positive marginal
+/// mass has every entry at the underflow floor: the scaling for that index
+/// cannot move mass anywhere, so the marginal constraint is unsatisfiable in
+/// finite arithmetic and iteration would silently stall (formerly `u[i]` was
+/// set to `0`, returning a plan that violates the requested marginals).
+fn check_kernel_support(
+    k: &DenseMatrix,
+    mu: &[f64],
+    nu: &[f64],
+    routine: &'static str,
+) -> Result<(), LinalgError> {
+    let (m, n) = k.shape();
+    let mut col_live = vec![false; n];
+    for i in 0..m {
+        let row = k.row(i);
+        let mut row_live = false;
+        for (j, &v) in row.iter().enumerate() {
+            if v > KERNEL_FLOOR {
+                row_live = true;
+                col_live[j] = true;
+            }
+        }
+        if !row_live && mu[i] > 0.0 {
+            return Err(LinalgError::Singular { routine });
+        }
+    }
+    for j in 0..n {
+        if !col_live[j] && nu[j] > 0.0 {
+            return Err(LinalgError::Singular { routine });
+        }
+    }
+    Ok(())
+}
+
+/// Scaling update `u ← μ ./ (K v)` shared by [`sinkhorn`] and
+/// [`proximal_step`]; an exactly-zero denominator against positive target
+/// mass means the kernel support degenerated mid-iteration (underflow), which
+/// is reported instead of silently zeroing the row.
+fn scaling_update(
+    target: &[f64],
+    denom: &[f64],
+    out: &mut [f64],
+    routine: &'static str,
+) -> Result<(), LinalgError> {
+    for ((o, &t), &d) in out.iter_mut().zip(target).zip(denom) {
+        if d > 0.0 {
+            *o = t / d;
+        } else if t > 0.0 {
+            return Err(LinalgError::Singular { routine });
+        } else {
+            *o = 0.0;
+        }
+    }
+    Ok(())
+}
+
+/// Assembles `T = diag(u) K diag(v)` in place, in parallel over row blocks.
+fn scale_plan(t: &mut DenseMatrix, u: &[f64], v: &[f64]) {
+    let n = t.cols();
+    par::for_each_row_block_mut(t.as_mut_slice(), n.max(1), n, |rows, block| {
+        for (off, row) in block.chunks_mut(n.max(1)).enumerate() {
+            let ui = u[rows.start + off];
+            for (val, &vj) in row.iter_mut().zip(v) {
+                *val *= ui * vj;
+            }
+        }
+    });
+}
 
 /// Configuration for the Sinkhorn solver.
 #[derive(Debug, Clone, Copy)]
@@ -32,8 +107,10 @@ impl Default for SinkhornParams {
 /// (columns), returning the transport plan `T` with `T 1 = μ`, `Tᵀ 1 = ν`.
 ///
 /// # Errors
-/// Returns [`LinalgError::NotFinite`] if the scalings blow up (ε too small
-/// for the cost scale).
+/// Returns [`LinalgError::Singular`] when the Gibbs kernel has a row or
+/// column with positive marginal mass whose entries all underflowed (ε too
+/// small for the cost scale — the marginal is unsatisfiable and iteration
+/// would stall), and [`LinalgError::NotFinite`] if the scalings blow up.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -52,40 +129,31 @@ pub fn sinkhorn(
     let cmin = c.as_slice().iter().copied().fold(f64::INFINITY, f64::min);
     let mut k = c.clone();
     let eps = params.epsilon.max(1e-12);
-    k.map_inplace(|v| (-(v - cmin) / eps).exp().max(1e-300));
+    k.map_inplace(|v| (-(v - cmin) / eps).exp().max(KERNEL_FLOOR));
+    check_kernel_support(&k, mu, nu, "sinkhorn")?;
 
     let mut u = vec![1.0; m];
     let mut v = vec![1.0; n];
     for _ in 0..params.max_iter {
         // u ← μ ./ (K v)
         let kv = k.mul_vec(&v);
-        for i in 0..m {
-            u[i] = if kv[i] > 0.0 { mu[i] / kv[i] } else { 0.0 };
-        }
+        scaling_update(mu, &kv, &mut u, "sinkhorn")?;
         // v ← ν ./ (Kᵀ u)
         let ktu = k.tr_mul_vec(&u);
-        for j in 0..n {
-            v[j] = if ktu[j] > 0.0 { nu[j] / ktu[j] } else { 0.0 };
-        }
+        scaling_update(nu, &ktu, &mut v, "sinkhorn")?;
         if !crate::vec_ops::all_finite(&u) || !crate::vec_ops::all_finite(&v) {
             return Err(LinalgError::NotFinite { routine: "sinkhorn" });
         }
         // Row-marginal violation.
         let kv = k.mul_vec(&v);
-        let violation: f64 =
-            (0..m).map(|i| (u[i] * kv[i] - mu[i]).abs()).sum();
+        let violation = par::sum_indexed(m, 1, |i| (u[i] * kv[i] - mu[i]).abs());
         if violation < params.tol {
             break;
         }
     }
     // T = diag(u) K diag(v)
     let mut t = k;
-    for i in 0..m {
-        let ui = u[i];
-        for (j, val) in t.row_mut(i).iter_mut().enumerate() {
-            *val *= ui * v[j];
-        }
-    }
+    scale_plan(&mut t, &u, &v);
     if !t.all_finite() {
         return Err(LinalgError::NotFinite { routine: "sinkhorn" });
     }
@@ -98,7 +166,8 @@ pub fn sinkhorn(
 /// `T_prev ⊙ exp(−C/ε)`.
 ///
 /// # Errors
-/// Propagates Sinkhorn failures.
+/// Propagates Sinkhorn failures, including the degenerate-kernel check of
+/// [`sinkhorn`].
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -114,40 +183,29 @@ pub fn proximal_step(
     let eps = params.epsilon.max(1e-12);
     let cmin = c.as_slice().iter().copied().fold(f64::INFINITY, f64::min);
     // Kernel = T_prev ⊙ exp(−(C−min)/ε); then plain Sinkhorn scalings.
-    let mut k = DenseMatrix::zeros(m, n);
-    for i in 0..m {
-        for j in 0..n {
-            let kern = (-(c.get(i, j) - cmin) / eps).exp().max(1e-300);
-            k.set(i, j, (t_prev.get(i, j).max(1e-300)) * kern);
-        }
-    }
+    let k = DenseMatrix::par_from_fn(m, n, |i, j| {
+        let kern = (-(c.get(i, j) - cmin) / eps).exp().max(KERNEL_FLOOR);
+        (t_prev.get(i, j).max(KERNEL_FLOOR)) * kern
+    });
+    check_kernel_support(&k, mu, nu, "proximal_step")?;
     let mut u = vec![1.0; m];
     let mut v = vec![1.0; n];
     for _ in 0..params.max_iter {
         let kv = k.mul_vec(&v);
-        for i in 0..m {
-            u[i] = if kv[i] > 0.0 { mu[i] / kv[i] } else { 0.0 };
-        }
+        scaling_update(mu, &kv, &mut u, "proximal_step")?;
         let ktu = k.tr_mul_vec(&u);
-        for j in 0..n {
-            v[j] = if ktu[j] > 0.0 { nu[j] / ktu[j] } else { 0.0 };
-        }
+        scaling_update(nu, &ktu, &mut v, "proximal_step")?;
         if !crate::vec_ops::all_finite(&u) || !crate::vec_ops::all_finite(&v) {
             return Err(LinalgError::NotFinite { routine: "proximal_step" });
         }
         let kv = k.mul_vec(&v);
-        let violation: f64 = (0..m).map(|i| (u[i] * kv[i] - mu[i]).abs()).sum();
+        let violation = par::sum_indexed(m, 1, |i| (u[i] * kv[i] - mu[i]).abs());
         if violation < params.tol {
             break;
         }
     }
     let mut t = k;
-    for i in 0..m {
-        let ui = u[i];
-        for (j, val) in t.row_mut(i).iter_mut().enumerate() {
-            *val *= ui * v[j];
-        }
-    }
+    scale_plan(&mut t, &u, &v);
     Ok(t)
 }
 
@@ -232,9 +290,46 @@ mod tests {
         let params = SinkhornParams { epsilon: 0.05, max_iter: 500, tol: 1e-9 };
         let t1 = proximal_step(&c, &t0, &mu, &nu, &params).unwrap();
         check_marginals(&t1, &mu, &nu, 1e-5);
-        let cost0: f64 = (0..2).map(|i| (0..2).map(|j| c.get(i, j) * t0.get(i, j)).sum::<f64>()).sum();
-        let cost1: f64 = (0..2).map(|i| (0..2).map(|j| c.get(i, j) * t1.get(i, j)).sum::<f64>()).sum();
+        let cost0: f64 =
+            (0..2).map(|i| (0..2).map(|j| c.get(i, j) * t0.get(i, j)).sum::<f64>()).sum();
+        let cost1: f64 =
+            (0..2).map(|i| (0..2).map(|j| c.get(i, j) * t1.get(i, j)).sum::<f64>()).sum();
         assert!(cost1 < cost0, "proximal step should decrease transport cost");
+    }
+
+    #[test]
+    fn degenerate_kernel_row_is_an_error_not_a_silent_stall() {
+        // Regression: row 0 has astronomically high cost everywhere, so at
+        // small ε its entire Gibbs-kernel row underflows to the clamp floor
+        // and its marginal can never be met. The solver used to zero `u[0]`
+        // silently, stall for max_iter, and return Ok with a plan violating
+        // the requested marginals; it must report the degeneracy instead.
+        let c = DenseMatrix::from_rows(&[&[1e9, 1e9, 1e9], &[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        let mu = uniform_marginal(3);
+        let nu = uniform_marginal(3);
+        let params = SinkhornParams { epsilon: 1e-3, max_iter: 100, tol: 1e-8 };
+        let err = sinkhorn(&c, &mu, &nu, &params).unwrap_err();
+        assert!(
+            matches!(err, LinalgError::Singular { routine: "sinkhorn" }),
+            "expected Singular, got {err:?}"
+        );
+        // The proximal wrapper shares the check.
+        let t0 = DenseMatrix::filled(3, 3, 1.0 / 9.0);
+        let err = proximal_step(&c, &t0, &mu, &nu, &params).unwrap_err();
+        assert!(matches!(err, LinalgError::Singular { routine: "proximal_step" }));
+    }
+
+    #[test]
+    fn degenerate_row_with_zero_marginal_is_allowed() {
+        // A dead kernel row is harmless when it carries no mass: the plan
+        // simply leaves that row empty.
+        let c = DenseMatrix::from_rows(&[&[1e9, 1e9], &[0.0, 0.01]]);
+        let mu = vec![0.0, 1.0];
+        let nu = vec![0.5, 0.5];
+        let params = SinkhornParams { epsilon: 0.1, max_iter: 500, tol: 1e-9 };
+        let t = sinkhorn(&c, &mu, &nu, &params).unwrap();
+        assert!(t.row(0).iter().all(|&x| x < 1e-12));
+        check_marginals(&t, &mu, &nu, 1e-5);
     }
 
     #[test]

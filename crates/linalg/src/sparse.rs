@@ -7,7 +7,7 @@
 //! dense matrices.
 
 use crate::dense::DenseMatrix;
-use rayon::prelude::*;
+use graphalign_par as par;
 
 /// A sparse matrix in compressed sparse row format.
 ///
@@ -168,12 +168,16 @@ impl CsrMatrix {
     pub fn mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.cols, "mul_vec: x length mismatch");
         assert_eq!(out.len(), self.rows, "mul_vec: out length mismatch");
-        out.par_iter_mut().enumerate().for_each(|(i, o)| {
-            let mut acc = 0.0;
-            for (j, v) in self.row_iter(i) {
-                acc += v * x[j];
+        let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
+        par::for_each_chunk_mut(out, avg_nnz, |_, range, chunk| {
+            for (off, o) in chunk.iter_mut().enumerate() {
+                let i = range.start + off;
+                let mut acc = 0.0;
+                for (j, v) in self.row_iter(i) {
+                    acc += v * x[j];
+                }
+                *o = acc;
             }
-            *o = acc;
         });
     }
 
@@ -201,11 +205,14 @@ impl CsrMatrix {
         assert_eq!(self.cols, rhs.rows(), "mul_dense: inner dimensions differ");
         let n = rhs.cols();
         let mut data = vec![0.0; self.rows * n];
-        data.par_chunks_mut(n).enumerate().for_each(|(i, out_row)| {
-            for (j, v) in self.row_iter(i) {
-                let rhs_row = rhs.row(j);
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += v * r;
+        let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
+        par::for_each_row_block_mut(&mut data, n.max(1), avg_nnz * n, |rows, block| {
+            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                for (j, v) in self.row_iter(rows.start + off) {
+                    let rhs_row = rhs.row(j);
+                    for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                        *o += v * r;
+                    }
                 }
             }
         });

@@ -193,11 +193,7 @@ pub fn make_instance(source: &Graph, config: &NoiseConfig, seed: u64) -> Alignme
 /// # Panics
 /// Panics if `keep_fraction` is outside `(0, 1]` or keeps fewer than one
 /// node.
-pub fn make_subgraph_instance(
-    graph: &Graph,
-    keep_fraction: f64,
-    seed: u64,
-) -> AlignmentInstance {
+pub fn make_subgraph_instance(graph: &Graph, keep_fraction: f64, seed: u64) -> AlignmentInstance {
     assert!(
         keep_fraction > 0.0 && keep_fraction <= 1.0,
         "keep_fraction {keep_fraction} outside (0, 1]"

@@ -1,0 +1,525 @@
+//! Deterministic data-parallel execution layer for the graphalign workspace.
+//!
+//! Every hot kernel in the workspace (dense products, Sinkhorn scalings,
+//! graphlet counting, per-node similarity rows) is expressed through the
+//! fork/join helpers in this crate instead of spawning threads directly. The
+//! helpers make one promise that plain thread pools do not:
+//!
+//! > **The result is a pure function of the input — never of the thread
+//! > count.**
+//!
+//! That holds because work is split at *fixed chunk boundaries* chosen from
+//! the problem size alone, each chunk is computed independently, and any
+//! reduction over chunk results happens sequentially in chunk order. Running
+//! with 1 thread, 64 threads, or with the `parallel` feature disabled
+//! produces bit-identical floating-point output, so correctness tests and
+//! paper-figure reproductions are insensitive to the machine's core count.
+//!
+//! # Feature `parallel` (default)
+//!
+//! With the feature enabled, chunks are executed by scoped OS threads
+//! (`std::thread::scope` — the workspace builds offline, so no external
+//! thread-pool crate is available). The thread count is taken from, in order:
+//! [`set_max_threads`], the `GRAPHALIGN_THREADS` environment variable, the
+//! `RAYON_NUM_THREADS` environment variable (honored for familiarity), and
+//! finally [`std::thread::available_parallelism`]. With the feature disabled
+//! the same chunk schedule runs inline and no thread is ever spawned.
+//!
+//! Small inputs (below [`MIN_PAR_WORK`] work items) also run inline: scoped
+//! threads cost tens of microseconds to fork and join, which would dominate
+//! kernels on small matrices.
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Work threshold (in `cost_per_item` units, 1 unit ≈ one multiply-add)
+/// below which helpers run inline even when the `parallel` feature is
+/// enabled: forking scoped threads costs tens of microseconds, which would
+/// dominate kernels this small.
+pub const MIN_PAR_WORK: usize = 1 << 17;
+
+/// Thread-count override installed by [`set_max_threads`]; 0 means "unset".
+static MAX_THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// One unit of work handed to a worker: chunk index, its index range, and
+/// the disjoint sub-slice it owns.
+#[cfg(feature = "parallel")]
+type Job<'a, T> = (usize, Range<usize>, &'a mut [T]);
+
+/// Caps the number of worker threads used by all helpers in this crate.
+///
+/// Takes precedence over `GRAPHALIGN_THREADS` / `RAYON_NUM_THREADS`. Passing
+/// `0` clears the override. Because results are thread-count independent,
+/// this knob only affects wall-clock time.
+pub fn set_max_threads(n: usize) {
+    MAX_THREADS.store(n, Ordering::Relaxed);
+}
+
+fn env_threads() -> Option<usize> {
+    for var in ["GRAPHALIGN_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n > 0 {
+                    return Some(n);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// The number of worker threads helpers may use for large inputs.
+///
+/// Always `1` when the `parallel` feature is disabled.
+pub fn max_threads() -> usize {
+    if !cfg!(feature = "parallel") {
+        return 1;
+    }
+    let explicit = MAX_THREADS.load(Ordering::Relaxed);
+    if explicit > 0 {
+        return explicit;
+    }
+    if let Some(n) = env_threads() {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Splits `0..len` into the fixed chunk ranges all helpers use: `chunk_len`
+/// items each, last chunk possibly shorter. The schedule depends only on
+/// `len` and `chunk_len` — never on the thread count — which is what makes
+/// chunked reductions deterministic.
+pub fn chunk_ranges(len: usize, chunk_len: usize) -> Vec<Range<usize>> {
+    assert!(chunk_len > 0, "chunk_len must be positive");
+    (0..len.div_ceil(chunk_len)).map(|c| c * chunk_len..((c + 1) * chunk_len).min(len)).collect()
+}
+
+/// Picks the chunk length for a map over items of roughly uniform cost
+/// `cost_per_item` (arbitrary units where 1 unit ≈ one multiply-add).
+///
+/// The quantum is a **pure function of the per-item cost** — deliberately
+/// independent of the thread count — so chunk boundaries (and therefore the
+/// combining order of chunked reductions) never change with the machine.
+/// Each chunk carries about `MIN_PAR_WORK / 2` work units: enough to
+/// amortize fork overhead, small enough that work-stealing over chunks
+/// balances load across any realistic core count.
+fn auto_chunk_len(_len: usize, cost_per_item: usize) -> usize {
+    (MIN_PAR_WORK / 2).div_ceil(cost_per_item.max(1)).max(1)
+}
+
+/// Runs `f(chunk_index, chunk)` over fixed-size chunks of `data`, in parallel
+/// for large inputs.
+///
+/// `cost_per_item` is the approximate work per element (1 ≈ one flop); it
+/// only influences the inline/parallel decision and chunk sizing, never the
+/// result.
+pub fn for_each_chunk_mut<T: Send>(
+    data: &mut [T],
+    cost_per_item: usize,
+    f: impl Fn(usize, Range<usize>, &mut [T]) + Sync,
+) {
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk_len = auto_chunk_len(len, cost_per_item);
+    let ranges = chunk_ranges(len, chunk_len);
+    if !should_fork(len, cost_per_item, ranges.len()) {
+        let mut rest = data;
+        let mut offset = 0;
+        for (c, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(r.end - offset);
+            f(c, r.clone(), head);
+            rest = tail;
+            offset = r.end;
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        // Hand each worker a round-robin share of the (disjoint) chunks.
+        let mut jobs: Vec<Job<'_, T>> = Vec::with_capacity(ranges.len());
+        let mut rest = data;
+        let mut offset = 0;
+        for (c, r) in ranges.iter().enumerate() {
+            let (head, tail) = rest.split_at_mut(r.end - offset);
+            jobs.push((c, r.clone(), head));
+            rest = tail;
+            offset = r.end;
+        }
+        let workers = max_threads().min(jobs.len());
+        let mut shares: Vec<Vec<Job<'_, T>>> = (0..workers).map(|_| Vec::new()).collect();
+        for (slot, job) in jobs.into_iter().enumerate() {
+            shares[slot % workers].push(job);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for share in shares {
+                s.spawn(move || {
+                    for (c, r, chunk) in share {
+                        f(c, r, chunk);
+                    }
+                });
+            }
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("should_fork is false without the `parallel` feature");
+}
+
+/// Runs `f(row_range, block)` over blocks of whole rows of a row-major
+/// buffer, in parallel for large inputs. Blocks are split at row boundaries
+/// (`row_len` elements per row) so matrix kernels can hand out disjoint
+/// row slices.
+///
+/// # Panics
+/// Panics (debug) when `data.len()` is not a multiple of `row_len`.
+pub fn for_each_row_block_mut<T: Send>(
+    data: &mut [T],
+    row_len: usize,
+    cost_per_row: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    if data.is_empty() || row_len == 0 {
+        return;
+    }
+    debug_assert_eq!(data.len() % row_len, 0, "data must hold whole rows");
+    let rows = data.len() / row_len;
+    let chunk_rows = auto_chunk_len(rows, cost_per_row);
+    let ranges = chunk_ranges(rows, chunk_rows);
+    if !should_fork(rows, cost_per_row, ranges.len()) {
+        let mut rest = data;
+        let mut offset = 0;
+        for r in ranges {
+            let (head, tail) = rest.split_at_mut((r.end - offset) * row_len);
+            offset = r.end;
+            f(r, head);
+            rest = tail;
+        }
+        return;
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let mut jobs: Vec<(Range<usize>, &mut [T])> = Vec::with_capacity(ranges.len());
+        let mut rest = data;
+        let mut offset = 0;
+        for r in &ranges {
+            let (head, tail) = rest.split_at_mut((r.end - offset) * row_len);
+            jobs.push((r.clone(), head));
+            rest = tail;
+            offset = r.end;
+        }
+        let workers = max_threads().min(jobs.len());
+        let mut shares: Vec<Vec<(Range<usize>, &mut [T])>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        for (slot, job) in jobs.into_iter().enumerate() {
+            shares[slot % workers].push(job);
+        }
+        let f = &f;
+        std::thread::scope(|s| {
+            for share in shares {
+                s.spawn(move || {
+                    for (r, block) in share {
+                        f(r, block);
+                    }
+                });
+            }
+        });
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("should_fork is false without the `parallel` feature");
+}
+
+fn should_fork(len: usize, cost_per_item: usize, chunks: usize) -> bool {
+    cfg!(feature = "parallel")
+        && chunks > 1
+        && max_threads() > 1
+        && len.saturating_mul(cost_per_item.max(1)) >= MIN_PAR_WORK
+}
+
+/// Computes `(0..len).map(f)` into a `Vec`, in parallel for large inputs.
+///
+/// Equivalent to the sequential map for every thread count: each index is
+/// produced exactly once, by exactly one worker, into its own slot.
+pub fn map_collect<T: Send>(
+    len: usize,
+    cost_per_item: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<T> {
+    let chunk_len = auto_chunk_len(len, cost_per_item);
+    let ranges = chunk_ranges(len, chunk_len);
+    if !should_fork(len, cost_per_item, ranges.len()) {
+        return (0..len).map(f).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let mut parts: Vec<Vec<T>> =
+            map_chunks_parallel(&ranges, &|r: Range<usize>| r.map(&f).collect::<Vec<T>>());
+        let mut out = Vec::with_capacity(len);
+        for part in parts.iter_mut() {
+            out.append(part);
+        }
+        out
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("should_fork is false without the `parallel` feature");
+}
+
+/// Applies `fold` to each fixed chunk of `0..len` and returns the per-chunk
+/// results **in chunk order**, computing chunks in parallel for large inputs.
+///
+/// This is the deterministic-reduction primitive: callers fold the returned
+/// vector sequentially, so the combining order is fixed regardless of thread
+/// count. `cost_per_item` approximates per-index work for sizing decisions.
+pub fn fold_chunks<A: Send>(
+    len: usize,
+    cost_per_item: usize,
+    fold: impl Fn(Range<usize>) -> A + Sync,
+) -> Vec<A> {
+    let chunk_len = auto_chunk_len(len, cost_per_item);
+    let ranges = chunk_ranges(len, chunk_len);
+    if !should_fork(len, cost_per_item, ranges.len()) {
+        return ranges.into_iter().map(fold).collect();
+    }
+    #[cfg(feature = "parallel")]
+    {
+        map_chunks_parallel(&ranges, &fold)
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("should_fork is false without the `parallel` feature");
+}
+
+/// Deterministic parallel sum of `f(i)` over `0..len`: chunk partial sums are
+/// accumulated left-to-right within each fixed chunk and combined in chunk
+/// order, so the floating-point result is thread-count independent (though it
+/// may differ from a single un-chunked left-to-right sum).
+pub fn sum_indexed(len: usize, cost_per_item: usize, f: impl Fn(usize) -> f64 + Sync) -> f64 {
+    fold_chunks(len, cost_per_item, |r| r.map(&f).sum::<f64>()).into_iter().sum()
+}
+
+/// Folds `0..len` in round-robin strides (`start, start+step, …`), one
+/// stride per worker, returning per-stride results in stride order.
+///
+/// Unlike [`fold_chunks`], the partition here depends on the thread count,
+/// so this is only appropriate for **exactly associative** accumulations —
+/// integer counters and the like — where any grouping yields the same total.
+/// The round-robin stride balances heavily skewed per-index costs (e.g. ESU
+/// graphlet trees, whose size shrinks with the root index).
+pub fn fold_strided<A: Send>(
+    len: usize,
+    cost_per_item: usize,
+    fold: impl Fn(usize, usize) -> A + Sync,
+) -> Vec<A> {
+    if len == 0 {
+        return Vec::new();
+    }
+    if !should_fork(len, cost_per_item, 2) {
+        return vec![fold(0, 1)];
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let workers = max_threads().min(len);
+        let fold = &fold;
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || fold(w, workers))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
+        })
+    }
+    #[cfg(not(feature = "parallel"))]
+    unreachable!("should_fork is false without the `parallel` feature");
+}
+
+/// Runs every chunk closure on scoped threads and collects results in chunk
+/// order.
+#[cfg(feature = "parallel")]
+fn map_chunks_parallel<A: Send>(
+    ranges: &[Range<usize>],
+    fold: &(impl Fn(Range<usize>) -> A + Sync),
+) -> Vec<A> {
+    let workers = max_threads().min(ranges.len());
+    let next = AtomicUsize::new(0);
+    let mut slots: Vec<Option<A>> = (0..ranges.len()).map(|_| None).collect();
+    {
+        let slot_ptrs: Vec<_> = slots.iter_mut().collect();
+        let shared = std::sync::Mutex::new(slot_ptrs);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    let next = &next;
+                    let shared = &shared;
+                    s.spawn(move || {
+                        let mut produced: Vec<(usize, A)> = Vec::new();
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= ranges.len() {
+                                break;
+                            }
+                            produced.push((c, fold(ranges[c].clone())));
+                        }
+                        let mut slots = shared.lock().expect("slot mutex poisoned");
+                        for (c, a) in produced {
+                            *slots[c] = Some(a);
+                        }
+                    })
+                })
+                .collect();
+            for h in handles {
+                h.join().expect("worker thread panicked");
+            }
+        });
+    }
+    slots.into_iter().map(|s| s.expect("every chunk produced")).collect()
+}
+
+/// Re-exports for `use graphalign_par::prelude::*` call sites.
+pub mod prelude {
+    pub use crate::{
+        fold_chunks, fold_strided, for_each_chunk_mut, for_each_row_block_mut, map_collect,
+        max_threads, set_max_threads, sum_indexed,
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_ranges_tile_the_input_exactly() {
+        for len in [0usize, 1, 5, 4096, 4097, 10_000] {
+            for chunk in [1usize, 7, 4096] {
+                let ranges = chunk_ranges(len, chunk);
+                let mut expect = 0;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(r.end > r.start);
+                    assert!(r.end - r.start <= chunk);
+                    expect = r.end;
+                }
+                assert_eq!(expect, len);
+            }
+        }
+    }
+
+    #[test]
+    fn map_collect_matches_sequential_map() {
+        let n = 300_000;
+        let expected: Vec<f64> = (0..n).map(|i| (i as f64).sqrt()).collect();
+        for threads in [1, 2, 7] {
+            set_max_threads(threads);
+            let got = map_collect(n, 1, |i| (i as f64).sqrt());
+            assert_eq!(got, expected, "threads={threads}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn for_each_chunk_mut_writes_every_slot_once() {
+        let n = 300_000;
+        for threads in [1, 3, 16] {
+            set_max_threads(threads);
+            let mut data = vec![0u64; n];
+            for_each_chunk_mut(&mut data, 1, |_, range, chunk| {
+                for (off, slot) in chunk.iter_mut().enumerate() {
+                    *slot += (range.start + off) as u64 + 1;
+                }
+            });
+            assert!(data.iter().enumerate().all(|(i, &v)| v == i as u64 + 1), "threads={threads}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn sum_is_bit_identical_across_thread_counts() {
+        // Floating-point catastrophe bait: wildly varying magnitudes.
+        let n = 400_000;
+        let f = |i: usize| ((i * 2654435761) % 1000) as f64 * 1e-3 + (i as f64).powi(3) * 1e-12;
+        set_max_threads(1);
+        let s1 = sum_indexed(n, 1, f);
+        let mut sums = vec![s1];
+        for threads in [2, 5, 32] {
+            set_max_threads(threads);
+            sums.push(sum_indexed(n, 1, f));
+        }
+        set_max_threads(0);
+        assert!(
+            sums.iter().all(|s| s.to_bits() == s1.to_bits()),
+            "sums differ across thread counts: {sums:?}"
+        );
+    }
+
+    #[test]
+    fn fold_chunks_preserves_chunk_order() {
+        set_max_threads(8);
+        let ids = fold_chunks(400_000, 1, |r| r.start);
+        assert!(ids.len() > 1, "expected multiple chunks");
+        assert!(ids.windows(2).all(|w| w[0] < w[1]));
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn row_blocks_split_on_row_boundaries() {
+        let (rows, cols) = (20_000, 17);
+        for threads in [1, 4] {
+            set_max_threads(threads);
+            let mut data = vec![0.0f64; rows * cols];
+            for_each_row_block_mut(&mut data, cols, cols, |row_range, block| {
+                assert_eq!(block.len(), (row_range.end - row_range.start) * cols);
+                for (off, row) in block.chunks_mut(cols).enumerate() {
+                    let i = row_range.start + off;
+                    for (j, v) in row.iter_mut().enumerate() {
+                        *v = (i * cols + j) as f64;
+                    }
+                }
+            });
+            assert!(data.iter().enumerate().all(|(p, &v)| v == p as f64), "threads={threads}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn small_inputs_run_inline() {
+        // Nothing observable to assert beyond correctness, but exercise the
+        // inline path explicitly (len * cost < MIN_PAR_WORK).
+        let mut data = vec![1.0f64; 8];
+        for_each_chunk_mut(&mut data, 1, |_, _, chunk| {
+            for v in chunk {
+                *v *= 2.0;
+            }
+        });
+        assert!(data.iter().all(|&v| v == 2.0));
+        assert_eq!(sum_indexed(8, 1, |i| i as f64), 28.0);
+    }
+
+    #[test]
+    fn strided_integer_counts_are_exact_for_any_thread_count() {
+        let n = 300_000;
+        let total_seq: u64 = (0..n as u64).sum();
+        for threads in [1, 3, 8] {
+            set_max_threads(threads);
+            let partials = fold_strided(n, 1, |start, step| {
+                let mut acc = 0u64;
+                let mut i = start;
+                while i < n {
+                    acc += i as u64;
+                    i += step;
+                }
+                acc
+            });
+            assert_eq!(partials.iter().sum::<u64>(), total_seq, "threads={threads}");
+        }
+        set_max_threads(0);
+    }
+
+    #[test]
+    fn max_threads_is_positive_and_overridable() {
+        assert!(max_threads() >= 1);
+        set_max_threads(3);
+        if cfg!(feature = "parallel") {
+            assert_eq!(max_threads(), 3);
+        } else {
+            assert_eq!(max_threads(), 1);
+        }
+        set_max_threads(0);
+        assert!(max_threads() >= 1);
+    }
+}

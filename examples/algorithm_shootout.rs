@@ -25,16 +25,16 @@ fn main() {
         graph.node_count(),
         graph.edge_count()
     );
-    println!(
-        "{:<10} {:>9} {:>9} {:>9} {:>10}",
-        "algorithm", "accuracy", "S3", "MNC", "time"
-    );
+    println!("{:<10} {:>9} {:>9} {:>9} {:>10}", "algorithm", "accuracy", "S3", "MNC", "time");
     println!("{}", "-".repeat(52));
 
     for aligner in registry() {
         let start = Instant::now();
-        match aligner.align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
-        {
+        match aligner.align_with(
+            &instance.source,
+            &instance.target,
+            AssignmentMethod::JonkerVolgenant,
+        ) {
             Ok(alignment) => {
                 let elapsed = start.elapsed().as_secs_f64();
                 let r = evaluate(

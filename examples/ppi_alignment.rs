@@ -50,17 +50,26 @@ fn main() {
             (
                 "IsoRank",
                 IsoRank::default()
-                    .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
+                    .align_with(
+                        &instance.source,
+                        &instance.target,
+                        AssignmentMethod::JonkerVolgenant,
+                    )
                     .expect("IsoRank aligns"),
             ),
             (
                 "GRASP",
                 Grasp { q: 50, ..Grasp::default() }
-                    .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
+                    .align_with(
+                        &instance.source,
+                        &instance.target,
+                        AssignmentMethod::JonkerVolgenant,
+                    )
                     .expect("GRASP aligns"),
             ),
         ] {
-            let r = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
+            let r =
+                evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
             println!(
                 "{:<12} {:<8} {:>7.1}% {:>7.1}% {:>7.1}% {:>7.1}%",
                 variant.label,

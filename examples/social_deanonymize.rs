@@ -22,11 +22,7 @@ use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
 fn main() {
     // The "public" social network: power-law degrees, strong clustering.
     let public = powerlaw_cluster(500, 6, 0.7, 2023);
-    println!(
-        "public network: {} users, {} friendships",
-        public.node_count(),
-        public.edge_count()
-    );
+    println!("public network: {} users, {} friendships", public.node_count(), public.edge_count());
     println!("\n{:<10} {:>14} {:>14}", "missing", "CONE", "REGAL");
     println!("{}", "-".repeat(40));
 

@@ -20,7 +20,11 @@ fn check_valid(aligner: &dyn Aligner, source: &Graph, target: &Graph, context: &
             );
             let mut seen = vec![false; target.node_count()];
             for &v in &alignment {
-                assert!(v < target.node_count(), "{} on {context}: image out of range", aligner.name());
+                assert!(
+                    v < target.node_count(),
+                    "{} on {context}: image out of range",
+                    aligner.name()
+                );
                 assert!(!seen[v], "{} on {context}: duplicate image", aligner.name());
                 seen[v] = true;
             }
@@ -48,10 +52,8 @@ fn check_valid(aligner: &dyn Aligner, source: &Graph, target: &Graph, context: &
 fn disconnected_graphs() {
     // Two components plus isolated nodes — the regime where the paper says
     // GRASP falters; it must fail gracefully or return a valid matching.
-    let g = Graph::from_edges(
-        14,
-        &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3), (7, 8)],
-    );
+    let g =
+        Graph::from_edges(14, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 6), (6, 3), (7, 8)]);
     for aligner in registry() {
         check_valid(aligner.as_ref(), &g, &g, "disconnected graph");
     }
@@ -106,10 +108,8 @@ fn path_graph() {
 fn size_mismatch_smaller_source_is_supported() {
     // Source strictly smaller than target: one-to-one into a superset.
     let small = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0)]);
-    let big = Graph::from_edges(
-        9,
-        &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (6, 7), (7, 8)],
-    );
+    let big =
+        Graph::from_edges(9, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5), (5, 0), (6, 7), (7, 8)]);
     for aligner in registry() {
         check_valid(aligner.as_ref(), &small, &big, "smaller source");
     }

@@ -27,9 +27,8 @@ fn grasp_noise_profile_on_pl() {
         ("NW", graphalign_gen::newman_watts(300, 7, 0.5, 4)),
     ] {
         let inst = make_instance(&h, &NoiseConfig::new(NoiseModel::OneWay, 0.0), 9);
-        let a = k40
-            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
-            .unwrap();
+        let a =
+            k40.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant).unwrap();
         println!("GRASP-k40 {name}: {:.3}", accuracy(&a, &inst.ground_truth));
     }
 }

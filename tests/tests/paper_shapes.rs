@@ -2,7 +2,7 @@
 //! that this reproduction must preserve. Each test encodes one claim from
 //! the paper's text, averaged over seeds so the assertions are stable.
 
-use graphalign::{Aligner, AlignError};
+use graphalign::{AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_gen as gen;
 use graphalign_graph::Graph;
@@ -20,7 +20,8 @@ fn mean_accuracy(
     let count = seeds.end - seeds.start;
     for seed in seeds {
         let inst = make_instance(graph, &NoiseConfig::new(model, level), seed);
-        let a = aligner.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)?;
+        let a =
+            aligner.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)?;
         total += accuracy(&a, &inst.ground_truth);
     }
     Ok(total / count as f64)
@@ -59,22 +60,11 @@ fn gwl_only_works_on_powerlaw() {
 #[test]
 fn sgwl_beats_gwl_off_powerlaw() {
     let ws = gen::watts_strogatz(200, 10, 0.5, 11);
-    let gwl = mean_accuracy(
-        &graphalign::gwl::Gwl::default(),
-        &ws,
-        NoiseModel::OneWay,
-        0.0,
-        0..2,
-    )
-    .unwrap();
-    let sgwl = mean_accuracy(
-        &graphalign::sgwl::Sgwl::default(),
-        &ws,
-        NoiseModel::OneWay,
-        0.0,
-        0..2,
-    )
-    .unwrap();
+    let gwl = mean_accuracy(&graphalign::gwl::Gwl::default(), &ws, NoiseModel::OneWay, 0.0, 0..2)
+        .unwrap();
+    let sgwl =
+        mean_accuracy(&graphalign::sgwl::Sgwl::default(), &ws, NoiseModel::OneWay, 0.0, 0..2)
+            .unwrap();
     assert!(sgwl > gwl + 0.2, "S-GWL ({sgwl}) must clearly beat GWL ({gwl}) on WS");
 }
 
@@ -113,14 +103,9 @@ fn isorank_noise_type_ordering() {
 #[test]
 fn isorank_prior_ablation_shape() {
     let g = gen::powerlaw_cluster(200, 5, 0.5, 19);
-    let with_prior = mean_accuracy(
-        &graphalign::isorank::IsoRank::default(),
-        &g,
-        NoiseModel::OneWay,
-        0.03,
-        0..3,
-    )
-    .unwrap();
+    let with_prior =
+        mean_accuracy(&graphalign::isorank::IsoRank::default(), &g, NoiseModel::OneWay, 0.03, 0..3)
+            .unwrap();
     let without = mean_accuracy(
         &graphalign::isorank::IsoRank::without_degree_prior(),
         &g,

@@ -62,10 +62,7 @@ fn structure_exact_methods_ace_isomorphic_instances() {
             .align_with(&instance.source, &instance.target, AssignmentMethod::JonkerVolgenant)
             .unwrap();
         let structural = s3(&instance.source, &instance.target, &alignment);
-        assert!(
-            structural > 0.6,
-            "{name} S3 on an isomorphic instance: {structural}"
-        );
+        assert!(structural > 0.6, "{name} S3 on an isomorphic instance: {structural}");
     }
 }
 
@@ -105,10 +102,7 @@ fn more_noise_does_not_help() {
     };
     let clean = mean_s3(0.0);
     let noisy = mean_s3(0.20);
-    assert!(
-        clean >= noisy,
-        "20% noise should not beat 0% noise: clean {clean} vs noisy {noisy}"
-    );
+    assert!(clean >= noisy, "20% noise should not beat 0% noise: clean {clean} vs noisy {noisy}");
 }
 
 /// The dataset registry, noise models and aligners compose: align a
@@ -120,9 +114,8 @@ fn dataset_replica_aligns_end_to_end() {
     let noise = NoiseConfig::new(NoiseModel::OneWay, 0.01);
     let instance = make_instance(&graph, &noise, 13);
     let nsd = graphalign::nsd::Nsd::default();
-    let alignment = nsd
-        .align_with(&instance.source, &instance.target, AssignmentMethod::SortGreedy)
-        .unwrap();
+    let alignment =
+        nsd.align_with(&instance.source, &instance.target, AssignmentMethod::SortGreedy).unwrap();
     let report = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
     // NSD on a real-ish sparse graph: far above the 1/379 random baseline.
     assert!(report.accuracy > 0.05, "NSD accuracy {}", report.accuracy);
@@ -164,12 +157,9 @@ fn assignment_method_ordering_matches_the_paper() {
     for seed in 0..3 {
         let noise = NoiseConfig::new(NoiseModel::OneWay, 0.02);
         let inst = make_instance(&graph, &noise, seed);
-        let jv = iso
-            .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
-            .unwrap();
-        let sg = iso
-            .align_with(&inst.source, &inst.target, AssignmentMethod::SortGreedy)
-            .unwrap();
+        let jv =
+            iso.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant).unwrap();
+        let sg = iso.align_with(&inst.source, &inst.target, AssignmentMethod::SortGreedy).unwrap();
         jv_total += graphalign_metrics::accuracy(&jv, &inst.ground_truth);
         sg_total += graphalign_metrics::accuracy(&sg, &inst.ground_truth);
     }
@@ -191,9 +181,8 @@ fn subgraph_alignment_end_to_end() {
     let inst = make_subgraph_instance(&g, 0.9, 52);
     assert!(inst.source.node_count() < inst.target.node_count());
     let iso = graphalign::isorank::IsoRank::default();
-    let alignment = iso
-        .align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant)
-        .unwrap();
+    let alignment =
+        iso.align_with(&inst.source, &inst.target, AssignmentMethod::JonkerVolgenant).unwrap();
     assert_eq!(alignment.len(), inst.source.node_count());
     // Injective into the larger target.
     let mut seen = std::collections::HashSet::new();

@@ -1,0 +1,68 @@
+//! Bit-reproducibility across thread counts: the promise of the
+//! `graphalign-par` execution layer, checked end-to-end through the real
+//! pipeline (generate → perturb → similarity → assignment).
+//!
+//! The helpers in `graphalign-par` split work at chunk boundaries chosen
+//! from the problem size alone and combine partial results in chunk order,
+//! so alignments must be *bit-identical* whether the process uses one
+//! worker thread or many — and identical again when the crate is built with
+//! `--no-default-features` (no `parallel`), which runs the same chunk
+//! schedule inline. This file is that contract's regression test.
+//!
+//! Everything lives in a single `#[test]` because `set_max_threads` is a
+//! process-global override and the libtest harness runs tests in the same
+//! binary concurrently.
+
+use graphalign::registry;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_gen as gen;
+use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
+
+#[test]
+fn alignments_are_bit_identical_across_thread_counts() {
+    // Large enough that the dense kernels exceed MIN_PAR_WORK and genuinely
+    // fork on the multi-threaded pass (150² rows × ~150-flop rows ≫ 2¹⁷).
+    let graph = gen::powerlaw_cluster(150, 5, 0.5, 19);
+    let noise = NoiseConfig::new(NoiseModel::OneWay, 0.03);
+    let instance = make_instance(&graph, &noise, 7);
+
+    // The hot-path algorithms the parallel layer routes through chunked
+    // kernels (dense products, Sinkhorn, power iterations, embeddings).
+    let names = ["IsoRank", "LREA", "REGAL", "CONE", "GRASP"];
+
+    let run_all = |threads: usize| -> Vec<(String, Vec<f64>, Vec<usize>)> {
+        graphalign_par::set_max_threads(threads);
+        // Without the `parallel` feature the layer is pinned to one inline
+        // "thread" — the chunk schedule is identical either way.
+        if cfg!(feature = "parallel") {
+            assert_eq!(graphalign_par::max_threads(), threads);
+        } else {
+            assert_eq!(graphalign_par::max_threads(), 1);
+        }
+        registry()
+            .iter()
+            .filter(|a| names.contains(&a.name()))
+            .map(|a| {
+                let sim = a.similarity(&instance.source, &instance.target).unwrap();
+                let alignment =
+                    graphalign_assignment::assign(&sim, AssignmentMethod::JonkerVolgenant);
+                (a.name().to_string(), sim.as_slice().to_vec(), alignment)
+            })
+            .collect()
+    };
+
+    let sequential = run_all(1);
+    let parallel = run_all(8);
+    graphalign_par::set_max_threads(0); // clear the override
+
+    for ((name, sim1, a1), (_, sim8, a8)) in sequential.iter().zip(&parallel) {
+        // Bit-exact similarity matrices: compare raw f64 bits, not within a
+        // tolerance — reassociating a single reduction would fail this.
+        let first_diff = sim1.iter().zip(sim8).position(|(x, y)| x.to_bits() != y.to_bits());
+        assert_eq!(
+            first_diff, None,
+            "{name}: similarity differs between 1 and 8 threads at flat index {first_diff:?}"
+        );
+        assert_eq!(a1, a8, "{name}: alignment differs between 1 and 8 threads");
+    }
+}

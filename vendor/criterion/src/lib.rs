@@ -1,0 +1,289 @@
+//! Offline drop-in replacement for the subset of the `criterion` crate API the
+//! graphalign workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! minimal wall-clock benchmark runner with the same source-level API:
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_with_input`],
+//! [`Criterion::bench_function`], [`BenchmarkId`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Methodology (simplified relative to the real crate): each benchmark is
+//! warmed up for ~`warm_up` wall time, then `sample_size` samples are taken,
+//! where one sample times a batch of iterations sized so a batch lasts at
+//! least ~1 ms. Mean, median, and min/max per-iteration times are printed to
+//! stdout. When the binary is invoked by `cargo test` (which passes
+//! `--test`), every benchmark body runs exactly once so the suite stays fast
+//! and the closures are still exercised for panics.
+
+use std::time::{Duration, Instant};
+
+/// Label for one parameterized benchmark case.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self { label: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// An id consisting of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self { label: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// Per-iteration timer handed to benchmark closures.
+pub struct Bencher {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up: Duration,
+    /// Mean nanoseconds per iteration measured by the last `iter` call.
+    last_mean_ns: f64,
+    last_median_ns: f64,
+    last_min_ns: f64,
+    last_max_ns: f64,
+}
+
+impl Bencher {
+    /// Benchmarks `f`, timing batches of calls.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            std::hint::black_box(f());
+            return;
+        }
+        // Warm-up: run until the warm-up budget elapses, measuring roughly
+        // how long one iteration takes so batches can be sized.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up {
+            std::hint::black_box(f());
+            iters_done += 1;
+        }
+        let per_iter = warm_start.elapsed().as_nanos() as f64 / iters_done.max(1) as f64;
+        // Size one sample batch to at least ~1 ms of work.
+        let batch = ((1_000_000.0 / per_iter.max(1.0)).ceil() as u64).max(1);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                std::hint::black_box(f());
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / batch as f64);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("durations are finite"));
+        self.last_mean_ns = samples.iter().sum::<f64>() / samples.len() as f64;
+        self.last_median_ns = samples[samples.len() / 2];
+        self.last_min_ns = samples[0];
+        self.last_max_ns = samples[samples.len() - 1];
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Benchmark registry/runner.
+pub struct Criterion {
+    test_mode: bool,
+    sample_size: usize,
+    warm_up: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Self { test_mode, sample_size: 20, warm_up: Duration::from_millis(300) }
+    }
+}
+
+impl Criterion {
+    /// Runs a single named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        run_one(name, self.test_mode, self.sample_size, self.warm_up, f);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let (sample_size, warm_up, test_mode) = (self.sample_size, self.warm_up, self.test_mode);
+        BenchmarkGroup { _parent: self, name: name.into(), sample_size, warm_up, test_mode }
+    }
+
+    /// Hook for CLI configuration; the shim has nothing to configure.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    test_mode: bool,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration per benchmark.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl std::fmt::Display,
+        f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.test_mode,
+            self.sample_size,
+            self.warm_up,
+            f,
+        );
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(
+            &format!("{}/{}", self.name, id),
+            self.test_mode,
+            self.sample_size,
+            self.warm_up,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group (reporting is immediate, so this is a no-op).
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    label: &str,
+    test_mode: bool,
+    sample_size: usize,
+    warm_up: Duration,
+    mut f: F,
+) {
+    let mut b = Bencher {
+        test_mode,
+        sample_size,
+        warm_up,
+        last_mean_ns: 0.0,
+        last_median_ns: 0.0,
+        last_min_ns: 0.0,
+        last_max_ns: 0.0,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("{label}: ok (test mode, 1 iteration)");
+    } else {
+        println!(
+            "{label}: mean {} | median {} | range [{} .. {}]",
+            format_ns(b.last_mean_ns),
+            format_ns(b.last_median_ns),
+            format_ns(b.last_min_ns),
+            format_ns(b.last_max_ns),
+        );
+    }
+}
+
+/// Re-export of the standard black box, for parity with the real crate.
+pub use std::hint::black_box;
+
+/// Defines a benchmark group function callable from [`criterion_main!`].
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_runs_closure_in_test_mode() {
+        let mut calls = 0usize;
+        let mut b = Bencher {
+            test_mode: true,
+            sample_size: 2,
+            warm_up: Duration::from_millis(1),
+            last_mean_ns: 0.0,
+            last_median_ns: 0.0,
+            last_min_ns: 0.0,
+            last_max_ns: 0.0,
+        };
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn timing_mode_produces_positive_stats() {
+        let mut b = Bencher {
+            test_mode: false,
+            sample_size: 3,
+            warm_up: Duration::from_millis(5),
+            last_mean_ns: 0.0,
+            last_median_ns: 0.0,
+            last_min_ns: 0.0,
+            last_max_ns: 0.0,
+        };
+        b.iter(|| std::hint::black_box(2u64.pow(10)));
+        assert!(b.last_mean_ns > 0.0);
+        assert!(b.last_min_ns <= b.last_median_ns && b.last_median_ns <= b.last_max_ns);
+    }
+
+    #[test]
+    fn benchmark_ids_format_as_expected() {
+        assert_eq!(BenchmarkId::new("f", 32).to_string(), "f/32");
+        assert_eq!(BenchmarkId::from_parameter(128).to_string(), "128");
+    }
+}

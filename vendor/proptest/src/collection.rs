@@ -1,0 +1,51 @@
+//! Collection strategies (`vec`).
+
+use crate::test_runner::TestRng;
+use crate::Strategy;
+use rand::RngExt;
+use std::ops::Range;
+
+/// Length specification for [`vec`]: an exact length or a half-open range.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize, // exclusive
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        Self { lo: n, hi: n + 1 }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty length range");
+        Self { lo: r.start, hi: r.end }
+    }
+}
+
+/// Strategy producing `Vec`s whose elements come from `element` and whose
+/// length is drawn from `size`.
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy { element, size: size.into() }
+}
+
+/// Strategy returned by [`vec`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let n = if self.size.lo + 1 == self.size.hi {
+            self.size.lo
+        } else {
+            rng.random_range(self.size.lo..self.size.hi)
+        };
+        (0..n).map(|_| self.element.generate(rng)).collect()
+    }
+}

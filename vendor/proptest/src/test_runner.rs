@@ -1,0 +1,31 @@
+//! Deterministic per-case RNG for the shimmed `proptest`.
+
+use rand::prelude::*;
+
+/// FNV-1a hash, used to derive a stable per-test seed from the test name.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xCBF2_9CE4_8422_2325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// RNG handed to strategies. Wraps the workspace [`StdRng`] so the value
+/// streams are as deterministic as every other seeded computation.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// The generator for case `case` of the test whose name hashes to `seed`.
+    pub fn for_case(seed: u64, case: u32) -> Self {
+        Self(StdRng::seed_from_u64(seed ^ ((case as u64) << 32) ^ case as u64))
+    }
+}
+
+impl rand::RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

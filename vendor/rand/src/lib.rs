@@ -1,0 +1,263 @@
+//! Offline drop-in replacement for the subset of the `rand` crate API that the
+//! graphalign workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! this minimal, dependency-free implementation instead of the real `rand`.
+//! It provides:
+//!
+//! * [`rngs::StdRng`] — a deterministic, seedable generator
+//!   (SplitMix64-seeded xoshiro256++, the same core generator family the real
+//!   `rand` has shipped for small RNGs).
+//! * [`SeedableRng::seed_from_u64`] — the only seeding entry point the
+//!   workspace uses; every experiment is seeded explicitly for
+//!   reproducibility.
+//! * [`RngExt::random_range`] / [`RngExt::random`] — sampling from integer and
+//!   float ranges and from the "standard" distributions of the primitive
+//!   types.
+//! * [`seq::SliceRandom::shuffle`] — Fisher–Yates shuffling.
+//!
+//! The streams produced here are deterministic across platforms and releases:
+//! benchmark results and test expectations may depend on them, so **do not
+//! change the generator or the sampling arithmetic** without re-validating the
+//! seeded tests.
+
+pub mod rngs;
+pub mod seq;
+
+pub use seq::SliceRandom;
+
+/// Minimal core-RNG interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seeding interface. Only `seed_from_u64` is provided; the workspace always
+/// seeds explicitly from experiment configuration.
+pub trait SeedableRng: Sized {
+    /// Creates a generator deterministically from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled from the "standard" distribution of `random()`:
+/// full-range integers, `[0, 1)` floats, and fair booleans.
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniformly distributed mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that [`RngExt::random_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty => $wide:ty),* $(,)?) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let span = (self.end as $wide).wrapping_sub(self.start as $wide) as u64;
+                self.start.wrapping_add(uniform_u64(rng, span) as $t)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let span = (end as $wide).wrapping_sub(start as $wide) as u64;
+                if span == u64::MAX {
+                    return start.wrapping_add(rng.next_u64() as $t);
+                }
+                start.wrapping_add(uniform_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(
+    u8 => u8, u16 => u16, u32 => u32, u64 => u64, usize => usize,
+    i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize,
+);
+
+macro_rules! impl_float_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample(rng);
+                self.start + unit * (self.end - self.start)
+            }
+        }
+
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "cannot sample from empty range");
+                let unit = <$t as Standard>::sample(rng);
+                start + unit * (end - start)
+            }
+        }
+    )*};
+}
+
+impl_float_sample_range!(f32, f64);
+
+/// Uniform draw from `[0, span)` (`span == 0` means the full 64-bit range),
+/// using Lemire's multiply-shift rejection method so results are unbiased.
+fn uniform_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    if span == 0 {
+        return rng.next_u64();
+    }
+    loop {
+        let x = rng.next_u64();
+        let m = (x as u128) * (span as u128);
+        let lo = m as u64;
+        if lo >= span.wrapping_neg() % span {
+            return (m >> 64) as u64;
+        }
+        // Rejected: retry with fresh bits (rare unless span is huge).
+    }
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+///
+/// This is the `Rng`/`RngExt` extension trait of the real crate, reduced to
+/// the two methods the workspace calls.
+pub trait RngExt: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive, integer or
+    /// float).
+    fn random_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_from(self)
+    }
+
+    /// Samples from the standard distribution of `T`: full-range integers,
+    /// `[0, 1)` floats, fair booleans.
+    fn random<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+}
+
+impl<R: RngCore> RngExt for R {}
+
+/// Alias kept for callers written against the pre-0.9 trait name.
+pub use RngExt as Rng;
+
+/// Everything a typical caller needs: traits and the standard generator.
+pub mod prelude {
+    pub use crate::rngs::StdRng;
+    pub use crate::seq::SliceRandom;
+    pub use crate::{Rng, RngCore, RngExt, SeedableRng};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn seeding_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn random_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: usize = rng.random_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: i32 = rng.random_range(-5..=5);
+            assert!((-5..=5).contains(&w));
+            let f: f64 = rng.random_range(-2.0..2.0);
+            assert!((-2.0..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn random_range_covers_small_ranges() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.random_range(0usize..4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all 4 values should appear: {seen:?}");
+    }
+
+    #[test]
+    fn unit_floats_are_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f: f64 = rng.random();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn bools_are_roughly_fair() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let trues = (0..10_000).filter(|_| rng.random::<bool>()).count();
+        assert!((4_000..6_000).contains(&trues), "unfair coin: {trues}");
+    }
+
+    #[test]
+    fn shuffle_permutes_in_place() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements should not shuffle to identity");
+    }
+}

@@ -1,0 +1,19 @@
+//! Sequence helpers (`shuffle`).
+
+use crate::{RngCore, RngExt};
+
+/// Slice extension providing an in-place uniform shuffle.
+pub trait SliceRandom {
+    /// Shuffles the slice in place with the Fisher–Yates algorithm, consuming
+    /// `len - 1` draws from `rng`.
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    fn shuffle<R: RngCore>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.random_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+}
