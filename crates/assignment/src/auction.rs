@@ -11,6 +11,13 @@
 //! Rows whose stored candidates are exhausted fall back to zero-similarity
 //! bids on any free column (the similarity floor of the alignment problem),
 //! so a complete one-to-one matching is always returned.
+//!
+//! The bidding loop also polls the cooperative cell budget
+//! ([`graphalign_par::budget`]) periodically: when the budget expires the
+//! auction stops bidding and completes the matching with the free-column
+//! fallback. The result is still a valid one-to-one matching, but possibly
+//! far from optimal — the harness records such cells as timeouts and
+//! discards their measures.
 
 use graphalign_linalg::CsrMatrix;
 
@@ -74,6 +81,10 @@ pub fn auction_max_with(sim: &CsrMatrix, params: &AuctionParams) -> Vec<usize> {
         params.max_bids_per_phase
     };
 
+    // Budget polls are amortized over batches of bids: one `Instant::now()`
+    // per bid would dominate the cheap sparse bidding work.
+    const BUDGET_POLL_INTERVAL: usize = 256;
+    let mut interrupted = false;
     loop {
         // Phase: reset the matching (standard ε-scaling restarts assignments
         // but keeps prices, which is what accelerates later phases).
@@ -84,6 +95,10 @@ pub fn auction_max_with(sim: &CsrMatrix, params: &AuctionParams) -> Vec<usize> {
         while let Some(i) = free.pop() {
             bids += 1;
             if bids > bid_cap {
+                break;
+            }
+            if bids.is_multiple_of(BUDGET_POLL_INTERVAL) && graphalign_par::budget::exceeded() {
+                interrupted = true;
                 break;
             }
             // Best and second-best net value over stored candidates plus the
@@ -132,7 +147,7 @@ pub fn auction_max_with(sim: &CsrMatrix, params: &AuctionParams) -> Vec<usize> {
             row_of[best_j] = Some(i);
             col_of[i] = Some(best_j);
         }
-        if eps <= eps_end {
+        if interrupted || eps <= eps_end {
             break;
         }
         eps = (eps * params.scaling).max(eps_end);
@@ -209,6 +224,20 @@ mod tests {
     #[test]
     fn empty_matrix() {
         assert!(auction_max(&CsrMatrix::zeros(0, 0)).is_empty());
+    }
+
+    #[test]
+    fn expired_budget_still_yields_valid_matching() {
+        // With a dead budget the auction gives up bidding early but must
+        // still return a complete one-to-one matching via the fallback.
+        let n = 20;
+        let dense = DenseMatrix::from_fn(n, n, |i, j| ((i * 7 + j * 13) % 17) as f64);
+        let sparse = CsrMatrix::from_dense(&dense);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let a = auction_max(&sparse);
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n).collect::<Vec<_>>());
     }
 }
 

@@ -68,6 +68,17 @@ fn load(path: &str) -> BTreeMap<String, Cell> {
         doc.as_array().unwrap_or_else(|| fail(format!("{path}: expected a JSON array of rows")));
     let mut out = BTreeMap::new();
     for row in rows {
+        // Cells without measures — feasibility skips, and cells where every
+        // repetition failed (`error_class` set, `reps_ok` 0) — carry zeroed
+        // measures and must not be compared as if they were quality data.
+        let skipped = row.get("skipped").and_then(|x| x.as_bool()).unwrap_or(false);
+        let no_data = match row.get("reps_ok").and_then(|x| x.as_f64()) {
+            Some(ok) => ok == 0.0,
+            None => row.get("error_class").is_some_and(|x| x.as_str().is_some()),
+        };
+        if skipped || no_data {
+            continue;
+        }
         if let (Some(key), Some(accuracy)) =
             (cell_key(row), row.get("accuracy").and_then(|x| x.as_f64()))
         {

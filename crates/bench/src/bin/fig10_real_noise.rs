@@ -23,6 +23,7 @@ struct Row {
     s3: f64,
     seconds: f64,
     skipped: bool,
+    error_class: Option<String>,
 }
 
 graphalign_json::impl_to_json!(Row {
@@ -34,6 +35,7 @@ graphalign_json::impl_to_json!(Row {
     s3,
     seconds,
     skipped,
+    error_class,
 });
 
 fn datasets(cfg: &Config) -> Vec<EvolvingDataset> {
@@ -97,9 +99,15 @@ fn main() {
                         s3: 0.0,
                         seconds: 0.0,
                         skipped: true,
+                        error_class: Some("infeasible".into()),
                     });
                     continue;
                 }
+                // One budget per cell, so `--cell-timeout` bounds each
+                // dataset/variant/algorithm combination independently.
+                let _budget = graphalign_par::budget::install(
+                    cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
+                );
                 let start = Instant::now();
                 let result = run_instance(algo, true, &instance, AssignmentMethod::JonkerVolgenant);
                 let elapsed = start.elapsed().as_secs_f64();
@@ -123,10 +131,31 @@ fn main() {
                             s3: report.s3,
                             seconds: elapsed,
                             skipped: false,
+                            error_class: None,
                         });
                     }
                     Err(e) => {
                         eprintln!("warning: {} on {}/{}: {e}", algo.name(), ds.name, variant.label);
+                        t.row(&[
+                            ds.name.into(),
+                            variant.label.clone(),
+                            algo.name().into(),
+                            "-".into(),
+                            "-".into(),
+                            "-".into(),
+                            e.class.to_string(),
+                        ]);
+                        rows.push(Row {
+                            dataset: ds.name.into(),
+                            variant: variant.label.clone(),
+                            algorithm: algo.name().into(),
+                            accuracy: 0.0,
+                            mnc: 0.0,
+                            s3: 0.0,
+                            seconds: elapsed,
+                            skipped: false,
+                            error_class: Some(e.class.as_str().into()),
+                        });
                     }
                 }
             }

@@ -16,9 +16,10 @@ struct Row {
     n: usize,
     seconds: f64,
     skipped: bool,
+    error_class: Option<String>,
 }
 
-graphalign_json::impl_to_json!(Row { algorithm, n, seconds, skipped });
+graphalign_json::impl_to_json!(Row { algorithm, n, seconds, skipped, error_class });
 
 pub(crate) fn node_grid(quick: bool) -> Vec<usize> {
     if quick {
@@ -43,26 +44,54 @@ fn main() {
             }
             if !algo.feasible(n, base.avg_degree(), cfg.quick) {
                 t.row(&[algo.name().into(), n.to_string(), "skip (>budget)".into()]);
-                rows.push(Row { algorithm: algo.name().into(), n, seconds: 0.0, skipped: true });
+                rows.push(Row {
+                    algorithm: algo.name().into(),
+                    n,
+                    seconds: 0.0,
+                    skipped: true,
+                    error_class: Some("infeasible".into()),
+                });
                 continue;
             }
+            // One budget per (algorithm, n) cell for `--cell-timeout`.
+            let _budget = graphalign_par::budget::install(
+                cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
+            );
             let mut total = 0.0;
-            let mut ok = true;
+            let mut failure = None;
             for r in 0..reps {
                 let inst = AlignmentInstance::permuted(base.clone(), cfg.seed + r as u64);
                 match run_instance_split(algo, true, &inst, AssignmentMethod::NearestNeighbor) {
                     Ok((_, s)) => total += s,
                     Err(e) => {
                         eprintln!("warning: {} at n={n}: {e}", algo.name());
-                        ok = false;
+                        failure = Some(e);
                         break;
                     }
                 }
             }
-            if ok {
-                let avg = total / reps as f64;
-                t.row(&[algo.name().into(), n.to_string(), secs(avg)]);
-                rows.push(Row { algorithm: algo.name().into(), n, seconds: avg, skipped: false });
+            match failure {
+                None => {
+                    let avg = total / reps as f64;
+                    t.row(&[algo.name().into(), n.to_string(), secs(avg)]);
+                    rows.push(Row {
+                        algorithm: algo.name().into(),
+                        n,
+                        seconds: avg,
+                        skipped: false,
+                        error_class: None,
+                    });
+                }
+                Some(e) => {
+                    t.row(&[algo.name().into(), n.to_string(), e.class.to_string()]);
+                    rows.push(Row {
+                        algorithm: algo.name().into(),
+                        n,
+                        seconds: 0.0,
+                        skipped: false,
+                        error_class: Some(e.class.as_str().into()),
+                    });
+                }
             }
         }
     }

@@ -16,9 +16,10 @@ struct Row {
     avg_degree: usize,
     seconds: f64,
     skipped: bool,
+    error_class: Option<String>,
 }
 
-graphalign_json::impl_to_json!(Row { algorithm, n, avg_degree, seconds, skipped });
+graphalign_json::impl_to_json!(Row { algorithm, n, avg_degree, seconds, skipped, error_class });
 
 fn grids(quick: bool) -> (usize, Vec<usize>) {
     if quick {
@@ -50,32 +51,51 @@ fn main() {
                     avg_degree: deg,
                     seconds: 0.0,
                     skipped: true,
+                    error_class: Some("infeasible".into()),
                 });
                 continue;
             }
+            // One budget per (algorithm, degree) cell for `--cell-timeout`.
+            let _budget = graphalign_par::budget::install(
+                cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
+            );
             let mut total = 0.0;
-            let mut ok = true;
+            let mut failure = None;
             for r in 0..reps {
                 let inst = AlignmentInstance::permuted(base.clone(), cfg.seed + r as u64);
                 match run_instance_split(algo, true, &inst, AssignmentMethod::NearestNeighbor) {
                     Ok((_, s)) => total += s,
                     Err(e) => {
                         eprintln!("warning: {} at deg={deg}: {e}", algo.name());
-                        ok = false;
+                        failure = Some(e);
                         break;
                     }
                 }
             }
-            if ok {
-                let avg = total / reps as f64;
-                t.row(&[algo.name().into(), deg.to_string(), secs(avg)]);
-                rows.push(Row {
-                    algorithm: algo.name().into(),
-                    n,
-                    avg_degree: deg,
-                    seconds: avg,
-                    skipped: false,
-                });
+            match failure {
+                None => {
+                    let avg = total / reps as f64;
+                    t.row(&[algo.name().into(), deg.to_string(), secs(avg)]);
+                    rows.push(Row {
+                        algorithm: algo.name().into(),
+                        n,
+                        avg_degree: deg,
+                        seconds: avg,
+                        skipped: false,
+                        error_class: None,
+                    });
+                }
+                Some(e) => {
+                    t.row(&[algo.name().into(), deg.to_string(), e.class.to_string()]);
+                    rows.push(Row {
+                        algorithm: algo.name().into(),
+                        n,
+                        avg_degree: deg,
+                        seconds: 0.0,
+                        skipped: false,
+                        error_class: Some(e.class.as_str().into()),
+                    });
+                }
             }
         }
     }

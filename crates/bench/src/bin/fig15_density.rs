@@ -20,6 +20,8 @@ struct Row {
     wall_clock: f64,
     threads: usize,
     skipped: bool,
+    reps_ok: usize,
+    error_class: Option<String>,
 }
 
 graphalign_json::impl_to_json!(Row {
@@ -30,7 +32,9 @@ graphalign_json::impl_to_json!(Row {
     accuracy,
     wall_clock,
     threads,
-    skipped
+    skipped,
+    reps_ok,
+    error_class
 });
 
 fn main() {
@@ -38,7 +42,7 @@ fn main() {
     let n = if cfg.quick { 300 } else { 2000 };
     banner("Figure 15 (density)", &cfg, &format!("Newman-Watts, n = {n}, 1% one-way noise"));
     let noise = NoiseConfig::new(NoiseModel::OneWay, 0.01);
-    let reps = cfg.reps(5);
+    let policy = cfg.policy(5);
     let mut t = Table::new(&["sweep", "p", "k", "algorithm", "accuracy"]);
     let mut rows = Vec::new();
     // (a) Sweep the rewiring probability at fixed k.
@@ -48,22 +52,14 @@ fn main() {
     for &p in &ps {
         let base = graphalign_gen::newman_watts(n, k_fixed, p, cfg.seed ^ (p * 100.0) as u64);
         for algo in Algo::ALL {
-            let cell = run_cell(
-                algo,
-                &base,
-                true,
-                &noise,
-                AssignmentMethod::JonkerVolgenant,
-                reps,
-                cfg.seed,
-                cfg.quick,
-            );
+            let cell =
+                run_cell(algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, &policy);
             t.row(&[
                 "vary p".into(),
                 format!("{p:.2}"),
                 k_fixed.to_string(),
                 cell.algorithm.clone(),
-                if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+                if cell.skipped || cell.reps_ok == 0 { "-".into() } else { pct(cell.accuracy) },
             ]);
             rows.push(Row {
                 sweep: "vary_p".into(),
@@ -74,6 +70,8 @@ fn main() {
                 wall_clock: cell.wall_clock,
                 threads: cell.threads,
                 skipped: cell.skipped,
+                reps_ok: cell.reps_ok,
+                error_class: cell.error_class,
             });
         }
     }
@@ -86,22 +84,14 @@ fn main() {
         }
         let base = graphalign_gen::newman_watts(n, k, 0.5, cfg.seed ^ k as u64);
         for algo in Algo::ALL {
-            let cell = run_cell(
-                algo,
-                &base,
-                true,
-                &noise,
-                AssignmentMethod::JonkerVolgenant,
-                reps,
-                cfg.seed,
-                cfg.quick,
-            );
+            let cell =
+                run_cell(algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, &policy);
             t.row(&[
                 "vary k".into(),
                 "0.50".into(),
                 k.to_string(),
                 cell.algorithm.clone(),
-                if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+                if cell.skipped || cell.reps_ok == 0 { "-".into() } else { pct(cell.accuracy) },
             ]);
             rows.push(Row {
                 sweep: "vary_k".into(),
@@ -112,6 +102,8 @@ fn main() {
                 wall_clock: cell.wall_clock,
                 threads: cell.threads,
                 skipped: cell.skipped,
+                reps_ok: cell.reps_ok,
+                error_class: cell.error_class,
             });
         }
     }
@@ -122,7 +114,7 @@ fn main() {
     ] {
         let chart_rows: Vec<(String, f64, f64)> = rows
             .iter()
-            .filter(|r| r.sweep == sweep && !r.skipped)
+            .filter(|r| r.sweep == sweep && !r.skipped && r.reps_ok > 0)
             .map(|r| (r.algorithm.clone(), x_of(r), r.accuracy))
             .collect();
         if chart_rows.is_empty() {

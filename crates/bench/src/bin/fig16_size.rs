@@ -21,6 +21,8 @@ struct Row {
     wall_clock: f64,
     threads: usize,
     skipped: bool,
+    reps_ok: usize,
+    error_class: Option<String>,
 }
 
 graphalign_json::impl_to_json!(Row {
@@ -31,14 +33,16 @@ graphalign_json::impl_to_json!(Row {
     accuracy,
     wall_clock,
     threads,
-    skipped
+    skipped,
+    reps_ok,
+    error_class
 });
 
 fn main() {
     let cfg = Config::from_args();
     banner("Figure 16 (size)", &cfg, "Newman-Watts, p = 0.5, 1% one-way noise");
     let noise = NoiseConfig::new(NoiseModel::OneWay, 0.01);
-    let reps = cfg.reps(5);
+    let policy = cfg.policy(5);
     let sizes: Vec<usize> =
         if cfg.quick { vec![100, 200, 400] } else { vec![500, 1000, 2000, 4000] };
     let mut t = Table::new(&["sweep", "n", "k", "algorithm", "accuracy"]);
@@ -51,22 +55,14 @@ fn main() {
             let k = k_of_n(n).min(n - 1);
             let base = graphalign_gen::newman_watts(n, k, 0.5, cfg.seed ^ (n * 31 + k) as u64);
             for algo in Algo::ALL {
-                let cell = run_cell(
-                    algo,
-                    &base,
-                    true,
-                    &noise,
-                    AssignmentMethod::JonkerVolgenant,
-                    reps,
-                    cfg.seed,
-                    cfg.quick,
-                );
+                let cell =
+                    run_cell(algo, &base, true, &noise, AssignmentMethod::JonkerVolgenant, &policy);
                 t.row(&[
                     sweep.into(),
                     n.to_string(),
                     k.to_string(),
                     cell.algorithm.clone(),
-                    if cell.skipped { "-".into() } else { pct(cell.accuracy) },
+                    if cell.skipped || cell.reps_ok == 0 { "-".into() } else { pct(cell.accuracy) },
                 ]);
                 rows.push(Row {
                     sweep: sweep.into(),
@@ -77,6 +73,8 @@ fn main() {
                     wall_clock: cell.wall_clock,
                     threads: cell.threads,
                     skipped: cell.skipped,
+                    reps_ok: cell.reps_ok,
+                    error_class: cell.error_class,
                 });
             }
         }
@@ -85,7 +83,7 @@ fn main() {
     for sweep in ["fixed degree (k=10)", "fixed density (k=n/10)"] {
         let chart_rows: Vec<(String, f64, f64)> = rows
             .iter()
-            .filter(|r| r.sweep == sweep && !r.skipped)
+            .filter(|r| r.sweep == sweep && !r.skipped && r.reps_ok > 0)
             .map(|r| (r.algorithm.clone(), r.n as f64, r.accuracy))
             .collect();
         if chart_rows.is_empty() {

@@ -21,6 +21,7 @@ struct Row {
     wall_clock: f64,
     threads: usize,
     skipped: bool,
+    error_class: Option<String>,
 }
 
 graphalign_json::impl_to_json!(Row {
@@ -33,6 +34,7 @@ graphalign_json::impl_to_json!(Row {
     wall_clock,
     threads,
     skipped,
+    error_class,
 });
 
 fn main() {
@@ -56,7 +58,7 @@ fn main() {
         AssignmentMethod::Auction,
     ];
     let levels = low_noise_levels(cfg.quick);
-    let reps = cfg.reps(10);
+    let policy = cfg.policy(10);
     let mut t = Table::new(&["workload", "algorithm", "assign", "level", "accuracy", "time"]);
     let mut rows = Vec::new();
     for (label, graph) in &workloads {
@@ -65,15 +67,22 @@ fn main() {
                 for &level in &levels {
                     let noise =
                         NoiseConfig { model: NoiseModel::OneWay, level, keep_connected: true };
-                    let cell =
-                        run_cell(algo, graph, true, &noise, method, reps, cfg.seed, cfg.quick);
+                    let cell = run_cell(algo, graph, true, &noise, method, &policy);
+                    let no_data = cell.skipped || cell.reps_ok == 0;
+                    let status = if cell.skipped {
+                        "skip".to_string()
+                    } else if let Some(class) = &cell.error_class {
+                        class.clone()
+                    } else {
+                        secs(cell.seconds)
+                    };
                     t.row(&[
                         label.clone(),
                         cell.algorithm.clone(),
                         cell.assignment.clone(),
                         format!("{level:.2}"),
-                        if cell.skipped { "-".into() } else { pct(cell.accuracy) },
-                        if cell.skipped { "skip".into() } else { secs(cell.seconds) },
+                        if no_data { "-".into() } else { pct(cell.accuracy) },
+                        status,
                     ]);
                     rows.push(Row {
                         workload: label.clone(),
@@ -85,6 +94,7 @@ fn main() {
                         wall_clock: cell.wall_clock,
                         threads: cell.threads,
                         skipped: cell.skipped,
+                        error_class: cell.error_class,
                     });
                 }
             }

@@ -2,9 +2,7 @@
 //! graphs under One-Way, Multi-Modal and Two-Way noise up to 5 %
 //! (paper §6.3; n = 1133, 10 repetitions at full scale).
 
-use graphalign_bench::figures::{
-    banner, low_noise_levels, model_graph, print_sweep, quality_sweep,
-};
+use graphalign_bench::figures::{banner, low_noise_levels, model_graph, print_sweep, SweepSession};
 use graphalign_bench::Config;
 use graphalign_noise::NoiseModel;
 
@@ -12,8 +10,8 @@ fn main() {
     let cfg = Config::from_args();
     let (label, graph, dense) = model_graph("PL", &cfg);
     banner("Figure 6 (PL synthetic graphs)", &cfg, &label);
-    let rows = quality_sweep(
-        &cfg,
+    let mut session = SweepSession::new(&cfg);
+    let rows = session.quality_sweep(
         &label,
         &graph,
         dense,

@@ -2,7 +2,7 @@
 //! CA-AstroPh datasets with One-Way / Multi-Modal / Two-Way noise up to
 //! 5 % (paper §6.4.1).
 
-use graphalign_bench::figures::{banner, low_noise_levels, print_sweep, quality_sweep};
+use graphalign_bench::figures::{banner, low_noise_levels, print_sweep, SweepSession};
 use graphalign_bench::Config;
 use graphalign_datasets::DatasetId;
 use graphalign_noise::NoiseModel;
@@ -37,10 +37,12 @@ fn main() {
             ("CA-AstroPh".into(), graphalign_datasets::load(DatasetId::CaAstroPh), true),
         ]
     };
+    // One session across all three datasets: the journal (and `--resume`)
+    // covers the whole run, not just the last workload.
+    let mut session = SweepSession::new(&cfg);
     let mut all_rows = Vec::new();
     for (label, graph, dense) in &workloads {
-        let rows = quality_sweep(
-            &cfg,
+        let rows = session.quality_sweep(
             label,
             graph,
             *dense,

@@ -1,7 +1,7 @@
 //! Regenerates **Figure 8**: accuracy on ten network-repository datasets
 //! with One-Way noise up to 25 %, averaged over 5 runs (paper §6.4.2).
 
-use graphalign_bench::figures::{banner, high_noise_levels, print_sweep, quality_sweep};
+use graphalign_bench::figures::{banner, high_noise_levels, print_sweep, SweepSession};
 use graphalign_bench::Config;
 use graphalign_datasets::{load, spec, DatasetId, NetworkKind, FIGURE8};
 use graphalign_noise::NoiseModel;
@@ -15,6 +15,8 @@ fn main() {
     } else {
         FIGURE8.to_vec()
     };
+    // One session across all datasets so `--resume` covers the whole run.
+    let mut session = SweepSession::new(&cfg);
     let mut all_rows = Vec::new();
     for id in ids {
         let s = spec(id);
@@ -22,8 +24,7 @@ fn main() {
         // The paper tunes S-GWL's beta by density: dense fb-* datasets use
         // 0.1, sparse infrastructure/collaboration ones 0.025.
         let dense = !matches!(s.kind, NetworkKind::Infrastructure | NetworkKind::Collaboration);
-        let rows = quality_sweep(
-            &cfg,
+        let rows = session.quality_sweep(
             s.name,
             &graph,
             dense,

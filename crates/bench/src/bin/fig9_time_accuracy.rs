@@ -19,6 +19,8 @@ struct Row {
     wall_clock: f64,
     threads: usize,
     skipped: bool,
+    reps_ok: usize,
+    error_class: Option<String>,
 }
 
 graphalign_json::impl_to_json!(Row {
@@ -28,7 +30,9 @@ graphalign_json::impl_to_json!(Row {
     seconds,
     wall_clock,
     threads,
-    skipped
+    skipped,
+    reps_ok,
+    error_class
 });
 
 fn main() {
@@ -36,7 +40,7 @@ fn main() {
     banner("Figure 9 (time vs accuracy, NetScience)", &cfg, "");
     let graph = load(DatasetId::CaNetscience);
     let levels = high_noise_levels(cfg.quick);
-    let reps = cfg.reps(5);
+    let policy = cfg.policy(5);
     let mut t = Table::new(&["algorithm", "level", "accuracy", "time"]);
     let mut rows = Vec::new();
     for algo in Algo::ALL {
@@ -48,15 +52,21 @@ fn main() {
                 false, // NetScience is sparse: S-GWL beta = 0.025
                 &noise,
                 AssignmentMethod::JonkerVolgenant,
-                reps,
-                cfg.seed,
-                cfg.quick,
+                &policy,
             );
+            let no_data = cell.skipped || cell.reps_ok == 0;
+            let status = if cell.skipped {
+                "skip".to_string()
+            } else if let Some(class) = &cell.error_class {
+                class.clone()
+            } else {
+                secs(cell.seconds)
+            };
             t.row(&[
                 cell.algorithm.clone(),
                 format!("{level:.2}"),
-                if cell.skipped { "-".into() } else { pct(cell.accuracy) },
-                if cell.skipped { "skip".into() } else { secs(cell.seconds) },
+                if no_data { "-".into() } else { pct(cell.accuracy) },
+                status,
             ]);
             rows.push(Row {
                 algorithm: cell.algorithm,
@@ -66,6 +76,8 @@ fn main() {
                 wall_clock: cell.wall_clock,
                 threads: cell.threads,
                 skipped: cell.skipped,
+                reps_ok: cell.reps_ok,
+                error_class: cell.error_class,
             });
         }
     }
@@ -74,7 +86,7 @@ fn main() {
     // algorithm; noise level decreases along each series as in the paper.
     let chart_rows: Vec<(String, f64, f64)> = rows
         .iter()
-        .filter(|r| !r.skipped)
+        .filter(|r| !r.skipped && r.reps_ok > 0)
         .map(|r| (r.algorithm.clone(), r.seconds, r.accuracy))
         .collect();
     let series = graphalign_bench::plot::series_from_rows(&chart_rows);

@@ -3,7 +3,7 @@
 //! `n > 2¹⁴` and `Δ > 10³` (from the suite's Table 3 caps, which the
 //! scalability binaries validate empirically).
 
-use graphalign_bench::figures::{model_graph, quality_sweep};
+use graphalign_bench::figures::{model_graph, SweepSession};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::Table;
 use graphalign_bench::Config;
@@ -19,12 +19,15 @@ fn main() {
     // Rank algorithms per model by mean accuracy over the one-way noise grid.
     let models = ["ER", "BA", "WS", "NW", "PL"];
     let levels = if cfg.quick { vec![0.01, 0.03] } else { vec![0.01, 0.02, 0.03, 0.04, 0.05] };
+    // One session across all five models so `--resume` covers the full grid.
+    let mut session = SweepSession::new(&cfg);
+    let mut all_rows = Vec::new();
     let mut winners: HashMap<&str, Vec<(String, f64)>> = HashMap::new();
     for model in models {
         let (label, graph, dense) = model_graph(model, &cfg);
-        let rows = quality_sweep(&cfg, &label, &graph, dense, &[NoiseModel::OneWay], &levels, 3);
+        let rows = session.quality_sweep(&label, &graph, dense, &[NoiseModel::OneWay], &levels, 3);
         let mut means: HashMap<String, (f64, usize)> = HashMap::new();
-        for r in rows.iter().filter(|r| !r.cell.skipped) {
+        for r in rows.iter().filter(|r| !r.cell.skipped && r.cell.reps_ok > 0) {
             let e = means.entry(r.cell.algorithm.clone()).or_insert((0.0, 0));
             e.0 += r.cell.accuracy;
             e.1 += 1;
@@ -33,6 +36,7 @@ fn main() {
             means.into_iter().map(|(a, (s, c))| (a, s / c.max(1) as f64)).collect();
         ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite accuracy"));
         winners.insert(model, ranked);
+        all_rows.extend(rows);
     }
     let mut t = Table::new(&[
         "Algorithm",
@@ -73,4 +77,5 @@ fn main() {
         ]);
     }
     t.print();
+    cfg.write_json(&all_rows);
 }

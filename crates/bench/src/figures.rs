@@ -7,6 +7,7 @@
 //! declares its workload.
 
 use crate::harness::{run_cell, CellResult};
+use crate::journal::{CellKey, Journal};
 use crate::suite::Algo;
 use crate::table::{pct, secs, Table};
 use crate::Config;
@@ -45,6 +46,19 @@ impl ToJson for SweepRow {
     }
 }
 
+impl SweepRow {
+    /// Parses a row back from its flat JSON object form (journal lines and
+    /// `--out` files share this schema). `None` on missing/mistyped fields.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            workload: v.get("workload")?.as_str()?.to_string(),
+            noise: v.get("noise")?.as_str()?.to_string(),
+            level: v.get("level")?.as_f64()?,
+            cell: CellResult::from_json(v)?,
+        })
+    }
+}
+
 /// The noise levels of the low-noise figures (`{0, 0.01, …, 0.05}`;
 /// quick mode thins the grid).
 pub fn low_noise_levels(quick: bool) -> Vec<f64> {
@@ -64,8 +78,118 @@ pub fn high_noise_levels(quick: bool) -> Vec<f64> {
     }
 }
 
-/// Runs the Figures 2–7 protocol: every algorithm × every noise model ×
-/// every level on one base graph, JV assignment, averaged over `reps`.
+/// A sweep driver bound to one run's configuration, journaling each
+/// completed cell when `--out` is given and replaying completed cells when
+/// `--resume` is.
+///
+/// Figure binaries that sweep several workloads against one output file
+/// (Figures 7–8) share a single session across datasets, so the journal
+/// covers the whole run.
+pub struct SweepSession {
+    cfg: Config,
+    journal: Option<Journal>,
+    replayed: usize,
+}
+
+impl SweepSession {
+    /// Opens the session: fresh journal for a normal run with `--out`,
+    /// loaded journal for `--resume`, no journal without `--out`. Journal
+    /// I/O failures are fatal (exit 1) — a checkpoint that silently doesn't
+    /// checkpoint is worse than none.
+    pub fn new(cfg: &Config) -> Self {
+        let journal = cfg.out.as_ref().map(|out| {
+            let opened = if cfg.resume {
+                Journal::resume(out, cfg.seed)
+            } else {
+                Journal::fresh(out, cfg.seed)
+            };
+            opened.unwrap_or_else(|e| {
+                eprintln!(
+                    "error: could not open journal {}: {e}",
+                    Journal::path_for(out).display()
+                );
+                std::process::exit(1);
+            })
+        });
+        if let Some(j) = &journal {
+            if cfg.resume && !j.is_empty() {
+                println!(
+                    "resuming: {} completed cells journaled in {}",
+                    j.len(),
+                    j.path().display()
+                );
+            }
+        }
+        Self { cfg: cfg.clone(), journal, replayed: 0 }
+    }
+
+    /// A session that never journals, regardless of `--out` (used by tests
+    /// and the thin [`quality_sweep`] wrapper).
+    pub fn without_journal(cfg: &Config) -> Self {
+        Self { cfg: cfg.clone(), journal: None, replayed: 0 }
+    }
+
+    /// Cells replayed from the journal instead of executed.
+    pub fn replayed(&self) -> usize {
+        self.replayed
+    }
+
+    /// Runs the Figures 2–7 protocol: every algorithm × every noise model ×
+    /// every level on one base graph, JV assignment, averaged over
+    /// `reps` — journaling/replaying each cell through this session.
+    pub fn quality_sweep(
+        &mut self,
+        workload: &str,
+        base: &Graph,
+        dense_dataset: bool,
+        noise_models: &[NoiseModel],
+        levels: &[f64],
+        paper_reps: usize,
+    ) -> Vec<SweepRow> {
+        let policy = self.cfg.policy(paper_reps);
+        let method = AssignmentMethod::JonkerVolgenant;
+        let mut rows = Vec::new();
+        for algo in Algo::ALL {
+            for &model in noise_models {
+                for &level in levels {
+                    let key = CellKey::new(
+                        workload,
+                        algo.name(),
+                        method.label(),
+                        model.label(),
+                        level,
+                        self.cfg.seed,
+                        policy.reps,
+                    );
+                    if let Some(done) = self.journal.as_ref().and_then(|j| j.lookup(&key)) {
+                        rows.push(done.clone());
+                        self.replayed += 1;
+                        continue;
+                    }
+                    let noise = NoiseConfig::new(model, level);
+                    let cell = run_cell(algo, base, dense_dataset, &noise, method, &policy);
+                    let row = SweepRow {
+                        workload: workload.into(),
+                        noise: model.label().into(),
+                        level,
+                        cell,
+                    };
+                    if let Some(j) = self.journal.as_mut() {
+                        if let Err(e) = j.record(key, &row) {
+                            eprintln!("error: could not append to {}: {e}", j.path().display());
+                            std::process::exit(1);
+                        }
+                    }
+                    rows.push(row);
+                }
+            }
+        }
+        rows
+    }
+}
+
+/// [`SweepSession::quality_sweep`] without journaling — the historical
+/// entry point, kept for tests and callers that manage output themselves.
 pub fn quality_sweep(
     cfg: &Config,
     workload: &str,
@@ -75,32 +199,14 @@ pub fn quality_sweep(
     levels: &[f64],
     paper_reps: usize,
 ) -> Vec<SweepRow> {
-    let reps = cfg.reps(paper_reps);
-    let mut rows = Vec::new();
-    for algo in Algo::ALL {
-        for &model in noise_models {
-            for &level in levels {
-                let noise = NoiseConfig::new(model, level);
-                let cell = run_cell(
-                    algo,
-                    base,
-                    dense_dataset,
-                    &noise,
-                    AssignmentMethod::JonkerVolgenant,
-                    reps,
-                    cfg.seed,
-                    cfg.quick,
-                );
-                rows.push(SweepRow {
-                    workload: workload.into(),
-                    noise: model.label().into(),
-                    level,
-                    cell,
-                });
-            }
-        }
-    }
-    rows
+    SweepSession::without_journal(cfg).quality_sweep(
+        workload,
+        base,
+        dense_dataset,
+        noise_models,
+        levels,
+        paper_reps,
+    )
 }
 
 /// Renders sweep rows as the standard figure table (accuracy, S³, MNC —
@@ -108,10 +214,32 @@ pub fn quality_sweep(
 /// ASCII chart per noise model (the figure's visual shape).
 pub fn print_sweep(title: &str, rows: &[SweepRow]) {
     println!("{title}");
-    let mut t =
-        Table::new(&["workload", "algorithm", "noise", "level", "accuracy", "S3", "MNC", "time"]);
+    let mut t = Table::new(&[
+        "workload",
+        "algorithm",
+        "noise",
+        "level",
+        "accuracy",
+        "S3",
+        "MNC",
+        "time",
+        "status",
+    ]);
     for r in rows {
-        if r.cell.skipped {
+        let no_measures = r.cell.skipped || r.cell.reps_ok == 0;
+        let status = if r.cell.skipped {
+            "skip".to_string()
+        } else if let Some(class) = &r.cell.error_class {
+            if r.cell.reps_ok > 0 {
+                // Partial cell: averages over the reps that succeeded.
+                format!("{class} ({}/{} ok)", r.cell.reps_ok, r.cell.reps)
+            } else {
+                class.clone()
+            }
+        } else {
+            "ok".to_string()
+        };
+        if no_measures {
             t.row(&[
                 r.workload.clone(),
                 r.cell.algorithm.clone(),
@@ -120,7 +248,8 @@ pub fn print_sweep(title: &str, rows: &[SweepRow]) {
                 "-".into(),
                 "-".into(),
                 "-".into(),
-                "skip".into(),
+                "-".into(),
+                status,
             ]);
         } else {
             t.row(&[
@@ -132,6 +261,7 @@ pub fn print_sweep(title: &str, rows: &[SweepRow]) {
                 pct(r.cell.s3),
                 pct(r.cell.mnc),
                 secs(r.cell.seconds),
+                status,
             ]);
         }
     }
@@ -146,7 +276,9 @@ pub fn print_sweep(title: &str, rows: &[SweepRow]) {
         seen.push(key.clone());
         let chart_rows: Vec<(String, f64, f64)> = rows
             .iter()
-            .filter(|x| x.workload == key.0 && x.noise == key.1 && !x.cell.skipped)
+            .filter(|x| {
+                x.workload == key.0 && x.noise == key.1 && !x.cell.skipped && x.cell.reps_ok > 0
+            })
             .map(|x| (x.cell.algorithm.clone(), x.level, x.cell.accuracy))
             .collect();
         if chart_rows.is_empty() {

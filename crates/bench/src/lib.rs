@@ -19,14 +19,17 @@
 //! loop ([`harness`]), memory accounting ([`memprobe`]), and plain-text
 //! table rendering ([`table`]).
 
+pub mod fault;
 pub mod figures;
 pub mod harness;
+pub mod journal;
 pub mod memprobe;
 pub mod plot;
 pub mod suite;
 pub mod table;
 
 use std::path::PathBuf;
+use std::time::Duration;
 
 /// Shared command-line configuration of the experiment binaries.
 #[derive(Debug, Clone)]
@@ -39,11 +42,27 @@ pub struct Config {
     pub out: Option<PathBuf>,
     /// `--threads` override; `None` defers to the environment/core count.
     pub threads: Option<usize>,
+    /// `--cell-timeout <secs>`: cooperative deadline per experiment cell.
+    pub cell_timeout: Option<f64>,
+    /// `--retries <n>`: reseeded retries per repetition after a numerical
+    /// failure.
+    pub retries: usize,
+    /// `--resume`: replay completed cells from the `<out>.journal` file and
+    /// run only the remainder.
+    pub resume: bool,
 }
 
 impl Default for Config {
     fn default() -> Self {
-        Self { quick: true, seed: 2023, out: None, threads: None }
+        Self {
+            quick: true,
+            seed: 2023,
+            out: None,
+            threads: None,
+            cell_timeout: None,
+            retries: 0,
+            resume: false,
+        }
     }
 }
 
@@ -75,9 +94,27 @@ impl Config {
                     }
                     cfg.threads = Some(n);
                 }
+                "--cell-timeout" => {
+                    let v = args.next().unwrap_or_else(|| usage("--cell-timeout needs a value"));
+                    let secs: f64 =
+                        v.parse().unwrap_or_else(|_| usage("--cell-timeout needs seconds (f64)"));
+                    if !secs.is_finite() || secs <= 0.0 {
+                        usage("--cell-timeout needs a positive number of seconds");
+                    }
+                    cfg.cell_timeout = Some(secs);
+                }
+                "--retries" => {
+                    let v = args.next().unwrap_or_else(|| usage("--retries needs a value"));
+                    cfg.retries =
+                        v.parse().unwrap_or_else(|_| usage("--retries needs a non-negative count"));
+                }
+                "--resume" => cfg.resume = true,
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
+        }
+        if cfg.resume && cfg.out.is_none() {
+            usage("--resume requires --out (the journal lives next to the output file)");
         }
         if let Some(n) = cfg.threads {
             graphalign_par::set_max_threads(n);
@@ -95,13 +132,26 @@ impl Config {
         }
     }
 
-    /// Writes rows as JSON if `--out` was given.
+    /// The [`harness::RunPolicy`] for a cell with `paper_reps` paper-scale
+    /// repetitions: quick-mode clamping plus this run's timeout/retry knobs.
+    pub fn policy(&self, paper_reps: usize) -> harness::RunPolicy {
+        harness::RunPolicy {
+            cell_timeout: self.cell_timeout.map(Duration::from_secs_f64),
+            retries: self.retries,
+            ..harness::RunPolicy::new(self.reps(paper_reps), self.seed, self.quick)
+        }
+    }
+
+    /// Writes rows as JSON if `--out` was given. A write failure is fatal
+    /// (exit code 1): silently losing hours of sweep output to a bad path or
+    /// a full disk is exactly what this harness exists to prevent.
     pub fn write_json<T: graphalign_json::ToJson>(&self, rows: &[T]) {
         if let Some(path) = &self.out {
             let json = graphalign_json::to_string_pretty(rows);
-            std::fs::write(path, json).unwrap_or_else(|e| {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            });
+            if let Err(e) = std::fs::write(path, json) {
+                eprintln!("error: could not write {}: {e}", path.display());
+                std::process::exit(1);
+            }
         }
     }
 }
@@ -110,7 +160,10 @@ fn usage(msg: &str) -> ! {
     if !msg.is_empty() {
         eprintln!("error: {msg}");
     }
-    eprintln!("usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>] [--threads <n>]");
+    eprintln!(
+        "usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>] [--threads <n>]\n\
+         \x20           [--cell-timeout <secs>] [--retries <n>] [--resume]"
+    );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }
 

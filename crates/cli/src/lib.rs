@@ -95,9 +95,22 @@ pub fn cmd_align(args: &Args) -> Result<String, String> {
     let source = read_graph(args.require("source")?)?;
     let target = read_graph(args.require("target")?)?;
     let method = parse_assignment(args.get_or("assignment", "jv"))?;
-    let alignment = aligner
-        .align_with(&source, &target, method)
-        .map_err(|e| format!("alignment failed: {e}"))?;
+    let timeout: f64 = args.get_parse("timeout", 0.0)?;
+    if timeout < 0.0 || !timeout.is_finite() {
+        return Err("--timeout needs a non-negative number of seconds".into());
+    }
+    // A cooperative deadline: the iterative solvers poll it at iteration
+    // boundaries, so an oversized instance fails cleanly instead of hanging.
+    let _budget = (timeout > 0.0).then(|| {
+        graphalign_par::budget::install(Some(std::time::Duration::from_secs_f64(timeout)))
+    });
+    let alignment = aligner.align_with(&source, &target, method).map_err(|e| {
+        if e.is_interrupted() {
+            format!("alignment exceeded --timeout {timeout}s: {e}")
+        } else {
+            format!("alignment failed: {e}")
+        }
+    })?;
     let mut out = String::new();
     for (u, &v) in alignment.iter().enumerate() {
         out.push_str(&format!("{u} {v}\n"));
@@ -249,7 +262,7 @@ fn usage() -> String {
          \n\
          usage:\n\
          graphalign align    --algorithm <name> --source <a.txt> --target <b.txt>\n\
-         [--assignment nn|sg|hun|jv|mwm] [--out mapping.txt]\n\
+         [--assignment nn|sg|hun|jv|mwm] [--out mapping.txt] [--timeout <secs>]\n\
          graphalign generate --model er|ba|ws|nw|pl --n <nodes> --out <g.txt>\n\
          [--p <prob>] [--m <edges>] [--k <neighbors>] [--seed <u64>]\n\
          graphalign perturb  --input <g.txt> --out-target <t.txt> --out-truth <truth.txt>\n\
@@ -368,6 +381,42 @@ mod tests {
             .and_then(|v| v.trim().parse().ok())
             .unwrap();
         assert!((0.0..=1.0).contains(&acc));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn align_with_expired_timeout_fails_cleanly() {
+        let dir = std::env::temp_dir().join(format!("graphalign-cli-to-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let p = |name: &str| dir.join(name).to_string_lossy().to_string();
+        let sv = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<String>>();
+        run(&sv(&["generate", "--model", "ws", "--n", "60", "--k", "6", "--out", &p("g.txt")]))
+            .unwrap();
+        let err = run(&sv(&[
+            "align",
+            "--algorithm",
+            "IsoRank",
+            "--source",
+            &p("g.txt"),
+            "--target",
+            &p("g.txt"),
+            "--timeout",
+            "0.000001",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("--timeout"), "{err}");
+        assert!(run(&sv(&[
+            "align",
+            "--algorithm",
+            "IsoRank",
+            "--source",
+            &p("g.txt"),
+            "--target",
+            &p("g.txt"),
+            "--timeout",
+            "-1"
+        ]))
+        .is_err());
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -118,8 +118,9 @@ impl Gwl {
         };
         let params = SinkhornParams { epsilon: self.beta, max_iter: 100, tol: 1e-7 };
 
-        for _ in 0..self.epochs {
-            for _ in 0..self.outer_iters {
+        for epoch in 0..self.epochs {
+            for outer in 0..self.outer_iters {
+                crate::check_budget("gwl", epoch * self.outer_iters + outer)?;
                 // GW gradient cost: c − 2 C_A T C_Bᵀ, plus the embedding
                 // coupling α‖x_i − y_j‖².
                 let cat = ca.mul_dense(&t); // n_A × n_B
@@ -253,5 +254,13 @@ mod tests {
             g.align(&inst.source, &inst.target).unwrap(),
             g.align(&inst.source, &inst.target).unwrap()
         );
+    }
+
+    #[test]
+    fn expired_budget_interrupts() {
+        let inst = permuted_instance(3, 23);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = fast_gwl().transport(&inst.source, &inst.target).unwrap_err();
+        assert!(err.is_interrupted(), "got {err}");
     }
 }

@@ -80,7 +80,8 @@ impl Aligner for IsoRank {
         let pb: CsrMatrix = spectral::row_normalized_adjacency(target);
         let e = self.prior_matrix(source, target);
         let mut r = e.clone();
-        for _ in 0..self.max_iter {
+        for it in 0..self.max_iter {
+            crate::check_budget("isorank", it)?;
             // R_next = α · P_Aᵀ-side · R · P_B-side + (1 − α) E
             // pa is already A·D_A⁻¹; multiply left; then right by D_B⁻¹·B
             // via (pb ᵀ applied from the right) = (pb.mul from left on Rᵀ)ᵀ;
@@ -177,6 +178,14 @@ mod tests {
             without += accuracy(&a2, &inst.ground_truth);
         }
         assert!(with_prior >= without, "degree prior should help: {with_prior} vs {without}");
+    }
+
+    #[test]
+    fn expired_budget_interrupts() {
+        let inst = permuted_instance(5, 1);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = IsoRank::default().similarity(&inst.source, &inst.target).unwrap_err();
+        assert!(err.is_interrupted(), "got {err}");
     }
 
     #[test]

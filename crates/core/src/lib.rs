@@ -78,6 +78,22 @@ pub enum AlignError {
     BadInstance(String),
     /// A numerical subroutine failed.
     Numerical(LinalgError),
+    /// The algorithm was stopped cooperatively by the cell execution budget
+    /// ([`graphalign_par::budget`]). The harness records these as timeouts
+    /// rather than numerical failures.
+    Interrupted {
+        /// Name of the routine (or algorithm loop) that was interrupted.
+        routine: &'static str,
+        /// Outer iterations completed before the budget expired.
+        iterations: usize,
+    },
+}
+
+impl AlignError {
+    /// Whether this error reports a cooperative budget interruption.
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, AlignError::Interrupted { .. })
+    }
 }
 
 impl std::fmt::Display for AlignError {
@@ -85,6 +101,9 @@ impl std::fmt::Display for AlignError {
         match self {
             AlignError::BadInstance(msg) => write!(f, "bad alignment instance: {msg}"),
             AlignError::Numerical(e) => write!(f, "numerical failure: {e}"),
+            AlignError::Interrupted { routine, iterations } => {
+                write!(f, "{routine}: interrupted by cell budget after {iterations} iterations")
+            }
         }
     }
 }
@@ -93,7 +112,23 @@ impl std::error::Error for AlignError {}
 
 impl From<LinalgError> for AlignError {
     fn from(e: LinalgError) -> Self {
-        AlignError::Numerical(e)
+        match e {
+            LinalgError::Interrupted { routine, iterations } => {
+                AlignError::Interrupted { routine, iterations }
+            }
+            other => AlignError::Numerical(other),
+        }
+    }
+}
+
+/// Returns `Err(Interrupted)` when the current cell budget has expired; the
+/// algorithms call this once per outer iteration so a runaway cell winds
+/// down between iterations instead of being killed from outside.
+pub(crate) fn check_budget(routine: &'static str, iterations: usize) -> Result<(), AlignError> {
+    if graphalign_par::budget::exceeded() {
+        Err(AlignError::Interrupted { routine, iterations })
+    } else {
+        Ok(())
     }
 }
 
@@ -234,5 +269,11 @@ mod tests {
         assert!(e.to_string().contains("nope"));
         let e: AlignError = LinalgError::Singular { routine: "pinv" }.into();
         assert!(e.to_string().contains("pinv"));
+        assert!(!e.is_interrupted());
+        // Budget interruptions surfaced by linalg keep their identity when
+        // crossing into the alignment layer.
+        let e: AlignError = LinalgError::Interrupted { routine: "sinkhorn", iterations: 7 }.into();
+        assert!(e.is_interrupted());
+        assert!(e.to_string().contains("interrupted by cell budget after 7"));
     }
 }

@@ -209,7 +209,8 @@ impl Lrea {
             u: DenseMatrix::filled(n_a, 1, 1.0 / (n_a as f64).sqrt()),
             v: DenseMatrix::filled(n_b, 1, 1.0 / (n_b as f64).sqrt()),
         };
-        for _ in 0..self.iterations {
+        for it in 0..self.iterations {
+            crate::check_budget("lrea", it)?;
             x = self.compress(self.apply_operator(coefs, &a, &b, &x))?;
         }
         Ok((x.u, x.v))
@@ -305,6 +306,14 @@ mod tests {
                 assert!((direct - expanded).abs() < 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn expired_budget_interrupts() {
+        let inst = permuted_instance(3, 4);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = Lrea::default().similarity(&inst.source, &inst.target).unwrap_err();
+        assert!(err.is_interrupted(), "got {err}");
     }
 
     #[test]

@@ -96,10 +96,15 @@ impl NetAlign {
     }
 
     /// Runs the belief iteration and returns per-candidate beliefs.
-    fn beliefs(&self, candidates: &[Candidate]) -> Vec<f64> {
+    ///
+    /// # Errors
+    /// Returns [`AlignError::Interrupted`] when the cell execution budget
+    /// expires between message-passing rounds.
+    fn beliefs(&self, candidates: &[Candidate]) -> Result<Vec<f64>, AlignError> {
         let mut belief: Vec<f64> = candidates.iter().map(|c| c.weight).collect();
         let mut next = belief.clone();
-        for _ in 0..self.rounds {
+        for round in 0..self.rounds {
+            crate::check_budget("netalign", round)?;
             for (idx, c) in candidates.iter().enumerate() {
                 // Square bonus: each overlapped edge contributes up to β/2,
                 // gated by the partner pair's current belief (max-product
@@ -114,7 +119,7 @@ impl NetAlign {
             }
             std::mem::swap(&mut belief, &mut next);
         }
-        belief
+        Ok(belief)
     }
 }
 
@@ -130,7 +135,7 @@ impl Aligner for NetAlign {
     fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
         check_sizes(source, target)?;
         let candidates = self.candidates(source, target);
-        let beliefs = self.beliefs(&candidates);
+        let beliefs = self.beliefs(&candidates)?;
         let mut sim = DenseMatrix::zeros(source.node_count(), target.node_count());
         for (c, &b) in candidates.iter().zip(&beliefs) {
             sim.set(c.i, c.j, b);
@@ -149,7 +154,7 @@ impl Aligner for NetAlign {
         check_sizes(source, target)?;
         if method == AssignmentMethod::Auction {
             let candidates = self.candidates(source, target);
-            let beliefs = self.beliefs(&candidates);
+            let beliefs = self.beliefs(&candidates)?;
             let triplets: Vec<(usize, usize, f64)> =
                 candidates.iter().zip(&beliefs).map(|(c, &b)| (c.i, c.j, b.max(0.0))).collect();
             let sparse =
@@ -237,6 +242,14 @@ mod tests {
             assert!(c.j < inst.target.node_count());
             assert!((0.0..=1.0).contains(&c.weight));
         }
+    }
+
+    #[test]
+    fn expired_budget_interrupts() {
+        let inst = permuted_instance(4, 9);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = NetAlign::default().similarity(&inst.source, &inst.target).unwrap_err();
+        assert!(err.is_interrupted(), "got {err}");
     }
 
     #[test]

@@ -198,6 +198,9 @@ impl Sgwl {
         if src_nodes.is_empty() || tgt_nodes.is_empty() {
             return Ok(());
         }
+        // The leaf solvers poll the budget per Sinkhorn/GWL iteration; this
+        // check additionally stops the partitioning work between leaves.
+        crate::check_budget("sgwl", 0)?;
         let small = src_nodes.len().max(tgt_nodes.len()) <= self.leaf_size;
         if small {
             let sub_a = Self::induced(source, &src_nodes);

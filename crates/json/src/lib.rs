@@ -80,6 +80,47 @@ impl Json {
         out
     }
 
+    /// Serializes to a single line with no whitespace — the JSONL form the
+    /// checkpoint journal appends, one value per line. Numbers use the same
+    /// shortest-roundtrip formatting as the pretty printer, so a value
+    /// parsed back from its compact form is bit-identical.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => {
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    item.write_compact(out);
+                }
+                out.push(']');
+            }
+            Json::Obj(members) => {
+                out.push('{');
+                for (i, (k, v)) in members.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
+    }
+
     fn write_pretty(&self, out: &mut String, indent: usize) {
         match self {
             Json::Null => out.push_str("null"),
@@ -235,6 +276,11 @@ impl<T: ToJson> ToJson for &T {
 /// Pretty-prints any [`ToJson`] value.
 pub fn to_string_pretty<T: ToJson + ?Sized>(value: &T) -> String {
     value.to_json().to_string_pretty()
+}
+
+/// Single-line-prints any [`ToJson`] value (JSONL form).
+pub fn to_string_compact<T: ToJson + ?Sized>(value: &T) -> String {
+    value.to_json().to_string_compact()
 }
 
 /// Implements [`ToJson`] for a struct with the listed fields, emitting an
@@ -544,6 +590,34 @@ mod tests {
         assert_eq!(back.get("acc").and_then(Json::as_f64), Some(0.75));
         assert_eq!(back.get("skipped").and_then(Json::as_bool), Some(false));
         assert_eq!(back.get("err"), Some(&Json::Null));
+    }
+
+    #[test]
+    fn compact_is_one_line_and_round_trips() {
+        let doc = json!({
+            "algo": "IsoRank",
+            "acc": 0.123456789012345,
+            "msg": "line1\nline2 \"quoted\"",
+            "tags": json!([1, Json::Null, true]),
+        });
+        let line = doc.to_string_compact();
+        assert!(!line.contains('\n'), "compact output must be one line: {line}");
+        assert!(!line.contains(": "), "no space after ':' in compact form");
+        assert_eq!(from_str(&line).unwrap(), doc);
+    }
+
+    #[test]
+    fn compact_numbers_round_trip_bit_exactly() {
+        // f64 Display is shortest-roundtrip in Rust, so parse-back must
+        // reproduce the exact bits — the property journal resume relies on.
+        for bits in
+            [0x3FB999999999999Au64, 0x3FF0000000000001, 0x7FEFFFFFFFFFFFFF, 0x0000000000000001]
+        {
+            let v = f64::from_bits(bits);
+            let line = json!(v).to_string_compact();
+            let back = from_str(&line).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), bits, "value {v:e}");
+        }
     }
 
     #[test]

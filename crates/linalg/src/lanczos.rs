@@ -65,6 +65,8 @@ pub struct LanczosResult {
 ///
 /// # Errors
 /// * [`LinalgError::NotFinite`] if the operator produces non-finite values.
+/// * [`LinalgError::Interrupted`] when the cell execution budget expires
+///   between Krylov steps.
 /// * Propagates tridiagonal-solver failures.
 ///
 /// # Panics
@@ -93,6 +95,7 @@ pub fn lanczos(
     }
     let mut w = vec![0.0; n];
     for j in 0..m {
+        crate::check_budget("lanczos", j)?;
         basis.push(q.clone());
         op.apply(&q, &mut w);
         if !vec_ops::all_finite(&w) {
@@ -258,6 +261,14 @@ mod tests {
         // Vectors remain orthonormal.
         let gram = res.vectors.tr_matmul(&res.vectors);
         assert!(gram.sub(&DenseMatrix::identity(3)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn expired_budget_interrupts() {
+        let m = diag_csr(&[1.0, 2.0, 3.0]);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = lanczos(&m, 2, Which::Largest, 3, 0).unwrap_err();
+        assert!(err.is_interrupted(), "got {err:?}");
     }
 
     #[test]

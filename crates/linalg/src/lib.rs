@@ -68,6 +68,34 @@ pub enum LinalgError {
         /// Name of the routine that rejected the input.
         routine: &'static str,
     },
+    /// The routine was stopped cooperatively by the cell execution budget
+    /// ([`graphalign_par::budget`]): the deadline passed or the budget was
+    /// cancelled between iterations. Carries the number of iterations that
+    /// completed before the interruption.
+    Interrupted {
+        /// Name of the routine that was interrupted.
+        routine: &'static str,
+        /// Iterations completed before the budget expired.
+        iterations: usize,
+    },
+}
+
+impl LinalgError {
+    /// Whether this error reports a cooperative budget interruption (the
+    /// harness classifies these as timeouts, not numerical failures).
+    pub fn is_interrupted(&self) -> bool {
+        matches!(self, LinalgError::Interrupted { .. })
+    }
+}
+
+/// Returns `Err(Interrupted)` when the current cell budget has expired;
+/// the iterative solvers call this once per outer iteration.
+pub(crate) fn check_budget(routine: &'static str, iterations: usize) -> Result<(), LinalgError> {
+    if graphalign_par::budget::exceeded() {
+        Err(LinalgError::Interrupted { routine, iterations })
+    } else {
+        Ok(())
+    }
 }
 
 impl std::fmt::Display for LinalgError {
@@ -79,6 +107,9 @@ impl std::fmt::Display for LinalgError {
             LinalgError::Singular { routine } => write!(f, "{routine}: singular input"),
             LinalgError::NotFinite { routine } => {
                 write!(f, "{routine}: input contains NaN or infinite entries")
+            }
+            LinalgError::Interrupted { routine, iterations } => {
+                write!(f, "{routine}: interrupted by cell budget after {iterations} iterations")
             }
         }
     }
@@ -171,5 +202,9 @@ mod tests {
         assert_eq!(e.to_string(), "pinv: singular input");
         let e = LinalgError::NotFinite { routine: "svd" };
         assert!(e.to_string().contains("NaN"));
+        let e = LinalgError::Interrupted { routine: "sinkhorn", iterations: 42 };
+        assert_eq!(e.to_string(), "sinkhorn: interrupted by cell budget after 42 iterations");
+        assert!(e.is_interrupted());
+        assert!(!LinalgError::Singular { routine: "pinv" }.is_interrupted());
     }
 }

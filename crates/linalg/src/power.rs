@@ -31,7 +31,9 @@ pub struct PowerResult {
 ///
 /// # Errors
 /// Returns [`LinalgError::NotFinite`] if the iterate degenerates (all-zero or
-/// non-finite), which happens only when `op` annihilates the start vector.
+/// non-finite), which happens only when `op` annihilates the start vector,
+/// and [`LinalgError::Interrupted`] when the cell execution budget expires
+/// between iterations.
 ///
 /// # Panics
 /// Panics if `x0.len() != op.dim()`.
@@ -50,6 +52,7 @@ pub fn power_iteration(
     let mut y = vec![0.0; n];
     let mut iterations = 0;
     for it in 0..max_iter {
+        crate::check_budget("power_iteration", it)?;
         iterations = it + 1;
         op.apply(&x, &mut y);
         if !vec_ops::all_finite(&y) {
@@ -114,6 +117,14 @@ mod tests {
         let m = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
         let r = power_iteration(&m, &[1.0, 0.0], 1, 0.0).unwrap();
         assert_eq!(r.iterations, 1);
+    }
+
+    #[test]
+    fn expired_budget_interrupts() {
+        let m = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = power_iteration(&m, &[1.0, 0.0], 100, 1e-12).unwrap_err();
+        assert!(err.is_interrupted(), "got {err:?}");
     }
 
     #[test]

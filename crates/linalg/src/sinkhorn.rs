@@ -110,7 +110,9 @@ impl Default for SinkhornParams {
 /// Returns [`LinalgError::Singular`] when the Gibbs kernel has a row or
 /// column with positive marginal mass whose entries all underflowed (ε too
 /// small for the cost scale — the marginal is unsatisfiable and iteration
-/// would stall), and [`LinalgError::NotFinite`] if the scalings blow up.
+/// would stall), [`LinalgError::NotFinite`] if the scalings blow up, and
+/// [`LinalgError::Interrupted`] when the cell execution budget expires
+/// between scaling iterations.
 ///
 /// # Panics
 /// Panics on dimension mismatch.
@@ -134,7 +136,8 @@ pub fn sinkhorn(
 
     let mut u = vec![1.0; m];
     let mut v = vec![1.0; n];
-    for _ in 0..params.max_iter {
+    for it in 0..params.max_iter {
+        crate::check_budget("sinkhorn", it)?;
         // u ← μ ./ (K v)
         let kv = k.mul_vec(&v);
         scaling_update(mu, &kv, &mut u, "sinkhorn")?;
@@ -190,7 +193,8 @@ pub fn proximal_step(
     check_kernel_support(&k, mu, nu, "proximal_step")?;
     let mut u = vec![1.0; m];
     let mut v = vec![1.0; n];
-    for _ in 0..params.max_iter {
+    for it in 0..params.max_iter {
+        crate::check_budget("proximal_step", it)?;
         let kv = k.mul_vec(&v);
         scaling_update(mu, &kv, &mut u, "proximal_step")?;
         let ktu = k.tr_mul_vec(&u);
@@ -330,6 +334,22 @@ mod tests {
         let t = sinkhorn(&c, &mu, &nu, &params).unwrap();
         assert!(t.row(0).iter().all(|&x| x < 1e-12));
         check_marginals(&t, &mu, &nu, 1e-5);
+    }
+
+    #[test]
+    fn expired_budget_interrupts_both_solvers() {
+        let c = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let mu = uniform_marginal(2);
+        let nu = uniform_marginal(2);
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap_err();
+        assert!(
+            matches!(err, crate::LinalgError::Interrupted { routine: "sinkhorn", iterations: 0 }),
+            "got {err:?}"
+        );
+        let t0 = DenseMatrix::filled(2, 2, 0.25);
+        let err = proximal_step(&c, &t0, &mu, &nu, &SinkhornParams::default()).unwrap_err();
+        assert!(err.is_interrupted(), "got {err:?}");
     }
 
     #[test]

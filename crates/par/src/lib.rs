@@ -29,6 +29,8 @@
 //! threads cost tens of microseconds to fork and join, which would dominate
 //! kernels on small matrices.
 
+pub mod budget;
+
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
 
@@ -153,9 +155,12 @@ pub fn for_each_chunk_mut<T: Send>(
             shares[slot % workers].push(job);
         }
         let f = &f;
+        let parent_budget = budget::current();
         std::thread::scope(|s| {
             for share in shares {
+                let parent_budget = parent_budget.clone();
                 s.spawn(move || {
+                    let _budget = budget::adopt(parent_budget);
                     for (c, r, chunk) in share {
                         f(c, r, chunk);
                     }
@@ -216,9 +221,12 @@ pub fn for_each_row_block_mut<T: Send>(
             shares[slot % workers].push(job);
         }
         let f = &f;
+        let parent_budget = budget::current();
         std::thread::scope(|s| {
             for share in shares {
+                let parent_budget = parent_budget.clone();
                 s.spawn(move || {
+                    let _budget = budget::adopt(parent_budget);
                     for (r, block) in share {
                         f(r, block);
                     }
@@ -263,6 +271,43 @@ pub fn map_collect<T: Send>(
     }
     #[cfg(not(feature = "parallel"))]
     unreachable!("should_fork is false without the `parallel` feature");
+}
+
+/// Extracts a human-readable message from a caught panic payload
+/// (`panic!("...")` produces `&str` or `String`; anything else is opaque).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Panic-isolating [`map_collect`]: computes `(0..len).map(f)` into a `Vec`,
+/// converting a panic in `f(i)` into `Err(message)` for that index instead
+/// of unwinding (and, under the `parallel` feature, instead of poisoning the
+/// worker pool and aborting the process).
+///
+/// The chunk schedule is identical to [`map_collect`]'s — a pure function of
+/// `len` and `cost_per_item` — so both the successful values and the
+/// positions of failures are bit-identical for every thread count. Each index
+/// is caught independently: one panicking item never discards its chunk
+/// neighbors' results.
+///
+/// The closure is wrapped in [`std::panic::AssertUnwindSafe`]; callers
+/// sharing writable state across items (none of the harness call sites do)
+/// must ensure a mid-item panic cannot leave that state torn.
+pub fn try_map_collect<T: Send>(
+    len: usize,
+    cost_per_item: usize,
+    f: impl Fn(usize) -> T + Sync,
+) -> Vec<Result<T, String>> {
+    map_collect(len, cost_per_item, |i| {
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i)))
+            .map_err(|payload| panic_message(payload.as_ref()))
+    })
 }
 
 /// Applies `fold` to each fixed chunk of `0..len` and returns the per-chunk
@@ -320,8 +365,17 @@ pub fn fold_strided<A: Send>(
     {
         let workers = max_threads().min(len);
         let fold = &fold;
+        let parent_budget = budget::current();
         std::thread::scope(|s| {
-            let handles: Vec<_> = (0..workers).map(|w| s.spawn(move || fold(w, workers))).collect();
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let parent_budget = parent_budget.clone();
+                    s.spawn(move || {
+                        let _budget = budget::adopt(parent_budget);
+                        fold(w, workers)
+                    })
+                })
+                .collect();
             handles.into_iter().map(|h| h.join().expect("worker thread panicked")).collect()
         })
     }
@@ -342,12 +396,15 @@ fn map_chunks_parallel<A: Send>(
     {
         let slot_ptrs: Vec<_> = slots.iter_mut().collect();
         let shared = std::sync::Mutex::new(slot_ptrs);
+        let parent_budget = budget::current();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     let shared = &shared;
+                    let parent_budget = parent_budget.clone();
                     s.spawn(move || {
+                        let _budget = budget::adopt(parent_budget);
                         let mut produced: Vec<(usize, A)> = Vec::new();
                         loop {
                             let c = next.fetch_add(1, Ordering::Relaxed);
@@ -374,8 +431,8 @@ fn map_chunks_parallel<A: Send>(
 /// Re-exports for `use graphalign_par::prelude::*` call sites.
 pub mod prelude {
     pub use crate::{
-        fold_chunks, fold_strided, for_each_chunk_mut, for_each_row_block_mut, map_collect,
-        max_threads, set_max_threads, sum_indexed,
+        budget, fold_chunks, fold_strided, for_each_chunk_mut, for_each_row_block_mut, map_collect,
+        max_threads, set_max_threads, sum_indexed, try_map_collect,
     };
 }
 
@@ -508,6 +565,81 @@ mod tests {
             assert_eq!(partials.iter().sum::<u64>(), total_seq, "threads={threads}");
         }
         set_max_threads(0);
+    }
+
+    #[test]
+    fn try_map_collect_matches_map_collect_when_nothing_panics() {
+        let n = 300_000;
+        for threads in [1, 2, 7] {
+            set_max_threads(threads);
+            let got = try_map_collect(n, 1, |i| i * 2);
+            assert!(
+                got.iter().enumerate().all(|(i, r)| r.as_ref() == Ok(&(i * 2))),
+                "threads={threads}"
+            );
+        }
+        set_max_threads(0);
+    }
+
+    /// Serializes tests that swap the (global) panic hook.
+    static HOOK_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn try_map_collect_isolates_panics_deterministically() {
+        let _lock = HOOK_LOCK.lock().unwrap();
+        // Keep panic-hook noise out of the test log while panics are caught.
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let n = 300_000;
+        let poison = |i: usize| {
+            if i % 97 == 13 {
+                panic!("boom at {i}");
+            }
+            i as u64
+        };
+        set_max_threads(1);
+        let baseline = try_map_collect(n, 1, poison);
+        for threads in [2, 8] {
+            set_max_threads(threads);
+            let got = try_map_collect(n, 1, poison);
+            assert_eq!(got, baseline, "threads={threads}");
+        }
+        set_max_threads(0);
+        std::panic::set_hook(prev);
+        assert_eq!(baseline[13], Err("boom at 13".to_string()));
+        assert_eq!(baseline[14], Ok(14));
+        let failures = baseline.iter().filter(|r| r.is_err()).count();
+        assert_eq!(failures, n.div_ceil(97), "one failure per residue class");
+    }
+
+    #[test]
+    fn try_map_collect_reports_string_payloads() {
+        let _lock = HOOK_LOCK.lock().unwrap();
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(|_| {}));
+        let got = try_map_collect(2, 1, |i| {
+            if i == 1 {
+                // String (formatted) payload, unlike the &'static str case.
+                panic!("{}", format!("dynamic {i}"));
+            }
+            i
+        });
+        std::panic::set_hook(prev);
+        assert_eq!(got[0], Ok(0));
+        assert_eq!(got[1], Err("dynamic 1".to_string()));
+    }
+
+    #[test]
+    fn worker_threads_inherit_the_installed_budget() {
+        if !cfg!(feature = "parallel") {
+            return;
+        }
+        set_max_threads(4);
+        let _g = budget::install(Some(std::time::Duration::ZERO));
+        // Every index polls the budget from whatever worker runs it.
+        let seen = map_collect(300_000, 1, |_| budget::exceeded());
+        set_max_threads(0);
+        assert!(seen.iter().all(|&b| b), "all workers must see the expired budget");
     }
 
     #[test]
