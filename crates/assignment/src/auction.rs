@@ -147,6 +147,7 @@ pub fn auction_max_with(sim: &CsrMatrix, params: &AuctionParams) -> Vec<usize> {
             row_of[best_j] = Some(i);
             col_of[i] = Some(best_j);
         }
+        graphalign_par::telemetry::count_auction_bids(bids as u64);
         if interrupted || eps <= eps_end {
             break;
         }

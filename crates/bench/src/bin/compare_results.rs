@@ -16,11 +16,15 @@
 use graphalign_json::Json;
 use std::collections::BTreeMap;
 
-/// One comparable cell: the quality measure plus optional timing metadata.
+/// One comparable cell: the quality measure plus optional timing and
+/// telemetry metadata.
 struct Cell {
     accuracy: f64,
     wall_clock: Option<f64>,
     threads: Option<usize>,
+    /// The cell's `telemetry.converged` flag, when the row carries a
+    /// telemetry block (older result files don't).
+    converged: Option<bool>,
 }
 
 /// Renders a JSON number the way the identifying keys expect (integers
@@ -86,6 +90,10 @@ fn load(path: &str) -> BTreeMap<String, Cell> {
                 accuracy,
                 wall_clock: row.get("wall_clock").and_then(|x| x.as_f64()),
                 threads: row.get("threads").and_then(|x| x.as_f64()).map(|t| t as usize),
+                converged: row
+                    .get("telemetry")
+                    .and_then(|t| t.get("converged"))
+                    .and_then(|c| c.as_bool()),
             };
             out.insert(key, cell);
         }
@@ -142,6 +150,24 @@ fn main() {
         cand_threads = cand_threads.or(cand.threads);
     }
     println!("compared {compared} cells, {regressions} moved more than {tol}");
+    // Non-convergence summary: cells whose telemetry reports at least one
+    // truncated/interrupted solver run. Informational only — the solvers may
+    // still produce acceptable alignments (IsoRank's truncated similarity
+    // matrices are the paper's own protocol), so these never count as
+    // regressions; they explain *why* a quality delta might exist.
+    let nonconv: Vec<&String> =
+        candidate.iter().filter(|(_, c)| c.converged == Some(false)).map(|(key, _)| key).collect();
+    let with_telemetry = candidate.values().filter(|c| c.converged.is_some()).count();
+    if with_telemetry > 0 {
+        println!(
+            "non-convergence: {} of {with_telemetry} candidate cells report unconverged \
+             solver runs",
+            nonconv.len()
+        );
+        for key in &nonconv {
+            println!("NONCONV  {key}");
+        }
+    }
     if compared == 0 {
         eprintln!("error: no comparable cells between the two files (wrong baseline?)");
         std::process::exit(1);

@@ -6,6 +6,7 @@
 use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_instance_split;
+use graphalign_bench::memprobe::{fmt_bytes, CellRssProbe};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{secs, Table};
 use graphalign_bench::Config;
@@ -15,11 +16,22 @@ struct Row {
     algorithm: String,
     n: usize,
     seconds: f64,
+    /// Peak-RSS growth attributable to this cell (see
+    /// [`graphalign_bench::memprobe::CellRssProbe`]); `None` when `/proc`
+    /// is unavailable.
+    rss_delta_bytes: Option<usize>,
     skipped: bool,
     error_class: Option<String>,
 }
 
-graphalign_json::impl_to_json!(Row { algorithm, n, seconds, skipped, error_class });
+graphalign_json::impl_to_json!(Row {
+    algorithm,
+    n,
+    seconds,
+    rss_delta_bytes,
+    skipped,
+    error_class
+});
 
 pub(crate) fn node_grid(quick: bool) -> Vec<usize> {
     if quick {
@@ -33,7 +45,7 @@ fn main() {
     let cfg = Config::from_args();
     banner("Figure 11 (runtime vs node count)", &cfg, "configuration model, avg degree 10");
     let reps = cfg.reps(5);
-    let mut t = Table::new(&["algorithm", "n", "time(similarity)"]);
+    let mut t = Table::new(&["algorithm", "n", "time(similarity)", "rss"]);
     let mut rows = Vec::new();
     for n in node_grid(cfg.quick) {
         let seq = graphalign_gen::degrees::normal(n, 10.0, 2.5, cfg.seed);
@@ -43,11 +55,12 @@ fn main() {
                 continue; // excluded by the paper (O(n^5) preprocessing)
             }
             if !algo.feasible(n, base.avg_degree(), cfg.quick) {
-                t.row(&[algo.name().into(), n.to_string(), "skip (>budget)".into()]);
+                t.row(&[algo.name().into(), n.to_string(), "skip (>budget)".into(), "-".into()]);
                 rows.push(Row {
                     algorithm: algo.name().into(),
                     n,
                     seconds: 0.0,
+                    rss_delta_bytes: None,
                     skipped: true,
                     error_class: Some("infeasible".into()),
                 });
@@ -57,6 +70,7 @@ fn main() {
             let _budget = graphalign_par::budget::install(
                 cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
             );
+            let probe = CellRssProbe::begin();
             let mut total = 0.0;
             let mut failure = None;
             for r in 0..reps {
@@ -70,24 +84,28 @@ fn main() {
                     }
                 }
             }
+            let rss_delta_bytes = probe.delta_bytes();
+            let rss_label = rss_delta_bytes.map_or_else(|| "-".into(), fmt_bytes);
             match failure {
                 None => {
                     let avg = total / reps as f64;
-                    t.row(&[algo.name().into(), n.to_string(), secs(avg)]);
+                    t.row(&[algo.name().into(), n.to_string(), secs(avg), rss_label]);
                     rows.push(Row {
                         algorithm: algo.name().into(),
                         n,
                         seconds: avg,
+                        rss_delta_bytes,
                         skipped: false,
                         error_class: None,
                     });
                 }
                 Some(e) => {
-                    t.row(&[algo.name().into(), n.to_string(), e.class.to_string()]);
+                    t.row(&[algo.name().into(), n.to_string(), e.class.to_string(), rss_label]);
                     rows.push(Row {
                         algorithm: algo.name().into(),
                         n,
                         seconds: 0.0,
+                        rss_delta_bytes,
                         skipped: false,
                         error_class: Some(e.class.as_str().into()),
                     });

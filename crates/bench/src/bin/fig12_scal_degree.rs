@@ -5,6 +5,7 @@
 use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::harness::run_instance_split;
+use graphalign_bench::memprobe::{fmt_bytes, CellRssProbe};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{secs, Table};
 use graphalign_bench::Config;
@@ -15,11 +16,20 @@ struct Row {
     n: usize,
     avg_degree: usize,
     seconds: f64,
+    rss_delta_bytes: Option<usize>,
     skipped: bool,
     error_class: Option<String>,
 }
 
-graphalign_json::impl_to_json!(Row { algorithm, n, avg_degree, seconds, skipped, error_class });
+graphalign_json::impl_to_json!(Row {
+    algorithm,
+    n,
+    avg_degree,
+    seconds,
+    rss_delta_bytes,
+    skipped,
+    error_class
+});
 
 fn grids(quick: bool) -> (usize, Vec<usize>) {
     if quick {
@@ -34,7 +44,7 @@ fn main() {
     let (n, degrees) = grids(cfg.quick);
     banner("Figure 12 (runtime vs average degree)", &cfg, &format!("configuration model, n = {n}"));
     let reps = cfg.reps(5);
-    let mut t = Table::new(&["algorithm", "avg_degree", "time(similarity)"]);
+    let mut t = Table::new(&["algorithm", "avg_degree", "time(similarity)", "rss"]);
     let mut rows = Vec::new();
     for &deg in &degrees {
         let seq = graphalign_gen::degrees::uniform(n, deg);
@@ -44,12 +54,13 @@ fn main() {
                 continue;
             }
             if !algo.feasible(n, base.avg_degree(), cfg.quick) {
-                t.row(&[algo.name().into(), deg.to_string(), "skip (>budget)".into()]);
+                t.row(&[algo.name().into(), deg.to_string(), "skip (>budget)".into(), "-".into()]);
                 rows.push(Row {
                     algorithm: algo.name().into(),
                     n,
                     avg_degree: deg,
                     seconds: 0.0,
+                    rss_delta_bytes: None,
                     skipped: true,
                     error_class: Some("infeasible".into()),
                 });
@@ -59,6 +70,7 @@ fn main() {
             let _budget = graphalign_par::budget::install(
                 cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
             );
+            let probe = CellRssProbe::begin();
             let mut total = 0.0;
             let mut failure = None;
             for r in 0..reps {
@@ -72,26 +84,30 @@ fn main() {
                     }
                 }
             }
+            let rss_delta_bytes = probe.delta_bytes();
+            let rss_label = rss_delta_bytes.map_or_else(|| "-".into(), fmt_bytes);
             match failure {
                 None => {
                     let avg = total / reps as f64;
-                    t.row(&[algo.name().into(), deg.to_string(), secs(avg)]);
+                    t.row(&[algo.name().into(), deg.to_string(), secs(avg), rss_label]);
                     rows.push(Row {
                         algorithm: algo.name().into(),
                         n,
                         avg_degree: deg,
                         seconds: avg,
+                        rss_delta_bytes,
                         skipped: false,
                         error_class: None,
                     });
                 }
                 Some(e) => {
-                    t.row(&[algo.name().into(), deg.to_string(), e.class.to_string()]);
+                    t.row(&[algo.name().into(), deg.to_string(), e.class.to_string(), rss_label]);
                     rows.push(Row {
                         algorithm: algo.name().into(),
                         n,
                         avg_degree: deg,
                         seconds: 0.0,
+                        rss_delta_bytes,
                         skipped: false,
                         error_class: Some(e.class.as_str().into()),
                     });

@@ -5,7 +5,7 @@
 //! whole-process RSS measurement.
 
 use graphalign_bench::figures::banner;
-use graphalign_bench::memprobe::{fmt_bytes, model_bytes, peak_rss_bytes};
+use graphalign_bench::memprobe::{fmt_bytes, model_bytes, CellRssProbe};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::Table;
 use graphalign_bench::Config;
@@ -30,6 +30,7 @@ fn node_grid(quick: bool) -> Vec<usize> {
 
 fn main() {
     let cfg = Config::from_args();
+    let probe = CellRssProbe::begin();
     banner("Figure 13 (memory vs node count)", &cfg, "configuration model, avg degree 10");
     let budget: usize = 256 * 1024 * 1024 * 1024;
     let mut t = Table::new(&["algorithm", "n", "model bytes", "fits 256GB"]);
@@ -58,8 +59,8 @@ fn main() {
         }
     }
     t.print();
-    if let Some(rss) = peak_rss_bytes() {
-        println!("process peak RSS while tabulating: {}", fmt_bytes(rss));
+    if let Some(delta) = probe.delta_bytes() {
+        println!("peak RSS growth while tabulating: {}", fmt_bytes(delta));
     }
     cfg.write_json(&rows);
 }

@@ -5,7 +5,7 @@
 //! the per-algorithm model terms.
 
 use graphalign_bench::figures::banner;
-use graphalign_bench::memprobe::{fmt_bytes, model_bytes, peak_rss_bytes};
+use graphalign_bench::memprobe::{fmt_bytes, model_bytes, CellRssProbe};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::Table;
 use graphalign_bench::Config;
@@ -22,6 +22,7 @@ graphalign_json::impl_to_json!(Row { algorithm, n, avg_degree, model_bytes, fits
 
 fn main() {
     let cfg = Config::from_args();
+    let probe = CellRssProbe::begin();
     let n = if cfg.quick { 1 << 10 } else { 1 << 14 };
     banner("Figure 14 (memory vs average degree)", &cfg, &format!("n = {n}"));
     let budget: usize = 256 * 1024 * 1024 * 1024;
@@ -52,8 +53,8 @@ fn main() {
         }
     }
     t.print();
-    if let Some(rss) = peak_rss_bytes() {
-        println!("process peak RSS while tabulating: {}", fmt_bytes(rss));
+    if let Some(delta) = probe.delta_bytes() {
+        println!("peak RSS growth while tabulating: {}", fmt_bytes(delta));
     }
     cfg.write_json(&rows);
 }

@@ -16,7 +16,7 @@ struct Row {
     p: f64,
     k: usize,
     algorithm: String,
-    accuracy: f64,
+    accuracy: Option<f64>,
     wall_clock: f64,
     threads: usize,
     skipped: bool,
@@ -59,7 +59,10 @@ fn main() {
                 format!("{p:.2}"),
                 k_fixed.to_string(),
                 cell.algorithm.clone(),
-                if cell.skipped || cell.reps_ok == 0 { "-".into() } else { pct(cell.accuracy) },
+                match cell.accuracy {
+                    Some(a) if !cell.skipped => pct(a),
+                    _ => "-".into(),
+                },
             ]);
             rows.push(Row {
                 sweep: "vary_p".into(),
@@ -91,7 +94,10 @@ fn main() {
                 "0.50".into(),
                 k.to_string(),
                 cell.algorithm.clone(),
-                if cell.skipped || cell.reps_ok == 0 { "-".into() } else { pct(cell.accuracy) },
+                match cell.accuracy {
+                    Some(a) if !cell.skipped => pct(a),
+                    _ => "-".into(),
+                },
             ]);
             rows.push(Row {
                 sweep: "vary_k".into(),
@@ -115,7 +121,7 @@ fn main() {
         let chart_rows: Vec<(String, f64, f64)> = rows
             .iter()
             .filter(|r| r.sweep == sweep && !r.skipped && r.reps_ok > 0)
-            .map(|r| (r.algorithm.clone(), x_of(r), r.accuracy))
+            .map(|r| (r.algorithm.clone(), x_of(r), r.accuracy.unwrap_or(0.0)))
             .collect();
         if chart_rows.is_empty() {
             continue;

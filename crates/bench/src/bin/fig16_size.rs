@@ -17,7 +17,7 @@ struct Row {
     n: usize,
     k: usize,
     algorithm: String,
-    accuracy: f64,
+    accuracy: Option<f64>,
     wall_clock: f64,
     threads: usize,
     skipped: bool,
@@ -62,7 +62,10 @@ fn main() {
                     n.to_string(),
                     k.to_string(),
                     cell.algorithm.clone(),
-                    if cell.skipped || cell.reps_ok == 0 { "-".into() } else { pct(cell.accuracy) },
+                    match cell.accuracy {
+                        Some(a) if !cell.skipped => pct(a),
+                        _ => "-".into(),
+                    },
                 ]);
                 rows.push(Row {
                     sweep: sweep.into(),
@@ -84,7 +87,7 @@ fn main() {
         let chart_rows: Vec<(String, f64, f64)> = rows
             .iter()
             .filter(|r| r.sweep == sweep && !r.skipped && r.reps_ok > 0)
-            .map(|r| (r.algorithm.clone(), r.n as f64, r.accuracy))
+            .map(|r| (r.algorithm.clone(), r.n as f64, r.accuracy.unwrap_or(0.0)))
             .collect();
         if chart_rows.is_empty() {
             continue;

@@ -16,8 +16,8 @@ struct Row {
     algorithm: String,
     assignment: String,
     level: f64,
-    accuracy: f64,
-    seconds: f64,
+    accuracy: Option<f64>,
+    seconds: Option<f64>,
     wall_clock: f64,
     threads: usize,
     skipped: bool,
@@ -74,14 +74,17 @@ fn main() {
                     } else if let Some(class) = &cell.error_class {
                         class.clone()
                     } else {
-                        secs(cell.seconds)
+                        secs(cell.seconds.unwrap_or(0.0))
                     };
                     t.row(&[
                         label.clone(),
                         cell.algorithm.clone(),
                         cell.assignment.clone(),
                         format!("{level:.2}"),
-                        if no_data { "-".into() } else { pct(cell.accuracy) },
+                        match cell.accuracy {
+                            Some(a) if !no_data => pct(a),
+                            _ => "-".into(),
+                        },
                         status,
                     ]);
                     rows.push(Row {

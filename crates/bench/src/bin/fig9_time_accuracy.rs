@@ -14,8 +14,8 @@ use graphalign_noise::{NoiseConfig, NoiseModel};
 struct Row {
     algorithm: String,
     level: f64,
-    accuracy: f64,
-    seconds: f64,
+    accuracy: Option<f64>,
+    seconds: Option<f64>,
     wall_clock: f64,
     threads: usize,
     skipped: bool,
@@ -60,12 +60,15 @@ fn main() {
             } else if let Some(class) = &cell.error_class {
                 class.clone()
             } else {
-                secs(cell.seconds)
+                secs(cell.seconds.unwrap_or(0.0))
             };
             t.row(&[
                 cell.algorithm.clone(),
                 format!("{level:.2}"),
-                if no_data { "-".into() } else { pct(cell.accuracy) },
+                match cell.accuracy {
+                    Some(a) if !no_data => pct(a),
+                    _ => "-".into(),
+                },
                 status,
             ]);
             rows.push(Row {
@@ -87,7 +90,7 @@ fn main() {
     let chart_rows: Vec<(String, f64, f64)> = rows
         .iter()
         .filter(|r| !r.skipped && r.reps_ok > 0)
-        .map(|r| (r.algorithm.clone(), r.seconds, r.accuracy))
+        .map(|r| (r.algorithm.clone(), r.seconds.unwrap_or(0.0), r.accuracy.unwrap_or(0.0)))
         .collect();
     let series = graphalign_bench::plot::series_from_rows(&chart_rows);
     println!();

@@ -29,7 +29,7 @@ fn main() {
         let mut means: HashMap<String, (f64, usize)> = HashMap::new();
         for r in rows.iter().filter(|r| !r.cell.skipped && r.cell.reps_ok > 0) {
             let e = means.entry(r.cell.algorithm.clone()).or_insert((0.0, 0));
-            e.0 += r.cell.accuracy;
+            e.0 += r.cell.accuracy.unwrap_or(0.0);
             e.1 += 1;
         }
         let mut ranked: Vec<(String, f64)> =

@@ -1,0 +1,77 @@
+//! Validates a `--trace <path>` JSONL sidecar: every line must parse as a
+//! [`TraceRecord`] with a known stop reason, finite residuals (NaN residuals
+//! are exactly the silent-non-convergence bug class the telemetry layer
+//! exists to surface), and a stop reason consistent with its convergence
+//! flag. The CI smoke job runs this over the traces of both feature
+//! configurations.
+//!
+//! ```sh
+//! trace_lint results/sweep.trace.jsonl
+//! ```
+//!
+//! Exit code 0 when the file is clean, 1 on any violation, 2 on usage/IO
+//! errors. An empty trace (no solver ran, or trace mode off) is clean.
+
+use graphalign_bench::telemetry::TraceRecord;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [path] = args.as_slice() else {
+        eprintln!("usage: trace_lint <trace.jsonl>");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    let mut records = 0usize;
+    let mut violations = 0usize;
+    let mut complain = |line_no: usize, msg: String| {
+        violations += 1;
+        eprintln!("{path}:{line_no}: {msg}");
+    };
+    for (idx, line) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let value = match graphalign_json::from_str(line) {
+            Ok(v) => v,
+            Err(e) => {
+                complain(line_no, format!("bad JSON: {e}"));
+                continue;
+            }
+        };
+        // `TraceRecord::from_json` rejects unknown stop reasons, so an
+        // out-of-taxonomy `stop` surfaces here as a schema violation.
+        let Some(record) = TraceRecord::from_json(&value) else {
+            complain(line_no, "record does not match the trace schema".into());
+            continue;
+        };
+        records += 1;
+        if !record.residual.is_finite() {
+            complain(line_no, format!("non-finite final residual {}", record.residual));
+        }
+        if let Some(bad) = record.residuals.iter().find(|r| !r.is_finite()) {
+            complain(line_no, format!("non-finite residual {bad} in series"));
+        }
+        if record.stop == "tolerance" && !record.converged {
+            complain(line_no, "stop reason \"tolerance\" with converged=false".into());
+        }
+        if record.stop == "interrupted" && record.converged {
+            complain(line_no, "stop reason \"interrupted\" with converged=true".into());
+        }
+        if record.residuals.len() > record.iterations {
+            complain(
+                line_no,
+                format!(
+                    "series has {} residuals but only {} iterations",
+                    record.residuals.len(),
+                    record.iterations
+                ),
+            );
+        }
+    }
+    println!("{path}: {records} trace records, {violations} violations");
+    std::process::exit(if violations > 0 { 1 } else { 0 });
+}

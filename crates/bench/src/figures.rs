@@ -6,10 +6,11 @@
 //! JV assignment (the §6.2 level playing field) — so each binary only
 //! declares its workload.
 
-use crate::harness::{run_cell, CellResult};
+use crate::harness::{run_cell_traced, CellResult};
 use crate::journal::{CellKey, Journal};
 use crate::suite::Algo;
 use crate::table::{pct, secs, Table};
+use crate::telemetry::TraceRecord;
 use crate::Config;
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
@@ -88,6 +89,10 @@ pub fn high_noise_levels(quick: bool) -> Vec<f64> {
 pub struct SweepSession {
     cfg: Config,
     journal: Option<Journal>,
+    /// `--trace` sidecar writer: one JSONL [`TraceRecord`] per solver
+    /// invocation of every *executed* cell (replayed cells re-run nothing,
+    /// so they emit no trace lines).
+    trace: Option<std::io::BufWriter<std::fs::File>>,
     replayed: usize,
 }
 
@@ -120,13 +125,20 @@ impl SweepSession {
                 );
             }
         }
-        Self { cfg: cfg.clone(), journal, replayed: 0 }
+        let trace = cfg.trace.as_ref().map(|path| {
+            let file = std::fs::File::create(path).unwrap_or_else(|e| {
+                eprintln!("error: could not create trace file {}: {e}", path.display());
+                std::process::exit(1);
+            });
+            std::io::BufWriter::new(file)
+        });
+        Self { cfg: cfg.clone(), journal, trace, replayed: 0 }
     }
 
     /// A session that never journals, regardless of `--out` (used by tests
     /// and the thin [`quality_sweep`] wrapper).
     pub fn without_journal(cfg: &Config) -> Self {
-        Self { cfg: cfg.clone(), journal: None, replayed: 0 }
+        Self { cfg: cfg.clone(), journal: None, trace: None, replayed: 0 }
     }
 
     /// Cells replayed from the journal instead of executed.
@@ -167,7 +179,32 @@ impl SweepSession {
                         continue;
                     }
                     let noise = NoiseConfig::new(model, level);
-                    let cell = run_cell(algo, base, dense_dataset, &noise, method, &policy);
+                    let (cell, series) =
+                        run_cell_traced(algo, base, dense_dataset, &noise, method, &policy);
+                    if let Some(w) = self.trace.as_mut() {
+                        use std::io::Write;
+                        for (rep, s) in &series {
+                            let record = TraceRecord {
+                                workload: workload.into(),
+                                algorithm: algo.name().into(),
+                                assignment: method.label().into(),
+                                noise: model.label().into(),
+                                level,
+                                rep: *rep,
+                                routine: s.routine.into(),
+                                iterations: s.convergence.iterations,
+                                residual: s.convergence.residual,
+                                converged: s.convergence.converged,
+                                stop: s.convergence.stop.as_str().into(),
+                                residuals: s.residuals.clone(),
+                            };
+                            let line = graphalign_json::to_string_compact(&record);
+                            if let Err(e) = writeln!(w, "{line}").and_then(|()| w.flush()) {
+                                eprintln!("error: could not append to trace file: {e}");
+                                std::process::exit(1);
+                            }
+                        }
+                    }
                     let row = SweepRow {
                         workload: workload.into(),
                         noise: model.label().into(),
@@ -257,10 +294,10 @@ pub fn print_sweep(title: &str, rows: &[SweepRow]) {
                 r.cell.algorithm.clone(),
                 r.noise.clone(),
                 format!("{:.2}", r.level),
-                pct(r.cell.accuracy),
-                pct(r.cell.s3),
-                pct(r.cell.mnc),
-                secs(r.cell.seconds),
+                pct(r.cell.accuracy.unwrap_or(0.0)),
+                pct(r.cell.s3.unwrap_or(0.0)),
+                pct(r.cell.mnc.unwrap_or(0.0)),
+                secs(r.cell.seconds.unwrap_or(0.0)),
                 status,
             ]);
         }
@@ -279,7 +316,7 @@ pub fn print_sweep(title: &str, rows: &[SweepRow]) {
             .filter(|x| {
                 x.workload == key.0 && x.noise == key.1 && !x.cell.skipped && x.cell.reps_ok > 0
             })
-            .map(|x| (x.cell.algorithm.clone(), x.level, x.cell.accuracy))
+            .map(|x| (x.cell.algorithm.clone(), x.level, x.cell.accuracy.unwrap_or(0.0)))
             .collect();
         if chart_rows.is_empty() {
             continue;
@@ -370,7 +407,9 @@ mod tests {
         assert_eq!(rows.len(), Algo::ALL.len());
         for r in &rows {
             assert!(!r.cell.skipped, "{} skipped on a 60-node graph", r.cell.algorithm);
-            assert!(r.cell.accuracy >= 0.0);
+            assert!(r.cell.accuracy.expect("measures present") >= 0.0);
+            let t = r.cell.telemetry.as_ref().expect("telemetry present");
+            assert!(t.phases.iter().any(|(n, _)| n == "similarity"), "{}", r.cell.algorithm);
         }
     }
 }

@@ -12,12 +12,14 @@
 //! ([`CellResult::reps_ok`]).
 
 use crate::suite::Algo;
+use crate::telemetry::CellTelemetry;
 use graphalign::AlignError;
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::permutation::AlignmentInstance;
 use graphalign_graph::Graph;
 use graphalign_metrics::{evaluate, QualityReport};
 use graphalign_noise::{make_instance, NoiseConfig};
+use graphalign_par::telemetry::{self as solver_telemetry, RepTelemetry, ResidualSeries};
 use std::time::{Duration, Instant};
 
 /// Failure classes of an experiment cell, recorded in the result JSON so
@@ -106,12 +108,15 @@ pub struct RunPolicy {
     /// Extra reseeded attempts per repetition after a numerical failure
     /// (`--retries`). Panics and timeouts are never retried.
     pub retries: usize,
+    /// Collect per-iteration residual series (`--trace`). Convergence events
+    /// and op counters are always collected; this only controls the series.
+    pub trace: bool,
 }
 
 impl RunPolicy {
     /// An unbounded, no-retry policy (the pre-fault-tolerance behaviour).
     pub fn new(reps: usize, seed: u64, quick: bool) -> Self {
-        Self { reps, seed, quick, cell_timeout: None, retries: 0 }
+        Self { reps, seed, quick, cell_timeout: None, retries: 0, trace: false }
     }
 
     /// Seed for repetition `rep`, attempt `attempt`. Attempt 0 preserves the
@@ -133,18 +138,21 @@ pub struct CellResult {
     pub assignment: String,
     /// Wall-clock seconds of the alignment (per the paper, *excluding* the
     /// LAP step when `split_assignment` timing is used — see
-    /// [`run_instance_split`]).
-    pub seconds: f64,
-    /// Quality measures averaged over the successful repetitions.
-    pub accuracy: f64,
+    /// [`run_instance_split`]). `None` (JSON `null`) when no repetition
+    /// succeeded — downstream analysis skips such cells instead of mistaking
+    /// them for instant zero-quality runs.
+    pub seconds: Option<f64>,
+    /// Quality measures averaged over the successful repetitions; `None`
+    /// when there were none.
+    pub accuracy: Option<f64>,
     /// Matched neighborhood consistency.
-    pub mnc: f64,
+    pub mnc: Option<f64>,
     /// Symmetric substructure score.
-    pub s3: f64,
+    pub s3: Option<f64>,
     /// Edge correctness.
-    pub ec: f64,
+    pub ec: Option<f64>,
     /// Induced conserved structure.
-    pub ics: f64,
+    pub ics: Option<f64>,
     /// Repetitions attempted (0 only for feasibility-skipped cells).
     pub reps: usize,
     /// Repetitions that completed successfully; the quality and `seconds`
@@ -165,6 +173,9 @@ pub struct CellResult {
     /// Worker-thread cap the cell ran under (`--threads` /
     /// `GRAPHALIGN_THREADS` / core count; 1 in sequential builds).
     pub threads: usize,
+    /// Aggregated solver telemetry of the successful repetitions; `None`
+    /// for skipped cells and cells where no repetition succeeded.
+    pub telemetry: Option<CellTelemetry>,
 }
 
 graphalign_json::impl_to_json!(CellResult {
@@ -183,6 +194,7 @@ graphalign_json::impl_to_json!(CellResult {
     error_class,
     wall_clock,
     threads,
+    telemetry,
 });
 
 impl CellResult {
@@ -191,12 +203,12 @@ impl CellResult {
         Self {
             algorithm: algorithm.into(),
             assignment: assignment.into(),
-            seconds: 0.0,
-            accuracy: 0.0,
-            mnc: 0.0,
-            s3: 0.0,
-            ec: 0.0,
-            ics: 0.0,
+            seconds: None,
+            accuracy: None,
+            mnc: None,
+            s3: None,
+            ec: None,
+            ics: None,
             reps: 0,
             reps_ok: 0,
             skipped: true,
@@ -204,6 +216,7 @@ impl CellResult {
             error_class: Some(CellError::Infeasible.as_str().into()),
             wall_clock: 0.0,
             threads: graphalign_par::max_threads(),
+            telemetry: None,
         }
     }
 
@@ -239,15 +252,22 @@ impl CellResult {
     pub fn from_json(v: &graphalign_json::Json) -> Option<Self> {
         use graphalign_json::Json;
         let opt_str = |key: &str| v.get(key).and_then(Json::as_str).map(str::to_string);
+        // Measures are `null` when no repetition succeeded; `Json::Null`
+        // yields `as_f64() == None`, which is exactly the in-memory form.
+        let opt_f64 = |key: &str| v.get(key).and_then(Json::as_f64);
+        let telemetry = match v.get("telemetry") {
+            None | Some(Json::Null) => None,
+            Some(t) => Some(CellTelemetry::from_json(t)?),
+        };
         Some(Self {
             algorithm: v.get("algorithm")?.as_str()?.to_string(),
             assignment: v.get("assignment")?.as_str()?.to_string(),
-            seconds: v.get("seconds")?.as_f64()?,
-            accuracy: v.get("accuracy")?.as_f64()?,
-            mnc: v.get("mnc")?.as_f64()?,
-            s3: v.get("s3")?.as_f64()?,
-            ec: v.get("ec")?.as_f64()?,
-            ics: v.get("ics")?.as_f64()?,
+            seconds: opt_f64("seconds"),
+            accuracy: opt_f64("accuracy"),
+            mnc: opt_f64("mnc"),
+            s3: opt_f64("s3"),
+            ec: opt_f64("ec"),
+            ics: opt_f64("ics"),
             reps: v.get("reps")?.as_f64()? as usize,
             reps_ok: v.get("reps_ok")?.as_f64()? as usize,
             skipped: v.get("skipped")?.as_bool()?,
@@ -255,6 +275,7 @@ impl CellResult {
             error_class: opt_str("error_class"),
             wall_clock: v.get("wall_clock")?.as_f64()?,
             threads: v.get("threads")?.as_f64()? as usize,
+            telemetry,
         })
     }
 }
@@ -334,8 +355,24 @@ pub fn run_cell(
     method: AssignmentMethod,
     policy: &RunPolicy,
 ) -> CellResult {
+    run_cell_traced(algo, base, dense_dataset, noise, method, policy).0
+}
+
+/// [`run_cell`], additionally returning the per-iteration residual series of
+/// every solver invocation in the successful repetitions, tagged with their
+/// repetition index (in repetition order). The series are empty unless
+/// [`RunPolicy::trace`] is set; the cell's aggregated `telemetry` block is
+/// collected either way.
+pub fn run_cell_traced(
+    algo: Algo,
+    base: &Graph,
+    dense_dataset: bool,
+    noise: &NoiseConfig,
+    method: AssignmentMethod,
+    policy: &RunPolicy,
+) -> (CellResult, Vec<(usize, ResidualSeries)>) {
     if !algo.feasible(base.node_count(), base.avg_degree(), policy.quick) {
-        return CellResult::skipped(algo.name(), method.label());
+        return (CellResult::skipped(algo.name(), method.label()), Vec::new());
     }
     let start = Instant::now();
     let _budget = graphalign_par::budget::install(policy.cell_timeout);
@@ -350,6 +387,9 @@ pub fn run_cell(
         ));
         let mut attempt = 0usize;
         loop {
+            // Fresh telemetry sink per attempt, so a retried repetition's
+            // aborted first attempt cannot leak events into its averages.
+            let sink = solver_telemetry::install(policy.trace);
             let instance = make_instance(base, noise, policy.rep_seed(r, attempt));
             let outcome = run_instance(algo, dense_dataset, &instance, method);
             // A repetition that "succeeded" after the budget expired may
@@ -366,8 +406,13 @@ pub fn run_cell(
             match outcome {
                 Err(f) if f.class == CellError::Numeric && attempt < policy.retries => {
                     attempt += 1;
+                    drop(sink);
                 }
-                other => return other,
+                other => {
+                    let telemetry = solver_telemetry::drain();
+                    drop(sink);
+                    return other.map(|(report, s)| (report, s, telemetry));
+                }
             }
         }
     });
@@ -379,10 +424,15 @@ pub fn run_cell(
     let mut ics = 0.0;
     let mut secs = 0.0;
     let mut ok = 0usize;
+    let mut rep_telemetry: Vec<RepTelemetry> = Vec::new();
+    let mut series: Vec<(usize, ResidualSeries)> = Vec::new();
     let mut first_failure: Option<(CellError, String)> = None;
-    for outcome in results {
+    // `try_map_collect` returns outcomes in repetition order regardless of
+    // worker count, so this sequential aggregation (measures and telemetry
+    // alike) is bit-identical for every thread count.
+    for (r, outcome) in results.into_iter().enumerate() {
         match outcome {
-            Ok(Ok((report, s))) => {
+            Ok(Ok((report, s, telemetry))) => {
                 acc += report.accuracy;
                 mnc += report.mnc;
                 s3 += report.s3;
@@ -390,6 +440,8 @@ pub fn run_cell(
                 ics += report.ics;
                 secs += s;
                 ok += 1;
+                series.extend(telemetry.series.iter().cloned().map(|sr| (r, sr)));
+                rep_telemetry.push(telemetry);
             }
             Ok(Err(failure)) => {
                 if first_failure.is_none() {
@@ -404,20 +456,22 @@ pub fn run_cell(
             }
         }
     }
-    let k = ok.max(1) as f64;
+    // Zero successes means there is nothing to average: the measures are
+    // `None` (JSON `null`), never a fabricated 0.0 from a guarded division.
+    let avg = |total: f64| (ok > 0).then(|| total / ok as f64);
     let (error_class, error) = match first_failure {
         Some((class, msg)) => (Some(class.as_str().to_string()), Some(msg)),
         None => (None, None),
     };
-    CellResult {
+    let cell = CellResult {
         algorithm: algo.name().into(),
         assignment: method.label().into(),
-        seconds: secs / k,
-        accuracy: acc / k,
-        mnc: mnc / k,
-        s3: s3 / k,
-        ec: ec / k,
-        ics: ics / k,
+        seconds: avg(secs),
+        accuracy: avg(acc),
+        mnc: avg(mnc),
+        s3: avg(s3),
+        ec: avg(ec),
+        ics: avg(ics),
         reps: policy.reps,
         reps_ok: ok,
         skipped: false,
@@ -425,7 +479,9 @@ pub fn run_cell(
         error_class,
         wall_clock: start.elapsed().as_secs_f64(),
         threads: graphalign_par::max_threads(),
-    }
+        telemetry: (ok > 0).then(|| CellTelemetry::aggregate(&rep_telemetry)),
+    };
+    (cell, series)
 }
 
 #[cfg(test)]
@@ -465,9 +521,16 @@ mod tests {
         assert_eq!(cell.reps_ok, 2);
         assert!(!cell.has_failure());
         for v in [cell.accuracy, cell.mnc, cell.s3, cell.ec, cell.ics] {
+            let v = v.expect("successful cell must carry measures");
             assert!((0.0..=1.0).contains(&v), "measure {v} out of range");
         }
-        assert!(cell.seconds > 0.0);
+        assert!(cell.seconds.expect("successful cell must carry seconds") > 0.0);
+        let t = cell.telemetry.expect("successful cell must carry telemetry");
+        assert!(t.solver_runs > 0, "IsoRank must record its power/driver loops");
+        assert!(t.iterations > 0);
+        assert!(t.matmuls > 0, "IsoRank multiplies matrices");
+        assert!(t.phases.iter().any(|(n, _)| n == "similarity"));
+        assert!(t.phases.iter().any(|(n, _)| n == "assignment"));
     }
 
     #[test]
@@ -523,8 +586,19 @@ mod tests {
             1.25,
         );
         partial.reps_ok = 1;
-        partial.accuracy = 0.3333333333333333;
-        partial.seconds = 0.0078125;
+        partial.accuracy = Some(0.3333333333333333);
+        partial.seconds = Some(0.0078125);
+        partial.telemetry = Some(crate::telemetry::CellTelemetry::aggregate(&[
+            graphalign_par::telemetry::RepTelemetry {
+                events: vec![graphalign_par::telemetry::SolverEvent {
+                    routine: "isorank",
+                    convergence: graphalign_par::telemetry::Convergence::max_iter(30, 0.125),
+                }],
+                matmuls: 3,
+                phases: vec![("similarity", 0.5)],
+                ..Default::default()
+            },
+        ]));
         let timeout = CellResult::failed(
             "CONE",
             "NN",
@@ -551,6 +625,36 @@ mod tests {
     }
 
     #[test]
+    fn traced_cell_returns_residual_series_untraced_does_not() {
+        let g = tiny_graph();
+        let noise = NoiseConfig::new(NoiseModel::OneWay, 0.0);
+        let traced = RunPolicy { trace: true, ..RunPolicy::new(1, 1, true) };
+        let (cell, series) = run_cell_traced(
+            Algo::IsoRank,
+            &g,
+            true,
+            &noise,
+            AssignmentMethod::JonkerVolgenant,
+            &traced,
+        );
+        assert_eq!(cell.reps_ok, 1);
+        assert!(!series.is_empty(), "trace mode must surface residual series");
+        for (rep, s) in &series {
+            assert_eq!(*rep, 0);
+            assert!(s.residuals.iter().all(|r| r.is_finite()), "residuals must be finite");
+        }
+        let (_, none) = run_cell_traced(
+            Algo::IsoRank,
+            &g,
+            true,
+            &noise,
+            AssignmentMethod::JonkerVolgenant,
+            &RunPolicy::new(1, 1, true),
+        );
+        assert!(none.is_empty(), "series are opt-in");
+    }
+
+    #[test]
     fn rep_seed_attempt_zero_matches_historical_seeding() {
         let p = RunPolicy::new(3, 100, true);
         assert_eq!(p.rep_seed(0, 0), 100);
@@ -573,8 +677,11 @@ mod tests {
         assert_eq!(cell.reps, 2);
         assert_eq!(cell.reps_ok, 0);
         assert_eq!(cell.error_class.as_deref(), Some("timeout"));
-        // Zero successes → zero measures, but the attempt is still recorded.
-        assert_eq!(cell.accuracy, 0.0);
+        // Zero successes → null measures (not a fabricated 0.0), but the
+        // attempt is still recorded.
+        assert_eq!(cell.accuracy, None);
+        assert_eq!(cell.seconds, None);
+        assert_eq!(cell.telemetry, None);
         assert!(cell.wall_clock > 0.0);
     }
 }

@@ -211,8 +211,8 @@ mod tests {
         cell.error_class = None;
         cell.reps = 3;
         cell.reps_ok = 3;
-        cell.accuracy = 0.8125;
-        cell.seconds = 0.0123456789;
+        cell.accuracy = Some(0.8125);
+        cell.seconds = Some(0.0123456789);
         cell.wall_clock = 0.5;
         SweepRow { workload: workload.into(), noise: "One-Way".into(), level, cell }
     }

@@ -27,6 +27,7 @@ pub mod memprobe;
 pub mod plot;
 pub mod suite;
 pub mod table;
+pub mod telemetry;
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -50,6 +51,9 @@ pub struct Config {
     /// `--resume`: replay completed cells from the `<out>.journal` file and
     /// run only the remainder.
     pub resume: bool,
+    /// `--trace <path>`: write a JSONL sidecar with the per-iteration
+    /// residual series of every solver invocation (see [`telemetry`]).
+    pub trace: Option<PathBuf>,
 }
 
 impl Default for Config {
@@ -62,6 +66,7 @@ impl Default for Config {
             cell_timeout: None,
             retries: 0,
             resume: false,
+            trace: None,
         }
     }
 }
@@ -109,6 +114,10 @@ impl Config {
                         v.parse().unwrap_or_else(|_| usage("--retries needs a non-negative count"));
                 }
                 "--resume" => cfg.resume = true,
+                "--trace" => {
+                    let v = args.next().unwrap_or_else(|| usage("--trace needs a path"));
+                    cfg.trace = Some(PathBuf::from(v));
+                }
                 "--help" | "-h" => usage(""),
                 other => usage(&format!("unknown flag {other}")),
             }
@@ -138,6 +147,7 @@ impl Config {
         harness::RunPolicy {
             cell_timeout: self.cell_timeout.map(Duration::from_secs_f64),
             retries: self.retries,
+            trace: self.trace.is_some(),
             ..harness::RunPolicy::new(self.reps(paper_reps), self.seed, self.quick)
         }
     }
@@ -162,7 +172,7 @@ fn usage(msg: &str) -> ! {
     }
     eprintln!(
         "usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>] [--threads <n>]\n\
-         \x20           [--cell-timeout <secs>] [--retries <n>] [--resume]"
+         \x20           [--cell-timeout <secs>] [--retries <n>] [--resume] [--trace <path.jsonl>]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }

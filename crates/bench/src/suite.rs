@@ -10,6 +10,29 @@ use graphalign::{
     cone::Cone, graal::Graal, grasp::Grasp, gwl::Gwl, isorank::IsoRank, lrea::Lrea, nsd::Nsd,
     regal::Regal, sgwl::Sgwl, Aligner,
 };
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Process-wide iteration-cap override consulted by [`Algo::make`]; `0`
+/// means "no override" (Table 1 defaults). Exists so the telemetry
+/// integration tests can force solver truncation through the real harness
+/// path (tight caps → `converged: false` with stop `max_iter`) without
+/// widening every `make` call site. Not exposed as a CLI flag.
+static FORCED_MAX_ITER: AtomicUsize = AtomicUsize::new(0);
+
+/// Forces every iteration-capped solver constructed by [`Algo::make`] to at
+/// most `n` iterations (`None` restores the Table 1 defaults). Affects
+/// IsoRank's power iteration and CONE's Sinkhorn inner loop — the two
+/// solvers the truncation tests exercise.
+pub fn set_forced_max_iter(n: Option<usize>) {
+    FORCED_MAX_ITER.store(n.unwrap_or(0), Ordering::SeqCst);
+}
+
+fn forced_max_iter() -> Option<usize> {
+    match FORCED_MAX_ITER.load(Ordering::SeqCst) {
+        0 => None,
+        n => Some(n),
+    }
+}
 
 /// Identifier for each algorithm in the study.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -64,15 +87,28 @@ impl Algo {
     /// `dense_dataset` picks S-GWL's `β` (0.1 dense / 0.025 sparse), the one
     /// hyperparameter the paper tunes per dataset family (§6.4.2).
     pub fn make(&self, dense_dataset: bool) -> Box<dyn Aligner + Send + Sync> {
+        let cap = forced_max_iter();
         match self {
-            Algo::IsoRank => Box::new(IsoRank::default()),
+            Algo::IsoRank => {
+                let mut iso = IsoRank::default();
+                if let Some(n) = cap {
+                    iso.max_iter = n;
+                }
+                Box::new(iso)
+            }
             Algo::Graal => Box::new(Graal::default()),
             Algo::Nsd => Box::new(Nsd::default()),
             Algo::Lrea => Box::new(Lrea::default()),
             Algo::Regal => Box::new(Regal::default()),
             Algo::Gwl => Box::new(Gwl::default()),
             Algo::Sgwl => Box::new(if dense_dataset { Sgwl::default() } else { Sgwl::sparse() }),
-            Algo::Cone => Box::new(Cone::default()),
+            Algo::Cone => {
+                let mut cone = Cone::default();
+                if let Some(n) = cap {
+                    cone.sinkhorn.max_iter = n;
+                }
+                Box::new(cone)
+            }
             Algo::Grasp => Box::new(Grasp::default()),
         }
     }

@@ -1,0 +1,349 @@
+//! Cell-level solver telemetry: aggregates the per-repetition
+//! [`RepTelemetry`] records the solvers emit (via
+//! [`graphalign_par::telemetry`]) into the `telemetry` block of a
+//! [`crate::harness::CellResult`], and defines the JSONL record written per
+//! solver invocation by the opt-in `--trace <path>` sidecar.
+//!
+//! Aggregation runs over the *successful* repetitions only, in repetition
+//! order, so the block is bit-identical for every worker-thread count (the
+//! same determinism contract the cell measures obey). Wall-clock phase spans
+//! are the only timing-derived fields; everything else (iteration counts,
+//! stop reasons, op counters) is exactly reproducible.
+
+use graphalign_json::Json;
+use graphalign_par::telemetry::{RepTelemetry, StopReason};
+
+/// The fixed stop-reason taxonomy, in reporting order. `stop_reasons` keys
+/// always appear in this order so the JSON block is deterministic.
+const TAXONOMY: [StopReason; 4] =
+    [StopReason::Tolerance, StopReason::MaxIter, StopReason::Interrupted, StopReason::Breakdown];
+
+/// Aggregated solver telemetry of one experiment cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellTelemetry {
+    /// `true` when every solver invocation across the successful repetitions
+    /// reported convergence. This is the cell's headline flag: `false` means
+    /// at least one iterative routine was silently truncated.
+    pub converged: bool,
+    /// Total solver invocations recorded.
+    pub solver_runs: usize,
+    /// Invocations that ended with `converged: false`.
+    pub nonconverged_runs: usize,
+    /// Total outer iterations across all invocations.
+    pub iterations: u64,
+    /// Invocation counts per stop reason, in taxonomy order ([`TAXONOMY`]);
+    /// zero-count reasons are omitted.
+    pub stop_reasons: Vec<(String, usize)>,
+    /// Dense/sparse matrix-product invocations.
+    pub matmuls: u64,
+    /// Sinkhorn scaling sweeps.
+    pub sinkhorn_sweeps: u64,
+    /// Auction assignment bids.
+    pub auction_bids: u64,
+    /// Accumulated wall-clock seconds per named phase, sorted by name.
+    pub phases: Vec<(String, f64)>,
+}
+
+impl CellTelemetry {
+    /// Aggregates the telemetry of the successful repetitions of one cell.
+    /// Pass the drained records in repetition order for deterministic output.
+    pub fn aggregate(reps: &[RepTelemetry]) -> Self {
+        let mut solver_runs = 0usize;
+        let mut nonconverged_runs = 0usize;
+        let mut iterations = 0u64;
+        let mut counts = [0usize; TAXONOMY.len()];
+        let mut matmuls = 0u64;
+        let mut sinkhorn_sweeps = 0u64;
+        let mut auction_bids = 0u64;
+        let mut phases: Vec<(String, f64)> = Vec::new();
+        for rep in reps {
+            for ev in &rep.events {
+                solver_runs += 1;
+                if !ev.convergence.converged {
+                    nonconverged_runs += 1;
+                }
+                iterations += ev.convergence.iterations as u64;
+                let slot = TAXONOMY
+                    .iter()
+                    .position(|&r| r == ev.convergence.stop)
+                    .expect("stop reason in taxonomy");
+                counts[slot] += 1;
+            }
+            matmuls += rep.matmuls;
+            sinkhorn_sweeps += rep.sinkhorn_sweeps;
+            auction_bids += rep.auction_bids;
+            for &(name, secs) in &rep.phases {
+                match phases.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, total)) => *total += secs,
+                    None => phases.push((name.to_string(), secs)),
+                }
+            }
+        }
+        phases.sort_by(|a, b| a.0.cmp(&b.0));
+        let stop_reasons = TAXONOMY
+            .iter()
+            .zip(counts)
+            .filter(|&(_, c)| c > 0)
+            .map(|(r, c)| (r.as_str().to_string(), c))
+            .collect();
+        Self {
+            converged: nonconverged_runs == 0,
+            solver_runs,
+            nonconverged_runs,
+            iterations,
+            stop_reasons,
+            matmuls,
+            sinkhorn_sweeps,
+            auction_bids,
+            phases,
+        }
+    }
+
+    /// Parses the block back from its JSON form. Returns `None` when a
+    /// required field is missing, mistyped, or names an unknown stop reason.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let count = |key: &str| v.get(key).and_then(Json::as_f64).map(|n| n as usize);
+        let obj_entries = |val: &Json| match val {
+            Json::Obj(members) => Some(members.clone()),
+            _ => None,
+        };
+        let ops = v.get("ops")?;
+        let mut stop_reasons = Vec::new();
+        for (k, c) in obj_entries(v.get("stop_reasons")?)? {
+            StopReason::parse(&k)?;
+            stop_reasons.push((k, c.as_f64()? as usize));
+        }
+        let mut phases = Vec::new();
+        for (k, secs) in obj_entries(v.get("phases")?)? {
+            phases.push((k, secs.as_f64()?));
+        }
+        Some(Self {
+            converged: v.get("converged")?.as_bool()?,
+            solver_runs: count("solver_runs")?,
+            nonconverged_runs: count("nonconverged_runs")?,
+            iterations: v.get("iterations")?.as_f64()? as u64,
+            stop_reasons,
+            matmuls: ops.get("matmuls")?.as_f64()? as u64,
+            sinkhorn_sweeps: ops.get("sinkhorn_sweeps")?.as_f64()? as u64,
+            auction_bids: ops.get("auction_bids")?.as_f64()? as u64,
+            phases,
+        })
+    }
+}
+
+impl graphalign_json::ToJson for CellTelemetry {
+    fn to_json(&self) -> Json {
+        let pairs_obj = |pairs: &[(String, usize)]| {
+            Json::Obj(pairs.iter().map(|(k, c)| (k.clone(), Json::Num(*c as f64))).collect())
+        };
+        Json::Obj(vec![
+            ("converged".into(), Json::Bool(self.converged)),
+            ("solver_runs".into(), Json::Num(self.solver_runs as f64)),
+            ("nonconverged_runs".into(), Json::Num(self.nonconverged_runs as f64)),
+            ("iterations".into(), Json::Num(self.iterations as f64)),
+            ("stop_reasons".into(), pairs_obj(&self.stop_reasons)),
+            (
+                "ops".into(),
+                Json::Obj(vec![
+                    ("matmuls".into(), Json::Num(self.matmuls as f64)),
+                    ("sinkhorn_sweeps".into(), Json::Num(self.sinkhorn_sweeps as f64)),
+                    ("auction_bids".into(), Json::Num(self.auction_bids as f64)),
+                ]),
+            ),
+            (
+                "phases".into(),
+                Json::Obj(self.phases.iter().map(|(k, s)| (k.clone(), Json::Num(*s))).collect()),
+            ),
+        ])
+    }
+}
+
+/// One line of the `--trace <path>` JSONL sidecar: the residual series of a
+/// single solver invocation inside a single repetition of a cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Workload label (dataset / sweep identifier), sweep-specific.
+    pub workload: String,
+    /// Algorithm name.
+    pub algorithm: String,
+    /// Assignment method label.
+    pub assignment: String,
+    /// Noise model label.
+    pub noise: String,
+    /// Noise level.
+    pub level: f64,
+    /// Repetition index within the cell.
+    pub rep: usize,
+    /// Solver routine name (`"sinkhorn"`, `"isorank"`, …).
+    pub routine: String,
+    /// Outer iterations the invocation ran.
+    pub iterations: usize,
+    /// Final residual.
+    pub residual: f64,
+    /// Whether the invocation converged.
+    pub converged: bool,
+    /// Stop reason ([`StopReason::as_str`] form).
+    pub stop: String,
+    /// Residual after each recorded outer iteration, in order.
+    pub residuals: Vec<f64>,
+}
+
+graphalign_json::impl_to_json!(TraceRecord {
+    workload,
+    algorithm,
+    assignment,
+    noise,
+    level,
+    rep,
+    routine,
+    iterations,
+    residual,
+    converged,
+    stop,
+    residuals,
+});
+
+impl TraceRecord {
+    /// Parses a record back from one JSONL line's value. Returns `None` on
+    /// missing/mistyped fields or an unknown stop reason.
+    pub fn from_json(v: &Json) -> Option<Self> {
+        let s = |key: &str| v.get(key)?.as_str().map(str::to_string);
+        let stop = s("stop")?;
+        StopReason::parse(&stop)?;
+        Some(Self {
+            workload: s("workload")?,
+            algorithm: s("algorithm")?,
+            assignment: s("assignment")?,
+            noise: s("noise")?,
+            level: v.get("level")?.as_f64()?,
+            rep: v.get("rep")?.as_f64()? as usize,
+            routine: s("routine")?,
+            iterations: v.get("iterations")?.as_f64()? as usize,
+            residual: v.get("residual")?.as_f64().unwrap_or(f64::NAN),
+            converged: v.get("converged")?.as_bool()?,
+            stop,
+            residuals: v
+                .get("residuals")?
+                .as_array()?
+                .iter()
+                .map(|r| r.as_f64().unwrap_or(f64::NAN))
+                .collect(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_par::telemetry::{Convergence, SolverEvent};
+
+    fn rep(events: Vec<SolverEvent>) -> RepTelemetry {
+        RepTelemetry { events, ..RepTelemetry::default() }
+    }
+
+    #[test]
+    fn aggregate_counts_runs_iterations_and_reasons() {
+        let reps = vec![
+            rep(vec![
+                SolverEvent { routine: "isorank", convergence: Convergence::tolerance(12, 1e-10) },
+                SolverEvent { routine: "sinkhorn", convergence: Convergence::max_iter(300, 0.2) },
+            ]),
+            RepTelemetry {
+                events: vec![SolverEvent {
+                    routine: "isorank",
+                    convergence: Convergence::tolerance(9, 1e-11),
+                }],
+                matmuls: 5,
+                sinkhorn_sweeps: 40,
+                auction_bids: 7,
+                phases: vec![("similarity", 0.5), ("assignment", 0.25)],
+                ..RepTelemetry::default()
+            },
+        ];
+        let t = CellTelemetry::aggregate(&reps);
+        assert!(!t.converged, "a max_iter truncation must flip the cell flag");
+        assert_eq!(t.solver_runs, 3);
+        assert_eq!(t.nonconverged_runs, 1);
+        assert_eq!(t.iterations, 12 + 300 + 9);
+        assert_eq!(t.stop_reasons, vec![("tolerance".to_string(), 2), ("max_iter".to_string(), 1)]);
+        assert_eq!(t.matmuls, 5);
+        assert_eq!(t.sinkhorn_sweeps, 40);
+        assert_eq!(t.auction_bids, 7);
+        // Sorted by phase name, not insertion order.
+        assert_eq!(t.phases[0].0, "assignment");
+        assert_eq!(t.phases[1].0, "similarity");
+    }
+
+    #[test]
+    fn empty_aggregate_is_vacuously_converged() {
+        let t = CellTelemetry::aggregate(&[]);
+        assert!(t.converged);
+        assert_eq!(t.solver_runs, 0);
+        assert!(t.stop_reasons.is_empty());
+        assert!(t.phases.is_empty());
+    }
+
+    #[test]
+    fn cell_telemetry_json_round_trips() {
+        let reps = vec![rep(vec![
+            SolverEvent { routine: "power", convergence: Convergence::tolerance(40, 1e-9) },
+            SolverEvent { routine: "gwl", convergence: Convergence::max_iter(250, 0.01) },
+        ])];
+        let t = CellTelemetry::aggregate(&reps);
+        let line = graphalign_json::to_string_compact(&t);
+        let parsed = graphalign_json::from_str(&line).expect("valid JSON");
+        let back = CellTelemetry::from_json(&parsed).expect("parseable block");
+        assert_eq!(back, t);
+        assert_eq!(graphalign_json::to_string_compact(&back), line);
+    }
+
+    #[test]
+    fn from_json_rejects_unknown_stop_reason() {
+        let line = r#"{"converged":true,"solver_runs":1,"nonconverged_runs":0,"iterations":3,"stop_reasons":{"gave_up":1},"ops":{"matmuls":0,"sinkhorn_sweeps":0,"auction_bids":0},"phases":{}}"#;
+        let parsed = graphalign_json::from_str(line).unwrap();
+        assert!(CellTelemetry::from_json(&parsed).is_none());
+    }
+
+    #[test]
+    fn trace_record_json_round_trips() {
+        let r = TraceRecord {
+            workload: "quality-sweep".into(),
+            algorithm: "IsoRank".into(),
+            assignment: "JV".into(),
+            noise: "one-way".into(),
+            level: 0.05,
+            rep: 2,
+            routine: "isorank".into(),
+            iterations: 3,
+            residual: 0.0078125,
+            converged: false,
+            stop: "max_iter".into(),
+            residuals: vec![0.5, 0.125, 0.0078125],
+        };
+        let line = graphalign_json::to_string_compact(&r);
+        let parsed = graphalign_json::from_str(&line).expect("valid JSON");
+        let back = TraceRecord::from_json(&parsed).expect("parseable record");
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn trace_record_rejects_unknown_stop() {
+        let r = TraceRecord {
+            workload: "w".into(),
+            algorithm: "A".into(),
+            assignment: "JV".into(),
+            noise: "one-way".into(),
+            level: 0.0,
+            rep: 0,
+            routine: "x".into(),
+            iterations: 1,
+            residual: 0.0,
+            converged: true,
+            stop: "wandered_off".into(),
+            residuals: vec![],
+        };
+        let line = graphalign_json::to_string_compact(&r);
+        let parsed = graphalign_json::from_str(&line).unwrap();
+        assert!(TraceRecord::from_json(&parsed).is_none());
+    }
+}

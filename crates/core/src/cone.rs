@@ -27,6 +27,7 @@ use graphalign_linalg::lanczos::{lanczos, Which};
 use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
 use graphalign_linalg::svd::procrustes;
 use graphalign_linalg::{CsrMatrix, DenseMatrix, LinearOp};
+use graphalign_par::telemetry::{self, Convergence};
 
 /// CONE with the study's tuned hyperparameters (Table 1: `dim = 512`,
 /// NN native assignment; the subspace alignment runs ~50 outer rounds in
@@ -139,12 +140,17 @@ impl Cone {
         // Normalize the cost scale so the default ε applies.
         let scale = feat_cost.max_abs().max(1e-12);
         let feat_cost = feat_cost.scaled(1.0 / scale);
-        let p0 = sinkhorn(&feat_cost, &mu, &nu, &self.sinkhorn)?;
+        let (p0, _) = sinkhorn(&feat_cost, &mu, &nu, &self.sinkhorn)?;
         let mut p_yb = p0.matmul(&yb);
         p_yb.scale_inplace(n_a as f64);
         let mut q = procrustes(&ya, &p_yb)?;
 
+        const TOL: f64 = 1e-7;
+        let mut iterations = 0;
+        let mut last_delta = f64::INFINITY;
+        let mut hit_tol = false;
         for it in 0..self.outer_iters {
+            crate::check_budget("cone", it)?;
             let ya_q = ya.matmul(&q);
             // Wasserstein step with annealed ε: transport over the
             // embedding-distance cost.
@@ -155,18 +161,30 @@ impl Cone {
                 epsilon: (self.sinkhorn.epsilon * 0.8_f64.powi(it as i32)).max(0.005),
                 ..self.sinkhorn
             };
-            let p = sinkhorn(&cost, &mu, &nu, &annealed)?;
+            let (p, _) = sinkhorn(&cost, &mu, &nu, &annealed)?;
             // Procrustes step: rotate Y_A onto P·Y_B (scaled back to
             // per-row mass 1: P rows sum to 1/n_A).
             let mut p_yb = p.matmul(&yb);
             p_yb.scale_inplace(n_a as f64);
             let q_new = procrustes(&ya, &p_yb)?;
             let delta = q_new.sub(&q).max_abs();
+            iterations = it + 1;
+            last_delta = delta;
+            telemetry::record_residual("cone", delta);
             q = q_new;
-            if delta < 1e-7 {
+            if delta < TOL {
+                hit_tol = true;
                 break;
             }
         }
+        telemetry::record(
+            "cone",
+            if hit_tol {
+                Convergence::tolerance(iterations, last_delta)
+            } else {
+                Convergence::max_iter(iterations, last_delta)
+            },
+        );
         Ok((ya.matmul(&q), yb))
     }
 }
@@ -196,11 +214,14 @@ impl Aligner for Cone {
     ) -> Result<Vec<usize>, AlignError> {
         check_sizes(source, target)?;
         if method == AssignmentMethod::NearestNeighbor {
-            let (ya, yb) = self.aligned_embeddings(source, target)?;
-            return Ok(nn::nearest_neighbor_embeddings(&ya, &yb));
+            let (ya, yb) =
+                telemetry::time_phase("similarity", || self.aligned_embeddings(source, target))?;
+            return Ok(telemetry::time_phase("assignment", || {
+                nn::nearest_neighbor_embeddings(&ya, &yb)
+            }));
         }
-        let sim = self.similarity(source, target)?;
-        Ok(graphalign_assignment::assign(&sim, method))
+        let sim = telemetry::time_phase("similarity", || self.similarity(source, target))?;
+        Ok(telemetry::time_phase("assignment", || graphalign_assignment::assign(&sim, method)))
     }
 }
 

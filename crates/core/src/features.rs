@@ -71,8 +71,10 @@ pub fn feature_pair(
     target: &Graph,
     params: &FeatureParams,
 ) -> (DenseMatrix, DenseMatrix) {
-    let buckets = bucket_count(source, target);
-    (structural_features(source, params, buckets), structural_features(target, params, buckets))
+    graphalign_par::telemetry::time_phase("features", || {
+        let buckets = bucket_count(source, target);
+        (structural_features(source, params, buckets), structural_features(target, params, buckets))
+    })
 }
 
 #[cfg(test)]

@@ -186,11 +186,18 @@ impl Aligner for Graal {
     ) -> Result<Vec<usize>, AlignError> {
         check_sizes(source, target)?;
         if method == AssignmentMethod::SortGreedy {
-            let costs = self.costs(source, target);
-            return Ok(self.seed_and_extend(source, target, &costs));
+            let costs =
+                graphalign_par::telemetry::time_phase("similarity", || self.costs(source, target));
+            return Ok(graphalign_par::telemetry::time_phase("assignment", || {
+                self.seed_and_extend(source, target, &costs)
+            }));
         }
-        let sim = self.similarity(source, target)?;
-        Ok(graphalign_assignment::assign(&sim, method))
+        let sim = graphalign_par::telemetry::time_phase("similarity", || {
+            self.similarity(source, target)
+        })?;
+        Ok(graphalign_par::telemetry::time_phase("assignment", || {
+            graphalign_assignment::assign(&sim, method)
+        }))
     }
 }
 

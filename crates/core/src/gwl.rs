@@ -24,6 +24,7 @@ use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::sinkhorn::{proximal_step, uniform_marginal, SinkhornParams};
 use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_par::telemetry::{self, Convergence};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -118,6 +119,12 @@ impl Gwl {
         };
         let params = SinkhornParams { epsilon: self.beta, max_iter: 100, tol: 1e-7 };
 
+        // GWL runs a fixed schedule of proximal updates; the transport delta
+        // between outer iterations is recorded so telemetry can tell whether
+        // the alternation had settled by the time the schedule ran out.
+        const REPORT_TOL: f64 = 1e-6;
+        let mut iterations = 0;
+        let mut last_delta = f64::INFINITY;
         for epoch in 0..self.epochs {
             for outer in 0..self.outer_iters {
                 crate::check_budget("gwl", epoch * self.outer_iters + outer)?;
@@ -135,7 +142,14 @@ impl Gwl {
                         }
                     }
                 }
-                t = proximal_step(&cost, &t, &mu, &nu, &params)?;
+                let (t_new, _) = proximal_step(&cost, &t, &mu, &nu, &params)?;
+                last_delta = {
+                    let (a, b) = (t_new.as_slice(), t.as_slice());
+                    graphalign_par::sum_indexed(a.len(), 1, |i| (a[i] - b[i]).abs())
+                };
+                iterations = epoch * self.outer_iters + outer + 1;
+                telemetry::record_residual("gwl", last_delta);
+                t = t_new;
 
                 // Embedding update: gradient step on ⟨K(X_A, X_B), T⟩, which
                 // pulls x_i toward the transport-weighted barycenter of X_B
@@ -160,6 +174,17 @@ impl Gwl {
                 }
             }
         }
+        // The schedule always runs to completion; `converged` reports whether
+        // the transport had stopped moving by the end.
+        telemetry::record(
+            "gwl",
+            Convergence {
+                iterations,
+                residual: last_delta,
+                converged: last_delta < REPORT_TOL,
+                stop: graphalign_par::telemetry::StopReason::MaxIter,
+            },
+        );
         Ok(t)
     }
 }

@@ -19,6 +19,7 @@ use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_par::telemetry::{self, Convergence};
 
 /// Which prior similarity matrix `E` to blend in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,8 +81,12 @@ impl Aligner for IsoRank {
         let pb: CsrMatrix = spectral::row_normalized_adjacency(target);
         let e = self.prior_matrix(source, target);
         let mut r = e.clone();
+        let mut iterations = 0;
+        let mut last_delta = 0.0;
+        let mut hit_tol = false;
         for it in 0..self.max_iter {
             crate::check_budget("isorank", it)?;
+            iterations = it + 1;
             // R_next = α · P_Aᵀ-side · R · P_B-side + (1 − α) E
             // pa is already A·D_A⁻¹; multiply left; then right by D_B⁻¹·B
             // via (pb ᵀ applied from the right) = (pb.mul from left on Rᵀ)ᵀ;
@@ -101,11 +106,25 @@ impl Aligner for IsoRank {
                 let (a, b) = (next.as_slice(), r.as_slice());
                 graphalign_par::sum_indexed(a.len(), 1, |i| (a[i] - b[i]).abs())
             };
+            last_delta = delta;
+            telemetry::record_residual("isorank", delta);
             r = next;
             if delta < self.tol {
+                hit_tol = true;
                 break;
             }
         }
+        // The paper accepts the truncated matrix after 100 iterations "even
+        // if it has not converged" — the stop reason records which case this
+        // run was instead of discarding it.
+        telemetry::record(
+            "isorank",
+            if hit_tol {
+                Convergence::tolerance(iterations, last_delta)
+            } else {
+                Convergence::max_iter(iterations, last_delta)
+            },
+        );
         Ok(r)
     }
 }

@@ -123,9 +123,14 @@ impl From<LinalgError> for AlignError {
 
 /// Returns `Err(Interrupted)` when the current cell budget has expired; the
 /// algorithms call this once per outer iteration so a runaway cell winds
-/// down between iterations instead of being killed from outside.
+/// down between iterations instead of being killed from outside. The
+/// interruption is also reported to the telemetry sink.
 pub(crate) fn check_budget(routine: &'static str, iterations: usize) -> Result<(), AlignError> {
     if graphalign_par::budget::exceeded() {
+        graphalign_par::telemetry::record(
+            routine,
+            graphalign_par::telemetry::Convergence::interrupted(iterations, 0.0),
+        );
         Err(AlignError::Interrupted { routine, iterations })
     } else {
         Ok(())
@@ -166,8 +171,12 @@ pub trait Aligner {
         method: AssignmentMethod,
     ) -> Result<Vec<usize>, AlignError> {
         check_sizes(source, target)?;
-        let sim = self.similarity(source, target)?;
-        Ok(graphalign_assignment::assign(&sim, method))
+        let sim = graphalign_par::telemetry::time_phase("similarity", || {
+            self.similarity(source, target)
+        })?;
+        Ok(graphalign_par::telemetry::time_phase("assignment", || {
+            graphalign_assignment::assign(&sim, method)
+        }))
     }
 
     /// Aligns with the algorithm's native assignment method.

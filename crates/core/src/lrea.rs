@@ -23,6 +23,7 @@ use graphalign_graph::Graph;
 use graphalign_linalg::qr::thin_qr;
 use graphalign_linalg::svd::thin_svd;
 use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_par::telemetry::{self, Convergence};
 
 /// LREA with the study's tuned hyperparameters (Table 1: `iterations = 40`,
 /// MWM native assignment).
@@ -163,8 +164,10 @@ impl Lrea {
     }
 
     /// Compresses `X = U Vᵀ` back to rank ≤ `max_rank` via QR + small SVD,
-    /// and normalizes `‖X‖_F = 1`.
-    fn compress(&self, x: Factors) -> Result<Factors, AlignError> {
+    /// and normalizes `‖X‖_F = 1`. Also returns the retained (normalized)
+    /// singular values — the iterate's spectral signature, whose change
+    /// between iterations serves as the convergence residual.
+    fn compress(&self, x: Factors) -> Result<(Factors, Vec<f64>), AlignError> {
         let qu = thin_qr(&x.u);
         let qv = thin_qr(&x.v);
         let core = qu.r.matmul_tr(&qv.r); // small (k+3) × (k+3)
@@ -188,7 +191,8 @@ impl Lrea {
                 v_small.set(j, c, svd.v.get(j, c) * s);
             }
         }
-        Ok(Factors { u: qu.q.matmul(&u_small), v: qv.q.matmul(&v_small) })
+        let sigmas: Vec<f64> = svd.sigma[..rank].iter().map(|s| s / norm).collect();
+        Ok((Factors { u: qu.q.matmul(&u_small), v: qv.q.matmul(&v_small) }, sigmas))
     }
 
     /// Runs the factored power iteration and returns the final `(U, V)`.
@@ -209,10 +213,37 @@ impl Lrea {
             u: DenseMatrix::filled(n_a, 1, 1.0 / (n_a as f64).sqrt()),
             v: DenseMatrix::filled(n_b, 1, 1.0 / (n_b as f64).sqrt()),
         };
+        // Fixed-schedule power iteration; the spectral-signature delta is
+        // recorded so telemetry can tell whether the iterate had settled.
+        const REPORT_TOL: f64 = 1e-9;
+        let mut prev_sigmas: Vec<f64> = Vec::new();
+        let mut iterations = 0;
+        let mut last_delta = f64::INFINITY;
         for it in 0..self.iterations {
             crate::check_budget("lrea", it)?;
-            x = self.compress(self.apply_operator(coefs, &a, &b, &x))?;
+            let (compressed, sigmas) = self.compress(self.apply_operator(coefs, &a, &b, &x))?;
+            x = compressed;
+            let len = sigmas.len().max(prev_sigmas.len());
+            last_delta = (0..len)
+                .map(|c| {
+                    let new = sigmas.get(c).copied().unwrap_or(0.0);
+                    let old = prev_sigmas.get(c).copied().unwrap_or(0.0);
+                    (new - old).abs()
+                })
+                .fold(0.0, f64::max);
+            iterations = it + 1;
+            telemetry::record_residual("lrea", last_delta);
+            prev_sigmas = sigmas;
         }
+        telemetry::record(
+            "lrea",
+            Convergence {
+                iterations,
+                residual: last_delta,
+                converged: last_delta < REPORT_TOL,
+                stop: graphalign_par::telemetry::StopReason::MaxIter,
+            },
+        );
         Ok((x.u, x.v))
     }
 
@@ -268,13 +299,16 @@ impl Aligner for Lrea {
     ) -> Result<Vec<usize>, AlignError> {
         check_sizes(source, target)?;
         if method == AssignmentMethod::Auction {
-            let (u, v) = self.factors(source, target)?;
-            let cands = self.candidates(&u, &v);
-            let sparse = CsrMatrix::from_triplets(source.node_count(), target.node_count(), &cands);
-            return Ok(auction::auction_max(&sparse));
+            let (u, v) = telemetry::time_phase("similarity", || self.factors(source, target))?;
+            return telemetry::time_phase("assignment", || {
+                let cands = self.candidates(&u, &v);
+                let sparse =
+                    CsrMatrix::from_triplets(source.node_count(), target.node_count(), &cands);
+                Ok(auction::auction_max(&sparse))
+            });
         }
-        let sim = self.similarity(source, target)?;
-        Ok(graphalign_assignment::assign(&sim, method))
+        let sim = telemetry::time_phase("similarity", || self.similarity(source, target))?;
+        Ok(telemetry::time_phase("assignment", || graphalign_assignment::assign(&sim, method)))
     }
 }
 

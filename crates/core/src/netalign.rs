@@ -28,6 +28,7 @@ use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::{auction, AssignmentMethod};
 use graphalign_graph::Graph;
 use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_par::telemetry::{self, Convergence};
 
 /// NetAlign with the enhancements the study granted it (degree-prior
 /// candidates, JV-compatible output).
@@ -103,6 +104,11 @@ impl NetAlign {
     fn beliefs(&self, candidates: &[Candidate]) -> Result<Vec<f64>, AlignError> {
         let mut belief: Vec<f64> = candidates.iter().map(|c| c.weight).collect();
         let mut next = belief.clone();
+        // Fixed schedule of damped rounds; the max belief change per round
+        // is recorded so telemetry can tell whether the messages settled.
+        const REPORT_TOL: f64 = 1e-9;
+        let mut iterations = 0;
+        let mut last_delta = f64::INFINITY;
         for round in 0..self.rounds {
             crate::check_budget("netalign", round)?;
             for (idx, c) in candidates.iter().enumerate() {
@@ -117,8 +123,21 @@ impl NetAlign {
                 let fresh = c.weight + bonus;
                 next[idx] = self.damping * belief[idx] + (1.0 - self.damping) * fresh;
             }
+            last_delta =
+                belief.iter().zip(&next).map(|(old, new)| (new - old).abs()).fold(0.0, f64::max);
+            iterations = round + 1;
+            telemetry::record_residual("netalign", last_delta);
             std::mem::swap(&mut belief, &mut next);
         }
+        telemetry::record(
+            "netalign",
+            Convergence {
+                iterations,
+                residual: last_delta,
+                converged: last_delta < REPORT_TOL,
+                stop: graphalign_par::telemetry::StopReason::MaxIter,
+            },
+        );
         Ok(belief)
     }
 }
@@ -153,16 +172,21 @@ impl Aligner for NetAlign {
     ) -> Result<Vec<usize>, AlignError> {
         check_sizes(source, target)?;
         if method == AssignmentMethod::Auction {
-            let candidates = self.candidates(source, target);
-            let beliefs = self.beliefs(&candidates)?;
+            let (candidates, beliefs) = telemetry::time_phase("similarity", || {
+                let candidates = self.candidates(source, target);
+                let beliefs = self.beliefs(&candidates)?;
+                Ok::<_, AlignError>((candidates, beliefs))
+            })?;
             let triplets: Vec<(usize, usize, f64)> =
                 candidates.iter().zip(&beliefs).map(|(c, &b)| (c.i, c.j, b.max(0.0))).collect();
-            let sparse =
-                CsrMatrix::from_triplets(source.node_count(), target.node_count(), &triplets);
-            return Ok(auction::auction_max(&sparse));
+            return Ok(telemetry::time_phase("assignment", || {
+                let sparse =
+                    CsrMatrix::from_triplets(source.node_count(), target.node_count(), &triplets);
+                auction::auction_max(&sparse)
+            }));
         }
-        let sim = self.similarity(source, target)?;
-        Ok(graphalign_assignment::assign(&sim, method))
+        let sim = telemetry::time_phase("similarity", || self.similarity(source, target))?;
+        Ok(telemetry::time_phase("assignment", || graphalign_assignment::assign(&sim, method)))
     }
 }
 

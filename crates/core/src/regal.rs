@@ -137,11 +137,19 @@ impl Aligner for Regal {
     ) -> Result<Vec<usize>, AlignError> {
         check_sizes(source, target)?;
         if method == AssignmentMethod::NearestNeighbor {
-            let (ya, yb) = self.embeddings(source, target)?;
-            return Ok(nn::nearest_neighbor_embeddings(&ya, &yb));
+            let (ya, yb) = graphalign_par::telemetry::time_phase("similarity", || {
+                self.embeddings(source, target)
+            })?;
+            return Ok(graphalign_par::telemetry::time_phase("assignment", || {
+                nn::nearest_neighbor_embeddings(&ya, &yb)
+            }));
         }
-        let sim = self.similarity(source, target)?;
-        Ok(graphalign_assignment::assign(&sim, method))
+        let sim = graphalign_par::telemetry::time_phase("similarity", || {
+            self.similarity(source, target)
+        })?;
+        Ok(graphalign_par::telemetry::time_phase("assignment", || {
+            graphalign_assignment::assign(&sim, method)
+        }))
     }
 }
 

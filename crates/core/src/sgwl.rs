@@ -225,7 +225,7 @@ impl Sgwl {
                 let mu = uniform_marginal(src_nodes.len());
                 let nu = uniform_marginal(tgt_nodes.len());
                 let params = SinkhornParams { epsilon: self.beta, max_iter: 100, tol: 1e-7 };
-                let t0 = sinkhorn(&cost, &mu, &nu, &params)?;
+                let (t0, _) = sinkhorn(&cost, &mu, &nu, &params)?;
                 let t = gwl.transport_with_init(&sub_a, &sub_b, Some(&t0))?;
                 for (li, &v) in src_nodes.iter().enumerate() {
                     for (lj, &w) in tgt_nodes.iter().enumerate() {

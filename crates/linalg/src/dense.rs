@@ -190,6 +190,7 @@ impl DenseMatrix {
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        par::telemetry::count_matmul();
         let (m, k, n) = (self.rows, self.cols, rhs.cols);
         let mut out = vec![0.0; m * n];
         par::for_each_row_block_mut(&mut out, n.max(1), k.saturating_mul(n), |rows, block| {
@@ -216,6 +217,7 @@ impl DenseMatrix {
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn tr_matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, rhs.rows, "tr_matmul: row counts differ");
+        par::telemetry::count_matmul();
         let (m, n) = (self.cols, rhs.cols);
         let mut out = DenseMatrix::zeros(m, n);
         for l in 0..self.rows {
@@ -240,6 +242,7 @@ impl DenseMatrix {
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_tr(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, rhs.cols, "matmul_tr: column counts differ");
+        par::telemetry::count_matmul();
         let (m, n) = (self.rows, rhs.rows);
         let k = self.cols;
         let mut out = vec![0.0; m * n];

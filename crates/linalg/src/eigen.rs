@@ -15,6 +15,7 @@
 
 use crate::dense::DenseMatrix;
 use crate::LinalgError;
+use graphalign_par::telemetry::{self, Convergence};
 
 /// A full symmetric eigendecomposition `M = V diag(λ) Vᵀ`.
 #[derive(Debug, Clone)]
@@ -177,6 +178,7 @@ fn tql2(v: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgE
     let mut f = 0.0_f64;
     let mut tst1 = 0.0_f64;
     let eps = f64::EPSILON;
+    let mut total_iters = 0usize;
     for l in 0..n {
         tst1 = tst1.max(d[l].abs() + e[l].abs());
         let mut m = l;
@@ -193,7 +195,9 @@ fn tql2(v: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgE
             let mut iter = 0;
             loop {
                 iter += 1;
+                total_iters += 1;
                 if iter > 50 {
+                    telemetry::record("tql2", Convergence::max_iter(total_iters, e[l].abs()));
                     return Err(LinalgError::NoConvergence { routine: "tql2", iterations: iter });
                 }
                 // Compute implicit shift.
@@ -269,6 +273,7 @@ fn tql2(v: &mut DenseMatrix, d: &mut [f64], e: &mut [f64]) -> Result<(), LinalgE
             }
         }
     }
+    telemetry::record("tql2", Convergence::tolerance(total_iters, 0.0));
     Ok(())
 }
 

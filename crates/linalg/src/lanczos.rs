@@ -13,6 +13,7 @@ use crate::eigen::symmetric_eigen;
 use crate::vec_ops;
 use crate::{LinalgError, LinearOp};
 use graphalign_par as par;
+use graphalign_par::telemetry::{self, Convergence, StopReason};
 use rand::prelude::*;
 
 /// Subtracts from `w` its projections onto every basis vector.
@@ -54,6 +55,12 @@ pub struct LanczosResult {
     pub values: Vec<f64>,
     /// Matching eigenvectors as columns of an `n × k` matrix.
     pub vectors: DenseMatrix,
+    /// How the Krylov iteration stopped: `max_iter` when it ran to the
+    /// subspace cap (the normal case — there is no residual test), or
+    /// `breakdown` when the space was exhausted early (exact invariant
+    /// subspace). Both count as converged; also reported to the telemetry
+    /// sink.
+    pub convergence: Convergence,
 }
 
 /// Computes `k` extremal eigenpairs of the symmetric operator `op`.
@@ -94,6 +101,8 @@ pub fn lanczos(
         return Err(LinalgError::NotFinite { routine: "lanczos" });
     }
     let mut w = vec![0.0; n];
+    let mut last_beta = 0.0;
+    let mut stop = StopReason::MaxIter;
     for j in 0..m {
         crate::check_budget("lanczos", j)?;
         basis.push(q.clone());
@@ -113,6 +122,7 @@ pub fn lanczos(
         orthogonalize_against(&basis, &mut w);
         orthogonalize_against(&basis, &mut w);
         let b_j = vec_ops::norm2(&w);
+        last_beta = b_j;
         if j + 1 == m {
             break;
         }
@@ -126,6 +136,8 @@ pub fn lanczos(
             if vec_ops::normalize(&mut fresh) == 0.0 {
                 // Space exhausted (m ≥ effective dimension); stop early.
                 beta.push(0.0);
+                stop = StopReason::Breakdown;
+                last_beta = 0.0;
                 break;
             }
             beta.push(0.0);
@@ -175,7 +187,9 @@ pub fn lanczos(
             vectors.set(i, j, v);
         }
     }
-    Ok(LanczosResult { values, vectors })
+    let convergence = Convergence { iterations: dim, residual: last_beta, converged: true, stop };
+    telemetry::record("lanczos", convergence);
+    Ok(LanczosResult { values, vectors, convergence })
 }
 
 #[cfg(test)]
@@ -261,6 +275,21 @@ mod tests {
         // Vectors remain orthonormal.
         let gram = res.vectors.tr_matmul(&res.vectors);
         assert!(gram.sub(&DenseMatrix::identity(3)).max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn convergence_reports_subspace_cap_as_normal_stop() {
+        let d: Vec<f64> = (1..=30).map(|i| i as f64).collect();
+        let _g = telemetry::install(false);
+        let res = lanczos(&diag_csr(&d), 3, Which::Largest, 10, 42).unwrap();
+        assert!(res.convergence.converged, "running to the cap is the normal stop");
+        assert_eq!(res.convergence.stop, telemetry::StopReason::MaxIter);
+        assert_eq!(res.convergence.iterations, 10);
+        assert!(res.convergence.residual.is_finite());
+        let t = telemetry::drain();
+        // One lanczos event plus the tql2 event from the projected solve.
+        assert!(t.events.iter().any(|e| e.routine == "lanczos"));
+        assert!(t.events.iter().any(|e| e.routine == "tql2"));
     }
 
     #[test]

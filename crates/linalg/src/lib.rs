@@ -89,9 +89,16 @@ impl LinalgError {
 }
 
 /// Returns `Err(Interrupted)` when the current cell budget has expired;
-/// the iterative solvers call this once per outer iteration.
+/// the iterative solvers call this once per outer iteration. The
+/// interruption is also reported to the telemetry sink, so solvers whose
+/// errors a caller swallows (e.g. Lanczos inside S-GWL's Fiedler fallback)
+/// still leave a visible `interrupted` event.
 pub(crate) fn check_budget(routine: &'static str, iterations: usize) -> Result<(), LinalgError> {
     if graphalign_par::budget::exceeded() {
+        graphalign_par::telemetry::record(
+            routine,
+            graphalign_par::telemetry::Convergence::interrupted(iterations, 0.0),
+        );
         Err(LinalgError::Interrupted { routine, iterations })
     } else {
         Ok(())

@@ -7,6 +7,7 @@
 
 use crate::vec_ops;
 use crate::{LinalgError, LinearOp};
+use graphalign_par::telemetry::{self, Convergence};
 
 /// Result of a converged (or truncated) power iteration.
 #[derive(Debug, Clone)]
@@ -19,6 +20,9 @@ pub struct PowerResult {
     pub iterations: usize,
     /// Final residual `‖M v − λ v‖₂`.
     pub residual: f64,
+    /// How the iteration stopped (tolerance met vs `max_iter` truncation);
+    /// also reported to the telemetry sink when one is installed.
+    pub convergence: Convergence,
 }
 
 /// Runs power iteration on `op` starting from `x0`.
@@ -51,6 +55,7 @@ pub fn power_iteration(
     }
     let mut y = vec![0.0; n];
     let mut iterations = 0;
+    let mut hit_tol = false;
     for it in 0..max_iter {
         crate::check_budget("power_iteration", it)?;
         iterations = it + 1;
@@ -69,8 +74,10 @@ pub fn power_iteration(
         vec_ops::scale(-1.0, &mut y_neg);
         let delta_minus = vec_ops::dist2_sq(&x, &y_neg).sqrt();
         let delta = delta_plus.min(delta_minus);
+        telemetry::record_residual("power_iteration", delta);
         std::mem::swap(&mut x, &mut y);
         if delta < tol {
+            hit_tol = true;
             break;
         }
     }
@@ -79,7 +86,14 @@ pub fn power_iteration(
     let value = vec_ops::dot(&x, &y);
     let mut residual_vec = y.clone();
     vec_ops::axpy(-value, &x, &mut residual_vec);
-    Ok(PowerResult { vector: x, value, iterations, residual: vec_ops::norm2(&residual_vec) })
+    let residual = vec_ops::norm2(&residual_vec);
+    let convergence = if hit_tol {
+        Convergence::tolerance(iterations, residual)
+    } else {
+        Convergence::max_iter(iterations, residual)
+    };
+    telemetry::record("power_iteration", convergence);
+    Ok(PowerResult { vector: x, value, iterations, residual, convergence })
 }
 
 #[cfg(test)]
@@ -117,6 +131,24 @@ mod tests {
         let m = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
         let r = power_iteration(&m, &[1.0, 0.0], 1, 0.0).unwrap();
         assert_eq!(r.iterations, 1);
+        assert!(!r.convergence.converged, "truncated run must not claim convergence");
+        assert_eq!(r.convergence.stop, telemetry::StopReason::MaxIter);
+    }
+
+    #[test]
+    fn convergence_record_reports_tolerance_stop() {
+        let m = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 5.0]]);
+        let _g = telemetry::install(true);
+        let r = power_iteration(&m, &[1.0, 1.0], 200, 1e-12).unwrap();
+        assert!(r.convergence.converged);
+        assert_eq!(r.convergence.stop, telemetry::StopReason::Tolerance);
+        assert_eq!(r.convergence.iterations, r.iterations);
+        let t = telemetry::drain();
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].routine, "power_iteration");
+        assert_eq!(t.series.len(), 1, "trace mode keeps the residual series");
+        assert_eq!(t.series[0].residuals.len(), r.iterations);
+        assert!(t.series[0].residuals.windows(2).all(|w| w[1] <= w[0] * 1.01));
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use crate::dense::DenseMatrix;
 use crate::LinalgError;
 use graphalign_par as par;
+use graphalign_par::telemetry::{self, Convergence};
 
 /// Kernel clamp floor: `exp(-C/ε)` values are clamped up to this to keep the
 /// scalings finite. A kernel row/column entirely at the floor has underflowed
@@ -103,8 +104,60 @@ impl Default for SinkhornParams {
     }
 }
 
+/// Shared scaling loop of [`sinkhorn`] and [`proximal_step`]: alternating
+/// `u`/`v` updates until the row-marginal violation drops below
+/// `params.tol`, the iteration cap is hit, or the cell budget expires.
+/// Reports how it stopped (and, in trace mode, the per-sweep violations) to
+/// the telemetry sink — falling off `max_iter` used to be indistinguishable
+/// from a tolerance stop here.
+fn scaling_loop(
+    k: &DenseMatrix,
+    mu: &[f64],
+    nu: &[f64],
+    params: &SinkhornParams,
+    routine: &'static str,
+) -> Result<(Vec<f64>, Vec<f64>, Convergence), LinalgError> {
+    let (m, n) = k.shape();
+    let mut u = vec![1.0; m];
+    let mut v = vec![1.0; n];
+    let mut iterations = 0;
+    let mut last_violation = 0.0;
+    let mut hit_tol = false;
+    for it in 0..params.max_iter {
+        crate::check_budget(routine, it)?;
+        telemetry::count_sinkhorn_sweep();
+        iterations = it + 1;
+        // u ← μ ./ (K v)
+        let kv = k.mul_vec(&v);
+        scaling_update(mu, &kv, &mut u, routine)?;
+        // v ← ν ./ (Kᵀ u)
+        let ktu = k.tr_mul_vec(&u);
+        scaling_update(nu, &ktu, &mut v, routine)?;
+        if !crate::vec_ops::all_finite(&u) || !crate::vec_ops::all_finite(&v) {
+            return Err(LinalgError::NotFinite { routine });
+        }
+        // Row-marginal violation.
+        let kv = k.mul_vec(&v);
+        let violation = par::sum_indexed(m, 1, |i| (u[i] * kv[i] - mu[i]).abs());
+        last_violation = violation;
+        telemetry::record_residual(routine, violation);
+        if violation < params.tol {
+            hit_tol = true;
+            break;
+        }
+    }
+    let convergence = if hit_tol {
+        Convergence::tolerance(iterations, last_violation)
+    } else {
+        Convergence::max_iter(iterations, last_violation)
+    };
+    telemetry::record(routine, convergence);
+    Ok((u, v, convergence))
+}
+
 /// Solves entropic OT for cost `c` with marginals `mu` (rows) and `nu`
-/// (columns), returning the transport plan `T` with `T 1 = μ`, `Tᵀ 1 = ν`.
+/// (columns), returning the transport plan `T` with `T 1 = μ`, `Tᵀ 1 = ν`
+/// together with how the scaling loop stopped.
 ///
 /// # Errors
 /// Returns [`LinalgError::Singular`] when the Gibbs kernel has a row or
@@ -121,7 +174,7 @@ pub fn sinkhorn(
     mu: &[f64],
     nu: &[f64],
     params: &SinkhornParams,
-) -> Result<DenseMatrix, LinalgError> {
+) -> Result<(DenseMatrix, Convergence), LinalgError> {
     let (m, n) = c.shape();
     assert_eq!(mu.len(), m, "sinkhorn: mu length mismatch");
     assert_eq!(nu.len(), n, "sinkhorn: nu length mismatch");
@@ -134,33 +187,14 @@ pub fn sinkhorn(
     k.map_inplace(|v| (-(v - cmin) / eps).exp().max(KERNEL_FLOOR));
     check_kernel_support(&k, mu, nu, "sinkhorn")?;
 
-    let mut u = vec![1.0; m];
-    let mut v = vec![1.0; n];
-    for it in 0..params.max_iter {
-        crate::check_budget("sinkhorn", it)?;
-        // u ← μ ./ (K v)
-        let kv = k.mul_vec(&v);
-        scaling_update(mu, &kv, &mut u, "sinkhorn")?;
-        // v ← ν ./ (Kᵀ u)
-        let ktu = k.tr_mul_vec(&u);
-        scaling_update(nu, &ktu, &mut v, "sinkhorn")?;
-        if !crate::vec_ops::all_finite(&u) || !crate::vec_ops::all_finite(&v) {
-            return Err(LinalgError::NotFinite { routine: "sinkhorn" });
-        }
-        // Row-marginal violation.
-        let kv = k.mul_vec(&v);
-        let violation = par::sum_indexed(m, 1, |i| (u[i] * kv[i] - mu[i]).abs());
-        if violation < params.tol {
-            break;
-        }
-    }
+    let (u, v, convergence) = scaling_loop(&k, mu, nu, params, "sinkhorn")?;
     // T = diag(u) K diag(v)
     let mut t = k;
     scale_plan(&mut t, &u, &v);
     if !t.all_finite() {
         return Err(LinalgError::NotFinite { routine: "sinkhorn" });
     }
-    Ok(t)
+    Ok((t, convergence))
 }
 
 /// One proximal-point step for Gromov–Wasserstein style objectives
@@ -180,7 +214,7 @@ pub fn proximal_step(
     mu: &[f64],
     nu: &[f64],
     params: &SinkhornParams,
-) -> Result<DenseMatrix, LinalgError> {
+) -> Result<(DenseMatrix, Convergence), LinalgError> {
     assert_eq!(c.shape(), t_prev.shape(), "proximal_step: shape mismatch");
     let (m, n) = c.shape();
     let eps = params.epsilon.max(1e-12);
@@ -191,26 +225,10 @@ pub fn proximal_step(
         (t_prev.get(i, j).max(KERNEL_FLOOR)) * kern
     });
     check_kernel_support(&k, mu, nu, "proximal_step")?;
-    let mut u = vec![1.0; m];
-    let mut v = vec![1.0; n];
-    for it in 0..params.max_iter {
-        crate::check_budget("proximal_step", it)?;
-        let kv = k.mul_vec(&v);
-        scaling_update(mu, &kv, &mut u, "proximal_step")?;
-        let ktu = k.tr_mul_vec(&u);
-        scaling_update(nu, &ktu, &mut v, "proximal_step")?;
-        if !crate::vec_ops::all_finite(&u) || !crate::vec_ops::all_finite(&v) {
-            return Err(LinalgError::NotFinite { routine: "proximal_step" });
-        }
-        let kv = k.mul_vec(&v);
-        let violation = par::sum_indexed(m, 1, |i| (u[i] * kv[i] - mu[i]).abs());
-        if violation < params.tol {
-            break;
-        }
-    }
+    let (u, v, convergence) = scaling_loop(&k, mu, nu, params, "proximal_step")?;
     let mut t = k;
     scale_plan(&mut t, &u, &v);
-    Ok(t)
+    Ok((t, convergence))
 }
 
 /// Uniform probability vector of length `n`.
@@ -239,8 +257,30 @@ mod tests {
         let c = DenseMatrix::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
         let mu = uniform_marginal(3);
         let nu = uniform_marginal(3);
-        let t = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap();
+        let (t, conv) = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap();
         check_marginals(&t, &mu, &nu, 1e-5);
+        assert!(conv.converged);
+        assert_eq!(conv.stop, telemetry::StopReason::Tolerance);
+        assert!(conv.iterations > 0 && conv.residual < SinkhornParams::default().tol);
+    }
+
+    #[test]
+    fn truncated_scaling_reports_max_iter_stop() {
+        let c = DenseMatrix::from_rows(&[&[0.0, 1.0, 2.0], &[1.0, 0.0, 1.0], &[2.0, 1.0, 0.0]]);
+        let mu = uniform_marginal(3);
+        let nu = uniform_marginal(3);
+        let params = SinkhornParams { epsilon: 0.01, max_iter: 2, tol: 0.0 };
+        let _g = telemetry::install(true);
+        let (_, conv) = sinkhorn(&c, &mu, &nu, &params).unwrap();
+        assert!(!conv.converged, "an unreachable tolerance forces truncation");
+        assert_eq!(conv.stop, telemetry::StopReason::MaxIter);
+        assert_eq!(conv.iterations, 2);
+        assert!(conv.residual.is_finite());
+        let t = telemetry::drain();
+        assert_eq!(t.sinkhorn_sweeps, 2);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.series.len(), 1);
+        assert_eq!(t.series[0].residuals.len(), 2);
     }
 
     #[test]
@@ -252,7 +292,7 @@ mod tests {
         let mu = uniform_marginal(n);
         let nu = uniform_marginal(n);
         let params = SinkhornParams { epsilon: 0.02, max_iter: 2000, tol: 1e-10 };
-        let t = sinkhorn(&c, &mu, &nu, &params).unwrap();
+        let (t, _) = sinkhorn(&c, &mu, &nu, &params).unwrap();
         for i in 0..n {
             assert!(t.get(i, i) > 0.2, "diagonal mass too small: {}", t.get(i, i));
             for j in 0..n {
@@ -268,7 +308,7 @@ mod tests {
         let c = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let mu = vec![0.7, 0.3];
         let nu = vec![0.4, 0.6];
-        let t = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap();
+        let (t, _) = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap();
         check_marginals(&t, &mu, &nu, 1e-5);
     }
 
@@ -277,7 +317,7 @@ mod tests {
         let c = DenseMatrix::from_rows(&[&[0.0, 2.0, 4.0], &[4.0, 2.0, 0.0]]);
         let mu = uniform_marginal(2);
         let nu = uniform_marginal(3);
-        let t = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap();
+        let (t, _) = sinkhorn(&c, &mu, &nu, &SinkhornParams::default()).unwrap();
         check_marginals(&t, &mu, &nu, 1e-5);
         // Mass should avoid the expensive corners.
         assert!(t.get(0, 0) > t.get(0, 2));
@@ -292,7 +332,7 @@ mod tests {
         // Start from the independent coupling.
         let t0 = DenseMatrix::filled(2, 2, 0.25);
         let params = SinkhornParams { epsilon: 0.05, max_iter: 500, tol: 1e-9 };
-        let t1 = proximal_step(&c, &t0, &mu, &nu, &params).unwrap();
+        let (t1, _) = proximal_step(&c, &t0, &mu, &nu, &params).unwrap();
         check_marginals(&t1, &mu, &nu, 1e-5);
         let cost0: f64 =
             (0..2).map(|i| (0..2).map(|j| c.get(i, j) * t0.get(i, j)).sum::<f64>()).sum();
@@ -331,7 +371,7 @@ mod tests {
         let mu = vec![0.0, 1.0];
         let nu = vec![0.5, 0.5];
         let params = SinkhornParams { epsilon: 0.1, max_iter: 500, tol: 1e-9 };
-        let t = sinkhorn(&c, &mu, &nu, &params).unwrap();
+        let (t, _) = sinkhorn(&c, &mu, &nu, &params).unwrap();
         assert!(t.row(0).iter().all(|&x| x < 1e-12));
         check_marginals(&t, &mu, &nu, 1e-5);
     }
@@ -361,8 +401,8 @@ mod tests {
         let mu = uniform_marginal(2);
         let nu = uniform_marginal(2);
         let p = SinkhornParams::default();
-        let t1 = sinkhorn(&c1, &mu, &nu, &p).unwrap();
-        let t2 = sinkhorn(&c2, &mu, &nu, &p).unwrap();
+        let (t1, _) = sinkhorn(&c1, &mu, &nu, &p).unwrap();
+        let (t2, _) = sinkhorn(&c2, &mu, &nu, &p).unwrap();
         assert!(t1.sub(&t2).max_abs() < 1e-9);
     }
 }

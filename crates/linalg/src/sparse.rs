@@ -203,6 +203,7 @@ impl CsrMatrix {
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn mul_dense(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, rhs.rows(), "mul_dense: inner dimensions differ");
+        par::telemetry::count_matmul();
         let n = rhs.cols();
         let mut data = vec![0.0; self.rows * n];
         let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);

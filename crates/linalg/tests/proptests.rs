@@ -92,7 +92,7 @@ proptest! {
         cost.map_inplace(|v| v + 1.0);
         let mu = uniform_marginal(5);
         let nu = uniform_marginal(7);
-        let t = sinkhorn(&cost, &mu, &nu, &SinkhornParams::default()).unwrap();
+        let (t, _) = sinkhorn(&cost, &mu, &nu, &SinkhornParams::default()).unwrap();
         for i in 0..5 {
             let row: f64 = t.row(i).iter().sum();
             prop_assert!((row - 0.2).abs() < 1e-4);

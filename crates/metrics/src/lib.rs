@@ -48,12 +48,32 @@ pub fn mnc(source: &Graph, target: &Graph, alignment: &[usize]) -> f64 {
     if n == 0 {
         return 0.0;
     }
+    // Target neighbor lists are already sorted and deduplicated; the mapped
+    // neighborhood needs one sort+dedup (many-to-one alignments can map two
+    // neighbors onto the same image), after which intersection and union
+    // sizes fall out of a single linear merge — no per-node hash sets.
+    let mut mapped: Vec<usize> = Vec::new();
     let mut total = 0.0;
     for i in 0..n {
-        let mapped: HashSet<usize> = source.neighbors(i).iter().map(|&k| alignment[k]).collect();
-        let actual: HashSet<usize> = target.neighbors(alignment[i]).iter().copied().collect();
-        let inter = mapped.intersection(&actual).count();
-        let union = mapped.union(&actual).count();
+        mapped.clear();
+        mapped.extend(source.neighbors(i).iter().map(|&k| alignment[k]));
+        mapped.sort_unstable();
+        mapped.dedup();
+        let actual = target.neighbors(alignment[i]);
+        let mut inter = 0usize;
+        let (mut a, mut b) = (0usize, 0usize);
+        while a < mapped.len() && b < actual.len() {
+            match mapped[a].cmp(&actual[b]) {
+                std::cmp::Ordering::Less => a += 1,
+                std::cmp::Ordering::Greater => b += 1,
+                std::cmp::Ordering::Equal => {
+                    inter += 1;
+                    a += 1;
+                    b += 1;
+                }
+            }
+        }
+        let union = mapped.len() + actual.len() - inter;
         total += if union == 0 { 1.0 } else { inter as f64 / union as f64 };
     }
     total / n as f64
@@ -283,6 +303,61 @@ mod tests {
         assert_eq!(r.ec, 0.0);
         assert_eq!(r.ics, 0.0);
         assert_eq!(r.s3, 0.0);
+    }
+
+    /// The pre-optimization MNC (two fresh hash sets per node), kept as the
+    /// reference oracle for the merge-based implementation.
+    fn mnc_hashset_reference(source: &Graph, target: &Graph, alignment: &[usize]) -> f64 {
+        let n = source.node_count();
+        if n == 0 {
+            return 0.0;
+        }
+        let mut total = 0.0;
+        for i in 0..n {
+            let mapped: HashSet<usize> =
+                source.neighbors(i).iter().map(|&k| alignment[k]).collect();
+            let actual: HashSet<usize> = target.neighbors(alignment[i]).iter().copied().collect();
+            let inter = mapped.intersection(&actual).count();
+            let union = mapped.union(&actual).count();
+            total += if union == 0 { 1.0 } else { inter as f64 / union as f64 };
+        }
+        total / n as f64
+    }
+
+    #[test]
+    fn merge_mnc_matches_hashset_reference_on_random_graphs() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(2023);
+        for trial in 0..50 {
+            let n = rng.random_range(1..25);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.random_range(0.0..1.0) < 0.25 {
+                        edges.push((u, v));
+                    }
+                }
+            }
+            let g = Graph::from_edges(n, &edges);
+            let m = rng.random_range(1..25);
+            let mut target_edges = Vec::new();
+            for u in 0..m {
+                for v in (u + 1)..m {
+                    if rng.random_range(0.0..1.0) < 0.25 {
+                        target_edges.push((u, v));
+                    }
+                }
+            }
+            let h = Graph::from_edges(m, &target_edges);
+            // Arbitrary (typically many-to-one) alignment into the target.
+            let alignment: Vec<usize> = (0..n).map(|_| rng.random_range(0..m)).collect();
+            let fast = mnc(&g, &h, &alignment);
+            let reference = mnc_hashset_reference(&g, &h, &alignment);
+            assert!(
+                (fast - reference).abs() < 1e-12,
+                "trial {trial}: merge MNC {fast} != reference {reference}"
+            );
+        }
     }
 
     #[test]

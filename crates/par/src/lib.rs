@@ -30,6 +30,7 @@
 //! kernels on small matrices.
 
 pub mod budget;
+pub mod telemetry;
 
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -156,11 +157,14 @@ pub fn for_each_chunk_mut<T: Send>(
         }
         let f = &f;
         let parent_budget = budget::current();
+        let parent_sink = telemetry::current();
         std::thread::scope(|s| {
             for share in shares {
                 let parent_budget = parent_budget.clone();
+                let parent_sink = parent_sink.clone();
                 s.spawn(move || {
                     let _budget = budget::adopt(parent_budget);
+                    let _telemetry = telemetry::adopt(parent_sink);
                     for (c, r, chunk) in share {
                         f(c, r, chunk);
                     }
@@ -222,11 +226,14 @@ pub fn for_each_row_block_mut<T: Send>(
         }
         let f = &f;
         let parent_budget = budget::current();
+        let parent_sink = telemetry::current();
         std::thread::scope(|s| {
             for share in shares {
                 let parent_budget = parent_budget.clone();
+                let parent_sink = parent_sink.clone();
                 s.spawn(move || {
                     let _budget = budget::adopt(parent_budget);
+                    let _telemetry = telemetry::adopt(parent_sink);
                     for (r, block) in share {
                         f(r, block);
                     }
@@ -366,12 +373,15 @@ pub fn fold_strided<A: Send>(
         let workers = max_threads().min(len);
         let fold = &fold;
         let parent_budget = budget::current();
+        let parent_sink = telemetry::current();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|w| {
                     let parent_budget = parent_budget.clone();
+                    let parent_sink = parent_sink.clone();
                     s.spawn(move || {
                         let _budget = budget::adopt(parent_budget);
+                        let _telemetry = telemetry::adopt(parent_sink);
                         fold(w, workers)
                     })
                 })
@@ -397,14 +407,17 @@ fn map_chunks_parallel<A: Send>(
         let slot_ptrs: Vec<_> = slots.iter_mut().collect();
         let shared = std::sync::Mutex::new(slot_ptrs);
         let parent_budget = budget::current();
+        let parent_sink = telemetry::current();
         std::thread::scope(|s| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     let next = &next;
                     let shared = &shared;
                     let parent_budget = parent_budget.clone();
+                    let parent_sink = parent_sink.clone();
                     s.spawn(move || {
                         let _budget = budget::adopt(parent_budget);
+                        let _telemetry = telemetry::adopt(parent_sink);
                         let mut produced: Vec<(usize, A)> = Vec::new();
                         loop {
                             let c = next.fetch_add(1, Ordering::Relaxed);
@@ -432,7 +445,7 @@ fn map_chunks_parallel<A: Send>(
 pub mod prelude {
     pub use crate::{
         budget, fold_chunks, fold_strided, for_each_chunk_mut, for_each_row_block_mut, map_collect,
-        max_threads, set_max_threads, sum_indexed, try_map_collect,
+        max_threads, set_max_threads, sum_indexed, telemetry, try_map_collect,
     };
 }
 
@@ -640,6 +653,19 @@ mod tests {
         let seen = map_collect(300_000, 1, |_| budget::exceeded());
         set_max_threads(0);
         assert!(seen.iter().all(|&b| b), "all workers must see the expired budget");
+    }
+
+    #[test]
+    fn worker_threads_inherit_the_installed_telemetry_sink() {
+        if !cfg!(feature = "parallel") {
+            return;
+        }
+        set_max_threads(4);
+        let _g = telemetry::install(false);
+        // Every index bumps the shared counter from whatever worker runs it.
+        map_collect(300_000, 1, |_| telemetry::count_matmul());
+        set_max_threads(0);
+        assert_eq!(telemetry::drain().matmuls, 300_000);
     }
 
     #[test]

@@ -1,0 +1,423 @@
+//! Solver telemetry: convergence records, per-iteration residual traces,
+//! phase timers, and operation counters, collected through a thread-local
+//! sink the harness installs around one repetition of one experiment cell.
+//!
+//! Every iterative routine in the workspace (power iteration, Sinkhorn
+//! scalings, Lanczos, the IsoRank/CONE/LREA/NetAlign/GWL outer loops, the
+//! tridiagonal QL sweep) reports how it stopped via [`record`]; the
+//! drivers in `graphalign-core` wrap their phases in [`time_phase`]; the
+//! kernels bump [`count_matmul`]/[`count_sinkhorn_sweep`]/
+//! [`count_auction_bids`]. Without an installed sink every entry point is
+//! a single thread-local read that returns immediately, so instrumented
+//! code paths stay bit-identical and effectively free when telemetry is
+//! off.
+//!
+//! # Scope and propagation
+//!
+//! Like [`crate::budget`], the sink is **thread-local** and the fork/join
+//! helpers of this crate adopt the installing thread's sink inside their
+//! scoped workers. Operation counters are atomics, so their totals do not
+//! depend on how work was split across threads; solver *events* (and
+//! residual series) are only ever recorded by the driver thread — every
+//! solver loop in the workspace runs its outer iterations sequentially —
+//! so their order is deterministic as well.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+/// Why an iterative routine stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StopReason {
+    /// The residual dropped below the routine's tolerance.
+    Tolerance,
+    /// The iteration cap was reached before the tolerance was met.
+    MaxIter,
+    /// The cooperative cell budget expired ([`crate::budget`]).
+    Interrupted,
+    /// The iteration ended early for a structural reason (e.g. the Krylov
+    /// space was exhausted) rather than by tolerance or cap.
+    Breakdown,
+}
+
+impl StopReason {
+    /// Stable lower-snake-case name used in every JSON surface.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            StopReason::Tolerance => "tolerance",
+            StopReason::MaxIter => "max_iter",
+            StopReason::Interrupted => "interrupted",
+            StopReason::Breakdown => "breakdown",
+        }
+    }
+
+    /// Inverse of [`Self::as_str`].
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "tolerance" => Some(StopReason::Tolerance),
+            "max_iter" => Some(StopReason::MaxIter),
+            "interrupted" => Some(StopReason::Interrupted),
+            "breakdown" => Some(StopReason::Breakdown),
+            _ => None,
+        }
+    }
+}
+
+/// How one invocation of an iterative routine ended.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Convergence {
+    /// Outer iterations actually executed.
+    pub iterations: usize,
+    /// Final residual (routine-specific metric; `0.0` when the routine has
+    /// no meaningful residual).
+    pub residual: f64,
+    /// Whether the routine met its own stopping tolerance. A fixed-budget
+    /// loop judges its final residual against a reporting tolerance.
+    pub converged: bool,
+    /// Why the loop stopped.
+    pub stop: StopReason,
+}
+
+impl Convergence {
+    /// A tolerance-met stop after `iterations` iterations.
+    pub fn tolerance(iterations: usize, residual: f64) -> Self {
+        Self { iterations, residual, converged: true, stop: StopReason::Tolerance }
+    }
+
+    /// The iteration cap was hit with the tolerance still unmet.
+    pub fn max_iter(iterations: usize, residual: f64) -> Self {
+        Self { iterations, residual, converged: false, stop: StopReason::MaxIter }
+    }
+
+    /// The cell budget interrupted the loop.
+    pub fn interrupted(iterations: usize, residual: f64) -> Self {
+        Self { iterations, residual, converged: false, stop: StopReason::Interrupted }
+    }
+}
+
+/// One recorded solver invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolverEvent {
+    /// Routine name (`"sinkhorn"`, `"isorank"`, …).
+    pub routine: &'static str,
+    /// How it ended.
+    pub convergence: Convergence,
+}
+
+/// Per-iteration residuals of one solver invocation (trace mode only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResidualSeries {
+    /// Routine name, matching the paired [`SolverEvent`].
+    pub routine: &'static str,
+    /// Residual after each recorded outer iteration, in order.
+    pub residuals: Vec<f64>,
+    /// How the invocation ended.
+    pub convergence: Convergence,
+}
+
+/// Everything one repetition collected, drained via [`drain`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepTelemetry {
+    /// Solver invocations in driver order.
+    pub events: Vec<SolverEvent>,
+    /// One series per event, in the same order (empty unless the sink was
+    /// installed with `trace = true`).
+    pub series: Vec<ResidualSeries>,
+    /// Dense/sparse matrix-product invocations.
+    pub matmuls: u64,
+    /// Sinkhorn scaling sweeps (one u/v update pair).
+    pub sinkhorn_sweeps: u64,
+    /// Bids placed by the auction assignment solver.
+    pub auction_bids: u64,
+    /// Accumulated wall-clock seconds per named phase.
+    pub phases: Vec<(&'static str, f64)>,
+}
+
+#[derive(Debug, Default)]
+struct SinkInner {
+    events: Vec<SolverEvent>,
+    /// Residuals recorded since the last [`record`] call, tagged with their
+    /// routine so interleaved inner/outer loops sort themselves out.
+    pending: Vec<(&'static str, f64)>,
+    series: Vec<ResidualSeries>,
+    phases: Vec<(&'static str, f64)>,
+}
+
+/// Shared state of one installed telemetry sink.
+#[derive(Debug)]
+pub struct SinkState {
+    trace: bool,
+    matmuls: AtomicU64,
+    sinkhorn_sweeps: AtomicU64,
+    auction_bids: AtomicU64,
+    inner: Mutex<SinkInner>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<Arc<SinkState>>> = const { RefCell::new(None) };
+}
+
+/// Restores the previously installed sink (if any) when dropped, so sinks
+/// nest correctly and a panicking repetition cannot leak its sink into the
+/// next one.
+#[must_use = "dropping the guard immediately uninstalls the sink"]
+#[derive(Debug)]
+pub struct TelemetryGuard {
+    prev: Option<Arc<SinkState>>,
+}
+
+impl Drop for TelemetryGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| *c.borrow_mut() = self.prev.take());
+    }
+}
+
+fn swap_in(next: Option<Arc<SinkState>>) -> TelemetryGuard {
+    let prev = CURRENT.with(|c| std::mem::replace(&mut *c.borrow_mut(), next));
+    TelemetryGuard { prev }
+}
+
+/// Installs a fresh sink on the current thread. With `trace = true` the
+/// sink additionally keeps per-iteration residual series ([`record_residual`]).
+///
+/// The returned guard restores the previous sink when dropped.
+pub fn install(trace: bool) -> TelemetryGuard {
+    swap_in(Some(Arc::new(SinkState {
+        trace,
+        matmuls: AtomicU64::new(0),
+        sinkhorn_sweeps: AtomicU64::new(0),
+        auction_bids: AtomicU64::new(0),
+        inner: Mutex::new(SinkInner::default()),
+    })))
+}
+
+/// Adopts an already-installed sink (from [`current`]) on this thread — how
+/// the fork/join helpers extend the installing thread's sink to their
+/// scoped workers. `None` adopts "no sink".
+pub fn adopt(sink: Option<Arc<SinkState>>) -> TelemetryGuard {
+    swap_in(sink)
+}
+
+/// The sink installed on the current thread, for propagation via [`adopt`].
+/// Cheap (one `Arc` clone).
+pub fn current() -> Option<Arc<SinkState>> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+/// Whether a sink is installed on the current thread.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+fn with_sink<R>(f: impl FnOnce(&SinkState) -> R) -> Option<R> {
+    CURRENT.with(|c| c.borrow().as_deref().map(f))
+}
+
+/// Records how one solver invocation ended. In trace mode, the residuals
+/// recorded for `routine` since its previous [`record`] close into a
+/// [`ResidualSeries`] paired with this event.
+pub fn record(routine: &'static str, convergence: Convergence) {
+    with_sink(|s| {
+        let mut inner = s.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.events.push(SolverEvent { routine, convergence });
+        if s.trace {
+            let mut residuals = Vec::new();
+            inner.pending.retain(|&(r, v)| {
+                if r == routine {
+                    residuals.push(v);
+                    false
+                } else {
+                    true
+                }
+            });
+            inner.series.push(ResidualSeries { routine, residuals, convergence });
+        }
+    });
+}
+
+/// Records one outer-iteration residual for the invocation of `routine`
+/// currently in flight. No-op unless a sink is installed in trace mode.
+pub fn record_residual(routine: &'static str, value: f64) {
+    with_sink(|s| {
+        if s.trace {
+            s.inner.lock().unwrap_or_else(|e| e.into_inner()).pending.push((routine, value));
+        }
+    });
+}
+
+/// Counts one dense/sparse matrix-product invocation.
+pub fn count_matmul() {
+    with_sink(|s| s.matmuls.fetch_add(1, Ordering::Relaxed));
+}
+
+/// Counts one Sinkhorn scaling sweep (a u/v update pair).
+pub fn count_sinkhorn_sweep() {
+    with_sink(|s| s.sinkhorn_sweeps.fetch_add(1, Ordering::Relaxed));
+}
+
+/// Counts `n` auction bids.
+pub fn count_auction_bids(n: u64) {
+    with_sink(|s| s.auction_bids.fetch_add(n, Ordering::Relaxed));
+}
+
+/// Runs `f`, accumulating its wall-clock time under `name` when a sink is
+/// installed. Repeated phases with the same name accumulate into one entry.
+pub fn time_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
+    if !active() {
+        return f();
+    }
+    let start = Instant::now();
+    let out = f();
+    let secs = start.elapsed().as_secs_f64();
+    with_sink(|s| {
+        let mut inner = s.inner.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(entry) = inner.phases.iter_mut().find(|(n, _)| *n == name) {
+            entry.1 += secs;
+        } else {
+            inner.phases.push((name, secs));
+        }
+    });
+    out
+}
+
+/// Takes everything the current sink has collected, resetting it to empty.
+/// Returns `RepTelemetry::default()` when no sink is installed.
+pub fn drain() -> RepTelemetry {
+    with_sink(|s| {
+        let mut inner = s.inner.lock().unwrap_or_else(|e| e.into_inner());
+        RepTelemetry {
+            events: std::mem::take(&mut inner.events),
+            series: std::mem::take(&mut inner.series),
+            matmuls: s.matmuls.swap(0, Ordering::Relaxed),
+            sinkhorn_sweeps: s.sinkhorn_sweeps.swap(0, Ordering::Relaxed),
+            auction_bids: s.auction_bids.swap(0, Ordering::Relaxed),
+            phases: std::mem::take(&mut inner.phases),
+        }
+    })
+    .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stop_reason_names_round_trip() {
+        for s in [
+            StopReason::Tolerance,
+            StopReason::MaxIter,
+            StopReason::Interrupted,
+            StopReason::Breakdown,
+        ] {
+            assert_eq!(StopReason::parse(s.as_str()), Some(s));
+        }
+        assert_eq!(StopReason::parse("diverged"), None);
+    }
+
+    #[test]
+    fn no_sink_is_a_no_op() {
+        assert!(!active());
+        record("solver", Convergence::tolerance(3, 1e-9));
+        record_residual("solver", 0.5);
+        count_matmul();
+        assert_eq!(time_phase("similarity", || 7), 7);
+        assert_eq!(drain(), RepTelemetry::default());
+    }
+
+    #[test]
+    fn events_counters_and_phases_drain() {
+        let _g = install(false);
+        count_matmul();
+        count_matmul();
+        count_sinkhorn_sweep();
+        count_auction_bids(5);
+        record("isorank", Convergence::max_iter(100, 0.2));
+        time_phase("similarity", || std::thread::sleep(std::time::Duration::from_millis(1)));
+        time_phase("similarity", || ());
+        let t = drain();
+        assert_eq!(t.matmuls, 2);
+        assert_eq!(t.sinkhorn_sweeps, 1);
+        assert_eq!(t.auction_bids, 5);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.events[0].routine, "isorank");
+        assert!(!t.events[0].convergence.converged);
+        assert_eq!(t.events[0].convergence.stop, StopReason::MaxIter);
+        assert_eq!(t.phases.len(), 1, "same-name phases accumulate");
+        assert!(t.phases[0].1 > 0.0);
+        // Drained: the sink is empty again.
+        assert_eq!(drain(), RepTelemetry::default());
+    }
+
+    #[test]
+    fn residuals_ignored_without_trace() {
+        let _g = install(false);
+        record_residual("sinkhorn", 0.5);
+        record("sinkhorn", Convergence::tolerance(1, 0.5));
+        let t = drain();
+        assert_eq!(t.events.len(), 1);
+        assert!(t.series.is_empty());
+    }
+
+    #[test]
+    fn trace_pairs_series_with_events_across_interleaved_routines() {
+        let _g = install(true);
+        // A gwl outer loop interleaves its own residuals with an inner
+        // proximal_step invocation's residuals.
+        record_residual("gwl", 0.9);
+        record_residual("proximal_step", 0.4);
+        record_residual("proximal_step", 0.1);
+        record("proximal_step", Convergence::tolerance(2, 0.1));
+        record_residual("gwl", 0.3);
+        record("gwl", Convergence::tolerance(2, 0.3));
+        let t = drain();
+        assert_eq!(t.events.len(), 2);
+        assert_eq!(t.series.len(), 2);
+        assert_eq!(t.series[0].routine, "proximal_step");
+        assert_eq!(t.series[0].residuals, vec![0.4, 0.1]);
+        assert_eq!(t.series[1].routine, "gwl");
+        assert_eq!(t.series[1].residuals, vec![0.9, 0.3]);
+    }
+
+    #[test]
+    fn sinks_nest_and_restore() {
+        let outer = install(false);
+        count_matmul();
+        {
+            let _inner = install(false);
+            count_matmul();
+            count_matmul();
+            assert_eq!(drain().matmuls, 2);
+        }
+        assert_eq!(drain().matmuls, 1, "outer sink restored untouched");
+        drop(outer);
+        assert!(!active());
+    }
+
+    #[test]
+    fn adopted_sink_shares_counters_across_threads() {
+        let _g = install(false);
+        let shared = current();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let shared = shared.clone();
+                s.spawn(move || {
+                    let _w = adopt(shared);
+                    for _ in 0..100 {
+                        count_matmul();
+                    }
+                });
+            }
+        });
+        assert_eq!(drain().matmuls, 400);
+    }
+
+    #[test]
+    fn sinks_are_thread_local() {
+        let _g = install(false);
+        count_matmul();
+        let saw = std::thread::spawn(|| (active(), drain())).join().unwrap();
+        assert_eq!(saw, (false, RepTelemetry::default()));
+        assert_eq!(drain().matmuls, 1);
+    }
+}

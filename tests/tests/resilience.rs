@@ -138,11 +138,15 @@ fn interrupted_sweep_resumes_bit_identically() {
             // only the wall-clock fields may differ.
             assert_eq!(re.cell.algorithm, orig.cell.algorithm);
             assert_eq!(re.level, orig.level);
-            assert_eq!(re.cell.accuracy.to_bits(), orig.cell.accuracy.to_bits(), "cell {i}");
-            assert_eq!(re.cell.mnc.to_bits(), orig.cell.mnc.to_bits(), "cell {i}");
-            assert_eq!(re.cell.s3.to_bits(), orig.cell.s3.to_bits(), "cell {i}");
-            assert_eq!(re.cell.ec.to_bits(), orig.cell.ec.to_bits(), "cell {i}");
-            assert_eq!(re.cell.ics.to_bits(), orig.cell.ics.to_bits(), "cell {i}");
+            assert_eq!(
+                re.cell.accuracy.map(f64::to_bits),
+                orig.cell.accuracy.map(f64::to_bits),
+                "cell {i}"
+            );
+            assert_eq!(re.cell.mnc.map(f64::to_bits), orig.cell.mnc.map(f64::to_bits), "cell {i}");
+            assert_eq!(re.cell.s3.map(f64::to_bits), orig.cell.s3.map(f64::to_bits), "cell {i}");
+            assert_eq!(re.cell.ec.map(f64::to_bits), orig.cell.ec.map(f64::to_bits), "cell {i}");
+            assert_eq!(re.cell.ics.map(f64::to_bits), orig.cell.ics.map(f64::to_bits), "cell {i}");
             assert_eq!(re.cell.reps_ok, orig.cell.reps_ok);
             assert_eq!(re.cell.error, orig.cell.error);
             assert_eq!(re.cell.error_class, orig.cell.error_class);
