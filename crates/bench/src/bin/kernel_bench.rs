@@ -1,0 +1,453 @@
+//! Perf baseline harness for the hot numerical kernels (PR 4 tentpole).
+//!
+//! Times the cache-blocked GEMM, the fused dense·CSRᵀ SpMM, Sinkhorn
+//! scaling sweeps, graphlet counting, and a fig11-scale IsoRank iteration
+//! loop — each against a *naive reference implementation* reproducing the
+//! pre-optimization formulation (plain ikj GEMM with the zero-skip branch,
+//! transpose-per-iteration SpMM), so the emitted numbers are honest
+//! before/after pairs on the same machine.
+//!
+//! ```text
+//! kernel_bench [--quick] [--threads N] [--seed S] [--out PATH]
+//! kernel_bench [--quick] [--threads N] --compare BENCH_kernels.json
+//! ```
+//!
+//! Without `--compare`, writes a JSON report (default `BENCH_kernels.json`):
+//! `{"schema":"kernel_bench/v1","threads":…,"mode":…,"rows":[{kernel, size,
+//! threads, reps, median_ns, throughput}, …]}` where `throughput` is
+//! kernel-specific work units per second (flops for GEMM/SpMM, matvec flops
+//! for Sinkhorn, edges for graphlets, iteration flops for the IsoRank loop).
+//!
+//! With `--compare`, reruns the suite and checks the *relative* speedups
+//! (naive median / optimized median) against the baseline's — absolute
+//! nanoseconds vary across machines, the blocked-vs-naive ratio should not —
+//! and exits nonzero when any pair regressed by more than 10%.
+
+use graphalign_graph::spectral;
+use graphalign_json::Json;
+use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
+use graphalign_linalg::{vec_ops, CsrMatrix, DenseMatrix};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Naive/optimized kernel pairs whose speedup ratio `--compare` tracks.
+const RATIO_PAIRS: [(&str, &str); 3] = [
+    ("gemm_naive", "gemm_blocked"),
+    ("spmm_right_naive", "spmm_right_fused"),
+    ("isorank_loop_naive", "isorank_loop_fused"),
+];
+
+/// Maximum tolerated relative drop of a speedup ratio vs the baseline.
+const REGRESSION_SLACK: f64 = 0.10;
+
+struct Config {
+    quick: bool,
+    threads: usize,
+    seed: u64,
+    out: String,
+    compare: Option<String>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: kernel_bench [--quick] [--threads N] [--seed S] [--out PATH] [--compare BASELINE]"
+    );
+    std::process::exit(2);
+}
+
+impl Config {
+    fn from_args() -> Self {
+        let mut cfg = Self {
+            quick: false,
+            threads: 1,
+            seed: 7,
+            out: "BENCH_kernels.json".to_string(),
+            compare: None,
+        };
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => cfg.quick = true,
+                "--threads" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(n) if n > 0 => cfg.threads = n,
+                    _ => usage(),
+                },
+                "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                    Some(s) => cfg.seed = s,
+                    None => usage(),
+                },
+                "--out" => match args.next() {
+                    Some(p) => cfg.out = p,
+                    None => usage(),
+                },
+                "--compare" => match args.next() {
+                    Some(p) => cfg.compare = Some(p),
+                    None => usage(),
+                },
+                "--help" | "-h" => usage(),
+                other => {
+                    eprintln!("unknown argument: {other}");
+                    usage();
+                }
+            }
+        }
+        cfg
+    }
+
+    fn reps(&self) -> usize {
+        if self.quick {
+            3
+        } else {
+            5
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Row {
+    kernel: String,
+    size: String,
+    threads: usize,
+    reps: usize,
+    median_ns: u64,
+    /// Work units per second (kernel-specific; see module docs).
+    throughput: f64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("kernel".into(), Json::Str(self.kernel.clone())),
+            ("size".into(), Json::Str(self.size.clone())),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            ("reps".into(), Json::Num(self.reps as f64)),
+            ("median_ns".into(), Json::Num(self.median_ns as f64)),
+            ("throughput".into(), Json::Num(self.throughput)),
+        ])
+    }
+
+    fn from_json(v: &Json) -> Option<Self> {
+        Some(Self {
+            kernel: v.get("kernel")?.as_str()?.to_string(),
+            size: v.get("size")?.as_str()?.to_string(),
+            threads: v.get("threads")?.as_f64()? as usize,
+            reps: v.get("reps")?.as_f64()? as usize,
+            median_ns: v.get("median_ns")?.as_f64()? as u64,
+            throughput: v.get("throughput")?.as_f64()?,
+        })
+    }
+}
+
+/// One warm-up run, then timed runs; returns `(median_ns, reps)`.
+///
+/// The warm-up also calibrates the rep count: fast kernels get up to 25
+/// reps so their median covers ~250 ms of samples and stays stable under
+/// scheduler noise (the `--compare` gate needs reproducible ratios), slow
+/// kernels keep the configured floor.
+fn time_median<F: FnMut()>(base_reps: usize, mut f: F) -> (u64, usize) {
+    let t0 = Instant::now();
+    f();
+    let warm = (t0.elapsed().as_nanos() as u64).max(1);
+    const TARGET_TOTAL_NS: u64 = 250_000_000;
+    let reps = base_reps.max(((TARGET_TOTAL_NS / warm) as usize).min(25));
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    (samples[samples.len() / 2], reps)
+}
+
+fn row(kernel: &str, size: String, cfg: &Config, work_units: f64, timing: (u64, usize)) -> Row {
+    let (median_ns, reps) = timing;
+    let throughput = if median_ns > 0 { work_units / (median_ns as f64 / 1e9) } else { 0.0 };
+    println!("  {kernel:<20} {size:<12} median {median_ns:>12} ns  ({reps} reps)");
+    Row { kernel: kernel.to_string(), size, threads: cfg.threads, reps, median_ns, throughput }
+}
+
+/// The pre-blocking dense GEMM: sequential ikj with row-axpy and the
+/// since-removed `a_il == 0.0` skip — the honest "before" reference.
+fn gemm_naive_ref(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut out = DenseMatrix::zeros(m, n);
+    let data = out.as_mut_slice();
+    for i in 0..m {
+        let orow = &mut data[i * n..(i + 1) * n];
+        for l in 0..k {
+            let a_il = a.get(i, l);
+            if a_il == 0.0 {
+                continue;
+            }
+            vec_ops::axpy(a_il, b.row(l), orow);
+        }
+    }
+    out
+}
+
+fn dense_of(n: usize, m: usize, seed: u64) -> DenseMatrix {
+    DenseMatrix::from_fn(n, m, |i, j| {
+        let t = (i * 31 + j * 17 + seed as usize * 13) % 101;
+        (t as f64 - 50.0) / 50.0
+    })
+}
+
+fn bench_gemm(cfg: &Config, rows: &mut Vec<Row>) {
+    let sizes: &[usize] = if cfg.quick { &[256] } else { &[256, 512, 1024] };
+    for &n in sizes {
+        let a = dense_of(n, n, cfg.seed);
+        let b = dense_of(n, n, cfg.seed + 1);
+        let flops = 2.0 * (n as f64).powi(3);
+        let size = format!("{n}x{n}");
+        let med = time_median(cfg.reps(), || {
+            black_box(gemm_naive_ref(black_box(&a), black_box(&b)));
+        });
+        rows.push(row("gemm_naive", size.clone(), cfg, flops, med));
+        let med = time_median(cfg.reps(), || {
+            black_box(black_box(&a).matmul(black_box(&b)));
+        });
+        rows.push(row("gemm_blocked", size, cfg, flops, med));
+    }
+}
+
+fn bench_spmm(cfg: &Config, rows: &mut Vec<Row>) {
+    let sizes: &[usize] = if cfg.quick { &[512] } else { &[512, 2048] };
+    for &n in sizes {
+        let g =
+            graphalign_gen::configuration_model(&graphalign_gen::degrees::uniform(n, 10), cfg.seed);
+        let a: CsrMatrix = g.adjacency();
+        let x = dense_of(n, 64, cfg.seed + 2);
+        let flops = 2.0 * a.nnz() as f64 * 64.0;
+        let size = format!("{n}x{n}d10");
+        let med = time_median(cfg.reps(), || {
+            black_box(black_box(&a).mul_dense(black_box(&x)));
+        });
+        rows.push(row("spmm", size.clone(), cfg, flops, med));
+
+        // Right-multiplication by a CSR transpose, the IsoRank/GWL shape:
+        // fused dense·CSRᵀ kernel vs the transpose-per-call formulation.
+        let d = dense_of(n, n, cfg.seed + 3);
+        let flops = 2.0 * a.nnz() as f64 * n as f64;
+        let med = time_median(cfg.reps(), || {
+            let naive = black_box(&a).transpose().mul_dense(&black_box(&d).transpose()).transpose();
+            black_box(naive);
+        });
+        rows.push(row("spmm_right_naive", size.clone(), cfg, flops, med));
+        let med = time_median(cfg.reps(), || {
+            black_box(black_box(&d).mul_csr_tr(black_box(&a)));
+        });
+        rows.push(row("spmm_right_fused", size, cfg, flops, med));
+    }
+}
+
+fn bench_sinkhorn(cfg: &Config, rows: &mut Vec<Row>) {
+    let sizes: &[usize] = if cfg.quick { &[256] } else { &[256, 512] };
+    const SWEEPS: usize = 50;
+    for &n in sizes {
+        let cost = DenseMatrix::from_fn(n, n, |i, j| ((i + j) % 17) as f64 / 17.0);
+        let mu = uniform_marginal(n);
+        // tol = 0 pins the work to exactly SWEEPS sweeps per run.
+        let params = SinkhornParams { epsilon: 0.05, max_iter: SWEEPS, tol: 0.0 };
+        // Three n-length matvecs of 2n² flops each per sweep.
+        let flops = 6.0 * (n as f64).powi(2) * SWEEPS as f64;
+        let med = time_median(cfg.reps(), || {
+            black_box(sinkhorn(black_box(&cost), &mu, &mu, &params).unwrap());
+        });
+        rows.push(row("sinkhorn", format!("{n}x{n}i{SWEEPS}"), cfg, flops, med));
+    }
+}
+
+fn bench_graphlets(cfg: &Config, rows: &mut Vec<Row>) {
+    let sizes: &[usize] = if cfg.quick { &[2000] } else { &[2000, 10000] };
+    for &n in sizes {
+        let g = graphalign_gen::configuration_model(
+            &graphalign_gen::degrees::uniform(n, 10),
+            cfg.seed + 4,
+        );
+        let edges = g.edge_count() as f64;
+        let med = time_median(cfg.reps(), || {
+            black_box(graphalign_graph::graphlets::graphlet_degrees(black_box(&g)));
+        });
+        rows.push(row("graphlet_degrees", format!("n{n}d10"), cfg, edges, med));
+    }
+}
+
+/// The IsoRank inner loop at fig11 scale, old shape vs new shape, on
+/// identical inputs. The two variants must produce bit-identical similarity
+/// matrices — verified on every run — so the timing difference is purely the
+/// kernel work (hoisted transpose + fused SpMM + buffer reuse).
+fn bench_isorank_loop(cfg: &Config, rows: &mut Vec<Row>) {
+    let sizes: &[usize] = if cfg.quick { &[256] } else { &[256, 1024] };
+    const ITERS: usize = 10;
+    const ALPHA: f64 = 0.9;
+    for &n in sizes {
+        let g = graphalign_gen::configuration_model(
+            &graphalign_gen::degrees::uniform(n, 10),
+            cfg.seed + 5,
+        );
+        let pa: CsrMatrix = spectral::row_normalized_adjacency(&g).transpose();
+        let pb: CsrMatrix = spectral::row_normalized_adjacency(&g);
+        let e = DenseMatrix::filled(n, n, 1.0 / (n * n) as f64);
+        let flops = 2.0 * 2.0 * pa.nnz() as f64 * n as f64 * ITERS as f64;
+        let size = format!("n{n}i{ITERS}");
+
+        let naive = |out: &mut DenseMatrix| {
+            let mut r = e.clone();
+            for _ in 0..ITERS {
+                let left = pa.mul_dense(&r);
+                let mut next = pb.transpose().mul_dense(&left.transpose()).transpose();
+                next.scale_inplace(ALPHA);
+                next.add_scaled(1.0 - ALPHA, &e);
+                let total = next.sum();
+                if total > 0.0 {
+                    next.scale_inplace(1.0 / total);
+                }
+                r = next;
+            }
+            *out = r;
+        };
+        let fused = |out: &mut DenseMatrix| {
+            let pbt = pb.transpose();
+            let mut r = e.clone();
+            let mut left = DenseMatrix::zeros(n, n);
+            let mut next = DenseMatrix::zeros(n, n);
+            for _ in 0..ITERS {
+                pa.mul_dense_into(&r, &mut left);
+                left.mul_csr_tr_into(&pbt, &mut next);
+                next.scale_inplace(ALPHA);
+                next.add_scaled(1.0 - ALPHA, &e);
+                let total = next.sum();
+                if total > 0.0 {
+                    next.scale_inplace(1.0 / total);
+                }
+                std::mem::swap(&mut r, &mut next);
+            }
+            *out = r;
+        };
+
+        let mut r_naive = DenseMatrix::zeros(n, n);
+        let mut r_fused = DenseMatrix::zeros(n, n);
+        let med = time_median(cfg.reps(), || naive(black_box(&mut r_naive)));
+        rows.push(row("isorank_loop_naive", size.clone(), cfg, flops, med));
+        let med = time_median(cfg.reps(), || fused(black_box(&mut r_fused)));
+        rows.push(row("isorank_loop_fused", size, cfg, flops, med));
+        let (a, b) = (r_naive.as_slice(), r_fused.as_slice());
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "fused IsoRank loop diverged bitwise from the naive loop at n={n}"
+        );
+    }
+}
+
+fn run_all(cfg: &Config) -> Vec<Row> {
+    let mut rows = Vec::new();
+    println!(
+        "kernel_bench: {} mode, {} thread(s)",
+        if cfg.quick { "quick" } else { "full" },
+        cfg.threads
+    );
+    bench_gemm(cfg, &mut rows);
+    bench_spmm(cfg, &mut rows);
+    bench_sinkhorn(cfg, &mut rows);
+    bench_graphlets(cfg, &mut rows);
+    bench_isorank_loop(cfg, &mut rows);
+    rows
+}
+
+fn report_json(cfg: &Config, rows: &[Row]) -> Json {
+    Json::Obj(vec![
+        ("schema".into(), Json::Str("kernel_bench/v1".into())),
+        ("threads".into(), Json::Num(cfg.threads as f64)),
+        ("mode".into(), Json::Str(if cfg.quick { "quick" } else { "full" }.into())),
+        ("rows".into(), Json::Arr(rows.iter().map(Row::to_json).collect())),
+    ])
+}
+
+fn load_baseline(path: &str) -> Vec<Row> {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("kernel_bench: cannot read baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let parsed = graphalign_json::from_str(&text).unwrap_or_else(|e| {
+        eprintln!("kernel_bench: baseline {path} is not valid JSON: {e:?}");
+        std::process::exit(2);
+    });
+    let rows = parsed
+        .get("rows")
+        .and_then(Json::as_array)
+        .map(|arr| arr.iter().filter_map(Row::from_json).collect::<Vec<_>>())
+        .unwrap_or_default();
+    if rows.is_empty() {
+        eprintln!("kernel_bench: baseline {path} has no parseable rows");
+        std::process::exit(2);
+    }
+    rows
+}
+
+fn median_of<'a>(rows: &'a [Row], kernel: &str, size: &str) -> Option<&'a Row> {
+    rows.iter().find(|r| r.kernel == kernel && r.size == size)
+}
+
+/// Compares the naive/optimized speedup ratios of the current run against
+/// the baseline's. Returns the number of regressions (> 10% ratio drop).
+fn compare(baseline: &[Row], current: &[Row]) -> usize {
+    let mut regressions = 0;
+    let mut pairs_checked = 0;
+    for &(naive, optimized) in &RATIO_PAIRS {
+        for cur_opt in current.iter().filter(|r| r.kernel == optimized) {
+            let Some(cur_naive) = median_of(current, naive, &cur_opt.size) else { continue };
+            let Some(base_opt) = median_of(baseline, optimized, &cur_opt.size) else { continue };
+            let Some(base_naive) = median_of(baseline, naive, &cur_opt.size) else { continue };
+            if cur_opt.median_ns == 0 || base_opt.median_ns == 0 {
+                continue;
+            }
+            let cur_ratio = cur_naive.median_ns as f64 / cur_opt.median_ns as f64;
+            let base_ratio = base_naive.median_ns as f64 / base_opt.median_ns as f64;
+            pairs_checked += 1;
+            let ok = cur_ratio >= base_ratio * (1.0 - REGRESSION_SLACK);
+            println!(
+                "{} {optimized} [{}]: speedup {:.2}x vs baseline {:.2}x",
+                if ok { "ok  " } else { "FAIL" },
+                cur_opt.size,
+                cur_ratio,
+                base_ratio,
+            );
+            if !ok {
+                regressions += 1;
+            }
+        }
+    }
+    if pairs_checked == 0 {
+        eprintln!("kernel_bench: no comparable kernel/size pairs between run and baseline");
+        std::process::exit(2);
+    }
+    regressions
+}
+
+fn main() {
+    let cfg = Config::from_args();
+    graphalign_par::set_max_threads(cfg.threads);
+    let rows = run_all(&cfg);
+    match &cfg.compare {
+        Some(path) => {
+            let baseline = load_baseline(path);
+            let regressions = compare(&baseline, &rows);
+            if regressions > 0 {
+                eprintln!("kernel_bench: {regressions} speedup regression(s) > 10% vs {path}");
+                std::process::exit(1);
+            }
+            println!("kernel_bench: no speedup regressions vs {path}");
+        }
+        None => {
+            let report = report_json(&cfg, &rows);
+            std::fs::write(&cfg.out, report.to_string_pretty()).unwrap_or_else(|e| {
+                eprintln!("kernel_bench: cannot write {}: {e}", cfg.out);
+                std::process::exit(2);
+            });
+            println!("kernel_bench: wrote {} rows to {}", rows.len(), cfg.out);
+        }
+    }
+}

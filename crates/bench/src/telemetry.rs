@@ -40,6 +40,11 @@ pub struct CellTelemetry {
     pub sinkhorn_sweeps: u64,
     /// Auction assignment bids.
     pub auction_bids: u64,
+    /// Heap allocations avoided by workspace buffer reuse in solver hot
+    /// loops ([`graphalign_linalg::Workspace`]).
+    pub allocs_saved: u64,
+    /// Bytes those avoided allocations would have requested.
+    pub alloc_bytes_saved: u64,
     /// Accumulated wall-clock seconds per named phase, sorted by name.
     pub phases: Vec<(String, f64)>,
 }
@@ -55,6 +60,8 @@ impl CellTelemetry {
         let mut matmuls = 0u64;
         let mut sinkhorn_sweeps = 0u64;
         let mut auction_bids = 0u64;
+        let mut allocs_saved = 0u64;
+        let mut alloc_bytes_saved = 0u64;
         let mut phases: Vec<(String, f64)> = Vec::new();
         for rep in reps {
             for ev in &rep.events {
@@ -72,6 +79,8 @@ impl CellTelemetry {
             matmuls += rep.matmuls;
             sinkhorn_sweeps += rep.sinkhorn_sweeps;
             auction_bids += rep.auction_bids;
+            allocs_saved += rep.allocs_saved;
+            alloc_bytes_saved += rep.alloc_bytes_saved;
             for &(name, secs) in &rep.phases {
                 match phases.iter_mut().find(|(n, _)| n == name) {
                     Some((_, total)) => *total += secs,
@@ -95,6 +104,8 @@ impl CellTelemetry {
             matmuls,
             sinkhorn_sweeps,
             auction_bids,
+            allocs_saved,
+            alloc_bytes_saved,
             phases,
         }
     }
@@ -126,6 +137,11 @@ impl CellTelemetry {
             matmuls: ops.get("matmuls")?.as_f64()? as u64,
             sinkhorn_sweeps: ops.get("sinkhorn_sweeps")?.as_f64()? as u64,
             auction_bids: ops.get("auction_bids")?.as_f64()? as u64,
+            // Absent in blocks written before the workspace layer existed;
+            // treat as zero so old checkpoints stay readable.
+            allocs_saved: ops.get("allocs_saved").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            alloc_bytes_saved: ops.get("alloc_bytes_saved").and_then(Json::as_f64).unwrap_or(0.0)
+                as u64,
             phases,
         })
     }
@@ -148,6 +164,8 @@ impl graphalign_json::ToJson for CellTelemetry {
                     ("matmuls".into(), Json::Num(self.matmuls as f64)),
                     ("sinkhorn_sweeps".into(), Json::Num(self.sinkhorn_sweeps as f64)),
                     ("auction_bids".into(), Json::Num(self.auction_bids as f64)),
+                    ("allocs_saved".into(), Json::Num(self.allocs_saved as f64)),
+                    ("alloc_bytes_saved".into(), Json::Num(self.alloc_bytes_saved as f64)),
                 ]),
             ),
             (
@@ -256,6 +274,8 @@ mod tests {
                 matmuls: 5,
                 sinkhorn_sweeps: 40,
                 auction_bids: 7,
+                allocs_saved: 3,
+                alloc_bytes_saved: 96,
                 phases: vec![("similarity", 0.5), ("assignment", 0.25)],
                 ..RepTelemetry::default()
             },
@@ -269,6 +289,8 @@ mod tests {
         assert_eq!(t.matmuls, 5);
         assert_eq!(t.sinkhorn_sweeps, 40);
         assert_eq!(t.auction_bids, 7);
+        assert_eq!(t.allocs_saved, 3);
+        assert_eq!(t.alloc_bytes_saved, 96);
         // Sorted by phase name, not insertion order.
         assert_eq!(t.phases[0].0, "assignment");
         assert_eq!(t.phases[1].0, "similarity");
@@ -295,6 +317,18 @@ mod tests {
         let back = CellTelemetry::from_json(&parsed).expect("parseable block");
         assert_eq!(back, t);
         assert_eq!(graphalign_json::to_string_compact(&back), line);
+    }
+
+    #[test]
+    fn from_json_accepts_pre_workspace_blocks() {
+        // Checkpoints written before the alloc counters existed parse with
+        // the counters defaulting to zero.
+        let line = r#"{"converged":true,"solver_runs":1,"nonconverged_runs":0,"iterations":3,"stop_reasons":{"tolerance":1},"ops":{"matmuls":2,"sinkhorn_sweeps":0,"auction_bids":0},"phases":{}}"#;
+        let parsed = graphalign_json::from_str(line).unwrap();
+        let t = CellTelemetry::from_json(&parsed).expect("legacy block parses");
+        assert_eq!(t.matmuls, 2);
+        assert_eq!(t.allocs_saved, 0);
+        assert_eq!(t.alloc_bytes_saved, 0);
     }
 
     #[test]

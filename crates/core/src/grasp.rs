@@ -22,7 +22,7 @@ use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
 use graphalign_linalg::svd::thin_svd;
-use graphalign_linalg::{DenseMatrix, LinearOp, ShiftedOp};
+use graphalign_linalg::{DenseMatrix, LinearOp, ShiftedOp, Workspace};
 
 /// GRASP with the study's tuned hyperparameters (Table 1: `q = 100`,
 /// `k = 20`, JV native assignment) — except `k`, which defaults to 40 here:
@@ -143,8 +143,16 @@ impl Grasp {
         let sb = b_coef.frobenius_norm().max(1e-300);
         let b = b_coef.scaled(1.0 / sb);
 
-        let objective = |m: &DenseMatrix| -> f64 {
-            let d = m.tr_matmul(&l2.matmul(m));
+        // All per-iteration products land in workspace-pooled buffers; the
+        // arithmetic (and thus every objective value and iterate) is
+        // bit-identical to the allocating formulation it replaces.
+        let q_rows = a.rows();
+        let mut ws = Workspace::new();
+        let objective = |m: &DenseMatrix, ws: &mut Workspace| -> f64 {
+            let mut l2m = ws.take_matrix(k, k);
+            l2.matmul_into(m, &mut l2m, ws);
+            let mut d = ws.take_matrix(k, k);
+            m.tr_matmul_into(&l2m, &mut d, ws);
             let mut off_sq = 0.0;
             for i in 0..k {
                 for j in 0..k {
@@ -153,8 +161,16 @@ impl Grasp {
                     }
                 }
             }
-            let residual = a.sub(&b.matmul(m));
-            off_sq + self.mu * residual.frobenius_norm().powi(2)
+            let mut bm = ws.take_matrix(q_rows, k);
+            b.matmul_into(m, &mut bm, ws);
+            let mut residual = ws.take_matrix(q_rows, k);
+            a.add_scaled_into(-1.0, &bm, &mut residual);
+            let fit = residual.frobenius_norm().powi(2);
+            ws.give_matrix(residual);
+            ws.give_matrix(bm);
+            ws.give_matrix(d);
+            ws.give_matrix(l2m);
+            off_sq + self.mu * fit
         };
 
         // Two candidate starting points: the identity (the "no rotation"
@@ -162,29 +178,42 @@ impl Grasp {
         // fit optimum (Procrustes). Refine whichever scores better.
         let procrustes_start = graphalign_linalg::svd::procrustes(&b, &a)?;
         let identity = DenseMatrix::identity(k);
-        let mut m = if objective(&identity) <= objective(&procrustes_start) {
+        let mut m = if objective(&identity, &mut ws) <= objective(&procrustes_start, &mut ws) {
             identity
         } else {
             procrustes_start
         };
         let mut best = m.clone();
-        let mut best_obj = objective(&m);
+        let mut best_obj = objective(&m, &mut ws);
+        let mut l2m = DenseMatrix::zeros(k, k);
+        let mut d = DenseMatrix::zeros(k, k);
+        let mut off = DenseMatrix::zeros(k, k);
+        let mut grad = DenseMatrix::zeros(k, k);
+        let mut m_next = DenseMatrix::zeros(k, k);
+        let mut bm = DenseMatrix::zeros(q_rows, k);
+        let mut residual = DenseMatrix::zeros(q_rows, k);
+        let mut btres = DenseMatrix::zeros(k, k);
         for _ in 0..self.base_align_iters {
             // Gradient of ½‖off(D)‖² with D = MᵀΛ₂M is 2·Λ₂·M·off(D);
             // gradient of μ‖A − BM‖² is −2μ·Bᵀ(A − BM).
-            let d = m.tr_matmul(&l2.matmul(&m));
-            let mut off = d.clone();
+            l2.matmul_into(&m, &mut l2m, &mut ws);
+            m.tr_matmul_into(&l2m, &mut d, &mut ws);
+            off.copy_from(&d);
             for i in 0..k {
                 off.set(i, i, 0.0);
             }
-            let mut grad = l2.matmul(&m).matmul(&off).scaled(2.0);
-            let residual = a.sub(&b.matmul(&m));
-            grad.add_scaled(1.0, &b.tr_matmul(&residual).scaled(-2.0 * self.mu));
+            l2m.matmul_into(&off, &mut grad, &mut ws);
+            grad.scale_inplace(2.0);
+            b.matmul_into(&m, &mut bm, &mut ws);
+            a.add_scaled_into(-1.0, &bm, &mut residual);
+            b.tr_matmul_into(&residual, &mut btres, &mut ws);
+            grad.add_scaled(-2.0 * self.mu, &btres);
             m.add_scaled(-self.lr, &grad);
             // Project back to the orthogonal group: M ← U Vᵀ of M's SVD.
             let svd = thin_svd(&m)?;
-            m = svd.u.matmul_tr(&svd.v);
-            let obj = objective(&m);
+            svd.u.matmul_tr_into(&svd.v, &mut m_next, &mut ws);
+            std::mem::swap(&mut m, &mut m_next);
+            let obj = objective(&m, &mut ws);
             if obj < best_obj {
                 best_obj = obj;
                 best = m.clone();

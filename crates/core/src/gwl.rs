@@ -23,7 +23,7 @@ use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::sinkhorn::{proximal_step, uniform_marginal, SinkhornParams};
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Workspace};
 use graphalign_par::telemetry::{self, Convergence};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -119,6 +119,16 @@ impl Gwl {
         };
         let params = SinkhornParams { epsilon: self.beta, max_iter: 100, tol: 1e-7 };
 
+        // Per-iteration products land in buffers reused across the whole
+        // schedule; the fused `mul_csr_tr` kernel removes the two dense
+        // transposes the cost assembly used to take every outer iteration.
+        let mut ws = Workspace::new();
+        let mut cat = DenseMatrix::zeros(n_a, n_b);
+        let mut catc = DenseMatrix::zeros(n_a, n_b);
+        let mut cost = DenseMatrix::zeros(n_a, n_b);
+        let mut t_xb = DenseMatrix::zeros(n_a, d);
+        let mut tt_xa = DenseMatrix::zeros(n_b, d);
+
         // GWL runs a fixed schedule of proximal updates; the transport delta
         // between outer iterations is recorded so telemetry can tell whether
         // the alternation had settled by the time the schedule ran out.
@@ -130,17 +140,25 @@ impl Gwl {
                 crate::check_budget("gwl", epoch * self.outer_iters + outer)?;
                 // GW gradient cost: c − 2 C_A T C_Bᵀ, plus the embedding
                 // coupling α‖x_i − y_j‖².
-                let cat = ca.mul_dense(&t); // n_A × n_B
-                let catc = cb.mul_dense(&cat.transpose()).transpose(); // C_A T C_B
-                let mut cost = constant.clone();
-                cost.add_scaled(-2.0, &catc);
+                ca.mul_dense_into(&t, &mut cat); // n_A × n_B
+                cat.mul_csr_tr_into(&cb, &mut catc); // C_A T C_Bᵀ (C_B symmetric)
+                constant.add_scaled_into(-2.0, &catc, &mut cost);
                 if self.alpha > 0.0 {
-                    for i in 0..n_a {
-                        for j in 0..n_b {
-                            let k = graphalign_linalg::vec_ops::dist2_sq(xa.row(i), xb.row(j));
-                            cost.add_to(i, j, self.alpha * k);
-                        }
-                    }
+                    let (xa_ref, xb_ref, alpha) = (&xa, &xb, self.alpha);
+                    graphalign_par::for_each_row_block_mut(
+                        cost.as_mut_slice(),
+                        n_b.max(1),
+                        n_b.max(1) * d,
+                        |rows, block| {
+                            for (off, row) in block.chunks_mut(n_b.max(1)).enumerate() {
+                                let xi = xa_ref.row(rows.start + off);
+                                for (j, o) in row.iter_mut().enumerate() {
+                                    let k = graphalign_linalg::vec_ops::dist2_sq(xi, xb_ref.row(j));
+                                    *o += alpha * k;
+                                }
+                            }
+                        },
+                    );
                 }
                 let (t_new, _) = proximal_step(&cost, &t, &mu, &nu, &params)?;
                 last_delta = {
@@ -155,8 +173,8 @@ impl Gwl {
                 // pulls x_i toward the transport-weighted barycenter of X_B
                 // (and vice versa). T rows sum to 1/n_A.
                 if self.alpha > 0.0 {
-                    let t_xb = t.matmul(&xb); // n_A × d, rows scaled by 1/n_A
-                    let tt_xa = t.tr_matmul(&xa); // n_B × d, rows scaled by 1/n_B
+                    t.matmul_into(&xb, &mut t_xb, &mut ws); // n_A × d, rows scaled by 1/n_A
+                    t.tr_matmul_into(&xa, &mut tt_xa, &mut ws); // n_B × d, rows scaled by 1/n_B
                     for i in 0..n_a {
                         for c in 0..d {
                             let bary = t_xb.get(i, c) * n_a as f64;

@@ -79,8 +79,15 @@ impl Aligner for IsoRank {
         // Column-normalized adjacencies: A·D_A⁻¹ = (D_A⁻¹·A)ᵀ.
         let pa: CsrMatrix = spectral::row_normalized_adjacency(source).transpose();
         let pb: CsrMatrix = spectral::row_normalized_adjacency(target);
+        // (D_B⁻¹B)ᵀ, transposed once here instead of once per iteration; the
+        // fused `mul_csr_tr` kernel right-multiplies by its transpose, so the
+        // two dense transposes the loop used to take per iteration are gone.
+        let pbt = pb.transpose();
         let e = self.prior_matrix(source, target);
         let mut r = e.clone();
+        let (rows, cols) = e.shape();
+        let mut left = DenseMatrix::zeros(rows, cols);
+        let mut next = DenseMatrix::zeros(rows, cols);
         let mut iterations = 0;
         let mut last_delta = 0.0;
         let mut hit_tol = false;
@@ -88,12 +95,11 @@ impl Aligner for IsoRank {
             crate::check_budget("isorank", it)?;
             iterations = it + 1;
             // R_next = α · P_Aᵀ-side · R · P_B-side + (1 − α) E
-            // pa is already A·D_A⁻¹; multiply left; then right by D_B⁻¹·B
-            // via (pb ᵀ applied from the right) = (pb.mul from left on Rᵀ)ᵀ;
-            // cheaper: R * (D_B⁻¹ B) = (Bᵀ D_B⁻¹ᵀ Rᵀ)ᵀ = ((D_B⁻¹B)ᵀ Rᵀ)ᵀ.
-            let left = pa.mul_dense(&r);
-            let right = pb.transpose().mul_dense(&left.transpose()).transpose();
-            let mut next = right;
+            // pa is already A·D_A⁻¹; multiply left; then right by D_B⁻¹·B,
+            // i.e. R · pbtᵀ, via the fused dense·CSRᵀ kernel. Both products
+            // land in buffers reused across iterations.
+            pa.mul_dense_into(&r, &mut left);
+            left.mul_csr_tr_into(&pbt, &mut next);
             next.scale_inplace(self.alpha);
             next.add_scaled(1.0 - self.alpha, &e);
             // Normalize total mass to 1 for numerical stability (scaling does
@@ -108,7 +114,7 @@ impl Aligner for IsoRank {
             };
             last_delta = delta;
             telemetry::record_residual("isorank", delta);
-            r = next;
+            std::mem::swap(&mut r, &mut next);
             if delta < self.tol {
                 hit_tol = true;
                 break;

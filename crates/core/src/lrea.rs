@@ -106,35 +106,38 @@ impl Lrea {
         let ones_a = vec![1.0; n_a];
         let ones_b = vec![1.0; n_b];
 
-        // Term 1: c₁ (A U)(B V)ᵀ — rank k.
-        let au = a.mul_dense(&x.u).scaled(c1);
-        let bv = b.mul_dense(&x.v);
+        // The two sparse products A·U and B·V feed both the rank-k term and
+        // the rank-1 terms; compute each once.
+        let au_full = a.mul_dense(&x.u);
+        let bv_full = b.mul_dense(&x.v);
 
-        // Row sums of the factors.
-        let vt1: Vec<f64> = (0..x.v.cols()).map(|c| x.v.col(c).iter().sum()).collect();
-        let ut1: Vec<f64> = (0..x.u.cols()).map(|c| x.u.col(c).iter().sum()).collect();
+        // Term 1: c₁ (A U)(B V)ᵀ — rank k.
+        let au = au_full.scaled(c1);
+        let bv = &bv_full;
+
+        // Row sums of the factors, accumulated row-major (same ascending-row
+        // per-column order as the former per-column extraction, without the
+        // per-column copies).
+        let mut vt1 = vec![0.0; x.v.cols()];
+        for i in 0..n_b {
+            for (acc, &val) in vt1.iter_mut().zip(x.v.row(i)) {
+                *acc += val;
+            }
+        }
+        let mut ut1 = vec![0.0; x.u.cols()];
+        for i in 0..n_a {
+            for (acc, &val) in ut1.iter_mut().zip(x.u.row(i)) {
+                *acc += val;
+            }
+        }
 
         // Term 2: c₂ A X E = (A U (Vᵀ1)) 1ᵀ — rank 1.
-        let au_full = a.mul_dense(&x.u);
-        let mut t2_u = vec![0.0; n_a];
-        for i in 0..n_a {
-            let mut acc = 0.0;
-            for (c, &w) in vt1.iter().enumerate() {
-                acc += au_full.get(i, c) * w;
-            }
-            t2_u[i] = c2 * acc;
-        }
+        let t2_u: Vec<f64> =
+            (0..n_a).map(|i| c2 * graphalign_linalg::vec_ops::dot(au_full.row(i), &vt1)).collect();
 
         // Term 3: c₂ E X B = 1 (B V (Uᵀ1))ᵀ — rank 1.
-        let bv_full = b.mul_dense(&x.v);
-        let mut t3_v = vec![0.0; n_b];
-        for j in 0..n_b {
-            let mut acc = 0.0;
-            for (c, &w) in ut1.iter().enumerate() {
-                acc += bv_full.get(j, c) * w;
-            }
-            t3_v[j] = c2 * acc;
-        }
+        let t3_v: Vec<f64> =
+            (0..n_b).map(|j| c2 * graphalign_linalg::vec_ops::dot(bv_full.row(j), &ut1)).collect();
 
         // Term 4: c₃ E X E = (1ᵀ U)(Vᵀ 1) · 1 1ᵀ — rank 1.
         let total: f64 = ut1.iter().zip(&vt1).map(|(a, b)| a * b).sum();

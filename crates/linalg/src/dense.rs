@@ -9,7 +9,113 @@
 //! and for the sequential `--no-default-features` build.
 
 use crate::vec_ops;
+use crate::workspace::Workspace;
 use graphalign_par as par;
+
+/// k-tile depth of the blocked product: one packed strip covers up to
+/// `GEMM_KC` rows of the right-hand side.
+const GEMM_KC: usize = 256;
+/// Column width of one packed panel: `GEMM_KC × GEMM_NC` f64 ≈ 256 KB,
+/// sized so a panel stays L2-resident while every row of a row block
+/// streams over it, and an `nc`-wide output segment stays in L1.
+const GEMM_NC: usize = 128;
+/// Row-chunk height of the blocked product: panels are reused across
+/// `GEMM_MC` output rows before the next panel is touched, so one panel
+/// (`GEMM_KC × GEMM_NC` ≈ 256 KB) plus the chunk's lhs sub-block
+/// (`GEMM_MC × GEMM_KC` ≈ 512 KB) and output sub-stripe stay L2-resident.
+const GEMM_MC: usize = 256;
+/// Multiply-add count below which the plain triple loop beats packing.
+const GEMM_SMALL: usize = 1 << 15;
+
+/// Cache-blocked row-major GEMM core: `out ← a · b` with `a: m×k`, `b: k×n`.
+///
+/// The right-hand side is packed one k-strip at a time into panel-major
+/// scratch (drawn from `ws`), and the strip's contribution is added to
+/// every output row in parallel over the fixed row-block schedule. Each
+/// output element accumulates its k terms in ascending order — strips
+/// ascending, then ascending within a strip — so the result is
+/// bit-identical to the naive ikj loop at every thread count and for any
+/// blocking parameters.
+fn gemm_core(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f64],
+    b: &[f64],
+    out: &mut [f64],
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(a.len(), m * k, "gemm_core: lhs length mismatch");
+    debug_assert_eq!(b.len(), k * n, "gemm_core: rhs length mismatch");
+    debug_assert_eq!(out.len(), m * n, "gemm_core: output length mismatch");
+    out.fill(0.0);
+    if m == 0 || k == 0 || n == 0 {
+        return;
+    }
+    if m * k * n <= GEMM_SMALL {
+        for (a_row, out_row) in a.chunks_exact(k).zip(out.chunks_exact_mut(n)) {
+            for (&a_il, b_row) in a_row.iter().zip(b.chunks_exact(n)) {
+                for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
+                    *o += a_il * b_lj;
+                }
+            }
+        }
+        return;
+    }
+    let mut packed = ws.take(GEMM_KC.min(k) * n);
+    for kt in (0..k).step_by(GEMM_KC) {
+        let kc = GEMM_KC.min(k - kt);
+        // Pack the strip b[kt..kt+kc] panel-major: the panel of columns
+        // [jt, jt+nc) occupies packed[jt*kc..][..kc*nc], rows contiguous.
+        for jt in (0..n).step_by(GEMM_NC) {
+            let nc = GEMM_NC.min(n - jt);
+            let panel = &mut packed[jt * kc..jt * kc + kc * nc];
+            for (l, dst) in panel.chunks_exact_mut(nc).enumerate() {
+                let src_start = (kt + l) * n + jt;
+                dst.copy_from_slice(&b[src_start..src_start + nc]);
+            }
+        }
+        par::for_each_row_block_mut(out, n, kc.saturating_mul(n), |rows, block| {
+            // Loop order within a thread's row block: row chunks of
+            // `GEMM_MC`, then panels, then rows four at a time — so a panel
+            // is reused across a whole L2-resident row chunk and each
+            // packed panel row is loaded once per four output rows. None of
+            // the reordering changes which terms reach an output element or
+            // in what order: each element is touched exactly once per
+            // strip, accumulating ascending-`l`.
+            let nrows = block.len() / n;
+            let seg = |r: usize| {
+                let base = (rows.start + r) * k + kt;
+                &a[base..base + kc]
+            };
+            for it in (0..nrows).step_by(GEMM_MC) {
+                let mc = GEMM_MC.min(nrows - it);
+                for jt in (0..n).step_by(GEMM_NC) {
+                    let nc = GEMM_NC.min(n - jt);
+                    let panel = &packed[jt * kc..jt * kc + kc * nc];
+                    let mut r = it;
+                    while r + 4 <= it + mc {
+                        let quad = &mut block[r * n..(r + 4) * n];
+                        vec_ops::gemm_microkernel4(
+                            [seg(r), seg(r + 1), seg(r + 2), seg(r + 3)],
+                            panel,
+                            nc,
+                            quad,
+                            n,
+                            jt,
+                        );
+                        r += 4;
+                    }
+                    for out_row in block[r * n..(it + mc) * n].chunks_mut(n) {
+                        vec_ops::gemm_microkernel(seg(r), panel, nc, &mut out_row[jt..jt + nc]);
+                        r += 1;
+                    }
+                }
+            }
+        });
+    }
+    ws.give(packed);
+}
 
 /// A dense row-major matrix of `f64`.
 #[derive(Debug, Clone, PartialEq)]
@@ -167,9 +273,24 @@ impl DenseMatrix {
 
     /// Transposed copy, parallelized over output rows.
     pub fn transpose(&self) -> DenseMatrix {
-        let (r, c) = (self.rows, self.cols);
-        let mut data = vec![0.0; r * c];
-        par::for_each_row_block_mut(&mut data, r.max(1), r, |out_rows, block| {
+        let mut data = vec![0.0; self.rows * self.cols];
+        self.transpose_into_buf(&mut data);
+        DenseMatrix { rows: self.cols, cols: self.rows, data }
+    }
+
+    /// Transposed copy into a caller-provided `cols × rows` matrix.
+    ///
+    /// # Panics
+    /// Panics if `out` is not `self.cols() × self.rows()`.
+    pub fn transpose_into(&self, out: &mut DenseMatrix) {
+        assert_eq!(out.shape(), (self.cols, self.rows), "transpose_into: output shape mismatch");
+        self.transpose_into_buf(&mut out.data);
+    }
+
+    fn transpose_into_buf(&self, out: &mut [f64]) {
+        let r = self.rows;
+        debug_assert_eq!(out.len(), r * self.cols);
+        par::for_each_row_block_mut(out, r.max(1), r, |out_rows, block| {
             for (off, out_row) in block.chunks_mut(r.max(1)).enumerate() {
                 let j = out_rows.start + off;
                 for (i, o) in out_row.iter_mut().enumerate() {
@@ -177,63 +298,64 @@ impl DenseMatrix {
                 }
             }
         });
-        DenseMatrix { rows: c, cols: r, data }
     }
 
-    /// Matrix product `self * rhs`, parallelized over rows of `self`.
+    /// Matrix product `self * rhs`: cache-blocked with packed right-hand
+    /// panels ([`Self::matmul_into`]), parallelized over rows of `self`.
     ///
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        self.matmul_into(rhs, &mut out, &mut Workspace::new());
+        out
+    }
+
+    /// Matrix product `self * rhs` into a caller-provided matrix, with
+    /// packing scratch drawn from `ws` — the allocation-free form hot
+    /// loops call every iteration. The blocked schedule accumulates each
+    /// output element in ascending shared-index order, so results are
+    /// bit-identical to the naive triple loop at every thread count.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix, ws: &mut Workspace) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul: inner dimensions differ ({}x{} * {}x{})",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        assert_eq!(out.shape(), (self.rows, rhs.cols), "matmul_into: output shape mismatch");
         par::telemetry::count_matmul();
-        let (m, k, n) = (self.rows, self.cols, rhs.cols);
-        let mut out = vec![0.0; m * n];
-        par::for_each_row_block_mut(&mut out, n.max(1), k.saturating_mul(n), |rows, block| {
-            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-                let a_row = self.row(rows.start + off);
-                // ikj loop order: stream through rhs rows, accumulate into out_row.
-                for (l, &a_il) in a_row.iter().enumerate().take(k) {
-                    if a_il == 0.0 {
-                        continue;
-                    }
-                    let b_row = rhs.row(l);
-                    for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
-                        *o += a_il * b_lj;
-                    }
-                }
-            }
-        });
-        DenseMatrix { rows: m, cols: n, data: out }
+        gemm_core(self.rows, self.cols, rhs.cols, &self.data, &rhs.data, &mut out.data, ws);
     }
 
-    /// `selfᵀ * rhs` without materializing the transpose.
+    /// `selfᵀ * rhs`.
     ///
     /// # Panics
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn tr_matmul(&self, rhs: &DenseMatrix) -> DenseMatrix {
-        assert_eq!(self.rows, rhs.rows, "tr_matmul: row counts differ");
-        par::telemetry::count_matmul();
-        let (m, n) = (self.cols, rhs.cols);
-        let mut out = DenseMatrix::zeros(m, n);
-        for l in 0..self.rows {
-            let a_row = self.row(l);
-            let b_row = rhs.row(l);
-            for (i, &a_li) in a_row.iter().enumerate() {
-                if a_li == 0.0 {
-                    continue;
-                }
-                let out_row = out.row_mut(i);
-                for (o, &b_lj) in out_row.iter_mut().zip(b_row) {
-                    *o += a_li * b_lj;
-                }
-            }
-        }
+        let mut out = DenseMatrix::zeros(self.cols, rhs.cols);
+        self.tr_matmul_into(rhs, &mut out, &mut Workspace::new());
         out
+    }
+
+    /// `selfᵀ * rhs` into a caller-provided matrix. The transpose is
+    /// materialized once into `ws` scratch and multiplied with the blocked
+    /// core, which keeps the per-element ascending shared-index summation
+    /// order (bit-identical to the former streaming implementation) while
+    /// making the product parallel and cache-blocked.
+    ///
+    /// # Panics
+    /// Panics on row-count or output-shape mismatch.
+    pub fn tr_matmul_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix, ws: &mut Workspace) {
+        assert_eq!(self.rows, rhs.rows, "tr_matmul: row counts differ");
+        assert_eq!(out.shape(), (self.cols, rhs.cols), "tr_matmul_into: output shape mismatch");
+        par::telemetry::count_matmul();
+        let mut t = ws.take(self.rows * self.cols);
+        self.transpose_into_buf(&mut t);
+        gemm_core(self.cols, self.rows, rhs.cols, &t, &rhs.data, &mut out.data, ws);
+        ws.give(t);
     }
 
     /// `self * rhsᵀ`.
@@ -241,20 +363,26 @@ impl DenseMatrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.cols()`.
     pub fn matmul_tr(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.rows);
+        self.matmul_tr_into(rhs, &mut out, &mut Workspace::new());
+        out
+    }
+
+    /// `self * rhsᵀ` into a caller-provided matrix; `rhs` is transposed
+    /// once into `ws` scratch and fed to the blocked core. Per-element
+    /// summation order (ascending shared index) matches the former
+    /// dot-product implementation bit for bit.
+    ///
+    /// # Panics
+    /// Panics on column-count or output-shape mismatch.
+    pub fn matmul_tr_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix, ws: &mut Workspace) {
         assert_eq!(self.cols, rhs.cols, "matmul_tr: column counts differ");
+        assert_eq!(out.shape(), (self.rows, rhs.rows), "matmul_tr_into: output shape mismatch");
         par::telemetry::count_matmul();
-        let (m, n) = (self.rows, rhs.rows);
-        let k = self.cols;
-        let mut out = vec![0.0; m * n];
-        par::for_each_row_block_mut(&mut out, n.max(1), k.saturating_mul(n), |rows, block| {
-            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-                let a_row = self.row(rows.start + off);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = vec_ops::dot(a_row, rhs.row(j));
-                }
-            }
-        });
-        DenseMatrix { rows: m, cols: n, data: out }
+        let mut t = ws.take(rhs.rows * rhs.cols);
+        rhs.transpose_into_buf(&mut t);
+        gemm_core(self.rows, self.cols, rhs.rows, &self.data, &t, &mut out.data, ws);
+        ws.give(t);
     }
 
     /// Matrix–vector product `self * x`.
@@ -284,7 +412,21 @@ impl DenseMatrix {
     /// vectors are combined in chunk order, so the result is thread-count
     /// independent (fixed chunk boundaries, see [`graphalign_par`]).
     pub fn tr_mul_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; self.cols];
+        self.tr_mul_vec_into(x, &mut out);
+        out
+    }
+
+    /// [`Self::tr_mul_vec`] into a caller-provided buffer: the same chunked
+    /// reduction (partials combined in chunk order, zero entries of `x`
+    /// skipped), so the bit pattern is unchanged — only the output
+    /// allocation moves to the caller.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn tr_mul_vec_into(&self, x: &[f64], out: &mut [f64]) {
         assert_eq!(x.len(), self.rows, "tr_mul_vec: x length mismatch");
+        assert_eq!(out.len(), self.cols, "tr_mul_vec: out length mismatch");
         let cols = self.cols;
         let partials = par::fold_chunks(self.rows, cols, |rows| {
             let mut acc = vec![0.0; cols];
@@ -297,13 +439,12 @@ impl DenseMatrix {
             }
             acc
         });
-        let mut out = vec![0.0; cols];
+        out.fill(0.0);
         for part in partials {
             for (o, p) in out.iter_mut().zip(&part) {
                 *o += p;
             }
         }
-        out
     }
 
     /// Entry-wise sum `self + rhs`.
@@ -333,6 +474,29 @@ impl DenseMatrix {
     pub fn add_scaled(&mut self, alpha: f64, rhs: &DenseMatrix) {
         assert_eq!(self.shape(), rhs.shape(), "add_scaled: shape mismatch");
         vec_ops::axpy(alpha, &rhs.data, &mut self.data);
+    }
+
+    /// Out-of-place `out ← self + alpha * rhs` — the allocation-free form
+    /// of `self.clone()` followed by [`Self::add_scaled`], bit-identical to
+    /// that sequence.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn add_scaled_into(&self, alpha: f64, rhs: &DenseMatrix, out: &mut DenseMatrix) {
+        assert_eq!(self.shape(), rhs.shape(), "add_scaled_into: shape mismatch");
+        assert_eq!(self.shape(), out.shape(), "add_scaled_into: output shape mismatch");
+        for ((o, &a), &b) in out.data.iter_mut().zip(&self.data).zip(&rhs.data) {
+            *o = a + alpha * b;
+        }
+    }
+
+    /// Copies `rhs` into `self` without reallocating.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn copy_from(&mut self, rhs: &DenseMatrix) {
+        assert_eq!(self.shape(), rhs.shape(), "copy_from: shape mismatch");
+        self.data.copy_from_slice(&rhs.data);
     }
 
     /// Scaled copy `alpha * self`.
@@ -498,6 +662,27 @@ mod tests {
         let a = DenseMatrix::from_rows(&[&[3.0, 0.0], &[0.0, 4.0]]);
         assert!((a.frobenius_norm() - 5.0).abs() < 1e-15);
         assert_eq!(a.sum(), 7.0);
+    }
+
+    #[test]
+    fn blocked_matmul_matches_naive_ikj_bitwise() {
+        // 37·41·33 > GEMM_SMALL forces the packed path; the odd shared
+        // dimension exercises the microkernel tail, 37 rows the non-quad
+        // remainder, and 33 columns a partial panel.
+        let (m, k, n) = (37, 41, 33);
+        assert!(m * k * n > GEMM_SMALL);
+        let a = DenseMatrix::from_fn(m, k, |i, j| ((i * 13 + j * 7) as f64).sin());
+        let b = DenseMatrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) as f64).cos());
+        let c = a.matmul(&b);
+        for i in 0..m {
+            for j in 0..n {
+                let mut acc = 0.0;
+                for l in 0..k {
+                    acc += a.get(i, l) * b.get(l, j);
+                }
+                assert_eq!(c.get(i, j).to_bits(), acc.to_bits(), "element ({i}, {j})");
+            }
+        }
     }
 
     #[test]

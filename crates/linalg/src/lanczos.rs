@@ -144,7 +144,10 @@ pub fn lanczos(
             q = fresh;
         } else {
             beta.push(b_j);
-            q = w.clone();
+            // Swap instead of cloning: `w` is fully overwritten by
+            // `op.apply` at the top of the next step, so the old `q`
+            // buffer can serve as its storage.
+            std::mem::swap(&mut q, &mut w);
             vec_ops::scale(1.0 / b_j, &mut q);
         }
     }

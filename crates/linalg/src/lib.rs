@@ -20,7 +20,11 @@
 //! * [`power`] — power iteration for leading eigenvectors.
 //! * [`sinkhorn`] — entropic optimal transport (Sinkhorn) and the proximal
 //!   point wrapper used by the Gromov–Wasserstein solvers.
-//! * [`vec_ops`] — small dense-vector helpers shared by the iterative solvers.
+//! * [`vec_ops`] — small dense-vector helpers shared by the iterative solvers,
+//!   including the unrolled GEMM microkernels behind the blocked products.
+//! * [`workspace::Workspace`] — a scratch-buffer pool that lets hot loops
+//!   (and the `_into` kernel variants) reuse allocations across iterations;
+//!   reuses are tallied in telemetry as `allocs_saved`/`alloc_bytes_saved`.
 //!
 //! # Conventions
 //!
@@ -43,9 +47,11 @@ pub mod sinkhorn;
 pub mod sparse;
 pub mod svd;
 pub mod vec_ops;
+pub mod workspace;
 
 pub use dense::DenseMatrix;
 pub use sparse::CsrMatrix;
+pub use workspace::Workspace;
 
 /// Errors produced by the numerical routines in this crate.
 #[derive(Debug, Clone, PartialEq)]

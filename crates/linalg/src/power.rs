@@ -69,11 +69,8 @@ pub fn power_iteration(
         }
         // Fix sign to compare consecutive iterates (eigenvectors are defined
         // up to sign; for negative dominant eigenvalues iterates alternate).
-        let delta_plus = vec_ops::dist2_sq(&x, &y).sqrt();
-        let mut y_neg = y.clone();
-        vec_ops::scale(-1.0, &mut y_neg);
-        let delta_minus = vec_ops::dist2_sq(&x, &y_neg).sqrt();
-        let delta = delta_plus.min(delta_minus);
+        let (d_minus_sq, d_plus_sq) = vec_ops::dist2_sq_both(&x, &y);
+        let delta = d_minus_sq.sqrt().min(d_plus_sq.sqrt());
         telemetry::record_residual("power_iteration", delta);
         std::mem::swap(&mut x, &mut y);
         if delta < tol {

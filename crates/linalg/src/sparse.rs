@@ -202,18 +202,86 @@ impl CsrMatrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn mul_dense(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols());
+        self.mul_dense_into(rhs, &mut out);
+        out
+    }
+
+    /// Sparse × dense product into a caller-provided matrix — the
+    /// allocation-free form iterative solvers call every iteration.
+    /// Bit-identical to [`CsrMatrix::mul_dense`].
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn mul_dense_into(&self, rhs: &DenseMatrix, out: &mut DenseMatrix) {
         assert_eq!(self.cols, rhs.rows(), "mul_dense: inner dimensions differ");
+        assert_eq!(out.shape(), (self.rows, rhs.cols()), "mul_dense_into: output shape mismatch");
         par::telemetry::count_matmul();
         let n = rhs.cols();
-        let mut data = vec![0.0; self.rows * n];
         let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
-        par::for_each_row_block_mut(&mut data, n.max(1), avg_nnz * n, |rows, block| {
+        let data = out.as_mut_slice();
+        data.fill(0.0);
+        par::for_each_row_block_mut(data, n.max(1), avg_nnz * n, |rows, block| {
             for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
                 for (j, v) in self.row_iter(rows.start + off) {
                     let rhs_row = rhs.row(j);
                     for (o, &r) in out_row.iter_mut().zip(rhs_row) {
                         *o += v * r;
                     }
+                }
+            }
+        });
+    }
+
+    /// Fused transposed product `selfᵀ * rhs` without materializing the
+    /// transpose: a sequential scatter over the stored entries, row by row.
+    /// Bit-identical to `self.transpose().mul_dense(rhs)` (both accumulate
+    /// each output element over ascending source-row index). Meant for
+    /// one-off setup products; inside iteration loops prefer hoisting the
+    /// transpose once and using the row-parallel products.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn tr_mul_dense(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, rhs.rows(), "tr_mul_dense: inner dimensions differ");
+        par::telemetry::count_matmul();
+        let mut out = DenseMatrix::zeros(self.cols, rhs.cols());
+        for i in 0..self.rows {
+            let rhs_row = rhs.row(i);
+            for (j, v) in self.row_iter(i) {
+                let out_row = out.row_mut(j);
+                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
+                    *o += v * r;
+                }
+            }
+        }
+        out
+    }
+
+    /// Fused product `self * rhsᵀ` without materializing the dense
+    /// transpose: each output row gathers sparse dot products of one CSR
+    /// row against the rows of `rhs`, parallelized over output rows.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn mul_dense_tr(&self, rhs: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, rhs.cols(), "mul_dense_tr: column counts differ");
+        par::telemetry::count_matmul();
+        let n = rhs.rows();
+        let mut data = vec![0.0; self.rows * n];
+        let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
+        par::for_each_row_block_mut(&mut data, n.max(1), avg_nnz * n, |rows, block| {
+            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let i = rows.start + off;
+                let cols_i = self.row_cols(i);
+                let vals_i = self.row_values(i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let r = rhs.row(j);
+                    let mut acc = 0.0;
+                    for (&l, &v) in cols_i.iter().zip(vals_i) {
+                        acc += v * r[l];
+                    }
+                    *o = acc;
                 }
             }
         });
@@ -302,6 +370,55 @@ impl CsrMatrix {
     }
 }
 
+// Dense-left mixed products live here (rather than in `dense`) because the
+// dense module does not otherwise know about the CSR type.
+impl DenseMatrix {
+    /// Fused dense × sparseᵀ product `self * rhsᵀ` for a CSR right-hand
+    /// side. Each output element is a sparse dot of one dense row with one
+    /// CSR row, so `X · S` for CSR `S` is `x.mul_csr_tr(&s_t)` with the
+    /// transpose `s_t` hoisted once per solve — this is the kernel that
+    /// removes the per-iteration dense transposes from the IsoRank and GWL
+    /// updates. Accumulation per element runs over the CSR row's stored
+    /// entries in ascending column order, matching the bit pattern of the
+    /// former `s.mul_dense(x.transpose()).transpose()` formulation.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn mul_csr_tr(&self, rhs: &CsrMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows(), rhs.rows());
+        self.mul_csr_tr_into(rhs, &mut out);
+        out
+    }
+
+    /// [`DenseMatrix::mul_csr_tr`] into a caller-provided matrix.
+    ///
+    /// # Panics
+    /// Panics on column-count or output-shape mismatch.
+    pub fn mul_csr_tr_into(&self, rhs: &CsrMatrix, out: &mut DenseMatrix) {
+        assert_eq!(self.cols(), rhs.cols(), "mul_csr_tr: column counts differ");
+        assert_eq!(
+            out.shape(),
+            (self.rows(), rhs.rows()),
+            "mul_csr_tr_into: output shape mismatch"
+        );
+        par::telemetry::count_matmul();
+        let n = rhs.rows();
+        let cost_per_row = rhs.nnz().max(1);
+        par::for_each_row_block_mut(out.as_mut_slice(), n.max(1), cost_per_row, |rows, block| {
+            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let self_row = self.row(rows.start + off);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let mut acc = 0.0;
+                    for (&l, &v) in rhs.row_cols(j).iter().zip(rhs.row_values(j)) {
+                        acc += v * self_row[l];
+                    }
+                    *o = acc;
+                }
+            }
+        });
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -353,6 +470,54 @@ mod tests {
         let m = sample();
         let d = DenseMatrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
         assert_eq!(m.mul_dense(&d), m.to_dense().matmul(&d));
+    }
+
+    #[test]
+    fn mul_dense_into_matches_allocating_form_bitwise() {
+        let m = sample();
+        let d = DenseMatrix::from_rows(&[&[1.5, -2.0], &[0.25, 1.0], &[1.0, 3.0]]);
+        let mut out = DenseMatrix::filled(2, 2, f64::NAN);
+        m.mul_dense_into(&d, &mut out);
+        assert_eq!(out, m.mul_dense(&d));
+    }
+
+    #[test]
+    fn tr_mul_dense_matches_materialized_transpose_bitwise() {
+        let m = sample();
+        let d = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, -0.5]]);
+        assert_eq!(m.tr_mul_dense(&d), m.transpose().mul_dense(&d));
+    }
+
+    #[test]
+    fn mul_dense_tr_matches_materialized_transpose() {
+        let m = sample();
+        let d = DenseMatrix::from_rows(&[&[1.0, 0.5, -1.0], &[2.0, 0.0, 4.0]]);
+        let fused = m.mul_dense_tr(&d);
+        let naive = m.mul_dense(&d.transpose());
+        assert_eq!(fused.shape(), naive.shape());
+        assert!(fused.sub(&naive).max_abs() < 1e-14);
+    }
+
+    #[test]
+    fn dense_mul_csr_tr_matches_transposed_spmm_bitwise() {
+        // The IsoRank inner-loop shape: left · s computed as
+        // left.mul_csr_tr(&sᵀ) must match the former
+        // sᵀ.mul_dense(leftᵀ).transpose() formulation bit for bit.
+        let s = sample(); // 2×3
+        let st = s.transpose(); // 3×2
+        let left = DenseMatrix::from_rows(&[&[0.5, -1.0], &[1.0 / 3.0, 0.125], &[2.0, -0.7]]); // 3×2
+        let fused = left.mul_csr_tr(&st); // left · stᵀ = left · s : 3×3
+        let reference = st.mul_dense(&left.transpose()).transpose();
+        assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn mul_csr_tr_into_reuses_buffer() {
+        let s = sample();
+        let x = DenseMatrix::from_rows(&[&[1.0, 2.0, 3.0]]);
+        let mut out = DenseMatrix::filled(1, 2, f64::NAN);
+        x.mul_csr_tr_into(&s, &mut out);
+        assert_eq!(out, x.mul_csr_tr(&s));
     }
 
     #[test]

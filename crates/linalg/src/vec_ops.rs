@@ -58,6 +58,122 @@ pub fn normalize(x: &mut [f64]) -> f64 {
     }
 }
 
+/// Both squared distances `(‖x − y‖₂², ‖x + y‖₂²)` in one pass.
+///
+/// Each sum accumulates left to right exactly like two separate
+/// [`dist2_sq`] calls (the second on a sign-flipped `y`), so callers that
+/// previously materialized `-y` can drop the copy without changing a bit.
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+pub fn dist2_sq_both(x: &[f64], y: &[f64]) -> (f64, f64) {
+    assert_eq!(x.len(), y.len(), "dist2_sq_both: length mismatch");
+    let mut minus = 0.0;
+    let mut plus = 0.0;
+    for (&a, &b) in x.iter().zip(y) {
+        minus += (a - b) * (a - b);
+        plus += (a + b) * (a + b);
+    }
+    (minus, plus)
+}
+
+/// GEMM microkernel over one packed panel: `out[j] += Σ_l a[l] * panel[l*nc + j]`.
+///
+/// `panel` holds `a.len()` rows of `nc` contiguous values (a packed slice of
+/// the right-hand side). The shared dimension is unrolled by 4 with each
+/// term added separately, so every output element accumulates its
+/// contributions in ascending-`l` order — bit-identical to the naive ikj
+/// loop — while the compiler vectorizes across `j` and fuses each
+/// multiply-add.
+///
+/// # Panics
+/// Panics (in debug builds) on inconsistent panel/output lengths.
+pub fn gemm_microkernel(a: &[f64], panel: &[f64], nc: usize, out: &mut [f64]) {
+    let kc = a.len();
+    debug_assert_eq!(panel.len(), kc * nc, "gemm_microkernel: panel length mismatch");
+    debug_assert_eq!(out.len(), nc, "gemm_microkernel: output length mismatch");
+    let mut l = 0;
+    while l + 4 <= kc {
+        let (a0, a1, a2, a3) = (a[l], a[l + 1], a[l + 2], a[l + 3]);
+        let rows = &panel[l * nc..(l + 4) * nc];
+        let (b0, rest) = rows.split_at(nc);
+        let (b1, rest) = rest.split_at(nc);
+        let (b2, b3) = rest.split_at(nc);
+        for ((((o, &x0), &x1), &x2), &x3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
+            let mut acc = *o;
+            acc += a0 * x0;
+            acc += a1 * x1;
+            acc += a2 * x2;
+            acc += a3 * x3;
+            *o = acc;
+        }
+        l += 4;
+    }
+    while l < kc {
+        axpy(a[l], &panel[l * nc..(l + 1) * nc], out);
+        l += 1;
+    }
+}
+
+/// Four-row GEMM microkernel over one packed panel.
+///
+/// `quad` is four contiguous output rows of length `row_len`; the kernel
+/// updates the `nc`-wide window starting at column `jt` of each:
+/// `quad[r][jt + j] += Σ_l a[r][l] * panel[l*nc + j]`. Processing four rows
+/// per panel pass loads each packed right-hand-side row once for four
+/// output rows, quartering panel bandwidth versus four single-row
+/// [`gemm_microkernel`] calls. Every output element still accumulates its
+/// terms in ascending-`l` order with a single accumulator — row blocking
+/// only interleaves updates to *different* elements — so the result is
+/// bit-identical to the naive ikj loop.
+///
+/// # Panics
+/// Panics (in debug builds) on inconsistent segment/panel/quad lengths.
+pub fn gemm_microkernel4(
+    a: [&[f64]; 4],
+    panel: &[f64],
+    nc: usize,
+    quad: &mut [f64],
+    row_len: usize,
+    jt: usize,
+) {
+    let kc = a[0].len();
+    debug_assert!(a.iter().all(|s| s.len() == kc), "gemm_microkernel4: ragged lhs segments");
+    debug_assert_eq!(panel.len(), kc * nc, "gemm_microkernel4: panel length mismatch");
+    debug_assert_eq!(quad.len(), 4 * row_len, "gemm_microkernel4: quad length mismatch");
+    debug_assert!(jt + nc <= row_len, "gemm_microkernel4: window out of range");
+    let (q0, rest) = quad.split_at_mut(row_len);
+    let (q1, rest) = rest.split_at_mut(row_len);
+    let (q2, q3) = rest.split_at_mut(row_len);
+    let o0 = &mut q0[jt..jt + nc];
+    let o1 = &mut q1[jt..jt + nc];
+    let o2 = &mut q2[jt..jt + nc];
+    let o3 = &mut q3[jt..jt + nc];
+    let mut l = 0;
+    while l + 2 <= kc {
+        let (b0, b1) = panel[l * nc..(l + 2) * nc].split_at(nc);
+        let (a00, a01) = (a[0][l], a[0][l + 1]);
+        let (a10, a11) = (a[1][l], a[1][l + 1]);
+        let (a20, a21) = (a[2][l], a[2][l + 1]);
+        let (a30, a31) = (a[3][l], a[3][l + 1]);
+        for j in 0..nc {
+            let (x0, x1) = (b0[j], b1[j]);
+            o0[j] = o0[j] + a00 * x0 + a01 * x1;
+            o1[j] = o1[j] + a10 * x0 + a11 * x1;
+            o2[j] = o2[j] + a20 * x0 + a21 * x1;
+            o3[j] = o3[j] + a30 * x0 + a31 * x1;
+        }
+        l += 2;
+    }
+    if l < kc {
+        let b0 = &panel[l * nc..(l + 1) * nc];
+        axpy(a[0][l], b0, o0);
+        axpy(a[1][l], b0, o1);
+        axpy(a[2][l], b0, o2);
+        axpy(a[3][l], b0, o3);
+    }
+}
+
 /// Sum of all entries.
 pub fn sum(x: &[f64]) -> f64 {
     x.iter().sum()
@@ -127,6 +243,70 @@ mod tests {
     #[test]
     fn dist2_sq_matches_manual() {
         assert_eq!(dist2_sq(&[1.0, 2.0], &[4.0, 6.0]), 25.0);
+    }
+
+    #[test]
+    fn dist2_sq_both_matches_separate_calls_bitwise() {
+        let x = [1.5, -0.25, 3.0, 0.1, -2.0];
+        let y = [0.5, 2.25, -1.0, 0.7, 0.3];
+        let y_neg: Vec<f64> = y.iter().map(|v| -1.0 * v).collect();
+        let (minus, plus) = dist2_sq_both(&x, &y);
+        assert_eq!(minus.to_bits(), dist2_sq(&x, &y).to_bits());
+        assert_eq!(plus.to_bits(), dist2_sq(&x, &y_neg).to_bits());
+    }
+
+    #[test]
+    fn gemm_microkernel_matches_naive_accumulation_bitwise() {
+        // 7 shared-dim entries exercises both the unrolled-by-4 body and
+        // the scalar tail; nc = 3 columns.
+        let a = [0.5, -1.25, 2.0, 0.125, -0.75, 3.5, 1.0 / 3.0];
+        let (kc, nc) = (a.len(), 3);
+        let panel: Vec<f64> = (0..kc * nc).map(|t| ((t * 7 % 13) as f64 - 6.0) / 3.0).collect();
+        let mut out = vec![0.1, -0.2, 0.3];
+        let mut naive = out.clone();
+        for l in 0..kc {
+            for j in 0..nc {
+                naive[j] += a[l] * panel[l * nc + j];
+            }
+        }
+        gemm_microkernel(&a, &panel, nc, &mut out);
+        for (o, n) in out.iter().zip(&naive) {
+            assert_eq!(o.to_bits(), n.to_bits());
+        }
+    }
+
+    #[test]
+    fn gemm_microkernel_empty_shared_dim_is_noop() {
+        let mut out = vec![1.0, 2.0];
+        gemm_microkernel(&[], &[], 2, &mut out);
+        assert_eq!(out, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn gemm_microkernel4_matches_single_row_kernel_bitwise() {
+        // Odd shared dimension exercises the unroll-by-2 tail; the window
+        // starts mid-row to exercise the jt offset.
+        let (kc, nc, row_len, jt) = (5, 3, 7, 2);
+        let segs: Vec<Vec<f64>> =
+            (0..4).map(|r| (0..kc).map(|l| ((r * kc + l) as f64 * 0.37).sin()).collect()).collect();
+        let panel: Vec<f64> = (0..kc * nc).map(|t| ((t * 7 % 13) as f64 - 6.0) / 3.0).collect();
+        let mut quad: Vec<f64> = (0..4 * row_len).map(|t| (t as f64 * 0.11).cos()).collect();
+        let mut expect = quad.clone();
+        for r in 0..4 {
+            let row = &mut expect[r * row_len..(r + 1) * row_len];
+            gemm_microkernel(&segs[r], &panel, nc, &mut row[jt..jt + nc]);
+        }
+        gemm_microkernel4(
+            [&segs[0], &segs[1], &segs[2], &segs[3]],
+            &panel,
+            nc,
+            &mut quad,
+            row_len,
+            jt,
+        );
+        for (got, want) in quad.iter().zip(&expect) {
+            assert_eq!(got.to_bits(), want.to_bits());
+        }
     }
 
     #[test]

@@ -1,0 +1,140 @@
+//! Reusable scratch buffers for allocation-free hot loops.
+//!
+//! Iterative solvers (Sinkhorn, power iteration, the IsoRank/GWL/GRASP
+//! outer loops) need the same handful of temporaries on every iteration.
+//! A [`Workspace`] is a small pool of `Vec<f64>` buffers those loops draw
+//! from with [`Workspace::take`] and return with [`Workspace::give`]: the
+//! first iteration allocates, every later one reuses. Each reuse that
+//! avoided a fresh heap allocation is counted through
+//! [`graphalign_par::telemetry::count_alloc_saved`], so the saving shows up
+//! in the `allocs_saved` / `alloc_bytes_saved` fields of the cell telemetry
+//! JSON.
+//!
+//! The pool's state is a pure function of the take/give call sequence — it
+//! never depends on thread count or timing — so workspace reuse preserves
+//! the workspace-wide bit-identity contract.
+
+use crate::dense::DenseMatrix;
+use graphalign_par::telemetry;
+
+/// A pool of reusable `f64` scratch buffers.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    pool: Vec<Vec<f64>>,
+}
+
+impl Workspace {
+    /// An empty workspace; buffers are pooled as they are given back.
+    pub const fn new() -> Self {
+        Self { pool: Vec::new() }
+    }
+
+    /// Takes a zero-filled buffer of exactly `len` elements, reusing a
+    /// pooled buffer when one is available: best fit first (the smallest
+    /// pooled buffer whose capacity covers `len`), else the largest pooled
+    /// buffer, grown in place. A reuse whose capacity already covers `len`
+    /// (no fresh heap allocation) is counted via
+    /// [`telemetry::count_alloc_saved`].
+    pub fn take(&mut self, len: usize) -> Vec<f64> {
+        let best = self
+            .pool
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.capacity() >= len)
+            .min_by_key(|(_, b)| b.capacity())
+            .map(|(i, _)| i)
+            .or_else(|| {
+                self.pool.iter().enumerate().max_by_key(|(_, b)| b.capacity()).map(|(i, _)| i)
+            });
+        match best {
+            Some(i) => {
+                let mut buf = self.pool.swap_remove(i);
+                if buf.capacity() >= len {
+                    telemetry::count_alloc_saved((len * std::mem::size_of::<f64>()) as u64);
+                }
+                buf.clear();
+                buf.resize(len, 0.0);
+                buf
+            }
+            None => vec![0.0; len],
+        }
+    }
+
+    /// Returns a buffer to the pool for later reuse.
+    pub fn give(&mut self, buf: Vec<f64>) {
+        self.pool.push(buf);
+    }
+
+    /// Takes a zero-filled `rows × cols` matrix backed by a pooled buffer.
+    pub fn take_matrix(&mut self, rows: usize, cols: usize) -> DenseMatrix {
+        DenseMatrix::from_vec(rows, cols, self.take(rows * cols))
+    }
+
+    /// Returns a matrix's buffer to the pool.
+    pub fn give_matrix(&mut self, m: DenseMatrix) {
+        self.give(m.into_vec());
+    }
+
+    /// Number of buffers currently pooled (idle).
+    pub fn pooled(&self) -> usize {
+        self.pool.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn take_returns_zeroed_buffers_of_requested_length() {
+        let mut ws = Workspace::new();
+        let mut b = ws.take(4);
+        assert_eq!(b, vec![0.0; 4]);
+        b[0] = 7.0;
+        ws.give(b);
+        let b2 = ws.take(3);
+        assert_eq!(b2, vec![0.0; 3], "reused buffers come back zeroed");
+    }
+
+    #[test]
+    fn reuse_is_counted_in_telemetry() {
+        let _g = telemetry::install(false);
+        let mut ws = Workspace::new();
+        let b = ws.take(8); // fresh: not counted
+        ws.give(b);
+        let b = ws.take(8); // reuse within capacity: counted
+        ws.give(b);
+        let _big = ws.take(1 << 20); // reuse forces a realloc: not counted
+        let t = telemetry::drain();
+        assert_eq!(t.allocs_saved, 1);
+        assert_eq!(t.alloc_bytes_saved, 8 * 8);
+    }
+
+    #[test]
+    fn take_is_best_fit_then_largest() {
+        let mut ws = Workspace::new();
+        ws.give(Vec::with_capacity(2));
+        ws.give(Vec::with_capacity(100));
+        let b = ws.take(50);
+        assert!(b.capacity() >= 100, "only the cap-100 buffer fits a 50-element take");
+        assert_eq!(ws.pooled(), 1);
+        ws.give(b);
+        ws.give(Vec::with_capacity(8));
+        let b = ws.take(4);
+        assert!(
+            b.capacity() >= 4 && b.capacity() < 100,
+            "best fit leaves the big buffer for big takes (got capacity {})",
+            b.capacity()
+        );
+    }
+
+    #[test]
+    fn matrix_round_trip() {
+        let mut ws = Workspace::new();
+        let m = ws.take_matrix(2, 3);
+        assert_eq!(m.shape(), (2, 3));
+        assert_eq!(m.as_slice(), &[0.0; 6]);
+        ws.give_matrix(m);
+        assert_eq!(ws.pooled(), 1);
+    }
+}

@@ -6,7 +6,7 @@ use graphalign_linalg::power::power_iteration;
 use graphalign_linalg::qr::thin_qr;
 use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
 use graphalign_linalg::svd::{pinv, thin_svd};
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Workspace};
 use proptest::prelude::*;
 
 /// Random dense matrix with entries in [-1, 1].
@@ -163,5 +163,128 @@ proptest! {
         let left = a.matmul(&b.add(&c));
         let right = a.matmul(&b).add(&a.matmul(&c));
         prop_assert!(left.sub(&right).max_abs() < 1e-12);
+    }
+}
+
+/// Reference GEMM: the naive ikj product every blocked/fused kernel promises
+/// to reproduce bit-for-bit — each output element accumulates its shared-dim
+/// terms with a single accumulator in ascending order.
+fn matmul_reference(a: &DenseMatrix, b: &DenseMatrix) -> DenseMatrix {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    DenseMatrix::from_fn(m, n, |i, j| {
+        let mut acc = 0.0;
+        for l in 0..k {
+            acc += a.get(i, l) * b.get(l, j);
+        }
+        acc
+    })
+}
+
+/// Index of the first bitwise mismatch, or `None` when the matrices agree
+/// exactly (shape mismatch reports position `usize::MAX`).
+fn first_bit_mismatch(x: &DenseMatrix, y: &DenseMatrix) -> Option<usize> {
+    if x.shape() != y.shape() {
+        return Some(usize::MAX);
+    }
+    x.as_slice().iter().zip(y.as_slice()).position(|(a, b)| a.to_bits() != b.to_bits())
+}
+
+/// Conformable operand set for the GEMM/SpMM kernels: shapes drawn from
+/// `0..40` (covering empty, single-row, and blocked-path sizes), a sparsified
+/// `m×k` CSR alongside dense `m×k`, `k×n`, `m×n`, and `n×k` factors.
+#[allow(clippy::type_complexity)]
+fn kernel_operands(
+) -> impl Strategy<Value = (DenseMatrix, DenseMatrix, DenseMatrix, DenseMatrix, CsrMatrix)> {
+    (0usize..40, 0usize..40, 0usize..40).prop_flat_map(|(m, k, n)| {
+        (dense(m, k), dense(k, n), dense(m, n), dense(n, k)).prop_map(|(a, b, x, y)| {
+            let mut sp = a.clone();
+            sp.map_inplace(|v| if v.abs() < 0.5 { 0.0 } else { v });
+            let s = CsrMatrix::from_dense(&sp);
+            (a, b, x, y, s)
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked GEMM and its transposed variants reproduce the naive
+    /// ascending-order ikj loop bit-for-bit at arbitrary shapes.
+    #[test]
+    fn blocked_gemm_family_is_bitwise_exact((a, b, ..) in kernel_operands()) {
+        let want = matmul_reference(&a, &b);
+        prop_assert_eq!(first_bit_mismatch(&a.matmul(&b), &want), None);
+        prop_assert_eq!(first_bit_mismatch(&a.transpose().tr_matmul(&b), &want), None);
+        prop_assert_eq!(first_bit_mismatch(&a.matmul_tr(&b.transpose()), &want), None);
+    }
+
+    /// The `_into` forms with a reused workspace and output buffers are
+    /// bit-identical to their allocating counterparts, including when the
+    /// workspace is warm from a differently-shaped earlier product.
+    #[test]
+    fn into_variants_are_bitwise_exact(
+        (a, b, ..) in kernel_operands(),
+        (c, d, ..) in kernel_operands(),
+    ) {
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(a.rows(), b.cols());
+        a.matmul_into(&b, &mut out, &mut ws);
+        prop_assert_eq!(first_bit_mismatch(&out, &a.matmul(&b)), None);
+        let mut out2 = DenseMatrix::zeros(c.rows(), d.cols());
+        c.matmul_into(&d, &mut out2, &mut ws);
+        prop_assert_eq!(first_bit_mismatch(&out2, &c.matmul(&d)), None);
+        let ct = c.transpose();
+        let mut out3 = DenseMatrix::zeros(ct.cols(), d.cols());
+        ct.tr_matmul_into(&d, &mut out3, &mut ws);
+        prop_assert_eq!(first_bit_mismatch(&out3, &ct.tr_matmul(&d)), None);
+        let mut out4 = DenseMatrix::zeros(a.rows(), b.transpose().rows());
+        a.matmul_tr_into(&b.transpose(), &mut out4, &mut ws);
+        prop_assert_eq!(first_bit_mismatch(&out4, &a.matmul_tr(&b.transpose())), None);
+    }
+
+    /// The fused CSR kernels match their materialized-transpose
+    /// formulations bit-for-bit.
+    #[test]
+    fn fused_csr_kernels_are_bitwise_exact((_, b, x, y, s) in kernel_operands()) {
+        let mut out = DenseMatrix::zeros(s.rows(), b.cols());
+        s.mul_dense_into(&b, &mut out);
+        prop_assert_eq!(first_bit_mismatch(&out, &s.mul_dense(&b)), None);
+        prop_assert_eq!(
+            first_bit_mismatch(&s.tr_mul_dense(&x), &s.transpose().mul_dense(&x)),
+            None
+        );
+        prop_assert_eq!(
+            first_bit_mismatch(&s.mul_dense_tr(&y), &s.mul_dense(&y.transpose())),
+            None
+        );
+        let fused = y.mul_csr_tr(&s);
+        let via_transposes = s.mul_dense(&y.transpose()).transpose();
+        prop_assert_eq!(first_bit_mismatch(&fused, &via_transposes), None);
+        let mut into = DenseMatrix::zeros(y.rows(), s.rows());
+        y.mul_csr_tr_into(&s, &mut into);
+        prop_assert_eq!(first_bit_mismatch(&into, &fused), None);
+    }
+}
+
+/// The degenerate shapes the random ranges only occasionally reach, pinned:
+/// fully empty, empty shared dimension, single row/column, and a size just
+/// past the blocked-path threshold.
+#[test]
+fn blocked_kernels_pinned_edge_shapes() {
+    for (m, k, n) in
+        [(0, 0, 0), (0, 5, 3), (4, 0, 3), (2, 3, 0), (1, 1, 1), (1, 9, 4), (33, 34, 35)]
+    {
+        let a = DenseMatrix::from_fn(m, k, |i, j| ((i * 13 + j * 7) as f64).sin());
+        let b = DenseMatrix::from_fn(k, n, |i, j| ((i * 5 + j * 11) as f64).cos());
+        let want = matmul_reference(&a, &b);
+        assert_eq!(first_bit_mismatch(&a.matmul(&b), &want), None, "matmul {m}x{k}x{n}");
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(m, n);
+        a.matmul_into(&b, &mut out, &mut ws);
+        assert_eq!(first_bit_mismatch(&out, &want), None, "matmul_into {m}x{k}x{n}");
+        let s = CsrMatrix::from_dense(&a);
+        let fused = b.transpose().mul_csr_tr(&s);
+        assert_eq!(first_bit_mismatch(&fused, &want.transpose()), None, "mul_csr_tr {m}x{k}x{n}");
     }
 }

@@ -130,6 +130,13 @@ pub struct RepTelemetry {
     pub sinkhorn_sweeps: u64,
     /// Bids placed by the auction assignment solver.
     pub auction_bids: u64,
+    /// Heap allocations avoided by workspace buffer reuse
+    /// ([`count_alloc_saved`]): each count is one scratch buffer that a hot
+    /// loop re-used instead of allocating afresh.
+    pub allocs_saved: u64,
+    /// Bytes of heap allocation avoided by workspace reuse, paired with
+    /// [`Self::allocs_saved`].
+    pub alloc_bytes_saved: u64,
     /// Accumulated wall-clock seconds per named phase.
     pub phases: Vec<(&'static str, f64)>,
 }
@@ -151,6 +158,8 @@ pub struct SinkState {
     matmuls: AtomicU64,
     sinkhorn_sweeps: AtomicU64,
     auction_bids: AtomicU64,
+    allocs_saved: AtomicU64,
+    alloc_bytes_saved: AtomicU64,
     inner: Mutex<SinkInner>,
 }
 
@@ -188,6 +197,8 @@ pub fn install(trace: bool) -> TelemetryGuard {
         matmuls: AtomicU64::new(0),
         sinkhorn_sweeps: AtomicU64::new(0),
         auction_bids: AtomicU64::new(0),
+        allocs_saved: AtomicU64::new(0),
+        alloc_bytes_saved: AtomicU64::new(0),
         inner: Mutex::new(SinkInner::default()),
     })))
 }
@@ -261,6 +272,15 @@ pub fn count_auction_bids(n: u64) {
     with_sink(|s| s.auction_bids.fetch_add(n, Ordering::Relaxed));
 }
 
+/// Counts one heap allocation of `bytes` bytes avoided by reusing a
+/// workspace scratch buffer instead of allocating afresh.
+pub fn count_alloc_saved(bytes: u64) {
+    with_sink(|s| {
+        s.allocs_saved.fetch_add(1, Ordering::Relaxed);
+        s.alloc_bytes_saved.fetch_add(bytes, Ordering::Relaxed);
+    });
+}
+
 /// Runs `f`, accumulating its wall-clock time under `name` when a sink is
 /// installed. Repeated phases with the same name accumulate into one entry.
 pub fn time_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
@@ -292,6 +312,8 @@ pub fn drain() -> RepTelemetry {
             matmuls: s.matmuls.swap(0, Ordering::Relaxed),
             sinkhorn_sweeps: s.sinkhorn_sweeps.swap(0, Ordering::Relaxed),
             auction_bids: s.auction_bids.swap(0, Ordering::Relaxed),
+            allocs_saved: s.allocs_saved.swap(0, Ordering::Relaxed),
+            alloc_bytes_saved: s.alloc_bytes_saved.swap(0, Ordering::Relaxed),
             phases: std::mem::take(&mut inner.phases),
         }
     })
@@ -332,6 +354,8 @@ mod tests {
         count_matmul();
         count_sinkhorn_sweep();
         count_auction_bids(5);
+        count_alloc_saved(1024);
+        count_alloc_saved(2048);
         record("isorank", Convergence::max_iter(100, 0.2));
         time_phase("similarity", || std::thread::sleep(std::time::Duration::from_millis(1)));
         time_phase("similarity", || ());
@@ -339,6 +363,8 @@ mod tests {
         assert_eq!(t.matmuls, 2);
         assert_eq!(t.sinkhorn_sweeps, 1);
         assert_eq!(t.auction_bids, 5);
+        assert_eq!(t.allocs_saved, 2);
+        assert_eq!(t.alloc_bytes_saved, 3072);
         assert_eq!(t.events.len(), 1);
         assert_eq!(t.events[0].routine, "isorank");
         assert!(!t.events[0].convergence.converged);

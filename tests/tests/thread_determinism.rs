@@ -1,13 +1,17 @@
 //! Bit-reproducibility across thread counts: the promise of the
 //! `graphalign-par` execution layer, checked end-to-end through the real
-//! pipeline (generate → perturb → similarity → assignment).
+//! pipeline (generate → perturb → similarity → assignment) and directly
+//! against the blocked/fused linear-algebra kernels.
 //!
 //! The helpers in `graphalign-par` split work at chunk boundaries chosen
 //! from the problem size alone and combine partial results in chunk order,
-//! so alignments must be *bit-identical* whether the process uses one
-//! worker thread or many — and identical again when the crate is built with
-//! `--no-default-features` (no `parallel`), which runs the same chunk
-//! schedule inline. This file is that contract's regression test.
+//! and the blocked GEMM accumulates every output element in ascending
+//! shared-index order regardless of the row-block schedule — so similarity
+//! matrices, alignments, and telemetry operation counts must be
+//! *bit-identical* whether the process uses one worker thread or many, and
+//! identical again when the crate is built with `--no-default-features`
+//! (no `parallel`), which runs the same chunk schedule inline. This file is
+//! that contract's regression test.
 //!
 //! Everything lives in a single `#[test]` because `set_max_threads` is a
 //! process-global override and the libtest harness runs tests in the same
@@ -16,7 +20,29 @@
 use graphalign::registry;
 use graphalign_assignment::AssignmentMethod;
 use graphalign_gen as gen;
+use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Workspace};
 use graphalign_noise::{make_instance, NoiseConfig, NoiseModel};
+use graphalign_par::telemetry;
+
+/// The op counters that must not depend on the thread count.
+type OpCounts = (u64, u64, u64, u64);
+
+/// One algorithm's output: name, flattened similarity matrix, alignment.
+type AlgoOutput = (String, Vec<f64>, Vec<usize>);
+
+fn op_counts(t: &telemetry::RepTelemetry) -> OpCounts {
+    (t.matmuls, t.sinkhorn_sweeps, t.allocs_saved, t.alloc_bytes_saved)
+}
+
+fn assert_bits_eq(name: &str, threads: usize, base: &[f64], other: &[f64]) {
+    assert_eq!(base.len(), other.len(), "{name}: length differs at {threads} threads");
+    let first_diff = base.iter().zip(other).position(|(x, y)| x.to_bits() != y.to_bits());
+    assert_eq!(
+        first_diff, None,
+        "{name}: result differs between 1 and {threads} threads at flat index {first_diff:?}"
+    );
+}
 
 #[test]
 fn alignments_are_bit_identical_across_thread_counts() {
@@ -27,10 +53,11 @@ fn alignments_are_bit_identical_across_thread_counts() {
     let instance = make_instance(&graph, &noise, 7);
 
     // The hot-path algorithms the parallel layer routes through chunked
-    // kernels (dense products, Sinkhorn, power iterations, embeddings).
+    // kernels (dense products, Sinkhorn, power iterations, embeddings) —
+    // all of them now on workspace-reuse inner loops.
     let names = ["IsoRank", "LREA", "REGAL", "CONE", "GRASP"];
 
-    let run_all = |threads: usize| -> Vec<(String, Vec<f64>, Vec<usize>)> {
+    let run_all = |threads: usize| -> (Vec<AlgoOutput>, OpCounts) {
         graphalign_par::set_max_threads(threads);
         // Without the `parallel` feature the layer is pinned to one inline
         // "thread" — the chunk schedule is identical either way.
@@ -39,7 +66,8 @@ fn alignments_are_bit_identical_across_thread_counts() {
         } else {
             assert_eq!(graphalign_par::max_threads(), 1);
         }
-        registry()
+        let _guard = telemetry::install(false);
+        let results = registry()
             .iter()
             .filter(|a| names.contains(&a.name()))
             .map(|a| {
@@ -48,21 +76,68 @@ fn alignments_are_bit_identical_across_thread_counts() {
                     graphalign_assignment::assign(&sim, AssignmentMethod::JonkerVolgenant);
                 (a.name().to_string(), sim.as_slice().to_vec(), alignment)
             })
-            .collect()
+            .collect();
+        (results, op_counts(&telemetry::drain()))
     };
 
-    let sequential = run_all(1);
-    let parallel = run_all(8);
-    graphalign_par::set_max_threads(0); // clear the override
+    // Direct probe of the blocked GEMM family, the fused CSR kernel, and
+    // the workspace-backed Sinkhorn loop at sizes that cross both the
+    // packed-path threshold and MIN_PAR_WORK (200³ = 8M multiply-adds).
+    let kernel_probe = |threads: usize| -> (Vec<Vec<f64>>, OpCounts) {
+        graphalign_par::set_max_threads(threads);
+        let _guard = telemetry::install(false);
+        let a = DenseMatrix::from_fn(200, 200, |i, j| ((i * 31 + j * 7) as f64).sin());
+        let b = DenseMatrix::from_fn(200, 200, |i, j| ((i * 13 + j * 3) as f64).cos());
+        let mut sparse_src = a.clone();
+        sparse_src.map_inplace(|v| if v.abs() < 0.8 { 0.0 } else { v });
+        let s = CsrMatrix::from_dense(&sparse_src);
 
-    for ((name, sim1, a1), (_, sim8, a8)) in sequential.iter().zip(&parallel) {
-        // Bit-exact similarity matrices: compare raw f64 bits, not within a
-        // tolerance — reassociating a single reduction would fail this.
-        let first_diff = sim1.iter().zip(sim8).position(|(x, y)| x.to_bits() != y.to_bits());
+        let mut ws = Workspace::new();
+        let mut prod = DenseMatrix::zeros(200, 200);
+        a.matmul_into(&b, &mut prod, &mut ws);
+        let mut prod2 = DenseMatrix::zeros(200, 200);
+        // Second product through the warm workspace: exercises buffer reuse.
+        a.matmul_into(&b, &mut prod2, &mut ws);
+        let trm = a.tr_matmul(&b);
+        let mtr = a.matmul_tr(&b);
+        let fused = b.mul_csr_tr(&s);
+        let cost = DenseMatrix::from_fn(64, 64, |i, j| ((i + j) % 17) as f64 / 17.0);
+        let mu = uniform_marginal(64);
+        let params = SinkhornParams { epsilon: 0.05, max_iter: 40, tol: 0.0 };
+        let (plan, _) = sinkhorn(&cost, &mu, &mu, &params).unwrap();
+
+        let outputs = vec![
+            prod.as_slice().to_vec(),
+            prod2.as_slice().to_vec(),
+            trm.as_slice().to_vec(),
+            mtr.as_slice().to_vec(),
+            fused.as_slice().to_vec(),
+            plan.as_slice().to_vec(),
+        ];
+        (outputs, op_counts(&telemetry::drain()))
+    };
+
+    let (seq, seq_ops) = run_all(1);
+    let (kseq, kseq_ops) = kernel_probe(1);
+    for threads in [2, 8] {
+        let (par, par_ops) = run_all(threads);
+        for ((name, sim1, a1), (_, simn, an)) in seq.iter().zip(&par) {
+            // Bit-exact similarity matrices: compare raw f64 bits, not
+            // within a tolerance — reassociating a single reduction would
+            // fail this.
+            assert_bits_eq(name, threads, sim1, simn);
+            assert_eq!(a1, an, "{name}: alignment differs between 1 and {threads} threads");
+        }
+        assert_eq!(seq_ops, par_ops, "telemetry op counts differ between 1 and {threads} threads");
+
+        let (kpar, kpar_ops) = kernel_probe(threads);
+        for (i, (k1, kn)) in kseq.iter().zip(&kpar).enumerate() {
+            assert_bits_eq(&format!("kernel probe #{i}"), threads, k1, kn);
+        }
         assert_eq!(
-            first_diff, None,
-            "{name}: similarity differs between 1 and 8 threads at flat index {first_diff:?}"
+            kseq_ops, kpar_ops,
+            "kernel-probe telemetry op counts differ between 1 and {threads} threads"
         );
-        assert_eq!(a1, a8, "{name}: alignment differs between 1 and 8 threads");
     }
+    graphalign_par::set_max_threads(0); // clear the override
 }
