@@ -6,7 +6,9 @@
 //! the paper recommends it over JV on large graphs where the LAP solve
 //! dominates runtime.
 
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{CsrMatrix, DenseMatrix, LowRankSim, Similarity, Workspace};
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
 
 /// Greedy one-to-one matching maximizing similarity pair-by-pair.
 /// Ties are broken by `(row, col)` order, making the result deterministic.
@@ -37,6 +39,199 @@ pub fn sort_greedy(sim: &DenseMatrix) -> Vec<usize> {
         out[i] = j;
         matched += 1;
     }
+    out
+}
+
+/// SortGreedy on any similarity representation, producing exactly the
+/// matching [`sort_greedy`] produces on `sim.to_dense(..)`:
+///
+/// * dense input runs [`sort_greedy`] directly;
+/// * factored input streams each row's candidates through
+///   [`LowRankSim::row_top_k_after`] pages merged by a global heap with the
+///   dense tie order (value descending by `partial_cmp`, then `(row, col)`
+///   ascending) — `O(rows · page)` live candidates instead of an `n × m`
+///   pair sort;
+/// * sparse input partitions the densified pair order into stored positives,
+///   the zero band (stored zeros *and* absent entries, in `(row, col)`
+///   order), and stored negatives, without materializing the zeros.
+///
+/// # Panics
+/// Panics if `rows > cols` (a full one-to-one matching is impossible).
+pub fn sort_greedy_sim(sim: &Similarity) -> Vec<usize> {
+    match sim {
+        Similarity::Dense(m) => sort_greedy(m),
+        Similarity::LowRank(lr) => sort_greedy_lowrank(lr),
+        Similarity::Sparse(s) => sort_greedy_csr(s),
+    }
+}
+
+/// One heap entry of the streaming SortGreedy: ordered so that popping the
+/// max yields the dense pair order — greater value first (`partial_cmp`, so
+/// `-0.0` ties `0.0` exactly like the dense stable sort), then smaller
+/// `(row, col)`.
+#[derive(Debug, PartialEq)]
+struct Cand {
+    v: f64,
+    i: usize,
+    j: usize,
+}
+
+impl Eq for Cand {}
+
+impl Ord for Cand {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.v
+            .partial_cmp(&other.v)
+            .expect("finite similarities")
+            .then_with(|| other.i.cmp(&self.i))
+            .then_with(|| other.j.cmp(&self.j))
+    }
+}
+
+impl PartialOrd for Cand {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Streaming SortGreedy over an implicit factored similarity: each unmatched
+/// row keeps a page of its next `PAGE` candidates in the dense pair order
+/// and exposes its head to a global max-heap. The heap therefore always pops
+/// the globally next pair the dense sort would visit (restricted to
+/// unmatched rows, whose pairs the dense scan would skip anyway), so the
+/// matching is identical while live memory stays `O(rows · PAGE + cols)`.
+fn sort_greedy_lowrank(lr: &LowRankSim) -> Vec<usize> {
+    const PAGE: usize = 64;
+    let (n, m) = (lr.rows(), lr.cols());
+    assert!(n <= m, "sort_greedy: need rows ≤ cols (got {n} × {m})");
+    let mut ws = Workspace::new();
+    let mut pages: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+    let mut cursors: Vec<usize> = vec![0; n];
+    let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(n);
+    for i in 0..n {
+        let page = lr.row_top_k_after(i, None, PAGE, &mut ws);
+        if let Some(&(v, j)) = page.first() {
+            heap.push(Cand { v, i, j });
+        }
+        pages.push(page);
+    }
+    let mut col_taken = vec![false; m];
+    let mut out = vec![usize::MAX; n];
+    let mut matched = 0usize;
+    while matched < n {
+        let Cand { i, j, .. } = heap.pop().expect("an unmatched row always has a candidate");
+        if !col_taken[j] {
+            col_taken[j] = true;
+            out[i] = j;
+            matched += 1;
+            continue;
+        }
+        // Column already taken: advance row `i` to its next candidate,
+        // refilling the page from the factored row when it runs out.
+        cursors[i] += 1;
+        if cursors[i] == pages[i].len() {
+            let after = Some(*pages[i].last().expect("a consumed page is non-empty"));
+            pages[i] = lr.row_top_k_after(i, after, PAGE, &mut ws);
+            cursors[i] = 0;
+            // At most n-1 columns can be taken by other rows, and a row sees
+            // every column once, so it matches before exhausting its cols ≥
+            // rows candidates.
+            assert!(!pages[i].is_empty(), "unmatched row exhausted its candidates");
+        }
+        let (v, j) = pages[i][cursors[i]];
+        heap.push(Cand { v, i, j });
+    }
+    out
+}
+
+/// Exact SortGreedy on a CSR similarity whose absent entries are `0.0`. The
+/// dense pair order visits all stored positives first (value descending,
+/// `(i, j)` ascending within ties), then every zero cell — stored `±0.0` and
+/// absent alike — in plain `(i, j)` order, then the stored negatives; each
+/// band is processed greedily without materializing the zero band.
+fn sort_greedy_csr(s: &CsrMatrix) -> Vec<usize> {
+    let (n, m) = (s.rows(), s.cols());
+    assert!(n <= m, "sort_greedy: need rows ≤ cols (got {n} × {m})");
+    let mut row_taken = vec![false; n];
+    let mut col_taken = vec![false; m];
+    let mut out = vec![usize::MAX; n];
+    let mut matched = 0usize;
+    let band = |entries: &mut Vec<(usize, usize, f64)>,
+                row_taken: &mut [bool],
+                col_taken: &mut [bool],
+                out: &mut [usize],
+                matched: &mut usize| {
+        // Stable sort by value only: collection order was `(i, j)` ascending,
+        // which the dense pair sort uses as its tiebreak.
+        entries.sort_by(|a, b| b.2.partial_cmp(&a.2).expect("finite similarities"));
+        for &(i, j, _) in entries.iter() {
+            if *matched == n {
+                break;
+            }
+            if row_taken[i] || col_taken[j] {
+                continue;
+            }
+            row_taken[i] = true;
+            col_taken[j] = true;
+            out[i] = j;
+            *matched += 1;
+        }
+    };
+    // Band 1: stored positives.
+    let mut pos: Vec<(usize, usize, f64)> = Vec::new();
+    for i in 0..n {
+        for (j, v) in s.row_iter(i) {
+            if v > 0.0 {
+                pos.push((i, j, v));
+            }
+        }
+    }
+    band(&mut pos, &mut row_taken, &mut col_taken, &mut out, &mut matched);
+    // Band 2: the zero band — stored `±0.0` and absent cells — in `(i, j)`
+    // order. A row takes its first free zero column, exactly what the dense
+    // lexicographic scan over equal values does.
+    for i in 0..n {
+        if matched == n {
+            break;
+        }
+        if row_taken[i] {
+            continue;
+        }
+        let cols = s.row_cols(i);
+        let vals = s.row_values(i);
+        let mut k = 0usize;
+        for (j, taken) in col_taken.iter_mut().enumerate() {
+            // Advance the stored pointer; a stored non-zero at `j` is not a
+            // zero cell (`v != 0.0` is false for `-0.0`, keeping it in band).
+            let stored_nonzero = if k < cols.len() && cols[k] == j {
+                let nz = vals[k] != 0.0;
+                k += 1;
+                nz
+            } else {
+                false
+            };
+            if !stored_nonzero && !*taken {
+                row_taken[i] = true;
+                *taken = true;
+                out[i] = j;
+                matched += 1;
+                break;
+            }
+        }
+    }
+    // Band 3: stored negatives.
+    let mut neg: Vec<(usize, usize, f64)> = Vec::new();
+    for (i, &taken) in row_taken.iter().enumerate() {
+        if !taken {
+            for (j, v) in s.row_iter(i) {
+                if v < 0.0 {
+                    neg.push((i, j, v));
+                }
+            }
+        }
+    }
+    band(&mut neg, &mut row_taken, &mut col_taken, &mut out, &mut matched);
+    debug_assert_eq!(matched, n, "cols ≥ rows guarantees a complete matching");
     out
 }
 
@@ -121,5 +316,62 @@ mod tests {
     fn too_many_rows_panics() {
         let sim = DenseMatrix::zeros(3, 2);
         sort_greedy(&sim);
+    }
+
+    #[test]
+    fn lowrank_streaming_matches_densified_sort_greedy() {
+        use graphalign_linalg::LowRankKernel;
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(91);
+        for kernel in [LowRankKernel::Dot, LowRankKernel::NegSqDist, LowRankKernel::ExpNegSqDist] {
+            for _ in 0..5 {
+                let (n, d) = (rng.random_range(1..20usize), rng.random_range(1..4usize));
+                let m = n + rng.random_range(0..4usize);
+                // Coarse values force plenty of exact ties.
+                let ya = DenseMatrix::from_fn(n, d, |_, _| rng.random_range(-2..3) as f64 * 0.5);
+                let yb = DenseMatrix::from_fn(m, d, |_, _| rng.random_range(-2..3) as f64 * 0.5);
+                let sim = Similarity::LowRank(LowRankSim::new(ya, yb, kernel));
+                let dense = sim.to_dense(&mut Workspace::new());
+                assert_eq!(sort_greedy_sim(&sim), sort_greedy(&dense), "{kernel:?} {n}x{m}");
+            }
+        }
+    }
+
+    #[test]
+    fn lowrank_streaming_pages_past_the_first_chunk() {
+        // All 70 × 72 values tie, so the dense order is pure (row, col)
+        // lexicographic and the matching is the identity. Rows past 64 see
+        // their entire first 64-candidate page taken by earlier rows and
+        // must refill from the factored row before matching.
+        let ya = DenseMatrix::filled(70, 1, 1.0);
+        let yb = DenseMatrix::filled(72, 1, 1.0);
+        let sim =
+            Similarity::LowRank(LowRankSim::new(ya, yb, graphalign_linalg::LowRankKernel::Dot));
+        let dense = sim.to_dense(&mut Workspace::new());
+        let got = sort_greedy_sim(&sim);
+        assert_eq!(got, sort_greedy(&dense));
+        assert_eq!(got, (0..70).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sparse_exact_matches_densified_sort_greedy() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(92);
+        for _ in 0..30 {
+            let n = rng.random_range(1..12usize);
+            let m = n + rng.random_range(0..4usize);
+            let mut trips = Vec::new();
+            for i in 0..n {
+                for j in 0..m {
+                    if rng.random_range(0..100) < 35 {
+                        let v = [2.0, 1.0, 0.5, 0.0, -0.0, -1.0, -3.0][rng.random_range(0..7usize)];
+                        trips.push((i, j, v));
+                    }
+                }
+            }
+            let sim = Similarity::Sparse(CsrMatrix::from_triplets(n, m, &trips));
+            let dense = sim.to_dense(&mut Workspace::new());
+            assert_eq!(sort_greedy_sim(&sim), sort_greedy(&dense), "{n}x{m} {trips:?}");
+        }
     }
 }

@@ -58,6 +58,11 @@ impl KdTree {
     /// Index (into the original data) of the nearest point to `query`, with
     /// its squared Euclidean distance. Returns `None` on an empty tree.
     ///
+    /// Exact-distance ties break to the **lowest original index**, matching
+    /// the first-strict-maximum tie rule of the dense row-argmax
+    /// (`vec_ops::argmax`) so that k-d-tree nearest neighbor and dense
+    /// similarity argmax select the same target.
+    ///
     /// # Panics
     /// Panics if `query.len() != dim`.
     pub fn nearest(&self, query: &[f64]) -> Option<(usize, f64)> {
@@ -93,7 +98,11 @@ impl KdTree {
         let mid = (lo + hi) / 2;
         let p = self.point(mid);
         let d = sq_dist(p, query);
-        if d < best.1 {
+        // Strict improvement, or an exact tie won by a lower original index —
+        // the same rule as the dense first-strict-maximum argmax.
+        if d < best.1
+            || (d == best.1 && best.0 != usize::MAX && self.index[mid] < self.index[best.0])
+        {
             *best = (mid, d);
         }
         let axis = depth % self.dim;
@@ -101,7 +110,10 @@ impl KdTree {
         let (near_lo, near_hi, far_lo, far_hi) =
             if diff < 0.0 { (lo, mid, mid + 1, hi) } else { (mid + 1, hi, lo, mid) };
         self.search(near_lo, near_hi, depth + 1, query, best);
-        if diff * diff < best.1 {
+        // `<=` (not `<`): the far half-space can still hold an exact-distance
+        // tie with a lower original index when the splitting plane is exactly
+        // `best.1` away.
+        if diff * diff <= best.1 {
             self.search(far_lo, far_hi, depth + 1, query, best);
         }
     }
@@ -229,9 +241,24 @@ mod tests {
         let data = [1.0, 1.0, 1.0, 1.0, 1.0, 1.0];
         let tree = KdTree::build(&data, 2);
         let (i, d) = tree.nearest(&[1.0, 1.0]).unwrap();
-        assert!(i < 3);
+        assert_eq!(i, 0, "exact-distance ties break to the lowest original index");
         assert_eq!(d, 0.0);
         assert_eq!(tree.k_nearest(&[1.0, 1.0], 3).len(), 3);
+    }
+
+    #[test]
+    fn ties_always_break_to_lowest_original_index() {
+        // Points at the four corners of a square, query at the center: all
+        // distances are exactly equal, so index 0 must win regardless of the
+        // tree layout. Repeat with shuffled duplicates.
+        let data = [1.0, 1.0, -1.0, 1.0, 1.0, -1.0, -1.0, -1.0];
+        let tree = KdTree::build(&data, 2);
+        assert_eq!(tree.nearest(&[0.0, 0.0]).unwrap().0, 0);
+        // Two coincident points far from the others.
+        let data = [5.0, 5.0, 0.0, 0.0, 5.0, 5.0];
+        let tree = KdTree::build(&data, 2);
+        assert_eq!(tree.nearest(&[5.0, 5.0]).unwrap().0, 0);
+        assert_eq!(tree.nearest(&[4.0, 6.0]).unwrap().0, 0);
     }
 
     #[test]

@@ -19,6 +19,19 @@
 //!
 //! All entry points **maximize** total similarity and return, for each
 //! source row, the assigned target column.
+//!
+//! # Representation dispatch
+//!
+//! [`assign`] consumes the [`Similarity`] pipeline currency and routes each
+//! method to its best native path: nearest neighbor and SortGreedy work
+//! directly on factored (`LowRank`) and sparse input without ever
+//! materializing an `n × m` matrix, auction consumes sparse candidates
+//! natively, and the optimal LAP solvers (Hungarian/JV), which genuinely
+//! need random access to every entry, densify through the single audited
+//! [`Similarity::to_dense`] choke point backed by a thread-local
+//! [`Workspace`] pool (reuses are tallied as `allocs_saved`, the
+//! materializations as `densifications` telemetry). Whatever the route, the
+//! matching is bit-identical to running the method on the densified matrix.
 
 pub mod auction;
 pub mod greedy;
@@ -27,7 +40,8 @@ pub mod jv;
 pub mod kdtree;
 pub mod nn;
 
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{DenseMatrix, Similarity, Workspace};
+use std::cell::RefCell;
 
 /// The assignment strategies compared in the paper's §6.2.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -66,26 +80,73 @@ impl AssignmentMethod {
     }
 }
 
+thread_local! {
+    /// Scratch pool backing [`with_dense`]: Hungarian/JV densifications at
+    /// every cell of a sweep reuse one buffer instead of allocating afresh
+    /// (PR-4 `Workspace` semantics, observable via `allocs_saved`).
+    static DENSIFY_POOL: RefCell<Workspace> = const { RefCell::new(Workspace::new()) };
+}
+
+/// Runs `f` on a dense view of `sim`: borrowed directly when already dense,
+/// otherwise materialized through the audited [`Similarity::to_dense`] choke
+/// point into the thread-local scratch pool and returned to it afterwards.
+fn with_dense<R>(sim: &Similarity, f: impl FnOnce(&DenseMatrix) -> R) -> R {
+    if let Some(m) = sim.as_dense() {
+        return f(m);
+    }
+    DENSIFY_POOL.with(|pool| {
+        let mut ws = pool.borrow_mut();
+        let dense = sim.to_dense(&mut ws);
+        let out = f(&dense);
+        ws.give_matrix(dense);
+        out
+    })
+}
+
 /// Extracts an alignment from a similarity matrix with the chosen method,
 /// maximizing total similarity. Returns `out[row] = column`.
+///
+/// Dispatches to the method's best path for the input representation (see
+/// the module docs); the matching is always bit-identical to running the
+/// method on `sim.to_dense(..)`.
 ///
 /// One-to-one methods require `rows ≤ cols`; [`AssignmentMethod::NearestNeighbor`]
 /// accepts any shape (and may assign a column twice).
 ///
 /// # Panics
 /// Panics if a one-to-one method is requested with `rows > cols`, or if the
-/// matrix contains NaN.
-pub fn assign(sim: &DenseMatrix, method: AssignmentMethod) -> Vec<usize> {
+/// similarity contains NaN (for factored input: in the factors or offsets).
+pub fn assign(sim: &Similarity, method: AssignmentMethod) -> Vec<usize> {
     assert!(sim.all_finite(), "assignment requires a finite similarity matrix");
     match method {
-        AssignmentMethod::NearestNeighbor => nn::nearest_neighbor(sim),
-        AssignmentMethod::SortGreedy => greedy::sort_greedy(sim),
-        AssignmentMethod::Hungarian => hungarian::hungarian_max(sim),
-        AssignmentMethod::JonkerVolgenant => jv::jv_max(sim),
-        AssignmentMethod::Auction => {
-            let sparse = graphalign_linalg::CsrMatrix::from_dense(sim);
-            auction::auction_max(&sparse)
-        }
+        AssignmentMethod::NearestNeighbor => nn::nearest_neighbor_sim(sim),
+        AssignmentMethod::SortGreedy => greedy::sort_greedy_sim(sim),
+        AssignmentMethod::Hungarian => with_dense(sim, hungarian::hungarian_max),
+        AssignmentMethod::JonkerVolgenant => with_dense(sim, jv::jv_max),
+        AssignmentMethod::Auction => match sim {
+            Similarity::Sparse(s) => {
+                // The densified route runs `CsrMatrix::from_dense`, which drops
+                // exact zeros; strip stored `±0.0` entries so the native path
+                // hands auction the identical candidate set.
+                let zeros = (0..s.rows()).any(|i| s.row_values(i).contains(&0.0));
+                if zeros {
+                    let trips: Vec<(usize, usize, f64)> = (0..s.rows())
+                        .flat_map(|i| {
+                            s.row_iter(i).filter(|&(_, v)| v != 0.0).map(move |(j, v)| (i, j, v))
+                        })
+                        .collect();
+                    let stripped =
+                        graphalign_linalg::CsrMatrix::from_triplets(s.rows(), s.cols(), &trips);
+                    auction::auction_max(&stripped)
+                } else {
+                    auction::auction_max(s)
+                }
+            }
+            _ => with_dense(sim, |m| {
+                let sparse = graphalign_linalg::CsrMatrix::from_dense(m);
+                auction::auction_max(&sparse)
+            }),
+        },
     }
 }
 
@@ -99,8 +160,12 @@ pub fn assignment_value(sim: &DenseMatrix, assignment: &[usize]) -> f64 {
 mod tests {
     use super::*;
 
-    fn sample() -> DenseMatrix {
-        DenseMatrix::from_rows(&[&[0.9, 0.1, 0.2], &[0.8, 0.7, 0.1], &[0.1, 0.3, 0.2]])
+    fn sample() -> Similarity {
+        Similarity::Dense(DenseMatrix::from_rows(&[
+            &[0.9, 0.1, 0.2],
+            &[0.8, 0.7, 0.1],
+            &[0.1, 0.3, 0.2],
+        ]))
     }
 
     #[test]
@@ -124,8 +189,9 @@ mod tests {
     #[test]
     fn optimal_methods_agree_on_objective() {
         let sim = sample();
-        let hun = assignment_value(&sim, &assign(&sim, AssignmentMethod::Hungarian));
-        let jv = assignment_value(&sim, &assign(&sim, AssignmentMethod::JonkerVolgenant));
+        let dense = sim.as_dense().unwrap();
+        let hun = assignment_value(dense, &assign(&sim, AssignmentMethod::Hungarian));
+        let jv = assignment_value(dense, &assign(&sim, AssignmentMethod::JonkerVolgenant));
         assert!((hun - jv).abs() < 1e-9, "Hungarian {hun} vs JV {jv}");
         // Optimum for `sample` is 0.9 + 0.7 + 0.2 = 1.8.
         assert!((hun - 1.8).abs() < 1e-9);
@@ -141,9 +207,10 @@ mod tests {
     fn greedy_can_be_suboptimal_but_valid() {
         // Classic greedy trap: greedy takes (0,0)=10 then is forced into
         // (1,1)=0; optimal is (0,1)+(1,0) = 9 + 9.
-        let sim = DenseMatrix::from_rows(&[&[10.0, 9.0], &[9.0, 0.0]]);
-        let g = assignment_value(&sim, &assign(&sim, AssignmentMethod::SortGreedy));
-        let o = assignment_value(&sim, &assign(&sim, AssignmentMethod::JonkerVolgenant));
+        let sim = Similarity::Dense(DenseMatrix::from_rows(&[&[10.0, 9.0], &[9.0, 0.0]]));
+        let dense = sim.as_dense().unwrap();
+        let g = assignment_value(dense, &assign(&sim, AssignmentMethod::SortGreedy));
+        let o = assignment_value(dense, &assign(&sim, AssignmentMethod::JonkerVolgenant));
         assert!((g - 10.0).abs() < 1e-12);
         assert!((o - 18.0).abs() < 1e-12);
     }
@@ -151,7 +218,73 @@ mod tests {
     #[test]
     #[should_panic(expected = "finite similarity")]
     fn nan_matrix_is_rejected() {
-        let sim = DenseMatrix::from_rows(&[&[f64::NAN]]);
+        let sim = Similarity::Dense(DenseMatrix::from_rows(&[&[f64::NAN]]));
         let _ = assign(&sim, AssignmentMethod::JonkerVolgenant);
+    }
+
+    #[test]
+    fn every_method_matches_its_densified_path_on_every_representation() {
+        use graphalign_linalg::{CsrMatrix, LowRankKernel, LowRankSim};
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(123);
+        let ya = DenseMatrix::from_fn(8, 3, |_, _| rng.random_range(-4..5) as f64 * 0.25);
+        let yb = DenseMatrix::from_fn(10, 3, |_, _| rng.random_range(-4..5) as f64 * 0.25);
+        let mut trips = Vec::new();
+        for i in 0..8 {
+            for j in 0..10 {
+                if rng.random_range(0..10) < 3 {
+                    trips.push((i, j, rng.random_range(-3..4) as f64 * 0.5));
+                }
+            }
+        }
+        let sims = [
+            Similarity::LowRank(LowRankSim::new(ya.clone(), yb.clone(), LowRankKernel::Dot)),
+            Similarity::LowRank(LowRankSim::new(ya.clone(), yb.clone(), LowRankKernel::NegSqDist)),
+            Similarity::LowRank(LowRankSim::new(ya, yb, LowRankKernel::ExpNegSqDist)),
+            Similarity::Sparse(CsrMatrix::from_triplets(8, 10, &trips)),
+        ];
+        for sim in &sims {
+            let dense = Similarity::Dense(sim.to_dense(&mut Workspace::new()));
+            for method in AssignmentMethod::ALL {
+                assert_eq!(
+                    assign(sim, method),
+                    assign(&dense, method),
+                    "{method:?} on {}",
+                    sim.repr_kind()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn hungarian_densifications_reuse_the_thread_local_pool() {
+        use graphalign_linalg::{LowRankKernel, LowRankSim};
+        let _g = graphalign_par::telemetry::install(false);
+        let lr = Similarity::LowRank(LowRankSim::new(
+            DenseMatrix::from_fn(6, 2, |i, j| (i + j) as f64 * 0.1),
+            DenseMatrix::from_fn(6, 2, |i, j| (i * j) as f64 * 0.1),
+            LowRankKernel::Dot,
+        ));
+        let _ = assign(&lr, AssignmentMethod::Hungarian);
+        let _ = graphalign_par::telemetry::drain();
+        let _ = assign(&lr, AssignmentMethod::JonkerVolgenant);
+        let t = graphalign_par::telemetry::drain();
+        assert_eq!(t.densifications, 1, "JV densified once");
+        assert!(t.allocs_saved > 0, "the second densification reuses the pooled buffer");
+    }
+
+    #[test]
+    fn nn_and_sg_never_densify_factored_input() {
+        use graphalign_linalg::{LowRankKernel, LowRankSim};
+        let _g = graphalign_par::telemetry::install(false);
+        let lr = Similarity::LowRank(LowRankSim::new(
+            DenseMatrix::from_fn(6, 2, |i, j| (i as f64 - j as f64) * 0.3),
+            DenseMatrix::from_fn(7, 2, |i, j| (i as f64 + j as f64) * 0.2),
+            LowRankKernel::ExpNegSqDist,
+        ));
+        let _ = assign(&lr, AssignmentMethod::NearestNeighbor);
+        let _ = assign(&lr, AssignmentMethod::SortGreedy);
+        let t = graphalign_par::telemetry::drain();
+        assert_eq!(t.densifications, 0, "NN/SG must stay on the factored path");
     }
 }

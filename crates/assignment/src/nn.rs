@@ -8,7 +8,7 @@
 //! embedding-space variant backed by the k-d tree.
 
 use crate::kdtree::KdTree;
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{CsrMatrix, DenseMatrix, LowRankSim, Similarity, Workspace};
 
 /// Row-wise argmax: `out[i] = argmax_j sim[i][j]`. Many-to-one. Ties break
 /// to the lowest column index.
@@ -21,6 +21,95 @@ pub fn nearest_neighbor(sim: &DenseMatrix) -> Vec<usize> {
         .map(|i| {
             graphalign_linalg::vec_ops::argmax(sim.row(i))
                 .expect("non-empty finite row has an argmax")
+        })
+        .collect()
+}
+
+/// Nearest neighbor on any similarity representation, dispatching to the
+/// best native path: dense rows take [`nearest_neighbor`]'s argmax, factored
+/// distance kernels query the k-d tree over the target factor rows (REGAL and
+/// CONE's native extraction — no `n × m` materialization), factored dot
+/// kernels scan one implicit row at a time through a pooled scratch row, and
+/// sparse rows run an argmax that treats absent entries as exact `0.0`.
+///
+/// Every path selects exactly the column the dense argmax would select on
+/// `sim.to_dense(..)` — see the per-path notes below.
+///
+/// # Panics
+/// Panics if the matrix has zero columns (no candidate to take).
+pub fn nearest_neighbor_sim(sim: &Similarity) -> Vec<usize> {
+    assert!(sim.cols() > 0, "nearest_neighbor: no columns to assign to");
+    match sim {
+        Similarity::Dense(m) => nearest_neighbor(m),
+        Similarity::LowRank(lr) => nearest_neighbor_lowrank(lr),
+        Similarity::Sparse(s) => nearest_neighbor_sparse(s),
+    }
+}
+
+/// Row argmax of an implicit factored similarity.
+///
+/// For the distance kernels (`NegSqDist`, `ExpNegSqDist`) the entry is a
+/// strictly decreasing function of the factor-row distance, so the row
+/// argmax is the nearest `yb` row; the k-d tree answers that in `O(d log m)`
+/// per query and breaks exact-distance ties to the lowest target index —
+/// the same winner as the dense first-strict-maximum argmax. (`-d²` is an
+/// order-reversing bijection, so the match is exact; for `exp(-d²)` on the
+/// L2-normalized embeddings REGAL/CONE produce, `d² ∈ [0, 4]` where `exp` is
+/// injective on doubles, so equal similarities imply equal distances there
+/// too.) Per-row offsets shift a whole row and never change its argmax.
+///
+/// For the `Dot` kernel there is no metric structure; each implicit row is
+/// scanned directly (`LowRankSim::row_argmax`), which evaluates bit-identical
+/// values to the densified product.
+fn nearest_neighbor_lowrank(lr: &LowRankSim) -> Vec<usize> {
+    if lr.kernel().is_distance_kernel() {
+        nearest_neighbor_embeddings(lr.ya(), lr.yb())
+    } else {
+        let mut ws = Workspace::new();
+        (0..lr.rows())
+            .map(|i| lr.row_argmax(i, &mut ws).expect("non-empty finite row has an argmax"))
+            .collect()
+    }
+}
+
+/// Row argmax of a sparse similarity whose absent entries are exact `0.0`,
+/// replicating [`nearest_neighbor`]'s first-strict-maximum rule on the
+/// densified row without materializing it: the winner is the smallest column
+/// holding the row maximum, where every absent column is a `0.0` candidate.
+fn nearest_neighbor_sparse(s: &CsrMatrix) -> Vec<usize> {
+    let m = s.cols();
+    (0..s.rows())
+        .map(|i| {
+            let cols = s.row_cols(i);
+            let vals = s.row_values(i);
+            // Smallest absent column, if the row is not fully stored.
+            let absent = cols
+                .iter()
+                .enumerate()
+                .find_map(|(k, &j)| (j != k).then_some(k))
+                .or_else(|| (cols.len() < m).then_some(cols.len()));
+            // First strict maximum over the stored entries (columns ascend).
+            let stored =
+                cols.iter().zip(vals).fold(None, |acc: Option<(usize, f64)>, (&j, &v)| match acc {
+                    Some((_, bv)) if v <= bv => acc,
+                    _ => Some((j, v)),
+                });
+            match (stored, absent) {
+                (None, Some(z)) => z,
+                (Some((j, _)), None) => j,
+                (Some((j, v)), Some(z)) => {
+                    // `==` treats a stored `-0.0` and the implicit `0.0` as a
+                    // tie, exactly like the dense argmax's `>` test.
+                    if v > 0.0 {
+                        j
+                    } else if v == 0.0 {
+                        j.min(z)
+                    } else {
+                        z
+                    }
+                }
+                (None, None) => unreachable!("cols > 0 means a row has stored or absent entries"),
+            }
         })
         .collect()
 }
@@ -99,6 +188,46 @@ mod tests {
         let via_matrix = nearest_neighbor(&embedding_similarity(&src, &tgt));
         let via_tree = nearest_neighbor_embeddings(&src, &tgt);
         assert_eq!(via_matrix, via_tree);
+    }
+
+    #[test]
+    fn sparse_nn_matches_densified_argmax() {
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..20 {
+            let (n, m) = (rng.random_range(1..8usize), rng.random_range(1..8usize));
+            let mut trips = Vec::new();
+            for i in 0..n {
+                for j in 0..m.min(n) {
+                    if rng.random_range(0..10) < 4 {
+                        // Mix of positive, negative, exact-zero and -0.0.
+                        let v = [1.5, -2.0, 0.0, -0.0, 0.25][rng.random_range(0..5usize)];
+                        trips.push((i, j, v));
+                    }
+                }
+            }
+            let s = graphalign_linalg::CsrMatrix::from_triplets(n, m, &trips);
+            let sim = Similarity::Sparse(s);
+            let dense = sim.to_dense(&mut Workspace::new());
+            if dense.cols() == 0 {
+                continue;
+            }
+            assert_eq!(nearest_neighbor_sim(&sim), nearest_neighbor(&dense));
+        }
+    }
+
+    #[test]
+    fn lowrank_nn_matches_densified_argmax_for_every_kernel() {
+        use graphalign_linalg::LowRankKernel;
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(78);
+        for kernel in [LowRankKernel::Dot, LowRankKernel::NegSqDist, LowRankKernel::ExpNegSqDist] {
+            let src = DenseMatrix::from_fn(12, 3, |_, _| rng.random_range(-1.0..1.0));
+            let tgt = DenseMatrix::from_fn(15, 3, |_, _| rng.random_range(-1.0..1.0));
+            let sim = Similarity::LowRank(LowRankSim::new(src, tgt, kernel));
+            let dense = sim.to_dense(&mut Workspace::new());
+            assert_eq!(nearest_neighbor_sim(&sim), nearest_neighbor(&dense), "{kernel:?}");
+        }
     }
 
     #[test]

@@ -3,12 +3,17 @@
 
 use graphalign_assignment::kdtree::KdTree;
 use graphalign_assignment::{assign, assignment_value, AssignmentMethod};
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{CsrMatrix, DenseMatrix, LowRankKernel, LowRankSim, Similarity, Workspace};
 use proptest::prelude::*;
 
 fn similarity(n: usize, m: usize) -> impl Strategy<Value = DenseMatrix> {
     proptest::collection::vec(-2.0f64..2.0, n * m)
         .prop_map(move |data| DenseMatrix::from_vec(n, m, data))
+}
+
+/// Wraps a dense matrix in the pipeline-currency enum for [`assign`].
+fn dense(sim: &DenseMatrix) -> Similarity {
+    Similarity::Dense(sim.clone())
 }
 
 /// Exhaustive optimal value by permutation enumeration (tiny n only).
@@ -39,7 +44,7 @@ proptest! {
     fn optimal_solvers_match_brute_force(sim in (2usize..6).prop_flat_map(|n| similarity(n, n))) {
         let best = brute_force(&sim);
         for method in [AssignmentMethod::JonkerVolgenant, AssignmentMethod::Hungarian] {
-            let got = assignment_value(&sim, &assign(&sim, method));
+            let got = assignment_value(&sim, &assign(&dense(&sim), method));
             prop_assert!((got - best).abs() < 1e-9, "{method:?}: {got} vs {best}");
         }
     }
@@ -50,7 +55,7 @@ proptest! {
         sim in (2usize..5, 0usize..3).prop_flat_map(|(n, extra)| similarity(n, n + extra)),
     ) {
         let best = brute_force(&sim);
-        let got = assignment_value(&sim, &assign(&sim, AssignmentMethod::Hungarian));
+        let got = assignment_value(&sim, &assign(&dense(&sim), AssignmentMethod::Hungarian));
         prop_assert!((got - best).abs() < 1e-9);
     }
 
@@ -59,7 +64,7 @@ proptest! {
     #[test]
     fn matchings_are_valid(sim in (1usize..8).prop_flat_map(|n| similarity(n, n))) {
         for method in AssignmentMethod::ALL {
-            let a = assign(&sim, method);
+            let a = assign(&dense(&sim), method);
             prop_assert_eq!(a.len(), sim.rows());
             for &j in &a {
                 prop_assert!(j < sim.cols());
@@ -79,9 +84,9 @@ proptest! {
     #[test]
     fn heuristics_bounded_by_optimum(sim in (2usize..6).prop_flat_map(|n| similarity(n, n))) {
         let best = brute_force(&sim);
-        let greedy = assignment_value(&sim, &assign(&sim, AssignmentMethod::SortGreedy));
+        let greedy = assignment_value(&sim, &assign(&dense(&sim), AssignmentMethod::SortGreedy));
         prop_assert!(greedy <= best + 1e-9);
-        let auction = assignment_value(&sim, &assign(&sim, AssignmentMethod::Auction));
+        let auction = assignment_value(&sim, &assign(&dense(&sim), AssignmentMethod::Auction));
         prop_assert!(auction <= best + 1e-9);
         prop_assert!(auction >= best - 0.05 * sim.rows() as f64, "auction too far from optimum");
     }
@@ -93,10 +98,10 @@ proptest! {
         sim in (2usize..6).prop_flat_map(|n| similarity(n, n)),
         c in -3.0f64..3.0,
     ) {
-        let base = assign(&sim, AssignmentMethod::JonkerVolgenant);
+        let base = assign(&dense(&sim), AssignmentMethod::JonkerVolgenant);
         let mut shifted = sim.clone();
         shifted.map_inplace(|v| v + c);
-        let shifted_assignment = assign(&shifted, AssignmentMethod::JonkerVolgenant);
+        let shifted_assignment = assign(&dense(&shifted), AssignmentMethod::JonkerVolgenant);
         let v1 = assignment_value(&sim, &base);
         let v2 = assignment_value(&sim, &shifted_assignment);
         prop_assert!((v1 - v2).abs() < 1e-9, "shift changed the optimum: {v1} vs {v2}");
@@ -150,5 +155,114 @@ proptest! {
         for (j, (_, d)) in got.iter().enumerate() {
             prop_assert!((d - all[j]).abs() < 1e-12);
         }
+    }
+}
+
+/// Coarse factor grids (quarter steps) so random instances hit plenty of
+/// exact value ties — the hard case for representation equivalence.
+fn factor(rows: usize, rank: usize) -> impl Strategy<Value = DenseMatrix> {
+    proptest::collection::vec(-6i32..7, rows * rank).prop_map(move |v| {
+        DenseMatrix::from_vec(rows, rank, v.iter().map(|&x| x as f64 * 0.25).collect())
+    })
+}
+
+fn sparse_sim(n: usize, m: usize) -> impl Strategy<Value = CsrMatrix> {
+    // Each cell: present with probability 0.4, coarse half-step values.
+    proptest::collection::vec((0u32..10, -4i32..5), n * m).prop_map(move |cells| {
+        let mut trips = Vec::new();
+        for (k, &(p, x)) in cells.iter().enumerate() {
+            if p < 4 {
+                trips.push((k / m, k % m, x as f64 * 0.5));
+            }
+        }
+        CsrMatrix::from_triplets(n, m, &trips)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Tentpole invariant: every assignment method on a factored similarity
+    /// returns the exact matching of the densified path, for every kernel.
+    #[test]
+    fn lowrank_matches_densified_path_for_every_method(
+        (ya, yb, kernel_idx) in (1usize..8, 0usize..4, 1usize..4).prop_flat_map(|(n, extra, d)| {
+            (factor(n, d), factor(n + extra, d), 0usize..3)
+        }),
+    ) {
+        let kernel = [LowRankKernel::Dot, LowRankKernel::NegSqDist, LowRankKernel::ExpNegSqDist]
+            [kernel_idx];
+        let sim = Similarity::LowRank(LowRankSim::new(ya, yb, kernel));
+        let densified = Similarity::Dense(sim.to_dense(&mut Workspace::new()));
+        for method in AssignmentMethod::ALL {
+            prop_assert_eq!(
+                assign(&sim, method),
+                assign(&densified, method),
+                "{:?} on {:?} diverged from the densified path", method, kernel
+            );
+        }
+    }
+
+    /// Same invariant for sparse similarities, whose absent entries must act
+    /// as exact zeros.
+    #[test]
+    fn sparse_matches_densified_path_for_every_method(
+        s in (1usize..7, 0usize..3).prop_flat_map(|(n, extra)| sparse_sim(n, n + extra)),
+    ) {
+        let sim = Similarity::Sparse(s);
+        let densified = Similarity::Dense(sim.to_dense(&mut Workspace::new()));
+        for method in AssignmentMethod::ALL {
+            prop_assert_eq!(
+                assign(&sim, method),
+                assign(&densified, method),
+                "{:?} diverged from the densified path", method
+            );
+        }
+    }
+
+    /// Row offsets are part of the representation contract: a factored
+    /// similarity with offsets still matches its densified path.
+    #[test]
+    fn lowrank_row_offsets_match_densified_path(
+        (ya, yb, offs) in (2usize..6, 1usize..3).prop_flat_map(|(n, d)| {
+            (factor(n, d), factor(n + 1, d),
+             proptest::collection::vec(-2i32..3, n).prop_map(|v| v.iter().map(|&x| x as f64 * 0.5).collect::<Vec<f64>>()))
+        }),
+    ) {
+        let sim = Similarity::LowRank(
+            LowRankSim::new(ya, yb, LowRankKernel::Dot).with_row_offsets(offs),
+        );
+        let densified = Similarity::Dense(sim.to_dense(&mut Workspace::new()));
+        for method in AssignmentMethod::ALL {
+            prop_assert_eq!(assign(&sim, method), assign(&densified, method), "{:?}", method);
+        }
+    }
+}
+
+#[test]
+fn degenerate_shapes_match_densified_path() {
+    // n = 1, rank 1; a single-entry sparse row; and the empty matching.
+    let one = Similarity::LowRank(LowRankSim::new(
+        DenseMatrix::filled(1, 1, 0.5),
+        DenseMatrix::filled(1, 1, -0.25),
+        LowRankKernel::Dot,
+    ));
+    let single = Similarity::Sparse(CsrMatrix::from_triplets(1, 2, &[(0, 1, 1.0)]));
+    let empty_sparse = Similarity::Sparse(CsrMatrix::from_triplets(0, 0, &[]));
+    for sim in [&one, &single] {
+        let densified = Similarity::Dense(sim.to_dense(&mut Workspace::new()));
+        for method in AssignmentMethod::ALL {
+            assert_eq!(assign(sim, method), assign(&densified, method), "{method:?}");
+        }
+    }
+    // An empty graph has no rows to assign; NN's zero-column panic is part of
+    // the dense contract, so only the shape-agnostic methods run here.
+    for method in [
+        AssignmentMethod::SortGreedy,
+        AssignmentMethod::Hungarian,
+        AssignmentMethod::JonkerVolgenant,
+        AssignmentMethod::Auction,
+    ] {
+        assert_eq!(assign(&empty_sparse, method), Vec::<usize>::new(), "{method:?}");
     }
 }

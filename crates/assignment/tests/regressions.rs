@@ -55,7 +55,7 @@ fn proptest_regression_2x2_antidiagonal_trap() {
     );
     let best = brute_force_max(&sim);
     for method in [AssignmentMethod::JonkerVolgenant, AssignmentMethod::Hungarian] {
-        let a = assign(&sim, method);
+        let a = assign(&graphalign_linalg::Similarity::Dense(sim.clone()), method);
         assert_eq!(a, vec![0, 1], "{method:?} must take the diagonal");
         let got = assignment_value(&sim, &a);
         assert!((got - best).abs() < 1e-12, "{method:?}: {got} vs {best}");

@@ -4,14 +4,14 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use graphalign_assignment::{assign, AssignmentMethod};
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 use std::hint::black_box;
 
-fn random_similarity(n: usize, seed: u64) -> DenseMatrix {
+fn random_similarity(n: usize, seed: u64) -> Similarity {
     let mut rng = StdRng::seed_from_u64(seed);
-    DenseMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1.0))
+    Similarity::Dense(DenseMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1.0)))
 }
 
 fn bench_methods(c: &mut Criterion) {

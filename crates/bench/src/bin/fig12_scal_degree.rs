@@ -17,6 +17,11 @@ struct Row {
     avg_degree: usize,
     seconds: f64,
     rss_delta_bytes: Option<usize>,
+    /// Representation the algorithm's similarity used (`"dense"`,
+    /// `"lowrank"`, `"sparse"`); `None` when the cell never produced one.
+    similarity_repr: Option<String>,
+    /// Bytes the similarity payload occupies in that representation.
+    similarity_bytes: Option<usize>,
     skipped: bool,
     error_class: Option<String>,
 }
@@ -27,6 +32,8 @@ graphalign_json::impl_to_json!(Row {
     avg_degree,
     seconds,
     rss_delta_bytes,
+    similarity_repr,
+    similarity_bytes,
     skipped,
     error_class
 });
@@ -61,6 +68,8 @@ fn main() {
                     avg_degree: deg,
                     seconds: 0.0,
                     rss_delta_bytes: None,
+                    similarity_repr: None,
+                    similarity_bytes: None,
                     skipped: true,
                     error_class: Some("infeasible".into()),
                 });
@@ -73,10 +82,14 @@ fn main() {
             let probe = CellRssProbe::begin();
             let mut total = 0.0;
             let mut failure = None;
+            let mut sim_stats = None;
             for r in 0..reps {
                 let inst = AlignmentInstance::permuted(base.clone(), cfg.seed + r as u64);
                 match run_instance_split(algo, true, &inst, AssignmentMethod::NearestNeighbor) {
-                    Ok((_, s)) => total += s,
+                    Ok((_, s, stats)) => {
+                        total += s;
+                        sim_stats = Some(stats);
+                    }
                     Err(e) => {
                         eprintln!("warning: {} at deg={deg}: {e}", algo.name());
                         failure = Some(e);
@@ -86,6 +99,8 @@ fn main() {
             }
             let rss_delta_bytes = probe.delta_bytes();
             let rss_label = rss_delta_bytes.map_or_else(|| "-".into(), fmt_bytes);
+            let similarity_repr = sim_stats.map(|s| s.repr.to_string());
+            let similarity_bytes = sim_stats.map(|s| s.bytes);
             match failure {
                 None => {
                     let avg = total / reps as f64;
@@ -96,6 +111,8 @@ fn main() {
                         avg_degree: deg,
                         seconds: avg,
                         rss_delta_bytes,
+                        similarity_repr,
+                        similarity_bytes,
                         skipped: false,
                         error_class: None,
                     });
@@ -108,6 +125,8 @@ fn main() {
                         avg_degree: deg,
                         seconds: 0.0,
                         rss_delta_bytes,
+                        similarity_repr,
+                        similarity_bytes,
                         skipped: false,
                         error_class: Some(e.class.as_str().into()),
                     });

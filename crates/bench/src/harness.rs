@@ -302,9 +302,21 @@ pub fn run_instance(
     Ok((report, seconds))
 }
 
+/// Representation facts about the similarity a split run produced, for the
+/// scalability figures' memory reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SimilarityStats {
+    /// Representation kind (`"dense"`, `"lowrank"`, `"sparse"`).
+    pub repr: &'static str,
+    /// Bytes the similarity payload occupies in that representation.
+    pub bytes: usize,
+}
+
 /// Runs one algorithm on one prepared instance, timing only the similarity
 /// phase — the paper's scalability protocol ("we exclude the runtime for
-/// linear assignment", §6.6).
+/// linear assignment", §6.6). The similarity is requested for `method`
+/// ([`graphalign::Aligner::similarity_for`]), so e.g. LREA's auction cell
+/// measures the sparse candidate route it actually runs.
 ///
 /// # Errors
 /// Returns a classified [`RepFailure`] when the similarity phase fails.
@@ -313,16 +325,17 @@ pub fn run_instance_split(
     dense_dataset: bool,
     instance: &AlignmentInstance,
     method: AssignmentMethod,
-) -> Result<(QualityReport, f64), RepFailure> {
+) -> Result<(QualityReport, f64, SimilarityStats), RepFailure> {
     let aligner = algo.make(dense_dataset);
     let start = Instant::now();
     let sim = aligner
-        .similarity(&instance.source, &instance.target)
+        .similarity_for(&instance.source, &instance.target, method)
         .map_err(|e| RepFailure::from_align_error(algo.name(), " similarity", &e))?;
     let seconds = start.elapsed().as_secs_f64();
+    let stats = SimilarityStats { repr: sim.repr_kind(), bytes: sim.approx_bytes() };
     let alignment = graphalign_assignment::assign(&sim, method);
     let report = evaluate(&instance.source, &instance.target, &alignment, &instance.ground_truth);
-    Ok((report, seconds))
+    Ok((report, seconds, stats))
 }
 
 /// Runs a full cell: `policy.reps` noisy instances of `base` under `noise`,
@@ -555,11 +568,13 @@ mod tests {
     fn split_timing_excludes_assignment() {
         let g = tiny_graph();
         let inst = graphalign_graph::permutation::AlignmentInstance::permuted(g, 3);
-        let (report, secs) =
+        let (report, secs, stats) =
             run_instance_split(Algo::Grasp, true, &inst, AssignmentMethod::JonkerVolgenant)
                 .expect("GRASP runs on a tiny graph");
         assert!(secs >= 0.0);
         assert!(report.accuracy >= 0.0);
+        assert_eq!(stats.repr, "lowrank", "GRASP hands the pipeline a factored similarity");
+        assert!(stats.bytes > 0);
     }
 
     #[test]

@@ -14,15 +14,21 @@
 
 use crate::suite::Algo;
 use graphalign::cone::Cone;
+use graphalign::grasp::Grasp;
 use graphalign::lrea::Lrea;
+use graphalign_linalg::Similarity;
 
 /// Analytic estimate of the peak bytes the algorithm's dominant structures
 /// occupy on a pair of graphs with `n` nodes and `m` undirected edges each.
 ///
-/// The terms mirror each implementation: dense `n × n` matrices cost
-/// `8n²`, CSR adjacencies `~16·2m`, embeddings `8·n·d`.
+/// The terms mirror each implementation: algorithms that hand the pipeline a
+/// dense similarity pay [`Similarity::dense_bytes`] (`8n²`) per matrix,
+/// while the factored methods (LREA, REGAL, CONE, GRASP) pay only
+/// [`Similarity::lowrank_bytes`] for the `Similarity::LowRank` they emit —
+/// the representation-aware accounting that replaced the old flat `8·n·n`
+/// assumption. CSR adjacencies cost `~16·2m`, embeddings `8·n·d`.
 pub fn model_bytes(algo: Algo, n: usize, m: usize) -> usize {
-    let n2 = 8 * n * n;
+    let n2 = Similarity::dense_bytes(n, n);
     let csr = 2 * (16 * 2 * m + 8 * n);
     match algo {
         // Dense n×n similarity iterated in place (R and E plus a scratch).
@@ -31,27 +37,35 @@ pub fn model_bytes(algo: Algo, n: usize, m: usize) -> usize {
         Algo::Graal => n2 + 2 * (15 * 8 * n) + csr,
         // Component vectors (iterations+1 each side) + dense similarity.
         Algo::Nsd => n2 + 2 * 21 * 8 * n + csr,
-        // Factor pairs only (the whole point of LREA).
+        // Factor pairs only (the whole point of LREA): the similarity stays
+        // the implicit `U Vᵀ`.
         Algo::Lrea => {
             let rank = Lrea::default().max_rank + 3;
-            2 * 8 * n * rank + csr
+            Similarity::lowrank_bytes(n, n, rank) + csr
         }
-        // Features + node-to-landmark matrix + embeddings; no n² matrix.
+        // Features + node-to-landmark matrix + the factored embedding
+        // similarity; no n² matrix anywhere.
         Algo::Regal => {
             let p = (10.0 * (2.0 * n.max(2) as f64).log2()).round() as usize;
-            8 * 2 * n * p * 2 + csr
+            Similarity::lowrank_bytes(n, n, p) + 8 * 2 * n * p + csr
         }
         // Transport plan + cost matrix + embeddings.
         Algo::Gwl => 3 * n2 + 2 * 8 * n * 16 + csr,
         // Leaf transports are small; the harness-level similarity is n².
         Algo::Sgwl => n2 + csr,
-        // Embeddings (d = min(512, n/2)) + Sinkhorn cost matrix.
+        // Embeddings (d = min(512, n/2)), the internal n² Sinkhorn cost
+        // matrix, and the factored output similarity (which replaced the
+        // second n² the old materialized kernel cost).
         Algo::Cone => {
             let d = Cone::default().dim.min(n / 2).max(1);
-            2 * 8 * n * d + 2 * n2 + csr
+            Similarity::lowrank_bytes(n, n, d) + n2 + csr
         }
-        // k eigenvectors + q heat diagonals + dense similarity.
-        Algo::Grasp => 2 * (8 * n * 20 + 8 * n * 100) + n2 + csr,
+        // k eigenvectors + q heat diagonals + the factored descriptor
+        // similarity (was a dense n² before the pipeline went factored).
+        Algo::Grasp => {
+            let k = Grasp::default().k;
+            2 * (8 * n * k + 8 * n * 100) + Similarity::lowrank_bytes(n, n, k) + csr
+        }
     }
 }
 

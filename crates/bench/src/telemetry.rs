@@ -45,6 +45,12 @@ pub struct CellTelemetry {
     pub allocs_saved: u64,
     /// Bytes those avoided allocations would have requested.
     pub alloc_bytes_saved: u64,
+    /// Times a non-dense [`graphalign_linalg::Similarity`] was materialized
+    /// to a dense matrix (the `Similarity::to_dense` choke point — expected
+    /// only for the LAP solvers on factored/sparse input).
+    pub densifications: u64,
+    /// Bytes those densifications materialized.
+    pub densified_bytes: u64,
     /// Accumulated wall-clock seconds per named phase, sorted by name.
     pub phases: Vec<(String, f64)>,
 }
@@ -62,6 +68,8 @@ impl CellTelemetry {
         let mut auction_bids = 0u64;
         let mut allocs_saved = 0u64;
         let mut alloc_bytes_saved = 0u64;
+        let mut densifications = 0u64;
+        let mut densified_bytes = 0u64;
         let mut phases: Vec<(String, f64)> = Vec::new();
         for rep in reps {
             for ev in &rep.events {
@@ -81,6 +89,8 @@ impl CellTelemetry {
             auction_bids += rep.auction_bids;
             allocs_saved += rep.allocs_saved;
             alloc_bytes_saved += rep.alloc_bytes_saved;
+            densifications += rep.densifications;
+            densified_bytes += rep.densified_bytes;
             for &(name, secs) in &rep.phases {
                 match phases.iter_mut().find(|(n, _)| n == name) {
                     Some((_, total)) => *total += secs,
@@ -106,6 +116,8 @@ impl CellTelemetry {
             auction_bids,
             allocs_saved,
             alloc_bytes_saved,
+            densifications,
+            densified_bytes,
             phases,
         }
     }
@@ -142,6 +154,10 @@ impl CellTelemetry {
             allocs_saved: ops.get("allocs_saved").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             alloc_bytes_saved: ops.get("alloc_bytes_saved").and_then(Json::as_f64).unwrap_or(0.0)
                 as u64,
+            // Likewise absent before the Similarity pipeline currency.
+            densifications: ops.get("densifications").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            densified_bytes: ops.get("densified_bytes").and_then(Json::as_f64).unwrap_or(0.0)
+                as u64,
             phases,
         })
     }
@@ -166,6 +182,8 @@ impl graphalign_json::ToJson for CellTelemetry {
                     ("auction_bids".into(), Json::Num(self.auction_bids as f64)),
                     ("allocs_saved".into(), Json::Num(self.allocs_saved as f64)),
                     ("alloc_bytes_saved".into(), Json::Num(self.alloc_bytes_saved as f64)),
+                    ("densifications".into(), Json::Num(self.densifications as f64)),
+                    ("densified_bytes".into(), Json::Num(self.densified_bytes as f64)),
                 ]),
             ),
             (
@@ -276,6 +294,8 @@ mod tests {
                 auction_bids: 7,
                 allocs_saved: 3,
                 alloc_bytes_saved: 96,
+                densifications: 2,
+                densified_bytes: 8192,
                 phases: vec![("similarity", 0.5), ("assignment", 0.25)],
                 ..RepTelemetry::default()
             },
@@ -291,6 +311,8 @@ mod tests {
         assert_eq!(t.auction_bids, 7);
         assert_eq!(t.allocs_saved, 3);
         assert_eq!(t.alloc_bytes_saved, 96);
+        assert_eq!(t.densifications, 2);
+        assert_eq!(t.densified_bytes, 8192);
         // Sorted by phase name, not insertion order.
         assert_eq!(t.phases[0].0, "assignment");
         assert_eq!(t.phases[1].0, "similarity");
@@ -329,6 +351,8 @@ mod tests {
         assert_eq!(t.matmuls, 2);
         assert_eq!(t.allocs_saved, 0);
         assert_eq!(t.alloc_bytes_saved, 0);
+        assert_eq!(t.densifications, 0);
+        assert_eq!(t.densified_bytes, 0);
     }
 
     #[test]

@@ -12,7 +12,7 @@ use crate::prior::degree_similarity;
 use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{DenseMatrix, Similarity};
 
 /// Degree-profile matcher: similarity from node degrees and sorted neighbor
 /// degrees only.
@@ -55,14 +55,18 @@ impl Aligner for DegreeBaseline {
         AssignmentMethod::JonkerVolgenant
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let pa = profiles(source);
         let pb = profiles(target);
-        Ok(DenseMatrix::from_fn(source.node_count(), target.node_count(), |u, v| {
-            0.5 * degree_similarity(source.degree(u), target.degree(v))
-                + 0.5 * profile_similarity(&pa[u], &pb[v])
-        }))
+        Ok(Similarity::Dense(DenseMatrix::from_fn(
+            source.node_count(),
+            target.node_count(),
+            |u, v| {
+                0.5 * degree_similarity(source.degree(u), target.degree(v))
+                    + 0.5 * profile_similarity(&pa[u], &pb[v])
+            },
+        )))
     }
 }
 

@@ -21,12 +21,12 @@
 //! small graphs (DESIGN.md §3).
 
 use crate::{check_sizes, AlignError, Aligner};
-use graphalign_assignment::{nn, AssignmentMethod};
+use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
 use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
 use graphalign_linalg::svd::procrustes;
-use graphalign_linalg::{CsrMatrix, DenseMatrix, LinearOp};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, LinearOp, LowRankKernel, LowRankSim, Similarity};
 use graphalign_par::telemetry::{self, Convergence};
 
 /// CONE with the study's tuned hyperparameters (Table 1: `dim = 512`,
@@ -198,30 +198,14 @@ impl Aligner for Cone {
         AssignmentMethod::NearestNeighbor
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    /// CONE's similarity stays factored: `exp(−‖(Y_A Q)[u] − Y_B[v]‖²)` over
+    /// the Procrustes-aligned embeddings, carried as `O(n · d)` factors. The
+    /// assignment layer queries the k-d tree over the factors for NN — the
+    /// CONE authors' extraction — and densifies only for the LAP solvers.
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let (ya, yb) = self.aligned_embeddings(source, target)?;
-        Ok(nn::embedding_similarity(&ya, &yb))
-    }
-
-    /// The native path queries the k-d tree over aligned embeddings, as the
-    /// CONE authors do.
-    fn align_with(
-        &self,
-        source: &Graph,
-        target: &Graph,
-        method: AssignmentMethod,
-    ) -> Result<Vec<usize>, AlignError> {
-        check_sizes(source, target)?;
-        if method == AssignmentMethod::NearestNeighbor {
-            let (ya, yb) =
-                telemetry::time_phase("similarity", || self.aligned_embeddings(source, target))?;
-            return Ok(telemetry::time_phase("assignment", || {
-                nn::nearest_neighbor_embeddings(&ya, &yb)
-            }));
-        }
-        let sim = telemetry::time_phase("similarity", || self.similarity(source, target))?;
-        Ok(telemetry::time_phase("assignment", || graphalign_assignment::assign(&sim, method)))
+        Ok(Similarity::LowRank(LowRankSim::new(ya, yb, LowRankKernel::ExpNegSqDist)))
     }
 }
 

@@ -24,7 +24,7 @@ use graphalign_graph::graphlets::graphlet_degrees;
 use graphalign_graph::graphlets5::graphlet_degrees_5;
 use graphalign_graph::traversal::bfs_ring;
 use graphalign_graph::Graph;
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{DenseMatrix, Similarity};
 
 /// GRAAL with the study's tuned hyperparameters (Table 1: `α = 0.8`,
 /// SortGreedy-style integral assignment).
@@ -167,17 +167,18 @@ impl Aligner for Graal {
         AssignmentMethod::SortGreedy
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         // Similarity = 2 − cost ∈ [0, 2], so external assignment methods can
         // still consume GRAAL's scoring.
         let mut sim = self.costs(source, target);
         sim.map_inplace(|c| 2.0 - c);
-        Ok(sim)
+        Ok(Similarity::Dense(sim))
     }
 
     /// GRAAL's matching is integral: the native path always runs
-    /// seed-and-extend. Other methods run on the exposed similarity.
+    /// seed-and-extend. Every other method delegates to
+    /// [`crate::generic_align_with`] so phase timing stays uniform.
     fn align_with(
         &self,
         source: &Graph,
@@ -192,12 +193,7 @@ impl Aligner for Graal {
                 self.seed_and_extend(source, target, &costs)
             }));
         }
-        let sim = graphalign_par::telemetry::time_phase("similarity", || {
-            self.similarity(source, target)
-        })?;
-        Ok(graphalign_par::telemetry::time_phase("assignment", || {
-            graphalign_assignment::assign(&sim, method)
-        }))
+        crate::generic_align_with(self, source, target, method)
     }
 }
 

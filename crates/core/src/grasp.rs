@@ -22,7 +22,9 @@ use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
 use graphalign_linalg::svd::thin_svd;
-use graphalign_linalg::{DenseMatrix, LinearOp, ShiftedOp, Workspace};
+use graphalign_linalg::{
+    DenseMatrix, LinearOp, LowRankKernel, LowRankSim, ShiftedOp, Similarity, Workspace,
+};
 
 /// GRASP with the study's tuned hyperparameters (Table 1: `q = 100`,
 /// `k = 20`, JV native assignment) — except `k`, which defaults to 40 here:
@@ -232,7 +234,7 @@ impl Aligner for Grasp {
         AssignmentMethod::JonkerVolgenant
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let k = self.k.min(source.node_count()).min(target.node_count()).max(1);
         let (la, phi) = self.spectrum(source, k)?;
@@ -284,18 +286,16 @@ impl Aligner for Grasp {
         }
 
         // Node descriptors: rows of Φ·diag(C) vs rows of Ψ·M; similarity is
-        // the negated squared distance.
+        // the negated squared distance, carried factored (`O(n · k)` instead
+        // of `n × n`) — the assignment layer densifies only for the LAP
+        // solvers.
         let mut phi_c = phi.clone();
         for j in 0..k {
             for i in 0..phi_c.rows() {
                 phi_c.set(i, j, phi_c.get(i, j) * c[j]);
             }
         }
-        let (n, mm) = (phi_c.rows(), psi_aligned.rows());
-        let sim = DenseMatrix::par_from_fn(n, mm, |i, j| {
-            -graphalign_linalg::vec_ops::dist2_sq(phi_c.row(i), psi_aligned.row(j))
-        });
-        Ok(sim)
+        Ok(Similarity::LowRank(LowRankSim::new(phi_c, psi_aligned, LowRankKernel::NegSqDist)))
     }
 }
 

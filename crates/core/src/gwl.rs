@@ -23,7 +23,7 @@ use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::sinkhorn::{proximal_step, uniform_marginal, SinkhornParams};
-use graphalign_linalg::{CsrMatrix, DenseMatrix, Workspace};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity, Workspace};
 use graphalign_par::telemetry::{self, Convergence};
 use rand::prelude::*;
 use rand::rngs::StdRng;
@@ -216,9 +216,9 @@ impl Aligner for Gwl {
         AssignmentMethod::NearestNeighbor
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
-        self.transport(source, target)
+        Ok(Similarity::Dense(self.transport(source, target)?))
     }
 }
 

@@ -18,7 +18,7 @@ use crate::prior::{degree_prior, uniform_prior};
 use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity};
 use graphalign_par::telemetry::{self, Convergence};
 
 /// Which prior similarity matrix `E` to blend in.
@@ -74,7 +74,7 @@ impl Aligner for IsoRank {
         AssignmentMethod::SortGreedy
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         // Column-normalized adjacencies: A·D_A⁻¹ = (D_A⁻¹·A)ᵀ.
         let pa: CsrMatrix = spectral::row_normalized_adjacency(source).transpose();
@@ -131,7 +131,7 @@ impl Aligner for IsoRank {
                 Convergence::max_iter(iterations, last_delta)
             },
         );
-        Ok(r)
+        Ok(Similarity::Dense(r))
     }
 }
 
@@ -153,7 +153,7 @@ mod tests {
     #[test]
     fn similarity_matrix_is_a_distribution() {
         let inst = permuted_instance(5, 1);
-        let sim = IsoRank::default().similarity(&inst.source, &inst.target).unwrap();
+        let sim = IsoRank::default().similarity(&inst.source, &inst.target).unwrap().into_dense();
         assert!((sim.sum() - 1.0).abs() < 1e-9);
         assert!(sim.as_slice().iter().all(|&v| v >= 0.0));
     }

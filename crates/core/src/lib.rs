@@ -68,7 +68,7 @@ pub mod sgwl;
 
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
-use graphalign_linalg::{DenseMatrix, LinalgError};
+use graphalign_linalg::{LinalgError, Similarity};
 
 /// Errors produced by alignment algorithms.
 #[derive(Debug)]
@@ -139,13 +139,19 @@ pub(crate) fn check_budget(routine: &'static str, iterations: usize) -> Result<(
 
 /// A graph-alignment algorithm.
 ///
-/// Implementors provide a node-similarity matrix; the final matching is
-/// extracted by a [`AssignmentMethod`] — by default the one the original
+/// Implementors provide a node [`Similarity`] — the pipeline currency — in
+/// whichever representation the algorithm naturally produces: embedding
+/// methods (REGAL, CONE, GRASP, LREA) return implicit factored
+/// `Similarity::LowRank` values, LREA's native auction route returns
+/// `Similarity::Sparse` candidates, and the remaining algorithms return the
+/// `Similarity::Dense` matrix they compute anyway. The final matching is
+/// extracted by an [`AssignmentMethod`] — by default the one the original
 /// paper proposed ([`Aligner::native_assignment`]), but any method can be
 /// substituted via [`Aligner::align_with`], which is how the study levels
 /// the playing field. GRAAL, whose seed-and-extend matching is integral to
-/// the algorithm, overrides [`Aligner::align`] (paper §6.2: "GRAAL performs
-/// SG integrally, rendering the adaptation to other methods hard").
+/// the algorithm, overrides [`Aligner::align_with`] for SG only (paper §6.2:
+/// "GRAAL performs SG integrally, rendering the adaptation to other methods
+/// hard").
 pub trait Aligner {
     /// Canonical algorithm name as used in the paper.
     fn name(&self) -> &'static str;
@@ -153,14 +159,38 @@ pub trait Aligner {
     /// The assignment method the algorithm's authors proposed (Table 1).
     fn native_assignment(&self) -> AssignmentMethod;
 
-    /// Computes the dense node-similarity matrix (`source.node_count()` ×
-    /// `target.node_count()`), higher = more similar.
+    /// Computes the node similarity (`source.node_count()` ×
+    /// `target.node_count()`, higher = more similar) in the algorithm's
+    /// preferred representation.
     ///
     /// # Errors
     /// Implementation-specific; see each algorithm module.
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError>;
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError>;
+
+    /// The similarity representation tailored to a specific assignment
+    /// method. Defaults to [`Aligner::similarity`]; algorithms whose native
+    /// assignment consumes a different representation (LREA and NetAlign
+    /// hand the auction a sparse candidate set instead of a dense matrix)
+    /// override this.
+    ///
+    /// # Errors
+    /// Propagates [`Aligner::similarity`] failures.
+    fn similarity_for(
+        &self,
+        source: &Graph,
+        target: &Graph,
+        method: AssignmentMethod,
+    ) -> Result<Similarity, AlignError> {
+        let _ = method;
+        self.similarity(source, target)
+    }
 
     /// Aligns with an explicit assignment method.
+    ///
+    /// This default is the **only** place the pipeline's "similarity" and
+    /// "assignment" phases are timed; algorithm-specific overrides (GRAAL's
+    /// seed-and-extend) must route every other method back here so phase
+    /// telemetry stays uniform.
     ///
     /// # Errors
     /// Propagates [`Aligner::similarity`] failures.
@@ -170,13 +200,7 @@ pub trait Aligner {
         target: &Graph,
         method: AssignmentMethod,
     ) -> Result<Vec<usize>, AlignError> {
-        check_sizes(source, target)?;
-        let sim = graphalign_par::telemetry::time_phase("similarity", || {
-            self.similarity(source, target)
-        })?;
-        Ok(graphalign_par::telemetry::time_phase("assignment", || {
-            graphalign_assignment::assign(&sim, method)
-        }))
+        generic_align_with(self, source, target, method)
     }
 
     /// Aligns with the algorithm's native assignment method.
@@ -186,6 +210,29 @@ pub trait Aligner {
     fn align(&self, source: &Graph, target: &Graph) -> Result<Vec<usize>, AlignError> {
         self.align_with(source, target, self.native_assignment())
     }
+}
+
+/// The shared similarity-then-assignment pipeline behind
+/// [`Aligner::align_with`]: the **only** place the "similarity" and
+/// "assignment" phases are timed. Overriding aligners (GRAAL) call this for
+/// every method they don't handle natively, so phase telemetry stays uniform
+/// across the registry.
+///
+/// # Errors
+/// Propagates [`Aligner::similarity_for`] failures.
+pub fn generic_align_with<A: Aligner + ?Sized>(
+    aligner: &A,
+    source: &Graph,
+    target: &Graph,
+    method: AssignmentMethod,
+) -> Result<Vec<usize>, AlignError> {
+    check_sizes(source, target)?;
+    let sim = graphalign_par::telemetry::time_phase("similarity", || {
+        aligner.similarity_for(source, target, method)
+    })?;
+    Ok(graphalign_par::telemetry::time_phase("assignment", || {
+        graphalign_assignment::assign(&sim, method)
+    }))
 }
 
 /// Validates that a one-to-one alignment is possible.

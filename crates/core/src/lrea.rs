@@ -18,11 +18,11 @@
 //! resolved with a sparse maximum-weight matching, per the authors.
 
 use crate::{check_sizes, AlignError, Aligner};
-use graphalign_assignment::{auction, AssignmentMethod};
+use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::qr::thin_qr;
 use graphalign_linalg::svd::thin_svd;
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, LowRankKernel, LowRankSim, Similarity};
 use graphalign_par::telemetry::{self, Convergence};
 
 /// LREA with the study's tuned hyperparameters (Table 1: `iterations = 40`,
@@ -286,32 +286,34 @@ impl Aligner for Lrea {
         AssignmentMethod::Auction
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    /// LREA's similarity is the low-rank product `U Vᵀ` — returned factored
+    /// (`Similarity::LowRank` with the dot kernel), never materialized here.
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let (u, v) = self.factors(source, target)?;
-        Ok(u.matmul_tr(&v))
+        Ok(Similarity::LowRank(LowRankSim::new(u, v, LowRankKernel::Dot)))
     }
 
-    /// The native path runs sparse MWM over the union of matchings (as the
-    /// LREA authors do) instead of densifying `U Vᵀ`.
-    fn align_with(
+    /// The native auction route hands the solver the sparse union-of-matchings
+    /// candidate list (as the LREA authors do) instead of scoring all of
+    /// `U Vᵀ`.
+    fn similarity_for(
         &self,
         source: &Graph,
         target: &Graph,
         method: AssignmentMethod,
-    ) -> Result<Vec<usize>, AlignError> {
-        check_sizes(source, target)?;
-        if method == AssignmentMethod::Auction {
-            let (u, v) = telemetry::time_phase("similarity", || self.factors(source, target))?;
-            return telemetry::time_phase("assignment", || {
-                let cands = self.candidates(&u, &v);
-                let sparse =
-                    CsrMatrix::from_triplets(source.node_count(), target.node_count(), &cands);
-                Ok(auction::auction_max(&sparse))
-            });
+    ) -> Result<Similarity, AlignError> {
+        if method != AssignmentMethod::Auction {
+            return self.similarity(source, target);
         }
-        let sim = telemetry::time_phase("similarity", || self.similarity(source, target))?;
-        Ok(telemetry::time_phase("assignment", || graphalign_assignment::assign(&sim, method)))
+        check_sizes(source, target)?;
+        let (u, v) = self.factors(source, target)?;
+        let cands = self.candidates(&u, &v);
+        Ok(Similarity::Sparse(CsrMatrix::from_triplets(
+            source.node_count(),
+            target.node_count(),
+            &cands,
+        )))
     }
 }
 

@@ -25,9 +25,9 @@
 
 use crate::prior::degree_similarity;
 use crate::{check_sizes, AlignError, Aligner};
-use graphalign_assignment::{auction, AssignmentMethod};
+use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity};
 use graphalign_par::telemetry::{self, Convergence};
 
 /// NetAlign with the enhancements the study granted it (degree-prior
@@ -151,7 +151,7 @@ impl Aligner for NetAlign {
         AssignmentMethod::Auction
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let candidates = self.candidates(source, target);
         let beliefs = self.beliefs(&candidates)?;
@@ -159,34 +159,31 @@ impl Aligner for NetAlign {
         for (c, &b) in candidates.iter().zip(&beliefs) {
             sim.set(c.i, c.j, b);
         }
-        Ok(sim)
+        Ok(Similarity::Dense(sim))
     }
 
-    /// The native path rounds the sparse beliefs with the auction MWM, as
-    /// the NetAlign authors' rounding does.
-    fn align_with(
+    /// The native auction route rounds the sparse beliefs directly (as the
+    /// NetAlign authors' rounding does): only the candidate cells, clamped
+    /// nonnegative, are handed to the MWM solver.
+    fn similarity_for(
         &self,
         source: &Graph,
         target: &Graph,
         method: AssignmentMethod,
-    ) -> Result<Vec<usize>, AlignError> {
-        check_sizes(source, target)?;
-        if method == AssignmentMethod::Auction {
-            let (candidates, beliefs) = telemetry::time_phase("similarity", || {
-                let candidates = self.candidates(source, target);
-                let beliefs = self.beliefs(&candidates)?;
-                Ok::<_, AlignError>((candidates, beliefs))
-            })?;
-            let triplets: Vec<(usize, usize, f64)> =
-                candidates.iter().zip(&beliefs).map(|(c, &b)| (c.i, c.j, b.max(0.0))).collect();
-            return Ok(telemetry::time_phase("assignment", || {
-                let sparse =
-                    CsrMatrix::from_triplets(source.node_count(), target.node_count(), &triplets);
-                auction::auction_max(&sparse)
-            }));
+    ) -> Result<Similarity, AlignError> {
+        if method != AssignmentMethod::Auction {
+            return self.similarity(source, target);
         }
-        let sim = telemetry::time_phase("similarity", || self.similarity(source, target))?;
-        Ok(telemetry::time_phase("assignment", || graphalign_assignment::assign(&sim, method)))
+        check_sizes(source, target)?;
+        let candidates = self.candidates(source, target);
+        let beliefs = self.beliefs(&candidates)?;
+        let triplets: Vec<(usize, usize, f64)> =
+            candidates.iter().zip(&beliefs).map(|(c, &b)| (c.i, c.j, b.max(0.0))).collect();
+        Ok(Similarity::Sparse(CsrMatrix::from_triplets(
+            source.node_count(),
+            target.node_count(),
+            &triplets,
+        )))
     }
 }
 
@@ -281,8 +278,8 @@ mod tests {
         let inst = permuted_instance(4, 9);
         let short = NetAlign { rounds: 1, ..NetAlign::default() };
         let long = NetAlign { rounds: 20, ..NetAlign::default() };
-        let s1 = short.similarity(&inst.source, &inst.target).unwrap();
-        let s2 = long.similarity(&inst.source, &inst.target).unwrap();
+        let s1 = short.similarity(&inst.source, &inst.target).unwrap().into_dense();
+        let s2 = long.similarity(&inst.source, &inst.target).unwrap().into_dense();
         assert!(s1.sub(&s2).max_abs() > 1e-9);
     }
 }

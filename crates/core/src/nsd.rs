@@ -19,7 +19,7 @@
 use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
-use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity};
 
 /// NSD with the study's tuned hyperparameters (Table 1: `α = 0.8`, SG native
 /// assignment).
@@ -69,7 +69,7 @@ impl Aligner for Nsd {
         AssignmentMethod::SortGreedy
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let pa: CsrMatrix = spectral::row_normalized_adjacency(source);
         let pb: CsrMatrix = spectral::row_normalized_adjacency(target);
@@ -110,7 +110,7 @@ impl Aligner for Nsd {
                 }
             }
         }
-        Ok(x)
+        Ok(Similarity::Dense(x))
     }
 }
 
@@ -130,7 +130,7 @@ mod tests {
     #[test]
     fn similarity_is_nonnegative_and_finite() {
         let inst = permuted_instance(5, 2);
-        let sim = Nsd::default().similarity(&inst.source, &inst.target).unwrap();
+        let sim = Nsd::default().similarity(&inst.source, &inst.target).unwrap().into_dense();
         assert!(sim.all_finite());
         assert!(sim.as_slice().iter().all(|&v| v >= 0.0));
     }
@@ -153,8 +153,8 @@ mod tests {
         let inst = permuted_instance(4, 6);
         let shallow = Nsd { iterations: 1, ..Nsd::default() };
         let deep = Nsd { iterations: 20, ..Nsd::default() };
-        let s1 = shallow.similarity(&inst.source, &inst.target).unwrap();
-        let s2 = deep.similarity(&inst.source, &inst.target).unwrap();
+        let s1 = shallow.similarity(&inst.source, &inst.target).unwrap().into_dense();
+        let s2 = deep.similarity(&inst.source, &inst.target).unwrap().into_dense();
         assert!(s1.sub(&s2).max_abs() > 1e-9, "more terms must matter");
     }
 

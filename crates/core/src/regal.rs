@@ -16,10 +16,10 @@
 //!    one-to-one outputs with SG/JV on the same embedding similarity.
 
 use crate::{check_sizes, AlignError, Aligner};
-use graphalign_assignment::{nn, AssignmentMethod};
+use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::Graph;
 use graphalign_linalg::svd::thin_svd;
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{DenseMatrix, LowRankKernel, LowRankSim, Similarity};
 use rand::prelude::*;
 use rand::rngs::StdRng;
 
@@ -120,36 +120,15 @@ impl Aligner for Regal {
         AssignmentMethod::NearestNeighbor
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    /// REGAL's similarity stays factored: `sim(u, v) = exp(−‖Y_A[u] −
+    /// Y_B[v]‖²)` (Equation 10) over the xNetMF embeddings, carried as
+    /// `O(n · p)` factors instead of the `n × n` matrix. The assignment layer
+    /// runs NN through the k-d tree directly on the factors — REGAL's native
+    /// extraction — and densifies only for the LAP solvers.
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         let (ya, yb) = self.embeddings(source, target)?;
-        Ok(nn::embedding_similarity(&ya, &yb))
-    }
-
-    /// REGAL's native path queries the k-d tree directly (no `n × n`
-    /// similarity matrix); other assignment methods go through
-    /// [`Aligner::similarity`].
-    fn align_with(
-        &self,
-        source: &Graph,
-        target: &Graph,
-        method: AssignmentMethod,
-    ) -> Result<Vec<usize>, AlignError> {
-        check_sizes(source, target)?;
-        if method == AssignmentMethod::NearestNeighbor {
-            let (ya, yb) = graphalign_par::telemetry::time_phase("similarity", || {
-                self.embeddings(source, target)
-            })?;
-            return Ok(graphalign_par::telemetry::time_phase("assignment", || {
-                nn::nearest_neighbor_embeddings(&ya, &yb)
-            }));
-        }
-        let sim = graphalign_par::telemetry::time_phase("similarity", || {
-            self.similarity(source, target)
-        })?;
-        Ok(graphalign_par::telemetry::time_phase("assignment", || {
-            graphalign_assignment::assign(&sim, method)
-        }))
+        Ok(Similarity::LowRank(LowRankSim::new(ya, yb, LowRankKernel::ExpNegSqDist)))
     }
 }
 

@@ -23,7 +23,7 @@ use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
 use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
-use graphalign_linalg::{DenseMatrix, ShiftedOp};
+use graphalign_linalg::{DenseMatrix, ShiftedOp, Similarity};
 
 /// S-GWL with the study's tuned hyperparameters (Table 1: `β ∈ {0.025, 0.1}`,
 /// NN native assignment).
@@ -283,7 +283,7 @@ impl Aligner for Sgwl {
         AssignmentMethod::NearestNeighbor
     }
 
-    fn similarity(&self, source: &Graph, target: &Graph) -> Result<DenseMatrix, AlignError> {
+    fn similarity(&self, source: &Graph, target: &Graph) -> Result<Similarity, AlignError> {
         check_sizes(source, target)?;
         // Global structural features (xNetMF-style histograms) shared across
         // the recursion; bucket count spans both graphs.
@@ -302,7 +302,7 @@ impl Aligner for Sgwl {
             (0..target.node_count()).collect(),
             &mut sim,
         )?;
-        Ok(sim)
+        Ok(Similarity::Dense(sim))
     }
 }
 

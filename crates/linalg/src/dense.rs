@@ -175,6 +175,21 @@ impl DenseMatrix {
         Self { rows, cols, data }
     }
 
+    /// Overwrites every entry with `f(row, col)`, in parallel over row
+    /// blocks — the in-place counterpart of [`DenseMatrix::par_from_fn`] for
+    /// pooled buffers, filling the same values bit for bit.
+    pub fn par_fill_from_fn(&mut self, f: impl Fn(usize, usize) -> f64 + Sync) {
+        let cols = self.cols;
+        par::for_each_row_block_mut(&mut self.data, cols.max(1), cols, |row_range, block| {
+            for (off, row) in block.chunks_mut(cols.max(1)).enumerate() {
+                let i = row_range.start + off;
+                for (j, v) in row.iter_mut().enumerate() {
+                    *v = f(i, j);
+                }
+            }
+        });
+    }
+
     /// Builds a matrix from row slices. All rows must have equal length.
     ///
     /// # Panics

@@ -22,6 +22,12 @@
 //!   point wrapper used by the Gromov–Wasserstein solvers.
 //! * [`vec_ops`] — small dense-vector helpers shared by the iterative solvers,
 //!   including the unrolled GEMM microkernels behind the blocked products.
+//! * [`lowrank::LowRankSim`] — implicit factored similarity matrices with
+//!   row-scan/argmax/top-k kernels that never materialize the product.
+//! * [`similarity::Similarity`] — the dense/low-rank/sparse representation
+//!   enum the aligners hand to the assignment layer ("pipeline currency"),
+//!   with the single telemetry-audited [`similarity::Similarity::to_dense`]
+//!   densification choke point.
 //! * [`workspace::Workspace`] — a scratch-buffer pool that lets hot loops
 //!   (and the `_into` kernel variants) reuse allocations across iterations;
 //!   reuses are tallied in telemetry as `allocs_saved`/`alloc_bytes_saved`.
@@ -41,8 +47,10 @@
 pub mod dense;
 pub mod eigen;
 pub mod lanczos;
+pub mod lowrank;
 pub mod power;
 pub mod qr;
+pub mod similarity;
 pub mod sinkhorn;
 pub mod sparse;
 pub mod svd;
@@ -50,6 +58,8 @@ pub mod vec_ops;
 pub mod workspace;
 
 pub use dense::DenseMatrix;
+pub use lowrank::{LowRankKernel, LowRankSim};
+pub use similarity::Similarity;
 pub use sparse::CsrMatrix;
 pub use workspace::Workspace;
 

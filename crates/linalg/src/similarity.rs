@@ -1,0 +1,291 @@
+//! The pipeline currency between the algorithm and assignment layers: a
+//! similarity matrix in whichever representation the algorithm naturally
+//! produces — dense, factored low-rank, or sparse.
+//!
+//! The EDBT 2023 framework is "any similarity notion × any assignment
+//! method"; forcing every notion through a dense `n × m` matrix caps the
+//! memory-scalability sweeps (paper Figures 13–14) at the dense footprint
+//! even for algorithms whose natural output is a pair of rank-`d` factors or
+//! a candidate list. [`Similarity`] lets each aligner hand the assignment
+//! layer its native representation, and makes the only dense materialization
+//! path an audited choke point ([`Similarity::to_dense`]) that reuses the
+//! [`Workspace`] pool and reports `densifications`/`densified_bytes`
+//! telemetry.
+
+use crate::dense::DenseMatrix;
+use crate::lowrank::LowRankSim;
+use crate::sparse::CsrMatrix;
+use crate::workspace::Workspace;
+
+/// A similarity matrix in its producer's native representation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Similarity {
+    /// Fully materialized `rows × cols` matrix.
+    Dense(DenseMatrix),
+    /// Implicit matrix in factored form (`kernel(Ya.row(i), Yb.row(j))`).
+    LowRank(LowRankSim),
+    /// Sparse candidate matrix; absent entries are exact `0.0`.
+    Sparse(CsrMatrix),
+}
+
+impl Similarity {
+    /// Number of rows (source vertices).
+    pub fn rows(&self) -> usize {
+        match self {
+            Similarity::Dense(m) => m.rows(),
+            Similarity::LowRank(lr) => lr.rows(),
+            Similarity::Sparse(s) => s.rows(),
+        }
+    }
+
+    /// Number of columns (target vertices).
+    pub fn cols(&self) -> usize {
+        match self {
+            Similarity::Dense(m) => m.cols(),
+            Similarity::LowRank(lr) => lr.cols(),
+            Similarity::Sparse(s) => s.cols(),
+        }
+    }
+
+    /// `(rows, cols)`.
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows(), self.cols())
+    }
+
+    /// Stable representation name used in the per-cell JSON
+    /// (`similarity_repr`): `"dense"`, `"lowrank"` or `"sparse"`.
+    pub fn repr_kind(&self) -> &'static str {
+        match self {
+            Similarity::Dense(_) => "dense",
+            Similarity::LowRank(_) => "lowrank",
+            Similarity::Sparse(_) => "sparse",
+        }
+    }
+
+    /// Approximate heap bytes held by this representation (the quantity the
+    /// memory-scalability harness reports as `similarity_bytes`).
+    pub fn approx_bytes(&self) -> usize {
+        match self {
+            Similarity::Dense(m) => Self::dense_bytes(m.rows(), m.cols()),
+            Similarity::LowRank(lr) => lr.nbytes(),
+            Similarity::Sparse(s) => s.nbytes(),
+        }
+    }
+
+    /// Model footprint of a dense `rows × cols` similarity (`8·rows·cols`),
+    /// for a-priori memory models (`memprobe`).
+    pub fn dense_bytes(rows: usize, cols: usize) -> usize {
+        8 * rows * cols
+    }
+
+    /// Model footprint of a rank-`rank` factored `rows × cols` similarity
+    /// (`8·(rows + cols)·rank`), for a-priori memory models (`memprobe`).
+    pub fn lowrank_bytes(rows: usize, cols: usize, rank: usize) -> usize {
+        8 * (rows + cols) * rank
+    }
+
+    /// Entry `(i, j)`, evaluated without materializing anything.
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        match self {
+            Similarity::Dense(m) => m.get(i, j),
+            Similarity::LowRank(lr) => lr.value(i, j),
+            Similarity::Sparse(s) => s.get(i, j),
+        }
+    }
+
+    /// Borrows the dense matrix when this is already [`Similarity::Dense`].
+    pub fn as_dense(&self) -> Option<&DenseMatrix> {
+        match self {
+            Similarity::Dense(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// Whether every representable entry is free of NaN/infinities (for
+    /// `LowRank`, checks the factors and offsets — entries are then finite
+    /// for every kernel the pipeline uses).
+    pub fn all_finite(&self) -> bool {
+        match self {
+            Similarity::Dense(m) => m.all_finite(),
+            Similarity::LowRank(lr) => lr.all_finite(),
+            Similarity::Sparse(s) => {
+                (0..s.rows()).all(|i| crate::vec_ops::all_finite(s.row_values(i)))
+            }
+        }
+    }
+
+    /// **The audited densification choke point.** Materializes the full
+    /// matrix into a buffer drawn from `ws` (return it with
+    /// [`Workspace::give_matrix`] so repeated densifications reuse the
+    /// allocation). Densifying a non-dense representation is counted in
+    /// telemetry as one `densification` of `8·rows·cols` bytes; cloning an
+    /// already-dense similarity is not.
+    ///
+    /// The result is bit-identical to what the pre-factored dense
+    /// constructors produced: `Dot` goes through `matmul_tr_into`, the
+    /// distance kernels evaluate the exact former `par_from_fn` closures, and
+    /// sparse entries scatter onto an exact-zero background.
+    pub fn to_dense(&self, ws: &mut Workspace) -> DenseMatrix {
+        match self {
+            Similarity::Dense(m) => m.clone(),
+            Similarity::LowRank(lr) => {
+                graphalign_par::telemetry::count_densify(
+                    Self::dense_bytes(lr.rows(), lr.cols()) as u64
+                );
+                let mut out = ws.take_matrix(lr.rows(), lr.cols());
+                lr.fill_dense(&mut out, ws);
+                out
+            }
+            Similarity::Sparse(s) => {
+                graphalign_par::telemetry::count_densify(
+                    Self::dense_bytes(s.rows(), s.cols()) as u64
+                );
+                let mut out = ws.take_matrix(s.rows(), s.cols());
+                out.par_fill_from_fn(|_, _| 0.0);
+                for i in 0..s.rows() {
+                    for (j, v) in s.row_iter(i) {
+                        out.set(i, j, v);
+                    }
+                }
+                out
+            }
+        }
+    }
+
+    /// Consumes the representation into a dense matrix: free for
+    /// [`Similarity::Dense`], otherwise a [`Self::to_dense`] densification
+    /// through a throwaway workspace.
+    pub fn into_dense(self) -> DenseMatrix {
+        match self {
+            Similarity::Dense(m) => m,
+            other => other.to_dense(&mut Workspace::new()),
+        }
+    }
+}
+
+impl From<DenseMatrix> for Similarity {
+    fn from(m: DenseMatrix) -> Self {
+        Similarity::Dense(m)
+    }
+}
+
+impl From<LowRankSim> for Similarity {
+    fn from(lr: LowRankSim) -> Self {
+        Similarity::LowRank(lr)
+    }
+}
+
+impl From<CsrMatrix> for Similarity {
+    fn from(s: CsrMatrix) -> Self {
+        Similarity::Sparse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lowrank::LowRankKernel;
+
+    #[test]
+    fn shapes_and_repr_kinds() {
+        let d = Similarity::Dense(DenseMatrix::zeros(2, 3));
+        assert_eq!(d.shape(), (2, 3));
+        assert_eq!(d.repr_kind(), "dense");
+        let lr = Similarity::LowRank(LowRankSim::new(
+            DenseMatrix::zeros(2, 4),
+            DenseMatrix::zeros(3, 4),
+            LowRankKernel::Dot,
+        ));
+        assert_eq!(lr.shape(), (2, 3));
+        assert_eq!(lr.repr_kind(), "lowrank");
+        let sp = Similarity::Sparse(CsrMatrix::from_triplets(2, 3, &[(0, 1, 2.0)]));
+        assert_eq!(sp.shape(), (2, 3));
+        assert_eq!(sp.repr_kind(), "sparse");
+    }
+
+    #[test]
+    fn approx_bytes_tracks_the_representation() {
+        let d = Similarity::Dense(DenseMatrix::zeros(10, 10));
+        assert_eq!(d.approx_bytes(), 800);
+        let lr = Similarity::LowRank(LowRankSim::new(
+            DenseMatrix::zeros(10, 2),
+            DenseMatrix::zeros(10, 2),
+            LowRankKernel::Dot,
+        ));
+        assert_eq!(lr.approx_bytes(), Similarity::lowrank_bytes(10, 10, 2));
+        assert!(lr.approx_bytes() < d.approx_bytes());
+    }
+
+    #[test]
+    fn sparse_to_dense_keeps_explicit_zeros_and_negatives() {
+        let s = CsrMatrix::from_triplets(2, 3, &[(0, 1, -2.5), (1, 0, 0.0), (1, 2, 4.0)]);
+        let sim = Similarity::Sparse(s.clone());
+        let mut ws = Workspace::new();
+        let dense = sim.to_dense(&mut ws);
+        for i in 0..2 {
+            for j in 0..3 {
+                assert_eq!(dense.get(i, j), s.get(i, j));
+            }
+        }
+        assert_eq!(dense.get(0, 0), 0.0);
+        assert_eq!(dense.get(0, 1), -2.5);
+    }
+
+    #[test]
+    fn to_dense_counts_densifications_only_for_non_dense() {
+        let _g = graphalign_par::telemetry::install(false);
+        let mut ws = Workspace::new();
+        let d = Similarity::Dense(DenseMatrix::zeros(4, 4));
+        let _ = d.to_dense(&mut ws);
+        let t = graphalign_par::telemetry::drain();
+        assert_eq!(t.densifications, 0, "dense clone is not a densification");
+        let lr = Similarity::LowRank(LowRankSim::new(
+            DenseMatrix::zeros(4, 2),
+            DenseMatrix::zeros(5, 2),
+            LowRankKernel::ExpNegSqDist,
+        ));
+        let _ = lr.to_dense(&mut ws);
+        let sp = Similarity::Sparse(CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0)]));
+        let _ = sp.to_dense(&mut ws);
+        let t = graphalign_par::telemetry::drain();
+        assert_eq!(t.densifications, 2);
+        assert_eq!(t.densified_bytes, (4 * 5 * 8 + 3 * 3 * 8) as u64);
+    }
+
+    #[test]
+    fn to_dense_reuses_pooled_buffers() {
+        let _g = graphalign_par::telemetry::install(false);
+        let mut ws = Workspace::new();
+        let lr = Similarity::LowRank(LowRankSim::new(
+            DenseMatrix::zeros(6, 2),
+            DenseMatrix::zeros(6, 2),
+            LowRankKernel::Dot,
+        ));
+        let first = lr.to_dense(&mut ws);
+        ws.give_matrix(first);
+        let _ = graphalign_par::telemetry::drain();
+        let second = lr.to_dense(&mut ws);
+        ws.give_matrix(second);
+        let t = graphalign_par::telemetry::drain();
+        assert!(t.allocs_saved > 0, "second densification must reuse the pooled buffer");
+    }
+
+    #[test]
+    fn get_matches_to_dense_for_every_variant() {
+        let mut ws = Workspace::new();
+        let ya = DenseMatrix::from_rows(&[&[0.6, 0.8], &[1.0, 0.0]]);
+        let yb = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.8, 0.6], &[0.6, 0.8]]);
+        for sim in [
+            Similarity::Dense(DenseMatrix::from_rows(&[&[1.0, -2.0, 0.0], &[0.5, 0.25, 9.0]])),
+            Similarity::LowRank(LowRankSim::new(ya, yb, LowRankKernel::ExpNegSqDist)),
+            Similarity::Sparse(CsrMatrix::from_triplets(2, 3, &[(0, 2, 3.0), (1, 1, -1.0)])),
+        ] {
+            let dense = sim.to_dense(&mut ws);
+            for i in 0..sim.rows() {
+                for j in 0..sim.cols() {
+                    assert_eq!(sim.get(i, j).to_bits(), dense.get(i, j).to_bits());
+                }
+            }
+        }
+    }
+}

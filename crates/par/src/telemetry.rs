@@ -137,6 +137,13 @@ pub struct RepTelemetry {
     /// Bytes of heap allocation avoided by workspace reuse, paired with
     /// [`Self::allocs_saved`].
     pub alloc_bytes_saved: u64,
+    /// Times a non-dense similarity representation was materialized into a
+    /// dense matrix through the `Similarity::to_dense` choke point
+    /// ([`count_densify`]).
+    pub densifications: u64,
+    /// Bytes of dense matrix materialized by those densifications, paired
+    /// with [`Self::densifications`].
+    pub densified_bytes: u64,
     /// Accumulated wall-clock seconds per named phase.
     pub phases: Vec<(&'static str, f64)>,
 }
@@ -160,6 +167,8 @@ pub struct SinkState {
     auction_bids: AtomicU64,
     allocs_saved: AtomicU64,
     alloc_bytes_saved: AtomicU64,
+    densifications: AtomicU64,
+    densified_bytes: AtomicU64,
     inner: Mutex<SinkInner>,
 }
 
@@ -199,6 +208,8 @@ pub fn install(trace: bool) -> TelemetryGuard {
         auction_bids: AtomicU64::new(0),
         allocs_saved: AtomicU64::new(0),
         alloc_bytes_saved: AtomicU64::new(0),
+        densifications: AtomicU64::new(0),
+        densified_bytes: AtomicU64::new(0),
         inner: Mutex::new(SinkInner::default()),
     })))
 }
@@ -281,6 +292,15 @@ pub fn count_alloc_saved(bytes: u64) {
     });
 }
 
+/// Counts one materialization of a non-dense similarity representation into
+/// a dense matrix of `bytes` bytes (the `Similarity::to_dense` choke point).
+pub fn count_densify(bytes: u64) {
+    with_sink(|s| {
+        s.densifications.fetch_add(1, Ordering::Relaxed);
+        s.densified_bytes.fetch_add(bytes, Ordering::Relaxed);
+    });
+}
+
 /// Runs `f`, accumulating its wall-clock time under `name` when a sink is
 /// installed. Repeated phases with the same name accumulate into one entry.
 pub fn time_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
@@ -314,6 +334,8 @@ pub fn drain() -> RepTelemetry {
             auction_bids: s.auction_bids.swap(0, Ordering::Relaxed),
             allocs_saved: s.allocs_saved.swap(0, Ordering::Relaxed),
             alloc_bytes_saved: s.alloc_bytes_saved.swap(0, Ordering::Relaxed),
+            densifications: s.densifications.swap(0, Ordering::Relaxed),
+            densified_bytes: s.densified_bytes.swap(0, Ordering::Relaxed),
             phases: std::mem::take(&mut inner.phases),
         }
     })
@@ -356,6 +378,7 @@ mod tests {
         count_auction_bids(5);
         count_alloc_saved(1024);
         count_alloc_saved(2048);
+        count_densify(4096);
         record("isorank", Convergence::max_iter(100, 0.2));
         time_phase("similarity", || std::thread::sleep(std::time::Duration::from_millis(1)));
         time_phase("similarity", || ());
@@ -365,6 +388,8 @@ mod tests {
         assert_eq!(t.auction_bids, 5);
         assert_eq!(t.allocs_saved, 2);
         assert_eq!(t.alloc_bytes_saved, 3072);
+        assert_eq!(t.densifications, 1);
+        assert_eq!(t.densified_bytes, 4096);
         assert_eq!(t.events.len(), 1);
         assert_eq!(t.events[0].routine, "isorank");
         assert!(!t.events[0].convergence.converged);

@@ -1,0 +1,66 @@
+//! Golden test of the similarity "pipeline currency": for every registry
+//! algorithm × every assignment method, the production [`Aligner::align_with`]
+//! path — which may run on a factored (`LowRank`) or `Sparse` similarity —
+//! must produce a matching *bit-identical* to running the same method on the
+//! densified similarity, and the factored NN/SG fast paths must never
+//! materialize a dense `n × n` (checked through the densification telemetry
+//! wired into `Similarity::to_dense`).
+//!
+//! One `#[test]` on purpose: the telemetry sink is process-global, so the
+//! counters are only attributable while no sibling test runs concurrently.
+
+use graphalign::registry;
+use graphalign_assignment::{assign, AssignmentMethod};
+use graphalign_gen as gen;
+use graphalign_graph::permutation::AlignmentInstance;
+use graphalign_linalg::Similarity;
+use graphalign_par::telemetry;
+
+#[test]
+fn align_with_matches_the_densified_reference_for_every_cell() {
+    let g = gen::powerlaw_cluster(36, 4, 0.4, 11);
+    let inst = AlignmentInstance::permuted(g, 12);
+    let _guard = telemetry::install(false);
+    // The algorithms that emit `Similarity::LowRank`: their NN/SG cells are
+    // exactly the paths the memory refactor promises never densify.
+    let factored = ["LREA", "REGAL", "CONE", "GRASP"];
+    let mut cells = 0;
+    for a in registry().iter() {
+        for method in AssignmentMethod::ALL {
+            if a.name() == "GRAAL" && method == AssignmentMethod::SortGreedy {
+                // GRAAL's native matching is the integral seed-and-extend,
+                // deliberately not an `assign` call (paper §6.2).
+                continue;
+            }
+            // Reference: materialize whatever representation the algorithm
+            // hands this method and run the dense solver on it.
+            let reference = {
+                let sim = a.similarity_for(&inst.source, &inst.target, method).unwrap();
+                assign(&Similarity::Dense(sim.into_dense()), method)
+            };
+            let _ = telemetry::drain();
+            let produced = a.align_with(&inst.source, &inst.target, method).unwrap();
+            let t = telemetry::drain();
+            assert_eq!(
+                produced,
+                reference,
+                "{} + {}: production path diverged from the densified reference",
+                a.name(),
+                method.label()
+            );
+            let fast_path =
+                matches!(method, AssignmentMethod::NearestNeighbor | AssignmentMethod::SortGreedy);
+            if factored.contains(&a.name()) && fast_path {
+                assert_eq!(
+                    t.densifications,
+                    0,
+                    "{} + {} materialized a dense n×n on a factored fast path",
+                    a.name(),
+                    method.label()
+                );
+            }
+            cells += 1;
+        }
+    }
+    assert_eq!(cells, 9 * 5 - 1, "every (algorithm, method) cell must be exercised");
+}

@@ -3,7 +3,7 @@
 use graphalign_assignment::{assign, assignment_value, AssignmentMethod};
 use graphalign_gen as gen;
 use graphalign_graph::Graph;
-use graphalign_linalg::DenseMatrix;
+use graphalign_linalg::{DenseMatrix, Similarity};
 use graphalign_metrics::{accuracy, evaluate, mnc, s3};
 use graphalign_noise::{make_instance, remove_edges, NoiseConfig, NoiseModel};
 use proptest::prelude::*;
@@ -63,10 +63,12 @@ proptest! {
         seed in any::<u64>(),
     ) {
         let mut rng = StdRng::seed_from_u64(seed);
-        let sim = DenseMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1.0));
-        let jv = assignment_value(&sim, &assign(&sim, AssignmentMethod::JonkerVolgenant));
+        let dense = DenseMatrix::from_fn(n, n, |_, _| rng.random_range(0.0..1.0));
+        let sim = Similarity::Dense(dense);
+        let m = sim.as_dense().expect("constructed dense");
+        let jv = assignment_value(m, &assign(&sim, AssignmentMethod::JonkerVolgenant));
         for method in [AssignmentMethod::SortGreedy, AssignmentMethod::Hungarian, AssignmentMethod::Auction] {
-            let other = assignment_value(&sim, &assign(&sim, method));
+            let other = assignment_value(m, &assign(&sim, method));
             prop_assert!(jv >= other - 1e-6, "{method:?} beat JV: {other} > {jv}");
         }
     }
