@@ -78,6 +78,20 @@ impl AssignmentMethod {
             AssignmentMethod::Auction => "MWM",
         }
     }
+
+    /// Parses a case-insensitive method label as accepted by the CLI and the
+    /// serving protocol: the short forms `nn|sg|hun|jv|mwm` plus the
+    /// spelled-out aliases `hungarian` and `auction`.
+    pub fn parse_label(label: &str) -> Result<Self, String> {
+        match label.to_ascii_lowercase().as_str() {
+            "nn" => Ok(AssignmentMethod::NearestNeighbor),
+            "sg" => Ok(AssignmentMethod::SortGreedy),
+            "hun" | "hungarian" => Ok(AssignmentMethod::Hungarian),
+            "jv" => Ok(AssignmentMethod::JonkerVolgenant),
+            "mwm" | "auction" => Ok(AssignmentMethod::Auction),
+            other => Err(format!("unknown assignment {other:?}; use nn|sg|hun|jv|mwm")),
+        }
+    }
 }
 
 thread_local! {

@@ -69,9 +69,8 @@ fn main() {
     // Reference pass: what every cell paid before the pipeline went
     // factored — materialize the dense n×n similarity and assign on it.
     let probe = CellRssProbe::begin();
-    let sim = Regal::default()
-        .similarity(&inst.source, &inst.target)
-        .expect("REGAL runs at smoke scale");
+    let sim =
+        Regal::default().similarity(&inst.source, &inst.target).expect("REGAL runs at smoke scale");
     let payload = sim.approx_bytes();
     let dense = Similarity::Dense(sim.into_dense());
     let matching = graphalign_assignment::assign(&dense, AssignmentMethod::NearestNeighbor);

@@ -51,6 +51,13 @@ pub struct CellTelemetry {
     pub densifications: u64,
     /// Bytes those densifications materialized.
     pub densified_bytes: u64,
+    /// Precomputation-cache hits (similarity served from the serving
+    /// layer's keyed cache instead of being recomputed).
+    pub cache_hits: u64,
+    /// Precomputation-cache misses (similarity computed and inserted).
+    pub cache_misses: u64,
+    /// Bytes of similarity representation served across the cache hits.
+    pub cache_bytes: u64,
     /// Accumulated wall-clock seconds per named phase, sorted by name.
     pub phases: Vec<(String, f64)>,
 }
@@ -70,6 +77,9 @@ impl CellTelemetry {
         let mut alloc_bytes_saved = 0u64;
         let mut densifications = 0u64;
         let mut densified_bytes = 0u64;
+        let mut cache_hits = 0u64;
+        let mut cache_misses = 0u64;
+        let mut cache_bytes = 0u64;
         let mut phases: Vec<(String, f64)> = Vec::new();
         for rep in reps {
             for ev in &rep.events {
@@ -91,6 +101,9 @@ impl CellTelemetry {
             alloc_bytes_saved += rep.alloc_bytes_saved;
             densifications += rep.densifications;
             densified_bytes += rep.densified_bytes;
+            cache_hits += rep.cache_hits;
+            cache_misses += rep.cache_misses;
+            cache_bytes += rep.cache_bytes;
             for &(name, secs) in &rep.phases {
                 match phases.iter_mut().find(|(n, _)| n == name) {
                     Some((_, total)) => *total += secs,
@@ -118,6 +131,9 @@ impl CellTelemetry {
             alloc_bytes_saved,
             densifications,
             densified_bytes,
+            cache_hits,
+            cache_misses,
+            cache_bytes,
             phases,
         }
     }
@@ -158,6 +174,10 @@ impl CellTelemetry {
             densifications: ops.get("densifications").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             densified_bytes: ops.get("densified_bytes").and_then(Json::as_f64).unwrap_or(0.0)
                 as u64,
+            // Absent in blocks written before the serving-layer cache.
+            cache_hits: ops.get("cache_hits").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_misses: ops.get("cache_misses").and_then(Json::as_f64).unwrap_or(0.0) as u64,
+            cache_bytes: ops.get("cache_bytes").and_then(Json::as_f64).unwrap_or(0.0) as u64,
             phases,
         })
     }
@@ -184,6 +204,9 @@ impl graphalign_json::ToJson for CellTelemetry {
                     ("alloc_bytes_saved".into(), Json::Num(self.alloc_bytes_saved as f64)),
                     ("densifications".into(), Json::Num(self.densifications as f64)),
                     ("densified_bytes".into(), Json::Num(self.densified_bytes as f64)),
+                    ("cache_hits".into(), Json::Num(self.cache_hits as f64)),
+                    ("cache_misses".into(), Json::Num(self.cache_misses as f64)),
+                    ("cache_bytes".into(), Json::Num(self.cache_bytes as f64)),
                 ]),
             ),
             (
@@ -296,6 +319,9 @@ mod tests {
                 alloc_bytes_saved: 96,
                 densifications: 2,
                 densified_bytes: 8192,
+                cache_hits: 1,
+                cache_misses: 2,
+                cache_bytes: 4096,
                 phases: vec![("similarity", 0.5), ("assignment", 0.25)],
                 ..RepTelemetry::default()
             },
@@ -313,6 +339,9 @@ mod tests {
         assert_eq!(t.alloc_bytes_saved, 96);
         assert_eq!(t.densifications, 2);
         assert_eq!(t.densified_bytes, 8192);
+        assert_eq!(t.cache_hits, 1);
+        assert_eq!(t.cache_misses, 2);
+        assert_eq!(t.cache_bytes, 4096);
         // Sorted by phase name, not insertion order.
         assert_eq!(t.phases[0].0, "assignment");
         assert_eq!(t.phases[1].0, "similarity");
@@ -353,6 +382,9 @@ mod tests {
         assert_eq!(t.alloc_bytes_saved, 0);
         assert_eq!(t.densifications, 0);
         assert_eq!(t.densified_bytes, 0);
+        assert_eq!(t.cache_hits, 0);
+        assert_eq!(t.cache_misses, 0);
+        assert_eq!(t.cache_bytes, 0);
     }
 
     #[test]

@@ -73,14 +73,7 @@ pub fn registry_names() -> Vec<&'static str> {
 
 /// Parses an assignment method label.
 pub fn parse_assignment(label: &str) -> Result<AssignmentMethod, String> {
-    match label.to_ascii_lowercase().as_str() {
-        "nn" => Ok(AssignmentMethod::NearestNeighbor),
-        "sg" => Ok(AssignmentMethod::SortGreedy),
-        "hun" | "hungarian" => Ok(AssignmentMethod::Hungarian),
-        "jv" => Ok(AssignmentMethod::JonkerVolgenant),
-        "mwm" | "auction" => Ok(AssignmentMethod::Auction),
-        other => Err(format!("unknown assignment {other:?}; use nn|sg|hun|jv|mwm")),
-    }
+    AssignmentMethod::parse_label(label)
 }
 
 /// Reads an edge-list graph from a path.
@@ -242,16 +235,45 @@ pub fn cmd_score(args: &Args) -> Result<String, String> {
     Ok(out)
 }
 
-/// Top-level dispatch; returns the message to print or an error.
+/// `serve` subcommand: runs the resident alignment server until it is shut
+/// down over the protocol (`POST /shutdown`).
+pub fn cmd_serve(args: &Args) -> Result<String, String> {
+    let timeout: f64 = args.get_parse("timeout", 0.0)?;
+    if timeout < 0.0 || !timeout.is_finite() {
+        return Err("--timeout needs a non-negative number of seconds".into());
+    }
+    let config = graphalign_serve::ServeConfig {
+        addr: args.get_or("addr", "127.0.0.1:7464").to_string(),
+        workers: args.get_parse("workers", 2)?,
+        cache_bytes: args.get_parse("cache-bytes", 256u64 << 20)?,
+        cache_dir: args.flags.get("cache-dir").map(std::path::PathBuf::from),
+        default_timeout: (timeout > 0.0).then(|| std::time::Duration::from_secs_f64(timeout)),
+    };
+    let server =
+        graphalign_serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
+    let addr = server.addr();
+    eprintln!("graphalign serve: listening on {addr} (POST /shutdown to stop)");
+    server.wait();
+    Ok(format!("graphalign serve: {addr} shut down cleanly"))
+}
+
+/// Top-level dispatch; returns the message to print or an error. An `Err`
+/// maps to exit code 2, so explicitly requested help returns `Ok`: asking
+/// for usage is not a usage error.
 pub fn run(argv: &[String]) -> Result<String, String> {
     let (cmd, rest) = argv.split_first().ok_or_else(usage)?;
+    if matches!(cmd.as_str(), "--help" | "-h" | "help")
+        || rest.iter().any(|a| a == "--help" || a == "-h")
+    {
+        return Ok(usage());
+    }
     let args = Args::parse(rest)?;
     match cmd.as_str() {
         "align" => cmd_align(&args),
         "generate" => cmd_generate(&args),
         "perturb" => cmd_perturb(&args),
         "score" => cmd_score(&args),
-        "--help" | "-h" | "help" => Err(usage()),
+        "serve" => cmd_serve(&args),
         other => Err(format!("unknown command {other:?}\n{}", usage())),
     }
 }
@@ -268,6 +290,8 @@ fn usage() -> String {
          graphalign perturb  --input <g.txt> --out-target <t.txt> --out-truth <truth.txt>\n\
          [--noise one-way|multi-modal|two-way] [--level <f64>] [--seed <u64>]\n\
          graphalign score    --source <a.txt> --target <b.txt> --mapping <m.txt> [--truth <t.txt>]\n\
+         graphalign serve    [--addr 127.0.0.1:7464] [--workers <n>] [--timeout <secs>]\n\
+         [--cache-bytes <n>] [--cache-dir <dir>]\n\
          \n\
          algorithms: {}",
         registry_names().join(", ")

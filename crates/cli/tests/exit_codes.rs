@@ -1,0 +1,42 @@
+//! Exit-code contract of the `graphalign` binary: explicitly requested help
+//! is not an error (usage on stdout, exit 0), while usage mistakes keep
+//! exiting 2 with the diagnostic on stderr.
+
+use std::process::Command;
+
+fn run(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_graphalign")).args(args).output().expect("spawn graphalign")
+}
+
+#[test]
+fn explicit_help_exits_zero_with_usage_on_stdout() {
+    for invocation in [&["--help"][..], &["-h"][..], &["help"][..], &["align", "--help"][..]] {
+        let out = run(invocation);
+        assert_eq!(out.status.code(), Some(0), "{invocation:?} must exit 0");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(stdout.contains("usage:"), "{invocation:?} stdout: {stdout}");
+        assert!(out.stderr.is_empty(), "{invocation:?} must not write to stderr");
+    }
+}
+
+#[test]
+fn unknown_command_exits_two_with_diagnostic_on_stderr() {
+    let out = run(&["bogus"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown command"), "stderr: {stderr}");
+    assert!(out.stdout.is_empty(), "diagnostics belong on stderr");
+}
+
+#[test]
+fn unknown_flag_exits_two() {
+    let out = run(&["generate", "--bogus-flag"]);
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn no_arguments_exits_two_with_usage() {
+    let out = run(&[]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}

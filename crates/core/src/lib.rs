@@ -226,13 +226,38 @@ pub fn generic_align_with<A: Aligner + ?Sized>(
     target: &Graph,
     method: AssignmentMethod,
 ) -> Result<Vec<usize>, AlignError> {
+    let sim = precompute_similarity(aligner, source, target, method)?;
+    Ok(assign_precomputed(&sim, method))
+}
+
+/// The expensive half of the pipeline on its own: validates the instance and
+/// computes the [`Similarity`] for `method`, timed under the `"similarity"`
+/// phase. The serving layer calls this on a cache miss and persists the
+/// result; pairing it with [`assign_precomputed`] is exactly
+/// [`generic_align_with`].
+///
+/// # Errors
+/// Propagates [`Aligner::similarity_for`] failures and instance-shape errors.
+pub fn precompute_similarity<A: Aligner + ?Sized>(
+    aligner: &A,
+    source: &Graph,
+    target: &Graph,
+    method: AssignmentMethod,
+) -> Result<Similarity, AlignError> {
     check_sizes(source, target)?;
-    let sim = graphalign_par::telemetry::time_phase("similarity", || {
+    graphalign_par::telemetry::time_phase("similarity", || {
         aligner.similarity_for(source, target, method)
-    })?;
-    Ok(graphalign_par::telemetry::time_phase("assignment", || {
-        graphalign_assignment::assign(&sim, method)
-    }))
+    })
+}
+
+/// The cheap half of the pipeline on its own: extracts a matching from an
+/// already-computed (possibly cache-loaded) similarity, timed under the
+/// `"assignment"` phase. The result is bit-identical whether `sim` was just
+/// computed or round-tripped through the serving cache.
+pub fn assign_precomputed(sim: &Similarity, method: AssignmentMethod) -> Vec<usize> {
+    graphalign_par::telemetry::time_phase("assignment", || {
+        graphalign_assignment::assign(sim, method)
+    })
 }
 
 /// Validates that a one-to-one alignment is possible.

@@ -50,11 +50,17 @@ fn keep_edges(g: &Graph, fraction: f64, rng: &mut StdRng) -> Graph {
     Graph::from_edges(g.node_count(), &edges[..keep])
 }
 
-/// Adds `extra` random non-edges to `g`.
-fn add_random_edges(g: &Graph, extra: usize, rng: &mut StdRng) -> Graph {
+/// Adds up to `extra` random non-edges to `g`, returning the new graph and
+/// the number of edges actually added. On dense (or small) graphs the
+/// rejection sampler can exhaust its draw budget before placing all `extra`
+/// edges — the caller must check the returned count instead of assuming the
+/// request was met (silently under-delivering here used to skew the
+/// MultiMagna noise levels).
+fn add_random_edges(g: &Graph, extra: usize, rng: &mut StdRng) -> (Graph, usize) {
     let n = g.node_count();
+    let before = g.edge_count();
     let mut b = GraphBuilder::from_graph(g);
-    let target = b.edge_count() + extra;
+    let target = before + extra;
     let mut guard = 0;
     while b.edge_count() < target && guard < 100 * extra + 1000 {
         guard += 1;
@@ -64,7 +70,8 @@ fn add_random_edges(g: &Graph, extra: usize, rng: &mut StdRng) -> Graph {
             b.add_edge(u, v);
         }
     }
-    b.build()
+    let added = b.edge_count() - before;
+    (b.build(), added)
 }
 
 /// Edge-retention levels used by the temporal datasets (§6.5).
@@ -109,10 +116,15 @@ pub fn multi_magna_protocol(base: Graph, seed: u64) -> EvolvingDataset {
     let variants = (1..=5)
         .map(|i| {
             let extra = (0.05 * i as f64 * m as f64).round() as usize;
-            Variant {
-                label: format!("variant-{i}"),
-                graph: add_random_edges(&base, extra, &mut rng),
+            let (graph, added) = add_random_edges(&base, extra, &mut rng);
+            if added < extra {
+                eprintln!(
+                    "multi_magna_protocol: variant-{i} wanted {extra} extra edges \
+                     but only {added} non-edges could be placed; noise level will \
+                     be lower than labeled"
+                );
             }
+            Variant { label: format!("variant-{i}"), graph }
         })
         .collect();
     EvolvingDataset { name: "MultiMagna", base, variants }
@@ -162,6 +174,31 @@ mod tests {
         for w in ds.variants.windows(2) {
             assert!(w[1].graph.edge_count() > w[0].graph.edge_count());
         }
+    }
+
+    #[test]
+    fn add_random_edges_reports_actual_count() {
+        let mut rng = StdRng::seed_from_u64(7);
+        // A complete graph has no room: the sampler must report 0 added
+        // edges rather than pretending it delivered the request.
+        let n = 6;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                edges.push((u, v));
+            }
+        }
+        let complete = Graph::from_edges(n, &edges);
+        let (graph, added) = add_random_edges(&complete, 10, &mut rng);
+        assert_eq!(added, 0);
+        assert_eq!(graph.edge_count(), complete.edge_count());
+
+        // A sparse graph has room: the full request is delivered and the
+        // reported count matches the edge-count delta.
+        let sparse = Graph::from_edges(50, &[(0, 1), (1, 2)]);
+        let (graph, added) = add_random_edges(&sparse, 20, &mut rng);
+        assert_eq!(added, 20);
+        assert_eq!(graph.edge_count(), sparse.edge_count() + added);
     }
 
     #[test]

@@ -1,0 +1,132 @@
+//! Stable content digests for graphs — the identity half of a cache key.
+//!
+//! The serving layer persists embeddings and similarity factors keyed by
+//! `(graph content digest, algorithm, params)`; a digest is only a
+//! trustworthy key component if it is a pure function of the graph's
+//! *structure under its labeling*, never of how the graph was assembled.
+//! [`Graph`] stores canonical CSR (sorted, deduplicated neighbor lists), so
+//! hashing that canonical form gives exactly the invariances a cache needs:
+//!
+//! * **edge-insertion order** — `Graph::from_edges` canonicalizes, so any
+//!   permutation (or duplication) of the edge list digests identically;
+//! * **thread count** — the digest is computed by a single sequential scan;
+//!   nothing about it depends on the parallel layer;
+//! * **relabeling and noise change the digest** — a permuted or perturbed
+//!   copy is a *different* alignment input and must never alias a cache
+//!   entry (128-bit FNV-1a makes accidental collisions negligible).
+//!
+//! The digest is versioned via a domain-separation tag: if the byte layout
+//! ever changes, bump the tag so stale on-disk cache entries miss instead of
+//! aliasing.
+
+use crate::Graph;
+
+/// FNV-1a 128-bit offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// FNV-1a 128-bit prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+/// Domain-separation tag hashed before any graph bytes; bump on any change
+/// to the hashed byte layout.
+const DIGEST_VERSION: &[u8] = b"graphalign-content-digest-v1";
+
+/// A 128-bit content digest of a graph's canonical CSR form.
+///
+/// Displayed (and parsed) as 32 lowercase hex characters — the stable
+/// identifier the serving layer uses for uploaded graphs and on-disk cache
+/// file names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ContentDigest(pub u128);
+
+impl ContentDigest {
+    /// The 32-character lowercase hex form.
+    pub fn to_hex(self) -> String {
+        format!("{:032x}", self.0)
+    }
+
+    /// Parses the 32-character hex form back. Returns `None` on any other
+    /// length or non-hex input.
+    pub fn from_hex(s: &str) -> Option<Self> {
+        if s.len() != 32 {
+            return None;
+        }
+        u128::from_str_radix(s, 16).ok().map(ContentDigest)
+    }
+}
+
+impl std::fmt::Display for ContentDigest {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:032x}", self.0)
+    }
+}
+
+/// One FNV-1a round over a byte slice.
+fn fnv(mut h: u128, bytes: &[u8]) -> u128 {
+    for &b in bytes {
+        h ^= b as u128;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Digests a graph's canonical CSR form: version tag, node count, then each
+/// node's degree and sorted neighbor list as little-endian `u64`.
+pub fn content_digest(g: &Graph) -> ContentDigest {
+    let mut h = fnv(FNV_OFFSET, DIGEST_VERSION);
+    h = fnv(h, &(g.node_count() as u64).to_le_bytes());
+    for u in 0..g.node_count() {
+        h = fnv(h, &(g.degree(u) as u64).to_le_bytes());
+        for &v in g.neighbors(u) {
+            h = fnv(h, &(v as u64).to_le_bytes());
+        }
+    }
+    ContentDigest(h)
+}
+
+impl Graph {
+    /// The stable [`ContentDigest`] of this graph; see [`content_digest`].
+    pub fn content_digest(&self) -> ContentDigest {
+        content_digest(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn digest_is_a_pure_function_of_the_canonical_form() {
+        let a = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let b = Graph::from_edges(4, &[(2, 3), (2, 1), (1, 0), (0, 1)]);
+        assert_eq!(a.content_digest(), b.content_digest());
+    }
+
+    #[test]
+    fn distinct_structures_get_distinct_digests() {
+        let path = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let tri = Graph::from_edges(3, &[(0, 1), (1, 2), (0, 2)]);
+        assert_ne!(path.content_digest(), tri.content_digest());
+        // Isolated trailing nodes are part of the content.
+        let padded = Graph::from_edges(4, &[(0, 1), (1, 2)]);
+        assert_ne!(path.content_digest(), padded.content_digest());
+    }
+
+    #[test]
+    fn hex_round_trips() {
+        let d = Graph::from_edges(5, &[(0, 4), (1, 3)]).content_digest();
+        let hex = d.to_hex();
+        assert_eq!(hex.len(), 32);
+        assert_eq!(ContentDigest::from_hex(&hex), Some(d));
+        assert_eq!(ContentDigest::from_hex("xyz"), None);
+        assert_eq!(ContentDigest::from_hex(&hex[..31]), None);
+        assert_eq!(format!("{d}"), hex);
+    }
+
+    #[test]
+    fn empty_graph_digest_is_stable() {
+        let a = Graph::from_edges(0, &[]).content_digest();
+        let b = Graph::from_edges(0, &[]).content_digest();
+        assert_eq!(a, b);
+        assert_ne!(a, Graph::from_edges(1, &[]).content_digest());
+    }
+}

@@ -19,6 +19,7 @@
 //! * [`io`] — whitespace-separated edge-list parsing/serialization.
 
 pub mod builder;
+pub mod digest;
 pub mod graph;
 pub mod graphlets;
 pub mod graphlets5;
@@ -28,5 +29,6 @@ pub mod spectral;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use digest::ContentDigest;
 pub use graph::Graph;
 pub use permutation::Permutation;

@@ -1,0 +1,126 @@
+//! Property tests for the graph content digest — the guarantees that make
+//! `(digest, algorithm, params)` a trustworthy cache key for the serving
+//! layer: the digest must be invariant to how a graph was assembled (edge
+//! order, duplicates) and to the worker-thread count, and must change
+//! whenever the alignment input actually changes (relabeling, edge noise).
+
+use graphalign_graph::{ContentDigest, Graph, Permutation};
+use proptest::prelude::*;
+
+/// Strategy: a node count and a raw (unordered, possibly duplicated) edge
+/// list over it.
+fn raw_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (3usize..max_n).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 1..3 * n).prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any permutation (here: reversal and an interleaved shuffle) or
+    /// duplication of the edge list digests identically — the digest sees
+    /// only the canonical CSR form.
+    #[test]
+    fn digest_is_edge_insertion_order_invariant((n, edges) in raw_edges(30)) {
+        let base = Graph::from_edges(n, &edges).content_digest();
+        let mut reversed = edges.clone();
+        reversed.reverse();
+        prop_assert_eq!(Graph::from_edges(n, &reversed).content_digest(), base);
+        // Flip endpoint order of every edge.
+        let flipped: Vec<(usize, usize)> = edges.iter().map(|&(u, v)| (v, u)).collect();
+        prop_assert_eq!(Graph::from_edges(n, &flipped).content_digest(), base);
+        // Duplicate the whole list: dedup restores the canonical form.
+        let mut doubled = edges.clone();
+        doubled.extend_from_slice(&edges);
+        prop_assert_eq!(Graph::from_edges(n, &doubled).content_digest(), base);
+    }
+
+    /// The digest is computed by a sequential scan; recomputing it under
+    /// different worker-thread caps must be bit-identical (the cache-key
+    /// contract: warm hits at any thread count).
+    #[test]
+    fn digest_is_thread_count_invariant((n, edges) in raw_edges(24)) {
+        let g = Graph::from_edges(n, &edges);
+        let mut seen = Vec::new();
+        for threads in [1usize, 2, 8] {
+            graphalign_par::set_max_threads(threads);
+            seen.push(g.content_digest());
+        }
+        graphalign_par::set_max_threads(0);
+        prop_assert_eq!(seen[0], seen[1]);
+        prop_assert_eq!(seen[1], seen[2]);
+    }
+
+    /// A non-identity relabeling of a structurally asymmetric graph changes
+    /// the digest: a permuted copy is a different alignment input and must
+    /// not alias a cache entry.
+    #[test]
+    fn digest_changes_under_relabeling((n, mut edges) in raw_edges(24), seed in 0u64..1000) {
+        // Append a pendant path so the graph has asymmetric structure and a
+        // guaranteed non-empty edge set under every permutation.
+        edges.push((0, 1));
+        edges.push((1, 2));
+        let g = {
+            let mut e = edges.clone();
+            e.push((0, 2));
+            Graph::from_edges(n, &e)
+        };
+        let perm = Permutation::random(n, seed);
+        let permuted = perm.apply_to_graph(&g);
+        let same_label = (0..n).all(|u| {
+            let mut a: Vec<usize> = g.neighbors(u).to_vec();
+            let mut b: Vec<usize> = permuted.neighbors(u).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            a == b
+        });
+        if same_label {
+            // The permutation happened to be an automorphism: digests agree
+            // because the labeled graphs are equal.
+            prop_assert_eq!(permuted.content_digest(), g.content_digest());
+        } else {
+            prop_assert!(
+                permuted.content_digest() != g.content_digest(),
+                "relabeled copy aliased the original digest"
+            );
+        }
+    }
+
+    /// Adding or removing a single edge (noise) changes the digest.
+    #[test]
+    fn digest_changes_under_edge_noise((n, edges) in raw_edges(24)) {
+        let g = Graph::from_edges(n, &edges);
+        let base = g.content_digest();
+        // Remove the first edge.
+        if let Some(&(ru, rv)) = edges.iter().find(|&&(u, v)| u != v) {
+            let pruned: Vec<(usize, usize)> = g
+                .edges()
+                .filter(|&(u, v)| (u, v) != (ru.min(rv), ru.max(rv)))
+                .collect();
+            prop_assert!(
+                Graph::from_edges(n, &pruned).content_digest() != base,
+                "removing an edge did not change the digest"
+            );
+        }
+        // Add the first absent edge, if any.
+        let absent = (0..n)
+            .flat_map(|u| (u + 1..n).map(move |v| (u, v)))
+            .find(|&(u, v)| !g.has_edge(u, v));
+        if let Some((u, v)) = absent {
+            let mut grown: Vec<(usize, usize)> = g.edges().collect();
+            grown.push((u, v));
+            prop_assert!(
+                Graph::from_edges(n, &grown).content_digest() != base,
+                "adding an edge did not change the digest"
+            );
+        }
+    }
+
+    /// Hex form round-trips for arbitrary graphs.
+    #[test]
+    fn digest_hex_round_trips((n, edges) in raw_edges(20)) {
+        let d = Graph::from_edges(n, &edges).content_digest();
+        prop_assert_eq!(ContentDigest::from_hex(&d.to_hex()), Some(d));
+    }
+}

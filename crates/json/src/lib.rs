@@ -179,6 +179,11 @@ fn write_number(out: &mut String, n: f64) {
     if !n.is_finite() {
         // JSON has no NaN/Inf; emit null like serde_json's lossy mode.
         out.push_str("null");
+    } else if n == 0.0 && n.is_sign_negative() {
+        // The integer fast path would print "-0.0 as i64" = "0", silently
+        // dropping the sign; "-0" parses back to negative zero, keeping the
+        // similarity-cache round trip bit-exact.
+        out.push_str("-0");
     } else if n == n.trunc() && n.abs() < 9.007_199_254_740_992e15 {
         let _ = write!(out, "{}", n as i64);
     } else {
@@ -572,6 +577,16 @@ pub fn walk(root: &Json) -> impl Iterator<Item = &Json> {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn negative_zero_round_trips_bit_exactly() {
+        let text = Json::Num(-0.0).to_string_compact();
+        assert_eq!(text, "-0");
+        let back = from_str(&text).unwrap().as_f64().unwrap();
+        assert_eq!(back.to_bits(), (-0.0f64).to_bits());
+        // Positive zero keeps the plain integer form.
+        assert_eq!(Json::Num(0.0).to_string_compact(), "0");
+    }
 
     #[test]
     fn pretty_round_trip() {

@@ -50,6 +50,7 @@ pub mod lanczos;
 pub mod lowrank;
 pub mod power;
 pub mod qr;
+pub mod serialize;
 pub mod similarity;
 pub mod sinkhorn;
 pub mod sparse;

@@ -1,0 +1,281 @@
+//! JSON serialization of [`Similarity`] values — the persistence format of
+//! the serving layer's precomputation cache.
+//!
+//! A cached factor is only reusable if loading it back reproduces the
+//! original *bit for bit*: the serving contract is that a warm (cache-hit)
+//! request returns a matching identical to the cold run's. The
+//! `graphalign-json` printer emits every `f64` in shortest-roundtrip form
+//! (and integers < 2^53 exactly), so the round trip here is exact — except
+//! for NaN/infinities, which JSON cannot represent; [`similarity_to_json`]
+//! therefore refuses non-finite input instead of silently corrupting it.
+//!
+//! The format carries a `repr` discriminant mirroring
+//! [`Similarity::repr_kind`] plus a `format` version tag; readers reject
+//! unknown versions so stale cache files miss instead of aliasing.
+
+use crate::dense::DenseMatrix;
+use crate::lowrank::{LowRankKernel, LowRankSim};
+use crate::similarity::Similarity;
+use crate::sparse::CsrMatrix;
+use graphalign_json::Json;
+
+/// Version tag embedded in every serialized similarity; bump on any layout
+/// change so old cache entries are ignored rather than misread.
+pub const FORMAT: &str = "similarity/v1";
+
+fn num_array(values: impl Iterator<Item = f64>) -> Json {
+    Json::Arr(values.map(Json::Num).collect())
+}
+
+fn dense_to_json(m: &DenseMatrix) -> Json {
+    Json::Obj(vec![
+        ("rows".into(), Json::Num(m.rows() as f64)),
+        ("cols".into(), Json::Num(m.cols() as f64)),
+        ("data".into(), num_array(m.as_slice().iter().copied())),
+    ])
+}
+
+fn dense_from_json(v: &Json) -> Result<DenseMatrix, String> {
+    let rows = field_usize(v, "rows")?;
+    let cols = field_usize(v, "cols")?;
+    let data = field_f64_vec(v, "data")?;
+    if data.len() != rows * cols {
+        return Err(format!("dense data length {} != {rows}x{cols}", data.len()));
+    }
+    Ok(DenseMatrix::from_vec(rows, cols, data))
+}
+
+fn field<'a>(v: &'a Json, key: &str) -> Result<&'a Json, String> {
+    v.get(key).ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn field_usize(v: &Json, key: &str) -> Result<usize, String> {
+    field(v, key)?.as_f64().map(|n| n as usize).ok_or_else(|| format!("field {key:?} not a number"))
+}
+
+fn field_f64_vec(v: &Json, key: &str) -> Result<Vec<f64>, String> {
+    field(v, key)?
+        .as_array()
+        .ok_or_else(|| format!("field {key:?} not an array"))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| format!("non-numeric entry in {key:?}")))
+        .collect()
+}
+
+fn field_usize_vec(v: &Json, key: &str) -> Result<Vec<usize>, String> {
+    Ok(field_f64_vec(v, key)?.into_iter().map(|n| n as usize).collect())
+}
+
+/// Parses a [`LowRankKernel`] from its [`LowRankKernel::as_str`] name.
+pub fn kernel_from_str(s: &str) -> Option<LowRankKernel> {
+    match s {
+        "dot" => Some(LowRankKernel::Dot),
+        "neg_sq_dist" => Some(LowRankKernel::NegSqDist),
+        "exp_neg_sq_dist" => Some(LowRankKernel::ExpNegSqDist),
+        _ => None,
+    }
+}
+
+/// Serializes a similarity in its native representation.
+///
+/// # Errors
+/// Returns an error when the similarity contains NaN/infinities (JSON has no
+/// representation for them, and a lossy round trip would break the
+/// bit-identical warm-request contract).
+pub fn similarity_to_json(sim: &Similarity) -> Result<Json, String> {
+    if !sim.all_finite() {
+        return Err("similarity contains non-finite entries; refusing lossy serialization".into());
+    }
+    let mut members = vec![
+        ("format".to_string(), Json::Str(FORMAT.into())),
+        ("repr".to_string(), Json::Str(sim.repr_kind().into())),
+    ];
+    match sim {
+        Similarity::Dense(m) => members.push(("matrix".into(), dense_to_json(m))),
+        Similarity::LowRank(lr) => {
+            members.push(("kernel".into(), Json::Str(lr.kernel().as_str().into())));
+            members.push(("ya".into(), dense_to_json(lr.ya())));
+            members.push(("yb".into(), dense_to_json(lr.yb())));
+            members.push((
+                "row_offsets".into(),
+                match lr.row_offsets() {
+                    Some(o) => num_array(o.iter().copied()),
+                    None => Json::Null,
+                },
+            ));
+        }
+        Similarity::Sparse(s) => {
+            members.push(("rows".into(), Json::Num(s.rows() as f64)));
+            members.push(("cols".into(), Json::Num(s.cols() as f64)));
+            // Row-major CSR walk; rebuilt via from_triplets, which restores
+            // the identical sorted layout.
+            let mut ridx = Vec::with_capacity(s.nnz());
+            let mut cidx = Vec::with_capacity(s.nnz());
+            let mut vals = Vec::with_capacity(s.nnz());
+            for i in 0..s.rows() {
+                for (j, v) in s.row_iter(i) {
+                    ridx.push(Json::Num(i as f64));
+                    cidx.push(Json::Num(j as f64));
+                    vals.push(Json::Num(v));
+                }
+            }
+            members.push(("row_indices".into(), Json::Arr(ridx)));
+            members.push(("col_indices".into(), Json::Arr(cidx)));
+            members.push(("values".into(), Json::Arr(vals)));
+        }
+    }
+    Ok(Json::Obj(members))
+}
+
+/// Deserializes a similarity previously written by [`similarity_to_json`].
+///
+/// # Errors
+/// Returns an error on unknown format versions, unknown representations or
+/// kernels, and any shape/type mismatch.
+pub fn similarity_from_json(v: &Json) -> Result<Similarity, String> {
+    let format = field(v, "format")?.as_str().ok_or("format not a string")?;
+    if format != FORMAT {
+        return Err(format!("unsupported similarity format {format:?} (expected {FORMAT:?})"));
+    }
+    match field(v, "repr")?.as_str().ok_or("repr not a string")? {
+        "dense" => Ok(Similarity::Dense(dense_from_json(field(v, "matrix")?)?)),
+        "lowrank" => {
+            let kernel_name = field(v, "kernel")?.as_str().ok_or("kernel not a string")?;
+            let kernel = kernel_from_str(kernel_name)
+                .ok_or_else(|| format!("unknown kernel {kernel_name:?}"))?;
+            let ya = dense_from_json(field(v, "ya")?)?;
+            let yb = dense_from_json(field(v, "yb")?)?;
+            if ya.cols() != yb.cols() {
+                return Err(format!("factor ranks differ: {} vs {}", ya.cols(), yb.cols()));
+            }
+            let mut lr = LowRankSim::new(ya, yb, kernel);
+            if !matches!(field(v, "row_offsets")?, Json::Null) {
+                let offsets = field_f64_vec(v, "row_offsets")?;
+                if offsets.len() != lr.rows() {
+                    return Err(format!(
+                        "row_offsets length {} != rows {}",
+                        offsets.len(),
+                        lr.rows()
+                    ));
+                }
+                lr = lr.with_row_offsets(offsets);
+            }
+            Ok(Similarity::LowRank(lr))
+        }
+        "sparse" => {
+            let rows = field_usize(v, "rows")?;
+            let cols = field_usize(v, "cols")?;
+            let ridx = field_usize_vec(v, "row_indices")?;
+            let cidx = field_usize_vec(v, "col_indices")?;
+            let vals = field_f64_vec(v, "values")?;
+            if ridx.len() != cidx.len() || ridx.len() != vals.len() {
+                return Err("sparse triplet arrays have mismatched lengths".into());
+            }
+            if let Some(&i) = ridx.iter().find(|&&i| i >= rows) {
+                return Err(format!("sparse row index {i} out of range for {rows} rows"));
+            }
+            if let Some(&j) = cidx.iter().find(|&&j| j >= cols) {
+                return Err(format!("sparse col index {j} out of range for {cols} cols"));
+            }
+            let triplets: Vec<(usize, usize, f64)> =
+                ridx.into_iter().zip(cidx).zip(vals).map(|((i, j), val)| (i, j, val)).collect();
+            Ok(Similarity::Sparse(CsrMatrix::from_triplets(rows, cols, &triplets)))
+        }
+        other => Err(format!("unknown similarity repr {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_bit_identical(a: &Similarity, b: &Similarity) {
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.repr_kind(), b.repr_kind());
+        for i in 0..a.rows() {
+            for j in 0..a.cols() {
+                assert_eq!(a.get(i, j).to_bits(), b.get(i, j).to_bits(), "entry ({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_round_trips_bit_exactly() {
+        // Include values with no short decimal form.
+        let m = DenseMatrix::from_vec(
+            2,
+            3,
+            vec![0.1 + 0.2, -1.0 / 3.0, f64::MIN_POSITIVE, 0.0, -0.0, 1e300],
+        );
+        let sim = Similarity::Dense(m);
+        let text = similarity_to_json(&sim).unwrap().to_string_compact();
+        let back = similarity_from_json(&graphalign_json::from_str(&text).unwrap()).unwrap();
+        assert_bit_identical(&sim, &back);
+        // -0.0 must survive (its bits differ from 0.0).
+        if let Similarity::Dense(back_m) = &back {
+            assert_eq!(back_m.get(1, 1).to_bits(), (-0.0f64).to_bits());
+        }
+    }
+
+    #[test]
+    fn lowrank_round_trips_with_and_without_offsets() {
+        let ya = DenseMatrix::from_rows(&[&[0.6, 0.8], &[1.0, 1.0 / 3.0]]);
+        let yb = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.8, 0.6], &[0.25, 0.1]]);
+        for offsets in [None, Some(vec![0.125, -2.0 / 3.0])] {
+            let mut lr = LowRankSim::new(ya.clone(), yb.clone(), LowRankKernel::ExpNegSqDist);
+            if let Some(o) = offsets.clone() {
+                lr = lr.with_row_offsets(o);
+            }
+            let sim = Similarity::LowRank(lr);
+            let text = similarity_to_json(&sim).unwrap().to_string_compact();
+            let back = similarity_from_json(&graphalign_json::from_str(&text).unwrap()).unwrap();
+            assert_bit_identical(&sim, &back);
+            if let (Similarity::LowRank(a), Similarity::LowRank(b)) = (&sim, &back) {
+                assert_eq!(a.kernel(), b.kernel());
+                assert_eq!(a.row_offsets(), b.row_offsets());
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_round_trips_with_explicit_zeros() {
+        let s = CsrMatrix::from_triplets(3, 4, &[(0, 1, -2.5), (1, 0, 0.0), (2, 3, 1.0 / 7.0)]);
+        let sim = Similarity::Sparse(s);
+        let text = similarity_to_json(&sim).unwrap().to_string_compact();
+        let back = similarity_from_json(&graphalign_json::from_str(&text).unwrap()).unwrap();
+        assert_bit_identical(&sim, &back);
+        if let (Similarity::Sparse(a), Similarity::Sparse(b)) = (&sim, &back) {
+            assert_eq!(a.nnz(), b.nnz(), "explicit zeros survive the round trip");
+        }
+    }
+
+    #[test]
+    fn non_finite_values_are_refused() {
+        let sim = Similarity::Dense(DenseMatrix::from_vec(1, 2, vec![1.0, f64::NAN]));
+        assert!(similarity_to_json(&sim).is_err());
+    }
+
+    #[test]
+    fn unknown_format_and_repr_are_rejected() {
+        let sim = Similarity::Dense(DenseMatrix::zeros(1, 1));
+        let mut v = similarity_to_json(&sim).unwrap();
+        if let Json::Obj(members) = &mut v {
+            members[0].1 = Json::Str("similarity/v999".into());
+        }
+        assert!(similarity_from_json(&v).is_err());
+        let mut v = similarity_to_json(&sim).unwrap();
+        if let Json::Obj(members) = &mut v {
+            members[1].1 = Json::Str("holographic".into());
+        }
+        assert!(similarity_from_json(&v).is_err());
+    }
+
+    #[test]
+    fn shape_mismatches_are_rejected() {
+        let sim = Similarity::Dense(DenseMatrix::zeros(2, 2));
+        let text = similarity_to_json(&sim).unwrap().to_string_compact();
+        let tampered = text.replace("\"rows\":2", "\"rows\":3");
+        let parsed = graphalign_json::from_str(&tampered).unwrap();
+        assert!(similarity_from_json(&parsed).is_err());
+    }
+}

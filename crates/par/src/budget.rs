@@ -41,6 +41,15 @@ impl BudgetState {
     fn is_exceeded(&self) -> bool {
         self.cancelled.load(Ordering::Relaxed) || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
+
+    /// Cooperatively cancels this budget from *any* thread holding the
+    /// `Arc<BudgetState>` (obtained via [`current`]): every thread that
+    /// installed or adopted it observes [`exceeded`] `== true` from now on.
+    /// This is how the serving layer cancels an in-flight request from a
+    /// connection-handler thread while a worker thread runs the job.
+    pub fn cancel(&self) {
+        self.cancelled.store(true, Ordering::Relaxed);
+    }
 }
 
 thread_local! {
@@ -98,7 +107,7 @@ pub fn current() -> Option<Arc<BudgetState>> {
 /// from now on. No-op without an installed budget.
 pub fn cancel_current() {
     if let Some(b) = current() {
-        b.cancelled.store(true, Ordering::Relaxed);
+        b.cancel();
     }
 }
 
@@ -187,6 +196,17 @@ mod tests {
         };
         cancel_current();
         assert!(handle.join().expect("worker finished"), "worker saw cancellation");
+    }
+
+    #[test]
+    fn cancel_through_the_shared_state_reaches_the_installer() {
+        let _g = install(None);
+        let shared = current().expect("budget installed");
+        assert!(!exceeded());
+        // Another thread cancels via the Arc without adopting the budget.
+        let shared2 = shared.clone();
+        std::thread::spawn(move || shared2.cancel()).join().unwrap();
+        assert!(exceeded());
     }
 
     #[test]

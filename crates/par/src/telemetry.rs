@@ -144,6 +144,16 @@ pub struct RepTelemetry {
     /// Bytes of dense matrix materialized by those densifications, paired
     /// with [`Self::densifications`].
     pub densified_bytes: u64,
+    /// Precomputation-cache lookups that found a reusable similarity
+    /// ([`count_cache_hit`]) — the serving layer's "embedding phase skipped"
+    /// signal.
+    pub cache_hits: u64,
+    /// Precomputation-cache lookups that had to compute from scratch
+    /// ([`count_cache_miss`]).
+    pub cache_misses: u64,
+    /// Bytes of similarity representation served from the cache across the
+    /// hits, paired with [`Self::cache_hits`].
+    pub cache_bytes: u64,
     /// Accumulated wall-clock seconds per named phase.
     pub phases: Vec<(&'static str, f64)>,
 }
@@ -169,6 +179,9 @@ pub struct SinkState {
     alloc_bytes_saved: AtomicU64,
     densifications: AtomicU64,
     densified_bytes: AtomicU64,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_bytes: AtomicU64,
     inner: Mutex<SinkInner>,
 }
 
@@ -210,6 +223,9 @@ pub fn install(trace: bool) -> TelemetryGuard {
         alloc_bytes_saved: AtomicU64::new(0),
         densifications: AtomicU64::new(0),
         densified_bytes: AtomicU64::new(0),
+        cache_hits: AtomicU64::new(0),
+        cache_misses: AtomicU64::new(0),
+        cache_bytes: AtomicU64::new(0),
         inner: Mutex::new(SinkInner::default()),
     })))
 }
@@ -301,6 +317,21 @@ pub fn count_densify(bytes: u64) {
     });
 }
 
+/// Counts one precomputation-cache hit serving `bytes` bytes of similarity
+/// representation — the expensive similarity phase was skipped entirely.
+pub fn count_cache_hit(bytes: u64) {
+    with_sink(|s| {
+        s.cache_hits.fetch_add(1, Ordering::Relaxed);
+        s.cache_bytes.fetch_add(bytes, Ordering::Relaxed);
+    });
+}
+
+/// Counts one precomputation-cache miss (the similarity had to be computed
+/// and was then inserted into the cache).
+pub fn count_cache_miss() {
+    with_sink(|s| s.cache_misses.fetch_add(1, Ordering::Relaxed));
+}
+
 /// Runs `f`, accumulating its wall-clock time under `name` when a sink is
 /// installed. Repeated phases with the same name accumulate into one entry.
 pub fn time_phase<T>(name: &'static str, f: impl FnOnce() -> T) -> T {
@@ -336,6 +367,9 @@ pub fn drain() -> RepTelemetry {
             alloc_bytes_saved: s.alloc_bytes_saved.swap(0, Ordering::Relaxed),
             densifications: s.densifications.swap(0, Ordering::Relaxed),
             densified_bytes: s.densified_bytes.swap(0, Ordering::Relaxed),
+            cache_hits: s.cache_hits.swap(0, Ordering::Relaxed),
+            cache_misses: s.cache_misses.swap(0, Ordering::Relaxed),
+            cache_bytes: s.cache_bytes.swap(0, Ordering::Relaxed),
             phases: std::mem::take(&mut inner.phases),
         }
     })
@@ -379,6 +413,9 @@ mod tests {
         count_alloc_saved(1024);
         count_alloc_saved(2048);
         count_densify(4096);
+        count_cache_hit(512);
+        count_cache_hit(256);
+        count_cache_miss();
         record("isorank", Convergence::max_iter(100, 0.2));
         time_phase("similarity", || std::thread::sleep(std::time::Duration::from_millis(1)));
         time_phase("similarity", || ());
@@ -390,6 +427,9 @@ mod tests {
         assert_eq!(t.alloc_bytes_saved, 3072);
         assert_eq!(t.densifications, 1);
         assert_eq!(t.densified_bytes, 4096);
+        assert_eq!(t.cache_hits, 2);
+        assert_eq!(t.cache_misses, 1);
+        assert_eq!(t.cache_bytes, 768);
         assert_eq!(t.events.len(), 1);
         assert_eq!(t.events[0].routine, "isorank");
         assert!(!t.events[0].convergence.converged);

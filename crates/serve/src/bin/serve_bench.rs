@@ -1,0 +1,110 @@
+//! Measures the serving layer's cold-vs-warm latency: start an in-process
+//! server, upload a generated graph pair, run the same alignment query
+//! twice, and report both end-to-end latencies plus the cache counters the
+//! second response carries. The warm run must show `cache_hits: 1` and a
+//! mapping bit-identical to the cold run.
+//!
+//! Usage: `serve_bench [--algorithm REGAL] [--assignment nn] [--n 300]
+//! [--seed 7] [--workers 2]`
+
+use graphalign_json::Json;
+use graphalign_serve::{http, start, ServeConfig};
+use std::time::{Duration, Instant};
+
+fn flag(args: &[String], name: &str, default: &str) -> String {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
+fn post(addr: &str, path: &str, body: &[u8]) -> Json {
+    let resp = http::request(addr, "POST", path, body).expect("request");
+    assert_eq!(resp.status, 200, "POST {path}: {}", resp.body);
+    resp.json()
+}
+
+/// Submits the query and polls to completion, returning the end-to-end
+/// latency and the final poll body.
+fn run_job(addr: &str, job_body: &str) -> (f64, Json) {
+    let t0 = Instant::now();
+    let submitted = post(addr, "/jobs", job_body.as_bytes());
+    let id = submitted.get("job").and_then(Json::as_f64).expect("job id") as usize;
+    loop {
+        let resp = http::request(addr, "GET", &format!("/jobs/{id}"), b"").expect("poll");
+        assert_eq!(resp.status, 200, "poll: {}", resp.body);
+        let body = resp.json();
+        let status = body.get("status").and_then(Json::as_str).expect("status").to_string();
+        match status.as_str() {
+            "queued" | "running" => std::thread::sleep(Duration::from_millis(1)),
+            "done" => return (t0.elapsed().as_secs_f64(), body),
+            other => panic!("job {id} ended as {other}: {}", resp.body),
+        }
+    }
+}
+
+fn edge_list(g: &graphalign_graph::Graph) -> String {
+    let mut out = Vec::new();
+    graphalign_graph::io::write_edge_list(g, &mut out).expect("serialize graph");
+    String::from_utf8(out).expect("edge list is ASCII")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let algorithm = flag(&args, "--algorithm", "REGAL");
+    let assignment = flag(&args, "--assignment", "nn");
+    let n: usize = flag(&args, "--n", "300").parse().expect("--n");
+    let seed: u64 = flag(&args, "--seed", "7").parse().expect("--seed");
+    let workers: usize = flag(&args, "--workers", "2").parse().expect("--workers");
+
+    let source = graphalign_gen::powerlaw_cluster(n, 4, 0.3, seed);
+    let instance = graphalign_noise::make_instance(
+        &source,
+        &graphalign_noise::NoiseConfig::new(graphalign_noise::NoiseModel::OneWay, 0.02),
+        seed + 1,
+    );
+
+    let server = start(ServeConfig { workers, ..ServeConfig::default() }).expect("start server");
+    let addr = server.addr().to_string();
+
+    let src = post(&addr, "/graphs", edge_list(&source).as_bytes());
+    let tgt = post(&addr, "/graphs", edge_list(&instance.target).as_bytes());
+    let job_body = format!(
+        "{{\"source\":{:?},\"target\":{:?},\"algorithm\":{algorithm:?},\"assignment\":{assignment:?}}}",
+        src.get("id").and_then(Json::as_str).expect("source id"),
+        tgt.get("id").and_then(Json::as_str).expect("target id"),
+    );
+
+    let (cold_secs, cold) = run_job(&addr, &job_body);
+    let (warm_secs, warm) = run_job(&addr, &job_body);
+
+    let counter = |body: &Json, name: &str| {
+        body.get("telemetry")
+            .and_then(|t| t.get("ops"))
+            .and_then(|o| o.get(name))
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0) as u64
+    };
+    assert_eq!(counter(&warm, "cache_hits"), 1, "warm run must hit the cache");
+    assert_eq!(
+        warm.get("mapping"),
+        cold.get("mapping"),
+        "warm mapping must be bit-identical to the cold run"
+    );
+
+    let report = Json::Obj(vec![
+        ("algorithm".to_string(), Json::Str(algorithm)),
+        ("assignment".to_string(), Json::Str(assignment)),
+        ("nodes".to_string(), Json::Num(n as f64)),
+        ("workers".to_string(), Json::Num(workers as f64)),
+        ("cold_secs".to_string(), Json::Num(cold_secs)),
+        ("warm_secs".to_string(), Json::Num(warm_secs)),
+        ("speedup".to_string(), Json::Num(cold_secs / warm_secs.max(1e-9))),
+        ("cache_bytes".to_string(), Json::Num(counter(&warm, "cache_bytes") as f64)),
+    ]);
+    println!("{}", report.to_string_pretty());
+
+    server.shutdown();
+    server.wait();
+}

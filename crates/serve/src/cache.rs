@@ -1,0 +1,308 @@
+//! The keyed similarity/factor cache behind the serving layer.
+//!
+//! Entries are keyed by `(source digest, target digest, algorithm, params,
+//! variant)` — everything the similarity phase depends on. The digests are
+//! [`graphalign_graph::ContentDigest`] values, so two uploads of the same
+//! graph (in any edge order, parsed at any thread count) share cache
+//! entries, while a relabeled or perturbed graph never aliases one.
+//!
+//! The `variant` component accounts for method-dependent representations:
+//! [`graphalign::Aligner::similarity_for`] returns a different (sparse)
+//! representation only for the auction assignment, so the key space splits
+//! into `"auction"` and `"generic"` rather than one slot per method — a
+//! REGAL similarity computed for JV is reused verbatim for NN, SG, and
+//! Hungarian queries.
+//!
+//! In memory the cache is an LRU bounded by total approximate bytes.
+//! Optionally it persists entries to a directory as `similarity/v1` JSON
+//! (see [`graphalign_linalg::serialize`]); evicted or cold entries are then
+//! reloaded from disk, which still skips the expensive similarity phase.
+//! JSON round-trips are bit-exact for finite values, so a disk hit yields
+//! the same matching as the original computation; similarities containing
+//! non-finite entries are kept in memory only.
+
+use graphalign_graph::ContentDigest;
+use graphalign_linalg::serialize::{similarity_from_json, similarity_to_json};
+use graphalign_linalg::Similarity;
+use std::collections::HashMap;
+use std::path::PathBuf;
+use std::sync::{Arc, Mutex};
+
+/// Everything the similarity phase depends on, as a cache key.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Content digest of the source graph.
+    pub source: ContentDigest,
+    /// Content digest of the target graph.
+    pub target: ContentDigest,
+    /// Canonical algorithm name (registry spelling, e.g. `"REGAL"`).
+    pub algorithm: String,
+    /// Algorithm parameter fingerprint (`"default"` for registry aligners).
+    pub params: String,
+    /// Representation variant: `"auction"` or `"generic"` (see module docs).
+    pub variant: &'static str,
+}
+
+impl CacheKey {
+    /// The flat string form used for map lookups and disk filenames.
+    pub fn as_string(&self) -> String {
+        format!(
+            "{}:{}:{}:{}:{}",
+            self.source.to_hex(),
+            self.target.to_hex(),
+            self.algorithm,
+            self.params,
+            self.variant
+        )
+    }
+}
+
+struct Entry {
+    sim: Arc<Similarity>,
+    bytes: u64,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<String, Entry>,
+    clock: u64,
+    bytes: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+    disk_loads: u64,
+}
+
+/// Counters for the `/stats` endpoint, a point-in-time snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Entries currently resident in memory.
+    pub entries: usize,
+    /// Approximate bytes of the resident entries.
+    pub bytes: u64,
+    /// Lookups served (from memory or disk).
+    pub hits: u64,
+    /// Lookups that fell through to the similarity phase.
+    pub misses: u64,
+    /// Entries dropped by the LRU byte cap.
+    pub evictions: u64,
+    /// Hits that were reloaded from the persistence directory.
+    pub disk_loads: u64,
+}
+
+/// Byte-capped LRU cache of computed [`Similarity`] values with optional
+/// disk persistence. All methods are thread-safe.
+pub struct SimilarityCache {
+    inner: Mutex<Inner>,
+    capacity_bytes: u64,
+    dir: Option<PathBuf>,
+}
+
+impl SimilarityCache {
+    /// Creates a cache holding at most `capacity_bytes` of similarity data
+    /// in memory, persisting entries under `dir` when given.
+    pub fn new(capacity_bytes: u64, dir: Option<PathBuf>) -> std::io::Result<Self> {
+        if let Some(d) = &dir {
+            std::fs::create_dir_all(d)?;
+        }
+        Ok(Self {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                bytes: 0,
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+                disk_loads: 0,
+            }),
+            capacity_bytes,
+            dir,
+        })
+    }
+
+    /// FNV-1a 64-bit over the flat key string — stable across runs, so a
+    /// restarted server finds the previous process's persisted entries.
+    fn file_name(key: &CacheKey) -> String {
+        const OFFSET: u64 = 0xcbf29ce484222325;
+        const PRIME: u64 = 0x00000100000001b3;
+        let mut h = OFFSET;
+        for b in key.as_string().bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(PRIME);
+        }
+        format!("{h:016x}.sim.json")
+    }
+
+    /// Looks up `key`, consulting memory first, then the persistence
+    /// directory. Returns the similarity and its approximate byte size.
+    /// Counts a hit (including disk reloads) or a miss in the stats.
+    pub fn get(&self, key: &CacheKey) -> Option<(Arc<Similarity>, u64)> {
+        let flat = key.as_string();
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            inner.clock += 1;
+            let clock = inner.clock;
+            if let Some(e) = inner.entries.get_mut(&flat) {
+                e.last_used = clock;
+                let out = (Arc::clone(&e.sim), e.bytes);
+                inner.hits += 1;
+                return Some(out);
+            }
+        }
+        // Cold in memory: try disk outside the lock (I/O under a mutex would
+        // serialize all workers behind one file read).
+        let dir = self.dir.as_ref()?;
+        let path = dir.join(Self::file_name(key));
+        let text = std::fs::read_to_string(&path).ok()?;
+        let json = graphalign_json::from_str(&text).ok()?;
+        let sim = match similarity_from_json(&json) {
+            Ok(s) => Arc::new(s),
+            Err(e) => {
+                eprintln!("serve: ignoring corrupt cache file {}: {e}", path.display());
+                return None;
+            }
+        };
+        let bytes = sim.approx_bytes() as u64;
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.hits += 1;
+        inner.disk_loads += 1;
+        self.insert_locked(&mut inner, flat, Arc::clone(&sim), bytes);
+        Some((sim, bytes))
+    }
+
+    /// Records that a lookup missed (the caller is about to compute).
+    pub fn note_miss(&self) {
+        self.inner.lock().expect("cache lock").misses += 1;
+    }
+
+    /// Inserts a freshly computed similarity, persisting it to disk when a
+    /// directory is configured and the value serializes (finite entries).
+    pub fn insert(&self, key: &CacheKey, sim: Arc<Similarity>) -> u64 {
+        let bytes = sim.approx_bytes() as u64;
+        if let Some(dir) = &self.dir {
+            // Non-finite entries cannot round-trip through JSON and are kept
+            // in memory only; `similarity_to_json` refuses them.
+            if let Ok(json) = similarity_to_json(&sim) {
+                let path = dir.join(Self::file_name(key));
+                if let Err(e) = std::fs::write(&path, json.to_string_compact()) {
+                    eprintln!("serve: cannot persist cache entry {}: {e}", path.display());
+                }
+            }
+        }
+        let mut inner = self.inner.lock().expect("cache lock");
+        self.insert_locked(&mut inner, key.as_string(), sim, bytes);
+        bytes
+    }
+
+    fn insert_locked(&self, inner: &mut Inner, flat: String, sim: Arc<Similarity>, bytes: u64) {
+        inner.clock += 1;
+        let clock = inner.clock;
+        if let Some(prev) = inner.entries.insert(flat, Entry { sim, bytes, last_used: clock }) {
+            inner.bytes -= prev.bytes;
+        }
+        inner.bytes += bytes;
+        // Evict least-recently-used entries down to the cap, but always keep
+        // the newest entry even when it alone exceeds the budget.
+        while inner.bytes > self.capacity_bytes && inner.entries.len() > 1 {
+            let victim = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+                .expect("non-empty cache");
+            let e = inner.entries.remove(&victim).expect("victim present");
+            inner.bytes -= e.bytes;
+            inner.evictions += 1;
+        }
+    }
+
+    /// Point-in-time counters for `/stats`.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            entries: inner.entries.len(),
+            bytes: inner.bytes,
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            disk_loads: inner.disk_loads,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_graph::Graph;
+    use graphalign_linalg::DenseMatrix;
+
+    fn key(tag: &str) -> CacheKey {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        CacheKey {
+            source: g.content_digest(),
+            target: g.content_digest(),
+            algorithm: tag.to_string(),
+            params: "default".to_string(),
+            variant: "generic",
+        }
+    }
+
+    fn sim(rows: usize) -> Arc<Similarity> {
+        Arc::new(Similarity::Dense(DenseMatrix::from_vec(rows, 1, vec![1.0; rows])))
+    }
+
+    #[test]
+    fn memory_hit_after_insert() {
+        let c = SimilarityCache::new(1 << 20, None).unwrap();
+        assert!(c.get(&key("A")).is_none());
+        c.note_miss();
+        c.insert(&key("A"), sim(4));
+        let (got, bytes) = c.get(&key("A")).expect("hit");
+        assert_eq!(got.rows(), 4);
+        assert!(bytes > 0);
+        let s = c.stats();
+        assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+    }
+
+    #[test]
+    fn lru_eviction_respects_byte_cap_and_recency() {
+        // Each dense 4x1 entry is 32 payload bytes + struct overhead; a cap
+        // of ~2.5 entries forces the least-recently-used one out.
+        let one = sim(4).approx_bytes() as u64;
+        let c = SimilarityCache::new(one * 5 / 2, None).unwrap();
+        c.insert(&key("A"), sim(4));
+        c.insert(&key("B"), sim(4));
+        assert!(c.get(&key("A")).is_some(), "touch A so B becomes LRU");
+        c.insert(&key("C"), sim(4));
+        assert!(c.get(&key("B")).is_none(), "B was evicted");
+        assert!(c.get(&key("A")).is_some());
+        assert!(c.get(&key("C")).is_some());
+        assert_eq!(c.stats().evictions, 1);
+    }
+
+    #[test]
+    fn disk_round_trip_survives_eviction() {
+        let dir = std::env::temp_dir().join(format!("graphalign-cache-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        {
+            let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+            c.insert(&key("A"), sim(4));
+        }
+        // A fresh cache (fresh process, conceptually) reloads from disk.
+        let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+        let (got, _) = c.get(&key("A")).expect("disk hit");
+        assert_eq!(got.rows(), 4);
+        assert_eq!(c.stats().disk_loads, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn distinct_keys_do_not_alias() {
+        let c = SimilarityCache::new(1 << 20, None).unwrap();
+        c.insert(&key("A"), sim(4));
+        assert!(c.get(&key("B")).is_none());
+        let mut k = key("A");
+        k.variant = "auction";
+        assert!(c.get(&k).is_none(), "variant is part of the key");
+    }
+}

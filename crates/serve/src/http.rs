@@ -1,0 +1,153 @@
+//! Minimal HTTP/1.1 support over `std::net` — just enough for the serving
+//! protocol: request-line + header parsing with a `Content-Length` body on
+//! the way in, `Connection: close` responses on the way out, and a blocking
+//! client helper for tests and the `serve_bench` binary.
+//!
+//! The build environment is offline, so no HTTP crate is available; this
+//! deliberately supports only what the protocol uses (no chunked encoding,
+//! no keep-alive, no query strings).
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+
+/// Upper bound on accepted request bodies (64 MiB): an uploaded edge list
+/// for the largest study graphs fits comfortably, while a stray client
+/// cannot make the server buffer arbitrary amounts.
+pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// A parsed request: method, path, and raw body bytes.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ... (uppercased by the client, matched exactly).
+    pub method: String,
+    /// Absolute path, e.g. `/jobs/3/cancel`.
+    pub path: String,
+    /// Raw body (empty when no `Content-Length` was sent).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The body as UTF-8, or an error message for invalid encodings.
+    pub fn body_utf8(&self) -> Result<&str, String> {
+        std::str::from_utf8(&self.body).map_err(|_| "request body is not valid UTF-8".to_string())
+    }
+}
+
+/// Reads one request from `stream`. Returns `Err` with a human-readable
+/// message on malformed input (the caller answers with a 400).
+pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+    let mut reader = BufReader::new(stream);
+    let mut line = String::new();
+    reader.read_line(&mut line).map_err(|e| format!("read request line: {e}"))?;
+    let mut parts = line.split_whitespace();
+    let method = parts.next().ok_or("empty request line")?.to_string();
+    let path = parts.next().ok_or("request line has no path")?.to_string();
+    let mut content_length = 0usize;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header).map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value
+                    .trim()
+                    .parse()
+                    .map_err(|_| format!("bad Content-Length {:?}", value.trim()))?;
+            }
+        }
+    }
+    if content_length > MAX_BODY_BYTES {
+        return Err(format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} limit"));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    Ok(Request { method, path, body })
+}
+
+/// Writes a `Connection: close` response with the given status and body.
+pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    };
+    let head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    // The peer may already have hung up; nothing useful to do about it.
+    let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body));
+    let _ = stream.flush();
+}
+
+/// A response as seen by the blocking client helper.
+#[derive(Debug)]
+pub struct Response {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: String,
+}
+
+impl Response {
+    /// Parses the body as JSON; panics with context on failure (the helper
+    /// is test/bench-side, where a malformed body is a hard bug).
+    pub fn json(&self) -> graphalign_json::Json {
+        graphalign_json::from_str(&self.body)
+            .unwrap_or_else(|e| panic!("malformed response body {:?}: {e:?}", self.body))
+    }
+}
+
+/// Blocking one-shot HTTP exchange against `addr` (e.g. `"127.0.0.1:7464"`).
+pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Response, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes()).map_err(|e| format!("send request: {e}"))?;
+    stream.write_all(body).map_err(|e| format!("send body: {e}"))?;
+    stream.flush().map_err(|e| format!("flush: {e}"))?;
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).map_err(|e| format!("read status line: {e}"))?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut header = String::new();
+        let n = reader.read_line(&mut header).map_err(|e| format!("read header: {e}"))?;
+        let header = header.trim_end();
+        if n == 0 || header.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = header.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let mut body = Vec::new();
+    match content_length {
+        Some(len) => {
+            body.resize(len, 0);
+            reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+        }
+        None => {
+            reader.read_to_end(&mut body).map_err(|e| format!("read body: {e}"))?;
+        }
+    }
+    let body =
+        String::from_utf8(body).map_err(|_| "response body is not valid UTF-8".to_string())?;
+    Ok(Response { status, body })
+}

@@ -1,0 +1,321 @@
+//! The job table and per-job execution path of the serving layer.
+//!
+//! A job is one alignment query: a registered graph pair, an algorithm, an
+//! assignment method, and an optional timeout. Jobs are executed on the
+//! server's bounded worker pool; each execution installs its own telemetry
+//! sink and cooperative budget (the PR-2 deadline machinery), consults the
+//! keyed similarity cache, and records the full [`CellTelemetry`] block —
+//! including the `cache_hits`/`cache_misses`/`cache_bytes` counters — in
+//! the job's result. Results are bit-identical between cold and warm runs
+//! and across worker-thread counts, per the workspace determinism contract.
+
+use crate::cache::CacheKey;
+use crate::ServerState;
+use graphalign_assignment::AssignmentMethod;
+use graphalign_bench::telemetry::CellTelemetry;
+use graphalign_json::{Json, ToJson};
+use graphalign_par::budget::BudgetState;
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// A submitted alignment query.
+#[derive(Debug, Clone)]
+pub struct JobRequest {
+    /// Registered source graph id (content-digest hex).
+    pub source: String,
+    /// Registered target graph id.
+    pub target: String,
+    /// Canonical algorithm name (registry spelling).
+    pub algorithm: String,
+    /// Assignment method.
+    pub method: AssignmentMethod,
+    /// Per-request deadline; `None` means the server default (which may
+    /// itself be "no deadline").
+    pub timeout: Option<Duration>,
+}
+
+/// Lifecycle of a job, reported verbatim in the `status` field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobStatus {
+    /// Accepted, waiting for a worker.
+    Queued,
+    /// A worker is executing it.
+    Running,
+    /// Finished with a mapping.
+    Done,
+    /// Failed (bad instance, numerical failure).
+    Error,
+    /// The per-request deadline expired mid-run.
+    TimedOut,
+    /// Cancelled via `POST /jobs/<id>/cancel` (or server shutdown).
+    Cancelled,
+}
+
+impl JobStatus {
+    fn as_str(self) -> &'static str {
+        match self {
+            JobStatus::Queued => "queued",
+            JobStatus::Running => "running",
+            JobStatus::Done => "done",
+            JobStatus::Error => "error",
+            JobStatus::TimedOut => "timeout",
+            JobStatus::Cancelled => "cancelled",
+        }
+    }
+}
+
+/// One job's full state.
+struct Job {
+    request: JobRequest,
+    status: JobStatus,
+    mapping: Option<Vec<usize>>,
+    error: Option<String>,
+    telemetry: Option<Json>,
+    /// Set while running so the cancel endpoint can reach the worker's
+    /// budget from a connection-handler thread.
+    budget: Option<Arc<BudgetState>>,
+    cancel_requested: bool,
+}
+
+/// Thread-safe table of all jobs this server instance has accepted.
+/// Job ids are dense indices in submission order.
+#[derive(Default)]
+pub struct JobTable {
+    jobs: Mutex<Vec<Job>>,
+}
+
+impl JobTable {
+    /// Registers a new queued job, returning its id.
+    pub fn create(&self, request: JobRequest) -> usize {
+        let mut jobs = self.jobs.lock().expect("job table lock");
+        jobs.push(Job {
+            request,
+            status: JobStatus::Queued,
+            mapping: None,
+            error: None,
+            telemetry: None,
+            budget: None,
+            cancel_requested: false,
+        });
+        jobs.len() - 1
+    }
+
+    /// Number of jobs whose status is `status`.
+    pub fn count(&self, status: JobStatus) -> usize {
+        self.jobs.lock().expect("job table lock").iter().filter(|j| j.status == status).count()
+    }
+
+    /// The poll response for `GET /jobs/<id>`, or `None` for unknown ids.
+    pub fn poll_json(&self, id: usize) -> Option<Json> {
+        let jobs = self.jobs.lock().expect("job table lock");
+        let job = jobs.get(id)?;
+        let mut members = vec![
+            ("job".to_string(), Json::Num(id as f64)),
+            ("status".to_string(), Json::Str(job.status.as_str().to_string())),
+            ("source".to_string(), Json::Str(job.request.source.clone())),
+            ("target".to_string(), Json::Str(job.request.target.clone())),
+            ("algorithm".to_string(), Json::Str(job.request.algorithm.clone())),
+            ("assignment".to_string(), Json::Str(job.request.method.label().to_string())),
+        ];
+        if let Some(mapping) = &job.mapping {
+            members.push((
+                "mapping".to_string(),
+                Json::Arr(mapping.iter().map(|&v| Json::Num(v as f64)).collect()),
+            ));
+        }
+        if let Some(err) = &job.error {
+            members.push(("error".to_string(), Json::Str(err.clone())));
+        }
+        if let Some(t) = &job.telemetry {
+            members.push(("telemetry".to_string(), t.clone()));
+        }
+        Some(Json::Obj(members))
+    }
+
+    /// Requests cancellation: flags the job and trips its budget if a
+    /// worker is already running it. Returns the job's current status, or
+    /// `None` for unknown ids.
+    pub fn request_cancel(&self, id: usize) -> Option<JobStatus> {
+        let mut jobs = self.jobs.lock().expect("job table lock");
+        let job = jobs.get_mut(id)?;
+        job.cancel_requested = true;
+        if let Some(b) = &job.budget {
+            b.cancel();
+        }
+        Some(job.status)
+    }
+
+    /// Flags every unfinished job for cancellation (server shutdown).
+    pub fn cancel_all(&self) {
+        let mut jobs = self.jobs.lock().expect("job table lock");
+        for job in jobs.iter_mut() {
+            if matches!(job.status, JobStatus::Queued | JobStatus::Running) {
+                job.cancel_requested = true;
+                if let Some(b) = &job.budget {
+                    b.cancel();
+                }
+            }
+        }
+    }
+
+    fn with_job<R>(&self, id: usize, f: impl FnOnce(&mut Job) -> R) -> R {
+        let mut jobs = self.jobs.lock().expect("job table lock");
+        f(jobs.get_mut(id).expect("job id from the channel is valid"))
+    }
+}
+
+/// Executes job `id` on the calling worker thread: cache lookup, similarity
+/// computation on miss, assignment, telemetry capture, result recording.
+pub fn execute(state: &ServerState, id: usize) {
+    let (request, cancelled) = state.jobs.with_job(id, |job| {
+        if job.cancel_requested {
+            job.status = JobStatus::Cancelled;
+            (job.request.clone(), true)
+        } else {
+            job.status = JobStatus::Running;
+            (job.request.clone(), false)
+        }
+    });
+    if cancelled {
+        return;
+    }
+    let Some((source, target)) = state
+        .graphs
+        .get(&request.source)
+        .and_then(|s| state.graphs.get(&request.target).map(|t| (s, t)))
+    else {
+        // Graphs were validated at submission; reaching this means the id
+        // scheme broke, which we surface rather than panic the worker.
+        state.jobs.with_job(id, |job| {
+            job.status = JobStatus::Error;
+            job.error = Some("registered graph disappeared".to_string());
+        });
+        return;
+    };
+    let Some(aligner) = graphalign::registry()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&request.algorithm))
+    else {
+        state.jobs.with_job(id, |job| {
+            job.status = JobStatus::Error;
+            job.error = Some(format!("unknown algorithm {:?}", request.algorithm));
+        });
+        return;
+    };
+
+    // Per-job telemetry sink and cooperative budget. The budget is armed
+    // with the request deadline (or cancel-only when none), and published in
+    // the table so `POST /jobs/<id>/cancel` can trip it cross-thread.
+    let _telemetry = graphalign_par::telemetry::install(false);
+    let _budget = graphalign_par::budget::install(request.timeout);
+    state.jobs.with_job(id, |job| job.budget = graphalign_par::budget::current());
+
+    let variant = if request.method == AssignmentMethod::Auction { "auction" } else { "generic" };
+    let key = CacheKey {
+        source: source.content_digest(),
+        target: target.content_digest(),
+        algorithm: aligner.name().to_string(),
+        params: "default".to_string(),
+        variant,
+    };
+    let sim = match state.cache.get(&key) {
+        Some((sim, bytes)) => {
+            // The warm path: the embedding/similarity phase is skipped
+            // entirely; the response telemetry proves it (cache_hits = 1,
+            // no "similarity" phase span).
+            graphalign_par::telemetry::count_cache_hit(bytes);
+            Ok(sim)
+        }
+        None => {
+            state.cache.note_miss();
+            graphalign_par::telemetry::count_cache_miss();
+            graphalign::precompute_similarity(&*aligner, &source, &target, request.method).map(
+                |sim| {
+                    let sim = Arc::new(sim);
+                    state.cache.insert(&key, Arc::clone(&sim));
+                    sim
+                },
+            )
+        }
+    };
+    let outcome = sim.map(|sim| graphalign::assign_precomputed(&sim, request.method));
+    let rep = graphalign_par::telemetry::drain();
+    let telemetry = CellTelemetry::aggregate(&[rep]).to_json();
+    state.jobs.with_job(id, |job| {
+        job.budget = None;
+        job.telemetry = Some(telemetry);
+        match outcome {
+            Ok(mapping) => {
+                job.status = JobStatus::Done;
+                job.mapping = Some(mapping);
+            }
+            Err(e) => {
+                job.status = if !e.is_interrupted() {
+                    JobStatus::Error
+                } else if job.cancel_requested {
+                    JobStatus::Cancelled
+                } else {
+                    JobStatus::TimedOut
+                };
+                job.error = Some(e.to_string());
+            }
+        }
+    });
+}
+
+/// Parses the `POST /jobs` body. Validation errors become 400 responses.
+pub fn parse_request(body: &Json, default_timeout: Option<Duration>) -> Result<JobRequest, String> {
+    let field = |key: &str| {
+        body.get(key)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| format!("job request needs a string {key:?} field"))
+    };
+    let timeout = match body.get("timeout") {
+        None | Some(Json::Null) => default_timeout,
+        Some(v) => {
+            let secs = v.as_f64().ok_or("timeout must be a number of seconds")?;
+            if !secs.is_finite() || secs <= 0.0 {
+                return Err("timeout must be a positive number of seconds".to_string());
+            }
+            Some(Duration::from_secs_f64(secs))
+        }
+    };
+    Ok(JobRequest {
+        source: field("source")?,
+        target: field("target")?,
+        algorithm: field("algorithm")?,
+        method: AssignmentMethod::parse_label(
+            body.get("assignment").and_then(Json::as_str).unwrap_or("jv"),
+        )?,
+        timeout,
+    })
+}
+
+/// Validates a parsed request against the server's registries, resolving
+/// the algorithm to its canonical registry spelling.
+pub fn validate(state: &ServerState, request: &mut JobRequest) -> Result<(), String> {
+    if state.graphs.get(&request.source).is_none() {
+        return Err(format!("unknown source graph {:?}; POST /graphs first", request.source));
+    }
+    if state.graphs.get(&request.target).is_none() {
+        return Err(format!("unknown target graph {:?}; POST /graphs first", request.target));
+    }
+    match graphalign::registry()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&request.algorithm))
+    {
+        Some(a) => {
+            request.algorithm = a.name().to_string();
+            Ok(())
+        }
+        None => {
+            let names: Vec<&str> = graphalign::registry().iter().map(|a| a.name()).collect();
+            Err(format!(
+                "unknown algorithm {:?}; available: {}",
+                request.algorithm,
+                names.join(", ")
+            ))
+        }
+    }
+}

@@ -1,0 +1,391 @@
+//! Alignment-as-a-service: a resident server over the `graphalign` pipeline.
+//!
+//! `graphalign serve` keeps the process warm between queries so repeated
+//! alignments of the same graph pair skip the expensive embedding /
+//! similarity phase: computed [`graphalign_linalg::Similarity`] values
+//! (dense, low-rank, or sparse — the PR-5 pipeline currency) are cached
+//! keyed by `(graph content digest, algorithm, params, variant)` and only
+//! the cheap assignment phase runs on a warm hit. Results are bit-identical
+//! between cold and warm runs and across worker-thread counts.
+//!
+//! # Protocol
+//!
+//! Plain HTTP/1.1 with JSON bodies, one request per connection:
+//!
+//! | Endpoint | Effect |
+//! |---|---|
+//! | `POST /graphs` (edge-list text body) | Registers a graph; returns `{"id": <digest hex>, "nodes", "edges"}`. Uploading the same structure twice (any edge order) yields the same id. |
+//! | `POST /jobs` (`{"source", "target", "algorithm", "assignment"?, "timeout"?}`) | Queues an alignment; returns `{"job": <id>, "status": "queued"}`. |
+//! | `GET /jobs/<id>` | Polls: `{"status": queued\|running\|done\|error\|timeout\|cancelled, "mapping"?, "error"?, "telemetry"?}`. |
+//! | `POST /jobs/<id>/cancel` | Trips the job's cooperative budget. |
+//! | `GET /stats` | Cache and job-table counters. |
+//! | `POST /shutdown` | Clean shutdown: drains queued jobs as cancelled, joins workers. |
+//!
+//! The per-job `telemetry` block is the same [`CellTelemetry`] JSON the
+//! experiment harness records, extended with `cache_hits` / `cache_misses`
+//! / `cache_bytes` ops counters — a warm response shows `cache_hits: 1` and
+//! no `"similarity"` phase span, which is how the tests verify the
+//! embedding phase was genuinely skipped.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod http;
+pub mod jobs;
+
+use cache::{CacheStats, SimilarityCache};
+use graphalign_graph::{io as graph_io, Graph};
+use graphalign_json::Json;
+use jobs::{JobStatus, JobTable};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+// Re-exported so callers use one crate for the doc links above.
+pub use graphalign_bench::telemetry::CellTelemetry as ResponseTelemetry;
+
+/// Registered graphs, keyed by content-digest hex. Two uploads of the same
+/// structure (any edge order) collapse to one entry — and therefore to the
+/// same similarity-cache keys.
+#[derive(Default)]
+pub struct GraphStore {
+    map: Mutex<HashMap<String, Arc<Graph>>>,
+}
+
+impl GraphStore {
+    /// The graph registered under `id`.
+    pub fn get(&self, id: &str) -> Option<Arc<Graph>> {
+        self.map.lock().expect("graph store lock").get(id).cloned()
+    }
+
+    /// Registers `g`, returning its digest id and whether it was new.
+    pub fn insert(&self, g: Graph) -> (String, bool) {
+        let id = g.content_digest().to_hex();
+        let mut map = self.map.lock().expect("graph store lock");
+        let new = !map.contains_key(&id);
+        if new {
+            map.insert(id.clone(), Arc::new(g));
+        }
+        (id, new)
+    }
+
+    /// Number of registered graphs.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("graph store lock").len()
+    }
+
+    /// Whether no graphs are registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Server configuration; `Default` binds an ephemeral localhost port with
+/// two workers, a 256 MiB cache, and no disk persistence or default
+/// deadline.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address, e.g. `"127.0.0.1:7464"`; port 0 picks an ephemeral one.
+    pub addr: String,
+    /// Worker threads executing jobs (the pool bound).
+    pub workers: usize,
+    /// In-memory cache capacity in bytes.
+    pub cache_bytes: u64,
+    /// Directory persisting cache entries across restarts, when set.
+    pub cache_dir: Option<PathBuf>,
+    /// Deadline applied to jobs that don't carry their own `timeout`.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            cache_bytes: 256 << 20,
+            cache_dir: None,
+            default_timeout: None,
+        }
+    }
+}
+
+/// Shared state behind every connection handler and worker.
+pub struct ServerState {
+    /// Registered graphs.
+    pub graphs: GraphStore,
+    /// All accepted jobs.
+    pub jobs: JobTable,
+    /// The keyed similarity cache.
+    pub cache: SimilarityCache,
+    default_timeout: Option<Duration>,
+    workers: usize,
+    addr: SocketAddr,
+    sender: Mutex<Option<Sender<usize>>>,
+    shutdown: AtomicBool,
+}
+
+impl ServerState {
+    /// Initiates shutdown once: flags the accept loop, cancels unfinished
+    /// jobs, closes the job channel (workers drain and exit), and wakes the
+    /// acceptor with a dummy connection.
+    fn begin_shutdown(&self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.jobs.cancel_all();
+        self.sender.lock().expect("sender lock").take();
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// A running server; dropping the handle does NOT stop it — call
+/// [`ServerHandle::shutdown`] (or `POST /shutdown`) then
+/// [`ServerHandle::wait`].
+pub struct ServerHandle {
+    state: Arc<ServerState>,
+    accept: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves port 0 to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Initiates a clean shutdown (idempotent, non-blocking).
+    pub fn shutdown(&self) {
+        self.state.begin_shutdown();
+    }
+
+    /// Blocks until the accept loop and all workers have exited.
+    pub fn wait(self) {
+        let _ = self.accept.join();
+        for w in self.workers {
+            let _ = w.join();
+        }
+    }
+}
+
+/// Starts the server: binds, spawns the worker pool and the accept loop,
+/// and returns immediately.
+pub fn start(config: ServeConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let addr = listener.local_addr()?;
+    let cache = SimilarityCache::new(config.cache_bytes, config.cache_dir.clone())?;
+    let (tx, rx) = std::sync::mpsc::channel::<usize>();
+    let workers = config.workers.max(1);
+    let state = Arc::new(ServerState {
+        graphs: GraphStore::default(),
+        jobs: JobTable::default(),
+        cache,
+        default_timeout: config.default_timeout,
+        workers,
+        addr,
+        sender: Mutex::new(Some(tx)),
+        shutdown: AtomicBool::new(false),
+    });
+    let rx = Arc::new(Mutex::new(rx));
+    let worker_handles: Vec<JoinHandle<()>> = (0..workers)
+        .map(|i| {
+            let state = Arc::clone(&state);
+            let rx = Arc::clone(&rx);
+            std::thread::Builder::new()
+                .name(format!("graphalign-serve-worker-{i}"))
+                .spawn(move || worker_loop(&state, &rx))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    let accept = {
+        let state = Arc::clone(&state);
+        std::thread::Builder::new()
+            .name("graphalign-serve-accept".to_string())
+            .spawn(move || accept_loop(&listener, &state))
+            .expect("spawn accept thread")
+    };
+    Ok(ServerHandle { state, accept, workers: worker_handles })
+}
+
+fn worker_loop(state: &Arc<ServerState>, rx: &Mutex<Receiver<usize>>) {
+    loop {
+        // Take the lock only to receive; execution runs unlocked so the
+        // pool genuinely works `workers` jobs at a time.
+        let job = rx.lock().expect("worker receiver lock").recv();
+        match job {
+            Ok(id) => jobs::execute(state, id),
+            Err(_) => break, // channel closed: shutdown
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, state: &Arc<ServerState>) {
+    for conn in listener.incoming() {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        let state = Arc::clone(state);
+        // Thread-per-connection: requests are tiny and one-shot
+        // (Connection: close), the heavy lifting happens on the worker pool.
+        let _ = std::thread::Builder::new()
+            .name("graphalign-serve-conn".to_string())
+            .spawn(move || handle_connection(stream, &state));
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, state: &Arc<ServerState>) {
+    let request = match http::read_request(&mut stream) {
+        Ok(r) => r,
+        Err(e) => {
+            respond_error(&mut stream, 400, &e);
+            return;
+        }
+    };
+    let segments: Vec<&str> = request.path.split('/').filter(|s| !s.is_empty()).collect();
+    let (status, body) = match (request.method.as_str(), segments.as_slice()) {
+        ("POST", ["graphs"]) => post_graph(state, &request),
+        ("POST", ["jobs"]) => post_job(state, &request),
+        ("GET", ["jobs", id]) => get_job(state, id),
+        ("POST", ["jobs", id, "cancel"]) => cancel_job(state, id),
+        ("GET", ["stats"]) => (200, stats_json(state)),
+        ("POST", ["shutdown"]) => {
+            state.begin_shutdown();
+            (200, Json::Obj(vec![("status".into(), Json::Str("shutting down".into()))]))
+        }
+        (_, ["graphs" | "jobs" | "stats" | "shutdown", ..]) => {
+            (405, error_json("method not allowed for this endpoint"))
+        }
+        _ => (404, error_json(&format!("no such endpoint {:?}", request.path))),
+    };
+    http::write_response(
+        &mut stream,
+        status,
+        "application/json",
+        body.to_string_compact().as_bytes(),
+    );
+}
+
+fn respond_error(stream: &mut TcpStream, status: u16, message: &str) {
+    http::write_response(
+        stream,
+        status,
+        "application/json",
+        error_json(message).to_string_compact().as_bytes(),
+    );
+}
+
+fn error_json(message: &str) -> Json {
+    Json::Obj(vec![("error".to_string(), Json::Str(message.to_string()))])
+}
+
+fn post_graph(state: &Arc<ServerState>, request: &http::Request) -> (u16, Json) {
+    let text = match request.body_utf8() {
+        Ok(t) => t,
+        Err(e) => return (400, error_json(&e)),
+    };
+    let parsed = match graph_io::parse_edge_list(text) {
+        Ok(p) => p,
+        Err(e) => return (400, error_json(&format!("bad edge list: {e}"))),
+    };
+    let (nodes, edges) = (parsed.graph.node_count(), parsed.graph.edge_count());
+    let (id, new) = state.graphs.insert(parsed.graph);
+    (
+        200,
+        Json::Obj(vec![
+            ("id".to_string(), Json::Str(id)),
+            ("nodes".to_string(), Json::Num(nodes as f64)),
+            ("edges".to_string(), Json::Num(edges as f64)),
+            ("new".to_string(), Json::Bool(new)),
+        ]),
+    )
+}
+
+fn post_job(state: &Arc<ServerState>, request: &http::Request) -> (u16, Json) {
+    let body = match request
+        .body_utf8()
+        .and_then(|t| graphalign_json::from_str(t).map_err(|e| format!("bad JSON body: {e:?}")))
+    {
+        Ok(b) => b,
+        Err(e) => return (400, error_json(&e)),
+    };
+    let mut job_request = match jobs::parse_request(&body, state.default_timeout) {
+        Ok(r) => r,
+        Err(e) => return (400, error_json(&e)),
+    };
+    if let Err(e) = jobs::validate(state, &mut job_request) {
+        return (400, error_json(&e));
+    }
+    let id = state.jobs.create(job_request);
+    let sender = state.sender.lock().expect("sender lock");
+    match sender.as_ref() {
+        Some(tx) if tx.send(id).is_ok() => (
+            200,
+            Json::Obj(vec![
+                ("job".to_string(), Json::Num(id as f64)),
+                ("status".to_string(), Json::Str("queued".to_string())),
+            ]),
+        ),
+        _ => (503, error_json("server is shutting down")),
+    }
+}
+
+fn get_job(state: &Arc<ServerState>, id: &str) -> (u16, Json) {
+    let Ok(id) = id.parse::<usize>() else {
+        return (400, error_json("job ids are integers"));
+    };
+    match state.jobs.poll_json(id) {
+        Some(body) => (200, body),
+        None => (404, error_json(&format!("no job {id}"))),
+    }
+}
+
+fn cancel_job(state: &Arc<ServerState>, id: &str) -> (u16, Json) {
+    let Ok(id) = id.parse::<usize>() else {
+        return (400, error_json("job ids are integers"));
+    };
+    match state.jobs.request_cancel(id) {
+        Some(_) => (
+            200,
+            Json::Obj(vec![
+                ("job".to_string(), Json::Num(id as f64)),
+                ("status".to_string(), Json::Str("cancel requested".to_string())),
+            ]),
+        ),
+        None => (404, error_json(&format!("no job {id}"))),
+    }
+}
+
+fn stats_json(state: &Arc<ServerState>) -> Json {
+    let CacheStats { entries, bytes, hits, misses, evictions, disk_loads } = state.cache.stats();
+    Json::Obj(vec![
+        (
+            "cache".to_string(),
+            Json::Obj(vec![
+                ("entries".to_string(), Json::Num(entries as f64)),
+                ("bytes".to_string(), Json::Num(bytes as f64)),
+                ("hits".to_string(), Json::Num(hits as f64)),
+                ("misses".to_string(), Json::Num(misses as f64)),
+                ("evictions".to_string(), Json::Num(evictions as f64)),
+                ("disk_loads".to_string(), Json::Num(disk_loads as f64)),
+            ]),
+        ),
+        (
+            "jobs".to_string(),
+            Json::Obj(vec![
+                ("queued".to_string(), Json::Num(state.jobs.count(JobStatus::Queued) as f64)),
+                ("running".to_string(), Json::Num(state.jobs.count(JobStatus::Running) as f64)),
+                ("done".to_string(), Json::Num(state.jobs.count(JobStatus::Done) as f64)),
+                ("error".to_string(), Json::Num(state.jobs.count(JobStatus::Error) as f64)),
+                ("timeout".to_string(), Json::Num(state.jobs.count(JobStatus::TimedOut) as f64)),
+                ("cancelled".to_string(), Json::Num(state.jobs.count(JobStatus::Cancelled) as f64)),
+            ]),
+        ),
+        ("graphs".to_string(), Json::Num(state.graphs.len() as f64)),
+        ("workers".to_string(), Json::Num(state.workers as f64)),
+    ])
+}
