@@ -1,114 +1,13 @@
 //! Test-only fault injection for the resilience suite.
 //!
-//! Setting `GRAPHALIGN_FAULT=<cell-substring>:panic|stall` (or calling
-//! [`set_for_test`]) arms exactly one fault: every repetition whose cell id
-//! (`"{algorithm}:{noise}:{level}:r{rep}"`) contains the substring either
-//! panics or stalls until the cell budget expires. The harness must convert
-//! the panic into a structured [`crate::harness::CellError::Panic`] failure
-//! and the stall into a [`crate::harness::CellError::Timeout`] — that
-//! contract is what the resilience integration tests exercise.
-//!
-//! The spec is parsed from the environment once (so concurrently running
-//! cells agree on it); tests override it programmatically instead of racing
-//! on `set_var`.
+//! The parser and injection machinery live in [`graphalign_par::fault`]
+//! so the serving layer shares the same `GRAPHALIGN_FAULT` grammar and
+//! arming state; this module re-exports them under the historical bench
+//! path. The harness contract is unchanged: every repetition whose cell id
+//! (`"{algorithm}:{noise}:{level}:r{rep}"`) matches the armed spec either
+//! panics — converted into a structured [`crate::harness::CellError::Panic`]
+//! failure — or stalls until the cell budget expires, recorded as
+//! [`crate::harness::CellError::Timeout`]. The serve-only data kinds
+//! (`numeric`, `io`, `truncate`) never fire at harness sites.
 
-use std::sync::{Once, RwLock};
-use std::time::{Duration, Instant};
-
-/// What the injected fault does.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum FaultKind {
-    /// Panic inside the repetition (exercises panic isolation).
-    Panic,
-    /// Spin until the cell budget expires (exercises cooperative deadlines).
-    Stall,
-}
-
-#[derive(Debug, Clone)]
-struct FaultSpec {
-    /// Substring matched against the cell id.
-    pattern: String,
-    kind: FaultKind,
-}
-
-static SPEC: RwLock<Option<FaultSpec>> = RwLock::new(None);
-static ENV_INIT: Once = Once::new();
-
-fn ensure_env_loaded() {
-    ENV_INIT.call_once(|| {
-        if let Ok(raw) = std::env::var("GRAPHALIGN_FAULT") {
-            match parse(&raw) {
-                Some(spec) => *SPEC.write().expect("fault spec lock") = Some(spec),
-                None => eprintln!(
-                    "warning: ignoring malformed GRAPHALIGN_FAULT={raw:?} \
-                     (expected <cell-substring>:panic|stall)"
-                ),
-            }
-        }
-    });
-}
-
-fn parse(raw: &str) -> Option<FaultSpec> {
-    let (pattern, kind) = raw.rsplit_once(':')?;
-    if pattern.is_empty() {
-        return None;
-    }
-    let kind = match kind {
-        "panic" => FaultKind::Panic,
-        "stall" => FaultKind::Stall,
-        _ => return None,
-    };
-    Some(FaultSpec { pattern: pattern.to_string(), kind })
-}
-
-/// Arms (or with `None` disarms) the fault programmatically, overriding any
-/// `GRAPHALIGN_FAULT` from the environment. Panics on a malformed spec so a
-/// typo in a test fails loudly instead of silently injecting nothing.
-pub fn set_for_test(raw: Option<&str>) {
-    ensure_env_loaded();
-    let spec = raw.map(|r| parse(r).unwrap_or_else(|| panic!("malformed fault spec {r:?}")));
-    *SPEC.write().expect("fault spec lock") = spec;
-}
-
-/// Fires the armed fault if `cell_id` matches; no-op otherwise (and in every
-/// production run, where no fault is armed).
-pub fn maybe_inject(cell_id: &str) {
-    ensure_env_loaded();
-    let spec = SPEC.read().expect("fault spec lock").clone();
-    let Some(spec) = spec else { return };
-    if !cell_id.contains(&spec.pattern) {
-        return;
-    }
-    match spec.kind {
-        FaultKind::Panic => panic!("injected fault: panic in cell {cell_id}"),
-        FaultKind::Stall => {
-            // Spin cooperatively: the budget expiring is the expected exit.
-            // The safety cap turns a stall armed without a deadline into a
-            // loud failure instead of a hung test run.
-            let start = Instant::now();
-            while !graphalign_par::budget::exceeded() {
-                if start.elapsed() > Duration::from_secs(30) {
-                    panic!("injected stall in cell {cell_id} hit the 30 s safety cap");
-                }
-                std::thread::sleep(Duration::from_millis(1));
-            }
-        }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn parses_both_kinds_and_rejects_garbage() {
-        let p = parse("IsoRank:One-Way:0.05:panic").unwrap();
-        assert_eq!(p.kind, FaultKind::Panic);
-        assert_eq!(p.pattern, "IsoRank:One-Way:0.05");
-        let s = parse("GWL:stall").unwrap();
-        assert_eq!(s.kind, FaultKind::Stall);
-        assert!(parse("no-kind").is_none());
-        assert!(parse(":panic").is_none());
-        assert!(parse("x:explode").is_none());
-    }
-}
+pub use graphalign_par::fault::{active, maybe_inject, set_for_test, FaultKind};

@@ -242,12 +242,22 @@ pub fn cmd_serve(args: &Args) -> Result<String, String> {
     if timeout < 0.0 || !timeout.is_finite() {
         return Err("--timeout needs a non-negative number of seconds".into());
     }
+    let io_timeout: f64 = args.get_parse("io-timeout", 10.0)?;
+    if io_timeout < 0.0 || !io_timeout.is_finite() {
+        return Err("--io-timeout needs a non-negative number of seconds".into());
+    }
+    let defaults = graphalign_serve::ServeConfig::default();
     let config = graphalign_serve::ServeConfig {
         addr: args.get_or("addr", "127.0.0.1:7464").to_string(),
         workers: args.get_parse("workers", 2)?,
         cache_bytes: args.get_parse("cache-bytes", 256u64 << 20)?,
         cache_dir: args.flags.get("cache-dir").map(std::path::PathBuf::from),
         default_timeout: (timeout > 0.0).then(|| std::time::Duration::from_secs_f64(timeout)),
+        max_queued: args.get_parse("max-queued", defaults.max_queued)?,
+        max_inflight_bytes: args.get_parse("max-inflight-bytes", defaults.max_inflight_bytes)?,
+        job_retries: args.get_parse("job-retries", defaults.job_retries)?,
+        io_timeout: (io_timeout > 0.0).then(|| std::time::Duration::from_secs_f64(io_timeout)),
+        max_body_bytes: args.get_parse("max-body-bytes", defaults.max_body_bytes)?,
     };
     let server =
         graphalign_serve::start(config).map_err(|e| format!("cannot start server: {e}"))?;
@@ -291,7 +301,9 @@ fn usage() -> String {
          [--noise one-way|multi-modal|two-way] [--level <f64>] [--seed <u64>]\n\
          graphalign score    --source <a.txt> --target <b.txt> --mapping <m.txt> [--truth <t.txt>]\n\
          graphalign serve    [--addr 127.0.0.1:7464] [--workers <n>] [--timeout <secs>]\n\
-         [--cache-bytes <n>] [--cache-dir <dir>]\n\
+         [--cache-bytes <n>] [--cache-dir <dir>] [--max-queued <n>]\n\
+         [--max-inflight-bytes <n>] [--job-retries <n>] [--io-timeout <secs>]\n\
+         [--max-body-bytes <n>]\n\
          \n\
          algorithms: {}",
         registry_names().join(", ")

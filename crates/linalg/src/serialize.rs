@@ -23,6 +23,81 @@ use graphalign_json::Json;
 /// change so old cache entries are ignored rather than misread.
 pub const FORMAT: &str = "similarity/v1";
 
+/// FNV-1a 64-bit hash — the content checksum of persisted cache entries.
+/// Stable across runs and platforms, so a restarted server can verify
+/// entries written by a previous process.
+pub fn fnv1a_64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf29ce484222325;
+    const PRIME: u64 = 0x00000100000001b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+/// Serializes a similarity as a crash-evident two-line disk entry:
+///
+/// ```text
+/// {"format":"similarity/v1","checksum":"<fnv1a-64 hex>","bytes":<payload len>}
+/// <compact similarity/v1 JSON payload>
+/// ```
+///
+/// The header carries the payload's exact byte length and FNV-1a checksum,
+/// so [`from_checksummed_str`] detects both truncation (a torn write that
+/// lost the tail) and in-place corruption (bit flips) without re-parsing a
+/// possibly-garbage payload into a plausible-but-wrong similarity.
+///
+/// # Errors
+/// Propagates [`similarity_to_json`]'s refusal of non-finite entries.
+pub fn to_checksummed_string(sim: &Similarity) -> Result<String, String> {
+    let payload = similarity_to_json(sim)?.to_string_compact();
+    Ok(format!(
+        "{{\"format\":{FORMAT:?},\"checksum\":\"{:016x}\",\"bytes\":{}}}\n{payload}\n",
+        fnv1a_64(payload.as_bytes()),
+        payload.len()
+    ))
+}
+
+/// Deserializes an entry written by [`to_checksummed_string`], verifying the
+/// declared payload length and checksum before parsing the payload.
+///
+/// # Errors
+/// Returns a human-readable message on a missing or malformed header, a
+/// truncated payload, a checksum mismatch, or any payload-level decode
+/// failure — callers quarantine such entries instead of serving them.
+pub fn from_checksummed_str(text: &str) -> Result<Similarity, String> {
+    let (header_line, rest) =
+        text.split_once('\n').ok_or("truncated entry: no payload line after the header")?;
+    let header = graphalign_json::from_str(header_line)
+        .map_err(|e| format!("corrupt entry header: {e:?}"))?;
+    let format = field(&header, "format")?.as_str().ok_or("header format not a string")?;
+    if format != FORMAT {
+        return Err(format!("unsupported entry format {format:?} (expected {FORMAT:?})"));
+    }
+    let declared = field_usize(&header, "bytes")?;
+    let checksum = field(&header, "checksum")?.as_str().ok_or("header checksum not a string")?;
+    // The final newline is the commit marker: a write that died before it
+    // is treated as truncated even when the payload itself is complete.
+    let payload = rest
+        .strip_suffix('\n')
+        .ok_or("truncated entry: payload line is missing its trailing newline")?;
+    if payload.len() != declared {
+        return Err(format!(
+            "truncated entry: payload is {} bytes, header declares {declared}",
+            payload.len()
+        ));
+    }
+    let actual = format!("{:016x}", fnv1a_64(payload.as_bytes()));
+    if actual != checksum {
+        return Err(format!("checksum mismatch: header {checksum:?}, payload {actual:?}"));
+    }
+    let json =
+        graphalign_json::from_str(payload).map_err(|e| format!("corrupt entry payload: {e:?}"))?;
+    similarity_from_json(&json)
+}
+
 fn num_array(values: impl Iterator<Item = f64>) -> Json {
     Json::Arr(values.map(Json::Num).collect())
 }
@@ -268,6 +343,75 @@ mod tests {
             members[1].1 = Json::Str("holographic".into());
         }
         assert!(similarity_from_json(&v).is_err());
+    }
+
+    #[test]
+    fn checksummed_entries_round_trip_bit_exactly() {
+        let sims = [
+            Similarity::Dense(DenseMatrix::from_vec(
+                2,
+                2,
+                vec![0.1 + 0.2, -0.0, 1e300, -1.0 / 3.0],
+            )),
+            Similarity::Sparse(CsrMatrix::from_triplets(2, 3, &[(0, 2, 0.5), (1, 0, -2.0)])),
+        ];
+        for sim in sims {
+            let text = to_checksummed_string(&sim).unwrap();
+            let back = from_checksummed_str(&text).unwrap();
+            assert_bit_identical(&sim, &back);
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_checksummed_entry_is_detected() {
+        let sim = Similarity::Dense(DenseMatrix::from_vec(2, 2, vec![1.5, -2.25, 0.0, 4.0]));
+        let text = to_checksummed_string(&sim).unwrap();
+        for cut in 0..text.len() {
+            let truncated = &text[..cut];
+            assert!(
+                from_checksummed_str(truncated).is_err(),
+                "truncation at byte {cut} of {} went undetected",
+                text.len()
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_bit_flip_of_a_checksummed_entry_is_detected() {
+        let sim = Similarity::Dense(DenseMatrix::from_vec(1, 3, vec![0.5, -1.0, 3.25]));
+        let text = to_checksummed_string(&sim).unwrap();
+        let bytes = text.as_bytes();
+        for pos in 0..bytes.len() {
+            for bit in 0..8 {
+                let mut corrupt = bytes.to_vec();
+                corrupt[pos] ^= 1 << bit;
+                // Non-UTF8 corruption cannot even reach the parser here; the
+                // cache layer reads with `from_utf8` and quarantines on error.
+                let Ok(corrupt) = String::from_utf8(corrupt) else { continue };
+                assert!(
+                    from_checksummed_str(&corrupt).is_err(),
+                    "bit {bit} of byte {pos} flipped without detection"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn legacy_unchecksummed_entries_are_rejected_not_misread() {
+        // PR-6 cache files were the raw payload with no header line; the
+        // checksummed reader must refuse them so they quarantine and
+        // recompute rather than alias.
+        let sim = Similarity::Dense(DenseMatrix::zeros(2, 2));
+        let legacy = similarity_to_json(&sim).unwrap().to_string_compact();
+        assert!(from_checksummed_str(&legacy).is_err());
+    }
+
+    #[test]
+    fn fnv1a_64_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a_64(b""), 0xcbf29ce484222325);
+        assert_eq!(fnv1a_64(b"a"), 0xaf63dc4c8601ec8c);
+        assert_eq!(fnv1a_64(b"foobar"), 0x85944171f73967e8);
     }
 
     #[test]

@@ -1,0 +1,191 @@
+//! Test-only fault injection shared by the experiment harness and the
+//! serving layer.
+//!
+//! Setting `GRAPHALIGN_FAULT=<site-substring>:panic|stall|numeric|io|truncate`
+//! (or calling [`set_for_test`]) arms exactly one fault. Every *fault site*
+//! whose id contains the substring fires it. Sites are plain strings:
+//!
+//! * the bench harness injects per repetition with
+//!   `"{algorithm}:{noise}:{level}:r{rep}"` cell ids (PR 2's contract — the
+//!   harness converts a panic into a structured `CellError::Panic` failure
+//!   and a stall into `CellError::Timeout`);
+//! * the serving layer injects at `"serve:worker:{algorithm}"` (panic /
+//!   stall / numeric failure inside job execution), `"serve:cache:read"`
+//!   (simulated IO error on a persisted-entry read), and
+//!   `"serve:cache:persist"` (a torn, truncated write of a persisted entry).
+//!
+//! Execution-style faults (`panic`, `stall`) fire through [`maybe_inject`];
+//! data-style faults (`numeric`, `io`, `truncate`) are *queried* via
+//! [`active`] by the site that knows how to simulate them. A site that calls [`maybe_inject`]
+//! ignores armed data faults and vice versa, so one spec never misfires at
+//! the wrong layer.
+//!
+//! The spec is parsed from the environment once (so concurrently running
+//! sites agree on it); tests override it programmatically instead of racing
+//! on `set_var`.
+
+use std::sync::{Once, RwLock};
+use std::time::{Duration, Instant};
+
+/// What the injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Panic inside the site (exercises panic isolation).
+    Panic,
+    /// Spin until the installed budget expires (exercises cooperative
+    /// deadlines).
+    Stall,
+    /// Simulate a numerical-subroutine failure at a site that knows how to
+    /// report one (exercises the serve layer's numeric-retry policy).
+    Numeric,
+    /// Simulate an IO error at a data site (e.g. a cache-file read).
+    IoError,
+    /// Simulate a torn write: the data site persists a truncated entry.
+    Truncate,
+}
+
+impl FaultKind {
+    /// Stable spec-string name (`panic`, `stall`, `numeric`, `io`,
+    /// `truncate`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            FaultKind::Panic => "panic",
+            FaultKind::Stall => "stall",
+            FaultKind::Numeric => "numeric",
+            FaultKind::IoError => "io",
+            FaultKind::Truncate => "truncate",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+struct FaultSpec {
+    /// Substring matched against the site id.
+    pattern: String,
+    kind: FaultKind,
+}
+
+static SPEC: RwLock<Option<FaultSpec>> = RwLock::new(None);
+static ENV_INIT: Once = Once::new();
+
+fn ensure_env_loaded() {
+    ENV_INIT.call_once(|| {
+        if let Ok(raw) = std::env::var("GRAPHALIGN_FAULT") {
+            match parse(&raw) {
+                Some(spec) => *SPEC.write().expect("fault spec lock") = Some(spec),
+                None => eprintln!(
+                    "warning: ignoring malformed GRAPHALIGN_FAULT={raw:?} \
+                     (expected <site-substring>:panic|stall|numeric|io|truncate)"
+                ),
+            }
+        }
+    });
+}
+
+fn parse(raw: &str) -> Option<FaultSpec> {
+    let (pattern, kind) = raw.rsplit_once(':')?;
+    if pattern.is_empty() {
+        return None;
+    }
+    let kind = match kind {
+        "panic" => FaultKind::Panic,
+        "stall" => FaultKind::Stall,
+        "numeric" => FaultKind::Numeric,
+        "io" => FaultKind::IoError,
+        "truncate" => FaultKind::Truncate,
+        _ => return None,
+    };
+    Some(FaultSpec { pattern: pattern.to_string(), kind })
+}
+
+/// Arms (or with `None` disarms) the fault programmatically, overriding any
+/// `GRAPHALIGN_FAULT` from the environment. Panics on a malformed spec so a
+/// typo in a test fails loudly instead of silently injecting nothing.
+pub fn set_for_test(raw: Option<&str>) {
+    ensure_env_loaded();
+    let spec = raw.map(|r| parse(r).unwrap_or_else(|| panic!("malformed fault spec {r:?}")));
+    *SPEC.write().expect("fault spec lock") = spec;
+}
+
+/// The fault kind armed for `site_id`, if any — a pure query, used by data
+/// sites ([`FaultKind::IoError`], [`FaultKind::Truncate`]) that simulate the
+/// failure themselves. `None` in every production run.
+pub fn active(site_id: &str) -> Option<FaultKind> {
+    ensure_env_loaded();
+    let spec = SPEC.read().expect("fault spec lock").clone()?;
+    site_id.contains(&spec.pattern).then_some(spec.kind)
+}
+
+/// Fires an armed *execution* fault if `site_id` matches: panics for
+/// [`FaultKind::Panic`], spins until the installed budget expires for
+/// [`FaultKind::Stall`]. Data-style kinds (and non-matching sites, and every
+/// production run) are a no-op.
+pub fn maybe_inject(site_id: &str) {
+    match active(site_id) {
+        Some(FaultKind::Panic) => panic!("injected fault: panic in {site_id}"),
+        Some(FaultKind::Stall) => {
+            // Spin cooperatively: the budget expiring is the expected exit.
+            // The safety cap turns a stall armed without a deadline into a
+            // loud failure instead of a hung test run.
+            let start = Instant::now();
+            while !crate::budget::exceeded() {
+                if start.elapsed() > Duration::from_secs(30) {
+                    panic!("injected stall in {site_id} hit the 30 s safety cap");
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+        }
+        Some(FaultKind::Numeric | FaultKind::IoError | FaultKind::Truncate) | None => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_all_kinds_and_rejects_garbage() {
+        let p = parse("IsoRank:One-Way:0.05:panic").unwrap();
+        assert_eq!(p.kind, FaultKind::Panic);
+        assert_eq!(p.pattern, "IsoRank:One-Way:0.05");
+        let s = parse("GWL:stall").unwrap();
+        assert_eq!(s.kind, FaultKind::Stall);
+        let io = parse("serve:cache:read:io").unwrap();
+        assert_eq!(io.kind, FaultKind::IoError);
+        assert_eq!(io.pattern, "serve:cache:read");
+        let t = parse("serve:cache:persist:truncate").unwrap();
+        assert_eq!(t.kind, FaultKind::Truncate);
+        let n = parse("serve:worker:REGAL:numeric").unwrap();
+        assert_eq!(n.kind, FaultKind::Numeric);
+        assert_eq!(n.pattern, "serve:worker:REGAL");
+        assert!(parse("no-kind").is_none());
+        assert!(parse(":panic").is_none());
+        assert!(parse("x:explode").is_none());
+    }
+
+    #[test]
+    fn kind_names_match_spec_grammar() {
+        for kind in [
+            FaultKind::Panic,
+            FaultKind::Stall,
+            FaultKind::Numeric,
+            FaultKind::IoError,
+            FaultKind::Truncate,
+        ] {
+            let spec = parse(&format!("some-site:{}", kind.as_str())).unwrap();
+            assert_eq!(spec.kind, kind);
+        }
+    }
+
+    #[test]
+    fn data_kinds_never_fire_through_maybe_inject() {
+        // `maybe_inject` must ignore io/truncate so a data fault armed for
+        // the cache cannot blow up a worker that happens to match.
+        set_for_test(Some("shared-substring:io"));
+        maybe_inject("shared-substring:worker"); // must not panic or stall
+        assert_eq!(active("shared-substring:worker"), Some(FaultKind::IoError));
+        assert_eq!(active("other"), None);
+        set_for_test(None);
+        assert_eq!(active("shared-substring:worker"), None);
+    }
+}

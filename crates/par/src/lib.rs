@@ -30,6 +30,7 @@
 //! kernels on small matrices.
 
 pub mod budget;
+pub mod fault;
 pub mod telemetry;
 
 use std::ops::Range;
@@ -282,7 +283,9 @@ pub fn map_collect<T: Send>(
 
 /// Extracts a human-readable message from a caught panic payload
 /// (`panic!("...")` produces `&str` or `String`; anything else is opaque).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Shared by every panic-isolation site ([`try_map_collect`] here, the
+/// serving layer's worker isolation).
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -444,8 +447,8 @@ fn map_chunks_parallel<A: Send>(
 /// Re-exports for `use graphalign_par::prelude::*` call sites.
 pub mod prelude {
     pub use crate::{
-        budget, fold_chunks, fold_strided, for_each_chunk_mut, for_each_row_block_mut, map_collect,
-        max_threads, set_max_threads, sum_indexed, telemetry, try_map_collect,
+        budget, fault, fold_chunks, fold_strided, for_each_chunk_mut, for_each_row_block_mut,
+        map_collect, max_threads, set_max_threads, sum_indexed, telemetry, try_map_collect,
     };
 }
 

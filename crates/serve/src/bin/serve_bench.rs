@@ -25,19 +25,42 @@ fn post(addr: &str, path: &str, body: &[u8]) -> Json {
     resp.json()
 }
 
+/// Submits the query, honoring admission control: a `429` waits out the
+/// server's `Retry-After` (capped so a confused header can't park the
+/// bench) and resubmits instead of failing.
+fn submit(addr: &str, job_body: &str) -> usize {
+    loop {
+        let resp = http::request(addr, "POST", "/jobs", job_body.as_bytes()).expect("submit");
+        if resp.status == 429 {
+            let secs: u64 =
+                resp.header("retry-after").and_then(|v| v.parse().ok()).unwrap_or(1).clamp(1, 30);
+            std::thread::sleep(Duration::from_secs(secs));
+            continue;
+        }
+        assert_eq!(resp.status, 200, "POST /jobs: {}", resp.body);
+        return resp.json().get("job").and_then(Json::as_f64).expect("job id") as usize;
+    }
+}
+
 /// Submits the query and polls to completion, returning the end-to-end
-/// latency and the final poll body.
+/// latency and the final poll body. The poll backs off exponentially
+/// (1 ms → 64 ms cap) instead of hammering the server every millisecond —
+/// for multi-second cold jobs the old fixed 1 ms poll burned a connection
+/// per millisecond for no better latency resolution than the job itself.
 fn run_job(addr: &str, job_body: &str) -> (f64, Json) {
     let t0 = Instant::now();
-    let submitted = post(addr, "/jobs", job_body.as_bytes());
-    let id = submitted.get("job").and_then(Json::as_f64).expect("job id") as usize;
+    let id = submit(addr, job_body);
+    let mut backoff = Duration::from_millis(1);
     loop {
         let resp = http::request(addr, "GET", &format!("/jobs/{id}"), b"").expect("poll");
         assert_eq!(resp.status, 200, "poll: {}", resp.body);
         let body = resp.json();
         let status = body.get("status").and_then(Json::as_str).expect("status").to_string();
         match status.as_str() {
-            "queued" | "running" => std::thread::sleep(Duration::from_millis(1)),
+            "queued" | "running" => {
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(Duration::from_millis(64));
+            }
             "done" => return (t0.elapsed().as_secs_f64(), body),
             other => panic!("job {id} ended as {other}: {}", resp.body),
         }

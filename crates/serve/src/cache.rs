@@ -14,19 +14,40 @@
 //! Hungarian queries.
 //!
 //! In memory the cache is an LRU bounded by total approximate bytes.
-//! Optionally it persists entries to a directory as `similarity/v1` JSON
-//! (see [`graphalign_linalg::serialize`]); evicted or cold entries are then
-//! reloaded from disk, which still skips the expensive similarity phase.
-//! JSON round-trips are bit-exact for finite values, so a disk hit yields
-//! the same matching as the original computation; similarities containing
-//! non-finite entries are kept in memory only.
+//! Optionally it persists entries to a directory as checksummed
+//! `similarity/v1` entries (see [`graphalign_linalg::serialize`]); evicted
+//! or cold entries are then reloaded from disk, which still skips the
+//! expensive similarity phase.
+//!
+//! # Crash safety
+//!
+//! Persistence is **write-temp-then-rename atomic**: a crash mid-write
+//! leaves at worst a stray `.tmp` file, never a half-written entry under
+//! the final name. Every entry carries an FNV-1a-64 content checksum plus
+//! its exact payload length, so truncation and bit-level corruption are
+//! both detected on read. A corrupt or truncated entry is **quarantined**
+//! (moved into a `quarantine/` subdirectory, counted, reported degraded via
+//! `/healthz`) and the lookup falls through to a recompute — corruption is
+//! never fatal and never served. The constructor scans the directory up
+//! front so a server restarted onto a damaged cache starts degraded instead
+//! of discovering the damage one request at a time; re-persisting a fresh
+//! entry under a quarantined name restores integrity (ready again).
 
 use graphalign_graph::ContentDigest;
-use graphalign_linalg::serialize::{similarity_from_json, similarity_to_json};
+use graphalign_linalg::serialize::{fnv1a_64, from_checksummed_str, to_checksummed_string};
 use graphalign_linalg::Similarity;
-use std::collections::HashMap;
-use std::path::PathBuf;
+use graphalign_par::fault::{self, FaultKind};
+use std::collections::{HashMap, HashSet};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
+
+/// Fault-injection site id for persisted-entry reads (`io` kind simulates
+/// a read IO error).
+pub const FAULT_SITE_READ: &str = "serve:cache:read";
+/// Fault-injection site id for entry persistence (`truncate` kind simulates
+/// a torn, pre-atomic write).
+pub const FAULT_SITE_PERSIST: &str = "serve:cache:persist";
 
 /// Everything the similarity phase depends on, as a cache key.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -71,6 +92,9 @@ struct Inner {
     misses: u64,
     evictions: u64,
     disk_loads: u64,
+    /// File names quarantined but not yet re-persisted — non-empty means
+    /// the cache is integrity-degraded (`/healthz` reports it).
+    pending_integrity: HashSet<String>,
 }
 
 /// Counters for the `/stats` endpoint, a point-in-time snapshot.
@@ -88,24 +112,41 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Hits that were reloaded from the persistence directory.
     pub disk_loads: u64,
+    /// Corrupt or truncated persisted entries moved to quarantine (total
+    /// over the server's lifetime, including the startup scan).
+    pub quarantined: u64,
+    /// Quarantined entries whose key has not been re-persisted yet; zero
+    /// means cache integrity is restored.
+    pub pending_integrity: usize,
+    /// Persisted-entry reads that failed with an IO error (the entry may be
+    /// fine; the lookup recomputed instead of serving it).
+    pub io_errors: u64,
 }
 
 /// Byte-capped LRU cache of computed [`Similarity`] values with optional
-/// disk persistence. All methods are thread-safe.
+/// crash-safe disk persistence. All methods are thread-safe.
 pub struct SimilarityCache {
     inner: Mutex<Inner>,
     capacity_bytes: u64,
     dir: Option<PathBuf>,
+    quarantined: AtomicU64,
+    io_errors: AtomicU64,
+    tmp_counter: AtomicU64,
 }
 
 impl SimilarityCache {
     /// Creates a cache holding at most `capacity_bytes` of similarity data
     /// in memory, persisting entries under `dir` when given.
+    ///
+    /// When a directory is configured, every persisted entry is verified up
+    /// front: corrupt or truncated files are quarantined immediately (never
+    /// fatal), so the server knows its integrity state before the first
+    /// request.
     pub fn new(capacity_bytes: u64, dir: Option<PathBuf>) -> std::io::Result<Self> {
         if let Some(d) = &dir {
             std::fs::create_dir_all(d)?;
         }
-        Ok(Self {
+        let cache = Self {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
                 clock: 0,
@@ -114,28 +155,69 @@ impl SimilarityCache {
                 misses: 0,
                 evictions: 0,
                 disk_loads: 0,
+                pending_integrity: HashSet::new(),
             }),
             capacity_bytes,
             dir,
-        })
+            quarantined: AtomicU64::new(0),
+            io_errors: AtomicU64::new(0),
+            tmp_counter: AtomicU64::new(0),
+        };
+        cache.scan_persisted();
+        Ok(cache)
     }
 
     /// FNV-1a 64-bit over the flat key string — stable across runs, so a
     /// restarted server finds the previous process's persisted entries.
     fn file_name(key: &CacheKey) -> String {
-        const OFFSET: u64 = 0xcbf29ce484222325;
-        const PRIME: u64 = 0x00000100000001b3;
-        let mut h = OFFSET;
-        for b in key.as_string().bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(PRIME);
+        format!("{:016x}.sim.json", fnv1a_64(key.as_string().as_bytes()))
+    }
+
+    /// Verifies every persisted entry, quarantining the unreadable ones.
+    /// Entries are not loaded into memory (lookups stay lazy); this only
+    /// establishes the integrity state a fresh server reports.
+    fn scan_persisted(&self) {
+        let Some(dir) = &self.dir else { return };
+        let Ok(listing) = std::fs::read_dir(dir) else { return };
+        for entry in listing.flatten() {
+            let path = entry.path();
+            let name = entry.file_name().to_string_lossy().to_string();
+            if !name.ends_with(".sim.json") {
+                continue;
+            }
+            let verdict = std::fs::read_to_string(&path)
+                .map_err(|e| format!("read: {e}"))
+                .and_then(|text| from_checksummed_str(&text).map(|_| ()));
+            if let Err(reason) = verdict {
+                self.quarantine(&path, &name, &reason);
+            }
         }
-        format!("{h:016x}.sim.json")
+    }
+
+    /// Moves a corrupt persisted entry into `quarantine/` (falling back to
+    /// deletion if the move fails) and records the integrity debt.
+    fn quarantine(&self, path: &Path, name: &str, reason: &str) {
+        eprintln!("serve: quarantining corrupt cache entry {}: {reason}", path.display());
+        if let Some(dir) = &self.dir {
+            let qdir = dir.join("quarantine");
+            let moved = std::fs::create_dir_all(&qdir)
+                .and_then(|()| std::fs::rename(path, qdir.join(name)));
+            if moved.is_err() {
+                let _ = std::fs::remove_file(path);
+            }
+        }
+        self.quarantined.fetch_add(1, Ordering::Relaxed);
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.pending_integrity.insert(name.to_string());
     }
 
     /// Looks up `key`, consulting memory first, then the persistence
     /// directory. Returns the similarity and its approximate byte size.
     /// Counts a hit (including disk reloads) or a miss in the stats.
+    ///
+    /// A persisted entry that fails its checksum or length check is
+    /// quarantined and the lookup returns `None` — the caller recomputes,
+    /// and the fresh insert restores the entry (and the integrity state).
     pub fn get(&self, key: &CacheKey) -> Option<(Arc<Similarity>, u64)> {
         let flat = key.as_string();
         {
@@ -152,13 +234,30 @@ impl SimilarityCache {
         // Cold in memory: try disk outside the lock (I/O under a mutex would
         // serialize all workers behind one file read).
         let dir = self.dir.as_ref()?;
-        let path = dir.join(Self::file_name(key));
-        let text = std::fs::read_to_string(&path).ok()?;
-        let json = graphalign_json::from_str(&text).ok()?;
-        let sim = match similarity_from_json(&json) {
-            Ok(s) => Arc::new(s),
+        let name = Self::file_name(key);
+        let path = dir.join(&name);
+        let text = if fault::active(FAULT_SITE_READ) == Some(FaultKind::IoError) {
+            Err(std::io::Error::other("injected fault: cache read IO error"))
+        } else {
+            std::fs::read_to_string(&path)
+        };
+        let text = match text {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return None,
             Err(e) => {
-                eprintln!("serve: ignoring corrupt cache file {}: {e}", path.display());
+                // The entry may be intact; an IO error is an environment
+                // problem, not evidence of corruption — recompute without
+                // quarantining, and count it so /healthz can report flaky
+                // storage.
+                eprintln!("serve: cache read {} failed ({e}); recomputing", path.display());
+                self.io_errors.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+        };
+        let sim = match from_checksummed_str(&text) {
+            Ok(s) => Arc::new(s),
+            Err(reason) => {
+                self.quarantine(&path, &name, &reason);
                 return None;
             }
         };
@@ -177,21 +276,57 @@ impl SimilarityCache {
 
     /// Inserts a freshly computed similarity, persisting it to disk when a
     /// directory is configured and the value serializes (finite entries).
+    ///
+    /// The persist is atomic: the entry is written to a unique `.tmp` file
+    /// and renamed into place, so a crash mid-write can never leave a
+    /// truncated entry under the final name. A successful persist clears
+    /// the entry's quarantine debt, returning `/healthz` to ready once
+    /// every quarantined key has been recomputed.
     pub fn insert(&self, key: &CacheKey, sim: Arc<Similarity>) -> u64 {
         let bytes = sim.approx_bytes() as u64;
         if let Some(dir) = &self.dir {
             // Non-finite entries cannot round-trip through JSON and are kept
-            // in memory only; `similarity_to_json` refuses them.
-            if let Ok(json) = similarity_to_json(&sim) {
-                let path = dir.join(Self::file_name(key));
-                if let Err(e) = std::fs::write(&path, json.to_string_compact()) {
-                    eprintln!("serve: cannot persist cache entry {}: {e}", path.display());
+            // in memory only; `to_checksummed_string` refuses them.
+            if let Ok(text) = to_checksummed_string(&sim) {
+                let name = Self::file_name(key);
+                match self.persist_atomic(dir, &name, &text) {
+                    Ok(()) => {
+                        let mut inner = self.inner.lock().expect("cache lock");
+                        inner.pending_integrity.remove(&name);
+                    }
+                    Err(e) => eprintln!(
+                        "serve: cannot persist cache entry {}: {e}",
+                        dir.join(&name).display()
+                    ),
                 }
             }
         }
         let mut inner = self.inner.lock().expect("cache lock");
         self.insert_locked(&mut inner, key.as_string(), sim, bytes);
         bytes
+    }
+
+    /// Write-temp-then-rename persistence. The temp name is unique per
+    /// (process, insert), so concurrent workers persisting the same key
+    /// never interleave partial writes; whichever rename lands last wins
+    /// with a complete entry either way.
+    fn persist_atomic(&self, dir: &Path, name: &str, text: &str) -> std::io::Result<()> {
+        if fault::active(FAULT_SITE_PERSIST) == Some(FaultKind::Truncate) {
+            // Simulate the torn write the atomic protocol exists to prevent
+            // (a crash between write and rename on a non-atomic path):
+            // half an entry lands under the final name.
+            let torn = &text.as_bytes()[..text.len() / 2];
+            return std::fs::write(dir.join(name), torn);
+        }
+        let tmp = dir.join(format!(
+            "{name}.{}.{}.tmp",
+            std::process::id(),
+            self.tmp_counter.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::write(&tmp, text)?;
+        std::fs::rename(&tmp, dir.join(name)).inspect_err(|_| {
+            let _ = std::fs::remove_file(&tmp);
+        })
     }
 
     fn insert_locked(&self, inner: &mut Inner, flat: String, sim: Arc<Similarity>, bytes: u64) {
@@ -216,6 +351,12 @@ impl SimilarityCache {
         }
     }
 
+    /// Whether every quarantined entry has been re-persisted — the cache
+    /// integrity component of `/healthz` readiness.
+    pub fn integrity_ok(&self) -> bool {
+        self.inner.lock().expect("cache lock").pending_integrity.is_empty()
+    }
+
     /// Point-in-time counters for `/stats`.
     pub fn stats(&self) -> CacheStats {
         let inner = self.inner.lock().expect("cache lock");
@@ -226,6 +367,9 @@ impl SimilarityCache {
             misses: inner.misses,
             evictions: inner.evictions,
             disk_loads: inner.disk_loads,
+            quarantined: self.quarantined.load(Ordering::Relaxed),
+            pending_integrity: inner.pending_integrity.len(),
+            io_errors: self.io_errors.load(Ordering::Relaxed),
         }
     }
 }
@@ -251,6 +395,13 @@ mod tests {
         Arc::new(Similarity::Dense(DenseMatrix::from_vec(rows, 1, vec![1.0; rows])))
     }
 
+    fn temp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("graphalign-cache-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
     #[test]
     fn memory_hit_after_insert() {
         let c = SimilarityCache::new(1 << 20, None).unwrap();
@@ -262,6 +413,7 @@ mod tests {
         assert!(bytes > 0);
         let s = c.stats();
         assert_eq!((s.hits, s.misses, s.entries), (1, 1, 1));
+        assert!(c.integrity_ok());
     }
 
     #[test]
@@ -282,8 +434,7 @@ mod tests {
 
     #[test]
     fn disk_round_trip_survives_eviction() {
-        let dir = std::env::temp_dir().join(format!("graphalign-cache-{}", std::process::id()));
-        let _ = std::fs::remove_dir_all(&dir);
+        let dir = temp_dir("roundtrip");
         {
             let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
             c.insert(&key("A"), sim(4));
@@ -293,6 +444,7 @@ mod tests {
         let (got, _) = c.get(&key("A")).expect("disk hit");
         assert_eq!(got.rows(), 4);
         assert_eq!(c.stats().disk_loads, 1);
+        assert_eq!(c.stats().quarantined, 0, "clean entries never quarantine");
         std::fs::remove_dir_all(&dir).ok();
     }
 
@@ -304,5 +456,70 @@ mod tests {
         let mut k = key("A");
         k.variant = "auction";
         assert!(c.get(&k).is_none(), "variant is part of the key");
+    }
+
+    #[test]
+    fn no_stray_tmp_files_after_persist() {
+        let dir = temp_dir("tmpfiles");
+        let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+        c.insert(&key("A"), sim(4));
+        c.insert(&key("A"), sim(4)); // overwrite is atomic too
+        let strays: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .flatten()
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(strays.is_empty(), "persist left temp files: {strays:?}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_entry_is_quarantined_then_restored_by_reinsert() {
+        let dir = temp_dir("quarantine");
+        let name;
+        {
+            let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+            c.insert(&key("A"), sim(4));
+            name = SimilarityCache::file_name(&key("A"));
+        }
+        // Corrupt the persisted entry (flip one payload bit).
+        let path = dir.join(&name);
+        let mut bytes = std::fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x01;
+        std::fs::write(&path, &bytes).unwrap();
+
+        // A fresh cache quarantines it at startup and reports the debt.
+        let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+        assert!(!c.integrity_ok(), "startup scan must flag the corruption");
+        let s = c.stats();
+        assert_eq!((s.quarantined, s.pending_integrity), (1, 1));
+        assert!(!path.exists(), "corrupt entry removed from the live directory");
+        assert!(dir.join("quarantine").join(&name).exists(), "entry preserved for forensics");
+        // The lookup misses (recompute path), never errors.
+        assert!(c.get(&key("A")).is_none());
+        // Recomputing and re-inserting restores integrity.
+        c.insert(&key("A"), sim(4));
+        assert!(c.integrity_ok());
+        assert_eq!(c.stats().pending_integrity, 0);
+        assert!(c.get(&key("A")).is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn truncated_entry_detected_at_read_time() {
+        let dir = temp_dir("truncated");
+        let c = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+        c.insert(&key("A"), sim(8));
+        let name = SimilarityCache::file_name(&key("A"));
+        let path = dir.join(&name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() / 3]).unwrap();
+        // Evicted from memory? No — same cache still holds it in memory, so
+        // use a fresh one (lazy: the startup scan quarantines instead).
+        let fresh = SimilarityCache::new(1 << 20, Some(dir.clone())).unwrap();
+        assert!(fresh.get(&key("A")).is_none());
+        assert_eq!(fresh.stats().quarantined, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

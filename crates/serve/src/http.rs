@@ -6,14 +6,61 @@
 //! The build environment is offline, so no HTTP crate is available; this
 //! deliberately supports only what the protocol uses (no chunked encoding,
 //! no keep-alive, no query strings).
+//!
+//! Reads happen under the socket deadline the connection handler sets, so a
+//! client that opens a connection and trickles bytes (slow loris) gets a
+//! `408` and its thread back instead of parking a handler forever; a body
+//! larger than the configured cap is refused with `413` before it is read.
 
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
 
-/// Upper bound on accepted request bodies (64 MiB): an uploaded edge list
-/// for the largest study graphs fits comfortably, while a stray client
-/// cannot make the server buffer arbitrary amounts.
+/// Default upper bound on accepted request bodies (64 MiB): an uploaded
+/// edge list for the largest study graphs fits comfortably, while a stray
+/// client cannot make the server buffer arbitrary amounts. Overridable via
+/// `ServeConfig::max_body_bytes`.
 pub const MAX_BODY_BYTES: usize = 64 << 20;
+
+/// Why a request could not be read. Maps onto the response status so the
+/// connection handler answers with the right code instead of a blanket 400.
+#[derive(Debug)]
+pub enum RequestError {
+    /// Syntactically broken request (bad request line, bad Content-Length).
+    Malformed(String),
+    /// The socket deadline expired before a full request arrived.
+    TimedOut,
+    /// The declared body exceeds the server's byte cap.
+    TooLarge(String),
+}
+
+impl RequestError {
+    /// The HTTP status this error answers with (`400`, `408`, or `413`).
+    pub fn status(&self) -> u16 {
+        match self {
+            RequestError::Malformed(_) => 400,
+            RequestError::TimedOut => 408,
+            RequestError::TooLarge(_) => 413,
+        }
+    }
+
+    /// Human-readable message for the error body.
+    pub fn message(&self) -> String {
+        match self {
+            RequestError::Malformed(m) | RequestError::TooLarge(m) => m.clone(),
+            RequestError::TimedOut => {
+                "request read deadline expired before a full request arrived".to_string()
+            }
+        }
+    }
+}
+
+fn io_error(context: &str, e: &std::io::Error) -> RequestError {
+    match e.kind() {
+        // Both kinds occur for an expired SO_RCVTIMEO depending on platform.
+        std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => RequestError::TimedOut,
+        _ => RequestError::Malformed(format!("{context}: {e}")),
+    }
+}
 
 /// A parsed request: method, path, and raw body bytes.
 #[derive(Debug)]
@@ -33,55 +80,80 @@ impl Request {
     }
 }
 
-/// Reads one request from `stream`. Returns `Err` with a human-readable
-/// message on malformed input (the caller answers with a 400).
-pub fn read_request(stream: &mut TcpStream) -> Result<Request, String> {
+/// Reads one request from `stream`, refusing bodies above `max_body` bytes.
+/// Assumes the caller has already armed the socket read deadline; an
+/// expired deadline surfaces as [`RequestError::TimedOut`] (a `408`).
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, RequestError> {
     let mut reader = BufReader::new(stream);
     let mut line = String::new();
-    reader.read_line(&mut line).map_err(|e| format!("read request line: {e}"))?;
+    reader.read_line(&mut line).map_err(|e| io_error("read request line", &e))?;
     let mut parts = line.split_whitespace();
-    let method = parts.next().ok_or("empty request line")?.to_string();
-    let path = parts.next().ok_or("request line has no path")?.to_string();
+    let method = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("empty request line".to_string()))?
+        .to_string();
+    let path = parts
+        .next()
+        .ok_or_else(|| RequestError::Malformed("request line has no path".to_string()))?
+        .to_string();
     let mut content_length = 0usize;
     loop {
         let mut header = String::new();
-        let n = reader.read_line(&mut header).map_err(|e| format!("read header: {e}"))?;
+        let n = reader.read_line(&mut header).map_err(|e| io_error("read header", &e))?;
         let header = header.trim_end();
         if n == 0 || header.is_empty() {
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
             if name.eq_ignore_ascii_case("content-length") {
-                content_length = value
-                    .trim()
-                    .parse()
-                    .map_err(|_| format!("bad Content-Length {:?}", value.trim()))?;
+                content_length = value.trim().parse().map_err(|_| {
+                    RequestError::Malformed(format!("bad Content-Length {:?}", value.trim()))
+                })?;
             }
         }
     }
-    if content_length > MAX_BODY_BYTES {
-        return Err(format!("body of {content_length} bytes exceeds the {MAX_BODY_BYTES} limit"));
+    if content_length > max_body {
+        return Err(RequestError::TooLarge(format!(
+            "body of {content_length} bytes exceeds the {max_body} byte limit"
+        )));
     }
     let mut body = vec![0u8; content_length];
-    reader.read_exact(&mut body).map_err(|e| format!("read body: {e}"))?;
+    reader.read_exact(&mut body).map_err(|e| io_error("read body", &e))?;
     Ok(Request { method, path, body })
 }
 
-/// Writes a `Connection: close` response with the given status and body.
-pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, body: &[u8]) {
+/// Writes a `Connection: close` response with the given status, extra
+/// headers (e.g. `Retry-After` on a 429), and body.
+pub fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    content_type: &str,
+    extra_headers: &[(&str, String)],
+    body: &[u8],
+) {
     let reason = match status {
         200 => "OK",
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
         409 => "Conflict",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
         503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
-    let head = format!(
-        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+    let mut head = format!(
+        "HTTP/1.1 {status} {reason}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\n",
         body.len()
     );
+    for (name, value) in extra_headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("Connection: close\r\n\r\n");
     // The peer may already have hung up; nothing useful to do about it.
     let _ = stream.write_all(head.as_bytes()).and_then(|()| stream.write_all(body));
     let _ = stream.flush();
@@ -92,6 +164,8 @@ pub fn write_response(stream: &mut TcpStream, status: u16, content_type: &str, b
 pub struct Response {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in arrival order, names lowercased.
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: String,
 }
@@ -102,6 +176,12 @@ impl Response {
     pub fn json(&self) -> graphalign_json::Json {
         graphalign_json::from_str(&self.body)
             .unwrap_or_else(|e| panic!("malformed response body {:?}: {e:?}", self.body))
+    }
+
+    /// The first header with the given name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers.iter().find(|(n, _)| *n == name).map(|(_, v)| v.as_str())
     }
 }
 
@@ -123,6 +203,7 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Resp
         .nth(1)
         .and_then(|s| s.parse().ok())
         .ok_or_else(|| format!("bad status line {status_line:?}"))?;
+    let mut headers = Vec::new();
     let mut content_length: Option<usize> = None;
     loop {
         let mut header = String::new();
@@ -132,9 +213,12 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Resp
             break;
         }
         if let Some((name, value)) = header.split_once(':') {
-            if name.eq_ignore_ascii_case("content-length") {
-                content_length = value.trim().parse().ok();
+            let name = name.to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().ok();
             }
+            headers.push((name, value));
         }
     }
     let mut body = Vec::new();
@@ -149,5 +233,5 @@ pub fn request(addr: &str, method: &str, path: &str, body: &[u8]) -> Result<Resp
     }
     let body =
         String::from_utf8(body).map_err(|_| "response body is not valid UTF-8".to_string())?;
-    Ok(Response { status, body })
+    Ok(Response { status, headers, body })
 }

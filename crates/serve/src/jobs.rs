@@ -8,15 +8,30 @@
 //! including the `cache_hits`/`cache_misses`/`cache_bytes` counters — in
 //! the job's result. Results are bit-identical between cold and warm runs
 //! and across worker-thread counts, per the workspace determinism contract.
+//!
+//! # Failure isolation
+//!
+//! Every attempt runs under `catch_unwind` — the same isolation the
+//! experiment harness applies per repetition — so a panicking algorithm
+//! produces a classified job failure, never a dead worker thread. Failures
+//! carry the harness's [`CellError`] taxonomy in the `error_class` field:
+//! `panic`, `timeout`, `numeric`, `infeasible`. Numeric failures retry with
+//! exponential backoff up to the server's `job_retries` bound; retry
+//! attempts bypass the similarity cache so a fresh computation (not a
+//! possibly-poisoned cached value) gets the final word. Panics, timeouts,
+//! cancellations, and bad instances never retry.
 
 use crate::cache::CacheKey;
 use crate::ServerState;
+use graphalign::AlignError;
 use graphalign_assignment::AssignmentMethod;
+use graphalign_bench::harness::CellError;
 use graphalign_bench::telemetry::CellTelemetry;
 use graphalign_json::{Json, ToJson};
 use graphalign_par::budget::BudgetState;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A submitted alignment query.
 #[derive(Debug, Clone)]
@@ -43,7 +58,7 @@ pub enum JobStatus {
     Running,
     /// Finished with a mapping.
     Done,
-    /// Failed (bad instance, numerical failure).
+    /// Failed (panic, numerical failure, bad instance).
     Error,
     /// The per-request deadline expired mid-run.
     TimedOut,
@@ -70,11 +85,19 @@ struct Job {
     status: JobStatus,
     mapping: Option<Vec<usize>>,
     error: Option<String>,
+    /// [`CellError`] taxonomy string when `error` is set.
+    error_class: Option<&'static str>,
+    /// Attempts performed (1 for a clean run; >1 after numeric retries).
+    attempts: u32,
     telemetry: Option<Json>,
     /// Set while running so the cancel endpoint can reach the worker's
     /// budget from a connection-handler thread.
     budget: Option<Arc<BudgetState>>,
     cancel_requested: bool,
+    /// Working-set estimate reserved against the admission budget.
+    est_bytes: u64,
+    /// Submission time; terminal-state latency feeds `Retry-After`.
+    enqueued: Instant,
 }
 
 /// Thread-safe table of all jobs this server instance has accepted.
@@ -85,17 +108,23 @@ pub struct JobTable {
 }
 
 impl JobTable {
-    /// Registers a new queued job, returning its id.
-    pub fn create(&self, request: JobRequest) -> usize {
+    /// Registers a new queued job, returning its id. `est_bytes` is the
+    /// working-set estimate already reserved by admission control; it is
+    /// returned to the budget when the job reaches a terminal state.
+    pub fn create(&self, request: JobRequest, est_bytes: u64) -> usize {
         let mut jobs = self.jobs.lock().expect("job table lock");
         jobs.push(Job {
             request,
             status: JobStatus::Queued,
             mapping: None,
             error: None,
+            error_class: None,
+            attempts: 0,
             telemetry: None,
             budget: None,
             cancel_requested: false,
+            est_bytes,
+            enqueued: Instant::now(),
         });
         jobs.len() - 1
     }
@@ -117,6 +146,9 @@ impl JobTable {
             ("algorithm".to_string(), Json::Str(job.request.algorithm.clone())),
             ("assignment".to_string(), Json::Str(job.request.method.label().to_string())),
         ];
+        if job.attempts > 0 {
+            members.push(("attempts".to_string(), Json::Num(job.attempts as f64)));
+        }
         if let Some(mapping) = &job.mapping {
             members.push((
                 "mapping".to_string(),
@@ -125,6 +157,9 @@ impl JobTable {
         }
         if let Some(err) = &job.error {
             members.push(("error".to_string(), Json::Str(err.clone())));
+        }
+        if let Some(class) = job.error_class {
+            members.push(("error_class".to_string(), Json::Str(class.to_string())));
         }
         if let Some(t) = &job.telemetry {
             members.push(("telemetry".to_string(), t.clone()));
@@ -164,9 +199,36 @@ impl JobTable {
     }
 }
 
+/// Estimated working-set bytes of a validated job: the dense similarity
+/// matrix (`|V_s| × |V_t| × 8`) dominates every algorithm's footprint, so
+/// it is the admission-control unit. Unknown graphs (validated away before
+/// this is called) count as zero.
+pub fn estimate_bytes(state: &ServerState, request: &JobRequest) -> u64 {
+    match (state.graphs.get(&request.source), state.graphs.get(&request.target)) {
+        (Some(s), Some(t)) => (s.node_count() as u64) * (t.node_count() as u64) * 8,
+        _ => 0,
+    }
+}
+
+/// How one attempt ended, before retry policy is applied.
+enum AttemptOutcome {
+    Mapping(Vec<usize>),
+    /// A classified failure: taxonomy class + human-readable message.
+    Failed(CellError, String),
+}
+
 /// Executes job `id` on the calling worker thread: cache lookup, similarity
-/// computation on miss, assignment, telemetry capture, result recording.
+/// computation on miss, assignment, telemetry capture, retry policy, result
+/// recording. Always returns the job's admission reservation and records
+/// its queue-to-terminal latency, whatever the outcome.
 pub fn execute(state: &ServerState, id: usize) {
+    run(state, id);
+    let (est_bytes, latency) =
+        state.jobs.with_job(id, |job| (job.est_bytes, job.enqueued.elapsed()));
+    state.finish_job(est_bytes, latency);
+}
+
+fn run(state: &ServerState, id: usize) {
     let (request, cancelled) = state.jobs.with_job(id, |job| {
         if job.cancel_requested {
             job.status = JobStatus::Cancelled;
@@ -189,78 +251,172 @@ pub fn execute(state: &ServerState, id: usize) {
         state.jobs.with_job(id, |job| {
             job.status = JobStatus::Error;
             job.error = Some("registered graph disappeared".to_string());
+            job.error_class = Some(CellError::Infeasible.as_str());
         });
         return;
     };
-    let Some(aligner) = graphalign::registry()
+    if !graphalign::registry()
         .into_iter()
-        .find(|a| a.name().eq_ignore_ascii_case(&request.algorithm))
-    else {
+        .any(|a| a.name().eq_ignore_ascii_case(&request.algorithm))
+    {
         state.jobs.with_job(id, |job| {
             job.status = JobStatus::Error;
             job.error = Some(format!("unknown algorithm {:?}", request.algorithm));
+            job.error_class = Some(CellError::Infeasible.as_str());
         });
         return;
-    };
+    }
 
-    // Per-job telemetry sink and cooperative budget. The budget is armed
-    // with the request deadline (or cancel-only when none), and published in
-    // the table so `POST /jobs/<id>/cancel` can trip it cross-thread.
+    let max_attempts = 1 + state.job_retries();
+    let mut attempt = 0u32;
+    loop {
+        attempt += 1;
+        let (outcome, telemetry) = attempt_once(state, id, &request, &source, &target, attempt);
+        state.jobs.with_job(id, |job| {
+            job.attempts = attempt;
+            job.telemetry = Some(telemetry.clone());
+        });
+        match outcome {
+            AttemptOutcome::Mapping(mapping) => {
+                state.jobs.with_job(id, |job| {
+                    job.status = JobStatus::Done;
+                    job.mapping = Some(mapping);
+                    job.error = None;
+                    job.error_class = None;
+                });
+                return;
+            }
+            AttemptOutcome::Failed(class, message) => {
+                let cancel_requested = state.jobs.with_job(id, |job| job.cancel_requested);
+                let retryable =
+                    class == CellError::Numeric && attempt < max_attempts && !cancel_requested;
+                if retryable {
+                    // Exponential backoff before the fresh (cache-bypassing)
+                    // attempt: 10 ms, 20 ms, 40 ms, ... capped at 200 ms so
+                    // a doomed job still fails promptly.
+                    state.counters.retries.fetch_add(1, Ordering::Relaxed);
+                    let backoff_ms = (10u64 << (attempt - 1)).min(200);
+                    std::thread::sleep(Duration::from_millis(backoff_ms));
+                    continue;
+                }
+                state.jobs.with_job(id, |job| {
+                    job.status = match class {
+                        CellError::Timeout if job.cancel_requested => JobStatus::Cancelled,
+                        CellError::Timeout => JobStatus::TimedOut,
+                        _ => JobStatus::Error,
+                    };
+                    job.error = Some(message);
+                    job.error_class = Some(class.as_str());
+                });
+                return;
+            }
+        }
+    }
+}
+
+/// One isolated attempt: telemetry sink + cooperative budget + fault site +
+/// cache consultation + similarity + assignment, all under `catch_unwind`.
+/// Attempts after the first bypass the cache read (fresh computation wins).
+fn attempt_once(
+    state: &ServerState,
+    id: usize,
+    request: &JobRequest,
+    source: &Arc<graphalign_graph::Graph>,
+    target: &Arc<graphalign_graph::Graph>,
+    attempt: u32,
+) -> (AttemptOutcome, Json) {
+    // Resolve the aligner inside the attempt so the `dyn Aligner` borrow
+    // never crosses the unwind boundary.
+    let aligner = graphalign::registry()
+        .into_iter()
+        .find(|a| a.name().eq_ignore_ascii_case(&request.algorithm))
+        .expect("algorithm validated at submission");
+
+    // Per-attempt telemetry sink and cooperative budget. The budget is
+    // armed with the request deadline (or cancel-only when none), and
+    // published in the table so `POST /jobs/<id>/cancel` can trip it
+    // cross-thread. The guards live *outside* catch_unwind: a panic inside
+    // still restores the previous sink/budget and the telemetry drains.
     let _telemetry = graphalign_par::telemetry::install(false);
     let _budget = graphalign_par::budget::install(request.timeout);
     state.jobs.with_job(id, |job| job.budget = graphalign_par::budget::current());
 
-    let variant = if request.method == AssignmentMethod::Auction { "auction" } else { "generic" };
-    let key = CacheKey {
-        source: source.content_digest(),
-        target: target.content_digest(),
-        algorithm: aligner.name().to_string(),
-        params: "default".to_string(),
-        variant,
-    };
-    let sim = match state.cache.get(&key) {
-        Some((sim, bytes)) => {
-            // The warm path: the embedding/similarity phase is skipped
-            // entirely; the response telemetry proves it (cache_hits = 1,
-            // no "similarity" phase span).
-            graphalign_par::telemetry::count_cache_hit(bytes);
-            Ok(sim)
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        // The serve-layer chaos site: a panic here exercises worker
+        // isolation, a stall the cooperative deadline, and a simulated
+        // numerical failure the retry-with-backoff policy.
+        let site = format!("serve:worker:{}", aligner.name());
+        graphalign_par::fault::maybe_inject(&site);
+        if graphalign_par::fault::active(&site) == Some(graphalign_par::fault::FaultKind::Numeric) {
+            return Err(AlignError::Numerical(graphalign_linalg::LinalgError::NoConvergence {
+                routine: "injected-fault",
+                iterations: 0,
+            }));
         }
-        None => {
-            state.cache.note_miss();
-            graphalign_par::telemetry::count_cache_miss();
-            graphalign::precompute_similarity(&*aligner, &source, &target, request.method).map(
-                |sim| {
-                    let sim = Arc::new(sim);
-                    state.cache.insert(&key, Arc::clone(&sim));
-                    sim
-                },
+
+        let variant =
+            if request.method == AssignmentMethod::Auction { "auction" } else { "generic" };
+        let key = CacheKey {
+            source: source.content_digest(),
+            target: target.content_digest(),
+            algorithm: aligner.name().to_string(),
+            params: "default".to_string(),
+            variant,
+        };
+        let cached = if attempt == 1 { state.cache.get(&key) } else { None };
+        let sim = match cached {
+            Some((sim, bytes)) => {
+                // The warm path: the embedding/similarity phase is skipped
+                // entirely; the response telemetry proves it (cache_hits =
+                // 1, no "similarity" phase span).
+                graphalign_par::telemetry::count_cache_hit(bytes);
+                Ok(sim)
+            }
+            None => {
+                state.cache.note_miss();
+                graphalign_par::telemetry::count_cache_miss();
+                graphalign::precompute_similarity(&*aligner, source, target, request.method).map(
+                    |sim| {
+                        let sim = Arc::new(sim);
+                        state.cache.insert(&key, Arc::clone(&sim));
+                        sim
+                    },
+                )
+            }
+        };
+        sim.map(|sim| graphalign::assign_precomputed(&sim, request.method))
+    }));
+    state.jobs.with_job(id, |job| job.budget = None);
+    let rep = graphalign_par::telemetry::drain();
+    let telemetry = CellTelemetry::aggregate(&[rep]).to_json();
+
+    let outcome = match caught {
+        Ok(Ok(mapping)) => AttemptOutcome::Mapping(mapping),
+        Ok(Err(e)) => AttemptOutcome::Failed(classify(&e), e.to_string()),
+        Err(payload) => {
+            state.counters.panics_contained.fetch_add(1, Ordering::Relaxed);
+            AttemptOutcome::Failed(
+                CellError::Panic,
+                format!(
+                    "{} panicked: {}",
+                    aligner.name(),
+                    graphalign_par::panic_message(payload.as_ref())
+                ),
             )
         }
     };
-    let outcome = sim.map(|sim| graphalign::assign_precomputed(&sim, request.method));
-    let rep = graphalign_par::telemetry::drain();
-    let telemetry = CellTelemetry::aggregate(&[rep]).to_json();
-    state.jobs.with_job(id, |job| {
-        job.budget = None;
-        job.telemetry = Some(telemetry);
-        match outcome {
-            Ok(mapping) => {
-                job.status = JobStatus::Done;
-                job.mapping = Some(mapping);
-            }
-            Err(e) => {
-                job.status = if !e.is_interrupted() {
-                    JobStatus::Error
-                } else if job.cancel_requested {
-                    JobStatus::Cancelled
-                } else {
-                    JobStatus::TimedOut
-                };
-                job.error = Some(e.to_string());
-            }
-        }
-    });
+    (outcome, telemetry)
+}
+
+/// Maps an [`AlignError`] onto the harness failure taxonomy — the same
+/// mapping `RepFailure::from_align_error` applies in the experiment
+/// harness, so serve responses and sweep result JSON agree on classes.
+fn classify(e: &AlignError) -> CellError {
+    match e {
+        AlignError::Interrupted { .. } => CellError::Timeout,
+        AlignError::BadInstance(_) => CellError::Infeasible,
+        AlignError::Numerical(_) => CellError::Numeric,
+    }
 }
 
 /// Parses the `POST /jobs` body. Validation errors become 400 responses.

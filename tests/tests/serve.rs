@@ -151,6 +151,46 @@ fn bad_requests_get_400s_and_unknown_jobs_404() {
 }
 
 #[test]
+fn healthz_is_ready_and_clean_jobs_carry_no_error_metadata() {
+    let server = start(ServeConfig::default()).expect("start");
+    let addr = server.addr().to_string();
+
+    let health = http::request(&addr, "GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200, "{}", health.body);
+    let body = health.json();
+    assert_eq!(body.get("status").and_then(Json::as_str), Some("ready"));
+    assert_eq!(body.get("cache_integrity_ok").and_then(Json::as_bool), Some(true));
+
+    let (source, target) = test_pair();
+    let src = upload(&addr, &source);
+    let tgt = upload(&addr, &target);
+    let done = wait_done(&addr, submit(&addr, &src, &tgt, "REGAL", "nn"));
+    // A first-try success is reported without retry or failure metadata.
+    assert_eq!(
+        done.get("attempts").and_then(Json::as_f64),
+        Some(1.0),
+        "clean job must succeed on its single attempt"
+    );
+    assert!(done.get("error_class").is_none(), "clean job must not carry an error class");
+
+    let health = http::request(&addr, "GET", "/healthz", b"").expect("healthz");
+    assert_eq!(health.status, 200, "still ready after serving work: {}", health.body);
+
+    let stats = http::request(&addr, "GET", "/stats", b"").expect("stats").json();
+    let resilience = stats.get("resilience").expect("resilience block");
+    for counter in ["retries", "panics_contained", "rejected_429"] {
+        assert_eq!(
+            resilience.get(counter).and_then(Json::as_f64),
+            Some(0.0),
+            "{counter} must stay zero on a clean run"
+        );
+    }
+
+    server.shutdown();
+    server.wait();
+}
+
+#[test]
 fn a_tiny_timeout_reports_timeout_not_success() {
     let server = start(ServeConfig::default()).expect("start");
     let addr = server.addr().to_string();
