@@ -141,7 +141,9 @@ impl Gwl {
                 // GW gradient cost: c − 2 C_A T C_Bᵀ, plus the embedding
                 // coupling α‖x_i − y_j‖².
                 ca.mul_dense_into(&t, &mut cat); // n_A × n_B
-                cat.mul_csr_tr_into(&cb, &mut catc); // C_A T C_Bᵀ (C_B symmetric)
+                                                 // C_A T C_Bᵀ (C_B symmetric); form-selecting kernel, same
+                                                 // size cutoff as the IsoRank loop, bit-identical either way.
+                cat.mul_csr_tr_into_auto(&cb, &mut catc, &mut ws);
                 constant.add_scaled_into(-2.0, &catc, &mut cost);
                 if self.alpha > 0.0 {
                     let (xa_ref, xb_ref, alpha) = (&xa, &xb, self.alpha);

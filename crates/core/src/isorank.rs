@@ -18,7 +18,7 @@ use crate::prior::{degree_prior, uniform_prior};
 use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
-use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, Similarity, Workspace};
 use graphalign_par::telemetry::{self, Convergence};
 
 /// Which prior similarity matrix `E` to blend in.
@@ -79,15 +79,19 @@ impl Aligner for IsoRank {
         // Column-normalized adjacencies: A·D_A⁻¹ = (D_A⁻¹·A)ᵀ.
         let pa: CsrMatrix = spectral::row_normalized_adjacency(source).transpose();
         let pb: CsrMatrix = spectral::row_normalized_adjacency(target);
-        // (D_B⁻¹B)ᵀ, transposed once here instead of once per iteration; the
-        // fused `mul_csr_tr` kernel right-multiplies by its transpose, so the
-        // two dense transposes the loop used to take per iteration are gone.
+        // (D_B⁻¹B)ᵀ, transposed once here instead of once per iteration. The
+        // right-multiplication below picks its formulation by size: gather
+        // over this hoisted transpose at large n, the row-axpy form (which
+        // pays two L2-resident dense transposes per iteration but streams
+        // SIMD axpys) below the measured crossover — bit-identical either
+        // way, so the cutoff never shows in the similarity.
         let pbt = pb.transpose();
         let e = self.prior_matrix(source, target);
         let mut r = e.clone();
         let (rows, cols) = e.shape();
         let mut left = DenseMatrix::zeros(rows, cols);
         let mut next = DenseMatrix::zeros(rows, cols);
+        let mut ws = Workspace::new();
         let mut iterations = 0;
         let mut last_delta = 0.0;
         let mut hit_tol = false;
@@ -96,10 +100,10 @@ impl Aligner for IsoRank {
             iterations = it + 1;
             // R_next = α · P_Aᵀ-side · R · P_B-side + (1 − α) E
             // pa is already A·D_A⁻¹; multiply left; then right by D_B⁻¹·B,
-            // i.e. R · pbtᵀ, via the fused dense·CSRᵀ kernel. Both products
-            // land in buffers reused across iterations.
+            // i.e. R · pbtᵀ, via the form-selecting dense·CSRᵀ kernel. Both
+            // products land in buffers reused across iterations.
             pa.mul_dense_into(&r, &mut left);
-            left.mul_csr_tr_into(&pbt, &mut next);
+            left.mul_csr_tr_into_auto(&pbt, &mut next, &mut ws);
             next.scale_inplace(self.alpha);
             next.add_scaled(1.0 - self.alpha, &e);
             // Normalize total mass to 1 for numerical stability (scaling does
@@ -203,6 +207,59 @@ mod tests {
             without += accuracy(&a2, &inst.ground_truth);
         }
         assert!(with_prior >= without, "degree prior should help: {with_prior} vs {without}");
+    }
+
+    #[test]
+    fn formulation_cutoff_is_invisible_in_mappings() {
+        // At test sizes the production loop sits below the SPMM cutoff and
+        // runs the hoisted row-axpy formulation; replaying the identical
+        // iteration with the plain gather kernel (the above-cutoff form)
+        // must reproduce the similarity bit for bit, so the mapping — a
+        // deterministic function of the similarity — cannot change across
+        // the cutoff. Asserted on both the matrix bits and the extracted
+        // mappings.
+        let inst = permuted_instance(7, 9);
+        let iso = IsoRank::default();
+        let sim = iso.similarity(&inst.source, &inst.target).unwrap().into_dense();
+
+        let pa: CsrMatrix = spectral::row_normalized_adjacency(&inst.source).transpose();
+        let pb: CsrMatrix = spectral::row_normalized_adjacency(&inst.target);
+        let pbt = pb.transpose();
+        let e = degree_prior(&inst.source, &inst.target);
+        let mut r = e.clone();
+        let (rows, cols) = e.shape();
+        let mut left = DenseMatrix::zeros(rows, cols);
+        let mut next = DenseMatrix::zeros(rows, cols);
+        for _ in 0..iso.max_iter {
+            pa.mul_dense_into(&r, &mut left);
+            left.mul_csr_tr_into(&pbt, &mut next);
+            next.scale_inplace(iso.alpha);
+            next.add_scaled(1.0 - iso.alpha, &e);
+            let total = next.sum();
+            if total > 0.0 {
+                next.scale_inplace(1.0 / total);
+            }
+            let delta = {
+                let (a, b) = (next.as_slice(), r.as_slice());
+                graphalign_par::sum_indexed(a.len(), 1, |i| (a[i] - b[i]).abs())
+            };
+            std::mem::swap(&mut r, &mut next);
+            if delta < iso.tol {
+                break;
+            }
+        }
+        let (a, b) = (sim.as_slice(), r.as_slice());
+        assert!(
+            a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "gather-form replay diverged bitwise from the production similarity"
+        );
+        let m1 = graphalign_assignment::assign(
+            &Similarity::Dense(sim),
+            AssignmentMethod::JonkerVolgenant,
+        );
+        let m2 =
+            graphalign_assignment::assign(&Similarity::Dense(r), AssignmentMethod::JonkerVolgenant);
+        assert_eq!(m1, m2, "mappings changed across the SPMM formulation cutoff");
     }
 
     #[test]

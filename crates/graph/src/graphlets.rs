@@ -25,6 +25,7 @@
 //! | clique K₄ | 14 |
 
 use crate::graph::Graph;
+use graphalign_par::telemetry;
 
 /// Number of node orbits over graphlets with 2–4 nodes.
 pub const ORBIT_COUNT: usize = 15;
@@ -70,27 +71,32 @@ impl GraphletDegrees {
 /// of connected induced subgraphs on ≤ 4 nodes (roughly `O(n · Δ³)` on
 /// graphs of maximum degree Δ), which is what makes GRAAL the preprocessing-
 /// heavy method of the study.
+///
+/// The enumeration is *bit-parallel*: per root, the candidate universe
+/// (nodes `> root` within three hops through `> root` nodes — exactly the
+/// nodes ESU can ever reach from that root) is given local indices, the
+/// expandable candidates get bitset adjacency rows over that universe, and
+/// the ESU frontier/coverage sets become word-wide `OR`/`ANDNOT` operations
+/// instead of per-neighbor `contains`/`has_edge` scans. All scratch is
+/// reused from root to root (no per-subgraph `Vec` allocations); each
+/// reuse that avoided fresh heap allocations is counted through
+/// [`telemetry::count_alloc_saved`]. Orbit counters are exact `u64`s, so
+/// the enumeration order is irrelevant and per-worker tables sum to a
+/// result that is a pure function of the graph at any thread count.
 pub fn graphlet_degrees(g: &Graph) -> GraphletDegrees {
     let n = g.node_count();
-    // ESU over roots in round-robin strides: orbit counters are u64, so
-    // summing per-worker count tables is exact and thread-count independent.
-    // The per-root cost estimate (average degree cubed) steers the
-    // parallel/inline decision.
+    // ESU over roots in round-robin strides. The per-root cost estimate
+    // (average degree cubed) steers the parallel/inline decision.
     let avg_deg = if n > 0 { (2 * g.edge_count()).div_ceil(n) } else { 0 };
     let cost = avg_deg.max(1).saturating_pow(3);
     let partials = graphalign_par::fold_strided(n, cost, |start, step| {
         let mut counts = vec![[0u64; ORBIT_COUNT]; n];
-        let mut sub = Vec::with_capacity(4);
+        let mut scratch = EsuScratch::new(n);
         let mut v = start;
         while v < n {
             // Orbit 0 is the degree; handle it directly.
             counts[v][0] = g.degree(v) as u64;
-            // ESU: enumerate each connected induced subgraph on 3..=4 nodes
-            // exactly once, rooted at its minimum-index node.
-            let ext: Vec<usize> = g.neighbors(v).iter().copied().filter(|&u| u > v).collect();
-            sub.push(v);
-            extend(g, &mut sub, &ext, v, &mut counts);
-            sub.pop();
+            enumerate_root(g, v, &mut scratch, &mut counts);
             v += step;
         }
         counts
@@ -107,78 +113,233 @@ pub fn graphlet_degrees(g: &Graph) -> GraphletDegrees {
     GraphletDegrees { counts }
 }
 
-/// ESU recursion: `sub` is the current connected subgraph, `ext` the
-/// exclusive extension set, `root` the minimum-index node.
-fn extend(
-    g: &Graph,
-    sub: &mut Vec<usize>,
-    ext: &[usize],
-    root: usize,
-    counts: &mut [[u64; ORBIT_COUNT]],
-) {
-    if sub.len() >= 3 {
-        classify(g, sub, counts);
-    }
-    if sub.len() == 4 {
-        return;
-    }
-    for (i, &w) in ext.iter().enumerate() {
-        // Extension set for the recursive call: remaining candidates plus the
-        // *exclusive* neighborhood of w (neighbors of w, greater than root,
-        // not adjacent to or contained in the current subgraph).
-        let mut next_ext: Vec<usize> = ext[i + 1..].to_vec();
-        for &u in g.neighbors(w) {
-            if u <= root || sub.contains(&u) {
-                continue;
-            }
-            // Exclusive: u must not be a neighbor of any node already in sub
-            // (otherwise it is reachable from an earlier branch).
-            if sub.iter().any(|&s| g.has_edge(s, u)) {
-                continue;
-            }
-            if !next_ext.contains(&u) {
-                next_ext.push(u);
-            }
+/// Per-worker scratch for the bit-parallel ESU enumeration. Every buffer is
+/// reused across roots (growing monotonically), replacing the per-subgraph
+/// `Vec` filter/collect allocations of the former scalar enumerator.
+struct EsuScratch {
+    /// Global → local candidate index, valid where `stamp[v] == epoch`.
+    local_of: Vec<u32>,
+    stamp: Vec<u32>,
+    epoch: u32,
+    /// This root's candidate universe as global ids, in BFS discovery order
+    /// (ascending local index). `depth[l]` is the BFS depth (1..=3).
+    locals: Vec<u32>,
+    depth: Vec<u8>,
+    /// Bitset-row slot of each local (`u32::MAX` for depth-3 locals, which
+    /// ESU never expands), and the flat row storage: `words` u64 per slot.
+    row_slot: Vec<u32>,
+    rows: Vec<u64>,
+    /// The root's own adjacency row over the universe.
+    root_row: Vec<u64>,
+    /// Frontier and coverage bitsets for the three extension levels.
+    ext1: Vec<u64>,
+    ext2: Vec<u64>,
+    ext3: Vec<u64>,
+    cov2: Vec<u64>,
+}
+
+impl EsuScratch {
+    fn new(n: usize) -> Self {
+        Self {
+            local_of: vec![0; n],
+            stamp: vec![0; n],
+            epoch: 0,
+            locals: Vec::new(),
+            depth: Vec::new(),
+            row_slot: Vec::new(),
+            rows: Vec::new(),
+            root_row: Vec::new(),
+            ext1: Vec::new(),
+            ext2: Vec::new(),
+            ext3: Vec::new(),
+            cov2: Vec::new(),
         }
-        sub.push(w);
-        extend(g, sub, &next_ext, root, counts);
-        sub.pop();
     }
 }
 
-/// Classifies the induced subgraph on `sub` (3 or 4 nodes) and increments
-/// the orbit counters of its nodes.
-fn classify(g: &Graph, sub: &[usize], counts: &mut [[u64; ORBIT_COUNT]]) {
-    let k = sub.len();
-    let mut deg = [0usize; 4];
-    let mut edges = 0usize;
-    for i in 0..k {
-        for j in (i + 1)..k {
-            if g.has_edge(sub[i], sub[j]) {
-                deg[i] += 1;
-                deg[j] += 1;
-                edges += 1;
-            }
+#[inline]
+fn test_bit(row: &[u64], i: usize) -> bool {
+    row[i >> 6] >> (i & 63) & 1 != 0
+}
+
+/// Enumerates every connected induced subgraph on 3–4 nodes whose minimum
+/// node is `root`, via ESU with bitset frontiers, and tallies its orbits.
+fn enumerate_root(g: &Graph, root: usize, s: &mut EsuScratch, counts: &mut [[u64; ORBIT_COUNT]]) {
+    // ---- Universe: BFS to depth 3 from `root`, through `> root` nodes
+    // only. ESU candidate chains run inside the current subgraph, whose
+    // non-root members are all `> root`, so this is exactly the reachable
+    // candidate set.
+    s.epoch = s.epoch.wrapping_add(1);
+    if s.epoch == 0 {
+        s.stamp.fill(0);
+        s.epoch = 1;
+    }
+    s.locals.clear();
+    s.depth.clear();
+    for &u in g.neighbors(root) {
+        if u > root {
+            s.stamp[u] = s.epoch;
+            s.local_of[u] = s.locals.len() as u32;
+            s.locals.push(u as u32);
+            s.depth.push(1);
         }
     }
-    if k == 3 {
-        match edges {
-            2 => {
-                // Path P₃: middle has degree 2.
-                for i in 0..3 {
-                    counts[sub[i]][if deg[i] == 2 { 2 } else { 1 }] += 1;
-                }
-            }
-            3 => {
-                for &v in sub {
-                    counts[v][3] += 1;
-                }
-            }
-            _ => unreachable!("ESU yields connected subgraphs only"),
-        }
+    if s.locals.is_empty() {
         return;
     }
-    debug_assert_eq!(k, 4);
+    for d in 2..=3u8 {
+        let frontier = 0..s.locals.len();
+        for li in frontier {
+            if s.depth[li] != d - 1 {
+                continue;
+            }
+            for &u in g.neighbors(s.locals[li] as usize) {
+                if u > root && s.stamp[u] != s.epoch {
+                    s.stamp[u] = s.epoch;
+                    s.local_of[u] = s.locals.len() as u32;
+                    s.locals.push(u as u32);
+                    s.depth.push(d);
+                }
+            }
+        }
+    }
+    let m = s.locals.len();
+    let words = m.div_ceil(64);
+
+    // ---- Adjacency rows for the root and every depth ≤ 2 local (the only
+    // nodes ESU expands; depth-3 members only ever need *their* bit tested
+    // in an expandable node's row). Count the scratch reuse before resizing:
+    // a root whose buffers all fit in existing capacity allocates nothing.
+    let slots = s.depth.iter().filter(|&&d| d <= 2).count();
+    let words_needed = (slots + 1 + 4) * words;
+    if s.rows.capacity() >= words_needed.max(s.rows.len()) && s.row_slot.capacity() >= m {
+        telemetry::count_alloc_saved((words_needed * 8 + m * 4) as u64);
+    }
+    s.row_slot.clear();
+    s.row_slot.resize(m, u32::MAX);
+    s.rows.clear();
+    s.rows.resize(slots * words, 0);
+    let mut next_slot = 0u32;
+    for li in 0..m {
+        if s.depth[li] > 2 {
+            continue;
+        }
+        s.row_slot[li] = next_slot;
+        let row = &mut s.rows[next_slot as usize * words..(next_slot as usize + 1) * words];
+        for &u in g.neighbors(s.locals[li] as usize) {
+            if u > root {
+                debug_assert_eq!(s.stamp[u], s.epoch, "neighbor of a depth ≤ 2 local is in range");
+                let b = s.local_of[u] as usize;
+                row[b >> 6] |= 1 << (b & 63);
+            }
+        }
+        next_slot += 1;
+    }
+    s.root_row.clear();
+    s.root_row.resize(words, 0);
+    for &u in g.neighbors(root) {
+        if u > root {
+            let b = s.local_of[u] as usize;
+            s.root_row[b >> 6] |= 1 << (b & 63);
+        }
+    }
+
+    // ---- ESU. Level-1 frontier is N(root); the level-1 coverage set
+    // (sub ∪ N(sub) for sub = {root}) is N(root) itself, i.e. `root_row`.
+    s.ext1.clear();
+    s.ext1.extend_from_slice(&s.root_row);
+    s.ext2.resize(words, 0);
+    s.ext3.resize(words, 0);
+    s.cov2.resize(words, 0);
+    for w in 0..words {
+        while s.ext1[w] != 0 {
+            let a = (w << 6) + s.ext1[w].trailing_zeros() as usize;
+            // Clear a's bit first: ext1 now holds exactly the not-yet-
+            // processed candidates, which is what the child inherits.
+            s.ext1[w] &= s.ext1[w] - 1;
+            let ra = s.row_slot[a] as usize;
+            let row_a = &s.rows[ra * words..(ra + 1) * words];
+            // sub = {root, a}: child frontier adds a's exclusive neighbors
+            // (not in coverage), coverage grows by {a} ∪ N(a).
+            for (k, &raw) in row_a.iter().enumerate() {
+                s.ext2[k] = s.ext1[k] | (raw & !s.root_row[k]);
+                s.cov2[k] = s.root_row[k] | raw;
+            }
+            s.cov2[a >> 6] |= 1 << (a & 63);
+            for w2 in 0..words {
+                while s.ext2[w2] != 0 {
+                    let b = (w2 << 6) + s.ext2[w2].trailing_zeros() as usize;
+                    s.ext2[w2] &= s.ext2[w2] - 1;
+                    classify3(root, a, b, s, row_a, counts);
+                    let rb = s.row_slot[b] as usize;
+                    let row_b = &s.rows[rb * words..(rb + 1) * words];
+                    for (k, &rbw) in row_b.iter().enumerate() {
+                        s.ext3[k] = s.ext2[k] | (rbw & !s.cov2[k]);
+                    }
+                    for w3 in 0..words {
+                        while s.ext3[w3] != 0 {
+                            let c = (w3 << 6) + s.ext3[w3].trailing_zeros() as usize;
+                            s.ext3[w3] &= s.ext3[w3] - 1;
+                            classify4(root, a, b, c, s, row_a, row_b, counts);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Tallies the orbits of the connected induced subgraph `{root, a, b}`
+/// (locals `a`, `b`; `a ∈ N(root)` by construction).
+#[inline]
+fn classify3(
+    root: usize,
+    a: usize,
+    b: usize,
+    s: &EsuScratch,
+    row_a: &[u64],
+    counts: &mut [[u64; ORBIT_COUNT]],
+) {
+    let (ga, gb) = (s.locals[a] as usize, s.locals[b] as usize);
+    let e_rb = test_bit(&s.root_row, b);
+    let e_ab = test_bit(row_a, b);
+    if e_rb && e_ab {
+        counts[root][3] += 1;
+        counts[ga][3] += 1;
+        counts[gb][3] += 1;
+    } else {
+        // Path P₃: the middle is the common neighbor of the other two.
+        let mid = if e_rb { root } else { ga };
+        for v in [root, ga, gb] {
+            counts[v][if v == mid { 2 } else { 1 }] += 1;
+        }
+    }
+}
+
+/// Tallies the orbits of the connected induced subgraph `{root, a, b, c}`.
+/// Every node pair has at least one endpoint with a bitset row (`root`,
+/// `a`, `b`), so the six edge tests never need the possibly-depth-3 `c`.
+#[inline]
+#[allow(clippy::too_many_arguments)]
+fn classify4(
+    root: usize,
+    a: usize,
+    b: usize,
+    c: usize,
+    s: &EsuScratch,
+    row_a: &[u64],
+    row_b: &[u64],
+    counts: &mut [[u64; ORBIT_COUNT]],
+) {
+    let (ga, gb, gc) = (s.locals[a] as usize, s.locals[b] as usize, s.locals[c] as usize);
+    let e_rb = test_bit(&s.root_row, b) as usize;
+    let e_rc = test_bit(&s.root_row, c) as usize;
+    let e_ab = test_bit(row_a, b) as usize;
+    let e_ac = test_bit(row_a, c) as usize;
+    let e_bc = test_bit(row_b, c) as usize;
+    let edges = 1 + e_rb + e_rc + e_ab + e_ac + e_bc;
+    let deg = [1 + e_rb + e_rc, 1 + e_ab + e_ac, e_rb + e_ab + e_bc, e_rc + e_ac + e_bc];
+    let sub = [root, ga, gb, gc];
     match edges {
         3 => {
             if deg.contains(&3) {
@@ -195,7 +356,7 @@ fn classify(g: &Graph, sub: &[usize], counts: &mut [[u64; ORBIT_COUNT]]) {
         }
         4 => {
             if deg.iter().all(|&d| d == 2) {
-                for &v in sub {
+                for &v in &sub {
                     counts[v][8] += 1;
                 }
             } else {
@@ -218,7 +379,7 @@ fn classify(g: &Graph, sub: &[usize], counts: &mut [[u64; ORBIT_COUNT]]) {
             }
         }
         6 => {
-            for &v in sub {
+            for &v in &sub {
                 counts[v][14] += 1;
             }
         }
@@ -229,6 +390,81 @@ fn classify(g: &Graph, sub: &[usize], counts: &mut [[u64; ORBIT_COUNT]]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// The original scalar classifier over global node ids, retained as the
+    /// reference implementation for the brute-force cross-check.
+    fn classify(g: &Graph, sub: &[usize], counts: &mut [[u64; ORBIT_COUNT]]) {
+        let k = sub.len();
+        let mut deg = [0usize; 4];
+        let mut edges = 0usize;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if g.has_edge(sub[i], sub[j]) {
+                    deg[i] += 1;
+                    deg[j] += 1;
+                    edges += 1;
+                }
+            }
+        }
+        if k == 3 {
+            match edges {
+                2 => {
+                    for i in 0..3 {
+                        counts[sub[i]][if deg[i] == 2 { 2 } else { 1 }] += 1;
+                    }
+                }
+                3 => {
+                    for &v in sub {
+                        counts[v][3] += 1;
+                    }
+                }
+                _ => unreachable!("only connected subgraphs are classified"),
+            }
+            return;
+        }
+        debug_assert_eq!(k, 4);
+        match edges {
+            3 => {
+                if deg.contains(&3) {
+                    for i in 0..4 {
+                        counts[sub[i]][if deg[i] == 3 { 7 } else { 6 }] += 1;
+                    }
+                } else {
+                    for i in 0..4 {
+                        counts[sub[i]][if deg[i] == 1 { 4 } else { 5 }] += 1;
+                    }
+                }
+            }
+            4 => {
+                if deg.iter().all(|&d| d == 2) {
+                    for &v in sub {
+                        counts[v][8] += 1;
+                    }
+                } else {
+                    for i in 0..4 {
+                        let orbit = match deg[i] {
+                            1 => 9,
+                            2 => 10,
+                            3 => 11,
+                            _ => unreachable!("paw degrees are 1, 2, 3"),
+                        };
+                        counts[sub[i]][orbit] += 1;
+                    }
+                }
+            }
+            5 => {
+                for i in 0..4 {
+                    counts[sub[i]][if deg[i] == 2 { 12 } else { 13 }] += 1;
+                }
+            }
+            6 => {
+                for &v in sub {
+                    counts[v][14] += 1;
+                }
+            }
+            _ => unreachable!("connected 4-node subgraphs have 3..=6 edges"),
+        }
+    }
 
     /// Brute-force orbit counting over all 3- and 4-subsets, used as the
     /// reference implementation in tests.

@@ -1,0 +1,74 @@
+//! Spot-timer for the two bit-identical right-SpMM formulations used by the
+//! IsoRank loop: scatter over the CSR rows (`mul_csr`) vs gather over a
+//! hoisted transpose (`mul_csr_tr`). Prints per-call medians across sizes so
+//! the production cutoff can be picked from measurements, not guesses.
+
+use graphalign_linalg::{CsrMatrix, DenseMatrix};
+use std::hint::black_box;
+use std::time::Instant;
+
+fn median_ns<F: FnMut()>(mut f: F) -> u64 {
+    f();
+    let t0 = Instant::now();
+    f();
+    let warm = (t0.elapsed().as_nanos() as u64).max(1);
+    let reps = ((200_000_000 / warm) as usize).clamp(3, 25);
+    let mut samples: Vec<u64> = (0..reps)
+        .map(|_| {
+            let t0 = Instant::now();
+            f();
+            t0.elapsed().as_nanos() as u64
+        })
+        .collect();
+    samples.sort_unstable();
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    for n in [64usize, 128, 256, 320, 384, 448, 512, 1024, 2048] {
+        // Synthetic degree-10 sparse matrix (xorshift column picks), the
+        // IsoRank operand shape without pulling in the generator crates.
+        let mut state = 0x9e3779b97f4a7c15u64 ^ n as u64;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut triplets = Vec::with_capacity(n * 10);
+        for i in 0..n {
+            for _ in 0..10 {
+                triplets.push((i, (rand() % n as u64) as usize, 0.1));
+            }
+        }
+        let a = CsrMatrix::from_triplets(n, n, &triplets);
+        let at = a.transpose();
+        let d = DenseMatrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 101) as f64 / 50.0 - 1.0);
+        let mut out = DenseMatrix::zeros(n, n);
+
+        let scatter = median_ns(|| black_box(&d).mul_csr_into(black_box(&a), &mut out));
+        let gather = median_ns(|| black_box(&d).mul_csr_tr_into(black_box(&at), &mut out));
+        // The hoisted-transpose/axpy form: out = (Aᵀ · Dᵀ)ᵀ with the CSR
+        // transpose hoisted, paying two dense transposes per call but using
+        // the row-axpy CSR·dense kernel.
+        let mut dt = DenseMatrix::zeros(n, n);
+        let mut out_t = DenseMatrix::zeros(n, n);
+        let hoist = median_ns(|| {
+            black_box(&d).transpose_into(&mut dt);
+            at.mul_dense_into(&dt, &mut out_t);
+            out_t.transpose_into(&mut out);
+        });
+        println!(
+            "n={n:>5}  scatter {scatter:>12}   gather {gather:>12}   hoist+axpy {hoist:>12}   \
+             best={}",
+            if hoist <= gather && hoist <= scatter {
+                "hoist"
+            } else if gather <= scatter {
+                "gather"
+            } else {
+                "scatter"
+            }
+        );
+    }
+    black_box(&());
+}

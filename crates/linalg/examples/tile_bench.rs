@@ -1,0 +1,83 @@
+//! Microkernel spot-timer: times 4-row GEMM tile variants over hot and
+//! streaming panels, printing GFLOP/s per variant. Measurement aid for
+//! tuning the register-tiled kernels; not part of any benchmark baseline.
+
+use graphalign_linalg::simd;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The pre-SIMD unroll-by-2 microkernel, kept here as the comparison
+/// reference for tuning runs.
+fn old_tile4(a: [&[f64]; 4], panel: &[f64], nc: usize, rows: &mut [Vec<f64>]) {
+    let kc = a[0].len();
+    let (q0, rest) = rows.split_at_mut(1);
+    let (q1, rest) = rest.split_at_mut(1);
+    let (q2, q3) = rest.split_at_mut(1);
+    let o0 = &mut q0[0][..nc];
+    let o1 = &mut q1[0][..nc];
+    let o2 = &mut q2[0][..nc];
+    let o3 = &mut q3[0][..nc];
+    let mut l = 0;
+    while l + 2 <= kc {
+        let (b0, b1) = panel[l * nc..(l + 2) * nc].split_at(nc);
+        let (a00, a01) = (a[0][l], a[0][l + 1]);
+        let (a10, a11) = (a[1][l], a[1][l + 1]);
+        let (a20, a21) = (a[2][l], a[2][l + 1]);
+        let (a30, a31) = (a[3][l], a[3][l + 1]);
+        for j in 0..nc {
+            let (x0, x1) = (b0[j], b1[j]);
+            o0[j] = o0[j] + a00 * x0 + a01 * x1;
+            o1[j] = o1[j] + a10 * x0 + a11 * x1;
+            o2[j] = o2[j] + a20 * x0 + a21 * x1;
+            o3[j] = o3[j] + a30 * x0 + a31 * x1;
+        }
+        l += 2;
+    }
+}
+
+fn main() {
+    let kc = 256usize;
+    let nc = 128usize;
+    // 16 panels = 4 MB: rotating over them defeats L2 residency, which is
+    // the streaming pattern gemm_core sees at n = 1024.
+    let npanels = 16usize;
+    let panels: Vec<Vec<f64>> = (0..npanels)
+        .map(|p| (0..kc * nc).map(|t| (((t + p * 37) * 7 % 13) as f64 - 6.0) / 3.0).collect())
+        .collect();
+    let segs: Vec<Vec<f64>> =
+        (0..4).map(|r| (0..kc).map(|l| ((r * kc + l) as f64 * 0.37).sin()).collect()).collect();
+    let mut rows: Vec<Vec<f64>> = (0..4).map(|_| vec![0.0; nc]).collect();
+
+    let iters = 20_000usize;
+    let flops = (4 * 2 * kc * nc * iters) as f64;
+
+    for streaming in [false, true] {
+        let rot = if streaming { npanels } else { 1 };
+        for label in ["avx2", "scalar", "old"] {
+            simd::set_force_scalar(label == "scalar");
+            let t0 = Instant::now();
+            for it in 0..iters {
+                let panel = black_box(&panels[it % rot]);
+                if label == "old" {
+                    old_tile4([&segs[0], &segs[1], &segs[2], &segs[3]], panel, nc, &mut rows);
+                } else {
+                    let [r0, r1, r2, r3] = &mut rows[..] else { unreachable!() };
+                    simd::gemm_tile4(
+                        [&segs[0], &segs[1], &segs[2], &segs[3]],
+                        panel,
+                        nc,
+                        r0,
+                        r1,
+                        r2,
+                        r3,
+                    );
+                }
+            }
+            let dt = t0.elapsed().as_secs_f64();
+            let kind = if streaming { "stream" } else { "hot" };
+            println!("tile4 {label:>7} [{kind:>6}]: {:7.2} GFLOP/s", flops / dt / 1e9);
+        }
+    }
+    simd::set_force_scalar(false);
+    black_box(&rows);
+}

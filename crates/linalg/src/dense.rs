@@ -8,6 +8,7 @@
 //! chunking is deterministic, so results are identical for any thread count
 //! and for the sequential `--no-default-features` build.
 
+use crate::simd;
 use crate::vec_ops;
 use crate::workspace::Workspace;
 use graphalign_par as par;
@@ -16,14 +17,9 @@ use graphalign_par as par;
 /// `GEMM_KC` rows of the right-hand side.
 const GEMM_KC: usize = 256;
 /// Column width of one packed panel: `GEMM_KC × GEMM_NC` f64 ≈ 256 KB,
-/// sized so a panel stays L2-resident while every row of a row block
-/// streams over it, and an `nc`-wide output segment stays in L1.
+/// sized so a panel stays L2-resident while every output row streams over
+/// it, and an `nc`-wide output segment stays in L1.
 const GEMM_NC: usize = 128;
-/// Row-chunk height of the blocked product: panels are reused across
-/// `GEMM_MC` output rows before the next panel is touched, so one panel
-/// (`GEMM_KC × GEMM_NC` ≈ 256 KB) plus the chunk's lhs sub-block
-/// (`GEMM_MC × GEMM_KC` ≈ 512 KB) and output sub-stripe stay L2-resident.
-const GEMM_MC: usize = 256;
 /// Multiply-add count below which the plain triple loop beats packing.
 const GEMM_SMALL: usize = 1 << 15;
 
@@ -62,57 +58,53 @@ fn gemm_core(
         }
         return;
     }
-    let mut packed = ws.take(GEMM_KC.min(k) * n);
+    let mut packed = ws.take(GEMM_KC.min(k) * GEMM_NC.min(n));
     for kt in (0..k).step_by(GEMM_KC) {
         let kc = GEMM_KC.min(k - kt);
-        // Pack the strip b[kt..kt+kc] panel-major: the panel of columns
-        // [jt, jt+nc) occupies packed[jt*kc..][..kc*nc], rows contiguous.
         for jt in (0..n).step_by(GEMM_NC) {
             let nc = GEMM_NC.min(n - jt);
-            let panel = &mut packed[jt * kc..jt * kc + kc * nc];
-            for (l, dst) in panel.chunks_exact_mut(nc).enumerate() {
-                let src_start = (kt + l) * n + jt;
-                dst.copy_from_slice(&b[src_start..src_start + nc]);
-            }
-        }
-        par::for_each_row_block_mut(out, n, kc.saturating_mul(n), |rows, block| {
-            // Loop order within a thread's row block: row chunks of
-            // `GEMM_MC`, then panels, then rows four at a time — so a panel
-            // is reused across a whole L2-resident row chunk and each
-            // packed panel row is loaded once per four output rows. None of
-            // the reordering changes which terms reach an output element or
-            // in what order: each element is touched exactly once per
-            // strip, accumulating ascending-`l`.
-            let nrows = block.len() / n;
-            let seg = |r: usize| {
-                let base = (rows.start + r) * k + kt;
-                &a[base..base + kc]
-            };
-            for it in (0..nrows).step_by(GEMM_MC) {
-                let mc = GEMM_MC.min(nrows - it);
-                for jt in (0..n).step_by(GEMM_NC) {
-                    let nc = GEMM_NC.min(n - jt);
-                    let panel = &packed[jt * kc..jt * kc + kc * nc];
-                    let mut r = it;
-                    while r + 4 <= it + mc {
-                        let quad = &mut block[r * n..(r + 4) * n];
-                        vec_ops::gemm_microkernel4(
-                            [seg(r), seg(r + 1), seg(r + 2), seg(r + 3)],
-                            panel,
-                            nc,
-                            quad,
-                            n,
-                            jt,
-                        );
-                        r += 4;
-                    }
-                    for out_row in block[r * n..(it + mc) * n].chunks_mut(n) {
-                        vec_ops::gemm_microkernel(seg(r), panel, nc, &mut out_row[jt..jt + nc]);
-                        r += 1;
-                    }
+            // Pack just this kc×nc panel into micro-strip layout (see
+            // simd::pack_panel): one panel is ≈ kc·nc·8 bytes, small enough
+            // to stay L2-resident while every output row streams over it,
+            // and the microkernels read it purely sequentially.
+            let panel = &mut packed[..kc * nc];
+            simd::pack_panel(b, n, kt, jt, kc, nc, panel);
+            let panel = &packed[..kc * nc];
+            par::for_each_row_block_mut(out, n, kc.saturating_mul(nc), |rows, block| {
+                // Rows four at a time: the 4×8 register tile loads each
+                // packed strip row once per four output rows. None of the
+                // blocking changes which terms reach an output element or
+                // in what order: each element is touched exactly once per
+                // (kt, jt) pair, accumulating ascending-`l` — strips
+                // ascending, ascending within a strip.
+                let nrows = block.len() / n;
+                let seg = |r: usize| {
+                    let base = (rows.start + r) * k + kt;
+                    &a[base..base + kc]
+                };
+                let mut r = 0;
+                while r + 4 <= nrows {
+                    let quad = &mut block[r * n..(r + 4) * n];
+                    let (q0, rest) = quad.split_at_mut(n);
+                    let (q1, rest) = rest.split_at_mut(n);
+                    let (q2, q3) = rest.split_at_mut(n);
+                    simd::gemm_tile4_packed(
+                        [seg(r), seg(r + 1), seg(r + 2), seg(r + 3)],
+                        panel,
+                        nc,
+                        &mut q0[jt..jt + nc],
+                        &mut q1[jt..jt + nc],
+                        &mut q2[jt..jt + nc],
+                        &mut q3[jt..jt + nc],
+                    );
+                    r += 4;
                 }
-            }
-        });
+                for out_row in block[r * n..nrows * n].chunks_mut(n) {
+                    simd::gemm_tile1_packed(seg(r), panel, nc, &mut out_row[jt..jt + nc]);
+                    r += 1;
+                }
+            });
+        }
     }
     ws.give(packed);
 }

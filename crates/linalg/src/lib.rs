@@ -21,7 +21,9 @@
 //! * [`sinkhorn`] — entropic optimal transport (Sinkhorn) and the proximal
 //!   point wrapper used by the Gromov–Wasserstein solvers.
 //! * [`vec_ops`] — small dense-vector helpers shared by the iterative solvers,
-//!   including the unrolled GEMM microkernels behind the blocked products.
+//!   including the GEMM microkernels behind the blocked products.
+//! * [`simd`] — runtime-dispatched AVX2 microkernels with bit-identical
+//!   scalar twins (the lane-group reduction order contract lives here).
 //! * [`lowrank::LowRankSim`] — implicit factored similarity matrices with
 //!   row-scan/argmax/top-k kernels that never materialize the product.
 //! * [`similarity::Similarity`] — the dense/low-rank/sparse representation
@@ -51,6 +53,7 @@ pub mod lowrank;
 pub mod power;
 pub mod qr;
 pub mod serialize;
+pub mod simd;
 pub mod similarity;
 pub mod sinkhorn;
 pub mod sparse;

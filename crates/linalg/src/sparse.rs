@@ -7,6 +7,8 @@
 //! dense matrices.
 
 use crate::dense::DenseMatrix;
+use crate::vec_ops;
+use crate::workspace::Workspace;
 use graphalign_par as par;
 
 /// A sparse matrix in compressed sparse row format.
@@ -224,43 +226,74 @@ impl CsrMatrix {
         par::for_each_row_block_mut(data, n.max(1), avg_nnz * n, |rows, block| {
             for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
                 for (j, v) in self.row_iter(rows.start + off) {
-                    let rhs_row = rhs.row(j);
-                    for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                        *o += v * r;
-                    }
+                    vec_ops::axpy(v, rhs.row(j), out_row);
                 }
             }
         });
     }
 
     /// Fused transposed product `selfᵀ * rhs` without materializing the
-    /// transpose: a sequential scatter over the stored entries, row by row.
-    /// Bit-identical to `self.transpose().mul_dense(rhs)` (both accumulate
-    /// each output element over ascending source-row index). Meant for
-    /// one-off setup products; inside iteration loops prefer hoisting the
-    /// transpose once and using the row-parallel products.
+    /// transpose. The stored entries are counting-sorted by column into a
+    /// compact transpose *structure* (column pointers + source rows, with
+    /// ascending source-row order inside each output row), and the output
+    /// rows are then filled in parallel, each accumulating its `axpy`
+    /// contributions over ascending source row. Bit-identical to
+    /// `self.transpose().mul_dense(rhs)` — and to the sequential
+    /// entry-by-entry scatter this kernel replaced — at any thread count.
     ///
     /// # Panics
     /// Panics if `self.rows() != rhs.rows()`.
     pub fn tr_mul_dense(&self, rhs: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, rhs.rows(), "tr_mul_dense: inner dimensions differ");
         par::telemetry::count_matmul();
-        let mut out = DenseMatrix::zeros(self.cols, rhs.cols());
+        let n = rhs.cols();
+        // Counting sort by column. Walking rows in ascending order keeps
+        // the entries of each output row in ascending source-row order —
+        // the accumulation order the determinism contract fixes.
+        let mut col_ptr = vec![0usize; self.cols + 1];
+        for &c in &self.col_idx {
+            col_ptr[c + 1] += 1;
+        }
+        for j in 0..self.cols {
+            col_ptr[j + 1] += col_ptr[j];
+        }
+        let mut src_row = vec![0usize; self.nnz()];
+        let mut src_val = vec![0.0; self.nnz()];
+        let mut next = col_ptr[..self.cols].to_vec();
         for i in 0..self.rows {
-            let rhs_row = rhs.row(i);
             for (j, v) in self.row_iter(i) {
-                let out_row = out.row_mut(j);
-                for (o, &r) in out_row.iter_mut().zip(rhs_row) {
-                    *o += v * r;
-                }
+                let p = next[j];
+                src_row[p] = i;
+                src_val[p] = v;
+                next[j] += 1;
             }
         }
+        let mut out = DenseMatrix::zeros(self.cols, n);
+        let avg_nnz = (self.nnz() / self.cols.max(1)).max(1);
+        par::for_each_row_block_mut(
+            out.as_mut_slice(),
+            n.max(1),
+            avg_nnz * n.max(1),
+            |rows, block| {
+                for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                    let j = rows.start + off;
+                    for p in col_ptr[j]..col_ptr[j + 1] {
+                        vec_ops::axpy(src_val[p], rhs.row(src_row[p]), out_row);
+                    }
+                }
+            },
+        );
         out
     }
 
     /// Fused product `self * rhsᵀ` without materializing the dense
     /// transpose: each output row gathers sparse dot products of one CSR
-    /// row against the rows of `rhs`, parallelized over output rows.
+    /// row against the rows of `rhs`, parallelized over output row blocks
+    /// and tiled over `rhs` rows so one tile of `rhs` is reused across a
+    /// whole block of output rows before the next tile streams in. Tiling
+    /// only reorders whole output elements — each element is still one
+    /// gather over the CSR row's stored entries in ascending column order —
+    /// so results are bit-identical at any tile size and thread count.
     ///
     /// # Panics
     /// Panics if `self.cols() != rhs.cols()`.
@@ -268,20 +301,29 @@ impl CsrMatrix {
         assert_eq!(self.cols, rhs.cols(), "mul_dense_tr: column counts differ");
         par::telemetry::count_matmul();
         let n = rhs.rows();
+        // 64 rhs rows per tile ≈ 32 KB at the benchmark feature width,
+        // small enough to stay cache-resident across the output row block.
+        const TILE_J: usize = 64;
         let mut data = vec![0.0; self.rows * n];
         let avg_nnz = (self.nnz() / self.rows.max(1)).max(1);
         par::for_each_row_block_mut(&mut data, n.max(1), avg_nnz * n, |rows, block| {
-            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
-                let i = rows.start + off;
-                let cols_i = self.row_cols(i);
-                let vals_i = self.row_values(i);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let r = rhs.row(j);
-                    let mut acc = 0.0;
-                    for (&l, &v) in cols_i.iter().zip(vals_i) {
-                        acc += v * r[l];
+            let w = n.max(1);
+            let nrows = block.len() / w;
+            for jt in (0..n).step_by(TILE_J) {
+                let je = (jt + TILE_J).min(n);
+                for off in 0..nrows {
+                    let i = rows.start + off;
+                    let cols_i = self.row_cols(i);
+                    let vals_i = self.row_values(i);
+                    let out_seg = &mut block[off * w + jt..off * w + je];
+                    for (j, o) in (jt..je).zip(out_seg.iter_mut()) {
+                        let r = rhs.row(j);
+                        let mut acc = 0.0;
+                        for (&l, &v) in cols_i.iter().zip(vals_i) {
+                            acc += v * r[l];
+                        }
+                        *o = acc;
                     }
-                    *o = acc;
                 }
             }
         });
@@ -417,7 +459,103 @@ impl DenseMatrix {
             }
         });
     }
+
+    /// Fused dense × sparse product `self · rhs` for a CSR right-hand side,
+    /// in scatter form: for each dense row, the stored entries of `rhs`'s
+    /// row `l` scatter `self[i,l] · v` into the output at ascending `l`.
+    ///
+    /// Exactly the same terms reach each output element in exactly the same
+    /// ascending-`l` order as the gather form, so this is bit-identical to
+    /// `self.mul_csr_tr(&rhs.transpose())` — but where the gather serializes
+    /// each output element behind a floating-point add dependency chain
+    /// (~4 cycles per stored entry), the scatter updates independent
+    /// elements back to back, and it needs no transpose hoist. Useful when
+    /// the CSR transpose is not worth materializing; for the repeated
+    /// right-multiplications of the iterative solvers, the measured-fastest
+    /// form at every size is picked by [`DenseMatrix::mul_csr_tr_into_auto`].
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn mul_csr(&self, rhs: &CsrMatrix) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows(), rhs.cols());
+        self.mul_csr_into(rhs, &mut out);
+        out
+    }
+
+    /// [`DenseMatrix::mul_csr`] into a caller-provided matrix — the
+    /// allocation-free form the iterative solvers call every iteration.
+    ///
+    /// # Panics
+    /// Panics on inner-dimension or output-shape mismatch.
+    pub fn mul_csr_into(&self, rhs: &CsrMatrix, out: &mut DenseMatrix) {
+        assert_eq!(self.cols(), rhs.rows(), "mul_csr: inner dimensions differ");
+        assert_eq!(out.shape(), (self.rows(), rhs.cols()), "mul_csr_into: output shape mismatch");
+        par::telemetry::count_matmul();
+        let n = rhs.cols();
+        let k = rhs.rows();
+        let cost_per_row = rhs.nnz().max(1) + k;
+        let data = out.as_mut_slice();
+        data.fill(0.0);
+        par::for_each_row_block_mut(data, n.max(1), cost_per_row, |rows, block| {
+            for (off, out_row) in block.chunks_mut(n.max(1)).enumerate() {
+                let self_row = self.row(rows.start + off);
+                for (l, &sv) in self_row.iter().enumerate() {
+                    for (j, v) in rhs.row_iter(l) {
+                        out_row[j] += sv * v;
+                    }
+                }
+            }
+        });
+    }
+
+    /// Form-selecting `self · rhsᵀ`: picks between the gather kernel
+    /// ([`DenseMatrix::mul_csr_tr_into`]) and the hoisted-transpose row-axpy
+    /// formulation `(rhs · selfᵀ)ᵀ` based on output size.
+    ///
+    /// Below [`SPMM_RIGHT_HOIST_CUTOFF`] output elements, the row-axpy form
+    /// wins: its SIMD `axpy` inner loop streams whole dense rows while the
+    /// gather walks a ~4-cycle floating-point add dependency chain per
+    /// output element, and the two dense transposes it pays per call stay
+    /// L2-resident at small sizes. Above the cutoff those transposes turn
+    /// into strided cache misses over a multi-megabyte working set and the
+    /// gather takes over. (This size-dependent inversion is exactly the
+    /// fused-IsoRank small-`n` regression; the measured crossover on the
+    /// benchmark machine is n ≈ 512 for square operands.)
+    ///
+    /// Both formulations feed every output element the same terms in the
+    /// same ascending shared-index order, so the result is **bit-identical**
+    /// whichever side of the cutoff executes — the cutoff is a pure
+    /// performance decision, invisible in the output.
+    ///
+    /// # Panics
+    /// Panics on column-count or output-shape mismatch.
+    pub fn mul_csr_tr_into_auto(&self, rhs: &CsrMatrix, out: &mut DenseMatrix, ws: &mut Workspace) {
+        assert_eq!(self.cols(), rhs.cols(), "mul_csr_tr: column counts differ");
+        assert_eq!(
+            out.shape(),
+            (self.rows(), rhs.rows()),
+            "mul_csr_tr_into: output shape mismatch"
+        );
+        if self.rows() * rhs.rows() < SPMM_RIGHT_HOIST_CUTOFF {
+            let mut st = ws.take_matrix(self.cols(), self.rows());
+            let mut ot = ws.take_matrix(rhs.rows(), self.rows());
+            self.transpose_into(&mut st);
+            rhs.mul_dense_into(&st, &mut ot);
+            ot.transpose_into(out);
+            ws.give_matrix(ot);
+            ws.give_matrix(st);
+        } else {
+            self.mul_csr_tr_into(rhs, out);
+        }
+    }
 }
+
+/// Output-element cutoff below which [`DenseMatrix::mul_csr_tr_into_auto`]
+/// uses the hoisted-transpose row-axpy formulation instead of the gather
+/// kernel. Chosen from `spmm_form_bench` medians on the benchmark machine:
+/// the axpy form wins through n = 448 and loses abruptly at n = 512, where
+/// the per-call dense transposes (2·n²·8 B = 4 MB) overflow the 2 MB L2.
+pub const SPMM_RIGHT_HOIST_CUTOFF: usize = 512 * 512;
 
 #[cfg(test)]
 mod tests {
@@ -509,6 +647,59 @@ mod tests {
         let fused = left.mul_csr_tr(&st); // left · stᵀ = left · s : 3×3
         let reference = st.mul_dense(&left.transpose()).transpose();
         assert_eq!(fused, reference);
+    }
+
+    #[test]
+    fn dense_mul_csr_matches_gather_form_bitwise() {
+        // The scatter form must agree bit for bit with the gather form on
+        // the hoisted transpose — same terms, same ascending-l order per
+        // output element, commutative multiplies.
+        let s = sample(); // 2×3
+        let left = DenseMatrix::from_rows(&[&[0.5, -1.0], &[1.0 / 3.0, 0.125], &[2.0, -0.7]]); // 3×2
+        let scatter = left.mul_csr(&s); // 3×3
+        let gather = left.mul_csr_tr(&s.transpose());
+        assert_eq!(scatter, gather);
+        let mut out = DenseMatrix::filled(3, 3, f64::NAN);
+        left.mul_csr_into(&s, &mut out);
+        assert_eq!(out, scatter);
+    }
+
+    #[test]
+    fn mul_csr_tr_into_auto_is_bitwise_stable_across_the_cutoff() {
+        // Rectangular shapes straddling SPMM_RIGHT_HOIST_CUTOFF = 512·512
+        // output elements with modest dimensions: 330×790 = 260 700 (below,
+        // hoisted row-axpy form) and 330×800 = 264 000 (above, gather form).
+        // Whichever side executes must match the plain gather kernel bit
+        // for bit — the cutoff may never be visible in the output.
+        let k = 40;
+        let mut ws = Workspace::new();
+        for rhs_rows in [790usize, 800] {
+            let below = 330 * rhs_rows < SPMM_RIGHT_HOIST_CUTOFF;
+            let left =
+                DenseMatrix::from_fn(330, k, |i, j| ((i * 7 + j * 13) % 23) as f64 / 11.0 - 1.0);
+            let triplets: Vec<(usize, usize, f64)> = (0..rhs_rows)
+                .flat_map(|r| {
+                    (0..5).map(move |t| (r, (r * 31 + t * 17) % k, ((t + r) % 7) as f64 - 3.0))
+                })
+                .collect();
+            let s = CsrMatrix::from_triplets(rhs_rows, k, &triplets);
+            let mut auto_out = DenseMatrix::filled(330, rhs_rows, f64::NAN);
+            left.mul_csr_tr_into_auto(&s, &mut auto_out, &mut ws);
+            let gather = left.mul_csr_tr(&s);
+            assert_eq!(
+                auto_out, gather,
+                "auto form (hoist={below}) diverged from gather at rhs_rows={rhs_rows}"
+            );
+        }
+    }
+
+    #[test]
+    fn tr_mul_dense_handles_empty_and_dense_columns() {
+        // A matrix with an empty column and a column hit by both rows, so
+        // the counting-sorted transpose structure sees nnz 0 and 2 rows.
+        let m = CsrMatrix::from_triplets(2, 3, &[(0, 2, 2.0), (1, 2, 3.0), (1, 0, -1.0)]);
+        let d = DenseMatrix::from_rows(&[&[1.0, 2.0], &[3.0, -0.5]]);
+        assert_eq!(m.tr_mul_dense(&d), m.transpose().mul_dense(&d));
     }
 
     #[test]

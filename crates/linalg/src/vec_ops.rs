@@ -2,15 +2,23 @@
 //!
 //! These are deliberately plain free functions over `&[f64]` so they can be
 //! used on matrix rows, embedding vectors, and Lanczos basis vectors alike
-//! without wrapping them in a vector type.
+//! without wrapping them in a vector type. The heavy lifting lives in
+//! [`crate::simd`]: every function here validates shapes and forwards to the
+//! runtime-dispatched kernel, whose AVX2 and scalar paths are bitwise
+//! identical. The reductions ([`dot`], [`sum`], [`dist2_sq`],
+//! [`dist2_sq_both`]) use the fixed 8-stripe lane-group summation order
+//! documented in [`crate::simd`] — a pure function of the input, independent
+//! of both thread count and instruction set.
 
-/// Dot product `x · y`.
+use crate::simd;
+
+/// Dot product `x · y` in the lane-group reduction order.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dot(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dot: length mismatch ({} vs {})", x.len(), y.len());
-    x.iter().zip(y).map(|(a, b)| a * b).sum()
+    simd::dot(x, y)
 }
 
 /// Euclidean norm `‖x‖₂`.
@@ -18,13 +26,13 @@ pub fn norm2(x: &[f64]) -> f64 {
     dot(x, x).sqrt()
 }
 
-/// Squared Euclidean distance `‖x − y‖₂²`.
+/// Squared Euclidean distance `‖x − y‖₂²` in the lane-group reduction order.
 ///
 /// # Panics
 /// Panics if the slices have different lengths.
 pub fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
     assert_eq!(x.len(), y.len(), "dist2_sq: length mismatch");
-    x.iter().zip(y).map(|(a, b)| (a - b) * (a - b)).sum()
+    simd::dist2_sq(x, y)
 }
 
 /// In-place `y ← y + alpha * x`.
@@ -33,16 +41,12 @@ pub fn dist2_sq(x: &[f64], y: &[f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
     assert_eq!(x.len(), y.len(), "axpy: length mismatch");
-    for (yi, &xi) in y.iter_mut().zip(x) {
-        *yi += alpha * xi;
-    }
+    simd::axpy(alpha, x, y);
 }
 
 /// In-place scaling `x ← alpha * x`.
 pub fn scale(alpha: f64, x: &mut [f64]) {
-    for xi in x.iter_mut() {
-        *xi *= alpha;
-    }
+    simd::scale(alpha, x);
 }
 
 /// Normalizes `x` to unit Euclidean norm and returns the original norm.
@@ -60,7 +64,7 @@ pub fn normalize(x: &mut [f64]) -> f64 {
 
 /// Both squared distances `(‖x − y‖₂², ‖x + y‖₂²)` in one pass.
 ///
-/// Each sum accumulates left to right exactly like two separate
+/// Each sum accumulates in the lane-group order exactly like two separate
 /// [`dist2_sq`] calls (the second on a sign-flipped `y`), so callers that
 /// previously materialized `-y` can drop the copy without changing a bit.
 ///
@@ -68,51 +72,23 @@ pub fn normalize(x: &mut [f64]) -> f64 {
 /// Panics if the slices have different lengths.
 pub fn dist2_sq_both(x: &[f64], y: &[f64]) -> (f64, f64) {
     assert_eq!(x.len(), y.len(), "dist2_sq_both: length mismatch");
-    let mut minus = 0.0;
-    let mut plus = 0.0;
-    for (&a, &b) in x.iter().zip(y) {
-        minus += (a - b) * (a - b);
-        plus += (a + b) * (a + b);
-    }
-    (minus, plus)
+    simd::dist2_sq_both(x, y)
 }
 
 /// GEMM microkernel over one packed panel: `out[j] += Σ_l a[l] * panel[l*nc + j]`.
 ///
 /// `panel` holds `a.len()` rows of `nc` contiguous values (a packed slice of
-/// the right-hand side). The shared dimension is unrolled by 4 with each
-/// term added separately, so every output element accumulates its
-/// contributions in ascending-`l` order — bit-identical to the naive ikj
-/// loop — while the compiler vectorizes across `j` and fuses each
-/// multiply-add.
+/// the right-hand side). Every output element accumulates its contributions
+/// in ascending-`l` order with a single running accumulator — bit-identical
+/// to the naive ikj loop — while the AVX2 path vectorizes across `j` and
+/// keeps the accumulators in registers for the whole shared-dimension loop.
 ///
 /// # Panics
 /// Panics (in debug builds) on inconsistent panel/output lengths.
 pub fn gemm_microkernel(a: &[f64], panel: &[f64], nc: usize, out: &mut [f64]) {
-    let kc = a.len();
-    debug_assert_eq!(panel.len(), kc * nc, "gemm_microkernel: panel length mismatch");
+    debug_assert_eq!(panel.len(), a.len() * nc, "gemm_microkernel: panel length mismatch");
     debug_assert_eq!(out.len(), nc, "gemm_microkernel: output length mismatch");
-    let mut l = 0;
-    while l + 4 <= kc {
-        let (a0, a1, a2, a3) = (a[l], a[l + 1], a[l + 2], a[l + 3]);
-        let rows = &panel[l * nc..(l + 4) * nc];
-        let (b0, rest) = rows.split_at(nc);
-        let (b1, rest) = rest.split_at(nc);
-        let (b2, b3) = rest.split_at(nc);
-        for ((((o, &x0), &x1), &x2), &x3) in out.iter_mut().zip(b0).zip(b1).zip(b2).zip(b3) {
-            let mut acc = *o;
-            acc += a0 * x0;
-            acc += a1 * x1;
-            acc += a2 * x2;
-            acc += a3 * x3;
-            *o = acc;
-        }
-        l += 4;
-    }
-    while l < kc {
-        axpy(a[l], &panel[l * nc..(l + 1) * nc], out);
-        l += 1;
-    }
+    simd::gemm_tile1(a, panel, nc, out);
 }
 
 /// Four-row GEMM microkernel over one packed panel.
@@ -121,11 +97,11 @@ pub fn gemm_microkernel(a: &[f64], panel: &[f64], nc: usize, out: &mut [f64]) {
 /// updates the `nc`-wide window starting at column `jt` of each:
 /// `quad[r][jt + j] += Σ_l a[r][l] * panel[l*nc + j]`. Processing four rows
 /// per panel pass loads each packed right-hand-side row once for four
-/// output rows, quartering panel bandwidth versus four single-row
-/// [`gemm_microkernel`] calls. Every output element still accumulates its
-/// terms in ascending-`l` order with a single accumulator — row blocking
-/// only interleaves updates to *different* elements — so the result is
-/// bit-identical to the naive ikj loop.
+/// output rows, and the AVX2 path holds the full 4×8 output tile in
+/// registers across the shared-dimension loop. Every output element still
+/// accumulates its terms in ascending-`l` order with a single accumulator —
+/// row blocking only interleaves updates to *different* elements — so the
+/// result is bit-identical to the naive ikj loop.
 ///
 /// # Panics
 /// Panics (in debug builds) on inconsistent segment/panel/quad lengths.
@@ -137,46 +113,25 @@ pub fn gemm_microkernel4(
     row_len: usize,
     jt: usize,
 ) {
-    let kc = a[0].len();
-    debug_assert!(a.iter().all(|s| s.len() == kc), "gemm_microkernel4: ragged lhs segments");
-    debug_assert_eq!(panel.len(), kc * nc, "gemm_microkernel4: panel length mismatch");
     debug_assert_eq!(quad.len(), 4 * row_len, "gemm_microkernel4: quad length mismatch");
     debug_assert!(jt + nc <= row_len, "gemm_microkernel4: window out of range");
     let (q0, rest) = quad.split_at_mut(row_len);
     let (q1, rest) = rest.split_at_mut(row_len);
     let (q2, q3) = rest.split_at_mut(row_len);
-    let o0 = &mut q0[jt..jt + nc];
-    let o1 = &mut q1[jt..jt + nc];
-    let o2 = &mut q2[jt..jt + nc];
-    let o3 = &mut q3[jt..jt + nc];
-    let mut l = 0;
-    while l + 2 <= kc {
-        let (b0, b1) = panel[l * nc..(l + 2) * nc].split_at(nc);
-        let (a00, a01) = (a[0][l], a[0][l + 1]);
-        let (a10, a11) = (a[1][l], a[1][l + 1]);
-        let (a20, a21) = (a[2][l], a[2][l + 1]);
-        let (a30, a31) = (a[3][l], a[3][l + 1]);
-        for j in 0..nc {
-            let (x0, x1) = (b0[j], b1[j]);
-            o0[j] = o0[j] + a00 * x0 + a01 * x1;
-            o1[j] = o1[j] + a10 * x0 + a11 * x1;
-            o2[j] = o2[j] + a20 * x0 + a21 * x1;
-            o3[j] = o3[j] + a30 * x0 + a31 * x1;
-        }
-        l += 2;
-    }
-    if l < kc {
-        let b0 = &panel[l * nc..(l + 1) * nc];
-        axpy(a[0][l], b0, o0);
-        axpy(a[1][l], b0, o1);
-        axpy(a[2][l], b0, o2);
-        axpy(a[3][l], b0, o3);
-    }
+    simd::gemm_tile4(
+        a,
+        panel,
+        nc,
+        &mut q0[jt..jt + nc],
+        &mut q1[jt..jt + nc],
+        &mut q2[jt..jt + nc],
+        &mut q3[jt..jt + nc],
+    );
 }
 
-/// Sum of all entries.
+/// Sum of all entries in the lane-group reduction order.
 pub fn sum(x: &[f64]) -> f64 {
-    x.iter().sum()
+    simd::sum(x)
 }
 
 /// Index of the maximum entry (first occurrence); `None` for empty input or
@@ -208,6 +163,15 @@ mod tests {
     fn dot_and_norm() {
         assert_eq!(dot(&[1.0, 2.0, 3.0], &[4.0, 5.0, 6.0]), 32.0);
         assert!((norm2(&[3.0, 4.0]) - 5.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn dot_matches_lane_group_reference() {
+        // 19 entries exercises both the 8-wide stripes and the tail.
+        let x: Vec<f64> = (0..19).map(|i| (i as f64 * 0.31).sin()).collect();
+        let y: Vec<f64> = (0..19).map(|i| (i as f64 * 0.17).cos()).collect();
+        assert_eq!(dot(&x, &y).to_bits(), crate::simd::dot_scalar(&x, &y).to_bits());
+        assert_eq!(sum(&x).to_bits(), crate::simd::sum_scalar(&x).to_bits());
     }
 
     #[test]
@@ -247,8 +211,10 @@ mod tests {
 
     #[test]
     fn dist2_sq_both_matches_separate_calls_bitwise() {
-        let x = [1.5, -0.25, 3.0, 0.1, -2.0];
-        let y = [0.5, 2.25, -1.0, 0.7, 0.3];
+        // Length 21 spans two full stripes plus a tail, so the lane-group
+        // order is exercised, not just the sequential remainder.
+        let x: Vec<f64> = (0..21).map(|i| (i as f64 * 0.73).sin() * 2.0).collect();
+        let y: Vec<f64> = (0..21).map(|i| (i as f64 * 0.41).cos() - 0.3).collect();
         let y_neg: Vec<f64> = y.iter().map(|v| -1.0 * v).collect();
         let (minus, plus) = dist2_sq_both(&x, &y);
         assert_eq!(minus.to_bits(), dist2_sq(&x, &y).to_bits());
@@ -257,8 +223,8 @@ mod tests {
 
     #[test]
     fn gemm_microkernel_matches_naive_accumulation_bitwise() {
-        // 7 shared-dim entries exercises both the unrolled-by-4 body and
-        // the scalar tail; nc = 3 columns.
+        // 7 shared-dim entries exercises both the vector body and the
+        // scalar tail; nc = 3 columns.
         let a = [0.5, -1.25, 2.0, 0.125, -0.75, 3.5, 1.0 / 3.0];
         let (kc, nc) = (a.len(), 3);
         let panel: Vec<f64> = (0..kc * nc).map(|t| ((t * 7 % 13) as f64 - 6.0) / 3.0).collect();
@@ -284,9 +250,9 @@ mod tests {
 
     #[test]
     fn gemm_microkernel4_matches_single_row_kernel_bitwise() {
-        // Odd shared dimension exercises the unroll-by-2 tail; the window
-        // starts mid-row to exercise the jt offset.
-        let (kc, nc, row_len, jt) = (5, 3, 7, 2);
+        // Shared dim 5, window width 11 (vector body + tail), starting
+        // mid-row to exercise the jt offset.
+        let (kc, nc, row_len, jt) = (5, 11, 15, 2);
         let segs: Vec<Vec<f64>> =
             (0..4).map(|r| (0..kc).map(|l| ((r * kc + l) as f64 * 0.37).sin()).collect()).collect();
         let panel: Vec<f64> = (0..kc * nc).map(|t| ((t * 7 % 13) as f64 - 6.0) / 3.0).collect();

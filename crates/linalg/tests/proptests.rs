@@ -288,3 +288,170 @@ fn blocked_kernels_pinned_edge_shapes() {
         assert_eq!(first_bit_mismatch(&fused, &want.transpose()), None, "mul_csr_tr {m}x{k}x{n}");
     }
 }
+
+/// Paired random slices of equal, arbitrary length spanning every `n mod 8`
+/// (and hence `n mod 4`) remainder class, including empty and length 1.
+fn paired_slices() -> impl Strategy<Value = (Vec<f64>, Vec<f64>)> {
+    (0usize..68).prop_flat_map(|n| {
+        (proptest::collection::vec(-2.0f64..2.0, n), proptest::collection::vec(-2.0f64..2.0, n))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The runtime-dispatched vector kernels (AVX2 on hosts that have it)
+    /// are bitwise-equal to their scalar lane-group twins at every
+    /// remainder width — the dispatch decision can never change a bit.
+    #[test]
+    fn simd_vector_kernels_match_scalar_twins_bitwise((x, y) in paired_slices(), alpha in -2.0f64..2.0) {
+        use graphalign_linalg::simd;
+        prop_assert_eq!(simd::dot(&x, &y).to_bits(), simd::dot_scalar(&x, &y).to_bits());
+        prop_assert_eq!(simd::sum(&x).to_bits(), simd::sum_scalar(&x).to_bits());
+        prop_assert_eq!(
+            simd::dist2_sq(&x, &y).to_bits(),
+            simd::dist2_sq_scalar(&x, &y).to_bits()
+        );
+        let (m, p) = simd::dist2_sq_both(&x, &y);
+        let (ms, ps) = simd::dist2_sq_both_scalar(&x, &y);
+        prop_assert_eq!(m.to_bits(), ms.to_bits());
+        prop_assert_eq!(p.to_bits(), ps.to_bits());
+        let mut ya = y.clone();
+        let mut yb = y.clone();
+        simd::axpy(alpha, &x, &mut ya);
+        simd::axpy_scalar(alpha, &x, &mut yb);
+        prop_assert_eq!(
+            ya.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            yb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        let mut xa = x.clone();
+        let mut xb = x;
+        simd::scale(alpha, &mut xa);
+        simd::scale_scalar(alpha, &mut xb);
+        prop_assert_eq!(
+            xa.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            xb.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    /// The GEMM microkernels (row-major and packed-panel, 1-row and 4-row)
+    /// are bitwise-equal to their scalar twins at every panel width
+    /// remainder, empty shared dimension included.
+    #[test]
+    fn simd_gemm_tiles_match_scalar_twins_bitwise(
+        kc in 0usize..12,
+        nc in 1usize..28,
+        seed in 0u64..1000,
+    ) {
+        use graphalign_linalg::simd;
+        let gen = |k: u64, len: usize| -> Vec<f64> {
+            (0..len)
+                .map(|i| (((i as u64 * 2654435761 + seed * 97 + k) % 1000) as f64 - 500.0) / 251.0)
+                .collect()
+        };
+        let panel = gen(1, kc * nc);
+        let a: Vec<Vec<f64>> = (0..4).map(|r| gen(2 + r, kc)).collect();
+        let init = gen(7, nc);
+
+        let (mut o_simd, mut o_scal) = (init.clone(), init.clone());
+        simd::gemm_tile1(&a[0], &panel, nc, &mut o_simd);
+        simd::gemm_tile1_scalar(&a[0], &panel, nc, &mut o_scal);
+        prop_assert_eq!(
+            o_simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            o_scal.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+
+        let bits4 = |rows: &[Vec<f64>]| -> Vec<u64> {
+            rows.iter().flat_map(|r| r.iter().map(|v| v.to_bits())).collect()
+        };
+        let quad = [&a[0][..], &a[1][..], &a[2][..], &a[3][..]];
+        let mut q_simd: Vec<Vec<f64>> = (0..4).map(|r| gen(11 + r, nc)).collect();
+        let mut q_scal = q_simd.clone();
+        {
+            let [o0, o1, o2, o3] = &mut q_simd[..] else { unreachable!() };
+            simd::gemm_tile4(quad, &panel, nc, o0, o1, o2, o3);
+        }
+        {
+            let [o0, o1, o2, o3] = &mut q_scal[..] else { unreachable!() };
+            simd::gemm_tile4_scalar(quad, &panel, nc, o0, o1, o2, o3);
+        }
+        prop_assert_eq!(bits4(&q_simd), bits4(&q_scal));
+
+        // Packed-panel variants read the micro-strip layout produced by
+        // pack_panel from a row-major source with leading dimension nc.
+        let mut packed = vec![0.0; kc * nc];
+        simd::pack_panel(&panel, nc, 0, 0, kc, nc, &mut packed);
+        let (mut p_simd, mut p_scal) = (init.clone(), init);
+        simd::gemm_tile1_packed(&a[0], &packed, nc, &mut p_simd);
+        simd::gemm_tile1_packed_scalar(&a[0], &packed, nc, &mut p_scal);
+        prop_assert_eq!(
+            p_simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            p_scal.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+        prop_assert_eq!(
+            p_simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            o_simd.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "packed layout changed the numerics"
+        );
+
+        let mut pq_simd: Vec<Vec<f64>> = (0..4).map(|r| gen(11 + r, nc)).collect();
+        let mut pq_scal = pq_simd.clone();
+        {
+            let [o0, o1, o2, o3] = &mut pq_simd[..] else { unreachable!() };
+            simd::gemm_tile4_packed(quad, &packed, nc, o0, o1, o2, o3);
+        }
+        {
+            let [o0, o1, o2, o3] = &mut pq_scal[..] else { unreachable!() };
+            simd::gemm_tile4_packed_scalar(quad, &packed, nc, o0, o1, o2, o3);
+        }
+        prop_assert_eq!(bits4(&pq_simd), bits4(&pq_scal));
+        prop_assert_eq!(
+            bits4(&pq_simd),
+            bits4(&q_simd),
+            "packed layout changed the 4-row tile numerics"
+        );
+    }
+
+    /// The form-selecting right-SpMM is bitwise-identical to the plain
+    /// gather kernel on both sides of its size cutoff.
+    #[test]
+    fn mul_csr_tr_auto_is_bitwise_exact((_, _, _, y, s) in kernel_operands()) {
+        let mut ws = Workspace::new();
+        let mut out = DenseMatrix::zeros(y.rows(), s.rows());
+        y.mul_csr_tr_into_auto(&s, &mut out, &mut ws);
+        prop_assert_eq!(first_bit_mismatch(&out, &y.mul_csr_tr(&s)), None);
+    }
+}
+
+/// The remainder widths the dispatch paths split on, pinned: every
+/// `n mod 8` class around one and two full lane groups, the empty slice,
+/// and length 1.
+#[test]
+fn simd_kernels_pinned_remainder_widths() {
+    use graphalign_linalg::simd;
+    for n in [0usize, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 33] {
+        let x: Vec<f64> = (0..n).map(|i| ((i * 13 + 5) as f64).sin()).collect();
+        let y: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) as f64).cos()).collect();
+        assert_eq!(simd::dot(&x, &y).to_bits(), simd::dot_scalar(&x, &y).to_bits(), "dot n={n}");
+        assert_eq!(simd::sum(&x).to_bits(), simd::sum_scalar(&x).to_bits(), "sum n={n}");
+        assert_eq!(
+            simd::dist2_sq(&x, &y).to_bits(),
+            simd::dist2_sq_scalar(&x, &y).to_bits(),
+            "dist2_sq n={n}"
+        );
+        let mut ya = y.clone();
+        let mut yb = y.clone();
+        simd::axpy(0.37, &x, &mut ya);
+        simd::axpy_scalar(0.37, &x, &mut yb);
+        assert!(ya.iter().zip(&yb).all(|(a, b)| a.to_bits() == b.to_bits()), "axpy n={n}");
+        // 1×n GEMM tile: a single unit-length lhs row against an n-wide panel.
+        if n > 0 {
+            let a = [0.83_f64];
+            let mut o1 = vec![0.25; n];
+            let mut o2 = o1.clone();
+            simd::gemm_tile1(&a, &x, n, &mut o1);
+            simd::gemm_tile1_scalar(&a, &x, n, &mut o2);
+            assert!(o1.iter().zip(&o2).all(|(a, b)| a.to_bits() == b.to_bits()), "tile1 1x{n}");
+        }
+    }
+}

@@ -123,10 +123,35 @@ fn alignments_are_bit_identical_across_thread_counts() {
         let trm = a.tr_matmul(&b);
         let mtr = a.matmul_tr(&b);
         let fused = b.mul_csr_tr(&s);
+        // The tiled sparse kernels added for the SpMM-scaling pass: the
+        // counting-sort transpose-multiply, the scatter right-multiply, the
+        // column-tiled dense·CSRᵀ product, and the form-selecting kernel
+        // whose hoist/gather choice depends on the size, never the threads.
+        let tr_tiled = s.tr_mul_dense(&a);
+        let scatter = b.mul_csr(&s);
+        let dense_tr = s.mul_dense_tr(&b);
+        let mut auto_out = DenseMatrix::zeros(200, 200);
+        b.mul_csr_tr_into_auto(&s, &mut auto_out, &mut ws);
         let cost = DenseMatrix::from_fn(64, 64, |i, j| ((i + j) % 17) as f64 / 17.0);
         let mu = uniform_marginal(64);
         let params = SinkhornParams { epsilon: 0.05, max_iter: 40, tol: 0.0 };
         let (plan, _) = sinkhorn(&cost, &mu, &mu, &params).unwrap();
+
+        let ops = op_counts(&telemetry::drain());
+
+        // Graphlet signatures come out of per-worker exact counters summed
+        // in worker order; flatten them through f64 bits for the comparison
+        // (u64 orbit counts of ESU-countable subgraphs fit f64 exactly
+        // here). The *results* must be thread-invariant, but each worker
+        // keeps its own ESU scratch whose first root allocates cold, so the
+        // scratch-reuse telemetry legitimately depends on the worker count —
+        // it is drained after the op-count snapshot and only asserted
+        // nonzero.
+        let gd =
+            graphalign_graph::graphlets::graphlet_degrees(&gen::powerlaw_cluster(120, 6, 0.4, 23));
+        let gd_flat: Vec<f64> =
+            gd.counts.iter().flat_map(|c| c.iter().map(|&v| v as f64)).collect();
+        assert!(telemetry::drain().allocs_saved > 0, "graphlet scratch reuse went uncounted");
 
         let outputs = vec![
             prod.as_slice().to_vec(),
@@ -134,9 +159,14 @@ fn alignments_are_bit_identical_across_thread_counts() {
             trm.as_slice().to_vec(),
             mtr.as_slice().to_vec(),
             fused.as_slice().to_vec(),
+            tr_tiled.as_slice().to_vec(),
+            scatter.as_slice().to_vec(),
+            dense_tr.as_slice().to_vec(),
+            auto_out.as_slice().to_vec(),
+            gd_flat,
             plan.as_slice().to_vec(),
         ];
-        (outputs, op_counts(&telemetry::drain()))
+        (outputs, ops)
     };
 
     // The first JV on a factored similarity charges the assignment layer's
