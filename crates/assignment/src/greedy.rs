@@ -105,15 +105,19 @@ fn sort_greedy_lowrank(lr: &LowRankSim) -> Vec<usize> {
     let (n, m) = (lr.rows(), lr.cols());
     assert!(n <= m, "sort_greedy: need rows ≤ cols (got {n} × {m})");
     let mut ws = Workspace::new();
-    let mut pages: Vec<Vec<(f64, usize)>> = Vec::with_capacity(n);
+    // Initial pages come from the sharded blocked top-k: per-row results are
+    // bit-identical to `row_top_k_after(i, None, PAGE)` (pinned by the topk
+    // tests), but the scan parallelizes over row shards — the dominant cost
+    // of the streaming SortGreedy when few pages need refilling.
+    let pages: Vec<Vec<(f64, usize)>> =
+        crate::topk::sharded_row_top_k(lr, PAGE, &crate::topk::TopKConfig::default());
+    let mut pages = pages;
     let mut cursors: Vec<usize> = vec![0; n];
     let mut heap: BinaryHeap<Cand> = BinaryHeap::with_capacity(n);
-    for i in 0..n {
-        let page = lr.row_top_k_after(i, None, PAGE, &mut ws);
+    for (i, page) in pages.iter().enumerate() {
         if let Some(&(v, j)) = page.first() {
             heap.push(Cand { v, i, j });
         }
-        pages.push(page);
     }
     let mut col_taken = vec![false; m];
     let mut out = vec![usize::MAX; n];

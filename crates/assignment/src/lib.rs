@@ -39,6 +39,7 @@ pub mod hungarian;
 pub mod jv;
 pub mod kdtree;
 pub mod nn;
+pub mod topk;
 
 use graphalign_linalg::{DenseMatrix, Similarity, Workspace};
 use std::cell::RefCell;

@@ -8,7 +8,7 @@
 //! embedding-space variant backed by the k-d tree.
 
 use crate::kdtree::KdTree;
-use graphalign_linalg::{CsrMatrix, DenseMatrix, LowRankSim, Similarity, Workspace};
+use graphalign_linalg::{CsrMatrix, DenseMatrix, LowRankSim, Similarity};
 
 /// Row-wise argmax: `out[i] = argmax_j sim[i][j]`. Many-to-one. Ties break
 /// to the lowest column index.
@@ -58,17 +58,16 @@ pub fn nearest_neighbor_sim(sim: &Similarity) -> Vec<usize> {
 /// injective on doubles, so equal similarities imply equal distances there
 /// too.) Per-row offsets shift a whole row and never change its argmax.
 ///
-/// For the `Dot` kernel there is no metric structure; each implicit row is
-/// scanned directly (`LowRankSim::row_argmax`), which evaluates bit-identical
-/// values to the densified product.
+/// For the `Dot` kernel there is no metric structure; the sharded blocked
+/// top-1 scan ([`crate::topk::nearest_neighbor_sharded`]) walks each implicit
+/// row in fixed tile order, evaluating bit-identical values to the densified
+/// product and selecting the same first-strict-maximum winner — in parallel
+/// over row shards.
 fn nearest_neighbor_lowrank(lr: &LowRankSim) -> Vec<usize> {
     if lr.kernel().is_distance_kernel() {
         nearest_neighbor_embeddings(lr.ya(), lr.yb())
     } else {
-        let mut ws = Workspace::new();
-        (0..lr.rows())
-            .map(|i| lr.row_argmax(i, &mut ws).expect("non-empty finite row has an argmax"))
-            .collect()
+        crate::topk::nearest_neighbor_sharded(lr, &crate::topk::TopKConfig::default())
     }
 }
 
@@ -158,6 +157,7 @@ pub fn embedding_similarity(source_emb: &DenseMatrix, target_emb: &DenseMatrix) 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use graphalign_linalg::Workspace;
 
     #[test]
     fn argmax_per_row() {

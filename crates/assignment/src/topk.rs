@@ -1,0 +1,247 @@
+//! Sharded blocked top-k over factored similarities.
+//!
+//! The XL-tier replacement for per-row full scans: rows are partitioned into
+//! fixed shards, each shard walks the column space in fixed-order tiles of the
+//! implicit factor product, and every row keeps only a bounded heap of its
+//! `k` best candidates. Live memory per worker is one logical tile plus the
+//! heaps — never a full row of an `n × m` product, let alone the product.
+//!
+//! Determinism: each row is owned by exactly one shard, shards are mapped over
+//! a fixed ascending range by [`par::map_collect`] (which assembles results in
+//! input order regardless of scheduling), and the tile walk within a shard is
+//! sequential ascending. The per-row result is therefore a pure function of
+//! `(similarity, k, config)` — bit-identical at any thread count and any
+//! shard/tile size, which the tests pin against the single-shard reference
+//! [`LowRankSim::row_top_k_after`].
+
+use graphalign_linalg::LowRankSim;
+use graphalign_par as par;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// Shard/tile geometry for [`sharded_row_top_k`].
+#[derive(Debug, Clone, Copy)]
+pub struct TopKConfig {
+    /// Rows per shard (one parallel work item).
+    pub shard_rows: usize,
+    /// Columns per tile within a shard's scan.
+    pub tile_cols: usize,
+}
+
+impl Default for TopKConfig {
+    fn default() -> Self {
+        Self { shard_rows: 128, tile_cols: 2048 }
+    }
+}
+
+/// Heap entry ordered by *worseness*: the heap max is the worst kept
+/// candidate, so a bounded top-k needs only `peek`/`pop`/`push`. A candidate
+/// `a` is worse than `b` when `a.v < b.v`, ties broken toward the larger
+/// column — the exact complement of the dense order (value descending by
+/// `partial_cmp`, column ascending).
+#[derive(Debug, PartialEq)]
+struct Worst(f64, usize);
+
+impl Eq for Worst {}
+
+impl Ord for Worst {
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .0
+            .partial_cmp(&self.0)
+            .expect("finite similarities")
+            .then_with(|| self.1.cmp(&other.1))
+    }
+}
+
+impl PartialOrd for Worst {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// Bounded per-row candidate heap: keeps the `k` best `(value, col)` pairs
+/// seen so far under the dense order.
+struct BoundedTopK {
+    k: usize,
+    heap: BinaryHeap<Worst>,
+}
+
+impl BoundedTopK {
+    fn new(k: usize) -> Self {
+        Self { k, heap: BinaryHeap::with_capacity(k + 1) }
+    }
+
+    #[inline]
+    fn offer(&mut self, v: f64, j: usize) {
+        if self.k == 0 {
+            return;
+        }
+        if self.heap.len() < self.k {
+            self.heap.push(Worst(v, j));
+        } else if let Some(worst) = self.heap.peek() {
+            // Strictly better than the worst kept candidate?
+            if Worst(v, j) < *worst {
+                self.heap.pop();
+                self.heap.push(Worst(v, j));
+            }
+        }
+    }
+
+    /// Best-first candidate list (value descending, column ascending) —
+    /// exactly the order `row_top_k_after(i, None, k)` returns.
+    fn into_sorted(self) -> Vec<(f64, usize)> {
+        self.heap.into_sorted_vec().into_iter().map(|Worst(v, j)| (v, j)).collect()
+    }
+}
+
+/// Top-`k` candidates of every row of the factored similarity, computed by
+/// fixed-order sharded tile scans. Returns one best-first candidate list per
+/// row, each bit-identical to `lr.row_top_k_after(i, None, k, ..)` at any
+/// thread count (proven by the cross-checks in the tests and the XL
+/// integration suite).
+pub fn sharded_row_top_k(lr: &LowRankSim, k: usize, cfg: &TopKConfig) -> Vec<Vec<(f64, usize)>> {
+    let (n, m) = (lr.rows(), lr.cols());
+    let shard_rows = cfg.shard_rows.max(1);
+    let tile_cols = cfg.tile_cols.max(1);
+    let shards = n.div_ceil(shard_rows);
+    // Cost per shard ≈ shard_rows × m kernel evaluations; the weight makes
+    // the scheduler fork even for a single large shard row range.
+    let weight = shard_rows.saturating_mul(m).max(1);
+    let per_shard: Vec<Vec<Vec<(f64, usize)>>> = par::map_collect(shards, weight, |s| {
+        let lo = s * shard_rows;
+        let hi = (lo + shard_rows).min(n);
+        let mut heaps: Vec<BoundedTopK> = (lo..hi).map(|_| BoundedTopK::new(k)).collect();
+        let mut c0 = 0;
+        while c0 < m {
+            let c1 = (c0 + tile_cols).min(m);
+            for (slot, i) in (lo..hi).enumerate() {
+                let heap = &mut heaps[slot];
+                for j in c0..c1 {
+                    heap.offer(lr.value(i, j), j);
+                }
+            }
+            c0 = c1;
+        }
+        heaps.into_iter().map(BoundedTopK::into_sorted).collect()
+    });
+    // Fixed shard order: concatenation is row order 0..n.
+    let mut out = Vec::with_capacity(n);
+    for shard in per_shard {
+        out.extend(shard);
+    }
+    out
+}
+
+/// Sharded top-1: the nearest-neighbor column of every row (maximum value,
+/// lowest column on ties — the [`graphalign_linalg::vec_ops`] `argmax`
+/// convention), computed with the same deterministic shard scan.
+///
+/// # Panics
+/// Panics when the similarity has zero columns.
+pub fn nearest_neighbor_sharded(lr: &LowRankSim, cfg: &TopKConfig) -> Vec<usize> {
+    assert!(lr.cols() > 0, "nearest_neighbor_sharded: no columns to match");
+    sharded_row_top_k(lr, 1, cfg)
+        .into_iter()
+        .map(|row| row.first().expect("cols > 0 guarantees a candidate").1)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use graphalign_linalg::{DenseMatrix, LowRankKernel, Workspace};
+    use rand::prelude::*;
+
+    fn random_lowrank(rng: &mut StdRng, kernel: LowRankKernel) -> LowRankSim {
+        let (n, d) = (rng.random_range(1..40usize), rng.random_range(1..4usize));
+        let m = rng.random_range(1..60usize);
+        // Coarse grid values force plenty of exact ties.
+        let ya = DenseMatrix::from_fn(n, d, |_, _| rng.random_range(-2..3) as f64 * 0.5);
+        let yb = DenseMatrix::from_fn(m, d, |_, _| rng.random_range(-2..3) as f64 * 0.5);
+        let lr = LowRankSim::new(ya, yb, kernel);
+        if rng.random_range(0..10) < 3 {
+            let offs = (0..n).map(|i| (i % 3) as f64 * 0.25).collect();
+            lr.with_row_offsets(offs)
+        } else {
+            lr
+        }
+    }
+
+    #[test]
+    fn matches_single_shard_reference_for_all_kernels() {
+        let mut rng = StdRng::seed_from_u64(1031);
+        let mut ws = Workspace::new();
+        for kernel in [LowRankKernel::Dot, LowRankKernel::NegSqDist, LowRankKernel::ExpNegSqDist] {
+            for _ in 0..8 {
+                let lr = random_lowrank(&mut rng, kernel);
+                let k = rng.random_range(1..8usize);
+                // Deliberately tiny shards/tiles to exercise every boundary.
+                let cfg = TopKConfig {
+                    shard_rows: rng.random_range(1..5usize),
+                    tile_cols: rng.random_range(1..7usize),
+                };
+                let got = sharded_row_top_k(&lr, k, &cfg);
+                for (i, row) in got.iter().enumerate() {
+                    let want = lr.row_top_k_after(i, None, k, &mut ws);
+                    assert_eq!(*row, want, "{kernel:?} row {i} cfg {cfg:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn identical_across_thread_counts_and_geometries() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let lr = random_lowrank(&mut rng, LowRankKernel::NegSqDist);
+        let reference = sharded_row_top_k(
+            &lr,
+            5,
+            &TopKConfig { shard_rows: usize::MAX, tile_cols: usize::MAX },
+        );
+        for threads in [1usize, 2, 8] {
+            graphalign_par::set_max_threads(threads);
+            for cfg in [
+                TopKConfig::default(),
+                TopKConfig { shard_rows: 1, tile_cols: 3 },
+                TopKConfig { shard_rows: 7, tile_cols: 2 },
+            ] {
+                assert_eq!(
+                    sharded_row_top_k(&lr, 5, &cfg),
+                    reference,
+                    "threads={threads} cfg={cfg:?}"
+                );
+            }
+        }
+        graphalign_par::set_max_threads(0);
+    }
+
+    #[test]
+    fn top1_matches_row_argmax() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut ws = Workspace::new();
+        for kernel in [LowRankKernel::Dot, LowRankKernel::ExpNegSqDist] {
+            for _ in 0..6 {
+                let lr = random_lowrank(&mut rng, kernel);
+                let nn = nearest_neighbor_sharded(&lr, &TopKConfig::default());
+                for (i, &col) in nn.iter().enumerate() {
+                    assert_eq!(Some(col), lr.row_argmax(i, &mut ws), "{kernel:?} row {i}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn k_zero_and_k_beyond_cols_are_well_defined() {
+        let ya = DenseMatrix::filled(3, 2, 1.0);
+        let yb = DenseMatrix::filled(4, 2, 1.0);
+        let lr = LowRankSim::new(ya, yb, LowRankKernel::Dot);
+        let none = sharded_row_top_k(&lr, 0, &TopKConfig::default());
+        assert!(none.iter().all(Vec::is_empty));
+        let all = sharded_row_top_k(&lr, 99, &TopKConfig::default());
+        // All values tie at 2.0, so each row lists columns in ascending order.
+        for row in &all {
+            assert_eq!(row.iter().map(|&(_, j)| j).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+        }
+    }
+}

@@ -4,12 +4,13 @@
 //! GRAAL excluded for its quintic preprocessing).
 
 use graphalign_assignment::AssignmentMethod;
-use graphalign_bench::figures::banner;
+use graphalign_bench::figures::{banner, SweepRow};
 use graphalign_bench::harness::run_instance_split;
+use graphalign_bench::journal::{CellKey, Journal};
 use graphalign_bench::memprobe::{fmt_bytes, CellRssProbe};
 use graphalign_bench::suite::Algo;
 use graphalign_bench::table::{secs, Table};
-use graphalign_bench::Config;
+use graphalign_bench::{xl, Config};
 use graphalign_graph::permutation::AlignmentInstance;
 
 struct Row {
@@ -48,8 +49,108 @@ pub(crate) fn node_grid(quick: bool) -> Vec<usize> {
     }
 }
 
+/// The `--scale xl` branch: the streamed never-densify tier. Instances come
+/// from [`xl::instance`] (chunked CSR build off a disk edge stream), only the
+/// XL-capable roster runs, the similarity phase is timed (fig11's protocol),
+/// quality is the exact sliced sharded-NN probe, and every cell goes through
+/// the journal so `--resume` replays completed cells bit-identically.
+fn run_xl(cfg: &Config) {
+    banner(
+        "Figure 11 XL (runtime vs node count, streamed never-densify tier)",
+        cfg,
+        "ring+chords avg degree 10; similarity timed, sliced sharded-NN probe",
+    );
+    let mut journal = cfg.out.as_deref().map(|out| {
+        let opened =
+            if cfg.resume { Journal::resume(out, cfg.seed) } else { Journal::fresh(out, cfg.seed) };
+        opened.unwrap_or_else(|e| {
+            eprintln!("error: journal for {}: {e}", out.display());
+            std::process::exit(1);
+        })
+    });
+    let slice = if cfg.quick { xl::XL_EVAL_SLICE_QUICK } else { xl::XL_EVAL_SLICE };
+    let dir = xl::stream_dir();
+    let mut t =
+        Table::new(&["algorithm", "n", "time(similarity)", "acc@slice", "repr", "sim", "rss"]);
+    let mut rows: Vec<SweepRow> = Vec::new();
+    for n in xl::node_grid(cfg.quick) {
+        // The streamed instance is built lazily: a fully-journaled resume
+        // replays every cell without touching the generator at all.
+        let mut inst = None;
+        for algo in xl::XlAlgo::ALL {
+            let key =
+                CellKey::new(xl::XL_WORKLOAD, algo.name(), "NN", "none", n as f64, cfg.seed, 1);
+            if let Some(row) = journal.as_ref().and_then(|j| j.lookup(&key)) {
+                let row = row.clone();
+                t.row(&[
+                    algo.name().into(),
+                    n.to_string(),
+                    row.cell.seconds.map_or_else(|| "journal".into(), secs),
+                    row.cell.accuracy.map_or_else(|| "-".into(), |a| format!("{a:.4}")),
+                    "journal".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+                rows.push(row);
+                continue;
+            }
+            if inst.is_none() {
+                std::fs::create_dir_all(&dir).unwrap_or_else(|e| {
+                    eprintln!("error: create {}: {e}", dir.display());
+                    std::process::exit(1);
+                });
+                inst = Some(xl::instance(&dir, n, cfg.seed).unwrap_or_else(|e| {
+                    eprintln!("error: streamed instance at n={n}: {e}");
+                    std::process::exit(1);
+                }));
+            }
+            let m = xl::run_cell(
+                algo,
+                inst.as_ref().expect("instance built above"),
+                slice,
+                cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
+            );
+            if m.densifications > 0 {
+                eprintln!(
+                    "warning: {} at n={n}: {} densification(s) — XL tier must stay factored",
+                    algo.name(),
+                    m.densifications
+                );
+            }
+            t.row(&[
+                algo.name().into(),
+                n.to_string(),
+                m.cell.seconds.map_or_else(|| m.cell.error_class.clone().unwrap_or_default(), secs),
+                m.cell.accuracy.map_or_else(|| "-".into(), |a| format!("{a:.4}")),
+                m.sim.map_or_else(|| "-".into(), |s| s.repr.into()),
+                m.sim.map_or_else(|| "-".into(), |s| fmt_bytes(s.bytes)),
+                m.rss_delta_bytes.map_or_else(|| "-".into(), fmt_bytes),
+            ]);
+            let row = SweepRow {
+                workload: xl::XL_WORKLOAD.into(),
+                noise: "none".into(),
+                level: n as f64,
+                cell: m.cell,
+            };
+            if let Some(j) = journal.as_mut() {
+                if let Err(e) = j.record(key, &row) {
+                    eprintln!("error: journal write to {}: {e}", j.path().display());
+                    std::process::exit(1);
+                }
+            }
+            rows.push(row);
+        }
+    }
+    t.print();
+    cfg.write_json(&rows);
+}
+
 fn main() {
     let cfg = Config::from_args();
+    if cfg.xl {
+        run_xl(&cfg);
+        return;
+    }
     banner("Figure 11 (runtime vs node count)", &cfg, "configuration model, avg degree 10");
     let reps = cfg.reps(5);
     let mut t = Table::new(&["algorithm", "n", "time(similarity)", "rss"]);

@@ -426,16 +426,45 @@ fn run_all(cfg: &Config) -> Vec<Row> {
     rows
 }
 
+/// Physical parallelism of this host, as recorded in the report header. The
+/// thread-sweep rows (`threads = 2, 8`) are oversubscription noise when the
+/// recording host has fewer cores — `compare` uses the baseline's value to
+/// skip exactly those pairs instead of trusting a prose caveat.
+fn host_cores() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// SIMD dispatch level the kernels ran at (`"avx2"` or `"scalar"`). Both
+/// paths are bitwise-identical, so this only contextualizes throughput —
+/// but a baseline recorded under one level should be read knowing it.
+fn simd_level() -> &'static str {
+    if graphalign_linalg::simd::simd_active() {
+        "avx2"
+    } else {
+        "scalar"
+    }
+}
+
 fn report_json(cfg: &Config, rows: &[Row]) -> Json {
     Json::Obj(vec![
         ("schema".into(), Json::Str("kernel_bench/v1".into())),
         ("threads".into(), Json::Num(cfg.threads as f64)),
         ("mode".into(), Json::Str(if cfg.quick { "quick" } else { "full" }.into())),
+        ("host_cores".into(), Json::Num(host_cores() as f64)),
+        ("simd".into(), Json::Str(simd_level().into())),
         ("rows".into(), Json::Arr(rows.iter().map(Row::to_json).collect())),
     ])
 }
 
-fn load_baseline(path: &str) -> Vec<Row> {
+/// A parsed baseline: its rows plus the host parallelism it was recorded
+/// under. `host_cores` is `None` for pre-schema-extension baselines (no
+/// skipping is applied for those — the rule cannot be retrofitted honestly).
+struct Baseline {
+    rows: Vec<Row>,
+    host_cores: Option<usize>,
+}
+
+fn load_baseline(path: &str) -> Baseline {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
         eprintln!("kernel_bench: cannot read baseline {path}: {e}");
         std::process::exit(2);
@@ -453,7 +482,17 @@ fn load_baseline(path: &str) -> Vec<Row> {
         eprintln!("kernel_bench: baseline {path} has no parseable rows");
         std::process::exit(2);
     }
-    rows
+    let host_cores = parsed.get("host_cores").and_then(Json::as_f64).map(|c| c as usize);
+    if let Some(simd) = parsed.get("simd").and_then(Json::as_str) {
+        let current = simd_level();
+        if simd != current {
+            println!(
+                "note: baseline recorded at SIMD level {simd}, this run is {current} — \
+                 ratios compare naive/optimized at the same level, so the gate still holds"
+            );
+        }
+    }
+    Baseline { rows, host_cores }
 }
 
 fn median_of<'a>(rows: &'a [Row], kernel: &str, size: &str, threads: usize) -> Option<&'a Row> {
@@ -463,15 +502,33 @@ fn median_of<'a>(rows: &'a [Row], kernel: &str, size: &str, threads: usize) -> O
 /// Compares the naive/optimized speedup ratios of the current run against
 /// the baseline's, at matching `(size, threads)`. Returns the number of
 /// regressions (> 10% ratio drop).
-fn compare(baseline: &[Row], current: &[Row]) -> usize {
+///
+/// Pairs at thread counts exceeding the baseline's recorded `host_cores` are
+/// skipped with a note: a 1-core host timing `threads = 8` measures
+/// oversubscription scheduling, not kernel speed, so its ratios gate
+/// nothing. A run where *every* pair is skipped by that rule passes (the
+/// machine-checked replacement for the old prose-only caveat); having no
+/// comparable pairs for any other reason is still a hard setup error.
+fn compare(baseline: &Baseline, current: &[Row]) -> usize {
     let mut regressions = 0;
     let mut pairs_checked = 0;
+    let mut skipped_over_cores = 0;
     for &(naive, optimized) in &RATIO_PAIRS {
         for cur_opt in current.iter().filter(|r| r.kernel == optimized) {
             let (size, t) = (&cur_opt.size, cur_opt.threads);
+            if let Some(cores) = baseline.host_cores {
+                if t > cores {
+                    println!(
+                        "skip {optimized} [{size} t{t}]: baseline host had {cores} core(s) — \
+                         its t{t} rows are oversubscription noise"
+                    );
+                    skipped_over_cores += 1;
+                    continue;
+                }
+            }
             let Some(cur_naive) = median_of(current, naive, size, t) else { continue };
-            let Some(base_opt) = median_of(baseline, optimized, size, t) else { continue };
-            let Some(base_naive) = median_of(baseline, naive, size, t) else { continue };
+            let Some(base_opt) = median_of(&baseline.rows, optimized, size, t) else { continue };
+            let Some(base_naive) = median_of(&baseline.rows, naive, size, t) else { continue };
             if cur_opt.median_ns == 0 || base_opt.median_ns == 0 {
                 continue;
             }
@@ -492,6 +549,13 @@ fn compare(baseline: &[Row], current: &[Row]) -> usize {
         }
     }
     if pairs_checked == 0 {
+        if skipped_over_cores > 0 {
+            println!(
+                "kernel_bench: all {skipped_over_cores} ratio pair(s) exceed the baseline \
+                 host's parallelism — nothing to gate at this thread count"
+            );
+            return 0;
+        }
         eprintln!("kernel_bench: no comparable kernel/size pairs between run and baseline");
         std::process::exit(2);
     }
@@ -546,7 +610,7 @@ fn main() {
         Some(path) => {
             let baseline = load_baseline(path);
             let regressions = compare(&baseline, &rows);
-            let missing = check_coverage(&baseline, &rows, cfg.quick);
+            let missing = check_coverage(&baseline.rows, &rows, cfg.quick);
             if regressions + missing > 0 {
                 eprintln!(
                     "kernel_bench: {regressions} speedup regression(s) > 10% and {missing} \

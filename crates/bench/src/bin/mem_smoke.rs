@@ -16,13 +16,95 @@ use graphalign::Aligner;
 use graphalign_assignment::AssignmentMethod;
 use graphalign_bench::figures::banner;
 use graphalign_bench::memprobe::{fmt_bytes, CellRssProbe};
-use graphalign_bench::Config;
+use graphalign_bench::{xl, Config};
 use graphalign_graph::permutation::AlignmentInstance;
 use graphalign_linalg::Similarity;
 use graphalign_par::telemetry;
 
+/// The `--scale xl` gate: every XL roster member must run its similarity
+/// phase end-to-end on a streamed instance with **zero** densifications and
+/// a per-cell peak-RSS delta within the tier's enforced `O(n·d)` budget
+/// ([`xl::budget_bytes`]). Either violation exits non-zero — this is the
+/// machine check behind the tier's "never densify" claim.
+fn run_xl(cfg: &Config) {
+    banner(
+        "Memory smoke XL (enforced O(n·d) budget)",
+        cfg,
+        "streamed instances, full XL roster, zero-densification + RSS gate",
+    );
+    let n = if cfg.quick { 1 << 15 } else { 1 << 20 };
+    let budget = xl::budget_bytes(n);
+    let slice = if cfg.quick { xl::XL_EVAL_SLICE_QUICK } else { xl::XL_EVAL_SLICE };
+    let dir = xl::stream_dir();
+    std::fs::create_dir_all(&dir).expect("create stream dir");
+    let inst = xl::instance(&dir, n, cfg.seed).expect("streamed XL instance");
+    println!(
+        "n={n}, budget {} (a dense n×n would be {})",
+        fmt_bytes(budget),
+        fmt_bytes(Similarity::dense_bytes(n, n)),
+    );
+    let mut failed = false;
+    for algo in xl::XlAlgo::ALL {
+        let m = xl::run_cell(
+            algo,
+            &inst,
+            slice,
+            cfg.cell_timeout.map(std::time::Duration::from_secs_f64),
+        );
+        let rss = m.rss_delta_bytes;
+        println!(
+            "{} + NN[0..{slice}]: seconds={} acc@slice={} densifications={} rss_delta={}",
+            algo.name(),
+            m.cell.seconds.map_or_else(|| "-".into(), |s| format!("{s:.2}")),
+            m.cell.accuracy.map_or_else(|| "-".into(), |a| format!("{a:.4}")),
+            m.densifications,
+            rss.map_or_else(|| "unreadable".into(), fmt_bytes),
+        );
+        if let Some(e) = &m.cell.error {
+            eprintln!("FAIL: {} did not complete: {e}", algo.name());
+            failed = true;
+            continue;
+        }
+        if m.densifications != 0 {
+            eprintln!(
+                "FAIL: {} materialized a dense matrix {} time(s) — the XL tier must stay factored",
+                algo.name(),
+                m.densifications
+            );
+            failed = true;
+        }
+        // The RSS gate: `None` (no /proc) degrades to the densification-only
+        // check rather than passing vacuously *and* silently.
+        match rss {
+            Some(delta) if delta > budget => {
+                eprintln!(
+                    "FAIL: {} peak-RSS delta {} exceeds the O(n·d) budget {}",
+                    algo.name(),
+                    fmt_bytes(delta),
+                    fmt_bytes(budget)
+                );
+                failed = true;
+            }
+            Some(_) => {}
+            None => eprintln!(
+                "note: /proc unavailable — RSS gate for {} degraded to the \
+                 densification check",
+                algo.name()
+            ),
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+    println!("ok: XL roster stayed factored and within the O(n·d) peak-RSS budget");
+}
+
 fn main() {
     let cfg = Config::from_args();
+    if cfg.xl {
+        run_xl(&cfg);
+        return;
+    }
     banner("Memory smoke (factored assignment)", &cfg, "REGAL at the fig13 grid scale");
     let n = if cfg.quick { 1 << 12 } else { 1 << 14 };
     let dense_footprint = Similarity::dense_bytes(n, n);

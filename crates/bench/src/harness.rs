@@ -76,7 +76,7 @@ pub struct RepFailure {
 }
 
 impl RepFailure {
-    fn from_align_error(algo: &str, context: &str, e: &AlignError) -> Self {
+    pub(crate) fn from_align_error(algo: &str, context: &str, e: &AlignError) -> Self {
         let class = match e {
             AlignError::Interrupted { .. } => CellError::Timeout,
             AlignError::BadInstance(_) => CellError::Infeasible,

@@ -28,6 +28,7 @@ pub mod plot;
 pub mod suite;
 pub mod table;
 pub mod telemetry;
+pub mod xl;
 
 use std::path::PathBuf;
 use std::time::Duration;
@@ -54,6 +55,12 @@ pub struct Config {
     /// `--trace <path>`: write a JSONL sidecar with the per-iteration
     /// residual series of every solver invocation (see [`telemetry`]).
     pub trace: Option<PathBuf>,
+    /// `--scale xl`: run the million-node tier (streamed instances, the
+    /// XL-capable algorithm roster, enforced `O(n·d)` memory budget) instead
+    /// of the paper grid. Combines with `--quick`/`--full` for the CI-sized
+    /// vs full XL node grid. Only the scalability binaries (fig11/fig13,
+    /// mem_smoke) consume it; the others ignore it.
+    pub xl: bool,
 }
 
 impl Default for Config {
@@ -67,6 +74,7 @@ impl Default for Config {
             retries: 0,
             resume: false,
             trace: None,
+            xl: false,
         }
     }
 }
@@ -82,6 +90,15 @@ impl Config {
             match arg.as_str() {
                 "--quick" => cfg.quick = true,
                 "--full" => cfg.quick = false,
+                "--scale" => {
+                    let v = args.next().unwrap_or_else(|| usage("--scale needs a value"));
+                    match v.as_str() {
+                        "xl" => cfg.xl = true,
+                        "quick" => cfg.quick = true,
+                        "full" => cfg.quick = false,
+                        _ => usage("--scale takes xl, quick, or full"),
+                    }
+                }
                 "--seed" => {
                     let v = args.next().unwrap_or_else(|| usage("--seed needs a value"));
                     cfg.seed = v.parse().unwrap_or_else(|_| usage("--seed needs a u64"));
@@ -171,8 +188,9 @@ fn usage(msg: &str) -> ! {
         eprintln!("error: {msg}");
     }
     eprintln!(
-        "usage: <bin> [--quick|--full] [--seed <u64>] [--out <path.json>] [--threads <n>]\n\
-         \x20           [--cell-timeout <secs>] [--retries <n>] [--resume] [--trace <path.jsonl>]"
+        "usage: <bin> [--quick|--full] [--scale xl|quick|full] [--seed <u64>] [--out <path.json>]\n\
+         \x20           [--threads <n>] [--cell-timeout <secs>] [--retries <n>] [--resume]\n\
+         \x20           [--trace <path.jsonl>]"
     );
     std::process::exit(if msg.is_empty() { 0 } else { 2 })
 }

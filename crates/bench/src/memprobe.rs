@@ -29,7 +29,7 @@ use graphalign_linalg::Similarity;
 /// assumption. CSR adjacencies cost `~16·2m`, embeddings `8·n·d`.
 pub fn model_bytes(algo: Algo, n: usize, m: usize) -> usize {
     let n2 = Similarity::dense_bytes(n, n);
-    let csr = 2 * (16 * 2 * m + 8 * n);
+    let csr = 2 * csr_graph_bytes(n, m);
     match algo {
         // Dense n×n similarity iterated in place (R and E plus a scratch).
         Algo::IsoRank => 3 * n2 + csr,
@@ -37,11 +37,17 @@ pub fn model_bytes(algo: Algo, n: usize, m: usize) -> usize {
         Algo::Graal => n2 + 2 * (15 * 8 * n) + csr,
         // Component vectors (iterations+1 each side) + dense similarity.
         Algo::Nsd => n2 + 2 * 21 * 8 * n + csr,
-        // Factor pairs only (the whole point of LREA): the similarity stays
-        // the implicit `U Vᵀ`.
+        // Factor pairs during the solve, plus the sparse union-of-matchings
+        // candidate list the native auction route hands the solver as a
+        // `Similarity::Sparse` — accounted at its CSR nnz footprint
+        // ([`Similarity::sparse_bytes`], nnz ≤ max_rank·n), not the dense
+        // `8n²` upper bound the old accounting implied by ignoring it.
         Algo::Lrea => {
-            let rank = Lrea::default().max_rank + 3;
-            Similarity::lowrank_bytes(n, n, rank) + csr
+            let lrea = Lrea::default();
+            let rank = lrea.max_rank + 3;
+            Similarity::lowrank_bytes(n, n, rank)
+                + Similarity::sparse_bytes(n, lrea.max_rank * n)
+                + csr
         }
         // Features + node-to-landmark matrix + the factored embedding
         // similarity; no n² matrix anywhere.
@@ -67,6 +73,14 @@ pub fn model_bytes(algo: Algo, n: usize, m: usize) -> usize {
             2 * (8 * n * k + 8 * n * 100) + Similarity::lowrank_bytes(n, n, k) + csr
         }
     }
+}
+
+/// Exact bytes one [`graphalign_graph::Graph`] CSR occupies at `n` nodes and
+/// `m` undirected edges: `n + 1` offsets plus `2m` neighbor arcs, all
+/// `usize`. The nnz-based twin of [`Similarity::sparse_bytes`] for
+/// adjacencies — never a dense bound.
+pub fn csr_graph_bytes(n: usize, m: usize) -> usize {
+    (n + 1) * size_of::<usize>() + 2 * m * size_of::<usize>()
 }
 
 /// Peak resident set size of this process in bytes (`VmHWM`), if the
@@ -151,6 +165,24 @@ mod tests {
         let m = 10 * n;
         assert!(model_bytes(Algo::IsoRank, n, m) > model_bytes(Algo::Lrea, n, m));
         assert!(model_bytes(Algo::Gwl, n, m) > model_bytes(Algo::Regal, n, m));
+    }
+
+    #[test]
+    fn lrea_sparse_candidates_are_nnz_accounted() {
+        // The LREA model must charge the candidate similarity at CSR nnz
+        // bytes (≤ max_rank·n entries), which at scale is a vanishing
+        // fraction of the dense 8n² upper bound.
+        let n = 1 << 14;
+        let m = 10 * n;
+        let model = model_bytes(Algo::Lrea, n, m);
+        assert!(model > Similarity::sparse_bytes(n, 16 * n), "sparse term missing: {model}");
+        assert!(model < Similarity::dense_bytes(n, n) / 10, "dense-bound accounting: {model}");
+    }
+
+    #[test]
+    fn csr_bytes_match_graph_storage() {
+        // ring of 8 nodes: 8 undirected edges, 16 arcs.
+        assert_eq!(csr_graph_bytes(8, 8), 9 * 8 + 16 * 8);
     }
 
     #[test]

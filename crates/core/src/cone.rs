@@ -24,6 +24,7 @@ use crate::{check_sizes, AlignError, Aligner};
 use graphalign_assignment::AssignmentMethod;
 use graphalign_graph::{spectral, Graph};
 use graphalign_linalg::lanczos::{lanczos, Which};
+use graphalign_linalg::landmark::LandmarkSinkhorn;
 use graphalign_linalg::sinkhorn::{sinkhorn, uniform_marginal, SinkhornParams};
 use graphalign_linalg::svd::procrustes;
 use graphalign_linalg::{CsrMatrix, DenseMatrix, LinearOp, LowRankKernel, LowRankSim, Similarity};
@@ -45,6 +46,12 @@ pub struct Cone {
     pub sinkhorn: SinkhornParams,
     /// Seed for the Lanczos starting vectors.
     pub seed: u64,
+    /// When `Some(k)`, every Wasserstein step runs on a `k`-landmark Nyström
+    /// factorization of the Gibbs kernel ([`LandmarkSinkhorn`]) instead of a
+    /// dense `n_a × n_b` cost matrix — the XL-tier path with `O((n+m)·k)`
+    /// memory. `None` (the default) keeps the exact dense solver,
+    /// bit-identical to the pre-landmark implementation.
+    pub landmarks: Option<usize>,
 }
 
 impl Default for Cone {
@@ -55,6 +62,7 @@ impl Default for Cone {
             outer_iters: 20,
             sinkhorn: SinkhornParams { epsilon: 0.05, max_iter: 100, tol: 1e-6 },
             seed: 0xc0e,
+            landmarks: None,
         }
     }
 }
@@ -128,6 +136,10 @@ impl Cone {
         let mu = uniform_marginal(n_a);
         let nu = uniform_marginal(n_b);
 
+        if let Some(k) = self.landmarks {
+            return self.alternate_landmark(source, target, &ya, &yb, &mu, &nu, k);
+        }
+
         // Warm start: transport over structural-feature distances.
         let (fa, fb) = crate::features::feature_pair(
             source,
@@ -186,6 +198,76 @@ impl Cone {
             },
         );
         Ok((ya.matmul(&q), yb))
+    }
+
+    /// The Wasserstein–Procrustes alternation on the `k`-landmark factored
+    /// kernel: each outer step rebuilds the Nyström factorization on the
+    /// rotated embeddings with the annealed ε, runs the factored scaling
+    /// loop, and applies the plan to `Y_B` through the factors
+    /// ([`LandmarkSinkhorn::plan_mul`]) — no `n_a × n_b` object anywhere.
+    /// The warm start transports over structural-feature distances, like the
+    /// dense path, but through the same landmark factorization.
+    #[allow(clippy::too_many_arguments)]
+    fn alternate_landmark(
+        &self,
+        source: &Graph,
+        target: &Graph,
+        ya: &DenseMatrix,
+        yb: &DenseMatrix,
+        mu: &[f64],
+        nu: &[f64],
+        k: usize,
+    ) -> Result<(DenseMatrix, DenseMatrix), AlignError> {
+        let n_a = source.node_count();
+        // Warm start: factored transport over structural-feature distances.
+        let (fa, fb) = crate::features::feature_pair(
+            source,
+            target,
+            &crate::features::FeatureParams::default(),
+        );
+        let lk = LandmarkSinkhorn::build(&fa, &fb, k, self.sinkhorn.epsilon)?;
+        let (u, v, _) = lk.solve(mu, nu, &self.sinkhorn)?;
+        let mut p_yb = lk.plan_mul(&u, &v, yb);
+        p_yb.scale_inplace(n_a as f64);
+        let mut q = procrustes(ya, &p_yb)?;
+
+        const TOL: f64 = 1e-7;
+        let mut iterations = 0;
+        let mut last_delta = f64::INFINITY;
+        let mut hit_tol = false;
+        for it in 0..self.outer_iters {
+            crate::check_budget("cone", it)?;
+            let ya_q = ya.matmul(&q);
+            let annealed = SinkhornParams {
+                epsilon: (self.sinkhorn.epsilon * 0.8_f64.powi(it as i32)).max(0.005),
+                ..self.sinkhorn
+            };
+            // The factorization bakes ε into the Gibbs blocks, so it is
+            // rebuilt with the annealed value each round — still O((n+m)·k).
+            let lk = LandmarkSinkhorn::build(&ya_q, yb, k, annealed.epsilon)?;
+            let (u, v, _) = lk.solve(mu, nu, &annealed)?;
+            let mut p_yb = lk.plan_mul(&u, &v, yb);
+            p_yb.scale_inplace(n_a as f64);
+            let q_new = procrustes(ya, &p_yb)?;
+            let delta = q_new.sub(&q).max_abs();
+            iterations = it + 1;
+            last_delta = delta;
+            telemetry::record_residual("cone", delta);
+            q = q_new;
+            if delta < TOL {
+                hit_tol = true;
+                break;
+            }
+        }
+        telemetry::record(
+            "cone",
+            if hit_tol {
+                Convergence::tolerance(iterations, last_delta)
+            } else {
+                Convergence::max_iter(iterations, last_delta)
+            },
+        );
+        Ok((ya.matmul(&q), yb.clone()))
     }
 }
 
@@ -265,6 +347,37 @@ mod tests {
             .unwrap();
         let acc = accuracy(&aligned, &inst.ground_truth);
         assert!(acc > 0.3, "CONE accuracy on arm graph: {acc}");
+    }
+
+    #[test]
+    fn landmark_mode_is_factored_end_to_end_and_aligns() {
+        let inst = permuted_instance(6, 8);
+        let c = Cone { landmarks: Some(16), outer_iters: 6, ..fast_cone() };
+        let _g = telemetry::install(false);
+        let sim = c.similarity(&inst.source, &inst.target).unwrap();
+        assert!(matches!(sim, Similarity::LowRank(_)));
+        let aligned = c.align(&inst.source, &inst.target).unwrap();
+        assert_eq!(aligned.len(), inst.source.node_count());
+        let t = telemetry::drain();
+        assert_eq!(t.densifications, 0, "landmark CONE + NN must not densify");
+        assert!(
+            t.events.iter().any(|e| e.routine == "sinkhorn_landmark"),
+            "Wasserstein steps must run through the landmark solver"
+        );
+        let m = mnc(&inst.source, &inst.target, &aligned);
+        assert!(m > 0.2, "landmark CONE MNC on isomorphic graphs: {m}");
+    }
+
+    #[test]
+    fn landmark_mode_is_deterministic() {
+        let inst = permuted_instance(5, 2);
+        let c = Cone { landmarks: Some(8), outer_iters: 4, ..fast_cone() };
+        graphalign_par::set_max_threads(1);
+        let a = c.align(&inst.source, &inst.target).unwrap();
+        graphalign_par::set_max_threads(8);
+        let b = c.align(&inst.source, &inst.target).unwrap();
+        graphalign_par::set_max_threads(0);
+        assert_eq!(a, b, "bit-identical at any thread count");
     }
 
     #[test]

@@ -36,17 +36,27 @@ pub fn bucket_count(source: &Graph, target: &Graph) -> usize {
 pub fn structural_features(g: &Graph, params: &FeatureParams, buckets: usize) -> DenseMatrix {
     let n = g.node_count();
     let mut feats = DenseMatrix::zeros(n, buckets);
+    // One distance buffer shared across all source nodes, resetting only the
+    // entries each BFS touched: total work is the sum of K-hop neighborhood
+    // sizes, not n per node — the difference between seconds and hours at
+    // the XL tier's n = 10⁶.
+    let mut dist = vec![usize::MAX; n];
+    let mut touched: Vec<usize> = Vec::new();
+    let mut frontier: Vec<usize> = Vec::new();
+    let mut next: Vec<usize> = Vec::new();
     for v in 0..n {
-        let mut dist = vec![usize::MAX; n];
-        let mut frontier = vec![v];
+        frontier.clear();
+        frontier.push(v);
         dist[v] = 0;
+        touched.push(v);
         for hop in 1..=params.k_hops {
-            let mut next = Vec::new();
+            next.clear();
             for &u in &frontier {
                 for &w in g.neighbors(u) {
                     if dist[w] == usize::MAX {
                         dist[w] = hop;
                         next.push(w);
+                        touched.push(w);
                     }
                 }
             }
@@ -56,11 +66,15 @@ pub fn structural_features(g: &Graph, params: &FeatureParams, buckets: usize) ->
                 let bucket = if d == 0 { 0 } else { (d as f64).log2().floor() as usize };
                 feats.add_to(v, bucket.min(buckets - 1), weight);
             }
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
             if frontier.is_empty() {
                 break;
             }
         }
+        for &t in &touched {
+            dist[t] = usize::MAX;
+        }
+        touched.clear();
     }
     feats
 }

@@ -54,6 +54,7 @@
 pub mod baseline;
 pub mod cone;
 pub mod features;
+pub mod fprop;
 pub mod graal;
 pub mod grasp;
 pub mod gwl;

@@ -13,6 +13,7 @@
 //! (HighSchool, Voles, MultiMagna) under the paper's §6.5 protocol.
 
 pub mod evolving;
+pub mod stream;
 
 use graphalign_gen as gen;
 use graphalign_graph::{io, Graph, GraphBuilder};

@@ -45,6 +45,54 @@ impl Graph {
         Self { offsets, neighbors }
     }
 
+    /// Builds a graph directly from pre-assembled CSR parts — the entry point
+    /// for the streamed XL construction in `graphalign-datasets`, which never
+    /// holds the full edge list (or per-node `Vec`s) resident the way
+    /// [`Graph::from_edges`] does.
+    ///
+    /// The invariants [`Graph::from_edges`] establishes are validated in one
+    /// `O(n + m)` pass: `offsets` starts at 0, is monotone, and ends at
+    /// `neighbors.len()`; every neighbor list is strictly increasing (sorted,
+    /// deduplicated), in bounds, and free of self-loops. Full adjacency
+    /// symmetry (`u ∈ N(v) ⟺ v ∈ N(u)`) is additionally verified in debug
+    /// builds; release builds check the cheap necessary condition that the
+    /// arc count is even.
+    ///
+    /// # Panics
+    /// Panics with a descriptive message when any invariant is violated —
+    /// malformed CSR parts are a programmer error, matching the crate's
+    /// dimension-mismatch convention.
+    pub fn from_csr_parts(offsets: Vec<usize>, neighbors: Vec<usize>) -> Self {
+        assert!(!offsets.is_empty(), "from_csr_parts: offsets must have n+1 entries");
+        let n = offsets.len() - 1;
+        assert_eq!(offsets[0], 0, "from_csr_parts: offsets must start at 0");
+        assert_eq!(
+            *offsets.last().expect("non-empty"),
+            neighbors.len(),
+            "from_csr_parts: offsets must end at neighbors.len()"
+        );
+        assert_eq!(neighbors.len() % 2, 0, "from_csr_parts: undirected storage is twice m");
+        for v in 0..n {
+            assert!(offsets[v] <= offsets[v + 1], "from_csr_parts: offsets must be monotone");
+            let list = &neighbors[offsets[v]..offsets[v + 1]];
+            for (k, &u) in list.iter().enumerate() {
+                assert!(u < n, "from_csr_parts: neighbor {u} out of bounds for n={n}");
+                assert!(u != v, "from_csr_parts: self-loop at node {v}");
+                if k > 0 {
+                    assert!(
+                        list[k - 1] < u,
+                        "from_csr_parts: neighbor list of {v} not strictly increasing"
+                    );
+                }
+                debug_assert!(
+                    neighbors[offsets[u]..offsets[u + 1]].binary_search(&v).is_ok(),
+                    "from_csr_parts: arc {v}->{u} has no reverse arc"
+                );
+            }
+        }
+        Self { offsets, neighbors }
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn node_count(&self) -> usize {

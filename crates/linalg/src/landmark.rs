@@ -1,0 +1,341 @@
+//! Landmark (Nyström) Sinkhorn: entropic OT on a factored Gibbs kernel.
+//!
+//! The dense OT path builds an `n × m` cost matrix and its Gibbs kernel —
+//! the exact n×n wall the XL tier must avoid. This module replaces the dense
+//! kernel with its Nyström approximation through `k` landmark points:
+//!
+//! ```text
+//!   K ≈ K̃ = K_aL · W · K_bLᵀ,     W = pinv(K_LL)
+//! ```
+//!
+//! where `K_aL` (`n × k`) and `K_bL` (`m × k`) hold Gibbs affinities between
+//! the two embedding sets and the landmarks, and `K_LL` is the `k × k`
+//! landmark self-affinity block. Every Sinkhorn matvec then costs
+//! `O((n + m) · k)` and the peak footprint is `O((n + m) · k)` — never `n·m`.
+//!
+//! Landmarks are a deterministic stride over the target embedding rows, so
+//! results are reproducible and thread-count independent. The scaling loop
+//! mirrors [`crate::sinkhorn`]'s semantics exactly: same update rule, same
+//! degenerate-denominator reporting, same telemetry and budget hooks.
+
+use crate::dense::DenseMatrix;
+use crate::sinkhorn::{scaling_update, SinkhornParams, KERNEL_FLOOR};
+use crate::vec_ops;
+use crate::LinalgError;
+use graphalign_par as par;
+use graphalign_par::telemetry::{self, Convergence};
+
+/// Factored Gibbs kernel `diag-free` Nyström approximation plus the scaling
+/// solver that runs Sinkhorn against it.
+#[derive(Debug, Clone)]
+pub struct LandmarkSinkhorn {
+    /// `n × k` source-to-landmark Gibbs block.
+    ka: DenseMatrix,
+    /// `k × k` pseudo-inverse of the landmark self-affinity block.
+    w: DenseMatrix,
+    /// `m × k` target-to-landmark Gibbs block.
+    kb: DenseMatrix,
+    /// Target-row indices chosen as landmarks (deterministic stride).
+    landmarks: Vec<usize>,
+}
+
+/// Deterministic landmark selection: an even stride over `0..m`, so the same
+/// `(m, k)` always yields the same landmark set at any thread count.
+pub fn stride_landmarks(m: usize, k: usize) -> Vec<usize> {
+    let k = k.clamp(1, m.max(1));
+    (0..k).map(|l| l * m / k).collect()
+}
+
+impl LandmarkSinkhorn {
+    /// Builds the factored Gibbs kernel between embedding rows of `xa`
+    /// (`n × d`) and `xb` (`m × d`) with `landmarks` target rows and
+    /// regularization `epsilon`.
+    ///
+    /// Costs are squared Euclidean distances normalized by the maximum
+    /// observed landmark-block distance (the factored stand-in for the dense
+    /// path's max-abs cost normalization), so `epsilon` keeps the same
+    /// meaning as in the dense solver.
+    ///
+    /// # Errors
+    /// [`LinalgError::NotFinite`] when the embeddings contain NaN/∞, and
+    /// propagates SVD failures from the `k × k` pseudo-inverse.
+    ///
+    /// # Panics
+    /// Panics when the embedding dimensions differ or either side is empty.
+    pub fn build(
+        xa: &DenseMatrix,
+        xb: &DenseMatrix,
+        landmarks: usize,
+        epsilon: f64,
+    ) -> Result<Self, LinalgError> {
+        let routine = "sinkhorn_landmark";
+        assert_eq!(xa.cols(), xb.cols(), "landmark sinkhorn: embedding dim mismatch");
+        let (n, m) = (xa.rows(), xb.rows());
+        assert!(n > 0 && m > 0, "landmark sinkhorn: empty embedding set");
+        if !xa.all_finite() || !xb.all_finite() {
+            return Err(LinalgError::NotFinite { routine });
+        }
+        let idx = stride_landmarks(m, landmarks);
+        let k = idx.len();
+        let lm = xb.select_rows(&idx);
+        // Squared-distance blocks to the landmarks; one deterministic parallel
+        // pass each, O((n + m)·k·d) work and O((n + m)·k) memory.
+        let da = DenseMatrix::par_from_fn(n, k, |i, l| vec_ops::dist2_sq(xa.row(i), lm.row(l)));
+        let db = DenseMatrix::par_from_fn(m, k, |j, l| vec_ops::dist2_sq(xb.row(j), lm.row(l)));
+        // Normalize by the largest observed distance so epsilon is scale-free,
+        // exactly as the dense path divides its cost matrix by max-abs.
+        let scale = da.max_abs().max(db.max_abs()).max(1e-12);
+        let eps = epsilon.max(1e-12) * scale;
+        let gibbs = |v: f64| (-v / eps).exp().max(KERNEL_FLOOR);
+        let mut ka = da;
+        ka.map_inplace(gibbs);
+        let mut kb = db;
+        kb.map_inplace(gibbs);
+        // K_LL is the landmark rows of K_bL; pinv handles (near-)duplicate
+        // landmarks gracefully by truncating tiny singular values.
+        let kll = kb.select_rows(&(0..k).map(|l| idx[l]).collect::<Vec<_>>());
+        let w = crate::svd::pinv(&kll, 1e-6)?;
+        Ok(Self { ka, w, kb, landmarks: idx })
+    }
+
+    /// Number of source rows `n`.
+    pub fn rows(&self) -> usize {
+        self.ka.rows()
+    }
+
+    /// Number of target rows `m`.
+    pub fn cols(&self) -> usize {
+        self.kb.rows()
+    }
+
+    /// The target-row indices used as landmarks.
+    pub fn landmark_indices(&self) -> &[usize] {
+        &self.landmarks
+    }
+
+    /// Approximate heap footprint of the factorization in bytes.
+    pub fn nbytes(&self) -> usize {
+        let k = self.landmarks.len();
+        8 * (self.ka.rows() * k + self.kb.rows() * k + k * k) + 8 * k
+    }
+
+    /// `out = K̃ v` through the factors, clamped to the kernel floor (the
+    /// Nyström approximation can produce small negative entries; Sinkhorn
+    /// scalings require positive denominators).
+    fn kv_into(&self, v: &[f64], t: &mut Vec<f64>, out: &mut [f64]) {
+        t.clear();
+        t.extend_from_slice(&self.kb.tr_mul_vec(v));
+        let wt = self.w.mul_vec(t);
+        self.ka.mul_vec_into(&wt, out);
+        for o in out.iter_mut() {
+            *o = o.max(KERNEL_FLOOR);
+        }
+    }
+
+    /// `out = K̃ᵀ u` through the factors, clamped like [`Self::kv_into`].
+    fn ktu_into(&self, u: &[f64], t: &mut Vec<f64>, out: &mut [f64]) {
+        t.clear();
+        t.extend_from_slice(&self.ka.tr_mul_vec(u));
+        let wt = self.w.tr_mul_vec(t);
+        self.kb.mul_vec_into(&wt, out);
+        for o in out.iter_mut() {
+            *o = o.max(KERNEL_FLOOR);
+        }
+    }
+
+    /// Runs the Sinkhorn scaling loop against the factored kernel, returning
+    /// the scalings `(u, v)` and how the loop stopped. Mirrors the dense
+    /// [`crate::sinkhorn::sinkhorn`] semantics: same update rule, residual
+    /// definition (L1 row-marginal violation), telemetry events, and
+    /// cooperative budget checks.
+    ///
+    /// # Errors
+    /// [`LinalgError::Singular`] when a scaling denominator degenerates
+    /// against positive marginal mass, [`LinalgError::NotFinite`] if the
+    /// scalings blow up, [`LinalgError::Interrupted`] on budget expiry.
+    ///
+    /// # Panics
+    /// Panics on marginal length mismatch.
+    pub fn solve(
+        &self,
+        mu: &[f64],
+        nu: &[f64],
+        params: &SinkhornParams,
+    ) -> Result<(Vec<f64>, Vec<f64>, Convergence), LinalgError> {
+        let routine = "sinkhorn_landmark";
+        let (n, m) = (self.rows(), self.cols());
+        assert_eq!(mu.len(), n, "landmark sinkhorn: mu length mismatch");
+        assert_eq!(nu.len(), m, "landmark sinkhorn: nu length mismatch");
+        let mut u = vec![1.0; n];
+        let mut v = vec![1.0; m];
+        let mut kv = vec![0.0; n];
+        let mut ktu = vec![0.0; m];
+        let mut t = Vec::with_capacity(self.landmarks.len());
+        let mut iterations = 0;
+        let mut last_violation = 0.0;
+        let mut hit_tol = false;
+        for it in 0..params.max_iter {
+            crate::check_budget(routine, it)?;
+            telemetry::count_sinkhorn_sweep();
+            iterations = it + 1;
+            // u ← μ ./ (K̃ v)
+            self.kv_into(&v, &mut t, &mut kv);
+            scaling_update(mu, &kv, &mut u, routine)?;
+            // v ← ν ./ (K̃ᵀ u)
+            self.ktu_into(&u, &mut t, &mut ktu);
+            scaling_update(nu, &ktu, &mut v, routine)?;
+            if !vec_ops::all_finite(&u) || !vec_ops::all_finite(&v) {
+                return Err(LinalgError::NotFinite { routine });
+            }
+            self.kv_into(&v, &mut t, &mut kv);
+            let violation = par::sum_indexed(n, 1, |i| (u[i] * kv[i] - mu[i]).abs());
+            last_violation = violation;
+            telemetry::record_residual(routine, violation);
+            if violation < params.tol {
+                hit_tol = true;
+                break;
+            }
+        }
+        let convergence = if hit_tol {
+            Convergence::tolerance(iterations, last_violation)
+        } else {
+            Convergence::max_iter(iterations, last_violation)
+        };
+        telemetry::record(routine, convergence);
+        Ok((u, v, convergence))
+    }
+
+    /// Applies the transport plan to a tall factor without materializing it:
+    /// `T̃ · rhs = diag(u) · K_aL · W · K_bLᵀ · diag(v) · rhs`, at
+    /// `O((n + m) · k · d)` cost and `O((n + m) · d)` memory. This is the
+    /// barycentric-projection step CONE's Procrustes needs (`P · Y_b`).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn plan_mul(&self, u: &[f64], v: &[f64], rhs: &DenseMatrix) -> DenseMatrix {
+        let (n, m) = (self.rows(), self.cols());
+        assert_eq!(u.len(), n, "plan_mul: u length mismatch");
+        assert_eq!(v.len(), m, "plan_mul: v length mismatch");
+        assert_eq!(rhs.rows(), m, "plan_mul: rhs row mismatch");
+        let d = rhs.cols();
+        // diag(v) · rhs
+        let scaled = DenseMatrix::par_from_fn(m, d, |j, c| v[j] * rhs.get(j, c));
+        let t1 = self.kb.tr_matmul(&scaled); // k × d
+        let t2 = self.w.matmul(&t1); // k × d
+        let t3 = self.ka.matmul(&t2); // n × d
+        DenseMatrix::par_from_fn(n, d, |i, c| u[i] * t3.get(i, c))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sinkhorn::{sinkhorn, uniform_marginal};
+
+    fn ring_embeddings(n: usize, phase: f64) -> DenseMatrix {
+        DenseMatrix::from_fn(n, 2, |i, j| {
+            let theta = 2.0 * std::f64::consts::PI * i as f64 / n as f64 + phase;
+            if j == 0 {
+                theta.cos()
+            } else {
+                theta.sin()
+            }
+        })
+    }
+
+    #[test]
+    fn stride_landmarks_are_deterministic_and_bounded() {
+        assert_eq!(stride_landmarks(10, 5), vec![0, 2, 4, 6, 8]);
+        assert_eq!(stride_landmarks(3, 10), vec![0, 1, 2], "k clamps to m");
+        assert_eq!(stride_landmarks(7, 1), vec![0]);
+    }
+
+    #[test]
+    fn full_landmark_set_matches_dense_sinkhorn_plan() {
+        // With k = m landmarks the Nyström factorization is exact (W is the
+        // inverse of the full kernel's landmark block = the kernel itself),
+        // so the factored plan must match the dense plan closely.
+        let n = 12;
+        let xa = ring_embeddings(n, 0.0);
+        let xb = ring_embeddings(n, 0.05);
+        let params = SinkhornParams { epsilon: 0.2, max_iter: 500, tol: 1e-10 };
+        let lk = LandmarkSinkhorn::build(&xa, &xb, n, params.epsilon).unwrap();
+        let (u, v, conv) = lk.solve(&uniform_marginal(n), &uniform_marginal(n), &params).unwrap();
+        assert!(conv.converged);
+        // Dense reference on the same normalized cost.
+        let mut cost =
+            DenseMatrix::par_from_fn(n, n, |i, j| crate::vec_ops::dist2_sq(xa.row(i), xb.row(j)));
+        let scale = cost.max_abs().max(1e-12);
+        cost.map_inplace(|c| c / scale);
+        let (t_dense, _) =
+            sinkhorn(&cost, &uniform_marginal(n), &uniform_marginal(n), &params).unwrap();
+        // Compare plan actions on the identity factor.
+        let eye = DenseMatrix::identity(n);
+        let t_fact = lk.plan_mul(&u, &v, &eye);
+        assert!(
+            t_fact.sub(&t_dense).max_abs() < 1e-4,
+            "exact-landmark plan should match dense: {}",
+            t_fact.sub(&t_dense).max_abs()
+        );
+    }
+
+    #[test]
+    fn sampled_landmarks_approximately_satisfy_marginals() {
+        let n = 64;
+        let xa = ring_embeddings(n, 0.0);
+        let xb = ring_embeddings(n, 0.02);
+        let params = SinkhornParams { epsilon: 0.1, max_iter: 400, tol: 1e-9 };
+        let lk = LandmarkSinkhorn::build(&xa, &xb, 16, params.epsilon).unwrap();
+        assert_eq!(lk.landmark_indices().len(), 16);
+        let mu = uniform_marginal(n);
+        let nu = uniform_marginal(n);
+        let (u, v, _) = lk.solve(&mu, &nu, &params).unwrap();
+        // Row marginals of the factored plan.
+        let eye = DenseMatrix::identity(n);
+        let t = lk.plan_mul(&u, &v, &eye);
+        for i in 0..n {
+            let row: f64 = t.row(i).iter().sum();
+            assert!((row - mu[i]).abs() < 1e-5, "row {i}: {row} vs {}", mu[i]);
+        }
+    }
+
+    #[test]
+    fn solve_is_deterministic_across_thread_counts() {
+        let n = 48;
+        let xa = ring_embeddings(n, 0.0);
+        let xb = ring_embeddings(n, 0.1);
+        let params = SinkhornParams { epsilon: 0.1, max_iter: 100, tol: 1e-8 };
+        let run = || {
+            let lk = LandmarkSinkhorn::build(&xa, &xb, 12, params.epsilon).unwrap();
+            let (u, v, _) = lk.solve(&uniform_marginal(n), &uniform_marginal(n), &params).unwrap();
+            (u, v)
+        };
+        graphalign_par::set_max_threads(1);
+        let (u1, v1) = run();
+        graphalign_par::set_max_threads(8);
+        let (u8, v8) = run();
+        graphalign_par::set_max_threads(0);
+        assert_eq!(u1, u8, "scalings bit-identical at any thread count");
+        assert_eq!(v1, v8);
+    }
+
+    #[test]
+    fn rejects_non_finite_embeddings() {
+        let xa = DenseMatrix::from_rows(&[&[f64::NAN, 0.0], &[0.0, 1.0]]);
+        let xb = DenseMatrix::from_rows(&[&[0.0, 0.0], &[1.0, 1.0]]);
+        let err = LandmarkSinkhorn::build(&xa, &xb, 2, 0.1).unwrap_err();
+        assert!(matches!(err, LinalgError::NotFinite { .. }));
+    }
+
+    #[test]
+    fn expired_budget_interrupts_solve() {
+        let xa = ring_embeddings(8, 0.0);
+        let xb = ring_embeddings(8, 0.0);
+        let lk = LandmarkSinkhorn::build(&xa, &xb, 4, 0.1).unwrap();
+        let _g = graphalign_par::budget::install(Some(std::time::Duration::ZERO));
+        let err = lk
+            .solve(&uniform_marginal(8), &uniform_marginal(8), &SinkhornParams::default())
+            .unwrap_err();
+        assert!(err.is_interrupted(), "got {err:?}");
+    }
+}

@@ -49,8 +49,10 @@
 pub mod dense;
 pub mod eigen;
 pub mod lanczos;
+pub mod landmark;
 pub mod lowrank;
 pub mod power;
+pub mod propagation;
 pub mod qr;
 pub mod serialize;
 pub mod simd;
@@ -62,7 +64,9 @@ pub mod vec_ops;
 pub mod workspace;
 
 pub use dense::DenseMatrix;
+pub use landmark::LandmarkSinkhorn;
 pub use lowrank::{LowRankKernel, LowRankSim};
+pub use propagation::{propagate_features, PropagationParams};
 pub use similarity::Similarity;
 pub use sparse::CsrMatrix;
 pub use workspace::Workspace;

@@ -325,6 +325,84 @@ mod tests {
     }
 
     #[test]
+    fn degenerate_lowrank_shapes_round_trip() {
+        // k = 0: zero-rank factors (every entry is the empty dot product /
+        // the kernel of distance 0). n = 1: single-row factors. Both have
+        // bitten codecs that assume non-empty data arrays, so each goes
+        // through the plain payload AND the checksummed envelope.
+        let cases = [
+            // (ya, yb, kernel)
+            (DenseMatrix::zeros(3, 0), DenseMatrix::zeros(2, 0), LowRankKernel::Dot),
+            (DenseMatrix::zeros(1, 0), DenseMatrix::zeros(1, 0), LowRankKernel::ExpNegSqDist),
+            (
+                DenseMatrix::from_rows(&[&[0.1 + 0.2, -0.0]]),
+                DenseMatrix::from_rows(&[&[1e-300, -1.0 / 3.0]]),
+                LowRankKernel::NegSqDist,
+            ),
+        ];
+        for (ya, yb, kernel) in cases {
+            let n = ya.rows();
+            for offsets in [None, Some((0..n).map(|i| -0.5 * i as f64).collect::<Vec<_>>())] {
+                let mut lr = LowRankSim::new(ya.clone(), yb.clone(), kernel);
+                if let Some(o) = offsets {
+                    lr = lr.with_row_offsets(o);
+                }
+                let sim = Similarity::LowRank(lr);
+                let text = similarity_to_json(&sim).unwrap().to_string_compact();
+                let back =
+                    similarity_from_json(&graphalign_json::from_str(&text).unwrap()).unwrap();
+                assert_bit_identical(&sim, &back);
+                let envelope = to_checksummed_string(&sim).unwrap();
+                let back = from_checksummed_str(&envelope).unwrap();
+                assert_bit_identical(&sim, &back);
+                if let (Similarity::LowRank(a), Similarity::LowRank(b)) = (&sim, &back) {
+                    assert_eq!(a.kernel(), b.kernel());
+                    assert_eq!(a.row_offsets(), b.row_offsets());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sparse_degenerate_shapes_and_negative_zero_round_trip() {
+        // Mirrors the Dense -0.0 test for the sparse codec: a stored -0.0
+        // must keep its sign bit (it is a *stored* entry, distinct from the
+        // implicit 0.0 background), and empty / single-cell matrices must
+        // survive both the plain payload and the checksummed envelope.
+        let cases = [
+            CsrMatrix::from_triplets(2, 3, &[(0, 1, -0.0), (1, 2, 0.1 + 0.2)]),
+            CsrMatrix::from_triplets(3, 4, &[]), // no stored entries at all
+            CsrMatrix::from_triplets(1, 1, &[(0, 0, f64::MIN_POSITIVE)]),
+        ];
+        for s in cases {
+            let nnz = s.nnz();
+            let sim = Similarity::Sparse(s);
+            let text = similarity_to_json(&sim).unwrap().to_string_compact();
+            let back = similarity_from_json(&graphalign_json::from_str(&text).unwrap()).unwrap();
+            assert_bit_identical(&sim, &back);
+            let envelope = to_checksummed_string(&sim).unwrap();
+            let back = from_checksummed_str(&envelope).unwrap();
+            assert_bit_identical(&sim, &back);
+            if let Similarity::Sparse(b) = &back {
+                assert_eq!(b.nnz(), nnz, "stored-entry count must survive");
+            }
+        }
+    }
+
+    #[test]
+    fn every_truncation_of_a_checksummed_sparse_entry_is_detected() {
+        let sim = Similarity::Sparse(CsrMatrix::from_triplets(2, 2, &[(0, 0, 0.5), (1, 1, -0.0)]));
+        let text = to_checksummed_string(&sim).unwrap();
+        for cut in 0..text.len() {
+            assert!(
+                from_checksummed_str(&text[..cut]).is_err(),
+                "truncation at byte {cut} of {} went undetected",
+                text.len()
+            );
+        }
+    }
+
+    #[test]
     fn non_finite_values_are_refused() {
         let sim = Similarity::Dense(DenseMatrix::from_vec(1, 2, vec![1.0, f64::NAN]));
         assert!(similarity_to_json(&sim).is_err());

@@ -84,6 +84,15 @@ impl Similarity {
         8 * (rows + cols) * rank
     }
 
+    /// Bytes a CSR representation with `rows` rows and `nnz` stored entries
+    /// occupies (row pointers + column indices + values), matching
+    /// [`CsrMatrix::nbytes`]. The analytic twin used by the memory models:
+    /// sparse similarities and adjacencies are accounted at their nnz-based
+    /// footprint, not a dense upper bound.
+    pub fn sparse_bytes(rows: usize, nnz: usize) -> usize {
+        (rows + 1) * size_of::<usize>() + nnz * (size_of::<usize>() + size_of::<f64>())
+    }
+
     /// Entry `(i, j)`, evaluated without materializing anything.
     pub fn get(&self, i: usize, j: usize) -> f64 {
         match self {

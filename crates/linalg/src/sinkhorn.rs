@@ -16,7 +16,7 @@ use graphalign_par::telemetry::{self, Convergence};
 /// Kernel clamp floor: `exp(-C/ε)` values are clamped up to this to keep the
 /// scalings finite. A kernel row/column entirely at the floor has underflowed
 /// — ε is too small for the cost scale — and Sinkhorn would stall on it.
-const KERNEL_FLOOR: f64 = 1e-300;
+pub(crate) const KERNEL_FLOOR: f64 = 1e-300;
 
 /// Returns an error when some kernel row (or column) with positive marginal
 /// mass has every entry at the underflow floor: the scaling for that index
@@ -56,7 +56,7 @@ fn check_kernel_support(
 /// [`proximal_step`]; an exactly-zero denominator against positive target
 /// mass means the kernel support degenerated mid-iteration (underflow), which
 /// is reported instead of silently zeroing the row.
-fn scaling_update(
+pub(crate) fn scaling_update(
     target: &[f64],
     denom: &[f64],
     out: &mut [f64],
